@@ -1,0 +1,773 @@
+package grb_test
+
+// Benchmarks regenerating the artifacts of "Introduction to GraphBLAS 2.0":
+// one benchmark (or benchmark family) per figure and table of the paper,
+// plus the §II ablation and core-kernel baselines. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/gen"
+	"github.com/grblas/grb/lagraph"
+)
+
+const benchScale = 12
+
+// benchInit makes sure the library is initialized exactly once for the
+// benchmark half of the test binary.
+func benchInit(b *testing.B) {
+	b.Helper()
+	if _, err := grb.GlobalContext(); err != nil {
+		if err := grb.Init(grb.NonBlocking); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchGraphs sync.Map // scale -> gen.Graph
+
+func benchGraph(scale int) gen.Graph {
+	if g, ok := benchGraphs.Load(scale); ok {
+		return g.(gen.Graph)
+	}
+	g := gen.Graph500RMAT(scale, 16, 42).Symmetrize()
+	benchGraphs.Store(scale, g)
+	return g
+}
+
+func benchBoolMatrix(b *testing.B, scale int) *grb.Matrix[bool] {
+	b.Helper()
+	g := benchGraph(scale)
+	a, err := grb.NewMatrix[bool](g.N, g.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Build(g.Src, g.Dst, gen.BoolWeights(g), grb.LOr); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func benchFloatMatrix(b *testing.B, scale int) *grb.Matrix[float64] {
+	b.Helper()
+	g := benchGraph(scale)
+	a, err := grb.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0.5, 2, 42), grb.Plus[float64]); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — multithreaded sequences sharing a matrix through
+// Wait(COMPLETE) + release/acquire.
+// ---------------------------------------------------------------------------
+
+func fig1Pipelines(b *testing.B, a *grb.Matrix[float64], concurrent bool) {
+	dim, _ := a.Nrows()
+	for i := 0; i < b.N; i++ {
+		esh, _ := grb.NewMatrix[float64](dim, dim)
+		var flag atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		t0 := func() {
+			defer wg.Done()
+			c, _ := grb.NewMatrix[float64](dim, dim)
+			_ = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil)
+			_ = grb.MxM(esh, nil, nil, grb.PlusTimes[float64](), a, c, nil)
+			_ = esh.Wait(grb.Complete)
+			flag.Store(1)
+		}
+		t1 := func() {
+			defer wg.Done()
+			g, _ := grb.NewMatrix[float64](dim, dim)
+			_ = grb.MxM(g, nil, nil, grb.PlusTimes[float64](), a, a, nil)
+			_ = g.Wait(grb.Complete)
+			for flag.Load() == 0 {
+			}
+			h, _ := grb.NewMatrix[float64](dim, dim)
+			_ = grb.MxM(h, nil, nil, grb.PlusTimes[float64](), g, esh, nil)
+			_ = h.Wait(grb.Complete)
+		}
+		if concurrent {
+			go t0()
+			go t1()
+		} else {
+			t0()
+			t1()
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkFig1_SharedSequencesSequential(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-4)
+	b.ResetTimer()
+	fig1Pipelines(b, a, false)
+}
+
+func BenchmarkFig1_SharedSequencesConcurrent(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-4)
+	b.ResetTimer()
+	fig1Pipelines(b, a, true)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — hierarchical contexts bounding mxm parallelism.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig2_ContextThreads(b *testing.B) {
+	benchInit(b)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			ctx, err := grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(threads), grb.WithChunk(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ctx.Free()
+			a := benchFloatMatrix(b, benchScale-2)
+			if err := a.SwitchContext(ctx); err != nil {
+				b.Fatal(err)
+			}
+			dim, _ := a.Nrows()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, _ := grb.NewMatrix[float64](dim, dim, grb.InContext(ctx))
+				if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Wait(grb.Materialize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — select and apply with index unary operators.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig3_SelectUserTriuGT(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	myTriuGT := func(v float64, row, col grb.Index, s float64) bool { return col > row && v > s }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		if err := grb.MatrixSelect(c, nil, nil, myTriuGT, a, 1.0, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_ApplyColIndex(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[int](dim, dim)
+		if err := grb.MatrixApplyIndexOp(c, nil, nil, grb.ColIndex[float64], a, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table I — GrB_Scalar manipulation methods.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTableI_ScalarLifecycle(b *testing.B) {
+	benchInit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := grb.NewScalar[float64]()
+		_ = s.SetElement(float64(i))
+		d, _ := s.Dup()
+		_, _, _ = d.ExtractElement()
+		_, _ = d.Nvals()
+		_ = s.Clear()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — GrB_Scalar variants (reduce shown; the costly path).
+// ---------------------------------------------------------------------------
+
+func BenchmarkTableII_ReduceToScalarMonoid(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	s, _ := grb.NewScalar[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[float64](), a, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_ReduceToScalarBinaryOp(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	s, _ := grb.NewScalar[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := grb.MatrixReduceToScalarBinaryOp(s, nil, grb.Plus[float64], a, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_AssignScalarObj(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-4)
+	dim, _ := a.Nrows()
+	sv, _ := grb.ScalarOf(3.5)
+	rows := make([]grb.Index, dim/4)
+	for k := range rows {
+		rows[k] = k * 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := a.Dup()
+		if err := grb.MatrixAssignScalarObj(c, nil, nil, sv, rows, rows, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table III — import/export formats and the opaque serializer.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTableIII_Export(b *testing.B) {
+	benchInit(b)
+	for _, f := range []grb.Format{grb.FormatCSR, grb.FormatCSC, grb.FormatCOO} {
+		b.Run(f.String(), func(b *testing.B) {
+			a := benchFloatMatrix(b, benchScale)
+			np, ni, nv, err := a.MatrixExportSize(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			indptr := make([]grb.Index, np)
+			indices := make([]grb.Index, ni)
+			values := make([]float64, nv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.MatrixExportInto(f, indptr, indices, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, f := range []grb.Format{grb.FormatDenseRow, grb.FormatDenseCol} {
+		b.Run(f.String(), func(b *testing.B) {
+			a := benchFloatMatrix(b, 9) // dense buffers are quadratic
+			np, ni, nv, _ := a.MatrixExportSize(f)
+			indptr := make([]grb.Index, np)
+			indices := make([]grb.Index, ni)
+			values := make([]float64, nv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.MatrixExportInto(f, indptr, indices, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableIII_Import(b *testing.B) {
+	benchInit(b)
+	for _, f := range []grb.Format{grb.FormatCSR, grb.FormatCSC, grb.FormatCOO} {
+		b.Run(f.String(), func(b *testing.B) {
+			a := benchFloatMatrix(b, benchScale)
+			dim, _ := a.Nrows()
+			indptr, indices, values, err := a.MatrixExport(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := grb.MatrixImport(dim, dim, indptr, indices, values, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableIII_SerializeDeserialize(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	blob, err := a.SerializeBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serialize", func(b *testing.B) {
+		buf := make([]byte, len(blob))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Serialize(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deserialize", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := grb.MatrixDeserialize[float64](blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — predefined index unary operators through select.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTableIV_Select(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	cases := []struct {
+		name string
+		run  func(c *grb.Matrix[float64]) error
+	}{
+		{"TRIL", func(c *grb.Matrix[float64]) error { return grb.MatrixSelect(c, nil, nil, grb.TriL[float64], a, 0, nil) }},
+		{"TRIU", func(c *grb.Matrix[float64]) error { return grb.MatrixSelect(c, nil, nil, grb.TriU[float64], a, 0, nil) }},
+		{"DIAG", func(c *grb.Matrix[float64]) error { return grb.MatrixSelect(c, nil, nil, grb.Diag[float64], a, 0, nil) }},
+		{"OFFDIAG", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.Offdiag[float64], a, 0, nil)
+		}},
+		{"ROWLE", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.RowLE[float64], a, dim/2, nil)
+		}},
+		{"ROWGT", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.RowGT[float64], a, dim/2, nil)
+		}},
+		{"COLLE", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ColLE[float64], a, dim/2, nil)
+		}},
+		{"COLGT", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ColGT[float64], a, dim/2, nil)
+		}},
+		{"VALUEEQ", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueEQ[float64], a, 1, nil)
+		}},
+		{"VALUENE", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueNE[float64], a, 1, nil)
+		}},
+		{"VALUELT", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueLT[float64], a, 1, nil)
+		}},
+		{"VALUELE", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueLE[float64], a, 1, nil)
+		}},
+		{"VALUEGT", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueGT[float64], a, 1, nil)
+		}},
+		{"VALUEGE", func(c *grb.Matrix[float64]) error {
+			return grb.MatrixSelect(c, nil, nil, grb.ValueGE[float64], a, 1, nil)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, _ := grb.NewMatrix[float64](dim, dim)
+				if err := tc.run(c); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Wait(grb.Materialize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTableIV_Apply(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	cases := []struct {
+		name string
+		op   grb.IndexUnaryOp[float64, int, int]
+	}{
+		{"ROWINDEX", grb.RowIndex[float64]},
+		{"COLINDEX", grb.ColIndex[float64]},
+		{"DIAGINDEX", grb.DiagIndex[float64]},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, _ := grb.NewMatrix[int](dim, dim)
+				if err := grb.MatrixApplyIndexOp(c, nil, nil, tc.op, a, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Wait(grb.Materialize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §II ablation — native index access vs. packing indices into values.
+// ---------------------------------------------------------------------------
+
+type packedEntry struct {
+	Row, Col int64
+	Val      float64
+}
+
+func BenchmarkAblation_SelectTriu_NativeIndexOp(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		if err := grb.MatrixSelect(c, nil, nil, grb.TriU[float64], a, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SelectTriu_PackedValues(b *testing.B) {
+	benchInit(b)
+	g := benchGraph(benchScale)
+	w := gen.UniformWeights(g, 0.5, 2, 42)
+	pw := make([]packedEntry, len(w))
+	for k := range w {
+		pw[k] = packedEntry{int64(g.Src[k]), int64(g.Dst[k]), w[k]}
+	}
+	a, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+	if err := a.Build(g.Src, g.Dst, pw, grb.Second[packedEntry, packedEntry]); err != nil {
+		b.Fatal(err)
+	}
+	unpacking := func(v packedEntry, _, _ grb.Index, _ int) bool { return v.Col > v.Row }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+		if err := grb.MatrixSelect(c, nil, nil, unpacking, a, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ApplyRowIndex_Native(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[int](dim, dim)
+		if err := grb.MatrixApplyIndexOp(c, nil, nil, grb.RowIndex[float64], a, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ApplyRowIndex_PackedValues(b *testing.B) {
+	benchInit(b)
+	g := benchGraph(benchScale)
+	w := gen.UniformWeights(g, 0.5, 2, 42)
+	pw := make([]packedEntry, len(w))
+	for k := range w {
+		pw[k] = packedEntry{int64(g.Src[k]), int64(g.Dst[k]), w[k]}
+	}
+	a, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+	if err := a.Build(g.Src, g.Dst, pw, grb.Second[packedEntry, packedEntry]); err != nil {
+		b.Fatal(err)
+	}
+	unpack := func(v packedEntry) int { return int(v.Row) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[int](g.N, g.N)
+		if err := grb.MatrixApply(c, nil, nil, unpack, a, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Wait(grb.Materialize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Algorithm-level ablation: parent BFS with the 2.0 ROWINDEX apply versus
+// the 1.X host-round-trip workaround (extract tuples, copy indices over
+// values, rebuild).
+func BenchmarkAblation_BFSParents_NativeIndexOp(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.BFSParents(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_BFSParents_LegacyPacked(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.BFSParentsLegacy(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// §III thread safety — independent method calls from many goroutines.
+// ---------------------------------------------------------------------------
+
+func BenchmarkThreadSafety_IndependentPipelines(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-4)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c, _ := grb.NewMatrix[float64](dim, dim)
+			if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Wait(grb.Materialize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Core-kernel and algorithm baselines.
+// ---------------------------------------------------------------------------
+
+func BenchmarkCore_MxM(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-2)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		_ = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil)
+		_ = c.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkCore_MxMMasked(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-2)
+	dim, _ := a.Nrows()
+	mask, err := grb.AsMask(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		_ = grb.MxM(c, mask, nil, grb.PlusTimes[float64](), a, a, grb.DescS)
+		_ = c.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkCore_MxV(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	u, _ := grb.NewVector[float64](dim)
+	_ = grb.VectorAssignScalar(u, nil, nil, 1.0, grb.All, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := grb.NewVector[float64](dim)
+		_ = grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, nil)
+		_ = w.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkCore_VxMSparseFrontier(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	u, _ := grb.NewVector[float64](dim)
+	for k := 0; k < 32; k++ {
+		_ = u.SetElement(1, k*dim/32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := grb.NewVector[float64](dim)
+		_ = grb.VxM(w, nil, nil, grb.PlusTimes[float64](), u, a, nil)
+		_ = w.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkCore_EWiseAdd(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		_ = grb.EWiseAddMatrix(c, nil, nil, grb.Plus[float64], a, a, nil)
+		_ = c.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkCore_Transpose(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale)
+	dim, _ := a.Nrows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := grb.NewMatrix[float64](dim, dim)
+		_ = grb.Transpose(c, nil, nil, a, nil)
+		_ = c.Wait(grb.Materialize)
+	}
+}
+
+func BenchmarkAlgo_BFSLevels(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.BFSLevels(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_BFSParents(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.BFSParents(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_PageRank(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.PageRank(a, 0.85, 1e-6, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_TriangleCount(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.TriangleCount(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_ConnectedComponents(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.ConnectedComponents(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_BetweennessCentrality4Sources(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.BetweennessCentrality(a, []grb.Index{0, 1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_ClusteringCoefficient(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.ClusteringCoefficient(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_KTruss4(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.KTruss(a, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_MIS(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale-2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.MIS(a, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgo_SSSP(b *testing.B) {
+	benchInit(b)
+	a := benchFloatMatrix(b, benchScale-2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lagraph.SSSP(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

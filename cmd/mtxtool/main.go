@@ -1,0 +1,198 @@
+// mtxtool inspects and converts Matrix Market files through the GraphBLAS
+// import/export and serialization APIs.
+//
+//	mtxtool info file.mtx            print dimensions, nnz, degree stats
+//	mtxtool pack file.mtx out.grb    serialize into the opaque GraphBLAS stream
+//	mtxtool unpack in.grb out.mtx    deserialize back to Matrix Market
+//	mtxtool gen rmat:SCALE out.mtx   write a generated graph (rmat:N, er:N:M,
+//	                                 grid:R:C, ring:N)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/gen"
+	"github.com/grblas/grb/mtx"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: mtxtool info|pack|unpack|gen ...")
+		os.Exit(2)
+	}
+	if err := grb.Init(grb.NonBlocking); err != nil {
+		log.Fatal(err)
+	}
+	defer grb.Finalize()
+
+	switch os.Args[1] {
+	case "info":
+		info(os.Args[2])
+	case "pack":
+		if len(os.Args) < 4 {
+			log.Fatal("usage: mtxtool pack in.mtx out.grb")
+		}
+		pack(os.Args[2], os.Args[3])
+	case "unpack":
+		if len(os.Args) < 4 {
+			log.Fatal("usage: mtxtool unpack in.grb out.mtx")
+		}
+		unpack(os.Args[2], os.Args[3])
+	case "gen":
+		if len(os.Args) < 4 {
+			log.Fatal("usage: mtxtool gen SPEC out.mtx")
+		}
+		generate(os.Args[2], os.Args[3])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func load(path string) *grb.Matrix[float64] {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	coord, err := mtx.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := grb.MatrixImport(coord.Rows, coord.Cols, coord.J, coord.I, coord.X, grb.FormatCOO)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func info(path string) {
+	m := load(path)
+	nr, _ := m.Nrows()
+	nc, _ := m.Ncols()
+	nv, _ := m.Nvals()
+	fmt.Printf("%s: %d x %d, %d stored entries (density %.4g)\n",
+		path, nr, nc, nv, float64(nv)/(float64(nr)*float64(nc)))
+	deg, err := grb.NewVector[float64](nr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one := func(float64) float64 { return 1 }
+	ones, _ := grb.NewMatrix[float64](nr, nc)
+	if err := grb.MatrixApply(ones, nil, nil, one, m, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[float64](), ones, nil); err != nil {
+		log.Fatal(err)
+	}
+	minDeg, _ := grb.VectorReduce(grb.MinMonoid[float64](), deg)
+	maxDeg, _ := grb.VectorReduce(grb.MaxMonoid[float64](), deg)
+	sumDeg, _ := grb.VectorReduce(grb.PlusMonoid[float64](), deg)
+	nzRows, _ := deg.Nvals()
+	fmt.Printf("row degree: min %g, max %g, mean %.2f over %d non-empty rows (%d empty)\n",
+		minDeg, maxDeg, sumDeg/float64(nzRows), nzRows, nr-nzRows)
+	sMin, _ := grb.VectorReduce(grb.MinMonoid[float64](), valuesOf(m))
+	sMax, _ := grb.VectorReduce(grb.MaxMonoid[float64](), valuesOf(m))
+	fmt.Printf("values: min %g, max %g\n", sMin, sMax)
+}
+
+// valuesOf flattens the stored values into a vector for reductions.
+func valuesOf(m *grb.Matrix[float64]) *grb.Vector[float64] {
+	_, _, x, err := m.ExtractTuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(x) == 0 {
+		v, _ := grb.NewVector[float64](1)
+		return v
+	}
+	v, err := grb.NewVector[float64](len(x))
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := make([]grb.Index, len(x))
+	for k := range idx {
+		idx[k] = k
+	}
+	if err := v.Build(idx, x, grb.Second[float64, float64]); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func pack(in, out string) {
+	m := load(in)
+	blob, err := m.SerializeBytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	nv, _ := m.Nvals()
+	fmt.Printf("packed %d entries into %d bytes (%s)\n", nv, len(blob), out)
+}
+
+func unpack(in, out string) {
+	blob, err := os.ReadFile(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := grb.MatrixDeserialize[float64](blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr, _ := m.Nrows()
+	nc, _ := m.Ncols()
+	I, J, X, err := m.ExtractTuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := mtx.Write(f, nr, nc, I, J, X); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unpacked %d entries into %s\n", len(I), out)
+}
+
+func generate(spec, out string) {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			log.Fatalf("bad spec %q: %v", spec, err)
+		}
+		return v
+	}
+	var g gen.Graph
+	switch parts[0] {
+	case "rmat":
+		g = gen.Graph500RMAT(atoi(parts[1]), 16, 42)
+	case "er":
+		g = gen.ErdosRenyi(atoi(parts[1]), atoi(parts[2]), 42)
+	case "grid":
+		g = gen.Grid2D(atoi(parts[1]), atoi(parts[2]))
+	case "ring":
+		g = gen.Ring(atoi(parts[1]))
+	default:
+		log.Fatalf("unknown generator %q (rmat|er|grid|ring)", parts[0])
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := gen.UnitWeights[float64](g)
+	if err := mtx.Write(f, g.N, g.N, g.Src, g.Dst, w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", out, g.N, g.NumEdges())
+}

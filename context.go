@@ -1,0 +1,269 @@
+package grb
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Mode selects the execution mode of a context (GrB_Mode). In Blocking mode
+// every method call completes before returning. In NonBlocking mode method
+// calls on an object may be deferred and executed lazily as a sequence
+// (§III of the paper); completion is forced by Wait, or implicitly by any
+// method that reads the object.
+type Mode int
+
+const (
+	// NonBlocking allows deferred execution of sequences (GrB_NONBLOCKING).
+	NonBlocking Mode = 0
+	// Blocking forces every call to complete before returning (GrB_BLOCKING).
+	Blocking Mode = 1
+)
+
+// String returns the spec name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case NonBlocking:
+		return "GrB_NONBLOCKING"
+	case Blocking:
+		return "GrB_BLOCKING"
+	}
+	return "GrB_Mode(?)"
+}
+
+// Context is the GraphBLAS 2.0 execution context (GrB_Context, §IV of the
+// paper). A context carries an execution mode and resource information —
+// here, a thread budget — and contexts nest hierarchically: the effective
+// parallelism of an operation is bounded by every ancestor's budget. Every
+// Matrix and Vector belongs to a context (the top-level context by default),
+// and all objects participating in one operation must share a context, which
+// lets the implementation manage placement without exposing low-level
+// details.
+//
+// The C API passes implementation-defined execution information through a
+// void* argument; the Go binding uses functional options (WithThreads,
+// WithChunk) instead.
+type Context struct {
+	mode    Mode
+	parent  *Context
+	threads int // 0 = inherit from parent chain
+	chunk   int // minimum work per thread before parallelizing
+	freed   bool
+	mu      sync.Mutex
+}
+
+// ContextOption configures a new context (the implementation-defined
+// `void *exec` argument of GrB_Context_new).
+type ContextOption func(*Context)
+
+// WithThreads bounds the number of threads operations in this context may
+// use. Zero means inherit the parent's budget.
+func WithThreads(n int) ContextOption {
+	return func(c *Context) { c.threads = n }
+}
+
+// WithChunk sets the minimum number of row-units of work per thread before
+// an operation parallelizes. Smaller values parallelize more eagerly.
+func WithChunk(n int) ContextOption {
+	return func(c *Context) { c.chunk = n }
+}
+
+// global holds the top-level context created by Init (GrB_init).
+var global struct {
+	mu          sync.Mutex
+	ctx         *Context
+	initialized bool
+}
+
+// Init initializes the GraphBLAS library and creates the top-level context
+// with the given mode (GrB_init). Calling Init twice without an intervening
+// Finalize is an API error.
+func Init(mode Mode) error {
+	if mode != Blocking && mode != NonBlocking {
+		return errf(InvalidValue, "Init: invalid mode %d", int(mode))
+	}
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.initialized {
+		return errf(InvalidValue, "Init: already initialized")
+	}
+	// The top-level context carries no explicit budget (0): children may
+	// set any budget, and the GOMAXPROCS fallback applies only when no
+	// context in the chain declares one.
+	global.ctx = &Context{mode: mode, threads: 0, chunk: 4096}
+	global.initialized = true
+	return nil
+}
+
+// Finalize shuts the library down and frees all Context objects
+// (GrB_finalize). GraphBLAS objects must not be used afterwards.
+func Finalize() error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if !global.initialized {
+		return errf(UninitializedObject, "Finalize: not initialized")
+	}
+	global.ctx = nil
+	global.initialized = false
+	return nil
+}
+
+// initialized reports library state; used by every public method.
+func initializedContext() (*Context, error) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if !global.initialized {
+		return nil, errf(UninitializedObject, "GraphBLAS not initialized: call grb.Init first")
+	}
+	return global.ctx, nil
+}
+
+// GlobalContext returns the top-level context created by Init.
+func GlobalContext() (*Context, error) {
+	return initializedContext()
+}
+
+// NewContext creates a context nested within parent (GrB_Context_new). A
+// nil parent nests within the top-level context (the C API's GrB_NULL).
+func NewContext(mode Mode, parent *Context, opts ...ContextOption) (*Context, error) {
+	top, err := initializedContext()
+	if err != nil {
+		return nil, err
+	}
+	if mode != Blocking && mode != NonBlocking {
+		return nil, errf(InvalidValue, "NewContext: invalid mode %d", int(mode))
+	}
+	if parent == nil {
+		parent = top
+	}
+	if parent.isFreed() {
+		return nil, errf(UninitializedObject, "NewContext: parent context has been freed")
+	}
+	c := &Context{mode: mode, parent: parent}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.threads < 0 {
+		return nil, errf(InvalidValue, "NewContext: negative thread budget")
+	}
+	return c, nil
+}
+
+// Free releases the context's resources (GrB_free). After Free the context
+// behaves as an uninitialized object.
+func (c *Context) Free() error {
+	if c == nil {
+		return errf(NullPointer, "Context.Free: nil context")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.freed {
+		return errf(UninitializedObject, "Context.Free: already freed")
+	}
+	c.freed = true
+	return nil
+}
+
+func (c *Context) isFreed() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.freed
+}
+
+// Mode returns the context's execution mode.
+func (c *Context) Mode() Mode {
+	if c == nil {
+		return NonBlocking
+	}
+	return c.mode
+}
+
+// Parent returns the enclosing context (nil for the top-level context).
+func (c *Context) Parent() *Context { return c.parent }
+
+// Threads returns the effective thread budget: the minimum declared budget
+// along the chain from this context to the root (contexts with budget 0
+// inherit). This is how hierarchical nesting bounds parallelism, §IV.
+func (c *Context) Threads() int {
+	eff := 0
+	for p := c; p != nil; p = p.parent {
+		if p.threads > 0 && (eff == 0 || p.threads < eff) {
+			eff = p.threads
+		}
+	}
+	if eff == 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
+	return eff
+}
+
+// Chunk returns the effective minimum-work-per-thread granule: the nearest
+// explicitly set value up the chain, defaulting to 4096.
+func (c *Context) Chunk() int {
+	for p := c; p != nil; p = p.parent {
+		if p.chunk > 0 {
+			return p.chunk
+		}
+	}
+	return 4096
+}
+
+// threadsFor returns the thread count to use for an operation touching
+// roughly `work` units, respecting the chunk granule so tiny operations run
+// serially.
+func (c *Context) threadsFor(work int) int {
+	t := c.Threads()
+	ch := c.Chunk()
+	if ch > 0 && work/ch+1 < t {
+		t = work/ch + 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// resolveCtx maps an object's context pointer (possibly nil) to the
+// effective context, requiring the library to be initialized.
+func resolveCtx(c *Context) (*Context, error) {
+	top, err := initializedContext()
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return top, nil
+	}
+	if c.isFreed() {
+		return nil, errf(UninitializedObject, "operation on freed context")
+	}
+	return c, nil
+}
+
+// sameContext verifies that all non-nil contexts among the operands resolve
+// to the same context, as §IV requires ("all the GraphBLAS matrices and
+// vectors in a GraphBLAS method share a context"), and returns it.
+func sameContext(ctxs ...*Context) (*Context, error) {
+	top, err := initializedContext()
+	if err != nil {
+		return nil, err
+	}
+	eff := top
+	seen := false
+	for _, c := range ctxs {
+		if c == nil {
+			c = top
+		}
+		if c.isFreed() {
+			return nil, errf(UninitializedObject, "operand belongs to a freed context")
+		}
+		if !seen {
+			eff = c
+			seen = true
+		} else if c != eff {
+			return nil, errf(InvalidValue, "operands belong to different execution contexts")
+		}
+	}
+	return eff, nil
+}

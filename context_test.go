@@ -1,0 +1,202 @@
+package grb
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestInitFinalizeLifecycle(t *testing.T) {
+	_ = Finalize()
+	// Using the library before Init is an UninitializedObject error.
+	if _, err := NewMatrix[int](2, 2); Code(err) != UninitializedObject {
+		t.Fatalf("pre-Init NewMatrix: %v", err)
+	}
+	if err := Init(Mode(42)); Code(err) != InvalidValue {
+		t.Fatalf("bad mode: %v", err)
+	}
+	if err := Init(Blocking); err != nil {
+		t.Fatal(err)
+	}
+	// Double Init is an error.
+	if err := Init(Blocking); Code(err) != InvalidValue {
+		t.Fatalf("double Init: %v", err)
+	}
+	if err := Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Finalize(); Code(err) != UninitializedObject {
+		t.Fatalf("double Finalize: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Blocking.String() != "GrB_BLOCKING" || NonBlocking.String() != "GrB_NONBLOCKING" {
+		t.Error("mode names")
+	}
+	if Mode(9).String() != "GrB_Mode(?)" {
+		t.Error("unknown mode name")
+	}
+}
+
+func TestContextHierarchyThreads(t *testing.T) {
+	setMode(t, NonBlocking)
+	top, err := GlobalContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Threads() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("top threads = %d", top.Threads())
+	}
+	// Child with an explicit budget.
+	c8, err := NewContext(NonBlocking, nil, WithThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grandchild inheriting (0) is bounded by the parent...
+	inherit, err := NewContext(NonBlocking, c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inherit.Threads() != 8 {
+		t.Fatalf("inherited threads = %d, want 8", inherit.Threads())
+	}
+	// ...and a grandchild asking for more is clamped by the ancestor.
+	c2, err := NewContext(NonBlocking, c8, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Threads() != 2 {
+		t.Fatalf("c2 threads = %d", c2.Threads())
+	}
+	big, err := NewContext(NonBlocking, c2, WithThreads(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Threads() != 2 {
+		t.Fatalf("hierarchical min violated: %d", big.Threads())
+	}
+	if big.Parent() != c2 || c2.Parent() != c8 {
+		t.Fatal("parent chain wrong")
+	}
+	if _, err := NewContext(NonBlocking, nil, WithThreads(-1)); Code(err) != InvalidValue {
+		t.Fatalf("negative budget: %v", err)
+	}
+	if _, err := NewContext(Mode(7), nil); Code(err) != InvalidValue {
+		t.Fatalf("bad mode: %v", err)
+	}
+}
+
+func TestContextChunk(t *testing.T) {
+	setMode(t, NonBlocking)
+	c, _ := NewContext(NonBlocking, nil, WithThreads(4), WithChunk(100))
+	if c.Chunk() != 100 {
+		t.Fatalf("chunk = %d", c.Chunk())
+	}
+	child, _ := NewContext(NonBlocking, c)
+	if child.Chunk() != 100 {
+		t.Fatalf("inherited chunk = %d", child.Chunk())
+	}
+	// threadsFor respects the chunk granule.
+	if got := c.threadsFor(50); got != 1 {
+		t.Fatalf("tiny work threads = %d", got)
+	}
+	if got := c.threadsFor(1000); got != 4 {
+		t.Fatalf("large work threads = %d", got)
+	}
+}
+
+func TestContextFree(t *testing.T) {
+	setMode(t, NonBlocking)
+	c, _ := NewContext(NonBlocking, nil, WithThreads(2))
+	if err := c.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(); Code(err) != UninitializedObject {
+		t.Fatalf("double free: %v", err)
+	}
+	// Objects cannot be created in a freed context.
+	if _, err := NewMatrix[int](2, 2, InContext(c)); Code(err) != UninitializedObject {
+		t.Fatalf("new in freed ctx: %v", err)
+	}
+	// A freed context cannot parent a new one.
+	if _, err := NewContext(NonBlocking, c); Code(err) != UninitializedObject {
+		t.Fatalf("child of freed ctx: %v", err)
+	}
+	var nilCtx *Context
+	if err := nilCtx.Free(); Code(err) != NullPointer {
+		t.Fatalf("nil free: %v", err)
+	}
+}
+
+// TestContextSharingRequired checks §IV's rule that all objects of an
+// operation share one context.
+func TestContextSharingRequired(t *testing.T) {
+	setMode(t, NonBlocking)
+	c1, _ := NewContext(NonBlocking, nil, WithThreads(1))
+	c2, _ := NewContext(NonBlocking, nil, WithThreads(1))
+	a, _ := NewMatrix[int](2, 2, InContext(c1))
+	b, _ := NewMatrix[int](2, 2, InContext(c2))
+	c, _ := NewMatrix[int](2, 2, InContext(c1))
+	err := MxM(c, nil, nil, PlusTimes[int](), a, b, nil)
+	wantCode(t, err, InvalidValue)
+
+	// Context_switch moves b into c1, making the operation legal (Fig. 2).
+	if err := b.SwitchContext(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Context()
+	if err != nil || got != c1 {
+		t.Fatalf("Context() = %v, %v", got, err)
+	}
+}
+
+// TestContextBoundOperations verifies operations actually run under a
+// restricted context without error and produce identical results.
+func TestContextBoundOperations(t *testing.T) {
+	setMode(t, NonBlocking)
+	for _, threads := range []int{1, 2, 5} {
+		ctx, err := NewContext(NonBlocking, nil, WithThreads(threads), WithChunk(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := NewMatrix[int](8, 8, InContext(ctx))
+		var I, J []Index
+		var X []int
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if (i+j)%3 == 0 {
+					I = append(I, i)
+					J = append(J, j)
+					X = append(X, i*8+j+1)
+				}
+			}
+		}
+		if err := a.Build(I, J, X, nil); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := NewMatrix[int](8, 8, InContext(ctx))
+		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := MatrixReduce(PlusMonoid[int](), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum == 0 {
+			t.Fatal("empty product")
+		}
+		// Same computation in the default context must agree.
+		a2 := mustMatrix(t, 8, 8, I, J, X)
+		c2, _ := NewMatrix[int](8, 8)
+		if err := MxM(c2, nil, nil, PlusTimes[int](), a2, a2, nil); err != nil {
+			t.Fatal(err)
+		}
+		sum2, _ := MatrixReduce(PlusMonoid[int](), c2)
+		if sum != sum2 {
+			t.Fatalf("threads=%d sum %d != %d", threads, sum, sum2)
+		}
+	}
+}

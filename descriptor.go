@@ -1,0 +1,52 @@
+package grb
+
+// Descriptor modifies how a GraphBLAS operation treats its output, mask and
+// inputs (GrB_Descriptor). A nil *Descriptor everywhere means default
+// behaviour: merge into the output, value mask, untransposed inputs.
+type Descriptor struct {
+	// Replace clears output entries not written by the operation
+	// (GrB_OUTP = GrB_REPLACE).
+	Replace bool
+	// Structure interprets the mask structurally: an entry's presence
+	// counts, its stored value is ignored (GrB_MASK = GrB_STRUCTURE).
+	Structure bool
+	// Complement inverts the mask (GrB_MASK = GrB_COMP). May be combined
+	// with Structure.
+	Complement bool
+	// Transpose0 transposes the first matrix input (GrB_INP0 = GrB_TRAN).
+	Transpose0 bool
+	// Transpose1 transposes the second matrix input (GrB_INP1 = GrB_TRAN).
+	Transpose1 bool
+}
+
+// Predefined descriptors mirroring the C API's GrB_DESC_* constants.
+var (
+	// DescT1 transposes the second input.
+	DescT1 = &Descriptor{Transpose1: true}
+	// DescT0 transposes the first input.
+	DescT0 = &Descriptor{Transpose0: true}
+	// DescT0T1 transposes both inputs.
+	DescT0T1 = &Descriptor{Transpose0: true, Transpose1: true}
+	// DescR replaces the output.
+	DescR = &Descriptor{Replace: true}
+	// DescC complements the mask.
+	DescC = &Descriptor{Complement: true}
+	// DescS uses the mask structurally.
+	DescS = &Descriptor{Structure: true}
+	// DescRC replaces the output and complements the mask.
+	DescRC = &Descriptor{Replace: true, Complement: true}
+	// DescRS replaces the output and uses the mask structurally.
+	DescRS = &Descriptor{Replace: true, Structure: true}
+	// DescRSC replaces the output with a complemented structural mask.
+	DescRSC = &Descriptor{Replace: true, Structure: true, Complement: true}
+	// DescSC uses a complemented structural mask.
+	DescSC = &Descriptor{Structure: true, Complement: true}
+)
+
+// get normalizes a possibly-nil descriptor to a value.
+func (d *Descriptor) get() Descriptor {
+	if d == nil {
+		return Descriptor{}
+	}
+	return *d
+}

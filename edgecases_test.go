@@ -1,0 +1,178 @@
+package grb
+
+import "testing"
+
+// Edge-shape and empty-operand coverage for the public operations.
+
+func TestEmptyOperandProducts(t *testing.T) {
+	setMode(t, Blocking)
+	empty := mustMatrix(t, 4, 4, nil, nil, []int(nil))
+	full := mustMatrix(t, 4, 4, []Index{0, 1, 2, 3}, []Index{1, 2, 3, 0}, []int{1, 2, 3, 4})
+	c, _ := NewMatrix[int](4, 4)
+	if err := MxM(c, nil, nil, PlusTimes[int](), empty, full, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := c.Nvals(); nv != 0 {
+		t.Fatalf("empty·full = %d entries", nv)
+	}
+	if err := MxM(c, nil, nil, PlusTimes[int](), full, empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := c.Nvals(); nv != 0 {
+		t.Fatal("full·empty not empty")
+	}
+	// empty ewise
+	if err := EWiseAddMatrix(c, nil, nil, Plus[int], empty, empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := c.Nvals(); nv != 0 {
+		t.Fatal("empty⊕empty not empty")
+	}
+	if err := EWiseAddMatrix(c, nil, nil, Plus[int], full, empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := c.Nvals(); nv != 4 {
+		t.Fatal("full⊕empty should equal full")
+	}
+	// empty reduce / select / transpose
+	w, _ := NewVector[int](4)
+	if err := MatrixReduceToVector(w, nil, nil, PlusMonoid[int](), empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := w.Nvals(); nv != 0 {
+		t.Fatal("reduce of empty not empty")
+	}
+	if err := MatrixSelect(c, nil, nil, TriL[int], empty, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transpose(c, nil, nil, empty, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneByOneAndVectorShapes(t *testing.T) {
+	setMode(t, Blocking)
+	// 1×1 matrices behave.
+	a := mustMatrix(t, 1, 1, []Index{0}, []Index{0}, []int{3})
+	c, _ := NewMatrix[int](1, 1)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.ExtractElement(0, 0); v != 9 {
+		t.Fatalf("1x1 product = %d", v)
+	}
+	// Tall-thin times wide-short.
+	tall := mustMatrix(t, 5, 1, []Index{0, 4}, []Index{0, 0}, []int{1, 2})
+	wide := mustMatrix(t, 1, 5, []Index{0, 0}, []Index{0, 4}, []int{3, 4})
+	outer, _ := NewMatrix[int](5, 5)
+	if err := MxM(outer, nil, nil, PlusTimes[int](), tall, wide, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := outer.Nvals(); nv != 4 {
+		t.Fatalf("outer product entries = %d, want 4", nv)
+	}
+	if v, _, _ := outer.ExtractElement(4, 4); v != 8 {
+		t.Fatalf("outer(4,4) = %d", v)
+	}
+	inner, _ := NewMatrix[int](1, 1)
+	if err := MxM(inner, nil, nil, PlusTimes[int](), wide, tall, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := inner.ExtractElement(0, 0); v != 11 { // 3*1 + 4*2
+		t.Fatalf("inner product = %d", v)
+	}
+	// size-1 vector
+	v1, _ := NewVector[int](1)
+	if err := v1.SetElement(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewVector[int](5)
+	if err := MxV(w, nil, nil, PlusTimes[int](), tall, v1, nil); err != nil {
+		t.Fatal(err)
+	}
+	vectorEquals(t, w, []Index{0, 4}, []int{5, 10})
+}
+
+// TestDenseOperands exercises fully dense matrices through the sparse
+// engine (worst-case fill).
+func TestDenseOperands(t *testing.T) {
+	setMode(t, Blocking)
+	const n = 8
+	var I, J []Index
+	var X []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			I = append(I, i)
+			J = append(J, j)
+			X = append(X, 1)
+		}
+	}
+	a := mustMatrix(t, n, n, I, J, X)
+	c, _ := NewMatrix[int](n, n)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// all-ones squared: every entry is n
+	nv, _ := c.Nvals()
+	if nv != n*n {
+		t.Fatalf("dense product nvals = %d", nv)
+	}
+	if v, _, _ := c.ExtractElement(3, 5); v != n {
+		t.Fatalf("dense product value = %d", v)
+	}
+	sum, _ := MatrixReduce(PlusMonoid[int](), c)
+	if sum != n*n*n {
+		t.Fatalf("dense sum = %d", sum)
+	}
+}
+
+// TestSelfOperandAliasing: using the same object as output and input(s) is
+// well-defined thanks to snapshotting (C = C·C etc.).
+func TestSelfOperandAliasing(t *testing.T) {
+	for _, mode := range []Mode{Blocking, NonBlocking} {
+		t.Run(mode.String(), func(t *testing.T) {
+			setMode(t, mode)
+			// permutation matrix: squaring shifts by 2
+			c := mustMatrix(t, 4, 4,
+				[]Index{0, 1, 2, 3}, []Index{1, 2, 3, 0}, []int{1, 1, 1, 1})
+			if err := MxM(c, nil, nil, PlusTimes[int](), c, c, nil); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := c.ExtractElement(0, 2); !ok || v != 1 {
+				t.Fatalf("C=C·C wrong: (0,2)=%d,%v", v, ok)
+			}
+			// w = w ⊕ w doubles values
+			w := mustVector(t, 3, []Index{0, 2}, []int{1, 5})
+			if err := EWiseAddVector(w, nil, nil, Plus[int], w, w, nil); err != nil {
+				t.Fatal(err)
+			}
+			vectorEquals(t, w, []Index{0, 2}, []int{2, 10})
+			// m as its own mask
+			mb := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []bool{true})
+			if err := MatrixApply(mb, mb, nil, LNot, mb, DescS); err != nil {
+				t.Fatal(err)
+			}
+			if v, _, _ := mb.ExtractElement(0, 0); v != false {
+				t.Fatal("self-mask apply wrong")
+			}
+		})
+	}
+}
+
+// TestAllIndicesAliases: grb.All (nil) behaves as the full index range in
+// extract and assign.
+func TestAllIndicesAliases(t *testing.T) {
+	setMode(t, Blocking)
+	a := mustMatrix(t, 3, 3, []Index{0, 1, 2}, []Index{2, 1, 0}, []int{1, 2, 3})
+	c, _ := NewMatrix[int](3, 3)
+	if err := MatrixExtract(c, nil, nil, a, All, All, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c, []Index{0, 1, 2}, []Index{2, 1, 0}, []int{1, 2, 3})
+	// assign with All == full overwrite
+	d := mustMatrix(t, 3, 3, []Index{0}, []Index{0}, []int{99})
+	if err := MatrixAssign(d, nil, nil, a, All, All, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, d, []Index{0, 1, 2}, []Index{2, 1, 0}, []int{1, 2, 3})
+}

@@ -1,0 +1,133 @@
+package grb
+
+import "testing"
+
+// TestAPIErrorsNeverDeferred covers §V: API errors are deterministic,
+// reported immediately even in nonblocking mode, and guarantee that no
+// arguments were modified.
+func TestAPIErrorsNeverDeferred(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 3, []Index{0}, []Index{0}, []int{1})
+	b := mustMatrix(t, 2, 3, []Index{1}, []Index{1}, []int{2})
+	c := mustMatrix(t, 2, 2, []Index{0}, []Index{1}, []int{9})
+
+	// Dimension mismatch: immediate, and C unchanged.
+	err := MxM(c, nil, nil, PlusTimes[int](), a, b, nil)
+	wantCode(t, err, DimensionMismatch)
+	matrixEquals(t, c, []Index{0}, []Index{1}, []int{9})
+	// No parked error either: the object remains healthy.
+	if err := c.Wait(Materialize); err != nil {
+		t.Fatalf("API error leaked into the sequence: %v", err)
+	}
+
+	// Invalid index on setElement: immediate, object unchanged.
+	wantCode(t, c.SetElement(5, 7, 7), InvalidIndex)
+	matrixEquals(t, c, []Index{0}, []Index{1}, []int{9})
+}
+
+// TestExecutionErrorDeferral covers §V's deferred execution errors: in
+// nonblocking mode the duplicate-without-dup build error (§IX) surfaces not
+// at the call but at a later method — and Wait(Complete) parks it while
+// Wait(Materialize) reports it.
+func TestExecutionErrorDeferral(t *testing.T) {
+	setMode(t, NonBlocking)
+	m, _ := NewMatrix[int](2, 2)
+	// The call itself is well-formed: no API error.
+	if err := m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil); err != nil {
+		t.Fatalf("build returned eagerly: %v", err)
+	}
+	// Wait(Complete) executes the sequence but may keep the error parked.
+	if err := m.Wait(Complete); err != nil {
+		t.Fatalf("Complete reported the error: %v", err)
+	}
+	// A later method on the object reports the parked execution error.
+	_, err := m.Nvals()
+	wantCode(t, err, InvalidValue)
+	// So does the materializing wait.
+	wantCode(t, m.Wait(Materialize), InvalidValue)
+	// GrB_error returns the implementation-defined string.
+	if m.ErrorString() == "" {
+		t.Fatal("ErrorString should describe the failure")
+	}
+}
+
+// TestBlockingModeReportsImmediately: the same failure in blocking mode is
+// returned by the offending call itself.
+func TestBlockingModeReportsImmediately(t *testing.T) {
+	setMode(t, Blocking)
+	m, _ := NewMatrix[int](2, 2)
+	err := m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
+	wantCode(t, err, InvalidValue)
+}
+
+// TestErrorStateSticky: once a sequence fails, subsequent operations on the
+// object report the error rather than computing on undefined state.
+func TestErrorStateSticky(t *testing.T) {
+	setMode(t, NonBlocking)
+	m, _ := NewMatrix[int](2, 2)
+	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
+	_ = m.Wait(Complete)
+	// using the broken object as an operation output fails
+	a := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
+	wantCode(t, MxM(m, nil, nil, PlusTimes[int](), a, a, nil), InvalidValue)
+	// and as an input too (the sequence cannot be completed)
+	c, _ := NewMatrix[int](2, 2)
+	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), m, a, nil), InvalidValue)
+	// the downstream object must NOT inherit a parked error from the failed
+	// call — that call never enqueued
+	if err := c.Wait(Materialize); err != nil {
+		t.Fatalf("downstream object poisoned: %v", err)
+	}
+}
+
+// TestErrorStringThreadSafe: §V requires GrB_error to be callable from two
+// threads on the same object without synchronization.
+func TestErrorStringThreadSafe(t *testing.T) {
+	setMode(t, NonBlocking)
+	m, _ := NewMatrix[int](2, 2)
+	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
+	_ = m.Wait(Complete)
+	done := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- m.ErrorString() }()
+	}
+	s1, s2 := <-done, <-done
+	if s1 != s2 || s1 == "" {
+		t.Fatalf("concurrent ErrorString: %q vs %q", s1, s2)
+	}
+}
+
+// TestWaitModeValidation: Wait validates its mode argument (API error).
+func TestWaitModeValidation(t *testing.T) {
+	setMode(t, NonBlocking)
+	m, _ := NewMatrix[int](2, 2)
+	wantCode(t, m.Wait(WaitMode(9)), InvalidValue)
+	v, _ := NewVector[int](2)
+	wantCode(t, v.Wait(WaitMode(-1)), InvalidValue)
+}
+
+// TestSequenceContinuationAcrossWaits mirrors §V's two-thread sequence
+// description: one part of a sequence runs, Wait(Complete) is called, the
+// sequence continues, and the materializing wait at the end succeeds.
+func TestSequenceContinuationAcrossWaits(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{1, 1})
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(Complete); err != nil {
+		t.Fatal(err)
+	}
+	// continue the sequence (second "thread" in the paper's scenario)
+	if err := MxM(c, nil, Plus[int], PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(Materialize); err != nil {
+		t.Fatal(err)
+	}
+	// (A²)(0,0) = 1; accumulated twice = 2
+	if v, _, _ := c.ExtractElement(0, 0); v != 2 {
+		t.Fatalf("c(0,0) = %d", v)
+	}
+}

@@ -1,0 +1,236 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// EWiseAddMatrix computes C⟨M⟩ = C ⊙ (A ⊕ B): the element-wise "addition"
+// whose result pattern is the union of A's and B's patterns (GrB_eWiseAdd).
+// Entries present in only one input pass through unchanged, which is why the
+// Go binding requires a single domain T for all operands (the C spec
+// typecasts pass-through values).
+func EWiseAddMatrix[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], a, b *Matrix[T], desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if err := b.check(); err != nil {
+		return err
+	}
+	if op == nil {
+		return errf(NullPointer, "EWiseAddMatrix: nil operator")
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx, b.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	bcsr, err := b.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	br, bc := bcsr.Rows, bcsr.Cols
+	if d.Transpose1 {
+		br, bc = bc, br
+	}
+	if ar != br || ac != bc || cOld.Rows != ar || cOld.Cols != ac {
+		return errf(DimensionMismatch, "EWiseAddMatrix: shapes %dx%d, %dx%d, %dx%d incompatible",
+			cOld.Rows, cOld.Cols, ar, ac, br, bc)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		B := maybeTranspose(bcsr, d.Transpose1)
+		t := sparse.EWiseAddM(A, B, op, threads)
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// EWiseMultMatrix computes C⟨M⟩ = C ⊙ (A ⊗ B): the element-wise
+// "multiplication" whose result pattern is the intersection of A's and B's
+// patterns (GrB_eWiseMult). Since every output value flows through op, the
+// three domains may differ.
+func EWiseMultMatrix[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, DC, DC],
+	op BinaryOp[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if err := b.check(); err != nil {
+		return err
+	}
+	if op == nil {
+		return errf(NullPointer, "EWiseMultMatrix: nil operator")
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx, b.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	bcsr, err := b.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	br, bc := bcsr.Rows, bcsr.Cols
+	if d.Transpose1 {
+		br, bc = bc, br
+	}
+	if ar != br || ac != bc || cOld.Rows != ar || cOld.Cols != ac {
+		return errf(DimensionMismatch, "EWiseMultMatrix: shapes %dx%d, %dx%d, %dx%d incompatible",
+			cOld.Rows, cOld.Cols, ar, ac, br, bc)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		B := maybeTranspose(bcsr, d.Transpose1)
+		t := sparse.EWiseMultM(A, B, op, threads)
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// EWiseAddVector computes w⟨m⟩ = w ⊙ (u ⊕ v) with union pattern
+// (GrB_eWiseAdd on vectors).
+func EWiseAddVector[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], u, v *Vector[T], desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	if err := v.check(); err != nil {
+		return err
+	}
+	if op == nil {
+		return errf(NullPointer, "EWiseAddVector: nil operator")
+	}
+	ctxs := append([]*Context{w.ctx, u.ctx, v.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	vvec, err := v.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	if uvec.N != vvec.N || wOld.N != uvec.N {
+		return errf(DimensionMismatch, "EWiseAddVector: sizes %d, %d, %d incompatible", wOld.N, uvec.N, vvec.N)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		t := sparse.EWiseAddV(uvec, vvec, op)
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}
+
+// EWiseMultVector computes w⟨m⟩ = w ⊙ (u ⊗ v) with intersection pattern
+// (GrB_eWiseMult on vectors).
+func EWiseMultVector[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, DC, DC],
+	op BinaryOp[DA, DB, DC], u *Vector[DA], v *Vector[DB], desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	if err := v.check(); err != nil {
+		return err
+	}
+	if op == nil {
+		return errf(NullPointer, "EWiseMultVector: nil operator")
+	}
+	ctxs := append([]*Context{w.ctx, u.ctx, v.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	vvec, err := v.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	if uvec.N != vvec.N || wOld.N != uvec.N {
+		return errf(DimensionMismatch, "EWiseMultVector: sizes %d, %d, %d incompatible", wOld.N, uvec.N, vvec.N)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+		t := sparse.EWiseMultV(uvec, vvec, op)
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}

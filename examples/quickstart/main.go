@@ -1,0 +1,68 @@
+// Quickstart: build a small weighted digraph as a GraphBLAS matrix, run one
+// semiring product, and inspect the result — the "hello world" of the grb
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grb "github.com/grblas/grb"
+)
+
+func main() {
+	// Every GraphBLAS program starts by initializing the top-level context
+	// (GrB_init). Blocking mode: each call completes before returning.
+	if err := grb.Init(grb.Blocking); err != nil {
+		log.Fatal(err)
+	}
+	defer grb.Finalize()
+
+	// A 4-vertex digraph: 0→1 (w 2), 0→2 (w 1), 1→3 (w 5), 2→3 (w 1).
+	a, err := grb.NewMatrix[float64](4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Build(
+		[]grb.Index{0, 0, 1, 2},
+		[]grb.Index{1, 2, 3, 3},
+		[]float64{2, 1, 5, 1},
+		nil, // no duplicates: dup operator may be nil in GraphBLAS 2.0
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two-hop shortest paths: C = A min.+ A over the tropical semiring.
+	c, err := grb.NewMatrix[float64](4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := grb.MxM(c, nil, nil, grb.MinPlus[float64](), a, a, nil); err != nil {
+		log.Fatal(err)
+	}
+	I, J, X, err := c.ExtractTuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("two-hop shortest path lengths (min-plus product):")
+	for k := range I {
+		fmt.Printf("  %d -> %d : %g\n", I[k], J[k], X[k])
+	}
+
+	// Reduce to a GrB_Scalar (§VI): total weight of all two-hop paths.
+	total, err := grb.NewScalar[float64]()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := grb.MatrixReduceToScalar(total, nil, grb.PlusMonoid[float64](), c, nil); err != nil {
+		log.Fatal(err)
+	}
+	if v, ok, _ := total.ExtractElement(); ok {
+		fmt.Printf("sum of all two-hop path lengths: %g\n", v)
+	}
+
+	// Element access: the 0→3 two-hop distance should be min(2+5, 1+1) = 2.
+	if v, ok, _ := c.ExtractElement(0, 3); ok {
+		fmt.Printf("shortest two-hop 0 -> 3: %g\n", v)
+	}
+}

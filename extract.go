@@ -1,0 +1,205 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// MatrixExtract computes C⟨M⟩ = C ⊙ A(rows, cols): the submatrix of A
+// selected by the index lists (GrB_extract). nil index slices (grb.All)
+// select all indices; lists may repeat and reorder indices. C must be
+// len(rows) × len(cols).
+func MatrixExtract[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, T],
+	a *Matrix[T], rows, cols []Index, desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	er := ar
+	if rows != nil {
+		er = len(rows)
+		for _, r := range rows {
+			if r < 0 || r >= ar {
+				return errf(InvalidIndex, "MatrixExtract: row index %d outside %d rows", r, ar)
+			}
+		}
+	}
+	ec := ac
+	if cols != nil {
+		ec = len(cols)
+		for _, cc := range cols {
+			if cc < 0 || cc >= ac {
+				return errf(InvalidIndex, "MatrixExtract: column index %d outside %d columns", cc, ac)
+			}
+		}
+	}
+	if cOld.Rows != er || cOld.Cols != ec {
+		return errf(DimensionMismatch, "MatrixExtract: output is %dx%d but extraction is %dx%d", cOld.Rows, cOld.Cols, er, ec)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	ri := append([]Index(nil), rows...)
+	cj := append([]Index(nil), cols...)
+	if rows == nil {
+		ri = nil
+	}
+	if cols == nil {
+		cj = nil
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		t, err := sparse.ExtractM(A, ri, cj, threads)
+		if err != nil {
+			return nil, mapSparseErr(err, "MatrixExtract")
+		}
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// VectorExtract computes w⟨m⟩ = w ⊙ u(idx): the subvector of u selected by
+// the index list (GrB_extract on vectors). w must have size len(idx); nil
+// selects all of u.
+func VectorExtract[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, T],
+	u *Vector[T], idx []Index, desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	ctxs := append([]*Context{w.ctx, u.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	en := uvec.N
+	if idx != nil {
+		en = len(idx)
+		for _, i := range idx {
+			if i < 0 || i >= uvec.N {
+				return errf(InvalidIndex, "VectorExtract: index %d outside size %d", i, uvec.N)
+			}
+		}
+	}
+	if wOld.N != en {
+		return errf(DimensionMismatch, "VectorExtract: output has size %d but extraction has size %d", wOld.N, en)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	ci := append([]Index(nil), idx...)
+	if idx == nil {
+		ci = nil
+	}
+	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		t, err := sparse.ExtractV(uvec, ci)
+		if err != nil {
+			return nil, mapSparseErr(err, "VectorExtract")
+		}
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}
+
+// ColExtract computes w⟨m⟩ = w ⊙ A(rows, j): one column of A gathered
+// through a row index list (GrB_Col_extract). With the Transpose0
+// descriptor flag it extracts a row instead.
+func ColExtract[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, T],
+	a *Matrix[T], rows []Index, j Index, desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	ctxs := append([]*Context{w.ctx, a.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	if j < 0 || j >= ac {
+		return errf(InvalidIndex, "ColExtract: column %d outside %d columns", j, ac)
+	}
+	en := ar
+	if rows != nil {
+		en = len(rows)
+		for _, r := range rows {
+			if r < 0 || r >= ar {
+				return errf(InvalidIndex, "ColExtract: row index %d outside %d rows", r, ar)
+			}
+		}
+	}
+	if wOld.N != en {
+		return errf(DimensionMismatch, "ColExtract: output has size %d but extraction has size %d", wOld.N, en)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	ri := append([]Index(nil), rows...)
+	if rows == nil {
+		ri = nil
+	}
+	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		t, err := sparse.ExtractColV(A, ri, j)
+		if err != nil {
+			return nil, mapSparseErr(err, "ColExtract")
+		}
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}

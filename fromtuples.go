@@ -1,0 +1,58 @@
+package grb
+
+// MatrixFromTuples builds a new matrix directly from coordinate lists — a
+// Go-binding convenience over NewMatrix + Build for the overwhelmingly
+// common construction pattern. dup may be nil per §IX (duplicates then
+// raise an execution error).
+func MatrixFromTuples[T any](nrows, ncols Index, I, J []Index, X []T,
+	dup BinaryOp[T, T, T], opts ...ObjOption) (*Matrix[T], error) {
+	m, err := NewMatrix[T](nrows, ncols, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(I) > 0 {
+		if err := m.Build(I, J, X, dup); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// VectorFromTuples builds a new vector directly from coordinate lists.
+func VectorFromTuples[T any](size Index, I []Index, X []T,
+	dup BinaryOp[T, T, T], opts ...ObjOption) (*Vector[T], error) {
+	v, err := NewVector[T](size, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(I) > 0 {
+		if err := v.Build(I, X, dup); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// DenseVector builds a vector holding val at every position — a common
+// starting point for iterative algorithms (PageRank ranks, labels, ...).
+func DenseVector[T any](size Index, val T, opts ...ObjOption) (*Vector[T], error) {
+	v, err := NewVector[T](size, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := VectorAssignScalar(v, nil, nil, val, All, nil); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// IdentityMatrix builds the n×n identity over the given "one" value.
+func IdentityMatrix[T any](n Index, one T, opts ...ObjOption) (*Matrix[T], error) {
+	I := make([]Index, n)
+	X := make([]T, n)
+	for i := 0; i < n; i++ {
+		I[i] = i
+		X[i] = one
+	}
+	return MatrixFromTuples(n, n, I, I, X, nil, opts...)
+}

@@ -1,0 +1,3 @@
+module github.com/grblas/grb
+
+go 1.22

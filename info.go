@@ -1,0 +1,136 @@
+package grb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Info is the GraphBLAS return code enumeration. GraphBLAS 2.0 (§IX of the
+// paper) pins explicit values for every enumeration member so that programs
+// link correctly against any conforming implementation; the values below are
+// the ones the 2.0 C specification assigns.
+//
+// Codes are split into two kinds (§V):
+//
+//   - API errors (UninitializedObject .. NotImplemented) mean the method call
+//     itself was malformed. They are deterministic, never deferred — even in
+//     nonblocking mode — and guarantee that no arguments were modified.
+//   - Execution errors (Panic .. EmptyObject) mean something went wrong while
+//     executing a well-formed call. In nonblocking mode their reporting may be
+//     deferred until a materializing wait (see WaitMode).
+type Info int
+
+// Return codes with the values pinned by the GraphBLAS 2.0 specification.
+const (
+	// Success indicates the method completed successfully.
+	Success Info = 0
+	// NoValue is an informational code: the requested element is not stored.
+	NoValue Info = 1
+
+	// UninitializedObject: an object has not been initialized by a call to
+	// its constructor (or Init has not been called).
+	UninitializedObject Info = -1
+	// NullPointer: a required input was nil.
+	NullPointer Info = -2
+	// InvalidValue: an argument value is invalid (wrong mode, bad format,
+	// mismatched execution contexts, ...).
+	InvalidValue Info = -3
+	// InvalidIndex: an index argument is negative or too large for the
+	// object it addresses. Never deferred.
+	InvalidIndex Info = -4
+	// DomainMismatch: object domains are incompatible with the operation.
+	DomainMismatch Info = -5
+	// DimensionMismatch: object shapes are incompatible with the operation.
+	DimensionMismatch Info = -6
+	// OutputNotEmpty: Build was called on an object that already holds
+	// entries.
+	OutputNotEmpty Info = -7
+	// NotImplemented: the implementation does not support the requested
+	// feature.
+	NotImplemented Info = -8
+
+	// Panic: unrecoverable internal error.
+	Panic Info = -101
+	// OutOfMemory: allocation failed.
+	OutOfMemory Info = -102
+	// InsufficientSpace: a caller-provided buffer is too small.
+	InsufficientSpace Info = -103
+	// InvalidObject: an object is internally inconsistent.
+	InvalidObject Info = -104
+	// IndexOutOfBounds: a computed index fell outside the object (an
+	// execution error, distinct from the API error InvalidIndex).
+	IndexOutOfBounds Info = -105
+	// EmptyObject: an operation required a value from an empty Scalar.
+	EmptyObject Info = -106
+)
+
+// infoNames maps codes to their spec names.
+var infoNames = map[Info]string{
+	Success:             "GrB_SUCCESS",
+	NoValue:             "GrB_NO_VALUE",
+	UninitializedObject: "GrB_UNINITIALIZED_OBJECT",
+	NullPointer:         "GrB_NULL_POINTER",
+	InvalidValue:        "GrB_INVALID_VALUE",
+	InvalidIndex:        "GrB_INVALID_INDEX",
+	DomainMismatch:      "GrB_DOMAIN_MISMATCH",
+	DimensionMismatch:   "GrB_DIMENSION_MISMATCH",
+	OutputNotEmpty:      "GrB_OUTPUT_NOT_EMPTY",
+	NotImplemented:      "GrB_NOT_IMPLEMENTED",
+	Panic:               "GrB_PANIC",
+	OutOfMemory:         "GrB_OUT_OF_MEMORY",
+	InsufficientSpace:   "GrB_INSUFFICIENT_SPACE",
+	InvalidObject:       "GrB_INVALID_OBJECT",
+	IndexOutOfBounds:    "GrB_INDEX_OUT_OF_BOUNDS",
+	EmptyObject:         "GrB_EMPTY_OBJECT",
+}
+
+// String returns the spec name of the code.
+func (i Info) String() string {
+	if s, ok := infoNames[i]; ok {
+		return s
+	}
+	return fmt.Sprintf("GrB_Info(%d)", int(i))
+}
+
+// IsAPIError reports whether the code is an API error: deterministic,
+// never deferred, and guaranteed not to have modified any argument (§V).
+func (i Info) IsAPIError() bool { return i <= UninitializedObject && i >= NotImplemented }
+
+// IsExecutionError reports whether the code is an execution error: a
+// failure during execution of a well-formed call, whose reporting may be
+// deferred in nonblocking mode (§V).
+func (i Info) IsExecutionError() bool { return i <= Panic && i >= EmptyObject }
+
+// Error is the concrete error type returned by all grb methods. It carries
+// the GraphBLAS Info code plus an implementation-defined message (the string
+// GrB_error exposes).
+type Error struct {
+	Info Info
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return e.Info.String()
+	}
+	return e.Info.String() + ": " + e.Msg
+}
+
+// errf builds an *Error.
+func errf(info Info, format string, args ...any) *Error {
+	return &Error{Info: info, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Code extracts the Info code from an error returned by this package.
+// A nil error maps to Success; a foreign error maps to Panic.
+func Code(err error) Info {
+	if err == nil {
+		return Success
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Info
+	}
+	return Panic
+}

@@ -1,0 +1,89 @@
+package grb
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInfoPinnedValues checks the §IX requirement that enumeration members
+// carry the exact values the specification assigns, so separately compiled
+// programs agree.
+func TestInfoPinnedValues(t *testing.T) {
+	pinned := map[Info]int{
+		Success:             0,
+		NoValue:             1,
+		UninitializedObject: -1,
+		NullPointer:         -2,
+		InvalidValue:        -3,
+		InvalidIndex:        -4,
+		DomainMismatch:      -5,
+		DimensionMismatch:   -6,
+		OutputNotEmpty:      -7,
+		NotImplemented:      -8,
+		Panic:               -101,
+		OutOfMemory:         -102,
+		InsufficientSpace:   -103,
+		InvalidObject:       -104,
+		IndexOutOfBounds:    -105,
+		EmptyObject:         -106,
+	}
+	for code, want := range pinned {
+		if int(code) != want {
+			t.Errorf("%v = %d, want %d", code, int(code), want)
+		}
+	}
+}
+
+func TestInfoClassification(t *testing.T) {
+	apiErrors := []Info{UninitializedObject, NullPointer, InvalidValue, InvalidIndex,
+		DomainMismatch, DimensionMismatch, OutputNotEmpty, NotImplemented}
+	execErrors := []Info{Panic, OutOfMemory, InsufficientSpace, InvalidObject,
+		IndexOutOfBounds, EmptyObject}
+	for _, c := range apiErrors {
+		if !c.IsAPIError() || c.IsExecutionError() {
+			t.Errorf("%v misclassified (api=%v exec=%v)", c, c.IsAPIError(), c.IsExecutionError())
+		}
+	}
+	for _, c := range execErrors {
+		if c.IsAPIError() || !c.IsExecutionError() {
+			t.Errorf("%v misclassified (api=%v exec=%v)", c, c.IsAPIError(), c.IsExecutionError())
+		}
+	}
+	for _, c := range []Info{Success, NoValue} {
+		if c.IsAPIError() || c.IsExecutionError() {
+			t.Errorf("%v misclassified as error", c)
+		}
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	if Success.String() != "GrB_SUCCESS" {
+		t.Errorf("Success.String() = %q", Success.String())
+	}
+	if IndexOutOfBounds.String() != "GrB_INDEX_OUT_OF_BOUNDS" {
+		t.Errorf("IndexOutOfBounds.String() = %q", IndexOutOfBounds.String())
+	}
+	if Info(999).String() != "GrB_Info(999)" {
+		t.Errorf("unknown code String() = %q", Info(999).String())
+	}
+}
+
+func TestErrorAndCode(t *testing.T) {
+	e := errf(DimensionMismatch, "a %d", 3)
+	if e.Error() != "GrB_DIMENSION_MISMATCH: a 3" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	if Code(e) != DimensionMismatch {
+		t.Errorf("Code = %v", Code(e))
+	}
+	if Code(nil) != Success {
+		t.Errorf("Code(nil) = %v", Code(nil))
+	}
+	if Code(errors.New("other")) != Panic {
+		t.Errorf("Code(foreign) = %v", Code(errors.New("other")))
+	}
+	bare := &Error{Info: OutOfMemory}
+	if bare.Error() != "GrB_OUT_OF_MEMORY" {
+		t.Errorf("bare Error() = %q", bare.Error())
+	}
+}

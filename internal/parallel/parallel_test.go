@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	f := func(nRaw uint8, tRaw uint8) bool {
+		n := int(nRaw)
+		threads := 1 + int(tRaw)%16
+		var hits []int32
+		if n > 0 {
+			hits = make([]int32, n)
+		}
+		For(n, threads, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i := range hits {
+			if hits[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForDegenerate(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("called for n=0")
+	}
+	For(5, 0, func(lo, hi int) {
+		if lo != 0 || hi != 5 {
+			t.Fatal("threads<=1 should run inline over the whole range")
+		}
+	})
+}
+
+func TestRangesProperties(t *testing.T) {
+	f := func(nRaw uint8, kRaw uint8) bool {
+		n := int(nRaw)
+		k := int(kRaw)
+		b := Ranges(n, k)
+		if len(b) < 2 && n > 0 {
+			return false
+		}
+		if b[0] != 0 || b[len(b)-1] != n {
+			return false
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedRangesBalanceAndCoverage(t *testing.T) {
+	// skewed row weights: one heavy row among many light rows
+	rows := 64
+	ptr := make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		w := 1
+		if i == 10 {
+			w = 1000
+		}
+		ptr[i+1] = ptr[i] + w
+	}
+	b := BalancedRanges(rows, 8, ptr)
+	if b[0] != 0 || b[len(b)-1] != rows {
+		t.Fatalf("coverage: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("monotonicity: %v", b)
+		}
+	}
+	// the heavy row must sit alone-ish: its range should hold most weight
+	// and the partition must not put everything in one range.
+	nonEmpty := 0
+	for i := 1; i < len(b); i++ {
+		if b[i] > b[i-1] {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("no parallelism extracted: %v", b)
+	}
+	// degenerate inputs
+	if b := BalancedRanges(0, 4, []int{0}); b[len(b)-1] != 0 {
+		t.Fatal("rows=0")
+	}
+	uniform := make([]int, 11)
+	for i := range uniform {
+		uniform[i] = i
+	}
+	b2 := BalancedRanges(10, 3, uniform)
+	if b2[0] != 0 || b2[len(b2)-1] != 10 {
+		t.Fatalf("uniform coverage: %v", b2)
+	}
+}
+
+func TestRunVisitsEveryRange(t *testing.T) {
+	b := []int{0, 3, 3, 7, 10} // middle range empty
+	var total int64
+	var calls int64
+	Run(b, 2, func(part, lo, hi int) {
+		atomic.AddInt64(&calls, 1)
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 10 {
+		t.Fatalf("covered %d elements", total)
+	}
+	if calls != 3 { // empty range skipped
+		t.Fatalf("calls = %d", calls)
+	}
+}

@@ -1,0 +1,152 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level microbenchmarks: the raw substrate costs underneath the
+// public-API benchmarks at the repository root. Densities are chosen to
+// mimic graph adjacency matrices (~8 entries/row).
+
+func benchMatrix(n int, seed int64) *CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewCSR[float64](n, n)
+	per := 8
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{}
+		for k := 0; k < per; k++ {
+			seen[rng.Intn(n)] = true
+		}
+		cols := make([]int, 0, len(seen))
+		for j := range seen {
+			cols = append(cols, j)
+		}
+		// insertion order doesn't matter for the bench; sort for validity
+		for x := 1; x < len(cols); x++ {
+			for y := x; y > 0 && cols[y-1] > cols[y]; y-- {
+				cols[y-1], cols[y] = cols[y], cols[y-1]
+			}
+		}
+		for _, j := range cols {
+			out.Ind = append(out.Ind, j)
+			out.Val = append(out.Val, rng.Float64())
+		}
+		out.Ptr[i+1] = len(out.Ind)
+	}
+	return out
+}
+
+var addF = func(a, b float64) float64 { return a + b }
+var mulF = func(a, b float64) float64 { return a * b }
+
+func BenchmarkKernelSpGEMM(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		a := benchMatrix(n, 1)
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/threads=%d", n, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					SpGEMM(a, a, mulF, addF, Mask{}, threads)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKernelSpGEMMMasked(b *testing.B) {
+	n := 2048
+	a := benchMatrix(n, 1)
+	mask := &CSR[bool]{Rows: n, Cols: n, Ptr: a.Ptr, Ind: a.Ind, Val: make([]bool, len(a.Ind))}
+	for i := range mask.Val {
+		mask.Val[i] = true
+	}
+	b.Run("structural-mask", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SpGEMM(a, a, mulF, addF, Mask{M: mask, Structural: true}, 1)
+		}
+	})
+}
+
+func BenchmarkKernelSpMV(b *testing.B) {
+	a := benchMatrix(4096, 2)
+	u := &Vec[float64]{N: 4096}
+	for i := 0; i < 4096; i++ {
+		u.Ind = append(u.Ind, i)
+		u.Val = append(u.Val, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMV(a, u, mulF, addF, VMask{}, 1)
+	}
+}
+
+func BenchmarkKernelVxMSparse(b *testing.B) {
+	a := benchMatrix(4096, 2)
+	u := &Vec[float64]{N: 4096}
+	for i := 0; i < 4096; i += 128 { // 32-entry frontier
+		u.Ind = append(u.Ind, i)
+		u.Val = append(u.Val, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VxM(u, a, mulF, addF, VMask{}, 1)
+	}
+}
+
+func BenchmarkKernelEWiseAdd(b *testing.B) {
+	x := benchMatrix(4096, 3)
+	y := benchMatrix(4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EWiseAddM(x, y, addF, 1)
+	}
+}
+
+func BenchmarkKernelTranspose(b *testing.B) {
+	a := benchMatrix(4096, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(a)
+	}
+}
+
+func BenchmarkKernelSelect(b *testing.B) {
+	a := benchMatrix(4096, 6)
+	f := func(v float64, i, j int, s int) bool { return j > i }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectM(a, f, 0, 1)
+	}
+}
+
+func BenchmarkKernelBuildCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 4096
+	m := 8 * n
+	I := make([]int, m)
+	J := make([]int, m)
+	X := make([]float64, m)
+	for k := 0; k < m; k++ {
+		I[k] = rng.Intn(n)
+		J[k] = rng.Intn(n)
+		X[k] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = BuildCSR(n, n, I, J, X, addF)
+	}
+}
+
+func BenchmarkKernelMaskApply(b *testing.B) {
+	c := benchMatrix(4096, 8)
+	z := benchMatrix(4096, 9)
+	mask := &CSR[bool]{Rows: c.Rows, Cols: c.Cols, Ptr: c.Ptr, Ind: c.Ind, Val: make([]bool, len(c.Ind))}
+	for i := range mask.Val {
+		mask.Val[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskApplyM(c, z, Mask{M: mask}, false, 1)
+	}
+}

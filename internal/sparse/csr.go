@@ -1,0 +1,292 @@
+// Package sparse is the sparse linear-algebra substrate underneath the public
+// GraphBLAS 2.0 API. It provides generic compressed-sparse-row matrices,
+// sorted-coordinate vectors, and the computational kernels (SpGEMM, SpMV,
+// element-wise merges, apply/select with index operators, extract, assign,
+// reduce, transpose, Kronecker, mask/accumulator application) that the grb
+// package wraps with GraphBLAS semantics (masks, accumulators, descriptors,
+// modes, contexts).
+//
+// All structures in this package are treated as immutable once built: kernels
+// always allocate fresh output buffers and never mutate their inputs. The grb
+// layer relies on this to snapshot operands for deferred (nonblocking-mode)
+// sequences, per §III of the GraphBLAS 2.0 paper.
+package sparse
+
+import (
+	"errors"
+	"sort"
+)
+
+// Errors surfaced by substrate kernels. The grb layer maps these onto
+// GraphBLAS Info codes (execution errors, §V of the paper).
+var (
+	// ErrDuplicate reports duplicate coordinates in a build whose dup
+	// operator is nil (GraphBLAS 2.0 §IX: duplicates become an execution
+	// error when no dup function is supplied).
+	ErrDuplicate = errors.New("sparse: duplicate coordinates with nil dup operator")
+	// ErrIndexOutOfBounds reports a coordinate outside the object's shape.
+	ErrIndexOutOfBounds = errors.New("sparse: index out of bounds")
+)
+
+// CSR is a generic compressed-sparse-row matrix. Column indices within each
+// row are sorted and unique. Ptr has length Rows+1; row i occupies
+// Ind[Ptr[i]:Ptr[i+1]] and Val[Ptr[i]:Ptr[i+1]].
+type CSR[T any] struct {
+	Rows, Cols int
+	Ptr        []int
+	Ind        []int
+	Val        []T
+}
+
+// NewCSR returns an empty rows×cols matrix.
+func NewCSR[T any](rows, cols int) *CSR[T] {
+	return &CSR[T]{Rows: rows, Cols: cols, Ptr: make([]int, rows+1)}
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR[T]) NNZ() int { return len(m.Ind) }
+
+// Row returns the column-index and value slices of row i (views, do not
+// mutate).
+func (m *CSR[T]) Row(i int) ([]int, []T) {
+	lo, hi := m.Ptr[i], m.Ptr[i+1]
+	return m.Ind[lo:hi], m.Val[lo:hi]
+}
+
+// Clone returns a deep copy.
+func (m *CSR[T]) Clone() *CSR[T] {
+	c := &CSR[T]{Rows: m.Rows, Cols: m.Cols,
+		Ptr: make([]int, len(m.Ptr)),
+		Ind: make([]int, len(m.Ind)),
+		Val: make([]T, len(m.Val))}
+	copy(c.Ptr, m.Ptr)
+	copy(c.Ind, m.Ind)
+	copy(c.Val, m.Val)
+	return c
+}
+
+// Get returns the entry at (i, j) and whether it is present. Callers must
+// have validated 0 <= i < Rows, 0 <= j < Cols.
+func (m *CSR[T]) Get(i, j int) (T, bool) {
+	ind, val := m.Row(i)
+	k := sort.SearchInts(ind, j)
+	if k < len(ind) && ind[k] == j {
+		return val[k], true
+	}
+	var zero T
+	return zero, false
+}
+
+// Tuples appends the (row, col, value) triples of m in row-major order to the
+// provided slices and returns them. Pass nils to allocate fresh slices.
+func (m *CSR[T]) Tuples(I, J []int, X []T) ([]int, []int, []T) {
+	for i := 0; i < m.Rows; i++ {
+		ind, val := m.Row(i)
+		for k := range ind {
+			I = append(I, i)
+			J = append(J, ind[k])
+			X = append(X, val[k])
+		}
+	}
+	return I, J, X
+}
+
+// Valid performs an internal-consistency check, used by tests and by the
+// grb layer's InvalidObject detection.
+func (m *CSR[T]) Valid() bool {
+	if m.Rows < 0 || m.Cols < 0 || len(m.Ptr) != m.Rows+1 {
+		return false
+	}
+	if m.Ptr[0] != 0 || m.Ptr[m.Rows] != len(m.Ind) || len(m.Ind) != len(m.Val) {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.Ptr[i] < 0 || m.Ptr[i] > m.Ptr[i+1] || m.Ptr[i+1] > len(m.Ind) {
+			return false
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		ind, _ := m.Row(i)
+		for k := range ind {
+			if ind[k] < 0 || ind[k] >= m.Cols {
+				return false
+			}
+			if k > 0 && ind[k-1] >= ind[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildCSR constructs a rows×cols CSR matrix from coordinate triples
+// (I[k], J[k], X[k]). Duplicate coordinates are combined with dup (first
+// argument is the earlier value in input order); if dup is nil, duplicates
+// yield ErrDuplicate — the GraphBLAS 2.0 §IX behaviour where the dup operator
+// became optional and its absence turns duplicates into an execution error.
+func BuildCSR[T any](rows, cols int, I, J []int, X []T, dup func(T, T) T) (*CSR[T], error) {
+	n := len(I)
+	if len(J) != n || len(X) != n {
+		return nil, errors.New("sparse: build slices have unequal lengths")
+	}
+	for k := 0; k < n; k++ {
+		if I[k] < 0 || I[k] >= rows || J[k] < 0 || J[k] >= cols {
+			return nil, ErrIndexOutOfBounds
+		}
+	}
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		if I[ka] != I[kb] {
+			return I[ka] < I[kb]
+		}
+		return J[ka] < J[kb]
+	})
+	m := &CSR[T]{Rows: rows, Cols: cols,
+		Ptr: make([]int, rows+1),
+		Ind: make([]int, 0, n),
+		Val: make([]T, 0, n)}
+	for s := 0; s < n; {
+		k := perm[s]
+		i, j, v := I[k], J[k], X[k]
+		s++
+		for s < n && I[perm[s]] == i && J[perm[s]] == j {
+			if dup == nil {
+				return nil, ErrDuplicate
+			}
+			v = dup(v, X[perm[s]])
+			s++
+		}
+		m.Ind = append(m.Ind, j)
+		m.Val = append(m.Val, v)
+		m.Ptr[i+1]++
+	}
+	for i := 0; i < rows; i++ {
+		m.Ptr[i+1] += m.Ptr[i]
+	}
+	return m, nil
+}
+
+// Tuple is a pending coordinate update: set (Del=false) or delete (Del=true).
+// The grb layer accumulates setElement/removeElement calls as Tuples and
+// merges them lazily, which is what lets a GraphBLAS sequence defer work in
+// nonblocking mode.
+type Tuple[T any] struct {
+	Row, Col int
+	Val      T
+	Del      bool
+}
+
+// MergeTuples folds a list of pending updates into m, later updates winning
+// over earlier ones and over existing entries (setElement semantics).
+// Deletions remove entries. Returns a fresh matrix.
+func MergeTuples[T any](m *CSR[T], tuples []Tuple[T]) (*CSR[T], error) {
+	if len(tuples) == 0 {
+		return m, nil
+	}
+	for _, t := range tuples {
+		if t.Row < 0 || t.Row >= m.Rows || t.Col < 0 || t.Col >= m.Cols {
+			return nil, ErrIndexOutOfBounds
+		}
+	}
+	// Stable sort by coordinate; for equal coordinates the last in program
+	// order must win, so walk groups and keep the final element.
+	ts := make([]Tuple[T], len(tuples))
+	copy(ts, tuples)
+	sort.SliceStable(ts, func(a, b int) bool {
+		if ts[a].Row != ts[b].Row {
+			return ts[a].Row < ts[b].Row
+		}
+		return ts[a].Col < ts[b].Col
+	})
+	dedup := ts[:0]
+	for s := 0; s < len(ts); {
+		e := s
+		for e+1 < len(ts) && ts[e+1].Row == ts[s].Row && ts[e+1].Col == ts[s].Col {
+			e++
+		}
+		dedup = append(dedup, ts[e])
+		s = e + 1
+	}
+	ts = dedup
+
+	out := &CSR[T]{Rows: m.Rows, Cols: m.Cols,
+		Ptr: make([]int, m.Rows+1),
+		Ind: make([]int, 0, len(m.Ind)+len(ts)),
+		Val: make([]T, 0, len(m.Val)+len(ts))}
+	p := 0 // cursor into ts
+	for i := 0; i < m.Rows; i++ {
+		ind, val := m.Row(i)
+		k := 0
+		for k < len(ind) || (p < len(ts) && ts[p].Row == i) {
+			tActive := p < len(ts) && ts[p].Row == i
+			switch {
+			case tActive && (k >= len(ind) || ts[p].Col < ind[k]):
+				if !ts[p].Del {
+					out.Ind = append(out.Ind, ts[p].Col)
+					out.Val = append(out.Val, ts[p].Val)
+				}
+				p++
+			case tActive && ts[p].Col == ind[k]:
+				if !ts[p].Del {
+					out.Ind = append(out.Ind, ts[p].Col)
+					out.Val = append(out.Val, ts[p].Val)
+				}
+				p++
+				k++
+			default:
+				out.Ind = append(out.Ind, ind[k])
+				out.Val = append(out.Val, val[k])
+				k++
+			}
+		}
+		out.Ptr[i+1] = len(out.Ind)
+	}
+	return out, nil
+}
+
+// Resize returns a copy of m with the new shape. Entries outside the new
+// shape are dropped; growing adds empty space (GrB_Matrix_resize semantics).
+func (m *CSR[T]) Resize(rows, cols int) *CSR[T] {
+	out := &CSR[T]{Rows: rows, Cols: cols, Ptr: make([]int, rows+1)}
+	keep := m.Rows
+	if rows < keep {
+		keep = rows
+	}
+	for i := 0; i < keep; i++ {
+		ind, val := m.Row(i)
+		for k := range ind {
+			if ind[k] < cols {
+				out.Ind = append(out.Ind, ind[k])
+				out.Val = append(out.Val, val[k])
+			}
+		}
+		out.Ptr[i+1] = len(out.Ind)
+	}
+	for i := keep; i < rows; i++ {
+		out.Ptr[i+1] = len(out.Ind)
+	}
+	return out
+}
+
+// EqualFunc reports whether a and b have identical shape, pattern, and
+// values under eq.
+func EqualFunc[T any](a, b *CSR[T], eq func(T, T) bool) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Ptr {
+		if a.Ptr[i] != b.Ptr[i] {
+			return false
+		}
+	}
+	for k := range a.Ind {
+		if a.Ind[k] != b.Ind[k] || !eq(a.Val[k], b.Val[k]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package sparse
+
+import "github.com/grblas/grb/internal/parallel"
+
+// mergeUnionM computes the set-union merge of two same-domain matrices,
+// combining entries present in both with add. Rows are processed in
+// parallel.
+func mergeUnionM[T any](a, b *CSR[T], add func(T, T) T, threads int) *CSR[T] {
+	out := NewCSR[T](a.Rows, a.Cols)
+	parts := parallel.Ranges(a.Rows, threads)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]T, nparts)
+	rowLen := make([]int, a.Rows)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		var ind []int
+		var val []T
+		for i := lo; i < hi; i++ {
+			aInd, aVal := a.Row(i)
+			bInd, bVal := b.Row(i)
+			start := len(ind)
+			ai, bi := 0, 0
+			for ai < len(aInd) || bi < len(bInd) {
+				switch {
+				case bi >= len(bInd) || (ai < len(aInd) && aInd[ai] < bInd[bi]):
+					ind = append(ind, aInd[ai])
+					val = append(val, aVal[ai])
+					ai++
+				case ai >= len(aInd) || bInd[bi] < aInd[ai]:
+					ind = append(ind, bInd[bi])
+					val = append(val, bVal[bi])
+					bi++
+				default:
+					ind = append(ind, aInd[ai])
+					val = append(val, add(aVal[ai], bVal[bi]))
+					ai++
+					bi++
+				}
+			}
+			rowLen[i] = len(ind) - start
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	stitch(out, parts, pInd, pVal, rowLen)
+	return out
+}
+
+// EWiseAddM computes the element-wise "addition" T = A ⊕ B: the union of the
+// two patterns, with add applied where both inputs have an entry and the
+// single value passed through otherwise (GraphBLAS eWiseAdd). The Go binding
+// restricts eWiseAdd to a single domain because pass-through of one-sided
+// entries requires an implicit typecast in the C spec.
+func EWiseAddM[T any](a, b *CSR[T], add func(T, T) T, threads int) *CSR[T] {
+	return mergeUnionM(a, b, add, threads)
+}
+
+// EWiseMultM computes the element-wise "multiplication" T = A ⊗ B: the
+// intersection of the two patterns with mul applied to each co-located pair.
+// Because no value passes through unchanged, the domains may all differ.
+func EWiseMultM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) *CSR[C] {
+	out := NewCSR[C](a.Rows, a.Cols)
+	parts := parallel.Ranges(a.Rows, threads)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]C, nparts)
+	rowLen := make([]int, a.Rows)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		var ind []int
+		var val []C
+		for i := lo; i < hi; i++ {
+			aInd, aVal := a.Row(i)
+			bInd, bVal := b.Row(i)
+			start := len(ind)
+			ai, bi := 0, 0
+			for ai < len(aInd) && bi < len(bInd) {
+				switch {
+				case aInd[ai] < bInd[bi]:
+					ai++
+				case bInd[bi] < aInd[ai]:
+					bi++
+				default:
+					ind = append(ind, aInd[ai])
+					val = append(val, mul(aVal[ai], bVal[bi]))
+					ai++
+					bi++
+				}
+			}
+			rowLen[i] = len(ind) - start
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	stitch(out, parts, pInd, pVal, rowLen)
+	return out
+}
+
+// EWiseAddV is the vector analogue of EWiseAddM.
+func EWiseAddV[T any](a, b *Vec[T], add func(T, T) T) *Vec[T] {
+	out := &Vec[T]{N: a.N, Ind: make([]int, 0, len(a.Ind)+len(b.Ind)), Val: make([]T, 0, len(a.Val)+len(b.Val))}
+	ai, bi := 0, 0
+	for ai < len(a.Ind) || bi < len(b.Ind) {
+		switch {
+		case bi >= len(b.Ind) || (ai < len(a.Ind) && a.Ind[ai] < b.Ind[bi]):
+			out.Ind = append(out.Ind, a.Ind[ai])
+			out.Val = append(out.Val, a.Val[ai])
+			ai++
+		case ai >= len(a.Ind) || b.Ind[bi] < a.Ind[ai]:
+			out.Ind = append(out.Ind, b.Ind[bi])
+			out.Val = append(out.Val, b.Val[bi])
+			bi++
+		default:
+			out.Ind = append(out.Ind, a.Ind[ai])
+			out.Val = append(out.Val, add(a.Val[ai], b.Val[bi]))
+			ai++
+			bi++
+		}
+	}
+	return out
+}
+
+// EWiseMultV is the vector analogue of EWiseMultM.
+func EWiseMultV[A, B, C any](a *Vec[A], b *Vec[B], mul func(A, B) C) *Vec[C] {
+	out := &Vec[C]{N: a.N}
+	ai, bi := 0, 0
+	for ai < len(a.Ind) && bi < len(b.Ind) {
+		switch {
+		case a.Ind[ai] < b.Ind[bi]:
+			ai++
+		case b.Ind[bi] < a.Ind[ai]:
+			bi++
+		default:
+			out.Ind = append(out.Ind, a.Ind[ai])
+			out.Val = append(out.Val, mul(a.Val[ai], b.Val[bi]))
+			ai++
+			bi++
+		}
+	}
+	return out
+}

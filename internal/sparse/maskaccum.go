@@ -1,0 +1,215 @@
+package sparse
+
+import "github.com/grblas/grb/internal/parallel"
+
+// Mask bundles an optional boolean mask matrix with the descriptor flags
+// that control its interpretation (GraphBLAS masks, §2 of the C spec;
+// unchanged in 2.0 but exercised by every operation here).
+type Mask struct {
+	M          *CSR[bool]
+	Structural bool // use presence only, ignore stored values
+	Complement bool // invert the mask
+}
+
+// VMask is the vector analogue of Mask.
+type VMask struct {
+	M          *Vec[bool]
+	Structural bool
+	Complement bool
+}
+
+// test reports whether the mask admits position j given a cursor into the
+// mask row's index list; it advances *k past indices < j.
+func maskTest(ind []int, val []bool, structural bool, j int, k *int) bool {
+	for *k < len(ind) && ind[*k] < j {
+		*k++
+	}
+	present := *k < len(ind) && ind[*k] == j
+	if structural {
+		return present
+	}
+	return present && val[*k]
+}
+
+// AccumMergeM computes Z = C ⊙ T: the union merge of the old output C with
+// the freshly computed T, combining overlapping entries with accum. A nil
+// accum means Z = T (the operation result replaces C entirely, before
+// masking). This is the standard "accumulator step" of every GraphBLAS
+// operation.
+func AccumMergeM[T any](c, t *CSR[T], accum func(T, T) T, threads int) *CSR[T] {
+	if accum == nil {
+		return t
+	}
+	return mergeUnionM(c, t, func(cv, tv T) T { return accum(cv, tv) }, threads)
+}
+
+// AccumMergeV is the vector analogue of AccumMergeM.
+func AccumMergeV[T any](c, t *Vec[T], accum func(T, T) T) *Vec[T] {
+	if accum == nil {
+		return t
+	}
+	out := &Vec[T]{N: c.N, Ind: make([]int, 0, len(c.Ind)+len(t.Ind)), Val: make([]T, 0, len(c.Val)+len(t.Val))}
+	i, j := 0, 0
+	for i < len(c.Ind) || j < len(t.Ind) {
+		switch {
+		case j >= len(t.Ind) || (i < len(c.Ind) && c.Ind[i] < t.Ind[j]):
+			out.Ind = append(out.Ind, c.Ind[i])
+			out.Val = append(out.Val, c.Val[i])
+			i++
+		case i >= len(c.Ind) || t.Ind[j] < c.Ind[i]:
+			out.Ind = append(out.Ind, t.Ind[j])
+			out.Val = append(out.Val, t.Val[j])
+			j++
+		default:
+			out.Ind = append(out.Ind, c.Ind[i])
+			out.Val = append(out.Val, accum(c.Val[i], t.Val[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// MaskApplyM computes the final output of a matrix operation from the old
+// output C, the accumulated candidate Z, and the mask: positions where the
+// mask is true take Z's entry (or nothing, if Z has none); positions where
+// it is false keep C's entry unless replace is set, in which case they are
+// deleted. With a nil mask (and mask.Complement false) the result is simply
+// Z. This single kernel implements the replace/merge × structure ×
+// complement descriptor matrix semantics shared by all operations.
+func MaskApplyM[T any](c, z *CSR[T], mask Mask, replace bool, threads int) *CSR[T] {
+	if mask.M == nil && !mask.Complement {
+		return z
+	}
+	if mask.M == nil && mask.Complement {
+		// Complemented empty mask: everything masked out.
+		if replace {
+			return NewCSR[T](c.Rows, c.Cols)
+		}
+		return c
+	}
+	rows := c.Rows
+	out := NewCSR[T](c.Rows, c.Cols)
+	parts := parallel.Ranges(rows, threads)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]T, nparts)
+	rowLen := make([]int, rows)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		var ind []int
+		var val []T
+		for i := lo; i < hi; i++ {
+			cInd, cVal := c.Row(i)
+			zInd, zVal := z.Row(i)
+			mInd, mVal := mask.M.Row(i)
+			mk := 0
+			start := len(ind)
+			ci, zi := 0, 0
+			for ci < len(cInd) || zi < len(zInd) {
+				var j int
+				switch {
+				case zi >= len(zInd) || (ci < len(cInd) && cInd[ci] < zInd[zi]):
+					j = cInd[ci]
+				case ci >= len(cInd) || zInd[zi] < cInd[ci]:
+					j = zInd[zi]
+				default:
+					j = cInd[ci]
+				}
+				mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
+				if mask.Complement {
+					mt = !mt
+				}
+				hasC := ci < len(cInd) && cInd[ci] == j
+				hasZ := zi < len(zInd) && zInd[zi] == j
+				if mt {
+					if hasZ {
+						ind = append(ind, j)
+						val = append(val, zVal[zi])
+					}
+				} else if !replace && hasC {
+					ind = append(ind, j)
+					val = append(val, cVal[ci])
+				}
+				if hasC {
+					ci++
+				}
+				if hasZ {
+					zi++
+				}
+			}
+			rowLen[i] = len(ind) - start
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	stitch(out, parts, pInd, pVal, rowLen)
+	return out
+}
+
+// MaskApplyV is the vector analogue of MaskApplyM.
+func MaskApplyV[T any](c, z *Vec[T], mask VMask, replace bool) *Vec[T] {
+	if mask.M == nil && !mask.Complement {
+		return z
+	}
+	if mask.M == nil && mask.Complement {
+		if replace {
+			return NewVec[T](c.N)
+		}
+		return c
+	}
+	out := &Vec[T]{N: c.N}
+	mk := 0
+	ci, zi := 0, 0
+	for ci < len(c.Ind) || zi < len(z.Ind) {
+		var j int
+		switch {
+		case zi >= len(z.Ind) || (ci < len(c.Ind) && c.Ind[ci] < z.Ind[zi]):
+			j = c.Ind[ci]
+		case ci >= len(c.Ind) || z.Ind[zi] < c.Ind[ci]:
+			j = z.Ind[zi]
+		default:
+			j = c.Ind[ci]
+		}
+		mt := maskTest(mask.M.Ind, mask.M.Val, mask.Structural, j, &mk)
+		if mask.Complement {
+			mt = !mt
+		}
+		hasC := ci < len(c.Ind) && c.Ind[ci] == j
+		hasZ := zi < len(z.Ind) && z.Ind[zi] == j
+		if mt {
+			if hasZ {
+				out.Ind = append(out.Ind, j)
+				out.Val = append(out.Val, z.Val[zi])
+			}
+		} else if !replace && hasC {
+			out.Ind = append(out.Ind, j)
+			out.Val = append(out.Val, c.Val[ci])
+		}
+		if hasC {
+			ci++
+		}
+		if hasZ {
+			zi++
+		}
+	}
+	return out
+}
+
+// stitch assembles per-partition row buffers into out. parts are the range
+// boundaries used to produce pInd/pVal; rowLen[i] is the emitted length of
+// row i. Shared by all row-parallel kernels.
+func stitch[T any](out *CSR[T], parts []int, pInd [][]int, pVal [][]T, rowLen []int) {
+	total := 0
+	for _, s := range pInd {
+		total += len(s)
+	}
+	out.Ind = make([]int, 0, total)
+	out.Val = make([]T, 0, total)
+	for p := 0; p < len(parts)-1; p++ {
+		out.Ind = append(out.Ind, pInd[p]...)
+		out.Val = append(out.Val, pVal[p]...)
+	}
+	for i := 0; i < out.Rows; i++ {
+		out.Ptr[i+1] = out.Ptr[i] + rowLen[i]
+	}
+}

@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"sort"
+
+	"github.com/grblas/grb/internal/parallel"
+)
+
+// SpGEMM computes T = A ·(⊕,⊗) B over an arbitrary semiring using
+// Gustavson's row-wise algorithm with a per-worker sparse accumulator (SPA).
+// Rows of A are partitioned by nnz balance across up to `threads` workers;
+// each worker owns a dense accumulator of width B.Cols that is reused across
+// its rows via generation stamps, so the cost per row is proportional to the
+// flops of that row, not to B.Cols.
+//
+// If mask.M is non-nil (or mask.Complement is set), output entries are
+// filtered at emit time: only positions admitted by the mask are stored.
+// This is the "masked SpGEMM" used by e.g. Sandia triangle counting; it
+// prunes memory (and the sort) even though products are still formed.
+func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, threads int) *CSR[C] {
+	out := NewCSR[C](a.Rows, b.Cols)
+	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]C, nparts)
+	rowLen := make([]int, a.Rows)
+	masked := mask.M != nil || mask.Complement
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		spa := make([]C, b.Cols)
+		stamp := make([]int, b.Cols) // generation marks; row i+1 is generation i+1
+		pattern := make([]int, 0, 256)
+		var ind []int
+		var val []C
+		for i := lo; i < hi; i++ {
+			gen := i + 1
+			pattern = pattern[:0]
+			aInd, aVal := a.Row(i)
+			for k := range aInd {
+				bInd, bVal := b.Row(aInd[k])
+				av := aVal[k]
+				for t := range bInd {
+					j := bInd[t]
+					p := mul(av, bVal[t])
+					if stamp[j] != gen {
+						stamp[j] = gen
+						spa[j] = p
+						pattern = append(pattern, j)
+					} else {
+						spa[j] = add(spa[j], p)
+					}
+				}
+			}
+			sort.Ints(pattern)
+			start := len(ind)
+			if masked {
+				var mInd []int
+				var mVal []bool
+				if mask.M != nil {
+					mInd, mVal = mask.M.Row(i)
+				}
+				mk := 0
+				for _, j := range pattern {
+					mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
+					if mask.Complement {
+						mt = !mt
+					}
+					if mt {
+						ind = append(ind, j)
+						val = append(val, spa[j])
+					}
+				}
+			} else {
+				for _, j := range pattern {
+					ind = append(ind, j)
+					val = append(val, spa[j])
+				}
+			}
+			rowLen[i] = len(ind) - start
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	stitch(out, parts, pInd, pVal, rowLen)
+	return out
+}
+
+// Kron computes the Kronecker product T = A ⊗kron B with the given multiply
+// operator: T is (A.Rows*B.Rows) × (A.Cols*B.Cols) and
+// T(i*Br+k, j*Bc+l) = mul(A(i,j), B(k,l)) for every pair of stored entries.
+func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) *CSR[C] {
+	rows := a.Rows * b.Rows
+	cols := a.Cols * b.Cols
+	out := NewCSR[C](rows, cols)
+	if a.NNZ() == 0 || b.NNZ() == 0 {
+		return out
+	}
+	out.Ind = make([]int, a.NNZ()*b.NNZ())
+	out.Val = make([]C, a.NNZ()*b.NNZ())
+	// Row (ia*b.Rows + ib) holds nnz(A row ia) * nnz(B row ib) entries.
+	for i := 0; i < rows; i++ {
+		ia, ib := i/b.Rows, i%b.Rows
+		out.Ptr[i+1] = out.Ptr[i] + (a.Ptr[ia+1]-a.Ptr[ia])*(b.Ptr[ib+1]-b.Ptr[ib])
+	}
+	parallel.For(rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ia, ib := i/b.Rows, i%b.Rows
+			aInd, aVal := a.Row(ia)
+			bInd, bVal := b.Row(ib)
+			p := out.Ptr[i]
+			for k := range aInd {
+				base := aInd[k] * b.Cols
+				for t := range bInd {
+					out.Ind[p] = base + bInd[t]
+					out.Val[p] = mul(aVal[k], bVal[t])
+					p++
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,169 @@
+package sparse
+
+import (
+	"sort"
+
+	"github.com/grblas/grb/internal/parallel"
+)
+
+// SpMV computes t = A ·(⊕,⊗) u (GraphBLAS mxv): t(i) = ⊕_j A(i,j) ⊗ u(j).
+// The input vector is scattered into a dense buffer once, then rows of A are
+// traversed in nnz-balanced parallel ranges; each row reduces its matching
+// entries with add. An optional mask prunes whole rows before any work is
+// done on them — the key optimization for masked pull-style traversals
+// (e.g. BFS with a complemented visited mask).
+func SpMV[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, threads int) *Vec[Y] {
+	uv, uok := u.Scatter()
+	masked := mask.M != nil || mask.Complement
+	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]Y, nparts)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		var ind []int
+		var val []Y
+		for i := lo; i < hi; i++ {
+			if masked && !vmaskAdmits(mask, i) {
+				continue
+			}
+			aInd, aVal := a.Row(i)
+			var acc Y
+			any := false
+			for k := range aInd {
+				j := aInd[k]
+				if !uok[j] {
+					continue
+				}
+				p := mul(aVal[k], uv[j])
+				if !any {
+					acc = p
+					any = true
+				} else {
+					acc = add(acc, p)
+				}
+			}
+			if any {
+				ind = append(ind, i)
+				val = append(val, acc)
+			}
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	out := &Vec[Y]{N: a.Rows}
+	total := 0
+	for _, s := range pInd {
+		total += len(s)
+	}
+	out.Ind = make([]int, 0, total)
+	out.Val = make([]Y, 0, total)
+	for p := 0; p < nparts; p++ {
+		out.Ind = append(out.Ind, pInd[p]...)
+		out.Val = append(out.Val, pVal[p]...)
+	}
+	return out
+}
+
+// vmaskAdmits reports whether position i passes the vector mask.
+func vmaskAdmits(mask VMask, i int) bool {
+	present := false
+	value := false
+	if mask.M != nil {
+		k := sort.SearchInts(mask.M.Ind, i)
+		if k < len(mask.M.Ind) && mask.M.Ind[k] == i {
+			present = true
+			value = mask.M.Val[k]
+		}
+	}
+	mt := present
+	if !mask.Structural {
+		mt = present && value
+	}
+	if mask.Complement {
+		mt = !mt
+	}
+	return mt
+}
+
+// VxM computes t = u ·(⊕,⊗) A (GraphBLAS vxm): t(j) = ⊕_i u(i) ⊗ A(i,j).
+// This is the push-style product: the stored entries of u are partitioned
+// across workers, each scatters its contributions into a private SPA of
+// width A.Cols, and the per-worker SPAs are then reduced with add. For a
+// sparse frontier u this touches only the rows of A selected by u.
+func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, mask VMask, threads int) *Vec[Y] {
+	nu := u.NNZ()
+	if threads > nu {
+		threads = nu
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	parts := parallel.Ranges(nu, threads)
+	nparts := len(parts) - 1
+	if nparts == 0 {
+		return NewVec[Y](a.Cols)
+	}
+	spas := make([][]Y, nparts)
+	marks := make([][]bool, nparts)
+	patterns := make([][]int, nparts)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		spa := make([]Y, a.Cols)
+		mark := make([]bool, a.Cols)
+		var pattern []int
+		for k := lo; k < hi; k++ {
+			i := u.Ind[k]
+			uv := u.Val[k]
+			aInd, aVal := a.Row(i)
+			for t := range aInd {
+				j := aInd[t]
+				p := mul(uv, aVal[t])
+				if !mark[j] {
+					mark[j] = true
+					spa[j] = p
+					pattern = append(pattern, j)
+				} else {
+					spa[j] = add(spa[j], p)
+				}
+			}
+		}
+		spas[part] = spa
+		marks[part] = mark
+		patterns[part] = pattern
+	})
+	// Reduce worker SPAs into worker 0's.
+	spa0, mark0, pat0 := spas[0], marks[0], patterns[0]
+	for p := 1; p < nparts; p++ {
+		for _, j := range patterns[p] {
+			if !mark0[j] {
+				mark0[j] = true
+				spa0[j] = spas[p][j]
+				pat0 = append(pat0, j)
+			} else {
+				spa0[j] = add(spa0[j], spas[p][j])
+			}
+		}
+	}
+	sort.Ints(pat0)
+	out := &Vec[Y]{N: a.Cols, Ind: make([]int, 0, len(pat0)), Val: make([]Y, 0, len(pat0))}
+	masked := mask.M != nil || mask.Complement
+	mk := 0
+	for _, j := range pat0 {
+		if masked {
+			var mInd []int
+			var mVal []bool
+			if mask.M != nil {
+				mInd, mVal = mask.M.Ind, mask.M.Val
+			}
+			mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
+			if mask.Complement {
+				mt = !mt
+			}
+			if !mt {
+				continue
+			}
+		}
+		out.Ind = append(out.Ind, j)
+		out.Val = append(out.Val, spa0[j])
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package sparse
+
+import "github.com/grblas/grb/internal/parallel"
+
+// Transpose returns Aᵀ using a two-pass counting (bucket) transpose: column
+// populations are counted, prefix-summed into the output row pointer, then
+// entries are scattered. The scatter preserves row order within each output
+// row, so column indices stay sorted. O(nnz + rows + cols).
+func Transpose[T any](a *CSR[T]) *CSR[T] {
+	out := &CSR[T]{Rows: a.Cols, Cols: a.Rows,
+		Ptr: make([]int, a.Cols+1),
+		Ind: make([]int, a.NNZ()),
+		Val: make([]T, a.NNZ())}
+	for _, j := range a.Ind {
+		out.Ptr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		out.Ptr[j+1] += out.Ptr[j]
+	}
+	next := make([]int, a.Cols)
+	copy(next, out.Ptr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		ind, val := a.Row(i)
+		for k := range ind {
+			j := ind[k]
+			p := next[j]
+			next[j]++
+			out.Ind[p] = i
+			out.Val[p] = val[k]
+		}
+	}
+	return out
+}
+
+// Diag builds a square matrix whose k-th diagonal holds the entries of v:
+// entry v(i) is placed at (i, i+k) for k >= 0 or (i-k, i) for k < 0. The
+// matrix is (n+|k|)×(n+|k|) with n = v.N, matching GrB_Matrix_diag.
+func Diag[T any](v *Vec[T], k int) *CSR[T] {
+	abs := k
+	if abs < 0 {
+		abs = -abs
+	}
+	n := v.N + abs
+	out := NewCSR[T](n, n)
+	out.Ind = make([]int, 0, v.NNZ())
+	out.Val = make([]T, 0, v.NNZ())
+	for idx, i := range v.Ind {
+		var r, c int
+		if k >= 0 {
+			r, c = i, i+k
+		} else {
+			r, c = i-k, i
+		}
+		out.Ind = append(out.Ind, c)
+		out.Val = append(out.Val, v.Val[idx])
+		out.Ptr[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		out.Ptr[i+1] += out.Ptr[i]
+	}
+	return out
+}
+
+// ReduceRows reduces each row of A with the monoid operation, producing the
+// vector t(i) = ⊕_j A(i,j). Rows with no entries produce no output entry
+// (GraphBLAS reduce-to-vector semantics).
+func ReduceRows[T any](a *CSR[T], add func(T, T) T, threads int) *Vec[T] {
+	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
+	nparts := len(parts) - 1
+	pInd := make([][]int, nparts)
+	pVal := make([][]T, nparts)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		var ind []int
+		var val []T
+		for i := lo; i < hi; i++ {
+			_, rv := a.Row(i)
+			if len(rv) == 0 {
+				continue
+			}
+			acc := rv[0]
+			for k := 1; k < len(rv); k++ {
+				acc = add(acc, rv[k])
+			}
+			ind = append(ind, i)
+			val = append(val, acc)
+		}
+		pInd[part] = ind
+		pVal[part] = val
+	})
+	out := &Vec[T]{N: a.Rows}
+	for p := 0; p < nparts; p++ {
+		out.Ind = append(out.Ind, pInd[p]...)
+		out.Val = append(out.Val, pVal[p]...)
+	}
+	return out
+}
+
+// ReduceCols reduces each column of A: t(j) = ⊕_i A(i,j). Implemented by
+// scattering into per-worker accumulators of width A.Cols and merging.
+func ReduceCols[T any](a *CSR[T], add func(T, T) T, threads int) *Vec[T] {
+	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
+	nparts := len(parts) - 1
+	if nparts == 0 {
+		return NewVec[T](a.Cols)
+	}
+	accs := make([][]T, nparts)
+	oks := make([][]bool, nparts)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		acc := make([]T, a.Cols)
+		ok := make([]bool, a.Cols)
+		for i := lo; i < hi; i++ {
+			ind, val := a.Row(i)
+			for k := range ind {
+				j := ind[k]
+				if !ok[j] {
+					ok[j] = true
+					acc[j] = val[k]
+				} else {
+					acc[j] = add(acc[j], val[k])
+				}
+			}
+		}
+		accs[part] = acc
+		oks[part] = ok
+	})
+	// Some parts may be empty (nnz-balanced ranges can collapse); find the
+	// first populated accumulator as the merge base.
+	base := -1
+	for p := 0; p < nparts; p++ {
+		if accs[p] != nil {
+			base = p
+			break
+		}
+	}
+	if base < 0 {
+		return NewVec[T](a.Cols)
+	}
+	acc0, ok0 := accs[base], oks[base]
+	for p := base + 1; p < nparts; p++ {
+		if accs[p] == nil {
+			continue
+		}
+		for j := 0; j < a.Cols; j++ {
+			if oks[p][j] {
+				if !ok0[j] {
+					ok0[j] = true
+					acc0[j] = accs[p][j]
+				} else {
+					acc0[j] = add(acc0[j], accs[p][j])
+				}
+			}
+		}
+	}
+	return GatherVec(acc0, ok0)
+}
+
+// ReduceAll reduces every stored entry of A to a single value; ok is false
+// when A has no entries (the GraphBLAS 2.0 Scalar-output reduce returns an
+// empty GrB_Scalar in that case, §VI).
+func ReduceAll[T any](a *CSR[T], add func(T, T) T, threads int) (T, bool) {
+	var zero T
+	if a.NNZ() == 0 {
+		return zero, false
+	}
+	parts := parallel.Ranges(a.NNZ(), threads)
+	nparts := len(parts) - 1
+	partial := make([]T, nparts)
+	has := make([]bool, nparts)
+	parallel.Run(parts, threads, func(part, lo, hi int) {
+		acc := a.Val[lo]
+		for k := lo + 1; k < hi; k++ {
+			acc = add(acc, a.Val[k])
+		}
+		partial[part] = acc
+		has[part] = true
+	})
+	var acc T
+	any := false
+	for p := 0; p < nparts; p++ {
+		if !has[p] {
+			continue
+		}
+		if !any {
+			acc = partial[p]
+			any = true
+		} else {
+			acc = add(acc, partial[p])
+		}
+	}
+	return acc, any
+}
+
+// ReduceVec reduces every stored entry of a vector; ok is false when empty.
+func ReduceVec[T any](v *Vec[T], add func(T, T) T) (T, bool) {
+	var zero T
+	if v.NNZ() == 0 {
+		return zero, false
+	}
+	acc := v.Val[0]
+	for k := 1; k < len(v.Val); k++ {
+		acc = add(acc, v.Val[k])
+	}
+	return acc, true
+}

@@ -1,0 +1,427 @@
+package grb
+
+import (
+	"sort"
+
+	"github.com/grblas/grb/internal/sparse"
+)
+
+// Format enumerates the non-opaque data formats of the GraphBLAS 2.0
+// import/export API (§VII-A, Table III of the paper). Per §IX, enumeration
+// members have pinned values so programs link identically against any
+// conforming implementation.
+type Format int
+
+const (
+	// FormatCSR is compressed sparse row: indptr has nrows+1 entries,
+	// indices holds column indices (not required to be sorted within a
+	// row), values holds the entries.
+	FormatCSR Format = 0
+	// FormatCSC is compressed sparse column: indptr has ncols+1 entries,
+	// indices holds row indices.
+	FormatCSC Format = 1
+	// FormatCOO is coordinate format: per Table III, indptr holds each
+	// element's COLUMN index, indices holds each element's ROW index, and
+	// values the entries; no ordering is required.
+	FormatCOO Format = 2
+	// FormatDenseRow is dense row-major: values has nrows*ncols entries
+	// with element (i,j) at i*ncols+j; indptr and indices are unused.
+	FormatDenseRow Format = 3
+	// FormatDenseCol is dense column-major: element (i,j) at i+j*nrows.
+	FormatDenseCol Format = 4
+	// FormatSparseVector stores entry k's index in indices[k] and value in
+	// values[k].
+	FormatSparseVector Format = 5
+	// FormatDenseVector stores element i at values[i]; indices unused.
+	FormatDenseVector Format = 6
+)
+
+// String returns the spec name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCSR:
+		return "GrB_CSR_MATRIX"
+	case FormatCSC:
+		return "GrB_CSC_MATRIX"
+	case FormatCOO:
+		return "GrB_COO_MATRIX"
+	case FormatDenseRow:
+		return "GrB_DENSE_ROW_MATRIX"
+	case FormatDenseCol:
+		return "GrB_DENSE_COL_MATRIX"
+	case FormatSparseVector:
+		return "GrB_SPARSE_VECTOR"
+	case FormatDenseVector:
+		return "GrB_DENSE_VECTOR"
+	}
+	return "GrB_Format(?)"
+}
+
+func matrixFormat(f Format) bool { return f >= FormatCSR && f <= FormatDenseCol }
+func vectorFormat(f Format) bool { return f == FormatSparseVector || f == FormatDenseVector }
+
+// sortRowPairs sorts a row's (index, value) pairs by index when needed.
+func sortRowPairs[T any](ind []int, val []T) {
+	sorted := true
+	for k := 1; k < len(ind); k++ {
+		if ind[k-1] > ind[k] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	sort.Sort(&rowPairSorter[T]{ind, val})
+}
+
+type rowPairSorter[T any] struct {
+	ind []int
+	val []T
+}
+
+func (s *rowPairSorter[T]) Len() int           { return len(s.ind) }
+func (s *rowPairSorter[T]) Less(i, j int) bool { return s.ind[i] < s.ind[j] }
+func (s *rowPairSorter[T]) Swap(i, j int) {
+	s.ind[i], s.ind[j] = s.ind[j], s.ind[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// MatrixImport constructs a new GraphBLAS matrix from external data in one
+// of the Table III formats (GrB_Matrix_import). The arrays are copied; the
+// caller retains ownership. Duplicate coordinates are invalid. For the
+// dense formats indptr and indices may be nil.
+func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T,
+	format Format, opts ...ObjOption) (*Matrix[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return nil, errf(InvalidValue, "MatrixImport: dimensions must be positive")
+	}
+	if !matrixFormat(format) {
+		return nil, errf(InvalidValue, "MatrixImport: %v is not a matrix format", format)
+	}
+	var csr *sparse.CSR[T]
+	switch format {
+	case FormatCSR, FormatCSC:
+		byRow := format == FormatCSR
+		major, minor := nrows, ncols
+		if !byRow {
+			major, minor = ncols, nrows
+		}
+		if len(indptr) != major+1 {
+			return nil, errf(InvalidValue, "MatrixImport(%v): indptr must have %d entries, got %d", format, major+1, len(indptr))
+		}
+		nnz := indptr[major]
+		if indptr[0] != 0 || nnz < 0 || len(indices) != nnz || len(values) != nnz {
+			return nil, errf(InvalidValue, "MatrixImport(%v): inconsistent indptr/indices/values lengths", format)
+		}
+		// Copy the compressed arrays directly; the data is already grouped
+		// by major dimension, so only per-group sorting is needed (Table III
+		// allows unsorted entries within a row/column).
+		t := &sparse.CSR[T]{Rows: major, Cols: minor,
+			Ptr: append([]int(nil), indptr...),
+			Ind: append([]int(nil), indices...),
+			Val: append([]T(nil), values...)}
+		for p := 0; p < major; p++ {
+			if indptr[p] > indptr[p+1] {
+				return nil, errf(InvalidValue, "MatrixImport(%v): indptr must be nondecreasing", format)
+			}
+			lo, hi := indptr[p], indptr[p+1]
+			sortRowPairs(t.Ind[lo:hi], t.Val[lo:hi])
+			for k := lo; k < hi; k++ {
+				if t.Ind[k] < 0 || t.Ind[k] >= minor {
+					return nil, errf(InvalidIndex, "MatrixImport(%v): index %d out of range %d", format, t.Ind[k], minor)
+				}
+				if k > lo && t.Ind[k] == t.Ind[k-1] {
+					return nil, errf(InvalidValue, "MatrixImport(%v): duplicate coordinates", format)
+				}
+			}
+		}
+		if byRow {
+			csr = t
+		} else {
+			// The CSC arrays are exactly the CSR arrays of the transpose.
+			csr = sparse.Transpose(t)
+		}
+	case FormatCOO:
+		// Table III: indptr holds column indices, indices holds row indices.
+		if len(indptr) != len(values) || len(indices) != len(values) {
+			return nil, errf(InvalidValue, "MatrixImport(COO): arrays must have equal length")
+		}
+		for k := range values {
+			if indices[k] < 0 || indices[k] >= nrows || indptr[k] < 0 || indptr[k] >= ncols {
+				return nil, errf(InvalidIndex, "MatrixImport(COO): coordinate (%d,%d) outside %dx%d", indices[k], indptr[k], nrows, ncols)
+			}
+		}
+		csr, err = sparse.BuildCSR(nrows, ncols, indices, indptr, values, nil)
+		if err != nil {
+			return nil, errf(InvalidValue, "MatrixImport(COO): %v", err)
+		}
+	case FormatDenseRow, FormatDenseCol:
+		if len(values) != nrows*ncols {
+			return nil, errf(InvalidValue, "MatrixImport(%v): values must have %d entries, got %d", format, nrows*ncols, len(values))
+		}
+		csr = &sparse.CSR[T]{Rows: nrows, Cols: ncols,
+			Ptr: make([]int, nrows+1),
+			Ind: make([]int, 0, len(values)),
+			Val: make([]T, 0, len(values))}
+		for i := 0; i < nrows; i++ {
+			for j := 0; j < ncols; j++ {
+				var v T
+				if format == FormatDenseRow {
+					v = values[i*ncols+j]
+				} else {
+					v = values[i+j*nrows]
+				}
+				csr.Ind = append(csr.Ind, j)
+				csr.Val = append(csr.Val, v)
+			}
+			csr.Ptr[i+1] = len(csr.Ind)
+		}
+	}
+	return &Matrix[T]{init: true, ctx: ctx, csr: csr}, nil
+}
+
+// MatrixExportSize reports the array lengths a subsequent MatrixExportInto
+// needs for the given format (GrB_Matrix_exportSize). The caller allocates
+// the arrays however it likes — custom allocator, memory-mapped file — which
+// is the reason the API splits sizing from exporting (§VII-A).
+func (m *Matrix[T]) MatrixExportSize(format Format) (nindptr, nindices, nvalues Index, err error) {
+	if err := m.check(); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := m.context(); err != nil {
+		return 0, 0, 0, err
+	}
+	if !matrixFormat(format) {
+		return 0, 0, 0, errf(InvalidValue, "MatrixExportSize: %v is not a matrix format", format)
+	}
+	c, err := m.snapshot()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	switch format {
+	case FormatCSR:
+		return c.Rows + 1, c.NNZ(), c.NNZ(), nil
+	case FormatCSC:
+		return c.Cols + 1, c.NNZ(), c.NNZ(), nil
+	case FormatCOO:
+		return c.NNZ(), c.NNZ(), c.NNZ(), nil
+	default: // dense
+		return 0, 0, c.Rows * c.Cols, nil
+	}
+}
+
+// MatrixExportInto exports the matrix into caller-allocated arrays in the
+// requested format (GrB_Matrix_export). Arrays must have at least the
+// lengths reported by MatrixExportSize; InsufficientSpace is returned
+// otherwise. Dense formats fill absent positions with the zero value of T.
+func (m *Matrix[T]) MatrixExportInto(format Format, indptr, indices []Index, values []T) error {
+	np, ni, nv, err := m.MatrixExportSize(format)
+	if err != nil {
+		return err
+	}
+	if len(indptr) < np || len(indices) < ni || len(values) < nv {
+		return errf(InsufficientSpace, "MatrixExportInto(%v): need %d/%d/%d, got %d/%d/%d",
+			format, np, ni, nv, len(indptr), len(indices), len(values))
+	}
+	c, err := m.snapshot()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case FormatCSR:
+		copy(indptr, c.Ptr)
+		copy(indices, c.Ind)
+		copy(values, c.Val)
+	case FormatCSC:
+		t := sparse.Transpose(c) // CSR of the transpose is CSC of the matrix
+		copy(indptr, t.Ptr)
+		copy(indices, t.Ind)
+		copy(values, t.Val)
+	case FormatCOO:
+		k := 0
+		for i := 0; i < c.Rows; i++ {
+			ind, val := c.Row(i)
+			for p := range ind {
+				indices[k] = i     // row index
+				indptr[k] = ind[p] // column index, per Table III
+				values[k] = val[p]
+				k++
+			}
+		}
+	case FormatDenseRow, FormatDenseCol:
+		var zero T
+		for k := range values[:nv] {
+			values[k] = zero
+		}
+		for i := 0; i < c.Rows; i++ {
+			ind, val := c.Row(i)
+			for p := range ind {
+				if format == FormatDenseRow {
+					values[i*c.Cols+ind[p]] = val[p]
+				} else {
+					values[i+ind[p]*c.Rows] = val[p]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MatrixExport allocates and returns the export arrays (convenience wrapper
+// over MatrixExportSize + MatrixExportInto).
+func (m *Matrix[T]) MatrixExport(format Format) (indptr, indices []Index, values []T, err error) {
+	np, ni, nv, err := m.MatrixExportSize(format)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	indptr = make([]Index, np)
+	indices = make([]Index, ni)
+	values = make([]T, nv)
+	if err := m.MatrixExportInto(format, indptr, indices, values); err != nil {
+		return nil, nil, nil, err
+	}
+	return indptr, indices, values, nil
+}
+
+// MatrixExportHint reports the format the implementation can export most
+// efficiently (GrB_Matrix_exportHint). This implementation stores matrices
+// in CSR, so the hint is always FormatCSR; callers remain free to choose any
+// format (§VII-A).
+func (m *Matrix[T]) MatrixExportHint() (Format, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if _, err := m.context(); err != nil {
+		return 0, err
+	}
+	return FormatCSR, nil
+}
+
+// VectorImport constructs a new GraphBLAS vector from external data
+// (GrB_Vector_import). For FormatSparseVector, indices[k] and values[k]
+// describe entry k (duplicates invalid); for FormatDenseVector, values[i]
+// is element i and indices may be nil.
+func VectorImport[T any](size Index, indices []Index, values []T,
+	format Format, opts ...ObjOption) (*Vector[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, errf(InvalidValue, "VectorImport: size must be positive")
+	}
+	if !vectorFormat(format) {
+		return nil, errf(InvalidValue, "VectorImport: %v is not a vector format", format)
+	}
+	var vec *sparse.Vec[T]
+	switch format {
+	case FormatSparseVector:
+		if len(indices) != len(values) {
+			return nil, errf(InvalidValue, "VectorImport(sparse): indices and values lengths differ")
+		}
+		vec, err = sparse.BuildVec(size, indices, values, nil)
+		if err != nil {
+			return nil, errf(InvalidValue, "VectorImport(sparse): %v", err)
+		}
+	case FormatDenseVector:
+		if len(values) != size {
+			return nil, errf(InvalidValue, "VectorImport(dense): values must have %d entries, got %d", size, len(values))
+		}
+		vec = &sparse.Vec[T]{N: size, Ind: make([]int, size), Val: make([]T, size)}
+		for i := 0; i < size; i++ {
+			vec.Ind[i] = i
+			vec.Val[i] = values[i]
+		}
+	}
+	return &Vector[T]{init: true, ctx: ctx, vec: vec}, nil
+}
+
+// VectorExportSize reports the array lengths VectorExportInto needs
+// (GrB_Vector_exportSize).
+func (v *Vector[T]) VectorExportSize(format Format) (nindices, nvalues Index, err error) {
+	if err := v.check(); err != nil {
+		return 0, 0, err
+	}
+	if _, err := v.context(); err != nil {
+		return 0, 0, err
+	}
+	if !vectorFormat(format) {
+		return 0, 0, errf(InvalidValue, "VectorExportSize: %v is not a vector format", format)
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	if format == FormatSparseVector {
+		return s.NNZ(), s.NNZ(), nil
+	}
+	return 0, s.N, nil
+}
+
+// VectorExportInto exports into caller-allocated arrays (GrB_Vector_export).
+func (v *Vector[T]) VectorExportInto(format Format, indices []Index, values []T) error {
+	ni, nv, err := v.VectorExportSize(format)
+	if err != nil {
+		return err
+	}
+	if len(indices) < ni || len(values) < nv {
+		return errf(InsufficientSpace, "VectorExportInto(%v): need %d/%d, got %d/%d",
+			format, ni, nv, len(indices), len(values))
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return err
+	}
+	if format == FormatSparseVector {
+		copy(indices, s.Ind)
+		copy(values, s.Val)
+		return nil
+	}
+	var zero T
+	for i := range values[:nv] {
+		values[i] = zero
+	}
+	for k, i := range s.Ind {
+		values[i] = s.Val[k]
+	}
+	return nil
+}
+
+// VectorExport allocates and returns the export arrays.
+func (v *Vector[T]) VectorExport(format Format) (indices []Index, values []T, err error) {
+	ni, nv, err := v.VectorExportSize(format)
+	if err != nil {
+		return nil, nil, err
+	}
+	indices = make([]Index, ni)
+	values = make([]T, nv)
+	if err := v.VectorExportInto(format, indices, values); err != nil {
+		return nil, nil, err
+	}
+	return indices, values, nil
+}
+
+// VectorExportHint reports the most efficient export format
+// (GrB_Vector_exportHint); always FormatSparseVector here.
+func (v *Vector[T]) VectorExportHint() (Format, error) {
+	if err := v.check(); err != nil {
+		return 0, err
+	}
+	if _, err := v.context(); err != nil {
+		return 0, err
+	}
+	return FormatSparseVector, nil
+}

@@ -1,0 +1,253 @@
+package lagraph
+
+import (
+	"math"
+	"testing"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/gen"
+)
+
+// refBrandes is a plain adjacency-list Brandes implementation used as the
+// golden reference for the GraphBLAS betweenness centrality.
+func refBrandes(n int, adj [][]int, sources []int) []float64 {
+	bc := make([]float64, n)
+	for _, s := range sources {
+		// BFS with path counting
+		sigma := make([]float64, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		var order []int
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range adj[w] {
+				if dist[v] == dist[w]-1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	return bc
+}
+
+func adjList(g gen.Graph) [][]int {
+	adj := make([][]int, g.N)
+	for k := range g.Src {
+		adj[g.Src[k]] = append(adj[g.Src[k]], g.Dst[k])
+	}
+	return adj
+}
+
+func TestBetweennessCentralityPath(t *testing.T) {
+	initLib(t)
+	// Undirected path 0-1-2-3-4: exact BC of the middle vertex (2) from all
+	// sources is 2*(2*3-2)/... easier: compare to the reference.
+	g := gen.Path(5).Symmetrize()
+	a := adjacency(t, g)
+	sources := []grb.Index{0, 1, 2, 3, 4}
+	got, err := BetweennessCentrality(a, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refBrandes(g.N, adjList(g), sources)
+	for v := 0; v < g.N; v++ {
+		gv, _, _ := got.ExtractElement(v)
+		if math.Abs(gv-want[v]) > 1e-9 {
+			t.Fatalf("bc(%d) = %v, want %v", v, gv, want[v])
+		}
+	}
+	// sanity: path interior dominates endpoints
+	b2, _, _ := got.ExtractElement(2)
+	b0, _, _ := got.ExtractElement(0)
+	if b2 <= b0 {
+		t.Fatalf("middle (%v) should exceed endpoint (%v)", b2, b0)
+	}
+}
+
+func TestBetweennessCentralityRandomAgainstReference(t *testing.T) {
+	initLib(t)
+	g := gen.ErdosRenyi(40, 160, 11).Symmetrize()
+	a := adjacency(t, g)
+	sources := []grb.Index{0, 5, 17, 23}
+	got, err := BetweennessCentrality(a, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcInts := []int{0, 5, 17, 23}
+	want := refBrandes(g.N, adjList(g), srcInts)
+	for v := 0; v < g.N; v++ {
+		gv, _, _ := got.ExtractElement(v)
+		if math.Abs(gv-want[v]) > 1e-9 {
+			t.Fatalf("bc(%d) = %v, want %v", v, gv, want[v])
+		}
+	}
+}
+
+func TestBetweennessCentralityStar(t *testing.T) {
+	initLib(t)
+	// Star with center 0 and 5 leaves, all sources: center's BC is
+	// (n-1)(n-2) = 20 (each ordered leaf pair's unique path passes it).
+	g := gen.Star(6)
+	a := adjacency(t, g)
+	var sources []grb.Index
+	for i := 0; i < 6; i++ {
+		sources = append(sources, i)
+	}
+	got, err := BetweennessCentrality(a, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, _, _ := got.ExtractElement(0)
+	if math.Abs(center-20) > 1e-9 {
+		t.Fatalf("center BC = %v, want 20", center)
+	}
+	leaf, _, _ := got.ExtractElement(3)
+	if math.Abs(leaf) > 1e-9 {
+		t.Fatalf("leaf BC = %v, want 0", leaf)
+	}
+	wantCode := func(err error, c grb.Info) {
+		if grb.Code(err) != c {
+			t.Fatalf("err = %v, want %v", err, c)
+		}
+	}
+	_, err = BetweennessCentrality(a, []grb.Index{99})
+	wantCode(err, grb.InvalidIndex)
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	initLib(t)
+	// K4: every vertex has lcc 1.
+	var src, dst []int
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	k4 := adjacency(t, gen.Graph{N: 4, Src: src, Dst: dst})
+	lcc, err := ClusteringCoefficient(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		x, _, _ := lcc.ExtractElement(v)
+		if math.Abs(x-1) > 1e-9 {
+			t.Fatalf("K4 lcc(%d) = %v, want 1", v, x)
+		}
+	}
+	// Star: center has many neighbours but no closing edges -> 0.
+	star := adjacency(t, gen.Star(6))
+	lccS, err := ClusteringCoefficient(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := lccS.ExtractElement(0)
+	if c != 0 {
+		t.Fatalf("star center lcc = %v", c)
+	}
+	// Triangle plus a pendant on vertex 0: lcc(0) = 2*1/(3*2) = 1/3.
+	gp := gen.Graph{N: 4,
+		Src: []int{0, 1, 2, 0},
+		Dst: []int{1, 2, 0, 3}}.Symmetrize()
+	ap := adjacency(t, gp)
+	lccP, err := ClusteringCoefficient(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, _ := lccP.ExtractElement(0)
+	if math.Abs(x-1.0/3) > 1e-9 {
+		t.Fatalf("lcc(0) = %v, want 1/3", x)
+	}
+	y, _, _ := lccP.ExtractElement(1)
+	if math.Abs(y-1) > 1e-9 {
+		t.Fatalf("lcc(1) = %v, want 1", y)
+	}
+}
+
+func TestKTruss(t *testing.T) {
+	initLib(t)
+	// K5 with a pendant triangle hanging off vertex 0 through a bridge:
+	// K5 edges survive the 4-truss; the bridge and triangle do not.
+	var src, dst []int
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				src = append(src, i)
+				dst = append(dst, j)
+			}
+		}
+	}
+	// triangle 5-6-7 and bridge 0-5
+	extra := [][2]int{{5, 6}, {6, 7}, {7, 5}, {0, 5}}
+	for _, e := range extra {
+		src = append(src, e[0], e[1])
+		dst = append(dst, e[1], e[0])
+	}
+	g := gen.Graph{N: 8, Src: src, Dst: dst}
+	a := adjacency(t, g)
+
+	t4, err := KTruss(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, _ := t4.Nvals()
+	if nv != 20 { // K5 has 20 directed edges
+		t.Fatalf("4-truss edges = %d, want 20", nv)
+	}
+	if _, ok, _ := t4.ExtractElement(5, 6); ok {
+		t.Fatal("triangle edge should be pruned from 4-truss")
+	}
+	if v, ok, _ := t4.ExtractElement(0, 1); !ok || !v {
+		t.Fatal("K5 edge missing from 4-truss")
+	}
+
+	// 3-truss keeps K5 and the pendant triangle but drops the bridge.
+	t3, err := KTruss(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := t3.ExtractElement(0, 5); ok {
+		t.Fatal("bridge should be pruned from 3-truss")
+	}
+	if _, ok, _ := t3.ExtractElement(5, 6); !ok {
+		t.Fatal("triangle should survive 3-truss")
+	}
+	// k too small
+	if _, err := KTruss(a, 2); grb.Code(err) != grb.InvalidValue {
+		t.Fatalf("k=2: %v", err)
+	}
+	// 6-truss of K5 is empty
+	t6, err := KTruss(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv6, _ := t6.Nvals()
+	if nv6 != 0 {
+		t.Fatalf("6-truss edges = %d, want 0", nv6)
+	}
+}

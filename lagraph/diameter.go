@@ -1,0 +1,100 @@
+package lagraph
+
+import grb "github.com/grblas/grb"
+
+// Eccentricity returns the BFS eccentricity of src — the maximum level over
+// reachable vertices — together with a vertex attaining it.
+func Eccentricity(a *grb.Matrix[bool], src grb.Index) (ecc int, far grb.Index, err error) {
+	levels, err := BFSLevels(a, src)
+	if err != nil {
+		return 0, 0, err
+	}
+	inds, vals, err := levels.ExtractTuples()
+	if err != nil {
+		return 0, 0, err
+	}
+	far = src
+	for k := range inds {
+		if vals[k] > ecc {
+			ecc = vals[k]
+			far = inds[k]
+		}
+	}
+	return ecc, far, nil
+}
+
+// PseudoDiameter estimates the diameter of the (undirected, connected
+// component containing start) graph by the classic double-sweep heuristic:
+// repeatedly hop to the farthest vertex of a BFS until the eccentricity
+// stops growing. The result is a lower bound on the true diameter and is
+// exact on trees.
+func PseudoDiameter(a *grb.Matrix[bool], start grb.Index) (int, error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return 0, err
+	}
+	if start < 0 || start >= n {
+		return 0, &grb.Error{Info: grb.InvalidIndex, Msg: "PseudoDiameter: start out of range"}
+	}
+	best := -1
+	src := start
+	for hops := 0; hops <= n; hops++ {
+		ecc, far, err := Eccentricity(a, src)
+		if err != nil {
+			return 0, err
+		}
+		if ecc <= best {
+			return best, nil
+		}
+		best = ecc
+		src = far
+	}
+	return best, nil
+}
+
+// DegreeHistogram returns a map from out-degree to the number of vertices
+// with that degree (degree 0 counted from the matrix dimension). Computed
+// with a structural apply + row reduction — the GraphBLAS way to derive
+// degree statistics.
+func DegreeHistogram(a *grb.Matrix[bool]) (map[int]int, error) {
+	n, err := a.Nrows()
+	if err != nil {
+		return nil, err
+	}
+	ones, err := grb.NewMatrix[int](n, n)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := a.Ncols()
+	if err != nil {
+		return nil, err
+	}
+	if nc != n {
+		ones, err = grb.NewMatrix[int](n, nc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := grb.MatrixApply(ones, nil, nil, func(bool) int { return 1 }, a, nil); err != nil {
+		return nil, err
+	}
+	deg, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[int](), ones, nil); err != nil {
+		return nil, err
+	}
+	_, vals, err := deg.ExtractTuples()
+	if err != nil {
+		return nil, err
+	}
+	hist := map[int]int{}
+	for _, d := range vals {
+		hist[d]++
+	}
+	if zero := n - len(vals); zero > 0 {
+		hist[0] = zero
+	}
+	return hist, nil
+}

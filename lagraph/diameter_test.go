@@ -1,0 +1,86 @@
+package lagraph
+
+import (
+	"testing"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/gen"
+)
+
+func TestEccentricityAndPseudoDiameter(t *testing.T) {
+	initLib(t)
+	// Undirected path on 7 vertices: diameter 6, exact for the heuristic.
+	p := adjacency(t, gen.Path(7).Symmetrize())
+	ecc, far, err := Eccentricity(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc != 3 || (far != 0 && far != 6) {
+		t.Fatalf("ecc(3) = %d (far %d), want 3 (0 or 6)", ecc, far)
+	}
+	d, err := PseudoDiameter(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 {
+		t.Fatalf("path diameter = %d, want 6", d)
+	}
+	// Ring of 10 (undirected): diameter 5.
+	r := adjacency(t, gen.Ring(10).Symmetrize())
+	d, err = PseudoDiameter(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Fatalf("ring diameter = %d, want 5", d)
+	}
+	// Grid 4x4: diameter 6 (Manhattan corner-to-corner).
+	g := adjacency(t, gen.Grid2D(4, 4))
+	d, err = PseudoDiameter(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 {
+		t.Fatalf("grid diameter = %d, want 6", d)
+	}
+	if _, err := PseudoDiameter(g, 99); grb.Code(err) != grb.InvalidIndex {
+		t.Fatalf("bad start: %v", err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	initLib(t)
+	// Star(5): center degree 4, four leaves degree 1.
+	a := adjacency(t, gen.Star(5))
+	hist, err := DegreeHistogram(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[4] != 1 || hist[1] != 4 {
+		t.Fatalf("hist = %v", hist)
+	}
+	// Isolated vertices counted as degree 0.
+	g := gen.Path(2)
+	g.N = 4
+	b := adjacency(t, g.Symmetrize())
+	hist, err = DegreeHistogram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[0] != 2 || hist[1] != 2 {
+		t.Fatalf("hist = %v", hist)
+	}
+	// Histogram total covers every vertex.
+	rm := adjacency(t, gen.Graph500RMAT(7, 8, 2).Symmetrize())
+	hist, err = DegreeHistogram(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != 128 {
+		t.Fatalf("histogram covers %d vertices, want 128", total)
+	}
+}

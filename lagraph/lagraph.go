@@ -1,0 +1,614 @@
+// Package lagraph is a library of graph algorithms built on top of the grb
+// public API, in the spirit of the LAGraph project that the GraphBLAS 2.0
+// paper names as a primary consumer of the specification. Each algorithm is
+// expressed purely in GraphBLAS operations — semiring products, masks,
+// accumulators, select/apply with index operators — and therefore doubles as
+// an integration test of the underlying implementation.
+//
+// Conventions: adjacency matrices are square; algorithms that assume an
+// undirected graph (triangle counting, connected components, MIS, k-core)
+// expect a symmetric pattern, which callers can obtain with gen.Symmetrize.
+package lagraph
+
+import (
+	"math/rand"
+
+	grb "github.com/grblas/grb"
+)
+
+// vectorsEqual reports whether two vectors have identical pattern and values.
+func vectorsEqual[T comparable](a, b *grb.Vector[T]) (bool, error) {
+	ai, ax, err := a.ExtractTuples()
+	if err != nil {
+		return false, err
+	}
+	bi, bx, err := b.ExtractTuples()
+	if err != nil {
+		return false, err
+	}
+	if len(ai) != len(bi) {
+		return false, nil
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || ax[k] != bx[k] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// squareDim validates that a is square and returns its dimension.
+func squareDim[T any](a *grb.Matrix[T]) (int, error) {
+	n, err := a.Nrows()
+	if err != nil {
+		return 0, err
+	}
+	m, err := a.Ncols()
+	if err != nil {
+		return 0, err
+	}
+	if n != m {
+		return 0, &grb.Error{Info: grb.DimensionMismatch, Msg: "adjacency matrix must be square"}
+	}
+	return n, nil
+}
+
+// BFSLevels performs a breadth-first search over the boolean adjacency
+// matrix a from vertex src and returns the level vector: level 0 for src,
+// k for vertices first reached after k hops; unreachable vertices have no
+// entry. The traversal is the classic GraphBLAS push pattern: a boolean
+// frontier advanced by vxm over the lor-land semiring, masked by the
+// complement of the visited set.
+func BFSLevels(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	levels, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	visited, err := grb.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := grb.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := frontier.SetElement(true, src); err != nil {
+		return nil, err
+	}
+	for depth := 0; ; depth++ {
+		nv, err := frontier.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nv == 0 {
+			break
+		}
+		// levels⟨frontier,structure⟩ = depth
+		if err := grb.VectorAssignScalar(levels, frontier, nil, depth, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		// visited⟨frontier,structure⟩ = true
+		if err := grb.VectorAssignScalar(visited, frontier, nil, true, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		// frontier⟨¬visited,structure,replace⟩ = frontier ∨.∧ A
+		if err := grb.VxM(frontier, visited, nil, grb.LOrLAnd(), frontier, a, grb.DescRSC); err != nil {
+			return nil, err
+		}
+	}
+	return levels, nil
+}
+
+// BFSParents performs a breadth-first search returning the parent vector:
+// parents(src) = src, and parents(v) is the (minimum-index) predecessor
+// through which v was first reached. This algorithm is the paper's §VIII in
+// action: the wavefront's values are replaced by their own indices with the
+// predefined ROWINDEX index-unary operator before each expansion, so the
+// min-first semiring propagates parent identities — no packing of indices
+// into values is needed, which is exactly the GraphBLAS 1.X workaround the
+// paper's motivation section retires.
+func BFSParents(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	parents, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	wavefront, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := wavefront.SetElement(src, src); err != nil {
+		return nil, err
+	}
+	// min-first over (int, bool): product value is the wavefront entry.
+	minFirst := grb.Semiring[int, bool, int]{Add: grb.MinMonoid[int](), Mul: grb.First[int, bool]}
+	for {
+		nv, err := wavefront.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nv == 0 {
+			break
+		}
+		wmask, err := grb.AsVectorMaskFunc(wavefront, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		// parents⟨wavefront,structure⟩ = wavefront (record discovered parents)
+		if err := grb.VectorAssign(parents, wmask, nil, wavefront, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		// wavefront(i) = i: each frontier vertex becomes its neighbours' parent.
+		if err := grb.VectorApplyIndexOp(wavefront, nil, nil, grb.RowIndex[int], wavefront, 0, nil); err != nil {
+			return nil, err
+		}
+		pmask, err := grb.AsVectorMaskFunc(parents, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		// wavefront⟨¬parents,structure,replace⟩ = wavefront min.first A
+		if err := grb.VxM(wavefront, pmask, nil, minFirst, wavefront, a, grb.DescRSC); err != nil {
+			return nil, err
+		}
+	}
+	return parents, nil
+}
+
+// SSSP computes single-source shortest paths from src over the weighted
+// adjacency matrix a using Bellman-Ford iteration on the (min, +) tropical
+// semiring: d = d min (d min.+ A) until fixpoint. Edge weights may be
+// negative as long as the graph has no negative cycle, which is reported as
+// an error after n rounds without convergence.
+func SSSP(a *grb.Matrix[float64], src grb.Index) (*grb.Vector[float64], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	d, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.SetElement(0, src); err != nil {
+		return nil, err
+	}
+	for iter := 0; iter <= n; iter++ {
+		prev, err := d.Dup()
+		if err != nil {
+			return nil, err
+		}
+		// d = d min (d min.+ A): the Min accumulator merges relaxations.
+		if err := grb.VxM(d, nil, grb.Min[float64], grb.MinPlus[float64](), d, a, nil); err != nil {
+			return nil, err
+		}
+		same, err := vectorsEqual(prev, d)
+		if err != nil {
+			return nil, err
+		}
+		if same {
+			return d, nil
+		}
+	}
+	return nil, &grb.Error{Info: grb.InvalidValue, Msg: "SSSP: no convergence after n rounds (negative cycle?)"}
+}
+
+// PageRankResult carries the ranks and the number of iterations used.
+type PageRankResult struct {
+	Ranks      *grb.Vector[float64]
+	Iterations int
+}
+
+// PageRank computes the PageRank vector of the weighted adjacency matrix a
+// (edge weights are treated as link multiplicities) with the given damping
+// factor, iterating until the L1 change falls below tol or maxIter rounds.
+// Dangling vertices (no out-edges) redistribute their rank uniformly.
+func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int) (*PageRankResult, error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, &grb.Error{Info: grb.InvalidValue, Msg: "PageRank: damping must be in (0,1)"}
+	}
+	// Out-degree (row sums) and its reciprocal where nonzero.
+	deg, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[float64](), a, nil); err != nil {
+		return nil, err
+	}
+	invdeg, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorApply(invdeg, nil, nil, grb.MInv[float64], deg, nil); err != nil {
+		return nil, err
+	}
+	degMask, err := grb.AsVectorMaskFunc(deg, func(float64) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	r, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorAssignScalar(r, nil, nil, 1/float64(n), grb.All, nil); err != nil {
+		return nil, err
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		// w = r ⊗ 1/outdeg (importance each page sends per out-link)
+		w, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.EWiseMultVector(w, nil, nil, grb.Times[float64], r, invdeg, nil); err != nil {
+			return nil, err
+		}
+		// t = w +.× A  (incoming importance)
+		t, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(t, nil, nil, grb.PlusTimes[float64](), w, a, nil); err != nil {
+			return nil, err
+		}
+		// Dangling mass: rank parked on vertices with no out-edges.
+		dang, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApply(dang, degMask, nil, grb.Identity[float64], r, grb.DescRSC); err != nil {
+			return nil, err
+		}
+		dmass, err := grb.VectorReduce(grb.PlusMonoid[float64](), dang)
+		if err != nil {
+			return nil, err
+		}
+		base := (1-damping)/float64(n) + damping*dmass/float64(n)
+		rnew, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssignScalar(rnew, nil, nil, base, grb.All, nil); err != nil {
+			return nil, err
+		}
+		// rnew += damping * t
+		ts, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApplyBindSecond(ts, nil, nil, grb.Times[float64], t, damping, nil); err != nil {
+			return nil, err
+		}
+		if err := grb.EWiseAddVector(rnew, nil, nil, grb.Plus[float64], rnew, ts, nil); err != nil {
+			return nil, err
+		}
+		// delta = Σ |rnew - r|
+		diff, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.EWiseAddVector(diff, nil, nil, grb.Minus[float64], rnew, r, nil); err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApply(diff, nil, nil, grb.Abs[float64], diff, nil); err != nil {
+			return nil, err
+		}
+		delta, err := grb.VectorReduce(grb.PlusMonoid[float64](), diff)
+		if err != nil {
+			return nil, err
+		}
+		r = rnew
+		if delta < tol {
+			return &PageRankResult{Ranks: r, Iterations: iter}, nil
+		}
+	}
+	return &PageRankResult{Ranks: r, Iterations: maxIter}, nil
+}
+
+// TriangleCount counts the triangles of the undirected graph with symmetric
+// boolean adjacency a using the Sandia method: with L the strictly lower
+// triangle of A (extracted by the GraphBLAS 2.0 select operation with the
+// predefined TriL operator, §VIII), the count is Σ (L ⊕.pair L)⟨L⟩ — a
+// masked SpGEMM over the plus-pair structural semiring.
+func TriangleCount(a *grb.Matrix[bool]) (int64, error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return 0, err
+	}
+	l, err := grb.NewMatrix[bool](n, n)
+	if err != nil {
+		return 0, err
+	}
+	// L = tril(A, -1): the select operation with the Table IV TriL operator.
+	if err := grb.MatrixSelect(l, nil, nil, grb.TriL[bool], a, -1, nil); err != nil {
+		return 0, err
+	}
+	c, err := grb.NewMatrix[int64](n, n)
+	if err != nil {
+		return 0, err
+	}
+	plusPair := grb.Semiring[bool, bool, int64]{Add: grb.PlusMonoid[int64](), Mul: grb.Oneb[bool, bool, int64]}
+	if err := grb.MxM(c, l, nil, plusPair, l, l, grb.DescS); err != nil {
+		return 0, err
+	}
+	return grb.MatrixReduce(grb.PlusMonoid[int64](), c)
+}
+
+// ConnectedComponents labels each vertex of the undirected graph (symmetric
+// boolean adjacency) with the smallest vertex index in its component, by
+// min-label propagation over the min-first semiring until fixpoint.
+func ConnectedComponents(a *grb.Matrix[bool]) (*grb.Vector[int], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	f, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	// f(i) = i, built with the ROWINDEX index operator over a dense vector.
+	if err := grb.VectorAssignScalar(f, nil, nil, 0, grb.All, nil); err != nil {
+		return nil, err
+	}
+	if err := grb.VectorApplyIndexOp(f, nil, nil, grb.RowIndex[int], f, 0, nil); err != nil {
+		return nil, err
+	}
+	minFirst := grb.Semiring[int, bool, int]{Add: grb.MinMonoid[int](), Mul: grb.First[int, bool]}
+	for iter := 0; iter <= n; iter++ {
+		prev, err := f.Dup()
+		if err != nil {
+			return nil, err
+		}
+		// t(j) = min over in-neighbours i of f(i); then f = min(f, t).
+		t, err := grb.NewVector[int](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(t, nil, nil, minFirst, f, a, nil); err != nil {
+			return nil, err
+		}
+		if err := grb.EWiseAddVector(f, nil, nil, grb.Min[int], f, t, nil); err != nil {
+			return nil, err
+		}
+		same, err := vectorsEqual(prev, f)
+		if err != nil {
+			return nil, err
+		}
+		if same {
+			return f, nil
+		}
+	}
+	return f, nil
+}
+
+// MIS computes a maximal independent set of the undirected graph (symmetric
+// boolean adjacency, no self-loops) with Luby's randomized algorithm: each
+// round, every remaining candidate draws a distinct random score; candidates
+// that beat all neighbouring candidates join the set, and they and their
+// neighbours leave the candidate pool.
+func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	iset, err := grb.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := grb.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorAssignScalar(candidates, nil, nil, true, grb.All, nil); err != nil {
+		return nil, err
+	}
+	maxFirst := grb.Semiring[float64, bool, float64]{Add: grb.MaxMonoid[float64](), Mul: grb.First[float64, bool]}
+	empty, err := grb.NewScalar[bool]()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		nc, err := candidates.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nc == 0 {
+			break
+		}
+		// Distinct random scores on the candidates (a permutation avoids ties).
+		inds, _, err := candidates.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		perm := rng.Perm(len(inds))
+		scores := make([]float64, len(inds))
+		for k := range scores {
+			scores[k] = float64(perm[k] + 1)
+		}
+		prob, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := prob.Build(inds, scores, nil); err != nil {
+			return nil, err
+		}
+		// Neighbour maximum among candidates.
+		nmax, err := grb.NewVector[float64](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(nmax, candidates, nil, maxFirst, prob, a, grb.DescRS); err != nil {
+			return nil, err
+		}
+		// Winners: candidates whose score beats every neighbour...
+		win, err := grb.NewVector[bool](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.EWiseMultVector(win, nil, nil, grb.Gt[float64], prob, nmax, nil); err != nil {
+			return nil, err
+		}
+		// ...plus candidates with no candidate neighbour at all.
+		nmaxMask, err := grb.AsVectorMaskFunc(nmax, func(float64) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		newMembers, err := grb.NewVector[bool](n)
+		if err != nil {
+			return nil, err
+		}
+		// newMembers⟨win (value mask)⟩ = true
+		if err := grb.VectorAssignScalar(newMembers, win, nil, true, grb.All, nil); err != nil {
+			return nil, err
+		}
+		// newMembers⟨¬structure(nmax)⟩ ∪= lone candidates
+		lone, err := grb.NewVector[bool](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApply(lone, nmaxMask, nil, grb.Identity[bool], candidates, grb.DescRSC); err != nil {
+			return nil, err
+		}
+		loneMask, err := grb.AsVectorMaskFunc(lone, func(bool) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssignScalar(newMembers, loneMask, nil, true, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		nm, err := newMembers.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nm == 0 {
+			// No strict winner this round (should not happen with distinct
+			// scores); re-draw.
+			continue
+		}
+		// iset⟨newMembers,structure⟩ = true
+		if err := grb.VectorAssignScalar(iset, newMembers, nil, true, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		// Neighbours of the new members.
+		neigh, err := grb.NewVector[bool](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(neigh, nil, nil, grb.LOrLAnd(), newMembers, a, nil); err != nil {
+			return nil, err
+		}
+		// Remove new members and their neighbours from the candidate pool.
+		nmMask, err := grb.AsVectorMaskFunc(newMembers, func(bool) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssignScalarObj(candidates, nmMask, nil, empty, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		neighMask, err := grb.AsVectorMaskFunc(neigh, func(bool) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssignScalarObj(candidates, neighMask, nil, empty, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+	}
+	return iset, nil
+}
+
+// KCore returns the membership vector of the k-core of the undirected graph
+// (symmetric boolean adjacency): the maximal subgraph in which every vertex
+// has degree ≥ k. Vertices in the core have a true entry.
+func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	alive, err := grb.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorAssignScalar(alive, nil, nil, true, grb.All, nil); err != nil {
+		return nil, err
+	}
+	countAlive := grb.Semiring[bool, int, int]{Add: grb.PlusMonoid[int](), Mul: grb.Second[bool, int]}
+	empty, err := grb.NewScalar[bool]()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		na, err := alive.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if na == 0 {
+			break
+		}
+		// aliveInt(i) = 1 for alive vertices.
+		aliveInt, err := grb.NewVector[int](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApply(aliveInt, nil, nil, func(bool) int { return 1 }, alive, nil); err != nil {
+			return nil, err
+		}
+		// deg⟨alive,structure,replace⟩ = A +.second aliveInt: surviving degree.
+		deg, err := grb.NewVector[int](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.MxV(deg, alive, nil, countAlive, a, aliveInt, grb.DescRS); err != nil {
+			return nil, err
+		}
+		// Vertices failing the core condition: alive with degree < k
+		// (including alive vertices with no surviving neighbours).
+		drop, err := grb.NewVector[int](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorSelect(drop, nil, nil, grb.ValueLT[int], deg, k, nil); err != nil {
+			return nil, err
+		}
+		// Alive vertices with no deg entry have degree 0: also dropped.
+		degMask, err := grb.AsVectorMaskFunc(deg, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		zero, err := grb.NewVector[int](n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorApply(zero, degMask, nil, func(bool) int { return 0 }, alive, grb.DescRSC); err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			if err := grb.EWiseAddVector(drop, nil, nil, grb.Min[int], drop, zero, nil); err != nil {
+				return nil, err
+			}
+		}
+		nd, err := drop.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nd == 0 {
+			break
+		}
+		dropMask, err := grb.AsVectorMaskFunc(drop, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssignScalarObj(alive, dropMask, nil, empty, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+	}
+	return alive, nil
+}

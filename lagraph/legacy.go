@@ -1,0 +1,71 @@
+package lagraph
+
+import grb "github.com/grblas/grb"
+
+// BFSParentsLegacy computes the same parent vector as BFSParents but the
+// way a GraphBLAS 1.X program had to: without index-unary operators there
+// is no in-library way to replace a frontier's values with their own
+// indices, so each iteration round-trips the wavefront through host memory
+// — extract the tuples, overwrite the values array with the indices, and
+// rebuild the vector. This is the §II motivation of the GraphBLAS 2.0 paper
+// made concrete at algorithm level ("those index values were stored in the
+// values array ... the same information is stored and streamed twice");
+// BenchmarkAblation_BFSParents_* measures the difference. Kept for that
+// comparison — use BFSParents in real code.
+func BFSParentsLegacy(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	parents, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	wavefront, err := grb.NewVector[int](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := wavefront.SetElement(src, src); err != nil {
+		return nil, err
+	}
+	minFirst := grb.Semiring[int, bool, int]{Add: grb.MinMonoid[int](), Mul: grb.First[int, bool]}
+	for {
+		nv, err := wavefront.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if nv == 0 {
+			break
+		}
+		wmask, err := grb.AsVectorMaskFunc(wavefront, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VectorAssign(parents, wmask, nil, wavefront, grb.All, grb.DescS); err != nil {
+			return nil, err
+		}
+		// The 1.X workaround: unload the wavefront into host arrays, copy
+		// the index array over the values array, and reload. (GraphBLAS 2.0
+		// replaces these three steps with one apply(ROWINDEX).)
+		idx, _, err := wavefront.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]int, len(idx))
+		copy(vals, idx) // the duplicated stream §II describes
+		if err := wavefront.Clear(); err != nil {
+			return nil, err
+		}
+		if err := wavefront.Build(idx, vals, nil); err != nil {
+			return nil, err
+		}
+		pmask, err := grb.AsVectorMaskFunc(parents, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.VxM(wavefront, pmask, nil, minFirst, wavefront, a, grb.DescRSC); err != nil {
+			return nil, err
+		}
+	}
+	return parents, nil
+}

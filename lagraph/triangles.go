@@ -1,0 +1,143 @@
+package lagraph
+
+import grb "github.com/grblas/grb"
+
+// ClusteringCoefficient computes the local clustering coefficient of every
+// vertex of the undirected graph (symmetric boolean adjacency, no self
+// loops): lcc(v) = 2·tri(v) / (deg(v)·(deg(v)−1)), where tri(v) counts
+// triangles through v. Vertices of degree < 2 get coefficient 0. The
+// triangle counts come from the masked structural product (A +.pair A)⟨A⟩,
+// whose row sums double-count each triangle at its apex.
+func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	// W⟨A⟩ = A +.pair A: W(u,v) = #common neighbours per adjacent pair.
+	plusPair := grb.Semiring[bool, bool, float64]{Add: grb.PlusMonoid[float64](), Mul: grb.Oneb[bool, bool, float64]}
+	w, err := grb.NewMatrix[float64](n, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MxM(w, a, nil, plusPair, a, a, grb.DescS); err != nil {
+		return nil, err
+	}
+	// tri2(v) = Σ_u W(v,u) = 2 · tri(v)
+	tri2, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MatrixReduceToVector(tri2, nil, nil, grb.PlusMonoid[float64](), w, nil); err != nil {
+		return nil, err
+	}
+	// deg(v) = row degree of A.
+	ones, err := grb.NewMatrix[float64](n, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MatrixApply(ones, nil, nil, func(bool) float64 { return 1 }, a, nil); err != nil {
+		return nil, err
+	}
+	deg, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[float64](), ones, nil); err != nil {
+		return nil, err
+	}
+	// denom(v) = deg(v)·(deg(v)−1), kept only where ≥ 2 neighbours.
+	denom, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorApply(denom, nil, nil, func(d float64) float64 { return d * (d - 1) }, deg, nil); err != nil {
+		return nil, err
+	}
+	if err := grb.VectorSelect(denom, nil, nil, grb.ValueGT[float64], denom, 0, nil); err != nil {
+		return nil, err
+	}
+	// lcc = tri2 / denom on the intersection; degree<2 vertices get 0.
+	lcc, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorAssignScalar(lcc, nil, nil, 0, grb.All, nil); err != nil {
+		return nil, err
+	}
+	ratio, err := grb.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.EWiseMultVector(ratio, nil, nil, grb.Div[float64], tri2, denom, nil); err != nil {
+		return nil, err
+	}
+	rmask, err := grb.AsVectorMaskFunc(ratio, func(float64) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	if err := grb.VectorAssign(lcc, rmask, nil, ratio, grb.All, grb.DescS); err != nil {
+		return nil, err
+	}
+	return lcc, nil
+}
+
+// KTruss computes the k-truss of the undirected graph (symmetric boolean
+// adjacency, no self loops): the maximal subgraph in which every edge
+// participates in at least k−2 triangles. It iterates support counting via
+// the masked structural product S⟨C⟩ = C +.pair C and drops edges whose
+// support falls below k−2 until a fixpoint. The result is the boolean
+// adjacency of the truss.
+func KTruss(a *grb.Matrix[bool], k int) (*grb.Matrix[bool], error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return nil, err
+	}
+	if k < 3 {
+		return nil, &grb.Error{Info: grb.InvalidValue, Msg: "KTruss: k must be at least 3"}
+	}
+	c, err := a.Dup()
+	if err != nil {
+		return nil, err
+	}
+	plusPair := grb.Semiring[bool, bool, int]{Add: grb.PlusMonoid[int](), Mul: grb.Oneb[bool, bool, int]}
+	for {
+		before, err := c.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		if before == 0 {
+			return c, nil
+		}
+		// S⟨C,structure⟩ = C +.pair C: edge support counts.
+		s, err := grb.NewMatrix[int](n, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.MxM(s, c, nil, plusPair, c, c, grb.DescS); err != nil {
+			return nil, err
+		}
+		// Keep edges with support ≥ k−2.
+		if err := grb.MatrixSelect(s, nil, nil, grb.ValueGE[int], s, k-2, nil); err != nil {
+			return nil, err
+		}
+		keep, err := grb.AsMaskFunc(s, func(int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		next, err := grb.NewMatrix[bool](n, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := grb.MatrixApply(next, keep, nil, grb.Identity[bool], c, grb.DescRS); err != nil {
+			return nil, err
+		}
+		after, err := next.Nvals()
+		if err != nil {
+			return nil, err
+		}
+		c = next
+		if after == before {
+			return c, nil
+		}
+	}
+}

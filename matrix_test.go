@@ -1,0 +1,369 @@
+package grb
+
+import "testing"
+
+func TestMatrixConstructorValidation(t *testing.T) {
+	setMode(t, Blocking)
+	if _, err := NewMatrix[int](0, 3); Code(err) != InvalidValue {
+		t.Fatalf("zero rows: %v", err)
+	}
+	if _, err := NewMatrix[int](3, -1); Code(err) != InvalidValue {
+		t.Fatalf("negative cols: %v", err)
+	}
+	m, err := NewMatrix[int](3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, _ := m.Nrows()
+	nc, _ := m.Ncols()
+	nv, _ := m.Nvals()
+	if nr != 3 || nc != 4 || nv != 0 {
+		t.Fatalf("fresh matrix: %d %d %d", nr, nc, nv)
+	}
+}
+
+func TestMatrixNilAndUninitialized(t *testing.T) {
+	setMode(t, Blocking)
+	var nilM *Matrix[int]
+	if _, err := nilM.Nvals(); Code(err) != NullPointer {
+		t.Fatalf("nil: %v", err)
+	}
+	var zero Matrix[int]
+	if _, err := zero.Nrows(); Code(err) != UninitializedObject {
+		t.Fatalf("zero value: %v", err)
+	}
+	if zero.ErrorString() != "" {
+		t.Fatal("uninitialized ErrorString should be empty")
+	}
+}
+
+func TestMatrixBuildValidation(t *testing.T) {
+	setMode(t, Blocking)
+	m, _ := NewMatrix[int](2, 2)
+	// unequal slices: API error
+	wantCode(t, m.Build([]Index{0}, []Index{0, 1}, []int{1}, nil), InvalidValue)
+	// out-of-range coordinate: API error, never deferred
+	wantCode(t, m.Build([]Index{2}, []Index{0}, []int{1}, nil), InvalidIndex)
+	// successful build
+	if err := m.Build([]Index{0, 1}, []Index{1, 0}, []int{5, 6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// build on a non-empty matrix: OUTPUT_NOT_EMPTY
+	wantCode(t, m.Build([]Index{0}, []Index{0}, []int{1}, nil), OutputNotEmpty)
+	// after clear it works again
+	if err := m.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Build([]Index{0}, []Index{0}, []int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildDupSemantics covers §IX: dup combines duplicates in input order;
+// a nil dup makes duplicates an execution error.
+func TestBuildDupSemantics(t *testing.T) {
+	for _, mode := range []Mode{Blocking, NonBlocking} {
+		t.Run(mode.String(), func(t *testing.T) {
+			setMode(t, mode)
+			m, _ := NewMatrix[int](2, 2)
+			if err := m.Build([]Index{0, 0, 0}, []Index{0, 0, 0}, []int{1, 2, 3}, Plus[int]); err != nil {
+				t.Fatal(err)
+			}
+			_ = m.Wait(Materialize)
+			if v, _, _ := m.ExtractElement(0, 0); v != 6 {
+				t.Fatalf("dup sum = %d", v)
+			}
+			// Minus is order-sensitive: ((1-2)-3) = -4 checks input order.
+			m2, _ := NewMatrix[int](2, 2)
+			if err := m2.Build([]Index{0, 0, 0}, []Index{0, 0, 0}, []int{1, 2, 3}, Minus[int]); err != nil {
+				t.Fatal(err)
+			}
+			if v, _, _ := m2.ExtractElement(0, 0); v != -4 {
+				t.Fatalf("ordered dup = %d, want -4", v)
+			}
+			// nil dup + duplicates: execution error (InvalidValue).
+			m3, _ := NewMatrix[int](2, 2)
+			err := m3.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
+			if mode == Blocking {
+				wantCode(t, err, InvalidValue)
+			} else {
+				// In nonblocking mode the error may be deferred; it must be
+				// reported by the materializing wait.
+				if err == nil {
+					err = m3.Wait(Materialize)
+				}
+				wantCode(t, err, InvalidValue)
+			}
+		})
+	}
+}
+
+func TestSetGetRemoveElement(t *testing.T) {
+	for _, mode := range []Mode{Blocking, NonBlocking} {
+		t.Run(mode.String(), func(t *testing.T) {
+			setMode(t, mode)
+			m, _ := NewMatrix[float64](3, 3)
+			wantCode(t, m.SetElement(1, 3, 0), InvalidIndex)
+			wantCode(t, m.SetElement(1, 0, -1), InvalidIndex)
+			if err := m.SetElement(1.5, 1, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetElement(2.5, 1, 2); err != nil { // overwrite
+				t.Fatal(err)
+			}
+			v, ok, err := m.ExtractElement(1, 2)
+			if err != nil || !ok || v != 2.5 {
+				t.Fatalf("extract = %v,%v,%v", v, ok, err)
+			}
+			if _, ok, _ := m.ExtractElement(0, 0); ok {
+				t.Fatal("phantom entry")
+			}
+			if _, _, err := m.ExtractElement(5, 0); Code(err) != InvalidIndex {
+				t.Fatalf("bad extract index: %v", err)
+			}
+			if err := m.RemoveElement(1, 2); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := m.ExtractElement(1, 2); ok {
+				t.Fatal("entry not removed")
+			}
+			// removing a missing entry is fine
+			if err := m.RemoveElement(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			wantCode(t, m.RemoveElement(9, 9), InvalidIndex)
+		})
+	}
+}
+
+func TestMatrixDupIndependent(t *testing.T) {
+	setMode(t, NonBlocking)
+	m := mustMatrix(t, 2, 2, []Index{0}, []Index{1}, []int{7})
+	d, err := m.Dup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetElement(9, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := d.ExtractElement(0, 1); v != 7 {
+		t.Fatalf("dup sees %d, want 7 (snapshot)", v)
+	}
+	if v, _, _ := m.ExtractElement(0, 1); v != 9 {
+		t.Fatalf("original = %d", v)
+	}
+}
+
+func TestMatrixResize(t *testing.T) {
+	setMode(t, NonBlocking)
+	m := mustMatrix(t, 3, 3, []Index{0, 2}, []Index{0, 2}, []int{1, 9})
+	if err := m.Resize(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	nr, _ := m.Nrows()
+	nc, _ := m.Ncols()
+	nv, _ := m.Nvals()
+	if nr != 2 || nc != 2 || nv != 1 {
+		t.Fatalf("after shrink: %dx%d nvals=%d", nr, nc, nv)
+	}
+	// setElement after pending resize uses the new bounds
+	wantCode(t, m.SetElement(1, 2, 2), InvalidIndex)
+	if err := m.Resize(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetElement(5, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(t, m.Resize(0, 4), InvalidValue)
+}
+
+func TestMatrixExtractTuplesOrder(t *testing.T) {
+	setMode(t, Blocking)
+	m := mustMatrix(t, 3, 3,
+		[]Index{2, 0, 1, 0}, []Index{0, 2, 1, 0}, []int{4, 2, 3, 1})
+	matrixEquals(t, m, []Index{0, 0, 1, 2}, []Index{0, 2, 1, 0}, []int{1, 2, 3, 4})
+}
+
+func TestMatrixClearResetsError(t *testing.T) {
+	setMode(t, NonBlocking)
+	m, _ := NewMatrix[int](2, 2)
+	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil) // deferred dup error
+	err := m.Wait(Materialize)
+	wantCode(t, err, InvalidValue)
+	if m.ErrorString() == "" {
+		t.Fatal("error string should be set")
+	}
+	// The parked error is sticky for ordinary methods...
+	wantCode(t, m.SetElement(1, 0, 0), InvalidValue)
+	// ...until Clear resets the object.
+	if err := m.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ErrorString() != "" {
+		t.Fatal("error string should be cleared")
+	}
+	if err := m.SetElement(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixFree(t *testing.T) {
+	setMode(t, Blocking)
+	m := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
+	if err := m.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Nvals(); Code(err) != UninitializedObject {
+		t.Fatalf("after free: %v", err)
+	}
+	if err := m.Free(); Code(err) != UninitializedObject {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestMatrixDiag(t *testing.T) {
+	setMode(t, Blocking)
+	v := mustVector(t, 3, []Index{0, 2}, []int{5, 7})
+	d, err := MatrixDiag(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, _ := d.Nrows()
+	if nr != 3 {
+		t.Fatalf("diag dim = %d", nr)
+	}
+	if x, ok, _ := d.ExtractElement(2, 2); !ok || x != 7 {
+		t.Fatalf("diag(2,2) = %d,%v", x, ok)
+	}
+	up, err := MatrixDiag(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, _ = up.Nrows()
+	if nr != 5 {
+		t.Fatalf("superdiag dim = %d", nr)
+	}
+	if x, ok, _ := up.ExtractElement(0, 2); !ok || x != 5 {
+		t.Fatalf("superdiag(0,2) = %d,%v", x, ok)
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	setMode(t, Blocking)
+	if _, err := NewVector[int](0); Code(err) != InvalidValue {
+		t.Fatalf("zero size: %v", err)
+	}
+	v, _ := NewVector[int](5)
+	n, _ := v.Size()
+	if n != 5 {
+		t.Fatalf("size = %d", n)
+	}
+	wantCode(t, v.SetElement(1, 5), InvalidIndex)
+	if err := v.SetElement(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	x, ok, _ := v.ExtractElement(2)
+	if !ok || x != 3 {
+		t.Fatalf("v(2)=%d,%v", x, ok)
+	}
+	if err := v.RemoveElement(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := v.ExtractElement(2); ok {
+		t.Fatal("not removed")
+	}
+	wantCode(t, v.Build([]Index{0}, []int{1, 2}, nil), InvalidValue)
+	if err := v.Build([]Index{1, 0}, []int{10, 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(t, v.Build([]Index{0}, []int{1}, nil), OutputNotEmpty)
+	vectorEquals(t, v, []Index{0, 1}, []int{20, 10})
+	d, _ := v.Dup()
+	_ = v.Clear()
+	nv, _ := v.Nvals()
+	dn, _ := d.Nvals()
+	if nv != 0 || dn != 2 {
+		t.Fatalf("clear/dup: %d %d", nv, dn)
+	}
+	if err := v.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = v.Size()
+	if n != 2 {
+		t.Fatalf("resized = %d", n)
+	}
+	if err := v.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Size(); Code(err) != UninitializedObject {
+		t.Fatalf("after free: %v", err)
+	}
+}
+
+func TestVectorBuildDupNil(t *testing.T) {
+	setMode(t, NonBlocking)
+	v, _ := NewVector[int](3)
+	_ = v.Build([]Index{1, 1}, []int{1, 2}, nil)
+	wantCode(t, v.Wait(Materialize), InvalidValue)
+}
+
+// TestScalarElementVariants covers the Table II setElement/extractElement
+// GrB_Scalar variants on both matrices and vectors, including the
+// empty-scalar paths.
+func TestScalarElementVariants(t *testing.T) {
+	setMode(t, Blocking)
+	m := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{7})
+	s, _ := NewScalar[int]()
+
+	// extract present entry -> full scalar
+	if err := m.ExtractElementScalar(s, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.ExtractElement(); !ok || v != 7 {
+		t.Fatalf("scalar = %v,%v", v, ok)
+	}
+	// extract missing entry -> empty scalar (no NO_VALUE error, §VI)
+	if err := m.ExtractElementScalar(s, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := s.Nvals(); nv != 0 {
+		t.Fatal("scalar should be emptied")
+	}
+	// setElement from a full scalar
+	full, _ := ScalarOf(9)
+	if err := m.SetElementScalar(full, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := m.ExtractElement(1, 1); v != 9 {
+		t.Fatalf("m(1,1)=%d", v)
+	}
+	// setElement from an empty scalar removes
+	if err := m.SetElementScalar(s, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.ExtractElement(1, 1); ok {
+		t.Fatal("empty-scalar set should remove")
+	}
+
+	// vector variants
+	v := mustVector(t, 3, []Index{1}, []int{4})
+	if err := v.ExtractElementScalar(s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if x, ok, _ := s.ExtractElement(); !ok || x != 4 {
+		t.Fatalf("vec scalar = %v,%v", x, ok)
+	}
+	if err := v.SetElementScalar(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	if x, _, _ := v.ExtractElement(0); x != 9 {
+		t.Fatalf("v(0)=%d", x)
+	}
+	empty, _ := NewScalar[int]()
+	if err := v.SetElementScalar(empty, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := v.ExtractElement(0); ok {
+		t.Fatal("empty-scalar set should remove")
+	}
+}

@@ -1,0 +1,149 @@
+// Package mtx reads and writes Matrix Market exchange files (the standard
+// non-opaque interchange format for sparse matrices), complementing the
+// GraphBLAS 2.0 import/export API: external tools produce .mtx files, this
+// package turns them into coordinate arrays, and grb.MatrixImport builds
+// GraphBLAS objects from them.
+//
+// Supported: "matrix coordinate real|integer|pattern general|symmetric".
+package mtx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Coord holds a matrix in coordinate form as read from a Matrix Market file.
+type Coord struct {
+	Rows, Cols int
+	I, J       []int
+	X          []float64
+	Pattern    bool // the file had no values (pattern field); X is all 1s
+	Symmetric  bool // the file stored only one triangle; both are present in I/J/X
+}
+
+// ErrFormat reports a malformed Matrix Market stream.
+var ErrFormat = errors.New("mtx: malformed Matrix Market data")
+
+// Read parses a Matrix Market stream. Symmetric files are expanded to both
+// triangles (diagonal entries are not duplicated).
+func Read(r io.Reader) (*Coord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("%w: only coordinate format supported, got %q", ErrFormat, header[2])
+	}
+	field := header[3]
+	if field != "real" && field != "integer" && field != "pattern" {
+		return nil, fmt.Errorf("%w: unsupported field %q", ErrFormat, field)
+	}
+	sym := header[4]
+	if sym != "general" && sym != "symmetric" {
+		return nil, fmt.Errorf("%w: unsupported symmetry %q", ErrFormat, sym)
+	}
+	// Skip comments, find size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+	}
+	parts := strings.Fields(sizeLine)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: bad size line %q", ErrFormat, sizeLine)
+	}
+	nr, err1 := strconv.Atoi(parts[0])
+	nc, err2 := strconv.Atoi(parts[1])
+	nnz, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || nr < 0 || nc < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: bad size line %q", ErrFormat, sizeLine)
+	}
+	out := &Coord{Rows: nr, Cols: nc, Pattern: field == "pattern", Symmetric: sym == "symmetric"}
+	for k := 0; k < nnz; k++ {
+		var line string
+		for sc.Scan() {
+			line = strings.TrimSpace(sc.Text())
+			if line != "" && !strings.HasPrefix(line, "%") {
+				break
+			}
+			line = ""
+		}
+		if line == "" {
+			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, k)
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("%w: bad entry line %q", ErrFormat, line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil || i < 1 || i > nr || j < 1 || j > nc {
+			return nil, fmt.Errorf("%w: bad coordinates in %q", ErrFormat, line)
+		}
+		x := 1.0
+		if field != "pattern" {
+			x, err1 = strconv.ParseFloat(f[2], 64)
+			if err1 != nil {
+				return nil, fmt.Errorf("%w: bad value in %q", ErrFormat, line)
+			}
+		}
+		out.I = append(out.I, i-1)
+		out.J = append(out.J, j-1)
+		out.X = append(out.X, x)
+		if out.Symmetric && i != j {
+			out.I = append(out.I, j-1)
+			out.J = append(out.J, i-1)
+			out.X = append(out.X, x)
+		}
+	}
+	return out, nil
+}
+
+// Write emits a "matrix coordinate real general" Matrix Market stream.
+func Write(w io.Writer, rows, cols int, I, J []int, X []float64) error {
+	if len(I) != len(J) || len(I) != len(X) {
+		return fmt.Errorf("mtx: unequal slice lengths")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", rows, cols, len(I))
+	for k := range I {
+		fmt.Fprintf(bw, "%d %d %g\n", I[k]+1, J[k]+1, X[k])
+	}
+	return bw.Flush()
+}
+
+// WritePattern emits a "matrix coordinate pattern general" stream (indices
+// only).
+func WritePattern(w io.Writer, rows, cols int, I, J []int) error {
+	if len(I) != len(J) {
+		return fmt.Errorf("mtx: unequal slice lengths")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general")
+	fmt.Fprintf(bw, "%d %d %d\n", rows, cols, len(I))
+	for k := range I {
+		fmt.Fprintf(bw, "%d %d\n", I[k]+1, J[k]+1)
+	}
+	return bw.Flush()
+}

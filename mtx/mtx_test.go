@@ -1,0 +1,139 @@
+package mtx
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	I := []int{0, 1, 2}
+	J := []int{2, 0, 1}
+	X := []float64{1.5, -2, 3e10}
+	if err := Write(&buf, 3, 4, I, J, X); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 3 || c.Cols != 4 || len(c.I) != 3 {
+		t.Fatalf("shape %dx%d nnz %d", c.Rows, c.Cols, len(c.I))
+	}
+	for k := range I {
+		if c.I[k] != I[k] || c.J[k] != J[k] || c.X[k] != X[k] {
+			t.Fatalf("entry %d mismatch", k)
+		}
+	}
+	if c.Pattern || c.Symmetric {
+		t.Fatal("flags wrong")
+	}
+}
+
+func TestPatternRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, 2, 2, []int{0, 1}, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Pattern || len(c.X) != 2 || c.X[0] != 1 {
+		t.Fatalf("pattern read: %+v", c)
+	}
+}
+
+func TestSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 5.0
+2 1 1.5
+3 2 2.5
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// diagonal not duplicated; off-diagonals mirrored: 1 + 2*2 = 5 entries
+	if len(c.I) != 5 {
+		t.Fatalf("expanded nnz = %d, want 5", len(c.I))
+	}
+	if !c.Symmetric {
+		t.Fatal("symmetric flag lost")
+	}
+	found := false
+	for k := range c.I {
+		if c.I[k] == 0 && c.J[k] == 1 && c.X[k] == 1.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mirrored entry missing")
+	}
+}
+
+func TestIntegerField(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n"
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.X[0] != 7 {
+		t.Fatalf("integer value %v", c.X[0])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                             // empty
+		"%%Wrong header\n2 2 1\n1 1 1", // bad banner
+		"%%MatrixMarket matrix array real general\n2 2\n1\n1\n1\n1",          // array format
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0",   // complex
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1", // skew
+		"%%MatrixMarket matrix coordinate real general\n",                    // no size
+		"%%MatrixMarket matrix coordinate real general\n2 2\n",               // short size
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",      // missing entry
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",      // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",    // bad value
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",          // short entry
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: err = %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 2, 2, []int{0}, []int{0, 1}, []float64{1}); err == nil {
+		t.Fatal("unequal slices accepted")
+	}
+	if err := WritePattern(&buf, 2, 2, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("unequal slices accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment one
+
+% comment two
+2 2 2
+
+1 1 1.0
+% interleaved comment
+2 2 2.0
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.I) != 2 || c.X[1] != 2 {
+		t.Fatalf("parsed %d entries", len(c.I))
+	}
+}

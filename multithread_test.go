@@ -1,0 +1,181 @@
+package grb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFig1Protocol reproduces Figure 1 of the paper as a test: thread 0
+// computes a shared matrix Esh and completes it; the threads synchronize
+// through a release-store/acquire-load flag; thread 1 then reads Esh. The
+// test asserts that the shared read observes exactly the completed value.
+func TestFig1Protocol(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 4, 4,
+		[]Index{0, 1, 2, 3}, []Index{1, 2, 3, 0}, []int{1, 1, 1, 1}) // cyclic permutation
+	esh, _ := NewMatrix[int](4, 4)
+	var flag atomic.Int32
+	var hres *Matrix[int]
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // thread 0
+		defer wg.Done()
+		c, _ := NewMatrix[int](4, 4)
+		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+			t.Error(err)
+			flag.Store(1)
+			return
+		}
+		if err := MxM(esh, nil, nil, PlusTimes[int](), a, c, nil); err != nil {
+			t.Error(err)
+			flag.Store(1)
+			return
+		}
+		if err := esh.Wait(Complete); err != nil {
+			t.Error(err)
+		}
+		flag.Store(1) // release
+	}()
+	go func() { // thread 1
+		defer wg.Done()
+		for flag.Load() == 0 { // acquire
+		}
+		hres, _ = NewMatrix[int](4, 4)
+		if err := MxM(hres, nil, nil, PlusTimes[int](), a, esh, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hres.Wait(Complete); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	// A is the cyclic shift; Esh = A³, Hres = A⁴ = I.
+	for i := 0; i < 4; i++ {
+		if v, ok, _ := hres.ExtractElement(i, i); !ok || v != 1 {
+			t.Fatalf("Hres(%d,%d) = %d,%v — shared read saw wrong data", i, i, v, ok)
+		}
+	}
+	nv, _ := hres.Nvals()
+	if nv != 4 {
+		t.Fatalf("Hres nvals = %d", nv)
+	}
+}
+
+// TestThreadSafetyIndependentObjects: §III requires a conformant library to
+// be thread safe for independent method calls. Run many goroutines, each
+// with its own objects, under -race.
+func TestThreadSafetyIndependentObjects(t *testing.T) {
+	setMode(t, NonBlocking)
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int) {
+			defer wg.Done()
+			n := 16 + seed
+			a, err := NewMatrix[int](n, n)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < n; i++ {
+				if err := a.SetElement(i+1, i, (i*7+seed)%n); err != nil {
+					errs <- err
+					return
+				}
+			}
+			c, _ := NewMatrix[int](n, n)
+			if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Wait(Materialize); err != nil {
+				errs <- err
+				return
+			}
+			s, _ := NewScalar[int]()
+			if err := MatrixReduceToScalar(s, nil, PlusMonoid[int](), c, nil); err != nil {
+				errs <- err
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadSafetySharedInput: many goroutines read one completed matrix
+// concurrently (reads of a complete object are safe without extra sync).
+func TestThreadSafetySharedInput(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 10, 10,
+		[]Index{0, 3, 7}, []Index{1, 4, 8}, []int{1, 2, 3})
+	if err := a.Wait(Complete); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	wg.Add(workers)
+	sums := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			c, _ := NewMatrix[int](10, 10)
+			if err := MatrixApply(c, nil, nil, func(x int) int { return x * 2 }, a, nil); err != nil {
+				return
+			}
+			s, _ := MatrixReduce(PlusMonoid[int](), c)
+			sums[w] = s
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if sums[w] != 12 {
+			t.Fatalf("worker %d sum = %d, want 12", w, sums[w])
+		}
+	}
+}
+
+// TestNonblockingDeferredThenRead: a deferred product must not be visible
+// as stale state — any read forces completion (§III's "reads force the
+// sequence").
+func TestNonblockingDeferredThenRead(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{2, 3})
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// No explicit Wait: Nvals must force the sequence.
+	nv, err := c.Nvals()
+	if err != nil || nv != 2 {
+		t.Fatalf("nvals = %d, %v", nv, err)
+	}
+	if v, _, _ := c.ExtractElement(1, 1); v != 9 {
+		t.Fatalf("c(1,1) = %d", v)
+	}
+}
+
+// TestSequenceSnapshotSemantics: a deferred operation must observe its
+// inputs as they were in program order, even if they change before the
+// sequence executes.
+func TestSequenceSnapshotSemantics(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1}) // I
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate A after the (deferred) product.
+	if err := a.SetElement(100, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The deferred product must still be I·I = I (program order).
+	matrixEquals(t, c, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
+}

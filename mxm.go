@@ -1,0 +1,195 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// MxM computes C⟨M⟩ = C ⊙ (A ⊕.⊗ B): sparse matrix–matrix multiplication
+// over an arbitrary semiring (GrB_mxm), with optional mask M, accumulator ⊙
+// and descriptor (transpose inputs, replace output, structural/complemented
+// mask). In nonblocking mode the product is appended to C's sequence and
+// deferred (§III).
+func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, DC, DC],
+	semiring Semiring[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if err := b.check(); err != nil {
+		return err
+	}
+	if semiring.Add.Op == nil || semiring.Mul == nil {
+		return errf(NullPointer, "MxM: semiring has nil operators")
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx, b.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	bcsr, err := b.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	br, bc := bcsr.Rows, bcsr.Cols
+	if d.Transpose1 {
+		br, bc = bc, br
+	}
+	if ac != br {
+		return errf(DimensionMismatch, "MxM: inner dimensions %d and %d differ", ac, br)
+	}
+	if cOld.Rows != ar || cOld.Cols != bc {
+		return errf(DimensionMismatch, "MxM: output is %dx%d but product is %dx%d", cOld.Rows, cOld.Cols, ar, bc)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		B := maybeTranspose(bcsr, d.Transpose1)
+		// The mask prunes the product at emit time only when it does not
+		// change the accumulated result: pruned positions would be dropped
+		// by MaskApplyM anyway.
+		t := sparse.SpGEMM(A, B, semiring.Mul, semiring.Add.Op, mk, threads)
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// MxV computes w⟨m⟩ = w ⊙ (A ⊕.⊗ u): matrix–vector multiplication
+// (GrB_mxv). The descriptor's Transpose0 flag transposes A.
+func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, DC, DC],
+	semiring Semiring[DA, DB, DC], a *Matrix[DA], u *Vector[DB], desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	if semiring.Add.Op == nil || semiring.Mul == nil {
+		return errf(NullPointer, "MxV: semiring has nil operators")
+	}
+	ctxs := append([]*Context{w.ctx, a.ctx, u.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	if ac != uvec.N {
+		return errf(DimensionMismatch, "MxV: matrix has %d columns but vector has size %d", ac, uvec.N)
+	}
+	if wOld.N != ar {
+		return errf(DimensionMismatch, "MxV: output has size %d but product has size %d", wOld.N, ar)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		t := sparse.SpMV(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads)
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}
+
+// VxM computes w⟨m⟩ = w ⊙ (u ⊕.⊗ A): vector–matrix multiplication
+// (GrB_vxm), the push-style traversal primitive. The descriptor's
+// Transpose1 flag transposes A.
+func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, DC, DC],
+	semiring Semiring[DA, DB, DC], u *Vector[DA], a *Matrix[DB], desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if semiring.Add.Op == nil || semiring.Mul == nil {
+		return errf(NullPointer, "VxM: semiring has nil operators")
+	}
+	ctxs := append([]*Context{w.ctx, u.ctx, a.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose1 {
+		ar, ac = ac, ar
+	}
+	if uvec.N != ar {
+		return errf(DimensionMismatch, "VxM: vector has size %d but matrix has %d rows", uvec.N, ar)
+	}
+	if wOld.N != ac {
+		return errf(DimensionMismatch, "VxM: output has size %d but product has size %d", wOld.N, ac)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+		A := maybeTranspose(acsr, d.Transpose1)
+		t := sparse.VxM(uvec, A, semiring.Mul, semiring.Add.Op, mk, threads)
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}

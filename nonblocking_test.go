@@ -1,0 +1,203 @@
+package grb
+
+import "testing"
+
+// Deeper coverage of the nonblocking sequence engine: chained deferrals,
+// interleavings of element updates with operations, and reads that force
+// completion at every entry point.
+
+func TestChainedDeferredOperations(t *testing.T) {
+	setMode(t, NonBlocking)
+	// A is the 3-cycle shift; A³ = I.
+	a := mustMatrix(t, 3, 3, []Index{0, 1, 2}, []Index{1, 2, 0}, []int{1, 1, 1})
+	c, _ := NewMatrix[int](3, 3)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Chain: c = c·a (flushes the pending first product at enqueue).
+	if err := MxM(c, nil, nil, PlusTimes[int](), c, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c, []Index{0, 1, 2}, []Index{0, 1, 2}, []int{1, 1, 1})
+}
+
+func TestSetElementThenOperationOrder(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
+	c, _ := NewMatrix[int](2, 2)
+	// setElement before the op: the op (with accumulate) must see it.
+	if err := c.SetElement(100, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := MxM(c, nil, Plus[int], PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// set after the op: applies on top of the op result.
+	if err := c.SetElement(7, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c, []Index{0, 1}, []Index{0, 1}, []int{101, 7})
+}
+
+func TestRemoveAfterDeferredOp(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{2, 3})
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveElement(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c, []Index{1}, []Index{1}, []int{9})
+}
+
+func TestDupForcesCompletion(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0}, []Index{1}, []int{5})
+	c, _ := NewMatrix[int](2, 2)
+	if err := Transpose(c, nil, nil, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Dup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, d, []Index{1}, []Index{0}, []int{5})
+}
+
+func TestEveryReadForcesSequence(t *testing.T) {
+	setMode(t, NonBlocking)
+	build := func() *Matrix[int] {
+		a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{1, 2})
+		c, _ := NewMatrix[int](2, 2)
+		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Nvals
+	c := build()
+	if nv, _ := c.Nvals(); nv != 2 {
+		t.Fatalf("Nvals = %d", nv)
+	}
+	// ExtractElement
+	c = build()
+	if v, _, _ := c.ExtractElement(0, 0); v != 2 {
+		t.Fatalf("extract = %d", v)
+	}
+	// ExtractTuples
+	c = build()
+	_, _, X, _ := c.ExtractTuples()
+	if len(X) != 2 || X[0] != 2 {
+		t.Fatalf("tuples = %v", X)
+	}
+	// Export
+	c = build()
+	_, _, vals, err := c.MatrixExport(FormatCSR)
+	if err != nil || vals[0] != 2 {
+		t.Fatalf("export = %v, %v", vals, err)
+	}
+	// Serialize
+	c = build()
+	blob, err := c.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := MatrixDeserialize[int](blob)
+	if v, _, _ := back.ExtractElement(0, 0); v != 2 {
+		t.Fatalf("serialized = %d", v)
+	}
+	// use as input of another operation
+	c = build()
+	d, _ := NewMatrix[int](2, 2)
+	if err := MatrixApply(d, nil, nil, Identity[int], c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := d.ExtractElement(0, 0); v != 2 {
+		t.Fatalf("apply of pending input = %d", v)
+	}
+}
+
+func TestVectorDeferredPipeline(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 3, 3, []Index{0, 1, 2}, []Index{1, 2, 0}, []int{1, 1, 1})
+	w := mustVector(t, 3, []Index{0}, []int{1})
+	// three deferred hops around the cycle
+	for hop := 0; hop < 3; hop++ {
+		if err := VxM(w, nil, nil, PlusTimes[int](), w, a, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vectorEquals(t, w, []Index{0}, []int{1})
+}
+
+func TestClearDiscardsPendingWork(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	nv, _ := c.Nvals()
+	if nv != 0 {
+		t.Fatalf("pending op survived Clear: nvals=%d", nv)
+	}
+}
+
+func TestBlockingModeIsEager(t *testing.T) {
+	setMode(t, Blocking)
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
+	c, _ := NewMatrix[int](2, 2)
+	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// In blocking mode no pending work remains after the call.
+	c.mu.Lock()
+	pending := len(c.pending) + len(c.tuples)
+	c.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("blocking mode left %d pending steps", pending)
+	}
+}
+
+// TestFreedContextBlocksOperations: operating on objects whose context has
+// been freed is an UninitializedObject error.
+func TestFreedContextBlocksOperations(t *testing.T) {
+	setMode(t, NonBlocking)
+	ctx, _ := NewContext(NonBlocking, nil, WithThreads(1))
+	a, _ := NewMatrix[int](2, 2, InContext(ctx))
+	if err := a.SetElement(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Nvals(); Code(err) != UninitializedObject {
+		t.Fatalf("op in freed context: %v", err)
+	}
+	c, _ := NewMatrix[int](2, 2)
+	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), a, a, nil), UninitializedObject)
+}
+
+// TestFinalizeInvalidatesObjects: after Finalize, every method reports
+// UninitializedObject (the library context is gone).
+func TestFinalizeInvalidatesObjects(t *testing.T) {
+	_ = Finalize()
+	if err := Init(NonBlocking); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMatrix[int](2, 2)
+	if err := Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Nvals(); Code(err) != UninitializedObject {
+		t.Fatalf("after Finalize: %v", err)
+	}
+	// restore for subsequent tests
+	_ = Init(NonBlocking)
+	t.Cleanup(func() { _ = Finalize() })
+}

@@ -1,0 +1,286 @@
+package grb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredefinedUnaryOps(t *testing.T) {
+	if Identity(42) != 42 {
+		t.Error("Identity")
+	}
+	if AInv(5) != -5 || AInv(-2.5) != 2.5 {
+		t.Error("AInv")
+	}
+	if Abs(-7) != 7 || Abs(7) != 7 || Abs(-1.5) != 1.5 {
+		t.Error("Abs")
+	}
+	if MInv(4.0) != 0.25 {
+		t.Error("MInv")
+	}
+	if LNot(true) || !LNot(false) {
+		t.Error("LNot")
+	}
+	if BNot(uint8(0)) != 255 {
+		t.Error("BNot")
+	}
+	if One(99) != 1 || One(0.0) != 1.0 {
+		t.Error("One")
+	}
+}
+
+func TestPredefinedBinaryOps(t *testing.T) {
+	if First(1, "x") != 1 || Second(1, "x") != "x" {
+		t.Error("First/Second")
+	}
+	if Oneb[int, int, int](3, 4) != 1 {
+		t.Error("Oneb")
+	}
+	if Plus(2, 3) != 5 || Minus(2, 3) != -1 || Times(2, 3) != 6 || Div(7, 2) != 3 {
+		t.Error("arithmetic")
+	}
+	if Min(3, 2) != 2 || Max(3, 2) != 3 || Min("a", "b") != "a" {
+		t.Error("Min/Max")
+	}
+	if !LAnd(true, true) || LAnd(true, false) {
+		t.Error("LAnd")
+	}
+	if !LOr(false, true) || LOr(false, false) {
+		t.Error("LOr")
+	}
+	if !LXor(true, false) || LXor(true, true) {
+		t.Error("LXor")
+	}
+	if !LXnor(true, true) || LXnor(true, false) {
+		t.Error("LXnor")
+	}
+	if BAnd(6, 3) != 2 || BOr(6, 3) != 7 || BXor(6, 3) != 5 {
+		t.Error("bitwise")
+	}
+	if !Eq(1, 1) || Eq(1, 2) || !Ne(1, 2) {
+		t.Error("Eq/Ne")
+	}
+	if !Lt(1, 2) || !Le(2, 2) || !Gt(3, 2) || !Ge(2, 2) {
+		t.Error("comparisons")
+	}
+}
+
+// TestMonoidIdentities verifies op(identity, x) == x for every predefined
+// monoid over representative domains (the defining monoid law).
+func TestMonoidIdentities(t *testing.T) {
+	checkInt := func(name string, m Monoid[int], samples []int) {
+		for _, x := range samples {
+			if m.Op(m.Identity, x) != x || m.Op(x, m.Identity) != x {
+				t.Errorf("%s[int]: identity law fails for %d", name, x)
+			}
+		}
+	}
+	ints := []int{-100, -1, 0, 1, 42, 1 << 40}
+	checkInt("plus", PlusMonoid[int](), ints)
+	checkInt("times", TimesMonoid[int](), ints)
+	checkInt("min", MinMonoid[int](), ints)
+	checkInt("max", MaxMonoid[int](), ints)
+
+	checkF := func(name string, m Monoid[float64], samples []float64) {
+		for _, x := range samples {
+			if m.Op(m.Identity, x) != x || m.Op(x, m.Identity) != x {
+				t.Errorf("%s[float64]: identity law fails for %v", name, x)
+			}
+		}
+	}
+	floats := []float64{-1e300, -1, 0, 1, 3.5, 1e300}
+	checkF("plus", PlusMonoid[float64](), floats)
+	checkF("min", MinMonoid[float64](), floats)
+	checkF("max", MaxMonoid[float64](), floats)
+
+	for _, x := range []bool{true, false} {
+		if LAndMonoid().Op(LAndMonoid().Identity, x) != x {
+			t.Error("land identity")
+		}
+		if LOrMonoid().Op(LOrMonoid().Identity, x) != x {
+			t.Error("lor identity")
+		}
+		if LXorMonoid().Op(LXorMonoid().Identity, x) != x {
+			t.Error("lxor identity")
+		}
+		if LXnorMonoid().Op(LXnorMonoid().Identity, x) != x {
+			t.Error("lxnor identity")
+		}
+	}
+}
+
+// TestMinMaxIdentityValues checks the extreme-value computation that backs
+// the min/max monoids across all numeric domains.
+func TestMinMaxIdentityValues(t *testing.T) {
+	if MinMonoid[int8]().Identity != 127 || MaxMonoid[int8]().Identity != -128 {
+		t.Error("int8 extremes")
+	}
+	if MinMonoid[uint8]().Identity != 255 || MaxMonoid[uint8]().Identity != 0 {
+		t.Error("uint8 extremes")
+	}
+	if MinMonoid[int16]().Identity != math.MaxInt16 || MaxMonoid[int16]().Identity != math.MinInt16 {
+		t.Error("int16 extremes")
+	}
+	if MinMonoid[int32]().Identity != math.MaxInt32 || MaxMonoid[int32]().Identity != math.MinInt32 {
+		t.Error("int32 extremes")
+	}
+	if MinMonoid[int64]().Identity != math.MaxInt64 || MaxMonoid[int64]().Identity != math.MinInt64 {
+		t.Error("int64 extremes")
+	}
+	if MinMonoid[int]().Identity != math.MaxInt || MaxMonoid[int]().Identity != math.MinInt {
+		t.Error("int extremes")
+	}
+	if MinMonoid[uint64]().Identity != math.MaxUint64 || MaxMonoid[uint64]().Identity != 0 {
+		t.Error("uint64 extremes")
+	}
+	if !math.IsInf(MinMonoid[float64]().Identity, 1) || !math.IsInf(MaxMonoid[float64]().Identity, -1) {
+		t.Error("float64 extremes")
+	}
+	if !math.IsInf(float64(MinMonoid[float32]().Identity), 1) {
+		t.Error("float32 extremes")
+	}
+}
+
+func TestMonoidConstructors(t *testing.T) {
+	setMode(t, Blocking)
+	m, err := NewMonoid(Plus[int], 0)
+	if err != nil || m.Op(2, 3) != 5 {
+		t.Fatalf("NewMonoid: %v", err)
+	}
+	if _, err := NewMonoid[int](nil, 0); Code(err) != NullPointer {
+		t.Fatalf("nil op: %v", err)
+	}
+	// GrB_Scalar identity variant (Table II).
+	s, _ := ScalarOf(1)
+	m2, err := NewMonoidScalar(Times[int], s)
+	if err != nil || m2.Identity != 1 {
+		t.Fatalf("NewMonoidScalar: %v", err)
+	}
+	empty, _ := NewScalar[int]()
+	if _, err := NewMonoidScalar(Times[int], empty); Code(err) != EmptyObject {
+		t.Fatalf("empty identity: %v", err)
+	}
+}
+
+func TestSemiringConstructorsAndLaws(t *testing.T) {
+	if _, err := NewSemiring[int, int, int](Monoid[int]{}, Times[int]); err == nil {
+		t.Fatal("nil add op accepted")
+	}
+	sr, err := NewSemiring(PlusMonoid[int](), Times[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// distributivity spot-check by property
+	f := func(a, b, c int16) bool {
+		x, y, z := int(a), int(b), int(c)
+		return sr.Mul(x, sr.Add.Op(y, z)) == sr.Add.Op(sr.Mul(x, y), sr.Mul(x, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// tropical semiring: min distributes over +
+	tp := MinPlus[float64]()
+	g := func(a, b, c int16) bool {
+		x, y, z := float64(a), float64(b), float64(c)
+		return tp.Mul(x, tp.Add.Op(y, z)) == tp.Add.Op(tp.Mul(x, y), tp.Mul(x, z))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredefinedSemirings(t *testing.T) {
+	if MaxMin[int]().Mul(3, 5) != 3 || MaxMin[int]().Add.Op(3, 5) != 5 {
+		t.Error("MaxMin")
+	}
+	if MinMax[int]().Mul(3, 5) != 5 {
+		t.Error("MinMax")
+	}
+	if MaxPlus[int]().Add.Op(2, 9) != 9 || MaxPlus[int]().Mul(2, 9) != 11 {
+		t.Error("MaxPlus")
+	}
+	if MinTimes[int]().Mul(2, 9) != 18 {
+		t.Error("MinTimes")
+	}
+	if !LOrLAnd().Mul(true, true) || LOrLAnd().Mul(true, false) {
+		t.Error("LOrLAnd mul")
+	}
+	if LAndLOr().Add.Op(true, false) {
+		t.Error("LAndLOr add")
+	}
+	if LXorLAnd().Add.Op(true, true) {
+		t.Error("LXorLAnd add")
+	}
+	if PlusPair[int]().Mul(7, 9) != 1 {
+		t.Error("PlusPair")
+	}
+	if MinFirst[int]().Mul(7, 9) != 7 || MinSecond[int]().Mul(7, 9) != 9 {
+		t.Error("MinFirst/Second")
+	}
+	if MaxFirst[int]().Mul(7, 9) != 7 || MaxSecond[int]().Mul(7, 9) != 9 {
+		t.Error("MaxFirst/Second")
+	}
+}
+
+func TestPredefinedIndexOps(t *testing.T) {
+	// Table IV semantics at specific coordinates.
+	if RowIndex[string]("x", 3, 9, 2) != 5 {
+		t.Error("RowIndex")
+	}
+	if ColIndex[string]("x", 3, 9, 1) != 10 {
+		t.Error("ColIndex")
+	}
+	if DiagIndex[string]("x", 3, 9, 0) != 6 {
+		t.Error("DiagIndex")
+	}
+	if !TriL[int](0, 5, 5, 0) || TriL[int](0, 5, 6, 0) || !TriL[int](0, 5, 6, 1) {
+		t.Error("TriL")
+	}
+	if !TriU[int](0, 5, 5, 0) || TriU[int](0, 6, 5, 0) || !TriU[int](0, 6, 5, -1) {
+		t.Error("TriU")
+	}
+	if !Diag[int](0, 4, 4, 0) || Diag[int](0, 4, 5, 0) || !Diag[int](0, 4, 5, 1) {
+		t.Error("Diag")
+	}
+	if Offdiag[int](0, 4, 4, 0) || !Offdiag[int](0, 4, 5, 0) {
+		t.Error("Offdiag")
+	}
+	if !RowLE[int](0, 3, 0, 3) || RowLE[int](0, 4, 0, 3) {
+		t.Error("RowLE")
+	}
+	if !RowGT[int](0, 4, 0, 3) || RowGT[int](0, 3, 0, 3) {
+		t.Error("RowGT")
+	}
+	if !ColLE[int](0, 0, 3, 3) || ColLE[int](0, 0, 4, 3) {
+		t.Error("ColLE")
+	}
+	if !ColGT[int](0, 0, 4, 3) || ColGT[int](0, 0, 3, 3) {
+		t.Error("ColGT")
+	}
+	if !ValueEQ(5, 0, 0, 5) || ValueEQ(5, 0, 0, 6) {
+		t.Error("ValueEQ")
+	}
+	if !ValueNE(5, 0, 0, 6) || ValueNE(5, 0, 0, 5) {
+		t.Error("ValueNE")
+	}
+	if !ValueLT(4, 0, 0, 5) || ValueLT(5, 0, 0, 5) {
+		t.Error("ValueLT")
+	}
+	if !ValueLE(5, 0, 0, 5) || ValueLE(6, 0, 0, 5) {
+		t.Error("ValueLE")
+	}
+	if !ValueGT(6, 0, 0, 5) || ValueGT(5, 0, 0, 5) {
+		t.Error("ValueGT")
+	}
+	if !ValueGE(5, 0, 0, 5) || ValueGE(4, 0, 0, 5) {
+		t.Error("ValueGE")
+	}
+	if _, err := NewIndexUnaryOp[int, int, bool](nil); Code(err) != NullPointer {
+		t.Error("NewIndexUnaryOp nil")
+	}
+	op, err := NewIndexUnaryOp(func(v int, i, j Index, s int) bool { return v > s })
+	if err != nil || !op(7, 0, 0, 6) {
+		t.Error("NewIndexUnaryOp wrap")
+	}
+}

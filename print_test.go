@@ -1,0 +1,72 @@
+package grb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixString(t *testing.T) {
+	setMode(t, NonBlocking)
+	m := mustMatrix(t, 2, 3, []Index{0, 1}, []Index{1, 2}, []int{5, 7})
+	s := m.String()
+	if !strings.Contains(s, "2x3") || !strings.Contains(s, "2 entries") {
+		t.Fatalf("summary missing: %q", s)
+	}
+	if !strings.Contains(s, "5") || !strings.Contains(s, "7") {
+		t.Fatalf("values missing: %q", s)
+	}
+	// large matrix: tuple form with truncation
+	var I, J []Index
+	var X []int
+	for k := 0; k < 30; k++ {
+		I = append(I, k)
+		J = append(J, k)
+		X = append(X, k)
+	}
+	big := mustMatrix(t, 30, 30, I, J, X)
+	bs := big.String()
+	if !strings.Contains(bs, "more") {
+		t.Fatalf("truncation marker missing: %q", bs)
+	}
+	// nil / uninitialized
+	var nilM *Matrix[int]
+	if nilM.String() != "Matrix(nil)" {
+		t.Fatal("nil string")
+	}
+	var zero Matrix[int]
+	if zero.String() != "Matrix(uninitialized)" {
+		t.Fatal("uninit string")
+	}
+	// errored object renders the error, does not panic
+	bad, _ := NewMatrix[int](2, 2)
+	_ = bad.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
+	_ = bad.Wait(Complete)
+	if !strings.Contains(bad.String(), "GrB_INVALID_VALUE") {
+		t.Fatalf("error not rendered: %q", bad.String())
+	}
+}
+
+func TestVectorAndScalarString(t *testing.T) {
+	setMode(t, NonBlocking)
+	v := mustVector(t, 5, []Index{1, 3}, []float64{1.5, -2})
+	s := v.String()
+	if !strings.Contains(s, "size 5") || !strings.Contains(s, "1.5") {
+		t.Fatalf("vector string: %q", s)
+	}
+	var nilV *Vector[int]
+	if nilV.String() != "Vector(nil)" {
+		t.Fatal("nil vector string")
+	}
+	sc, _ := ScalarOf(42)
+	if sc.String() != "Scalar(42)" {
+		t.Fatalf("scalar string: %q", sc.String())
+	}
+	_ = sc.Clear()
+	if sc.String() != "Scalar(empty)" {
+		t.Fatalf("empty scalar string: %q", sc.String())
+	}
+	var nilS *Scalar[int]
+	if nilS.String() != "Scalar(nil)" {
+		t.Fatal("nil scalar string")
+	}
+}

@@ -1,0 +1,354 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over the public API: algebraic
+// identities that must hold for every randomly generated operand.
+
+// genMatrix produces a random matrix plus its dense mirror.
+func genMatrixForProps(t *testing.T, rng *rand.Rand, rows, cols int) (*Matrix[int], *denseM) {
+	d := randDense(rng, rows, cols, 0.3+rng.Float64()*0.4)
+	return d.toMatrix(t), d
+}
+
+// TestPropTransposeInvolution: (Aᵀ)ᵀ = A through the public API.
+func TestPropTransposeInvolution(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		a, _ := genMatrixForProps(t, rng, rows, cols)
+		at, _ := NewMatrix[int](cols, rows)
+		if err := Transpose(at, nil, nil, a, nil); err != nil {
+			return false
+		}
+		att, _ := NewMatrix[int](rows, cols)
+		if err := Transpose(att, nil, nil, at, nil); err != nil {
+			return false
+		}
+		ai, aj, ax, _ := a.ExtractTuples()
+		bi, bj, bx, _ := att.ExtractTuples()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for k := range ai {
+			if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMxMIdentity: A·I = A = I·A over plus-times.
+func TestPropMxMIdentity(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a, _ := genMatrixForProps(t, rng, n, n)
+		var ii []Index
+		var xx []int
+		for i := 0; i < n; i++ {
+			ii = append(ii, i)
+			xx = append(xx, 1)
+		}
+		ident := mustMatrix(t, n, n, ii, ii, xx)
+		left, _ := NewMatrix[int](n, n)
+		right, _ := NewMatrix[int](n, n)
+		if err := MxM(left, nil, nil, PlusTimes[int](), ident, a, nil); err != nil {
+			return false
+		}
+		if err := MxM(right, nil, nil, PlusTimes[int](), a, ident, nil); err != nil {
+			return false
+		}
+		ai, aj, ax, _ := a.ExtractTuples()
+		for _, m := range []*Matrix[int]{left, right} {
+			bi, bj, bx, _ := m.ExtractTuples()
+			if len(ai) != len(bi) {
+				return false
+			}
+			for k := range ai {
+				if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMaskComplementPartition: for any mask, the masked result and the
+// complement-masked result (both with replace) partition the unmasked
+// result's pattern.
+func TestPropMaskComplementPartition(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a, _ := genMatrixForProps(t, rng, n, n)
+		b, _ := genMatrixForProps(t, rng, n, n)
+		maskVal, maskOk := randDenseBool(rng, n, n, 0.5)
+		mask := boolMatrix(t, maskVal, maskOk)
+		full, _ := NewMatrix[int](n, n)
+		pos, _ := NewMatrix[int](n, n)
+		neg, _ := NewMatrix[int](n, n)
+		if err := EWiseAddMatrix(full, nil, nil, Plus[int], a, b, nil); err != nil {
+			return false
+		}
+		if err := EWiseAddMatrix(pos, mask, nil, Plus[int], a, b, DescRS); err != nil {
+			return false
+		}
+		if err := EWiseAddMatrix(neg, mask, nil, Plus[int], a, b, DescRSC); err != nil {
+			return false
+		}
+		fn, _ := full.Nvals()
+		pn, _ := pos.Nvals()
+		nn, _ := neg.Nvals()
+		if pn+nn != fn {
+			return false
+		}
+		// every full entry appears in exactly one side with the same value
+		fi, fj, fx, _ := full.ExtractTuples()
+		for k := range fi {
+			pv, pok, _ := pos.ExtractElement(fi[k], fj[k])
+			nv, nok, _ := neg.ExtractElement(fi[k], fj[k])
+			if pok == nok {
+				return false
+			}
+			if pok && pv != fx[k] || nok && nv != fx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSelectPartition: TriL(s) and TriU(s+1) partition any matrix.
+func TestPropSelectPartition(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64, sRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		a, _ := genMatrixForProps(t, rng, rows, cols)
+		s := int(sRaw) % (cols + 1)
+		lo, _ := NewMatrix[int](rows, cols)
+		hi, _ := NewMatrix[int](rows, cols)
+		if err := MatrixSelect(lo, nil, nil, TriL[int], a, s, nil); err != nil {
+			return false
+		}
+		if err := MatrixSelect(hi, nil, nil, TriU[int], a, s+1, nil); err != nil {
+			return false
+		}
+		an, _ := a.Nvals()
+		ln, _ := lo.Nvals()
+		hn, _ := hi.Nvals()
+		return ln+hn == an
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropBuildExtractRoundTrip: build ∘ extractTuples is the identity.
+func TestPropBuildExtractRoundTrip(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(15)
+		cols := 1 + rng.Intn(15)
+		a, _ := genMatrixForProps(t, rng, rows, cols)
+		I, J, X, err := a.ExtractTuples()
+		if err != nil {
+			return false
+		}
+		b, _ := NewMatrix[int](rows, cols)
+		if len(I) > 0 {
+			if err := b.Build(I, J, X, nil); err != nil {
+				return false
+			}
+		}
+		bi, bj, bx, _ := b.ExtractTuples()
+		if len(bi) != len(I) {
+			return false
+		}
+		for k := range I {
+			if I[k] != bi[k] || J[k] != bj[k] || X[k] != bx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropEWiseAddCommutative: A ⊕ B = B ⊕ A for a commutative operator.
+func TestPropEWiseAddCommutative(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		a, _ := genMatrixForProps(t, rng, rows, cols)
+		b, _ := genMatrixForProps(t, rng, rows, cols)
+		ab, _ := NewMatrix[int](rows, cols)
+		ba, _ := NewMatrix[int](rows, cols)
+		if err := EWiseAddMatrix(ab, nil, nil, Plus[int], a, b, nil); err != nil {
+			return false
+		}
+		if err := EWiseAddMatrix(ba, nil, nil, Plus[int], b, a, nil); err != nil {
+			return false
+		}
+		ai, aj, ax, _ := ab.ExtractTuples()
+		bi, bj, bx, _ := ba.ExtractTuples()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for k := range ai {
+			if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropReduceAgreesWithTupleSum: reduce(+) equals summing the extracted
+// tuples.
+func TestPropReduceAgreesWithTupleSum(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := genMatrixForProps(t, rng, 1+rng.Intn(15), 1+rng.Intn(15))
+		_, _, X, _ := a.ExtractTuples()
+		want := 0
+		for _, x := range X {
+			want += x
+		}
+		got, err := MatrixReduce(PlusMonoid[int](), a)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropExtractAssignInverse: assigning an extracted region back into the
+// same place is the identity.
+func TestPropExtractAssignInverse(t *testing.T) {
+	setMode(t, Blocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a, _ := genMatrixForProps(t, rng, n, n)
+		k := 1 + rng.Intn(n)
+		rows := rand.New(rand.NewSource(seed + 1)).Perm(n)[:k]
+		cols := rand.New(rand.NewSource(seed + 2)).Perm(n)[:k]
+		sub, _ := NewMatrix[int](k, k)
+		if err := MatrixExtract(sub, nil, nil, a, rows, cols, nil); err != nil {
+			return false
+		}
+		back, _ := a.Dup()
+		if err := MatrixAssign(back, nil, nil, sub, rows, cols, nil); err != nil {
+			return false
+		}
+		ai, aj, ax, _ := a.ExtractTuples()
+		bi, bj, bx, _ := back.ExtractTuples()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for t := range ai {
+			if ai[t] != bi[t] || aj[t] != bj[t] || ax[t] != bx[t] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSerializeAfterOps: streams survive arbitrary preceding operations
+// (exercises the snapshot/immutability discipline).
+func TestPropSerializeAfterOps(t *testing.T) {
+	setMode(t, NonBlocking)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a, _ := genMatrixForProps(t, rng, n, n)
+		c, _ := NewMatrix[int](n, n)
+		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
+			return false
+		}
+		blob, err := c.SerializeBytes()
+		if err != nil {
+			return false
+		}
+		back, err := MatrixDeserialize[int](blob)
+		if err != nil {
+			return false
+		}
+		ci, cj, cx, _ := c.ExtractTuples()
+		bi, bj, bx, _ := back.ExtractTuples()
+		if len(ci) != len(bi) {
+			return false
+		}
+		for k := range ci {
+			if ci[k] != bi[k] || cj[k] != bj[k] || cx[k] != bx[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsMaskHelpers(t *testing.T) {
+	setMode(t, Blocking)
+	m := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{0, 5})
+	mask, err := AsMask(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// value-mask semantics: 0 maps to false, 5 to true
+	matrixEquals(t, mask, []Index{0, 1}, []Index{0, 1}, []bool{false, true})
+	mask2, err := AsMaskFunc(m, func(v int) bool { return v == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, mask2, []Index{0, 1}, []Index{0, 1}, []bool{true, false})
+	v := mustVector(t, 3, []Index{0, 2}, []float64{0, 2.5})
+	vm, err := AsVectorMask(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectorEquals(t, vm, []Index{0, 2}, []bool{false, true})
+	vm2, err := AsVectorMaskFunc(v, func(float64) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectorEquals(t, vm2, []Index{0, 2}, []bool{true, true})
+}

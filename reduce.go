@@ -1,0 +1,226 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// MatrixReduceToVector computes w⟨m⟩ = w ⊙ [⊕_j A(:,j)]: each row of A
+// reduced with the monoid (GrB_Matrix_reduce to a vector). With the
+// Transpose0 descriptor flag columns are reduced instead. Rows with no
+// entries produce no output entry.
+func MatrixReduceToVector[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, T],
+	monoid Monoid[T], a *Matrix[T], desc *Descriptor) error {
+	if err := w.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if monoid.Op == nil {
+		return errf(NullPointer, "MatrixReduceToVector: nil monoid")
+	}
+	ctxs := append([]*Context{w.ctx, a.ctx}, vmaskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	wOld, err := w.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapVMask(mask, d)
+	if err != nil {
+		return err
+	}
+	n := acsr.Rows
+	if d.Transpose0 {
+		n = acsr.Cols
+	}
+	if wOld.N != n {
+		return errf(DimensionMismatch, "MatrixReduceToVector: output has size %d but reduction has size %d", wOld.N, n)
+	}
+	if err := checkMaskDimsV(mk, wOld.N); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		var t *sparse.Vec[T]
+		if d.Transpose0 {
+			t = sparse.ReduceCols(acsr, monoid.Op, threads)
+		} else {
+			t = sparse.ReduceRows(acsr, monoid.Op, threads)
+		}
+		z := sparse.AccumMergeV(wOld, t, accum)
+		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
+	})
+}
+
+// MatrixReduceToScalar reduces all stored entries of A into a GrB_Scalar —
+// one of the new Table II scalar-output variants. An empty matrix yields an
+// empty scalar (with a nil accumulator), rather than the monoid identity
+// the 1.X typed variants return; §VI of the paper highlights exactly this
+// uniformity gain. With an accumulator, s = s ⊙ t when both sides have
+// values; an empty reduction leaves s unchanged.
+func MatrixReduceToScalar[T any](s *Scalar[T], accum BinaryOp[T, T, T],
+	monoid Monoid[T], a *Matrix[T], desc *Descriptor) error {
+	if monoid.Op == nil {
+		return errf(NullPointer, "MatrixReduceToScalar: nil monoid")
+	}
+	return matrixReduceScalarCommon("MatrixReduceToScalar", s, accum, monoid.Op, a)
+}
+
+// MatrixReduceToScalarBinaryOp is the Table II variant
+// GrB_reduce(GrB_Scalar, accum, GrB_BinaryOp, GrB_Matrix, desc): GraphBLAS
+// 2.0 newly permits reduction with a plain associative binary operator
+// instead of a monoid, possible precisely because an empty result is now
+// representable (no identity value is needed).
+func MatrixReduceToScalarBinaryOp[T any](s *Scalar[T], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], a *Matrix[T], desc *Descriptor) error {
+	if op == nil {
+		return errf(NullPointer, "MatrixReduceToScalarBinaryOp: nil operator")
+	}
+	return matrixReduceScalarCommon("MatrixReduceToScalarBinaryOp", s, accum, op, a)
+}
+
+func matrixReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], a *Matrix[T]) error {
+	if s == nil {
+		return errf(NullPointer, "%s: nil output scalar", opName)
+	}
+	if err := s.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	ctx, err := sameContext(s.ctx, a.ctx)
+	if err != nil {
+		return err
+	}
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	t, tok := sparse.ReduceAll(acsr, op, threads)
+	return installScalarReduce(s, accum, t, tok)
+}
+
+// VectorReduceToScalar reduces all stored entries of u into a GrB_Scalar
+// (Table II). An empty vector yields an empty scalar.
+func VectorReduceToScalar[T any](s *Scalar[T], accum BinaryOp[T, T, T],
+	monoid Monoid[T], u *Vector[T], desc *Descriptor) error {
+	if monoid.Op == nil {
+		return errf(NullPointer, "VectorReduceToScalar: nil monoid")
+	}
+	return vectorReduceScalarCommon("VectorReduceToScalar", s, accum, monoid.Op, u)
+}
+
+// VectorReduceToScalarBinaryOp is the Table II binary-operator variant of
+// vector reduce.
+func VectorReduceToScalarBinaryOp[T any](s *Scalar[T], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], u *Vector[T], desc *Descriptor) error {
+	if op == nil {
+		return errf(NullPointer, "VectorReduceToScalarBinaryOp: nil operator")
+	}
+	return vectorReduceScalarCommon("VectorReduceToScalarBinaryOp", s, accum, op, u)
+}
+
+func vectorReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp[T, T, T],
+	op BinaryOp[T, T, T], u *Vector[T]) error {
+	if s == nil {
+		return errf(NullPointer, "%s: nil output scalar", opName)
+	}
+	if err := s.check(); err != nil {
+		return err
+	}
+	if err := u.check(); err != nil {
+		return err
+	}
+	if _, err := sameContext(s.ctx, u.ctx); err != nil {
+		return err
+	}
+	uvec, err := u.snapshot()
+	if err != nil {
+		return err
+	}
+	t, tok := sparse.ReduceVec(uvec, op)
+	return installScalarReduce(s, accum, t, tok)
+}
+
+// installScalarReduce merges a reduction result into the output scalar under
+// the accumulator rules: no accum → s mirrors the (possibly empty) result;
+// accum → combine when both sides are present.
+func installScalarReduce[T any](s *Scalar[T], accum BinaryOp[T, T, T], t T, tok bool) error {
+	if accum == nil {
+		if !tok {
+			return s.Clear()
+		}
+		return s.SetElement(t)
+	}
+	if !tok {
+		return nil // empty reduction: s unchanged
+	}
+	old, ok, err := s.ExtractElement()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return s.SetElement(t)
+	}
+	return s.SetElement(accum(old, t))
+}
+
+// MatrixReduce is the GraphBLAS 1.X-style typed reduction of a matrix: it
+// returns the monoid identity when the matrix is empty. It exists alongside
+// MatrixReduceToScalar so the 1.X/2.0 behavioural difference that §VI
+// discusses can be observed directly.
+func MatrixReduce[T any](monoid Monoid[T], a *Matrix[T]) (T, error) {
+	var zero T
+	if monoid.Op == nil {
+		return zero, errf(NullPointer, "MatrixReduce: nil monoid")
+	}
+	if err := a.check(); err != nil {
+		return zero, err
+	}
+	ctx, err := a.context()
+	if err != nil {
+		return zero, err
+	}
+	acsr, err := a.snapshot()
+	if err != nil {
+		return zero, err
+	}
+	t, ok := sparse.ReduceAll(acsr, monoid.Op, ctx.threadsFor(acsr.NNZ()))
+	if !ok {
+		return monoid.Identity, nil
+	}
+	return t, nil
+}
+
+// VectorReduce is the 1.X-style typed reduction of a vector, returning the
+// monoid identity when empty.
+func VectorReduce[T any](monoid Monoid[T], u *Vector[T]) (T, error) {
+	var zero T
+	if monoid.Op == nil {
+		return zero, errf(NullPointer, "VectorReduce: nil monoid")
+	}
+	if err := u.check(); err != nil {
+		return zero, err
+	}
+	if _, err := u.context(); err != nil {
+		return zero, err
+	}
+	uvec, err := u.snapshot()
+	if err != nil {
+		return zero, err
+	}
+	t, ok := sparse.ReduceVec(uvec, monoid.Op)
+	if !ok {
+		return monoid.Identity, nil
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package grb
+
+import "testing"
+
+func TestRowAssign(t *testing.T) {
+	setMode(t, Blocking)
+	c := mustMatrix(t, 3, 4,
+		[]Index{0, 1, 1, 2}, []Index{0, 1, 3, 2}, []int{1, 2, 3, 4})
+	u := mustVector(t, 4, []Index{0, 2}, []int{10, 30})
+
+	// pure row assignment replaces the whole row's region
+	c1, _ := c.Dup()
+	if err := RowAssign(c1, nil, nil, u, 1, All, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c1,
+		[]Index{0, 1, 1, 2}, []Index{0, 0, 2, 2}, []int{1, 10, 30, 4})
+
+	// partial columns with accumulation
+	c2, _ := c.Dup()
+	u2 := mustVector(t, 2, []Index{0, 1}, []int{100, 200})
+	if err := RowAssign(c2, nil, Plus[int], u2, 1, []Index{1, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c2,
+		[]Index{0, 1, 1, 2}, []Index{0, 1, 3, 2}, []int{1, 102, 203, 4})
+
+	// masked row assign (mask over the row)
+	c3, _ := c.Dup()
+	mask := mustVector(t, 4, []Index{0}, []bool{true})
+	if err := RowAssign(c3, mask, nil, u, 1, All, DescS); err != nil {
+		t.Fatal(err)
+	}
+	// only column 0 admitted: row 1 keeps (1,1)=2,(1,3)=3 and gains (1,0)=10
+	matrixEquals(t, c3,
+		[]Index{0, 1, 1, 1, 2}, []Index{0, 0, 1, 3, 2}, []int{1, 10, 2, 3, 4})
+
+	// errors
+	wantCode(t, RowAssign(c1, nil, nil, u, 5, All, nil), InvalidIndex)
+	wantCode(t, RowAssign(c1, nil, nil, u, 0, []Index{9}, nil), InvalidIndex)
+	wantCode(t, RowAssign(c1, nil, nil, u2, 0, All, nil), DimensionMismatch)
+}
+
+func TestColAssign(t *testing.T) {
+	setMode(t, Blocking)
+	c := mustMatrix(t, 4, 3,
+		[]Index{0, 1, 3, 2}, []Index{0, 1, 1, 2}, []int{1, 2, 4, 3})
+	u := mustVector(t, 4, []Index{1, 2}, []int{20, 30})
+
+	c1, _ := c.Dup()
+	if err := ColAssign(c1, nil, nil, u, All, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// column 1 becomes {1:20, 2:30} (old (3,1) deleted)
+	matrixEquals(t, c1,
+		[]Index{0, 1, 2, 2}, []Index{0, 1, 1, 2}, []int{1, 20, 30, 3})
+
+	// partial rows with accum
+	c2, _ := c.Dup()
+	u2 := mustVector(t, 2, []Index{0, 1}, []int{5, 7})
+	if err := ColAssign(c2, nil, Plus[int], u2, []Index{1, 3}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	matrixEquals(t, c2,
+		[]Index{0, 1, 2, 3}, []Index{0, 1, 2, 1}, []int{1, 7, 3, 11})
+
+	// masked with replace: mask over the column
+	c3, _ := c.Dup()
+	mask := mustVector(t, 4, []Index{1}, []bool{true})
+	if err := ColAssign(c3, mask, nil, u, All, 1, DescRS); err != nil {
+		t.Fatal(err)
+	}
+	// only row 1 of column 1 admitted (20); (3,1) deleted by replace
+	matrixEquals(t, c3,
+		[]Index{0, 1, 2}, []Index{0, 1, 2}, []int{1, 20, 3})
+
+	wantCode(t, ColAssign(c1, nil, nil, u, All, 7, nil), InvalidIndex)
+	wantCode(t, ColAssign(c1, nil, nil, u, []Index{9, 0, 1, 2}, 1, nil), InvalidIndex)
+	wantCode(t, ColAssign(c1, nil, nil, u2, All, 1, nil), DimensionMismatch)
+}
+
+// TestRowColAssignConsistency: ColAssign on C equals RowAssign on Cᵀ.
+func TestRowColAssignConsistency(t *testing.T) {
+	setMode(t, Blocking)
+	c := mustMatrix(t, 3, 3,
+		[]Index{0, 1, 2}, []Index{1, 2, 0}, []int{1, 2, 3})
+	u := mustVector(t, 3, []Index{0, 2}, []int{9, 8})
+
+	viaCol, _ := c.Dup()
+	if err := ColAssign(viaCol, nil, nil, u, All, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := NewMatrix[int](3, 3)
+	if err := Transpose(ct, nil, nil, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RowAssign(ct, nil, nil, u, 2, All, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := NewMatrix[int](3, 3)
+	if err := Transpose(back, nil, nil, ct, nil); err != nil {
+		t.Fatal(err)
+	}
+	ai, aj, ax, _ := viaCol.ExtractTuples()
+	bi, bj, bx, _ := back.ExtractTuples()
+	if len(ai) != len(bi) {
+		t.Fatalf("nvals %d vs %d", len(ai), len(bi))
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || aj[k] != bj[k] || ax[k] != bx[k] {
+			t.Fatal("ColAssign != transpose∘RowAssign∘transpose")
+		}
+	}
+}

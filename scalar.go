@@ -1,0 +1,172 @@
+package grb
+
+import "sync"
+
+// Scalar is the opaque GraphBLAS scalar object (GrB_Scalar, §VI of the
+// paper): a container for a single element of domain T that — like matrices
+// and vectors — may be empty. The paper gives two motivations, both of which
+// carry into the Go binding:
+//
+//  1. Uniform typing of scalar arguments. The C API needed a nonpolymorphic
+//     variant per predefined type plus void* for user-defined types; a
+//     GrB_Scalar always knows its domain. (Go generics already give this for
+//     plain values, but Scalar additionally carries *presence*.)
+//  2. Uniform emptiness semantics: extractElement into a Scalar cannot fail
+//     with NO_VALUE — it yields an empty Scalar — and reduce of an empty
+//     object yields an empty Scalar instead of the monoid identity.
+type Scalar[T any] struct {
+	mu      sync.Mutex
+	init    bool
+	ctx     *Context
+	val     T
+	present bool
+	errmsg  string
+}
+
+// NewScalar creates an empty scalar of domain T (GrB_Scalar_new, Table I).
+func NewScalar[T any](opts ...ObjOption) (*Scalar[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Scalar[T]{init: true, ctx: ctx}, nil
+}
+
+// ScalarOf creates a scalar already holding v. A convenience constructor of
+// the Go binding (the C API would be GrB_Scalar_new + setElement).
+func ScalarOf[T any](v T, opts ...ObjOption) (*Scalar[T], error) {
+	s, err := NewScalar[T](opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.val = v
+	s.present = true
+	return s, nil
+}
+
+func (s *Scalar[T]) check() error {
+	if s == nil {
+		return errf(NullPointer, "nil Scalar")
+	}
+	if !s.init {
+		return errf(UninitializedObject, "Scalar not initialized (use NewScalar)")
+	}
+	return nil
+}
+
+// Dup duplicates the scalar into a new one (GrB_Scalar_dup, Table I).
+func (s *Scalar[T]) Dup() (*Scalar[T], error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	if _, err := resolveCtx(s.ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Scalar[T]{init: true, ctx: s.ctx, val: s.val, present: s.present}, nil
+}
+
+// Clear empties the scalar (GrB_Scalar_clear, Table I).
+func (s *Scalar[T]) Clear() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if _, err := resolveCtx(s.ctx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	s.val = zero
+	s.present = false
+	s.errmsg = ""
+	return nil
+}
+
+// Nvals returns the number of stored elements: 0 or 1 (GrB_Scalar_nvals,
+// Table I).
+func (s *Scalar[T]) Nvals() (Index, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	if _, err := resolveCtx(s.ctx); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.present {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// SetElement stores a value in the scalar (GrB_Scalar_setElement, Table I).
+func (s *Scalar[T]) SetElement(v T) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if _, err := resolveCtx(s.ctx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.val = v
+	s.present = true
+	return nil
+}
+
+// ExtractElement reads the scalar's value; ok is false when the scalar is
+// empty (GrB_Scalar_extractElement, Table I — the NO_VALUE case).
+func (s *Scalar[T]) ExtractElement() (val T, ok bool, err error) {
+	var zero T
+	if err := s.check(); err != nil {
+		return zero, false, err
+	}
+	if _, err := resolveCtx(s.ctx); err != nil {
+		return zero, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val, s.present, nil
+}
+
+// Wait completes the scalar's sequence (GrB_Scalar_wait). Scalar operations
+// execute eagerly in this implementation, so Wait only validates arguments;
+// it exists for API conformance.
+func (s *Scalar[T]) Wait(mode WaitMode) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	if mode != Complete && mode != Materialize {
+		return errf(InvalidValue, "Wait: invalid mode %d", int(mode))
+	}
+	_, err := resolveCtx(s.ctx)
+	return err
+}
+
+// ErrorString returns the diagnostic string for the last error (GrB_error).
+func (s *Scalar[T]) ErrorString() string {
+	if s == nil || !s.init {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errmsg
+}
+
+// Free releases the scalar (GrB_free).
+func (s *Scalar[T]) Free() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.init = false
+	s.present = false
+	return nil
+}

@@ -1,0 +1,118 @@
+package grb
+
+import "testing"
+
+// TestTableI_ScalarMethods exercises the six GrB_Scalar manipulation methods
+// of Table I, including the empty-scalar states §VI emphasizes.
+func TestTableI_ScalarMethods(t *testing.T) {
+	setMode(t, Blocking)
+
+	// GrB_Scalar_new: starts empty.
+	s, err := NewScalar[float64]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := s.Nvals()
+	if err != nil || nv != 0 {
+		t.Fatalf("new scalar nvals = %d, %v", nv, err)
+	}
+	if _, ok, err := s.ExtractElement(); ok || err != nil {
+		t.Fatalf("new scalar should be empty (%v)", err)
+	}
+
+	// GrB_Scalar_setElement.
+	if err := s.SetElement(2.5); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.ExtractElement()
+	if err != nil || !ok || v != 2.5 {
+		t.Fatalf("extract = %v,%v,%v", v, ok, err)
+	}
+	nv, _ = s.Nvals()
+	if nv != 1 {
+		t.Fatalf("nvals = %d, want 1", nv)
+	}
+
+	// GrB_Scalar_dup is independent of the original.
+	d, err := s.Dup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetElement(9); err != nil {
+		t.Fatal(err)
+	}
+	dv, dok, _ := d.ExtractElement()
+	if !dok || dv != 2.5 {
+		t.Fatalf("dup sees %v,%v (should be snapshot)", dv, dok)
+	}
+
+	// GrB_Scalar_clear empties.
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	nv, _ = s.Nvals()
+	if nv != 0 {
+		t.Fatalf("after clear nvals = %d", nv)
+	}
+}
+
+func TestScalarOfAndWaitAndFree(t *testing.T) {
+	setMode(t, NonBlocking)
+	s, err := ScalarOf(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.ExtractElement(); !ok || v != 42 {
+		t.Fatalf("ScalarOf = %v,%v", v, ok)
+	}
+	if err := s.Wait(Complete); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(Materialize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(WaitMode(5)); Code(err) != InvalidValue {
+		t.Fatalf("bad wait mode: %v", err)
+	}
+	if s.ErrorString() != "" {
+		t.Fatal("fresh scalar has error string")
+	}
+	if err := s.Free(); err != nil {
+		t.Fatal(err)
+	}
+	// After free: uninitialized object semantics.
+	if _, err := s.Nvals(); Code(err) != UninitializedObject {
+		t.Fatalf("nvals after free: %v", err)
+	}
+	if err := s.SetElement(1); Code(err) != UninitializedObject {
+		t.Fatalf("set after free: %v", err)
+	}
+}
+
+func TestScalarUninitialized(t *testing.T) {
+	setMode(t, Blocking)
+	var s *Scalar[int]
+	if _, _, err := s.ExtractElement(); Code(err) != NullPointer {
+		t.Fatalf("nil scalar: %v", err)
+	}
+	var zero Scalar[int]
+	if _, err := zero.Nvals(); Code(err) != UninitializedObject {
+		t.Fatalf("zero-value scalar: %v", err)
+	}
+}
+
+func TestScalarUserDefinedDomain(t *testing.T) {
+	setMode(t, Blocking)
+	type pt struct{ X, Y int }
+	s, err := NewScalar[pt]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetElement(pt{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.ExtractElement()
+	if !ok || v != (pt{1, 2}) {
+		t.Fatalf("user-defined domain: %v,%v", v, ok)
+	}
+}

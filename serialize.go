@@ -1,0 +1,484 @@
+package grb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"reflect"
+
+	"github.com/grblas/grb/internal/sparse"
+)
+
+// Serialization (§VII-B of the paper): GraphBLAS objects can be turned into
+// an opaque byte stream — e.g. to ship over a wire in a distributed setting —
+// that need not be interpretable by other implementations. This
+// implementation uses a little-endian framed layout with fast paths for the
+// numeric predefined domains and a gob fallback for user-defined domains.
+// The stream records the Go domain name; deserializing into a different
+// domain fails with DomainMismatch.
+
+var serMagic = [6]byte{'G', 'R', 'B', '2', '.', '0'}
+
+const (
+	serKindMatrix = byte('M')
+	serKindVector = byte('V')
+)
+
+// typeName returns the stable name recorded in serialized streams.
+func typeName[T any]() string {
+	var zero T
+	return reflect.TypeOf(&zero).Elem().String()
+}
+
+// encodeValues appends the encoded value payload. Numeric and bool domains
+// use fixed-width little-endian fast paths; everything else uses gob.
+func encodeValues[T any](buf *bytes.Buffer, vals []T) error {
+	switch vs := any(vals).(type) {
+	case []bool:
+		buf.WriteByte(0)
+		for _, v := range vs {
+			if v {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+		}
+	case []int8:
+		buf.WriteByte(0)
+		for _, v := range vs {
+			buf.WriteByte(byte(v))
+		}
+	case []uint8:
+		buf.WriteByte(0)
+		buf.Write(vs)
+	case []int16:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v int16) { binary.LittleEndian.PutUint16(b, uint16(v)) }, 2)
+	case []uint16:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }, 2)
+	case []int32:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v int32) { binary.LittleEndian.PutUint32(b, uint32(v)) }, 4)
+	case []uint32:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }, 4)
+	case []int64:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) }, 8)
+	case []uint64:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }, 8)
+	case []int:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v int) { binary.LittleEndian.PutUint64(b, uint64(v)) }, 8)
+	case []uint:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v uint) { binary.LittleEndian.PutUint64(b, uint64(v)) }, 8)
+	case []float32:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }, 4)
+	case []float64:
+		buf.WriteByte(0)
+		writeFixed(buf, vs, func(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }, 8)
+	default:
+		buf.WriteByte(1) // gob-encoded payload
+		enc := gob.NewEncoder(buf)
+		if err := enc.Encode(vals); err != nil {
+			return errf(InvalidValue, "serialize: gob encoding failed: %v", err)
+		}
+	}
+	return nil
+}
+
+func writeFixed[T any](buf *bytes.Buffer, vals []T, put func([]byte, T), width int) {
+	var scratch [8]byte
+	for _, v := range vals {
+		put(scratch[:width], v)
+		buf.Write(scratch[:width])
+	}
+}
+
+// decodeValues reads a value payload of n entries.
+func decodeValues[T any](r *bytes.Reader, n int) ([]T, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, errf(InvalidObject, "deserialize: truncated value payload")
+	}
+	if tag == 1 {
+		var vals []T
+		dec := gob.NewDecoder(r)
+		if err := dec.Decode(&vals); err != nil {
+			return nil, errf(InvalidObject, "deserialize: gob decoding failed: %v", err)
+		}
+		if len(vals) != n {
+			return nil, errf(InvalidObject, "deserialize: expected %d values, got %d", n, len(vals))
+		}
+		return vals, nil
+	}
+	vals := make([]T, n)
+	switch vs := any(vals).(type) {
+	case []bool:
+		for i := range vs {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, errf(InvalidObject, "deserialize: truncated bool payload")
+			}
+			vs[i] = b != 0
+		}
+	case []int8:
+		for i := range vs {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, errf(InvalidObject, "deserialize: truncated int8 payload")
+			}
+			vs[i] = int8(b)
+		}
+	case []uint8:
+		if _, err := r.Read(vs); err != nil && n > 0 {
+			return nil, errf(InvalidObject, "deserialize: truncated uint8 payload")
+		}
+	case []int16:
+		if err := readFixed(r, vs, func(b []byte) int16 { return int16(binary.LittleEndian.Uint16(b)) }, 2); err != nil {
+			return nil, err
+		}
+	case []uint16:
+		if err := readFixed(r, vs, binary.LittleEndian.Uint16, 2); err != nil {
+			return nil, err
+		}
+	case []int32:
+		if err := readFixed(r, vs, func(b []byte) int32 { return int32(binary.LittleEndian.Uint32(b)) }, 4); err != nil {
+			return nil, err
+		}
+	case []uint32:
+		if err := readFixed(r, vs, binary.LittleEndian.Uint32, 4); err != nil {
+			return nil, err
+		}
+	case []int64:
+		if err := readFixed(r, vs, func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }, 8); err != nil {
+			return nil, err
+		}
+	case []uint64:
+		if err := readFixed(r, vs, binary.LittleEndian.Uint64, 8); err != nil {
+			return nil, err
+		}
+	case []int:
+		if err := readFixed(r, vs, func(b []byte) int { return int(binary.LittleEndian.Uint64(b)) }, 8); err != nil {
+			return nil, err
+		}
+	case []uint:
+		if err := readFixed(r, vs, func(b []byte) uint { return uint(binary.LittleEndian.Uint64(b)) }, 8); err != nil {
+			return nil, err
+		}
+	case []float32:
+		if err := readFixed(r, vs, func(b []byte) float32 { return math.Float32frombits(binary.LittleEndian.Uint32(b)) }, 4); err != nil {
+			return nil, err
+		}
+	case []float64:
+		if err := readFixed(r, vs, func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }, 8); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errf(InvalidObject, "deserialize: stream has fixed-width payload but domain %s needs gob", typeName[T]())
+	}
+	return vals, nil
+}
+
+func readFixed[T any](r *bytes.Reader, vals []T, get func([]byte) T, width int) error {
+	var scratch [8]byte
+	for i := range vals {
+		if _, err := fullRead(r, scratch[:width]); err != nil {
+			return errf(InvalidObject, "deserialize: truncated payload")
+		}
+		vals[i] = get(scratch[:width])
+	}
+	return nil
+}
+
+func fullRead(r *bytes.Reader, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := r.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func writeInt(buf *bytes.Buffer, v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	buf.Write(b[:])
+}
+
+func readInt(r *bytes.Reader) (int, error) {
+	var b [8]byte
+	if _, err := fullRead(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeInt(buf, len(s))
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := readInt(r)
+	// Bound by the bytes actually remaining: corrupted streams must fail
+	// before any allocation proportional to the bogus length.
+	if err != nil || n < 0 || n > r.Len() {
+		return "", fmt.Errorf("bad string length")
+	}
+	b := make([]byte, n)
+	if _, err := fullRead(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeIntSlice(buf *bytes.Buffer, s []int) {
+	writeInt(buf, len(s))
+	for _, v := range s {
+		writeInt(buf, v)
+	}
+}
+
+func readIntSlice(r *bytes.Reader) ([]int, error) {
+	n, err := readInt(r)
+	// Each element occupies 8 bytes; a length beyond the remaining input is
+	// corruption and must be rejected before allocating.
+	if err != nil || n < 0 || n > r.Len()/8 {
+		return nil, fmt.Errorf("bad slice length")
+	}
+	s := make([]int, n)
+	for i := range s {
+		if s[i], err = readInt(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// serializeMatrixBytes builds the full serialized stream for a matrix.
+func serializeMatrixBytes[T any](m *Matrix[T]) ([]byte, error) {
+	c, err := m.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(serMagic[:])
+	buf.WriteByte(serKindMatrix)
+	writeString(&buf, typeName[T]())
+	writeInt(&buf, c.Rows)
+	writeInt(&buf, c.Cols)
+	writeIntSlice(&buf, c.Ptr)
+	writeIntSlice(&buf, c.Ind)
+	writeInt(&buf, len(c.Val))
+	if err := encodeValues(&buf, c.Val); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SerializeSize returns the number of bytes Serialize needs
+// (GrB_Matrix_serializeSize).
+func (m *Matrix[T]) SerializeSize() (Index, error) {
+	data, err := serializeMatrixBytes(m)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Serialize writes the matrix into buf as an opaque byte stream
+// (GrB_Matrix_serialize) and returns the number of bytes written.
+// InsufficientSpace is returned when buf is smaller than SerializeSize.
+func (m *Matrix[T]) Serialize(buf []byte) (Index, error) {
+	data, err := serializeMatrixBytes(m)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < len(data) {
+		return 0, errf(InsufficientSpace, "Serialize: need %d bytes, buffer has %d", len(data), len(buf))
+	}
+	copy(buf, data)
+	return len(data), nil
+}
+
+// SerializeBytes allocates and returns the serialized stream (a Go-binding
+// convenience over SerializeSize + Serialize).
+func (m *Matrix[T]) SerializeBytes() ([]byte, error) {
+	return serializeMatrixBytes(m)
+}
+
+// MatrixDeserialize reconstructs a matrix from a stream produced by
+// Serialize (GrB_Matrix_deserialize). The stream's domain must match T.
+func MatrixDeserialize[T any](data []byte, opts ...ObjOption) (*Matrix[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(data)
+	var magic [6]byte
+	if _, err := fullRead(r, magic[:]); err != nil || magic != serMagic {
+		return nil, errf(InvalidObject, "MatrixDeserialize: bad magic")
+	}
+	kind, err := r.ReadByte()
+	if err != nil || kind != serKindMatrix {
+		return nil, errf(InvalidObject, "MatrixDeserialize: stream does not hold a matrix")
+	}
+	tn, err := readString(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "MatrixDeserialize: %v", err)
+	}
+	if tn != typeName[T]() {
+		return nil, errf(DomainMismatch, "MatrixDeserialize: stream domain %s, requested %s", tn, typeName[T]())
+	}
+	rows, err := readInt(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "MatrixDeserialize: truncated")
+	}
+	cols, err := readInt(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "MatrixDeserialize: truncated")
+	}
+	ptr, err := readIntSlice(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "MatrixDeserialize: %v", err)
+	}
+	ind, err := readIntSlice(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "MatrixDeserialize: %v", err)
+	}
+	// Validate the shape against the decoded arrays BEFORE building any
+	// structure sized by it (a corrupted row count must not drive an
+	// allocation).
+	if rows <= 0 || cols <= 0 || len(ptr) != rows+1 {
+		return nil, errf(InvalidObject, "MatrixDeserialize: inconsistent shape")
+	}
+	nval, err := readInt(r)
+	if err != nil || nval != len(ind) {
+		return nil, errf(InvalidObject, "MatrixDeserialize: inconsistent value count")
+	}
+	vals, err := decodeValues[T](r, nval)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix[T]{init: true, ctx: ctx,
+		csr: &sparse.CSR[T]{Rows: rows, Cols: cols, Ptr: ptr, Ind: ind, Val: vals}}
+	if !m.csr.Valid() {
+		return nil, errf(InvalidObject, "MatrixDeserialize: stream describes an invalid matrix")
+	}
+	return m, nil
+}
+
+// serializeVectorBytes builds the full serialized stream for a vector.
+func serializeVectorBytes[T any](v *Vector[T]) ([]byte, error) {
+	s, err := v.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Write(serMagic[:])
+	buf.WriteByte(serKindVector)
+	writeString(&buf, typeName[T]())
+	writeInt(&buf, s.N)
+	writeIntSlice(&buf, s.Ind)
+	writeInt(&buf, len(s.Val))
+	if err := encodeValues(&buf, s.Val); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SerializeSize returns the number of bytes Serialize needs
+// (GrB_Vector_serializeSize).
+func (v *Vector[T]) SerializeSize() (Index, error) {
+	data, err := serializeVectorBytes(v)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Serialize writes the vector into buf (GrB_Vector_serialize).
+func (v *Vector[T]) Serialize(buf []byte) (Index, error) {
+	data, err := serializeVectorBytes(v)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < len(data) {
+		return 0, errf(InsufficientSpace, "Serialize: need %d bytes, buffer has %d", len(data), len(buf))
+	}
+	copy(buf, data)
+	return len(data), nil
+}
+
+// SerializeBytes allocates and returns the serialized stream.
+func (v *Vector[T]) SerializeBytes() ([]byte, error) {
+	return serializeVectorBytes(v)
+}
+
+// VectorDeserialize reconstructs a vector from a stream produced by
+// Serialize (GrB_Vector_deserialize).
+func VectorDeserialize[T any](data []byte, opts ...ObjOption) (*Vector[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(data)
+	var magic [6]byte
+	if _, err := fullRead(r, magic[:]); err != nil || magic != serMagic {
+		return nil, errf(InvalidObject, "VectorDeserialize: bad magic")
+	}
+	kind, err := r.ReadByte()
+	if err != nil || kind != serKindVector {
+		return nil, errf(InvalidObject, "VectorDeserialize: stream does not hold a vector")
+	}
+	tn, err := readString(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "VectorDeserialize: %v", err)
+	}
+	if tn != typeName[T]() {
+		return nil, errf(DomainMismatch, "VectorDeserialize: stream domain %s, requested %s", tn, typeName[T]())
+	}
+	n, err := readInt(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "VectorDeserialize: truncated")
+	}
+	ind, err := readIntSlice(r)
+	if err != nil {
+		return nil, errf(InvalidObject, "VectorDeserialize: %v", err)
+	}
+	if n <= 0 {
+		return nil, errf(InvalidObject, "VectorDeserialize: inconsistent size")
+	}
+	nval, err := readInt(r)
+	if err != nil || nval != len(ind) {
+		return nil, errf(InvalidObject, "VectorDeserialize: inconsistent value count")
+	}
+	vals, err := decodeValues[T](r, nval)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector[T]{init: true, ctx: ctx,
+		vec: &sparse.Vec[T]{N: n, Ind: ind, Val: vals}}
+	if !v.vec.Valid() {
+		return nil, errf(InvalidObject, "VectorDeserialize: stream describes an invalid vector")
+	}
+	return v, nil
+}

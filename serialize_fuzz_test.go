@@ -1,0 +1,78 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeserializeNeverPanicsOnMutatedStreams is failure injection for the
+// §VII-B deserializer: random single-byte corruptions of a valid stream
+// must either fail with a grb error or produce a structurally valid object
+// — never panic and never return an invalid matrix.
+func TestDeserializeNeverPanicsOnMutatedStreams(t *testing.T) {
+	setMode(t, Blocking)
+	m := mustMatrix(t, 5, 7,
+		[]Index{0, 1, 2, 3, 4}, []Index{6, 0, 3, 2, 5}, []float64{1, 2, 3, 4, 5})
+	blob, err := m.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), blob...)
+		// flip 1-3 random bytes
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated stream (trial %d): %v", trial, r)
+				}
+			}()
+			back, err := MatrixDeserialize[float64](mut)
+			if err == nil {
+				// Accepted: must be internally consistent and readable.
+				if _, err := back.Nvals(); err != nil {
+					t.Fatalf("accepted stream yields broken object: %v", err)
+				}
+				if _, _, _, err := back.ExtractTuples(); err != nil {
+					t.Fatalf("accepted stream yields unreadable object: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+// TestVectorDeserializeNeverPanicsOnTruncation mirrors the matrix test for
+// vectors with every truncation length.
+func TestVectorDeserializeNeverPanicsOnTruncation(t *testing.T) {
+	setMode(t, Blocking)
+	v := mustVector(t, 9, []Index{0, 4, 8}, []int64{-1, 1 << 40, 7})
+	blob, err := v.SerializeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(blob); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", cut, r)
+				}
+			}()
+			back, err := VectorDeserialize[int64](blob[:cut])
+			if cut < len(blob) && err == nil {
+				// a strict prefix that still decodes must decode correctly
+				if nv, _ := back.Nvals(); nv != 3 {
+					t.Fatalf("truncated stream accepted with wrong content")
+				}
+			}
+		}()
+	}
+	// the full stream decodes exactly
+	back, err := VectorDeserialize[int64](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectorEquals(t, back, []Index{0, 4, 8}, []int64{-1, 1 << 40, 7})
+}

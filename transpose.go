@@ -1,0 +1,142 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// Transpose computes C⟨M⟩ = C ⊙ Aᵀ (GrB_transpose). Combining with the
+// Transpose0 descriptor flag yields a (possibly masked/accumulated) plain
+// copy of A.
+func Transpose[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, T],
+	a *Matrix[T], desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	// Result shape: Aᵀ, un-transposed again if Transpose0 is set.
+	ar, ac := acsr.Cols, acsr.Rows
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	if cOld.Rows != ar || cOld.Cols != ac {
+		return errf(DimensionMismatch, "Transpose: output is %dx%d but result is %dx%d", cOld.Rows, cOld.Cols, ar, ac)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+		t := acsr
+		if !d.Transpose0 { // transpose of a transpose is the input itself
+			t = sparse.Transpose(acsr)
+		}
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// Kronecker computes C⟨M⟩ = C ⊙ kron(A, B) with the given multiplicative
+// operator (GrB_kronecker): C(i·br+k, j·bc+l) = op(A(i,j), B(k,l)).
+func Kronecker[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, DC, DC],
+	op BinaryOp[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := a.check(); err != nil {
+		return err
+	}
+	if err := b.check(); err != nil {
+		return err
+	}
+	if op == nil {
+		return errf(NullPointer, "Kronecker: nil operator")
+	}
+	ctxs := append([]*Context{c.ctx, a.ctx, b.ctx}, maskCtx(mask)...)
+	ctx, err := sameContext(ctxs...)
+	if err != nil {
+		return err
+	}
+	d := desc.get()
+	acsr, err := a.snapshot()
+	if err != nil {
+		return err
+	}
+	bcsr, err := b.snapshot()
+	if err != nil {
+		return err
+	}
+	cOld, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	mk, err := snapMask(mask, d)
+	if err != nil {
+		return err
+	}
+	ar, ac := acsr.Rows, acsr.Cols
+	if d.Transpose0 {
+		ar, ac = ac, ar
+	}
+	br, bc := bcsr.Rows, bcsr.Cols
+	if d.Transpose1 {
+		br, bc = bc, br
+	}
+	if cOld.Rows != ar*br || cOld.Cols != ac*bc {
+		return errf(DimensionMismatch, "Kronecker: output is %dx%d but product is %dx%d",
+			cOld.Rows, cOld.Cols, ar*br, ac*bc)
+	}
+	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
+		return err
+	}
+	threads := ctx.threadsFor(acsr.NNZ() * bcsr.NNZ())
+	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+		A := maybeTranspose(acsr, d.Transpose0)
+		B := maybeTranspose(bcsr, d.Transpose1)
+		t := sparse.Kron(A, B, op, threads)
+		z := sparse.AccumMergeM(cOld, t, accum, threads)
+		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
+	})
+}
+
+// MatrixDiag builds the square matrix whose k-th diagonal holds the entries
+// of v (GrB_Matrix_diag): v(i) lands at (i, i+k) for k ≥ 0, (i-k, i) for
+// k < 0. The result is (n+|k|) × (n+|k|) and lives in v's context.
+func MatrixDiag[T any](v *Vector[T], k Index, opts ...ObjOption) (*Matrix[T], error) {
+	if err := v.check(); err != nil {
+		return nil, err
+	}
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctxPtr := cfg.ctx
+	if ctxPtr == nil {
+		ctxPtr = v.ctx
+	}
+	if _, err := resolveCtx(ctxPtr); err != nil {
+		return nil, err
+	}
+	uvec, err := v.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{init: true, ctx: ctxPtr, csr: sparse.Diag(uvec, k)}, nil
+}

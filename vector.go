@@ -1,0 +1,453 @@
+package grb
+
+import (
+	"sync"
+
+	"github.com/grblas/grb/internal/sparse"
+)
+
+// Vector is the opaque GraphBLAS vector object (GrB_Vector), a
+// one-dimensional sparse array over domain T. Like Matrix it belongs to an
+// execution context and obeys the sequence/completion model of §III in
+// nonblocking mode.
+type Vector[T any] struct {
+	mu      sync.Mutex
+	init    bool
+	ctx     *Context
+	vec     *sparse.Vec[T]
+	pending []func(*Vector[T])
+	tuples  []sparse.VTuple[T]
+	derr    *Error
+	errmsg  string
+}
+
+// NewVector creates an empty vector of the given size over domain T
+// (GrB_Vector_new).
+func NewVector[T any](size Index, opts ...ObjOption) (*Vector[T], error) {
+	var cfg objConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := resolveCtx(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, errf(InvalidValue, "NewVector: size must be positive (got %d)", size)
+	}
+	return &Vector[T]{init: true, ctx: ctx, vec: sparse.NewVec[T](size)}, nil
+}
+
+func (v *Vector[T]) check() error {
+	if v == nil {
+		return errf(NullPointer, "nil Vector")
+	}
+	if !v.init {
+		return errf(UninitializedObject, "Vector not initialized (use NewVector)")
+	}
+	return nil
+}
+
+func (v *Vector[T]) context() (*Context, error) { return resolveCtx(v.ctx) }
+
+// Context returns the execution context the vector belongs to.
+func (v *Vector[T]) Context() (*Context, error) {
+	if err := v.check(); err != nil {
+		return nil, err
+	}
+	return v.context()
+}
+
+// SwitchContext moves the vector into a different execution context
+// (GrB_Context_switch).
+func (v *Vector[T]) SwitchContext(ctx *Context) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		return errf(NullPointer, "SwitchContext: nil context")
+	}
+	if ctx.isFreed() {
+		return errf(UninitializedObject, "SwitchContext: freed context")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.materializeLocked(); err != nil {
+		return err
+	}
+	v.ctx = ctx
+	return nil
+}
+
+func (v *Vector[T]) materializeLocked() error {
+	for len(v.pending) > 0 {
+		op := v.pending[0]
+		v.pending = v.pending[1:]
+		op(v)
+	}
+	if len(v.tuples) > 0 {
+		nv, err := sparse.MergeVTuples(v.vec, v.tuples)
+		v.tuples = nil
+		if err != nil {
+			v.parkLocked(mapSparseErr(err, "setElement"))
+		} else {
+			v.vec = nv
+		}
+	}
+	if v.derr != nil {
+		return v.derr
+	}
+	return nil
+}
+
+func (v *Vector[T]) parkLocked(err error) {
+	if v.derr == nil {
+		if e, ok := err.(*Error); ok {
+			v.derr = e
+		} else {
+			v.derr = errf(Panic, "%v", err)
+		}
+		v.errmsg = v.derr.Error()
+	}
+}
+
+func (v *Vector[T]) snapshot() (*sparse.Vec[T], error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.materializeLocked(); err != nil {
+		return nil, err
+	}
+	return v.vec, nil
+}
+
+func (v *Vector[T]) enqueue(ctx *Context, compute func() (*sparse.Vec[T], error)) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.derr != nil {
+		return v.derr
+	}
+	v.pending = append(v.pending, func(vv *Vector[T]) {
+		res, err := compute()
+		if err != nil {
+			vv.parkLocked(err)
+			return
+		}
+		vv.vec = res
+	})
+	if ctx.Mode() == Blocking {
+		return v.materializeLocked()
+	}
+	return nil
+}
+
+// Wait forces the sequence that defines the vector into the requested state
+// (GrB_Vector_wait); see WaitMode.
+func (v *Vector[T]) Wait(mode WaitMode) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	if mode != Complete && mode != Materialize {
+		return errf(InvalidValue, "Wait: invalid mode %d", int(mode))
+	}
+	if _, err := v.context(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	err := v.materializeLocked()
+	if mode == Materialize {
+		return err
+	}
+	return nil
+}
+
+// ErrorString returns the diagnostic string for the last error (GrB_error).
+func (v *Vector[T]) ErrorString() string {
+	if v == nil || !v.init {
+		return ""
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.errmsg
+}
+
+// Free releases the vector (GrB_free).
+func (v *Vector[T]) Free() error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.init = false
+	v.vec = nil
+	v.pending = nil
+	v.tuples = nil
+	v.derr = nil
+	return nil
+}
+
+// Size returns the vector's dimension (GrB_Vector_size).
+func (v *Vector[T]) Size() (Index, error) {
+	if err := v.check(); err != nil {
+		return 0, err
+	}
+	if _, err := v.context(); err != nil {
+		return 0, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.pending) > 0 {
+		if err := v.materializeLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return v.vec.N, nil
+}
+
+// Nvals returns the number of stored entries (GrB_Vector_nvals).
+func (v *Vector[T]) Nvals() (Index, error) {
+	if err := v.check(); err != nil {
+		return 0, err
+	}
+	if _, err := v.context(); err != nil {
+		return 0, err
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return s.NNZ(), nil
+}
+
+// Clear removes all stored entries, abandoning any deferred sequence and
+// parked error (GrB_Vector_clear).
+func (v *Vector[T]) Clear() error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	if _, err := v.context(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.pending = nil
+	v.tuples = nil
+	v.derr = nil
+	v.errmsg = ""
+	v.vec = sparse.NewVec[T](v.vec.N)
+	return nil
+}
+
+// Dup returns a deep copy (GrB_Vector_dup).
+func (v *Vector[T]) Dup() (*Vector[T], error) {
+	if err := v.check(); err != nil {
+		return nil, err
+	}
+	ctx, err := v.context()
+	if err != nil {
+		return nil, err
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Vector[T]{init: true, ctx: ctx, vec: s}, nil
+}
+
+// Resize changes the vector's size (GrB_Vector_resize).
+func (v *Vector[T]) Resize(size Index) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	ctx, err := v.context()
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return errf(InvalidValue, "Resize: size must be positive")
+	}
+	old, err := v.snapshot()
+	if err != nil {
+		return err
+	}
+	return v.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		return old.Resize(size), nil
+	})
+}
+
+// Build populates an empty vector from coordinate lists (GrB_Vector_build).
+// A nil dup makes duplicate indices an execution error (§IX).
+func (v *Vector[T]) Build(I []Index, X []T, dup BinaryOp[T, T, T]) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	ctx, err := v.context()
+	if err != nil {
+		return err
+	}
+	if len(I) != len(X) {
+		return errf(InvalidValue, "Build: index and value slices must have equal length")
+	}
+	cur, err := v.snapshot()
+	if err != nil {
+		return err
+	}
+	if cur.NNZ() != 0 {
+		return errf(OutputNotEmpty, "Build: vector already contains entries")
+	}
+	n := cur.N
+	for _, i := range I {
+		if i < 0 || i >= n {
+			return errf(InvalidIndex, "Build: index %d outside size %d", i, n)
+		}
+	}
+	ci := append([]Index(nil), I...)
+	cx := append([]T(nil), X...)
+	return v.enqueue(ctx, func() (*sparse.Vec[T], error) {
+		var d func(T, T) T
+		if dup != nil {
+			d = dup
+		}
+		nv, err := sparse.BuildVec(n, ci, cx, d)
+		if err != nil {
+			return nil, mapSparseErr(err, "Build")
+		}
+		return nv, nil
+	})
+}
+
+// SetElement stores value x at index i (GrB_Vector_setElement).
+func (v *Vector[T]) SetElement(x T, i Index) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	ctx, err := v.context()
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.derr != nil {
+		return v.derr
+	}
+	if len(v.pending) > 0 {
+		if err := v.materializeLocked(); err != nil {
+			return err
+		}
+	}
+	if i < 0 || i >= v.vec.N {
+		return errf(InvalidIndex, "SetElement: index %d outside size %d", i, v.vec.N)
+	}
+	v.tuples = append(v.tuples, sparse.VTuple[T]{Idx: i, Val: x})
+	if ctx.Mode() == Blocking {
+		return v.materializeLocked()
+	}
+	return nil
+}
+
+// SetElementScalar stores the value held by a GrB_Scalar at index i — the
+// Table II variant. An empty scalar removes the element.
+func (v *Vector[T]) SetElementScalar(s *Scalar[T], i Index) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	if s == nil {
+		return errf(NullPointer, "SetElementScalar: nil scalar")
+	}
+	x, ok, err := s.ExtractElement()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return v.RemoveElement(i)
+	}
+	return v.SetElement(x, i)
+}
+
+// RemoveElement deletes the entry at index i if present
+// (GrB_Vector_removeElement).
+func (v *Vector[T]) RemoveElement(i Index) error {
+	if err := v.check(); err != nil {
+		return err
+	}
+	ctx, err := v.context()
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.derr != nil {
+		return v.derr
+	}
+	if len(v.pending) > 0 {
+		if err := v.materializeLocked(); err != nil {
+			return err
+		}
+	}
+	if i < 0 || i >= v.vec.N {
+		return errf(InvalidIndex, "RemoveElement: index %d outside size %d", i, v.vec.N)
+	}
+	v.tuples = append(v.tuples, sparse.VTuple[T]{Idx: i, Del: true})
+	if ctx.Mode() == Blocking {
+		return v.materializeLocked()
+	}
+	return nil
+}
+
+// ExtractElement reads the entry at index i (GrB_Vector_extractElement);
+// ok is false for a missing entry (GrB_NO_VALUE).
+func (v *Vector[T]) ExtractElement(i Index) (val T, ok bool, err error) {
+	var zero T
+	if err := v.check(); err != nil {
+		return zero, false, err
+	}
+	if _, err := v.context(); err != nil {
+		return zero, false, err
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return zero, false, err
+	}
+	if i < 0 || i >= s.N {
+		return zero, false, errf(InvalidIndex, "ExtractElement: index %d outside size %d", i, s.N)
+	}
+	x, ok := s.Get(i)
+	return x, ok, nil
+}
+
+// ExtractElementScalar extracts the (possibly missing) entry at index i
+// into a GrB_Scalar — the Table II variant; a missing entry yields an empty
+// scalar (§VI).
+func (v *Vector[T]) ExtractElementScalar(s *Scalar[T], i Index) error {
+	if s == nil {
+		return errf(NullPointer, "ExtractElementScalar: nil scalar")
+	}
+	if err := s.check(); err != nil {
+		return err
+	}
+	x, ok, err := v.ExtractElement(i)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return s.Clear()
+	}
+	return s.SetElement(x)
+}
+
+// ExtractTuples returns the indices and values of all stored entries in
+// ascending index order (GrB_Vector_extractTuples).
+func (v *Vector[T]) ExtractTuples() (I []Index, X []T, err error) {
+	if err := v.check(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := v.context(); err != nil {
+		return nil, nil, err
+	}
+	s, err := v.snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	I, X = s.VecTuples(nil, nil)
+	return I, X, nil
+}
