@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must pass (see ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+# Race tier: the concurrency-sensitive packages under the race detector —
+# the root package (multithreaded method calls, the nonblocking pipeline),
+# internal/sparse (the dense-vs-hash differential kernel harness, which runs
+# both accumulators across worker counts) and internal/parallel.
+race:
+	$(GO) test -race . ./internal/sparse ./internal/parallel
+
+# Kernel benchmarks, including the hypersparse adaptive-selection family.
+bench:
+	$(GO) test ./internal/sparse -run '^$$' -bench . -benchmem
+	$(GO) test . -run '^$$' -bench Hypersparse -benchmem
+
+verify: test race

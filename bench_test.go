@@ -761,6 +761,104 @@ func BenchmarkAlgo_MIS(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Hypersparse regime — adaptive hash/dense accumulator selection. n is far
+// larger than nnz, so a dense O(n) accumulator per worker is almost entirely
+// wasted; the adaptive router must pick the hash SPA. The kernel=... variants
+// pin each accumulator via the descriptor to expose the gap the router is
+// closing, and the auto variant asserts (via KernelCounts) that it actually
+// routed to hash.
+// ---------------------------------------------------------------------------
+
+const (
+	hyperN   = 1 << 20
+	hyperNNZ = 400_000
+)
+
+var hyperDescs = []struct {
+	name string
+	desc *grb.Descriptor
+}{
+	{"auto", nil},
+	{"dense", grb.DescDenseSPA},
+	{"hash", grb.DescHashSPA},
+}
+
+func benchHypersparseMatrix(b *testing.B) *grb.Matrix[float64] {
+	b.Helper()
+	g := gen.Hypersparse(hyperN, hyperNNZ, 1234)
+	a, err := grb.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0.5, 2, 99), grb.Plus[float64]); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func BenchmarkHypersparse_MxM(b *testing.B) {
+	benchInit(b)
+	a := benchHypersparseMatrix(b)
+	dim, _ := a.Nrows()
+	for _, tc := range hyperDescs {
+		b.Run("kernel="+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			grb.ResetKernelCounts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, _ := grb.NewMatrix[float64](dim, dim)
+				if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, tc.desc); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Wait(grb.Materialize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			dense, hash := grb.KernelCounts()
+			b.ReportMetric(float64(dense)/float64(b.N), "dense-ranges/op")
+			b.ReportMetric(float64(hash)/float64(b.N), "hash-ranges/op")
+			if tc.name == "auto" && hash == 0 {
+				b.Fatal("adaptive selection never chose the hash SPA on a hypersparse product")
+			}
+		})
+	}
+}
+
+func BenchmarkHypersparse_MxV(b *testing.B) {
+	benchInit(b)
+	a := benchHypersparseMatrix(b)
+	dim, _ := a.Nrows()
+	u, _ := grb.NewVector[float64](dim)
+	for k := 0; k < 1024; k++ {
+		_ = u.SetElement(1, k*(dim/1024))
+	}
+	for _, tc := range hyperDescs {
+		b.Run("kernel="+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			grb.ResetKernelCounts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, _ := grb.NewVector[float64](dim)
+				if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.desc); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Wait(grb.Materialize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			dense, hash := grb.KernelCounts()
+			b.ReportMetric(float64(dense)/float64(b.N), "dense-ranges/op")
+			b.ReportMetric(float64(hash)/float64(b.N), "hash-ranges/op")
+			if tc.name == "auto" && hash == 0 {
+				b.Fatal("adaptive selection never chose the hash gather on a hypersparse mxv")
+			}
+		})
+	}
+}
+
 func BenchmarkAlgo_SSSP(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale-2)

@@ -6,7 +6,12 @@
 // GraphBLAS 1.X packed-values workaround) and §IV (context-bounded thread
 // scaling), reproduced as measured series.
 //
-// Usage: grbbench [-run fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation] [-scale N]
+// A further section, "hyper", measures the adaptive hash/dense accumulator
+// selection on a hypersparse workload (n = 1e6 ≫ nnz ≈ 4e5); the -kernel
+// flag pins the accumulator instead of sweeping all three.
+//
+// Usage: grbbench [-run fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper]
+//                 [-scale N] [-kernel auto|dense|hash]
 package main
 
 import (
@@ -26,12 +31,18 @@ import (
 )
 
 var (
-	runList = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation", "comma-separated experiments")
+	runList = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper", "comma-separated experiments")
 	scale   = flag.Int("scale", 14, "RMAT scale for the measured experiments")
+	kernel  = flag.String("kernel", "", "pin the multiply accumulator for the hyper experiment: auto, dense or hash (empty sweeps all three)")
 )
 
 func main() {
 	flag.Parse()
+	switch *kernel {
+	case "", "auto", "dense", "hash":
+	default:
+		log.Fatalf("-kernel %q: must be auto, dense or hash", *kernel)
+	}
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +75,9 @@ func main() {
 	}
 	if want["ablation"] {
 		ablation()
+	}
+	if want["hyper"] {
+		hypersparse()
 	}
 }
 
@@ -483,4 +497,71 @@ func ablation() {
 	fmt.Println("  (in-process Go round-trips are cheap at frontier sizes; the paper's")
 	fmt.Println("   bandwidth penalty appears when values carry packed indices, above)")
 	_ = sort.Ints
+}
+
+// hypersparse measures the adaptive hash/dense accumulator selection on a
+// workload where the matrix dimension (1e6) dwarfs the entry count (~4e5):
+// a dense O(n) accumulator per worker is almost entirely wasted space, and
+// the router must pick the hash SPA on its own. Each kernel's wall time,
+// row-range routing counts and accumulator scratch are printed side by side.
+func hypersparse() {
+	header("Hypersparse — adaptive hash/dense accumulator selection")
+	const n, nnz = 1_000_000, 400_000
+	g := gen.Hypersparse(n, nnz, 7)
+	a, err := grb.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0.5, 2, 7), grb.Plus[float64]); err != nil {
+		log.Fatal(err)
+	}
+	u, _ := grb.NewVector[float64](n)
+	for k := 0; k < 1024; k++ {
+		_ = u.SetElement(1, k*(n/1024))
+	}
+	fmt.Printf("  matrix: %d x %d, %d entries; vector: %d entries\n", n, n, g.NumEdges(), 1024)
+
+	kernels := []struct {
+		name string
+		desc *grb.Descriptor
+	}{
+		{"auto", nil},
+		{"dense", grb.DescDenseSPA},
+		{"hash", grb.DescHashSPA},
+	}
+	fmt.Printf("  %-8s %-9s %-12s %-12s %-14s %s\n",
+		"kernel", "op", "time", "ranges", "scratch", "(dense/hash routing)")
+	for _, tc := range kernels {
+		if *kernel != "" && tc.name != *kernel {
+			continue
+		}
+		grb.ResetKernelCounts()
+		c, _ := grb.NewMatrix[float64](n, n)
+		start := time.Now()
+		if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, tc.desc); err != nil {
+			log.Fatal(err)
+		}
+		_ = c.Wait(grb.Materialize)
+		el := time.Since(start)
+		dense, hash := grb.KernelCounts()
+		fmt.Printf("  %-8s %-9s %-12v %-12s %-14s\n", tc.name, "mxm", el,
+			fmt.Sprintf("%dd/%dh", dense, hash),
+			fmt.Sprintf("%d B", grb.KernelScratchBytes()))
+
+		grb.ResetKernelCounts()
+		w, _ := grb.NewVector[float64](n)
+		start = time.Now()
+		if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.desc); err != nil {
+			log.Fatal(err)
+		}
+		_ = w.Wait(grb.Materialize)
+		el = time.Since(start)
+		dense, hash = grb.KernelCounts()
+		fmt.Printf("  %-8s %-9s %-12v %-12s %-14s\n", tc.name, "mxv", el,
+			fmt.Sprintf("%dd/%dh", dense, hash),
+			fmt.Sprintf("%d B", grb.KernelScratchBytes()))
+	}
+	fmt.Println("  (auto must match the hash row: the flop estimate is far below the width,")
+	fmt.Println("   so every range routes to the hash SPA and scratch shrinks by orders of")
+	fmt.Println("   magnitude; -kernel pins one accumulator for A/B comparisons)")
 }

@@ -1,5 +1,22 @@
 package grb
 
+// AxBMethod selects the accumulator kernel used by the multiply operations
+// (MxM, MxV). This is an extension, analogous to SuiteSparse:GraphBLAS's
+// GxB_AxB_METHOD descriptor field: the default lets the library route each
+// row range adaptively by estimated flops, and the pinned variants force one
+// kernel — for benchmarking, differential testing, or workloads whose shape
+// the caller knows better.
+type AxBMethod int
+
+const (
+	// AxBDefault routes each row range adaptively (flop estimate vs. width).
+	AxBDefault AxBMethod = iota
+	// AxBDenseSPA forces the dense accumulator (O(cols) scratch per worker).
+	AxBDenseSPA
+	// AxBHashSPA forces the hash accumulator (O(flops) scratch per worker).
+	AxBHashSPA
+)
+
 // Descriptor modifies how a GraphBLAS operation treats its output, mask and
 // inputs (GrB_Descriptor). A nil *Descriptor everywhere means default
 // behaviour: merge into the output, value mask, untransposed inputs.
@@ -17,6 +34,8 @@ type Descriptor struct {
 	Transpose0 bool
 	// Transpose1 transposes the second matrix input (GrB_INP1 = GrB_TRAN).
 	Transpose1 bool
+	// AxB selects the multiply accumulator kernel (extension; see AxBMethod).
+	AxB AxBMethod
 }
 
 // Predefined descriptors mirroring the C API's GrB_DESC_* constants.
@@ -41,6 +60,10 @@ var (
 	DescRSC = &Descriptor{Replace: true, Structure: true, Complement: true}
 	// DescSC uses a complemented structural mask.
 	DescSC = &Descriptor{Structure: true, Complement: true}
+	// DescDenseSPA pins the multiply kernel to the dense accumulator.
+	DescDenseSPA = &Descriptor{AxB: AxBDenseSPA}
+	// DescHashSPA pins the multiply kernel to the hash accumulator.
+	DescHashSPA = &Descriptor{AxB: AxBHashSPA}
 )
 
 // get normalizes a possibly-nil descriptor to a value.

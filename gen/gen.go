@@ -102,6 +102,81 @@ func ErdosRenyi(n, m int, seed int64) Graph {
 	return g.Dedup()
 }
 
+// Hypersparse samples m distinct directed edges (no self-loops) uniformly
+// over n vertices with n ≫ m in mind: most rows are empty, the regime where
+// adaptive hash accumulators beat dense O(n) workspaces. Memory and time are
+// O(m) regardless of n. Equivalent to ErdosRenyi but guarded against the
+// n*(n-1) edge-capacity product overflowing for very large n.
+func Hypersparse(n, m int, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := Graph{N: n}
+	if n < 2 || m <= 0 {
+		return g
+	}
+	// Cap m at the n*(n-1) distinct-edge capacity without computing the
+	// product (it overflows for n ~ 2^32 on 64-bit ints).
+	if n-1 <= m/n {
+		m = n * (n - 1)
+	}
+	seen := make(map[[2]int]struct{}, m)
+	for len(g.Src) < m {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		if s == d {
+			continue
+		}
+		key := [2]int{s, d}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.Src = append(g.Src, s)
+		g.Dst = append(g.Dst, d)
+	}
+	return g.Dedup()
+}
+
+// HubHypersparse is a skewed hypersparse graph: `hubs` designated source
+// rows (evenly spaced over [0, n)) emit half the edges between them while
+// the other half is uniform. The hub rows carry orders of magnitude more
+// flops than the rest, which is the workload that breaks nnz(A)-balanced
+// row partitioning and exercises flop-balanced kernel selection.
+func HubHypersparse(n, m, hubs int, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := Graph{N: n}
+	if n < 2 || m <= 0 {
+		return g
+	}
+	if hubs < 1 {
+		hubs = 1
+	}
+	if hubs > n {
+		hubs = n
+	}
+	perHub := m / 2 / hubs
+	for h := 0; h < hubs; h++ {
+		src := h * (n / hubs)
+		for k := 0; k < perHub; k++ {
+			dst := rng.Intn(n)
+			if dst == src {
+				continue
+			}
+			g.Src = append(g.Src, src)
+			g.Dst = append(g.Dst, dst)
+		}
+	}
+	for len(g.Src) < m {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		if s == d {
+			continue
+		}
+		g.Src = append(g.Src, s)
+		g.Dst = append(g.Dst, d)
+	}
+	return g.Dedup()
+}
+
 // RMAT generates a Kronecker/RMAT power-law graph with 2^scale vertices and
 // approximately edgeFactor * 2^scale edges, using the standard (a, b, c, d)
 // recursive quadrant probabilities (Graph500 uses 0.57, 0.19, 0.19, 0.05).

@@ -50,6 +50,82 @@ func TestErdosRenyiProperties(t *testing.T) {
 	}
 }
 
+func TestHypersparseProperties(t *testing.T) {
+	const n, m = 100000, 400 // n ≫ m: almost every row empty
+	g := Hypersparse(n, m, 11)
+	if g.N != n {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() != m {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), m)
+	}
+	seen := map[[2]int]bool{}
+	rows := map[int]bool{}
+	for k := range g.Src {
+		if g.Src[k] == g.Dst[k] {
+			t.Fatal("self loop")
+		}
+		if g.Src[k] < 0 || g.Src[k] >= n || g.Dst[k] < 0 || g.Dst[k] >= n {
+			t.Fatal("out of range")
+		}
+		key := [2]int{g.Src[k], g.Dst[k]}
+		if seen[key] {
+			t.Fatal("duplicate edge")
+		}
+		seen[key] = true
+		rows[g.Src[k]] = true
+	}
+	if len(rows) > m {
+		t.Fatalf("%d populated rows from %d edges", len(rows), m)
+	}
+	g2 := Hypersparse(n, m, 11)
+	for k := range g.Src {
+		if g.Src[k] != g2.Src[k] || g.Dst[k] != g2.Dst[k] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// saturation clamps like ErdosRenyi
+	tiny := Hypersparse(3, 100, 1)
+	if tiny.NumEdges() != 6 {
+		t.Fatalf("clamped edges = %d, want 6", tiny.NumEdges())
+	}
+	if Hypersparse(1, 10, 1).NumEdges() != 0 {
+		t.Fatal("n<2 should be empty")
+	}
+}
+
+func TestHubHypersparseSkew(t *testing.T) {
+	const n, m, hubs = 50000, 2000, 4
+	g := HubHypersparse(n, m, hubs, 5)
+	if g.N != n || g.NumEdges() == 0 || g.NumEdges() > m {
+		t.Fatalf("N=%d edges=%d", g.N, g.NumEdges())
+	}
+	deg := map[int]int{}
+	for k := range g.Src {
+		if g.Src[k] == g.Dst[k] {
+			t.Fatal("self loop")
+		}
+		if g.Dst[k] < 0 || g.Dst[k] >= n || g.Src[k] < 0 || g.Src[k] >= n {
+			t.Fatal("out of range")
+		}
+		deg[g.Src[k]]++
+	}
+	// the hub rows must dominate: max degree far above the uniform average
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < (m/2/hubs)/2 {
+		t.Fatalf("hub degree %d suspiciously low", maxDeg)
+	}
+	g2 := HubHypersparse(n, m, hubs, 5)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+}
+
 func TestRMATProperties(t *testing.T) {
 	g := Graph500RMAT(8, 8, 3)
 	if g.N != 256 {

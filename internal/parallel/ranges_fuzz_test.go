@@ -1,0 +1,92 @@
+package parallel
+
+import "testing"
+
+// Fuzz coverage for the partitioners: any input — degenerate or adversarial —
+// must yield monotone boundaries b with b[0] = 0 and b[len(b)-1] = n, so the
+// ranges cover [0, n) exactly once. The seed corpus pins the degenerate cases
+// (all-empty rows, one giant row, k > rows, zero rows); `go test` replays it
+// as unit tests, and `go test -fuzz=FuzzBalancedRanges ./internal/parallel`
+// explores further.
+
+// checkBoundaries asserts the shared partition invariants.
+func checkBoundaries(t *testing.T, b []int, n int) {
+	t.Helper()
+	if len(b) < 2 {
+		t.Fatalf("only %d boundaries", len(b))
+	}
+	if b[0] != 0 {
+		t.Fatalf("b[0] = %d", b[0])
+	}
+	if b[len(b)-1] != n {
+		t.Fatalf("b[last] = %d, want %d", b[len(b)-1], n)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("boundaries not monotone at %d: %v", i, b)
+		}
+	}
+}
+
+func FuzzRanges(f *testing.F) {
+	f.Add(0, 0)   // zero rows, zero parts
+	f.Add(0, 5)   // zero rows
+	f.Add(7, 0)   // k < 1
+	f.Add(3, 100) // k > rows
+	f.Add(100, 7)
+	f.Add(1, 1)
+	f.Add(-4, -2) // negative inputs must clamp, not panic
+	f.Fuzz(func(t *testing.T, n, k int) {
+		if n > 1<<20 || k > 1<<20 {
+			t.Skip("bound allocation")
+		}
+		b := Ranges(n, k)
+		want := n
+		if want < 0 {
+			want = 0
+		}
+		checkBoundaries(t, b, want)
+		if got := len(b) - 1; k > 0 && got > k && got != 1 {
+			t.Fatalf("%d ranges exceed requested k=%d", got, k)
+		}
+	})
+}
+
+// FuzzBalancedRanges derives a nondecreasing ptr array from raw fuzz bytes:
+// each byte is one row's weight, so the fuzzer controls the full weight
+// distribution — empty rows, giant rows, front- or back-loaded skew.
+func FuzzBalancedRanges(f *testing.F) {
+	f.Add(4, []byte{})                     // zero rows
+	f.Add(0, []byte{1, 2, 3})              // k clamps to 1... rows from bytes
+	f.Add(3, []byte{0, 0, 0, 0, 0, 0})     // all-empty rows
+	f.Add(4, []byte{0, 0, 255, 0, 0})      // one giant row
+	f.Add(100, []byte{1, 1})               // k > rows
+	f.Add(2, []byte{255, 255, 255, 255})   // uniform heavy
+	f.Add(7, []byte{1, 0, 0, 0, 0, 0, 99}) // back-loaded skew
+	f.Fuzz(func(t *testing.T, k int, weights []byte) {
+		if len(weights) > 1<<16 || k > 1<<16 {
+			t.Skip("bound allocation")
+		}
+		rows := len(weights)
+		ptr := make([]int, rows+1)
+		for i, w := range weights {
+			ptr[i+1] = ptr[i] + int(w)
+		}
+		b := BalancedRanges(rows, k, ptr)
+		checkBoundaries(t, b, rows)
+		// every row lands in exactly one range — guaranteed by monotone
+		// boundaries plus exact [0, rows) coverage, checked above. Also run
+		// the boundaries through Run and count visits to close the loop.
+		seen := make([]int, rows)
+		Run(b, 4, func(part, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("row %d visited %d times (boundaries %v)", i, c, b)
+			}
+		}
+	})
+}

@@ -68,6 +68,80 @@ func BenchmarkKernelSpGEMMMasked(b *testing.B) {
 	})
 }
 
+// hypersparseCSR builds an n×n matrix with ~nnz random entries: n ≫ nnz, so
+// nearly every row is empty and per-row flop bounds are tiny next to n.
+func hypersparseCSR(n, nnz int, seed int64) *CSR[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	I := make([]int, nnz)
+	J := make([]int, nnz)
+	X := make([]float64, nnz)
+	for k := 0; k < nnz; k++ {
+		I[k] = rng.Intn(n)
+		J[k] = rng.Intn(n)
+		X[k] = rng.Float64()
+	}
+	m, err := BuildCSR(n, n, I, J, X, func(a, b float64) float64 { return b })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// The hypersparse regime the adaptive kernel targets: n = 2^20 ≈ 1e6,
+// nnz ≈ 4e5. The dense SPA must allocate and stamp O(n) scratch per worker
+// (~16 MiB each); the hash SPA allocates O(maxRowFlops) slots. Run with
+// -benchmem: the B/op gap is the per-worker scratch saving the adaptive
+// router buys (≥ 5× is the acceptance bar; in practice it is orders of
+// magnitude).
+func BenchmarkKernelSpGEMMHypersparse(b *testing.B) {
+	const n, nnz = 1 << 20, 400_000
+	a := hypersparseCSR(n, nnz, 17)
+	for _, tc := range []struct {
+		name string
+		kern Kernel
+	}{{"dense", KernelDense}, {"hash", KernelHash}, {"auto", KernelAuto}} {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("kernel=%s/threads=%d", tc.name, threads), func(b *testing.B) {
+				b.ReportAllocs()
+				ResetKernelCounts()
+				for i := 0; i < b.N; i++ {
+					SpGEMMKernel(a, a, mulF, addF, Mask{}, threads, tc.kern)
+				}
+				dense, hash := KernelCounts()
+				b.ReportMetric(float64(dense)/float64(b.N), "dense-ranges/op")
+				b.ReportMetric(float64(hash)/float64(b.N), "hash-ranges/op")
+				b.ReportMetric(float64(ScratchBytes())/float64(b.N), "scratch-B/op")
+			})
+		}
+	}
+}
+
+// Pull-style SpMV over a wide, hypersparse input vector: the dense path
+// scatters u into O(n) value+presence buffers per call, the hash path builds
+// an O(nnz(u)) read-only table shared by all workers.
+func BenchmarkKernelSpMVHypersparse(b *testing.B) {
+	const n, nnz = 1 << 20, 400_000
+	a := hypersparseCSR(n, nnz, 18)
+	u := &Vec[float64]{N: n}
+	for i := 0; i < 1024; i++ {
+		u.Ind = append(u.Ind, i*(n/1024))
+		u.Val = append(u.Val, 1)
+	}
+	for _, tc := range []struct {
+		name string
+		kern Kernel
+	}{{"dense", KernelDense}, {"hash", KernelHash}, {"auto", KernelAuto}} {
+		b.Run("kernel="+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			ResetKernelCounts()
+			for i := 0; i < b.N; i++ {
+				SpMVKernel(a, u, mulF, addF, VMask{}, 4, tc.kern)
+			}
+			b.ReportMetric(float64(ScratchBytes())/float64(b.N), "scratch-B/op")
+		})
+	}
+}
+
 func BenchmarkKernelSpMV(b *testing.B) {
 	a := benchMatrix(4096, 2)
 	u := &Vec[float64]{N: 4096}

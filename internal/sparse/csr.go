@@ -26,6 +26,10 @@ var (
 	ErrDuplicate = errors.New("sparse: duplicate coordinates with nil dup operator")
 	// ErrIndexOutOfBounds reports a coordinate outside the object's shape.
 	ErrIndexOutOfBounds = errors.New("sparse: index out of bounds")
+	// ErrTooLarge reports a result whose shape or entry count overflows the
+	// int range (e.g. a Kronecker product of huge operands). The grb layer
+	// maps this onto GrB_OUT_OF_MEMORY.
+	ErrTooLarge = errors.New("sparse: result dimensions or nnz overflow")
 )
 
 // CSR is a generic compressed-sparse-row matrix. Column indices within each

@@ -1,0 +1,264 @@
+package sparse
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// Differential kernel harness: the dense-SPA and hash-SPA accumulators must
+// produce byte-identical (Ptr, Ind, Val) output for every semiring and mask
+// combination — both visit products in the same (k, t) order and sort row
+// patterns before emitting, so even floating-point sums match exactly. Each
+// test draws its inputs from a logged seed; rerun a failure with
+// GRB_DIFF_SEED=<seed> go test -run TestDifferential ./internal/sparse
+
+// diffSeed returns the randomized (or pinned) seed for a differential test
+// and logs it for reproducibility.
+func diffSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("GRB_DIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad GRB_DIFF_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("seed=%d (pin with GRB_DIFF_SEED to reproduce)", seed)
+	return seed
+}
+
+// sprayCSR builds a rows×cols matrix with ~nnz entries at uniformly random
+// coordinates (duplicates collapse), values drawn from mk.
+func sprayCSR[T any](rng *rand.Rand, rows, cols, nnz int, mk func(*rand.Rand) T) *CSR[T] {
+	I := make([]int, 0, nnz)
+	J := make([]int, 0, nnz)
+	X := make([]T, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		I = append(I, rng.Intn(rows))
+		J = append(J, rng.Intn(cols))
+		X = append(X, mk(rng))
+	}
+	m, err := BuildCSR(rows, cols, I, J, X, func(a, b T) T { return b })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// identicalCSR fails the test unless a and b have byte-identical Ptr, Ind
+// and Val (values compared with ==, so float mismatches are exact).
+func identicalCSR[T comparable](t *testing.T, label string, got, want *CSR[T]) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	if len(got.Ptr) != len(want.Ptr) {
+		t.Fatalf("%s: Ptr length %d != %d", label, len(got.Ptr), len(want.Ptr))
+	}
+	for i := range got.Ptr {
+		if got.Ptr[i] != want.Ptr[i] {
+			t.Fatalf("%s: Ptr[%d] = %d != %d", label, i, got.Ptr[i], want.Ptr[i])
+		}
+	}
+	if len(got.Ind) != len(want.Ind) {
+		t.Fatalf("%s: nnz %d != %d", label, len(got.Ind), len(want.Ind))
+	}
+	for k := range got.Ind {
+		if got.Ind[k] != want.Ind[k] {
+			t.Fatalf("%s: Ind[%d] = %d != %d", label, k, got.Ind[k], want.Ind[k])
+		}
+		if got.Val[k] != want.Val[k] {
+			t.Fatalf("%s: Val[%d] = %v != %v", label, k, got.Val[k], want.Val[k])
+		}
+	}
+}
+
+// maskVariants enumerates the mask interpretations the harness covers:
+// unmasked, value, structural, complemented, and complemented-structural.
+func maskVariants(m *CSR[bool]) []struct {
+	name string
+	mask Mask
+} {
+	return []struct {
+		name string
+		mask Mask
+	}{
+		{"nomask", Mask{}},
+		{"value", Mask{M: m}},
+		{"structural", Mask{M: m, Structural: true}},
+		{"complement", Mask{M: m, Complement: true}},
+		{"structural-complement", Mask{M: m, Structural: true, Complement: true}},
+	}
+}
+
+// diffSpGEMM runs the dense and hash accumulators (and the adaptive router)
+// over random shapes for one semiring and requires identical output.
+func diffSpGEMM[T comparable](t *testing.T, rng *rand.Rand, mul func(T, T) T, add func(T, T) T, mk func(*rand.Rand) T) {
+	t.Helper()
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		// Alternate between moderate and very wide/hypersparse outputs so
+		// both accumulators see their home regime and the other's.
+		n := 1 + rng.Intn(40)
+		nnz := 2 * (m + k)
+		if trial%2 == 1 {
+			n = 500 + rng.Intn(3000)
+			nnz = (m + k) / 2
+		}
+		a := sprayCSR(rng, m, k, nnz, mk)
+		b := sprayCSR(rng, k, n, nnz, mk)
+		mask := sprayCSR(rng, m, n, (m*n)/3+1, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+		for _, mv := range maskVariants(mask) {
+			for _, threads := range []int{1, 3, 8} {
+				dense := SpGEMMKernel(a, b, mul, add, mv.mask, threads, KernelDense)
+				hash := SpGEMMKernel(a, b, mul, add, mv.mask, threads, KernelHash)
+				auto := SpGEMMKernel(a, b, mul, add, mv.mask, threads, KernelAuto)
+				if !dense.Valid() || !hash.Valid() || !auto.Valid() {
+					t.Fatalf("trial %d %s threads=%d: invalid output", trial, mv.name, threads)
+				}
+				identicalCSR(t, mv.name+"/hash-vs-dense", hash, dense)
+				identicalCSR(t, mv.name+"/auto-vs-dense", auto, dense)
+			}
+		}
+	}
+}
+
+func TestDifferentialSpGEMMPlusTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffSpGEMM(t, rng,
+		func(a, b float64) float64 { return a * b },
+		func(a, b float64) float64 { return a + b },
+		func(r *rand.Rand) float64 { return r.NormFloat64() })
+}
+
+func TestDifferentialSpGEMMMinPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffSpGEMM(t, rng,
+		func(a, b int) int { return a + b },
+		func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(r *rand.Rand) int { return r.Intn(1000) })
+}
+
+func TestDifferentialSpGEMMLorLand(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffSpGEMM(t, rng,
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a || b },
+		func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+// TestDifferentialSpMVGather checks that the hash-gather pull path matches
+// the dense-scatter path bit for bit across masks and thread counts.
+func TestDifferentialSpMVGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mul := func(a, x float64) float64 { return a * x }
+	add := func(a, b float64) float64 { return a + b }
+	for trial := 0; trial < 15; trial++ {
+		rows := 1 + rng.Intn(60)
+		cols := 1 + rng.Intn(3000) // wide: the hash gather's home regime
+		a := sprayCSR(rng, rows, cols, 3*rows, func(r *rand.Rand) float64 { return r.NormFloat64() })
+		u := NewVec[float64](cols)
+		for j := 0; j < cols; j++ {
+			if rng.Intn(8) == 0 {
+				u.Ind = append(u.Ind, j)
+				u.Val = append(u.Val, rng.NormFloat64())
+			}
+		}
+		mvec := NewVec[bool](rows)
+		for i := 0; i < rows; i++ {
+			if rng.Intn(2) == 0 {
+				mvec.Ind = append(mvec.Ind, i)
+				mvec.Val = append(mvec.Val, rng.Intn(2) == 0)
+			}
+		}
+		masks := []struct {
+			name string
+			mask VMask
+		}{
+			{"nomask", VMask{}},
+			{"value", VMask{M: mvec}},
+			{"structural", VMask{M: mvec, Structural: true}},
+			{"complement", VMask{M: mvec, Complement: true}},
+			{"structural-complement", VMask{M: mvec, Structural: true, Complement: true}},
+		}
+		for _, mv := range masks {
+			for _, threads := range []int{1, 4} {
+				dense := SpMVKernel(a, u, mul, add, mv.mask, threads, KernelDense)
+				hash := SpMVKernel(a, u, mul, add, mv.mask, threads, KernelHash)
+				auto := SpMVKernel(a, u, mul, add, mv.mask, threads, KernelAuto)
+				for _, pair := range []struct {
+					name string
+					got  *Vec[float64]
+				}{{"hash", hash}, {"auto", auto}} {
+					if len(pair.got.Ind) != len(dense.Ind) {
+						t.Fatalf("trial %d %s/%s threads=%d: nnz %d != %d",
+							trial, mv.name, pair.name, threads, len(pair.got.Ind), len(dense.Ind))
+					}
+					for k := range dense.Ind {
+						if pair.got.Ind[k] != dense.Ind[k] || pair.got.Val[k] != dense.Val[k] {
+							t.Fatalf("trial %d %s/%s threads=%d: entry %d (%d,%v) != (%d,%v)",
+								trial, mv.name, pair.name, threads,
+								k, pair.got.Ind[k], pair.got.Val[k], dense.Ind[k], dense.Val[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveSelectionRoutes pins the threshold and checks the router sends
+// hypersparse work to the hash SPA and dense work to the dense SPA.
+func TestAdaptiveSelectionRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mul := func(a, b int) int { return a * b }
+	add := func(a, b int) int { return a + b }
+	prev := SetHashThreshold(defaultHashThreshold)
+	defer SetHashThreshold(prev)
+
+	// Hypersparse: 5000 columns, a handful of flops per row.
+	a := sprayCSR(rng, 200, 200, 300, func(r *rand.Rand) int { return 1 + r.Intn(9) })
+	b := sprayCSR(rng, 200, 5000, 300, func(r *rand.Rand) int { return 1 + r.Intn(9) })
+	ResetKernelCounts()
+	SpGEMM(a, b, mul, add, Mask{}, 4)
+	if _, hash := KernelCounts(); hash == 0 {
+		t.Fatal("hypersparse product never chose the hash SPA")
+	}
+
+	// Dense regime: every row's flop bound rivals the 40-wide output.
+	c := sprayCSR(rng, 40, 40, 800, func(r *rand.Rand) int { return 1 + r.Intn(9) })
+	ResetKernelCounts()
+	SpGEMM(c, c, mul, add, Mask{}, 4)
+	if dense, _ := KernelCounts(); dense == 0 {
+		t.Fatal("dense product never chose the dense SPA")
+	}
+
+	// Threshold 1 is the most hash-friendly setting (hash iff flops < cols),
+	// yet a dense-regime product does far more flops than it has columns, so
+	// it must still route dense.
+	SetHashThreshold(1)
+	ResetKernelCounts()
+	SpGEMM(c, c, mul, add, Mask{}, 4)
+	if _, hash := KernelCounts(); hash != 0 {
+		t.Fatal("threshold=1 still routed a dense-regime range to hash")
+	}
+
+	// A huge threshold biases selection all the way to dense: even the
+	// hypersparse product must stop choosing the hash SPA.
+	SetHashThreshold(1 << 30)
+	ResetKernelCounts()
+	SpGEMM(a, b, mul, add, Mask{}, 4)
+	if _, hash := KernelCounts(); hash != 0 {
+		t.Fatal("huge threshold still routed hypersparse ranges to hash")
+	}
+}

@@ -1,0 +1,218 @@
+package sparse
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/grblas/grb/internal/parallel"
+)
+
+// Kernel selects the accumulator strategy used by the multiply kernels
+// (SpGEMM, SpMV). The zero value asks for the adaptive heuristic.
+type Kernel int
+
+const (
+	// KernelAuto routes each row range by comparing its estimated flops
+	// against the output width (see chooseHash).
+	KernelAuto Kernel = iota
+	// KernelDense forces the dense SPA of width cols per worker.
+	KernelDense
+	// KernelHash forces the open-addressing hash SPA.
+	KernelHash
+)
+
+// hashThreshold is the adaptive-selection knob: a row range is routed to the
+// hash SPA when its total flop estimate is below cols/threshold, i.e. when
+// the O(cols) buffer a dense accumulator would have to allocate and stamp
+// dwarfs all the work the range actually does. Stored atomically so tests and
+// benchmarks can pin it while kernels run on other goroutines.
+var hashThreshold atomic.Int64
+
+// defaultHashThreshold = 2 comes from the cost model: the dense SPA costs
+// O(cols) to materialize plus ~1 unit per flop; the hash SPA skips the O(cols)
+// term but pays ~3 units per flop (hash, probe, re-probe at emit). Hash wins
+// iff cols > (3-1)·flops, i.e. flops < cols/2. The margin also bounds the
+// table itself: capacity ≤ 2·flops < cols, so the hash path can never allocate
+// more scratch than the dense path it replaced.
+const defaultHashThreshold = 2
+
+func init() { hashThreshold.Store(defaultHashThreshold) }
+
+// HashThreshold returns the current adaptive-selection threshold.
+func HashThreshold() int { return int(hashThreshold.Load()) }
+
+// SetHashThreshold pins the adaptive-selection threshold and returns the
+// previous value. Values < 1 are clamped to 1 (hash only when flops < cols).
+// Raising the threshold biases selection toward the dense SPA; 1 is the most
+// hash-friendly setting.
+func SetHashThreshold(t int) int {
+	if t < 1 {
+		t = 1
+	}
+	return int(hashThreshold.Swap(int64(t)))
+}
+
+// denseRanges/hashRanges count how many row ranges (SpGEMM) or whole calls
+// (SpMV gather) each accumulator served since the last reset; scratchBytes
+// totals the accumulator scratch (SPA buffers, stamp arrays, hash tables)
+// those ranges allocated. Benchmarks and the differential tests read them to
+// observe adaptive selection and its per-worker memory footprint.
+var (
+	denseRanges  atomic.Int64
+	hashRanges   atomic.Int64
+	scratchBytes atomic.Int64
+)
+
+// KernelCounts returns the number of row ranges served by the dense and hash
+// accumulators since the last ResetKernelCounts.
+func KernelCounts() (dense, hash int64) {
+	return denseRanges.Load(), hashRanges.Load()
+}
+
+// ScratchBytes returns the total accumulator scratch allocated since the
+// last ResetKernelCounts.
+func ScratchBytes() int64 { return scratchBytes.Load() }
+
+// ResetKernelCounts zeroes the selection and scratch counters.
+func ResetKernelCounts() {
+	denseRanges.Store(0)
+	hashRanges.Store(0)
+	scratchBytes.Store(0)
+}
+
+// chooseHash is the per-row-range selection rule. flops is the range's total
+// flop estimate (Σ per-row bounds for SpGEMM, nnz(u) for the SpMV gather);
+// cols is the width of the dense workspace the range would otherwise
+// allocate. The division form avoids overflow for huge flop counts.
+func chooseHash(hint Kernel, flops, cols int) bool {
+	switch hint {
+	case KernelDense:
+		return false
+	case KernelHash:
+		return true
+	}
+	return flops < cols/HashThreshold()
+}
+
+// SpGEMMFlops is the symbolic pass of the adaptive SpGEMM: it returns the
+// prefix array fptr (length a.Rows+1, fptr[0]=0) of per-row flop upper
+// bounds, where the bound for row i is Σ_{k∈A(i,:)} nnz(B(A.Ind[k],:)) — the
+// number of multiply calls Gustavson's algorithm performs for that row. The
+// prefix form feeds parallel.BalancedRanges directly, so row partitions are
+// balanced by flops rather than by nnz(A), and fptr[i+1]-fptr[i] presizes the
+// hash accumulator exactly.
+func SpGEMMFlops[A, B any](a *CSR[A], b *CSR[B], threads int) []int {
+	fptr := make([]int, a.Rows+1)
+	parallel.For(a.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ind, _ := a.Row(i)
+			f := 0
+			for _, k := range ind {
+				f += b.Ptr[k+1] - b.Ptr[k]
+			}
+			fptr[i+1] = f
+		}
+	})
+	for i := 0; i < a.Rows; i++ {
+		fptr[i+1] += fptr[i]
+	}
+	return fptr
+}
+
+// hashAccum is an open-addressing (linear probing) sparse accumulator: the
+// hash-SPA counterpart of the dense generation-stamped SPA in SpGEMM. The
+// table is sized per row from the row's flop upper bound, so it never needs
+// to grow mid-row; occupied slots are recorded and cleared after each row,
+// keeping reset cost proportional to the row's output, not the table.
+type hashAccum[C any] struct {
+	keys  []int // column index per slot, -1 = empty
+	vals  []C
+	mask  int   // len(keys)-1, power of two minus one
+	slots []int // occupied slot indices, for O(nnz(row)) reset
+}
+
+// ensure grows the table to a power-of-two capacity ≥ 2*n (≥ 16). It must be
+// called only while the table is empty (freshly reset), since growing
+// discards slot contents.
+func (h *hashAccum[C]) ensure(n int) {
+	c := 16
+	for c < 2*n {
+		c <<= 1
+	}
+	if c <= len(h.keys) {
+		return
+	}
+	h.keys = make([]int, c)
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	h.vals = make([]C, c)
+	h.mask = c - 1
+	var zero C
+	scratchBytes.Add(int64(c) * int64(unsafe.Sizeof(0)+unsafe.Sizeof(zero)))
+}
+
+// slot returns the slot holding key j, or the empty slot where j belongs.
+func (h *hashAccum[C]) slot(j int) int {
+	// Fibonacci hashing spreads consecutive column indices across the table.
+	s := int((uint64(j)*0x9E3779B97F4A7C15)>>33) & h.mask
+	for h.keys[s] != -1 && h.keys[s] != j {
+		s = (s + 1) & h.mask
+	}
+	return s
+}
+
+// reset clears the occupied slots recorded since the previous reset.
+func (h *hashAccum[C]) reset() {
+	for _, s := range h.slots {
+		h.keys[s] = -1
+	}
+	h.slots = h.slots[:0]
+}
+
+// hashLookup is a read-only open-addressing map from vector index to value,
+// the gather-side analogue of hashAccum: SpMV's pull path builds one from the
+// input vector instead of scattering it into an O(n) dense buffer when the
+// vector is hypersparse. It is built once and then only read, so concurrent
+// workers may share it without synchronization.
+type hashLookup[T any] struct {
+	keys []int
+	vals []T
+	mask int
+}
+
+func newHashLookup[T any](v *Vec[T]) *hashLookup[T] {
+	c := 16
+	for c < 2*len(v.Ind) {
+		c <<= 1
+	}
+	h := &hashLookup[T]{keys: make([]int, c), vals: make([]T, c), mask: c - 1}
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	var zero T
+	scratchBytes.Add(int64(c) * int64(unsafe.Sizeof(0)+unsafe.Sizeof(zero)))
+	for k, j := range v.Ind {
+		s := int((uint64(j)*0x9E3779B97F4A7C15)>>33) & h.mask
+		for h.keys[s] != -1 {
+			s = (s + 1) & h.mask
+		}
+		h.keys[s] = j
+		h.vals[s] = v.Val[k]
+	}
+	return h
+}
+
+func (h *hashLookup[T]) get(j int) (T, bool) {
+	s := int((uint64(j)*0x9E3779B97F4A7C15)>>33) & h.mask
+	for {
+		switch h.keys[s] {
+		case j:
+			return h.vals[s], true
+		case -1:
+			var zero T
+			return zero, false
+		}
+		s = (s + 1) & h.mask
+	}
+}

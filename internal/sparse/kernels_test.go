@@ -392,7 +392,10 @@ func TestReduceKernels(t *testing.T) {
 func TestKronSmall(t *testing.T) {
 	a, _ := BuildCSR(2, 2, []int{0, 1}, []int{1, 0}, []int{2, 3}, nil)
 	b, _ := BuildCSR(2, 2, []int{0, 1}, []int{0, 1}, []int{5, 7}, nil)
-	k := Kron(a, b, func(x, y int) int { return x * y }, 2)
+	k, err := Kron(a, b, func(x, y int) int { return x * y }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !k.Valid() || k.Rows != 4 || k.Cols != 4 || k.NNZ() != 4 {
 		t.Fatalf("kron shape/nnz wrong: %dx%d nnz=%d", k.Rows, k.Cols, k.NNZ())
 	}
@@ -403,6 +406,44 @@ func TestKronSmall(t *testing.T) {
 	// a(1,0)=3 × b(1,1)=7 -> (3, 1) = 21
 	if v, ok := k.Get(3, 1); !ok || v != 21 {
 		t.Fatalf("k(3,1)=%d,%v", v, ok)
+	}
+}
+
+// TestKronOverflow uses shape-only CSR literals (no entries, no Ptr
+// allocation) whose dimension products wrap around the int range: Kron must
+// reject them with ErrTooLarge before allocating anything, instead of
+// corrupting an allocation size.
+func TestKronOverflow(t *testing.T) {
+	mul := func(x, y int) int { return x * y }
+	huge := 1 << 40
+	cases := []struct {
+		name string
+		a, b *CSR[int]
+	}{
+		{"rows-overflow",
+			&CSR[int]{Rows: huge, Cols: 1, Ptr: nil},
+			&CSR[int]{Rows: huge, Cols: 1, Ptr: nil}},
+		{"cols-overflow",
+			&CSR[int]{Rows: 1, Cols: huge, Ptr: nil},
+			&CSR[int]{Rows: 1, Cols: huge, Ptr: nil}},
+		{"sign-flip",
+			&CSR[int]{Rows: 1 << 62, Cols: 1, Ptr: nil},
+			&CSR[int]{Rows: 3, Cols: 1, Ptr: nil}},
+	}
+	for _, tc := range cases {
+		if _, err := Kron(tc.a, tc.b, mul, 2); err != ErrTooLarge {
+			t.Fatalf("%s: err = %v, want ErrTooLarge", tc.name, err)
+		}
+	}
+	// checkedMul itself: boundary sanity.
+	if _, ok := checkedMul(1<<32, 1<<32); ok {
+		t.Fatal("2^64 product reported as representable")
+	}
+	if p, ok := checkedMul(1<<31, 1<<31); !ok || p != 1<<62 {
+		t.Fatalf("2^62 product rejected: %d %v", p, ok)
+	}
+	if p, ok := checkedMul(0, 1<<62); !ok || p != 0 {
+		t.Fatal("zero product rejected")
 	}
 }
 

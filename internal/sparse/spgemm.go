@@ -2,80 +2,170 @@ package sparse
 
 import (
 	"sort"
+	"unsafe"
 
 	"github.com/grblas/grb/internal/parallel"
 )
 
 // SpGEMM computes T = A ·(⊕,⊗) B over an arbitrary semiring using
+// Gustavson's row-wise algorithm with adaptive kernel selection
+// (SpGEMMKernel with KernelAuto).
+func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, threads int) *CSR[C] {
+	return SpGEMMKernel(a, b, mul, add, mask, threads, KernelAuto)
+}
+
+// SpGEMMKernel computes T = A ·(⊕,⊗) B over an arbitrary semiring using
 // Gustavson's row-wise algorithm with a per-worker sparse accumulator (SPA).
-// Rows of A are partitioned by nnz balance across up to `threads` workers;
-// each worker owns a dense accumulator of width B.Cols that is reused across
-// its rows via generation stamps, so the cost per row is proportional to the
-// flops of that row, not to B.Cols.
+//
+// A cheap symbolic pass (SpGEMMFlops) first computes per-row flop upper
+// bounds. Rows of A are then partitioned by *flop* balance — not nnz(A)
+// balance — across up to `threads` workers, so a single skewed row no longer
+// serializes a worker. Each row range picks its accumulator independently:
+//
+//   - dense SPA: a width-B.Cols value buffer reused across rows via
+//     generation stamps. O(B.Cols) scratch per worker, O(1) per product.
+//   - hash SPA: an open-addressing table presized from the row's flop bound.
+//     O(maxRowFlops) scratch per worker — the hypersparse-regime kernel, for
+//     when B.Cols dwarfs the work the whole range actually does.
+//
+// With hint KernelAuto a range is routed by chooseHash (the range's total
+// flop estimate vs. B.Cols with the package threshold); KernelDense/
+// KernelHash pin the choice, which is what the differential tests and
+// benchmarks use. The hash table is presized from the heaviest row's bound,
+// so it never rehashes mid-row.
+//
+// Both accumulators visit products in identical (k, t) order and sort each
+// row's pattern before emitting, so their outputs are identical down to
+// floating-point rounding — the property the differential harness asserts.
 //
 // If mask.M is non-nil (or mask.Complement is set), output entries are
 // filtered at emit time: only positions admitted by the mask are stored.
 // This is the "masked SpGEMM" used by e.g. Sandia triangle counting; it
 // prunes memory (and the sort) even though products are still formed.
-func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, threads int) *CSR[C] {
+func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, threads int, hint Kernel) *CSR[C] {
 	out := NewCSR[C](a.Rows, b.Cols)
-	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
+	fptr := SpGEMMFlops(a, b, threads)
+	parts := parallel.BalancedRanges(a.Rows, threads, fptr)
 	nparts := len(parts) - 1
 	pInd := make([][]int, nparts)
 	pVal := make([][]C, nparts)
 	rowLen := make([]int, a.Rows)
 	masked := mask.M != nil || mask.Complement
 	parallel.Run(parts, threads, func(part, lo, hi int) {
-		spa := make([]C, b.Cols)
-		stamp := make([]int, b.Cols) // generation marks; row i+1 is generation i+1
-		pattern := make([]int, 0, 256)
+		rangeFlops := fptr[hi] - fptr[lo]
+		maxFlops := 0
+		for i := lo; i < hi; i++ {
+			if f := fptr[i+1] - fptr[i]; f > maxFlops {
+				maxFlops = f
+			}
+		}
 		var ind []int
 		var val []C
-		for i := lo; i < hi; i++ {
-			gen := i + 1
-			pattern = pattern[:0]
-			aInd, aVal := a.Row(i)
-			for k := range aInd {
-				bInd, bVal := b.Row(aInd[k])
-				av := aVal[k]
-				for t := range bInd {
-					j := bInd[t]
-					p := mul(av, bVal[t])
-					if stamp[j] != gen {
-						stamp[j] = gen
-						spa[j] = p
-						pattern = append(pattern, j)
-					} else {
-						spa[j] = add(spa[j], p)
-					}
-				}
+		pattern := make([]int, 0, 256)
+		// admit reports whether the mask passes position j of row i, using a
+		// per-row cursor; pattern is sorted, so the cursor only advances.
+		var mInd []int
+		var mVal []bool
+		mk := 0
+		admit := func(j int) bool {
+			mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
+			if mask.Complement {
+				mt = !mt
 			}
-			sort.Ints(pattern)
-			start := len(ind)
-			if masked {
-				var mInd []int
-				var mVal []bool
-				if mask.M != nil {
-					mInd, mVal = mask.M.Row(i)
-				}
-				mk := 0
-				for _, j := range pattern {
-					mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
-					if mask.Complement {
-						mt = !mt
+			return mt
+		}
+		if chooseHash(hint, rangeFlops, b.Cols) {
+			hashRanges.Add(1)
+			var h hashAccum[C]
+			h.ensure(maxFlops)
+			for i := lo; i < hi; i++ {
+				pattern = pattern[:0]
+				aInd, aVal := a.Row(i)
+				for k := range aInd {
+					bInd, bVal := b.Row(aInd[k])
+					av := aVal[k]
+					for t := range bInd {
+						j := bInd[t]
+						p := mul(av, bVal[t])
+						s := h.slot(j)
+						if h.keys[s] == -1 {
+							h.keys[s] = j
+							h.vals[s] = p
+							h.slots = append(h.slots, s)
+							pattern = append(pattern, j)
+						} else {
+							h.vals[s] = add(h.vals[s], p)
+						}
 					}
-					if mt {
+				}
+				sort.Ints(pattern)
+				start := len(ind)
+				if masked {
+					if mask.M != nil {
+						mInd, mVal = mask.M.Row(i)
+					}
+					mk = 0
+					for _, j := range pattern {
+						if admit(j) {
+							ind = append(ind, j)
+							val = append(val, h.vals[h.slot(j)])
+						}
+					}
+				} else {
+					for _, j := range pattern {
+						ind = append(ind, j)
+						val = append(val, h.vals[h.slot(j)])
+					}
+				}
+				rowLen[i] = len(ind) - start
+				h.reset()
+			}
+		} else {
+			denseRanges.Add(1)
+			spa := make([]C, b.Cols)
+			stamp := make([]int, b.Cols) // generation marks; row i+1 is generation i+1
+			var zero C
+			scratchBytes.Add(int64(b.Cols) * int64(unsafe.Sizeof(0)+unsafe.Sizeof(zero)))
+			for i := lo; i < hi; i++ {
+				gen := i + 1
+				pattern = pattern[:0]
+				aInd, aVal := a.Row(i)
+				for k := range aInd {
+					bInd, bVal := b.Row(aInd[k])
+					av := aVal[k]
+					for t := range bInd {
+						j := bInd[t]
+						p := mul(av, bVal[t])
+						if stamp[j] != gen {
+							stamp[j] = gen
+							spa[j] = p
+							pattern = append(pattern, j)
+						} else {
+							spa[j] = add(spa[j], p)
+						}
+					}
+				}
+				sort.Ints(pattern)
+				start := len(ind)
+				if masked {
+					if mask.M != nil {
+						mInd, mVal = mask.M.Row(i)
+					}
+					mk = 0
+					for _, j := range pattern {
+						if admit(j) {
+							ind = append(ind, j)
+							val = append(val, spa[j])
+						}
+					}
+				} else {
+					for _, j := range pattern {
 						ind = append(ind, j)
 						val = append(val, spa[j])
 					}
 				}
-			} else {
-				for _, j := range pattern {
-					ind = append(ind, j)
-					val = append(val, spa[j])
-				}
+				rowLen[i] = len(ind) - start
 			}
-			rowLen[i] = len(ind) - start
 		}
 		pInd[part] = ind
 		pVal[part] = val
@@ -84,18 +174,39 @@ func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) 
 	return out
 }
 
+// checkedMul returns x*y and whether the product is representable (no signed
+// overflow). Shapes and nnz counts are nonnegative, so a negative product
+// always means wraparound.
+func checkedMul(x, y int) (int, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	p := x * y
+	if p/y != x || p < 0 {
+		return 0, false
+	}
+	return p, true
+}
+
 // Kron computes the Kronecker product T = A ⊗kron B with the given multiply
 // operator: T is (A.Rows*B.Rows) × (A.Cols*B.Cols) and
 // T(i*Br+k, j*Bc+l) = mul(A(i,j), B(k,l)) for every pair of stored entries.
-func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) *CSR[C] {
-	rows := a.Rows * b.Rows
-	cols := a.Cols * b.Cols
-	out := NewCSR[C](rows, cols)
-	if a.NNZ() == 0 || b.NNZ() == 0 {
-		return out
+// If the output shape or entry count overflows the int range, it returns
+// ErrTooLarge before allocating anything (the grb layer maps this onto
+// GrB_OUT_OF_MEMORY).
+func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) (*CSR[C], error) {
+	rows, okR := checkedMul(a.Rows, b.Rows)
+	cols, okC := checkedMul(a.Cols, b.Cols)
+	nnz, okN := checkedMul(a.NNZ(), b.NNZ())
+	if !okR || !okC || !okN {
+		return nil, ErrTooLarge
 	}
-	out.Ind = make([]int, a.NNZ()*b.NNZ())
-	out.Val = make([]C, a.NNZ()*b.NNZ())
+	out := NewCSR[C](rows, cols)
+	if nnz == 0 {
+		return out, nil
+	}
+	out.Ind = make([]int, nnz)
+	out.Val = make([]C, nnz)
 	// Row (ia*b.Rows + ib) holds nnz(A row ia) * nnz(B row ib) entries.
 	for i := 0; i < rows; i++ {
 		ia, ib := i/b.Rows, i%b.Rows
@@ -117,5 +228,5 @@ func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) *CSR
 			}
 		}
 	})
-	return out
+	return out, nil
 }

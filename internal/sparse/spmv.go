@@ -2,18 +2,47 @@ package sparse
 
 import (
 	"sort"
+	"unsafe"
 
 	"github.com/grblas/grb/internal/parallel"
 )
 
-// SpMV computes t = A ·(⊕,⊗) u (GraphBLAS mxv): t(i) = ⊕_j A(i,j) ⊗ u(j).
-// The input vector is scattered into a dense buffer once, then rows of A are
-// traversed in nnz-balanced parallel ranges; each row reduces its matching
-// entries with add. An optional mask prunes whole rows before any work is
-// done on them — the key optimization for masked pull-style traversals
-// (e.g. BFS with a complemented visited mask).
+// SpMV computes t = A ·(⊕,⊗) u with adaptive gather-buffer selection
+// (SpMVKernel with KernelAuto).
 func SpMV[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, threads int) *Vec[Y] {
-	uv, uok := u.Scatter()
+	return SpMVKernel(a, u, mul, add, mask, threads, KernelAuto)
+}
+
+// SpMVKernel computes t = A ·(⊕,⊗) u (GraphBLAS mxv): t(i) = ⊕_j A(i,j) ⊗ u(j).
+// This is the pull-style product: rows of A are traversed in nnz-balanced
+// parallel ranges and each row gathers its matching entries of u.
+//
+// The gather buffer is chosen by the same dense/hash policy as SpGEMM:
+//
+//   - dense: u is scattered once into an O(u.N) value+presence buffer with
+//     O(1) lookups — right when u is a sizable fraction of its space.
+//   - hash: a read-only open-addressing table of O(nnz(u)) slots shared by
+//     all workers — right when u is hypersparse and the dense workspace
+//     would dwarf the useful work (wide masked pull traversals).
+//
+// With KernelAuto the hash path is taken when nnz(u) < u.N/HashThreshold().
+//
+// An optional mask prunes whole rows before any work is done on them — the
+// key optimization for masked pull-style traversals (e.g. BFS with a
+// complemented visited mask).
+func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, threads int, hint Kernel) *Vec[Y] {
+	var lookup func(j int) (X, bool)
+	if chooseHash(hint, u.NNZ(), u.N) {
+		hashRanges.Add(1)
+		h := newHashLookup(u)
+		lookup = h.get
+	} else {
+		denseRanges.Add(1)
+		uv, uok := u.Scatter()
+		var zero X
+		scratchBytes.Add(int64(u.N) * int64(unsafe.Sizeof(zero)+1))
+		lookup = func(j int) (X, bool) { return uv[j], uok[j] }
+	}
 	masked := mask.M != nil || mask.Complement
 	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
 	nparts := len(parts) - 1
@@ -30,11 +59,11 @@ func SpMV[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y,
 			var acc Y
 			any := false
 			for k := range aInd {
-				j := aInd[k]
-				if !uok[j] {
+				x, ok := lookup(aInd[k])
+				if !ok {
 					continue
 				}
-				p := mul(aVal[k], uv[j])
+				p := mul(aVal[k], x)
 				if !any {
 					acc = p
 					any = true

@@ -1,0 +1,44 @@
+package grb
+
+import "github.com/grblas/grb/internal/sparse"
+
+// This file surfaces the substrate's adaptive kernel-selection machinery
+// (see DESIGN.md, "Kernel selection"): MxM and MxV route each row range to a
+// dense or hash sparse accumulator by comparing the range's flop estimate
+// against the output width. The Descriptor's AxB field pins the choice per
+// operation; the helpers here tune and observe the global policy, mainly for
+// benchmarks (cmd/grbbench -kernel) and tests.
+
+// kernelHint maps the descriptor's AxB method onto the substrate hint.
+func kernelHint(m AxBMethod) sparse.Kernel {
+	switch m {
+	case AxBDenseSPA:
+		return sparse.KernelDense
+	case AxBHashSPA:
+		return sparse.KernelHash
+	}
+	return sparse.KernelAuto
+}
+
+// KernelHashThreshold returns the adaptive-selection threshold: a row range
+// of a multiply uses the hash accumulator when its total flop estimate stays
+// below outputWidth/threshold. Higher thresholds bias selection toward the
+// dense accumulator.
+func KernelHashThreshold() int { return sparse.HashThreshold() }
+
+// SetKernelHashThreshold pins the adaptive-selection threshold and returns
+// the previous value. It is safe to call while operations run.
+func SetKernelHashThreshold(t int) int { return sparse.SetHashThreshold(t) }
+
+// KernelCounts reports how many multiply row ranges the dense and hash
+// accumulators served since the last ResetKernelCounts — benchmark and test
+// instrumentation for observing adaptive selection.
+func KernelCounts() (dense, hash int64) { return sparse.KernelCounts() }
+
+// KernelScratchBytes reports the accumulator scratch (dense SPA buffers, hash
+// tables, gather workspaces) allocated by multiply kernels since the last
+// ResetKernelCounts.
+func KernelScratchBytes() int64 { return sparse.ScratchBytes() }
+
+// ResetKernelCounts zeroes the selection and scratch counters.
+func ResetKernelCounts() { sparse.ResetKernelCounts() }

@@ -67,7 +67,7 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 		// The mask prunes the product at emit time only when it does not
 		// change the accumulated result: pruned positions would be dropped
 		// by MaskApplyM anyway.
-		t := sparse.SpGEMM(A, B, semiring.Mul, semiring.Add.Op, mk, threads)
+		t := sparse.SpGEMMKernel(A, B, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
 		z := sparse.AccumMergeM(cOld, t, accum, threads)
 		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
 	})
@@ -127,7 +127,7 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 	threads := ctx.threadsFor(acsr.NNZ())
 	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
-		t := sparse.SpMV(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads)
+		t := sparse.SpMVKernel(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
 	})

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo verification: tier-1 (build + full test suite) followed by the race
+# tier (concurrency-sensitive suites under -race). Equivalent to
+# `make verify`; kept as a script so CI hooks without make can run it.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: go build ./... && go test ./... =="
+go build ./...
+go test ./...
+
+echo "== race tier: multithread / nonblocking / differential suites =="
+go test -race . ./internal/sparse ./internal/parallel
+
+echo "verify: OK"

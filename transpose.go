@@ -99,9 +99,14 @@ func Kronecker[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp
 	if d.Transpose1 {
 		br, bc = bc, br
 	}
-	if cOld.Rows != ar*br || cOld.Cols != ac*bc {
+	pr, okR := checkedMulIndex(ar, br)
+	pc, okC := checkedMulIndex(ac, bc)
+	if !okR || !okC {
+		return errf(OutOfMemory, "Kronecker: product shape %d*%d x %d*%d overflows", ar, br, ac, bc)
+	}
+	if cOld.Rows != pr || cOld.Cols != pc {
 		return errf(DimensionMismatch, "Kronecker: output is %dx%d but product is %dx%d",
-			cOld.Rows, cOld.Cols, ar*br, ac*bc)
+			cOld.Rows, cOld.Cols, pr, pc)
 	}
 	if err := checkMaskDimsM(mk, cOld.Rows, cOld.Cols); err != nil {
 		return err
@@ -110,10 +115,26 @@ func Kronecker[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp
 	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		B := maybeTranspose(bcsr, d.Transpose1)
-		t := sparse.Kron(A, B, op, threads)
+		t, err := sparse.Kron(A, B, op, threads)
+		if err != nil {
+			return nil, errf(OutOfMemory, "Kronecker: %v", err)
+		}
 		z := sparse.AccumMergeM(cOld, t, accum, threads)
 		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
 	})
+}
+
+// checkedMulIndex returns x*y and whether the (nonnegative) product fits in
+// an int — Kronecker shapes multiply, so huge operands can wrap around.
+func checkedMulIndex(x, y int) (int, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	p := x * y
+	if p/y != x || p < 0 {
+		return 0, false
+	}
+	return p, true
 }
 
 // MatrixDiag builds the square matrix whose k-th diagonal holds the entries
