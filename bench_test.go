@@ -834,7 +834,18 @@ func BenchmarkHypersparse_MxV(b *testing.B) {
 	for k := 0; k < 1024; k++ {
 		_ = u.SetElement(1, k*(dim/1024))
 	}
-	for _, tc := range hyperDescs {
+	// Pin DirPull: this family measures the gather-buffer selection, and
+	// the direction router would otherwise serve the sparse frontier with
+	// the push kernel (BenchmarkTraversal_BFS measures that axis).
+	pullDescs := []struct {
+		name string
+		desc *grb.Descriptor
+	}{
+		{"auto", grb.DescPull},
+		{"dense", &grb.Descriptor{AxB: grb.AxBDenseSPA, Dir: grb.DirPull}},
+		{"hash", &grb.Descriptor{AxB: grb.AxBHashSPA, Dir: grb.DirPull}},
+	}
+	for _, tc := range pullDescs {
 		b.Run("kernel="+tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			grb.ResetKernelCounts()
@@ -867,5 +878,39 @@ func BenchmarkAlgo_SSSP(b *testing.B) {
 		if _, err := lagraph.SSSP(a, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Direction-optimizing traversal — the same BFS pinned push, pinned pull and
+// adaptively routed. The adaptive row must beat pull-only decisively: the
+// narrow early/late frontiers are served by the push scatter while only the
+// dense middle levels pay for full row gathers.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTraversal_BFS(b *testing.B) {
+	benchInit(b)
+	a := benchBoolMatrix(b, benchScale)
+	for _, tc := range []struct {
+		name string
+		dir  grb.Direction
+	}{
+		{"dir=push", grb.DirPush},
+		{"dir=pull", grb.DirPull},
+		{"dir=auto", grb.DirAuto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			grb.ResetKernelCounts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lagraph.BFSLevelsDir(a, 0, tc.dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			push, pull := grb.DirectionCounts()
+			b.ReportMetric(float64(push)/float64(b.N), "push-levels/op")
+			b.ReportMetric(float64(pull)/float64(b.N), "pull-levels/op")
+		})
 	}
 }

@@ -10,14 +10,23 @@
 // selection on a hypersparse workload (n = 1e6 ≫ nnz ≈ 4e5); the -kernel
 // flag pins the accumulator instead of sweeping all three.
 //
-// Usage: grbbench [-run fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper]
-//                 [-scale N] [-kernel auto|dense|hash]
+// The "traversal" section measures direction-optimizing BFS: the same
+// level-synchronous traversal pinned to the push (scatter) kernel, the pull
+// (masked gather) kernel, and the adaptive router, over hypersparse and RMAT
+// graphs; the -dir flag pins one direction instead of sweeping all three,
+// and -json writes the measured series to a machine-readable file.
+//
+// Usage: grbbench [-run fig1,...,hyper,traversal] [-scale N]
+//
+//	[-kernel auto|dense|hash] [-dir auto|push|pull] [-json F]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -31,9 +40,11 @@ import (
 )
 
 var (
-	runList = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper", "comma-separated experiments")
-	scale   = flag.Int("scale", 14, "RMAT scale for the measured experiments")
-	kernel  = flag.String("kernel", "", "pin the multiply accumulator for the hyper experiment: auto, dense or hash (empty sweeps all three)")
+	runList  = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper,traversal", "comma-separated experiments")
+	scale    = flag.Int("scale", 14, "RMAT scale for the measured experiments")
+	kernel   = flag.String("kernel", "", "pin the multiply accumulator for the hyper experiment: auto, dense or hash (empty sweeps all three)")
+	dirFlag  = flag.String("dir", "", "pin the traversal direction for the traversal experiment: auto, push or pull (empty sweeps all three)")
+	jsonPath = flag.String("json", "", "write the traversal experiment's measured series to this JSON file")
 )
 
 func main() {
@@ -42,6 +53,11 @@ func main() {
 	case "", "auto", "dense", "hash":
 	default:
 		log.Fatalf("-kernel %q: must be auto, dense or hash", *kernel)
+	}
+	switch *dirFlag {
+	case "", "auto", "push", "pull":
+	default:
+		log.Fatalf("-dir %q: must be auto, push or pull", *dirFlag)
 	}
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
@@ -78,6 +94,9 @@ func main() {
 	}
 	if want["hyper"] {
 		hypersparse()
+	}
+	if want["traversal"] {
+		traversal()
 	}
 }
 
@@ -521,13 +540,18 @@ func hypersparse() {
 	}
 	fmt.Printf("  matrix: %d x %d, %d entries; vector: %d entries\n", n, n, g.NumEdges(), 1024)
 
+	// The mxv rows pin DirPull: this section measures the gather-buffer
+	// (accumulator) selection, and the direction router would otherwise
+	// serve the sparse frontier with the push kernel, which never touches
+	// the gather buffer (the traversal section measures that axis).
 	kernels := []struct {
-		name string
-		desc *grb.Descriptor
+		name  string
+		desc  *grb.Descriptor
+		vdesc *grb.Descriptor
 	}{
-		{"auto", nil},
-		{"dense", grb.DescDenseSPA},
-		{"hash", grb.DescHashSPA},
+		{"auto", nil, grb.DescPull},
+		{"dense", grb.DescDenseSPA, &grb.Descriptor{AxB: grb.AxBDenseSPA, Dir: grb.DirPull}},
+		{"hash", grb.DescHashSPA, &grb.Descriptor{AxB: grb.AxBHashSPA, Dir: grb.DirPull}},
 	}
 	fmt.Printf("  %-8s %-9s %-12s %-12s %-14s %s\n",
 		"kernel", "op", "time", "ranges", "scratch", "(dense/hash routing)")
@@ -551,7 +575,7 @@ func hypersparse() {
 		grb.ResetKernelCounts()
 		w, _ := grb.NewVector[float64](n)
 		start = time.Now()
-		if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.desc); err != nil {
+		if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.vdesc); err != nil {
 			log.Fatal(err)
 		}
 		_ = w.Wait(grb.Materialize)
@@ -564,4 +588,129 @@ func hypersparse() {
 	fmt.Println("  (auto must match the hash row: the flop estimate is far below the width,")
 	fmt.Println("   so every range routes to the hash SPA and scratch shrinks by orders of")
 	fmt.Println("   magnitude; -kernel pins one accumulator for A/B comparisons)")
+}
+
+// traversalResult is one measured BFS run, serialized by -json.
+type traversalResult struct {
+	Graph     string  `json:"graph"`
+	Vertices  int     `json:"vertices"`
+	Edges     int     `json:"edges"`
+	Dir       string  `json:"dir"`
+	Seconds   float64 `json:"seconds"`
+	Levels    int     `json:"levels"`
+	Reached   int     `json:"reached"`
+	PushCalls int64   `json:"push_calls"`
+	PullCalls int64   `json:"pull_calls"`
+	Transpose int64   `json:"transpose_materializations"`
+}
+
+// traversal measures direction-optimizing BFS: the identical level-
+// synchronous traversal (lagraph.BFSLevelsDir) pinned to push, pinned to
+// pull, and left to the adaptive router, on a hypersparse uniform graph and
+// a power-law RMAT graph. The per-level kernel routing counters and the
+// number of transpose materializations (the pull side runs over the cached
+// transpose view, so it must be exactly one per matrix) are printed beside
+// the wall times.
+func traversal() {
+	header("Traversal — direction-optimizing (push/pull) BFS")
+	threads := runtime.GOMAXPROCS(0)
+	fmt.Printf("  host: %d usable CPUs; default context uses all of them\n", threads)
+
+	type workload struct {
+		name string
+		a    *grb.Matrix[bool]
+		n, m int
+	}
+	var loads []workload
+	{
+		g := gen.Hypersparse(200_000, 1_600_000, 11).Symmetrize()
+		a, err := grb.NewMatrix[bool](g.N, g.N)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Build(g.Src, g.Dst, gen.BoolWeights(g), grb.LOr); err != nil {
+			log.Fatal(err)
+		}
+		loads = append(loads, workload{"hypersparse", a, g.N, g.NumEdges()})
+	}
+	{
+		a, g := rmatBool(*scale)
+		loads = append(loads, workload{"rmat", a, g.N, g.NumEdges()})
+	}
+
+	var results []traversalResult
+	fmt.Printf("  %-12s %-6s %-12s %-8s %-9s %-12s %s\n",
+		"graph", "dir", "time", "levels", "reached", "push/pull", "transpose mats")
+	for _, w := range loads {
+		var pullTime, autoTime time.Duration
+		for _, tc := range []struct {
+			name string
+			dir  grb.Direction
+		}{
+			{"push", grb.DirPush},
+			{"pull", grb.DirPull},
+			{"auto", grb.DirAuto},
+		} {
+			if *dirFlag != "" && tc.name != *dirFlag {
+				continue
+			}
+			grb.ResetKernelCounts()
+			start := time.Now()
+			levels, err := lagraph.BFSLevelsDir(w.a, 0, tc.dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := levels.Wait(grb.Materialize); err != nil {
+				log.Fatal(err)
+			}
+			el := time.Since(start)
+			push, pull := grb.DirectionCounts()
+			tmats := grb.TransposeCount()
+			reached, _ := levels.Nvals()
+			maxLevel := 0
+			if _, lv, err := levels.ExtractTuples(); err == nil {
+				for _, l := range lv {
+					if l > maxLevel {
+						maxLevel = l
+					}
+				}
+			}
+			switch tc.name {
+			case "pull":
+				pullTime = el
+			case "auto":
+				autoTime = el
+			}
+			fmt.Printf("  %-12s %-6s %-12v %-8d %-9d %-12s %d\n",
+				w.name, tc.name, el, maxLevel+1, reached,
+				fmt.Sprintf("%dp/%dg", push, pull), tmats)
+			results = append(results, traversalResult{
+				Graph: w.name, Vertices: w.n, Edges: w.m, Dir: tc.name,
+				Seconds: el.Seconds(), Levels: maxLevel + 1, Reached: reached,
+				PushCalls: push, PullCalls: pull, Transpose: tmats,
+			})
+		}
+		if pullTime > 0 && autoTime > 0 {
+			fmt.Printf("  %-12s auto vs pull-only: %.2fx\n", w.name, float64(pullTime)/float64(autoTime))
+		}
+	}
+	fmt.Println("  (push scatters frontier edges, pull gathers unvisited rows over the")
+	fmt.Println("   cached transpose — materialized once per matrix, hence the final")
+	fmt.Println("   column; auto switches per level by frontier density, Beamer-style)")
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": "traversal",
+			"threads":    threads,
+			"scale":      *scale,
+			"results":    results,
+		}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *jsonPath)
+	}
 }

@@ -17,6 +17,25 @@ const (
 	AxBHashSPA
 )
 
+// Direction selects the traversal direction of the matrix-vector products
+// (MxV, VxM). This is an extension in the spirit of direction-optimizing
+// (push/pull) BFS: the default routes each product by frontier and mask
+// density (see ChoosePush in internal/sparse), and the pinned variants force
+// one kernel — for benchmarking, differential testing, or traversals whose
+// phase the caller knows better.
+type Direction int
+
+const (
+	// DirAuto routes each product adaptively (frontier vs. mask density).
+	DirAuto Direction = iota
+	// DirPush forces the push kernel: scatter the stored frontier entries
+	// through their matrix rows (SpMSpV-style; work ∝ frontier edges).
+	DirPush
+	// DirPull forces the pull kernel: gather along output positions
+	// (masked SpMV; work ∝ unmasked rows).
+	DirPull
+)
+
 // Descriptor modifies how a GraphBLAS operation treats its output, mask and
 // inputs (GrB_Descriptor). A nil *Descriptor everywhere means default
 // behaviour: merge into the output, value mask, untransposed inputs.
@@ -36,6 +55,9 @@ type Descriptor struct {
 	Transpose1 bool
 	// AxB selects the multiply accumulator kernel (extension; see AxBMethod).
 	AxB AxBMethod
+	// Dir selects the matrix-vector traversal direction (extension; see
+	// Direction).
+	Dir Direction
 }
 
 // Predefined descriptors mirroring the C API's GrB_DESC_* constants.
@@ -64,6 +86,10 @@ var (
 	DescDenseSPA = &Descriptor{AxB: AxBDenseSPA}
 	// DescHashSPA pins the multiply kernel to the hash accumulator.
 	DescHashSPA = &Descriptor{AxB: AxBHashSPA}
+	// DescPush pins matrix-vector products to the push (scatter) kernel.
+	DescPush = &Descriptor{Dir: DirPush}
+	// DescPull pins matrix-vector products to the pull (gather) kernel.
+	DescPull = &Descriptor{Dir: DirPull}
 )
 
 // get normalizes a possibly-nil descriptor to a value.

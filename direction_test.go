@@ -1,0 +1,324 @@
+package grb
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Direction differential harness: the push (scatter) and pull (gather)
+// matrix-vector kernels must produce identical output for every semiring
+// whose additive monoid is exactly associative on the data — multithreaded
+// push reassociates the fold across partitions, so the harness sticks to
+// integer plus-times, float min-plus (min is exact; + only appears inside
+// the multiply) and boolean lor-land. Each test draws its inputs from a
+// logged seed; rerun a failure with GRB_DIFF_SEED=<seed>.
+
+// dirSeed returns the randomized (or pinned) seed for a differential test
+// and logs it for reproducibility.
+func dirSeed(t *testing.T) int64 {
+	t.Helper()
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("GRB_DIFF_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad GRB_DIFF_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("seed=%d (pin with GRB_DIFF_SEED to reproduce)", seed)
+	return seed
+}
+
+// sameVector fails unless got and want have identical pattern and values.
+func sameVector[T comparable](t *testing.T, label string, got, want *Vector[T]) {
+	t.Helper()
+	gi, gx, err := got.ExtractTuples()
+	if err != nil {
+		t.Fatalf("%s: ExtractTuples(got): %v", label, err)
+	}
+	wi, wx, err := want.ExtractTuples()
+	if err != nil {
+		t.Fatalf("%s: ExtractTuples(want): %v", label, err)
+	}
+	if len(gi) != len(wi) {
+		t.Fatalf("%s: nvals %d != %d (got %v, want %v)", label, len(gi), len(wi), gi, wi)
+	}
+	for k := range gi {
+		if gi[k] != wi[k] || gx[k] != wx[k] {
+			t.Fatalf("%s: entry %d = (%d)=%v, want (%d)=%v", label, k, gi[k], gx[k], wi[k], wx[k])
+		}
+	}
+}
+
+// dirMaskVariants enumerates the mask interpretations the harness covers.
+func dirMaskVariants() []struct {
+	name                   string
+	masked                 bool
+	structural, complement bool
+} {
+	return []struct {
+		name                   string
+		masked                 bool
+		structural, complement bool
+	}{
+		{"nomask", false, false, false},
+		{"value", true, false, false},
+		{"structural", true, true, false},
+		{"complement", true, false, true},
+		{"structural-complement", true, true, true},
+	}
+}
+
+// diffDirection drives one semiring through VxM and MxV with the direction
+// pinned push, pinned pull, and adaptive, across mask variants, transposes
+// and thread counts, requiring identical results everywhere.
+func diffDirection[T comparable](t *testing.T, rng *rand.Rand, sr Semiring[T, T, T], mk func(*rand.Rand) T) {
+	t.Helper()
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(60)
+		nnz := 2 + rng.Intn(4*n)
+		I := make([]Index, nnz)
+		J := make([]Index, nnz)
+		X := make([]T, nnz)
+		for k := 0; k < nnz; k++ {
+			I[k], J[k], X[k] = rng.Intn(n), rng.Intn(n), mk(rng)
+		}
+		a := mustMatrix(t, n, n, I, J, X)
+
+		// Alternate sparse and dense frontiers so DirAuto takes both sides.
+		fz := 1 + rng.Intn(n/8+1)
+		if trial%2 == 1 {
+			fz = n/2 + rng.Intn(n/2+1)
+		}
+		ui := make([]Index, 0, fz)
+		ux := make([]T, 0, fz)
+		for _, j := range rng.Perm(n)[:fz] {
+			ui = append(ui, j)
+			ux = append(ux, mk(rng))
+		}
+		u := mustVector(t, n, ui, ux)
+
+		mi := make([]Index, 0, n)
+		mx := make([]bool, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				mi = append(mi, i)
+				mx = append(mx, rng.Intn(2) == 0)
+			}
+		}
+		mask := mustVector(t, n, mi, mx)
+
+		for _, threads := range []int{1, 4} {
+			ctx, err := NewContext(NonBlocking, nil, WithThreads(threads), WithChunk(1))
+			if err != nil {
+				t.Fatalf("NewContext: %v", err)
+			}
+			ac, _ := a.Dup()
+			uc, _ := u.Dup()
+			mc, _ := mask.Dup()
+			for _, o := range []interface{ SwitchContext(*Context) error }{ac, uc, mc} {
+				if err := o.SwitchContext(ctx); err != nil {
+					t.Fatalf("SwitchContext: %v", err)
+				}
+			}
+			for _, mv := range dirMaskVariants() {
+				var m *Vector[bool]
+				if mv.masked {
+					m = mc
+				}
+				for _, tr := range []bool{false, true} {
+					runOp := func(op string, dir Direction) *Vector[T] {
+						w, err := NewVector[T](n, InContext(ctx))
+						if err != nil {
+							t.Fatalf("NewVector: %v", err)
+						}
+						d := &Descriptor{Structure: mv.structural, Complement: mv.complement, Dir: dir}
+						if op == "vxm" {
+							d.Transpose1 = tr
+							err = VxM(w, m, nil, sr, uc, ac, d)
+						} else {
+							d.Transpose0 = tr
+							err = MxV(w, m, nil, sr, ac, uc, d)
+						}
+						if err != nil {
+							t.Fatalf("trial %d %s/%s tr=%v threads=%d: %v", trial, op, mv.name, tr, threads, err)
+						}
+						return w
+					}
+					for _, op := range []string{"vxm", "mxv"} {
+						push := runOp(op, DirPush)
+						pull := runOp(op, DirPull)
+						auto := runOp(op, DirAuto)
+						label := op + "/" + mv.name
+						sameVector(t, label+"/push-vs-pull", push, pull)
+						sameVector(t, label+"/auto-vs-pull", auto, pull)
+					}
+				}
+			}
+			_ = ctx.Free()
+		}
+	}
+}
+
+func TestDifferentialDirectionPlusTimes(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(dirSeed(t)))
+	diffDirection(t, rng, PlusTimes[int64](), func(r *rand.Rand) int64 { return int64(r.Intn(19) - 9) })
+}
+
+func TestDifferentialDirectionMinPlus(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(dirSeed(t)))
+	diffDirection(t, rng, MinPlus[float64](), func(r *rand.Rand) float64 { return r.NormFloat64() })
+}
+
+func TestDifferentialDirectionLorLand(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(dirSeed(t)))
+	diffDirection(t, rng, LOrLAnd(), func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+// TestTransposeCacheSingleMaterialization asserts the tentpole's contract:
+// any number of Transpose-descriptor operations on an unmodified matrix
+// materialize the transpose exactly once, and a mutation (which installs a
+// fresh snapshot) costs exactly one more.
+func TestTransposeCacheSingleMaterialization(t *testing.T) {
+	setMode(t, NonBlocking)
+	n := 64
+	I := make([]Index, 0, 3*n)
+	J := make([]Index, 0, 3*n)
+	X := make([]int64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		for _, j := range []int{(i * 7) % n, (i*13 + 5) % n, (i + 1) % n} {
+			I, J, X = append(I, i), append(J, j), append(X, int64(i+j+1))
+		}
+	}
+	a := mustMatrix(t, n, n, I, J, X)
+	u := mustVector(t, n, []Index{0, n / 2, n - 1}, []int64{1, 2, 3})
+	pullT0 := &Descriptor{Transpose0: true, Dir: DirPull}
+
+	ResetKernelCounts()
+	for rep := 0; rep < 5; rep++ {
+		w, _ := NewVector[int64](n)
+		if err := MxV(w, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
+			t.Fatalf("MxV: %v", err)
+		}
+		if err := w.Wait(Materialize); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		// The explicit transpose operation must share the same cached view.
+		c, _ := NewMatrix[int64](n, n)
+		if err := Transpose(c, nil, nil, a, nil); err != nil {
+			t.Fatalf("Transpose: %v", err)
+		}
+		if err := c.Wait(Materialize); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if got := TransposeCount(); got != 1 {
+		t.Fatalf("10 transpose-view operations materialized %d transposes, want exactly 1", got)
+	}
+
+	// A mutation installs a fresh snapshot with an empty cache: exactly one
+	// more materialization, however many further reads follow.
+	if err := a.SetElement(99, 3, 4); err != nil {
+		t.Fatalf("SetElement: %v", err)
+	}
+	if err := a.Wait(Materialize); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	ResetKernelCounts()
+	for rep := 0; rep < 4; rep++ {
+		w, _ := NewVector[int64](n)
+		if err := MxV(w, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
+			t.Fatalf("MxV: %v", err)
+		}
+		if err := w.Wait(Materialize); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if got := TransposeCount(); got != 1 {
+		t.Fatalf("post-mutation reads materialized %d transposes, want exactly 1", got)
+	}
+}
+
+// TestTransposeCacheConcurrentReaders drives concurrent Transpose-descriptor
+// readers across mutate→Wait boundaries: each reader must observe a coherent
+// (pre- or post-mutation) transpose view, and under -race the cache must be
+// data-race free. The final pull result is checked against the push kernel,
+// which never touches the cache.
+func TestTransposeCacheConcurrentReaders(t *testing.T) {
+	setMode(t, NonBlocking)
+	n := 128
+	I := make([]Index, 0, 4*n)
+	J := make([]Index, 0, 4*n)
+	X := make([]int64, 0, 4*n)
+	rng := rand.New(rand.NewSource(dirSeed(t)))
+	for k := 0; k < 4*n; k++ {
+		I, J, X = append(I, rng.Intn(n)), append(J, rng.Intn(n)), append(X, int64(1+rng.Intn(9)))
+	}
+	a := mustMatrix(t, n, n, I, J, X)
+	ui := make([]Index, n)
+	ux := make([]int64, n)
+	for i := range ui {
+		ui[i], ux[i] = i, 1
+	}
+	u := mustVector(t, n, ui, ux)
+	pullT0 := &Descriptor{Transpose0: true, Dir: DirPull}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w, err := NewVector[int64](n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := MxV(w, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
+					t.Errorf("reader MxV: %v", err)
+					return
+				}
+				if err := w.Wait(Materialize); err != nil {
+					t.Errorf("reader Wait: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		if err := a.SetElement(int64(i), i%n, (i*31+7)%n); err != nil {
+			t.Fatalf("SetElement: %v", err)
+		}
+		if err := a.Wait(Materialize); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	wPull, _ := NewVector[int64](n)
+	if err := MxV(wPull, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
+		t.Fatalf("final pull MxV: %v", err)
+	}
+	wPush, _ := NewVector[int64](n)
+	if err := MxV(wPush, nil, nil, PlusTimes[int64](), a, u, &Descriptor{Transpose0: true, Dir: DirPush}); err != nil {
+		t.Fatalf("final push MxV: %v", err)
+	}
+	sameVector(t, "post-mutation pull-vs-push", wPull, wPush)
+}

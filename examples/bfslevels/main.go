@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	grb "github.com/grblas/grb"
 	"github.com/grblas/grb/gen"
@@ -79,4 +80,31 @@ func main() {
 		}
 	}
 	fmt.Printf("BFS parent tree: %d vertices, %d level violations (want 0)\n", len(pi), bad)
+
+	// Direction optimization end-to-end: the identical level BFS pinned to
+	// the push (frontier scatter) kernel, the pull (masked gather over the
+	// cached transpose) kernel, and the adaptive Beamer-style router, which
+	// should push the narrow early/late frontiers and pull the dense middle.
+	fmt.Println("direction-optimized traversal (same BFS, kernel pinned per run):")
+	for _, tc := range []struct {
+		name string
+		dir  grb.Direction
+	}{
+		{"push", grb.DirPush},
+		{"pull", grb.DirPull},
+		{"auto", grb.DirAuto},
+	} {
+		grb.ResetKernelCounts()
+		start := time.Now()
+		lv, err := lagraph.BFSLevelsDir(a, src, tc.dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lv.Wait(grb.Materialize); err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		push, pull := grb.DirectionCounts()
+		fmt.Printf("  %-5s %-12v %d push / %d pull levels\n", tc.name, el, push, pull)
+	}
 }

@@ -315,3 +315,33 @@ func BoolWeights(g Graph) []bool {
 	}
 	return w
 }
+
+// Frontier samples k distinct vertex indices over [0, n), sorted ascending —
+// a reproducible traversal frontier for the push/pull benchmarks and the
+// direction-differential tests. k is clamped to n.
+func Frontier(n, k int, seed int64) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Partial Fisher-Yates over a lazily materialized identity permutation:
+	// O(k) memory even when n is huge.
+	picked := make(map[int]int, 2*k)
+	at := func(i int) int {
+		if v, ok := picked[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = at(j)
+		picked[j] = at(i)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -15,6 +15,7 @@ package sparse
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 )
 
 // Errors surfaced by substrate kernels. The grb layer maps these onto
@@ -40,6 +41,14 @@ type CSR[T any] struct {
 	Ptr        []int
 	Ind        []int
 	Val        []T
+
+	// tr memoizes the transpose of this matrix (see TransposeCached). It
+	// piggybacks on the immutable-on-write contract: a CSR never changes
+	// after it is built, and every mutation in the grb layer installs a
+	// freshly built CSR whose cache starts empty, so a cached transpose can
+	// never go stale. Atomic so concurrent readers of a completed object
+	// share the view without locks.
+	tr atomic.Pointer[CSR[T]]
 }
 
 // NewCSR returns an empty rows×cols matrix.

@@ -73,11 +73,15 @@ func KernelCounts() (dense, hash int64) {
 // last ResetKernelCounts.
 func ScratchBytes() int64 { return scratchBytes.Load() }
 
-// ResetKernelCounts zeroes the selection and scratch counters.
+// ResetKernelCounts zeroes the selection and scratch counters, the push/pull
+// routing counters, and the transpose-materialization counter.
 func ResetKernelCounts() {
 	denseRanges.Store(0)
 	hashRanges.Store(0)
 	scratchBytes.Store(0)
+	pushCalls.Store(0)
+	pullCalls.Store(0)
+	transposeMats.Store(0)
 }
 
 // chooseHash is the per-row-range selection rule. flops is the range's total

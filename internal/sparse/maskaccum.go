@@ -18,6 +18,58 @@ type VMask struct {
 	Complement bool
 }
 
+// vmaskLookup compiles a vector mask into an O(1)-per-position admit
+// predicate for the matrix-vector kernels. A nil return means every position
+// is admitted (no pruning needed). The representation follows the dense/hash
+// accumulator policy: a dense mask is scattered once into an O(n) bitmap
+// (O(1) exact lookups, one pass to build), while a hypersparse mask gets a
+// read-only hash table of O(nnz(m)) slots so the O(n) scatter is never paid.
+// Either way a masked kernel stops paying O(log nnz(m)) per position.
+//
+// The predicate implements the full GraphBLAS mask semantics (value vs.
+// structural, complement), so kernels may prune work at any granularity —
+// whole rows in the pull gather, single products in the push scatter — and
+// the final MaskApplyV pass observes the same admitted set it would have
+// filtered itself.
+func vmaskLookup(mask VMask, n int) func(int) bool {
+	if mask.M == nil {
+		if mask.Complement {
+			// Complemented nil mask: nothing is admitted (the mask defaults
+			// to all-true, so its complement rules every position out).
+			return func(int) bool { return false }
+		}
+		return nil
+	}
+	m := mask.M
+	structural, comp := mask.Structural, mask.Complement
+	if !chooseHash(KernelAuto, m.NNZ(), n) {
+		admit := make([]bool, n)
+		scratchBytes.Add(int64(n))
+		if comp {
+			for i := range admit {
+				admit[i] = true
+			}
+		}
+		for k, j := range m.Ind {
+			v := structural || m.Val[k]
+			if comp {
+				v = !v
+			}
+			admit[j] = v
+		}
+		return func(j int) bool { return admit[j] }
+	}
+	h := newHashLookup(m)
+	return func(j int) bool {
+		v, present := h.get(j)
+		adm := present && (structural || v)
+		if comp {
+			adm = !adm
+		}
+		return adm
+	}
+}
+
 // test reports whether the mask admits position j given a cursor into the
 // mask row's index list; it advances *k past indices < j.
 func maskTest(ind []int, val []bool, structural bool, j int, k *int) bool {

@@ -29,8 +29,11 @@ func SpMV[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y,
 //
 // An optional mask prunes whole rows before any work is done on them — the
 // key optimization for masked pull-style traversals (e.g. BFS with a
-// complemented visited mask).
+// complemented visited mask). The mask is compiled once by vmaskLookup
+// (dense bitmap or hash table, same policy as the gather buffer), so the
+// per-row admission test is O(1) rather than a binary search.
 func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, threads int, hint Kernel) *Vec[Y] {
+	pullCalls.Add(1)
 	var lookup func(j int) (X, bool)
 	if chooseHash(hint, u.NNZ(), u.N) {
 		hashRanges.Add(1)
@@ -43,7 +46,7 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 		scratchBytes.Add(int64(u.N) * int64(unsafe.Sizeof(zero)+1))
 		lookup = func(j int) (X, bool) { return uv[j], uok[j] }
 	}
-	masked := mask.M != nil || mask.Complement
+	admit := vmaskLookup(mask, a.Rows)
 	parts := parallel.BalancedRanges(a.Rows, threads, a.Ptr)
 	nparts := len(parts) - 1
 	pInd := make([][]int, nparts)
@@ -52,7 +55,7 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 		var ind []int
 		var val []Y
 		for i := lo; i < hi; i++ {
-			if masked && !vmaskAdmits(mask, i) {
+			if admit != nil && !admit(i) {
 				continue
 			}
 			aInd, aVal := a.Row(i)
@@ -93,33 +96,34 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 	return out
 }
 
-// vmaskAdmits reports whether position i passes the vector mask.
-func vmaskAdmits(mask VMask, i int) bool {
-	present := false
-	value := false
-	if mask.M != nil {
-		k := sort.SearchInts(mask.M.Ind, i)
-		if k < len(mask.M.Ind) && mask.M.Ind[k] == i {
-			present = true
-			value = mask.M.Val[k]
-		}
-	}
-	mt := present
-	if !mask.Structural {
-		mt = present && value
-	}
-	if mask.Complement {
-		mt = !mt
-	}
-	return mt
-}
-
 // VxM computes t = u ·(⊕,⊗) A (GraphBLAS vxm): t(j) = ⊕_i u(i) ⊗ A(i,j).
 // This is the push-style product: the stored entries of u are partitioned
 // across workers, each scatters its contributions into a private SPA of
 // width A.Cols, and the per-worker SPAs are then reduced with add. For a
 // sparse frontier u this touches only the rows of A selected by u.
+//
+// The mask test happens inside the scatter loop, not at emit time: products
+// the mask rules out are never multiplied, never scattered and never reduced.
+// With a complemented visited mask (BFS) the pruned fraction grows every
+// level, which is where the push direction earns its keep. The compiled
+// predicate (vmaskLookup) costs O(1) per product.
+//
+// The per-worker SPAs are combined by one of two reductions, both folding
+// partitions in ascending order so the two paths produce identical outputs:
+//
+//   - dense (total emitted pattern within a HashThreshold factor of A.Cols):
+//     output columns are range-partitioned across workers and each worker
+//     folds all SPAs over its own range, emitting in column order directly —
+//     the reduction parallelizes instead of serializing behind worker 0.
+//   - sparse: the classic sequential pattern merge into worker 0's SPA,
+//     which is cheap precisely because the patterns are small.
 func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, mask VMask, threads int) *Vec[Y] {
+	pushCalls.Add(1)
+	if mask.M == nil && mask.Complement {
+		// Complemented nil mask admits nothing; MaskApplyV discards every
+		// candidate entry, so the scatter would be pure waste.
+		return NewVec[Y](a.Cols)
+	}
 	nu := u.NNZ()
 	if threads > nu {
 		threads = nu
@@ -132,6 +136,7 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 	if nparts == 0 {
 		return NewVec[Y](a.Cols)
 	}
+	admit := vmaskLookup(mask, a.Cols)
 	spas := make([][]Y, nparts)
 	marks := make([][]bool, nparts)
 	patterns := make([][]int, nparts)
@@ -145,6 +150,9 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 			aInd, aVal := a.Row(i)
 			for t := range aInd {
 				j := aInd[t]
+				if admit != nil && !admit(j) {
+					continue
+				}
 				p := mul(uv, aVal[t])
 				if !mark[j] {
 					mark[j] = true
@@ -159,7 +167,57 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 		marks[part] = mark
 		patterns[part] = pattern
 	})
-	// Reduce worker SPAs into worker 0's.
+	totalPat := 0
+	for _, p := range patterns {
+		totalPat += len(p)
+	}
+	out := &Vec[Y]{N: a.Cols}
+	if totalPat == 0 {
+		return out
+	}
+	if nparts > 1 && !chooseHash(KernelAuto, totalPat, a.Cols) {
+		// Dense reduction: each worker owns a contiguous column range and
+		// folds every partition's SPA over it, in ascending partition order
+		// (the same fold order as the sequential merge below). Emission is
+		// in column order by construction, so no final sort is needed.
+		rparts := parallel.Ranges(a.Cols, threads)
+		nr := len(rparts) - 1
+		rInd := make([][]int, nr)
+		rVal := make([][]Y, nr)
+		parallel.Run(rparts, threads, func(part, lo, hi int) {
+			var ind []int
+			var val []Y
+			for j := lo; j < hi; j++ {
+				var acc Y
+				any := false
+				for p := 0; p < nparts; p++ {
+					if marks[p] == nil || !marks[p][j] {
+						continue
+					}
+					if !any {
+						acc = spas[p][j]
+						any = true
+					} else {
+						acc = add(acc, spas[p][j])
+					}
+				}
+				if any {
+					ind = append(ind, j)
+					val = append(val, acc)
+				}
+			}
+			rInd[part] = ind
+			rVal[part] = val
+		})
+		out.Ind = make([]int, 0, totalPat)
+		out.Val = make([]Y, 0, totalPat)
+		for p := 0; p < nr; p++ {
+			out.Ind = append(out.Ind, rInd[p]...)
+			out.Val = append(out.Val, rVal[p]...)
+		}
+		return out
+	}
+	// Sparse reduction: merge worker SPAs into worker 0's.
 	spa0, mark0, pat0 := spas[0], marks[0], patterns[0]
 	for p := 1; p < nparts; p++ {
 		for _, j := range patterns[p] {
@@ -173,24 +231,9 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 		}
 	}
 	sort.Ints(pat0)
-	out := &Vec[Y]{N: a.Cols, Ind: make([]int, 0, len(pat0)), Val: make([]Y, 0, len(pat0))}
-	masked := mask.M != nil || mask.Complement
-	mk := 0
+	out.Ind = make([]int, 0, len(pat0))
+	out.Val = make([]Y, 0, len(pat0))
 	for _, j := range pat0 {
-		if masked {
-			var mInd []int
-			var mVal []bool
-			if mask.M != nil {
-				mInd, mVal = mask.M.Ind, mask.M.Val
-			}
-			mt := maskTest(mInd, mVal, mask.Structural, j, &mk)
-			if mask.Complement {
-				mt = !mt
-			}
-			if !mt {
-				continue
-			}
-		}
 		out.Ind = append(out.Ind, j)
 		out.Val = append(out.Val, spa0[j])
 	}

@@ -242,7 +242,7 @@ func (m *Matrix[T]) MatrixExportInto(format Format, indptr, indices []Index, val
 		copy(indices, c.Ind)
 		copy(values, c.Val)
 	case FormatCSC:
-		t := sparse.Transpose(c) // CSR of the transpose is CSC of the matrix
+		t := sparse.TransposeCached(c) // CSR of the transpose is CSC of the matrix
 		copy(indptr, t.Ptr)
 		copy(indices, t.Ind)
 		copy(values, t.Val)

@@ -35,10 +35,32 @@ func SetKernelHashThreshold(t int) int { return sparse.SetHashThreshold(t) }
 // instrumentation for observing adaptive selection.
 func KernelCounts() (dense, hash int64) { return sparse.KernelCounts() }
 
+// DirectionThreshold returns the push/pull selection threshold: with DirAuto,
+// a matrix-vector product takes the push (scatter) kernel when the frontier's
+// nnz stays below inputDim/threshold, unless a sparse non-complemented mask
+// makes the masked pull gather cheaper. Higher thresholds bias toward pull.
+func DirectionThreshold() int { return sparse.DirectionThreshold() }
+
+// SetDirectionThreshold pins the push/pull selection threshold and returns
+// the previous value. It is safe to call while operations run.
+func SetDirectionThreshold(t int) int { return sparse.SetDirectionThreshold(t) }
+
+// DirectionCounts reports how many matrix-vector products the push and pull
+// kernels served since the last ResetKernelCounts — instrumentation for
+// observing direction-optimizing traversal routing.
+func DirectionCounts() (push, pull int64) { return sparse.DirectionCounts() }
+
+// TransposeCount reports the number of transpose materializations (actual
+// bucket transposes, not cache hits) since the last ResetKernelCounts.
+// Repeated operations with a Transpose descriptor flag on an unmodified
+// matrix materialize exactly once; the cached view serves the rest.
+func TransposeCount() int64 { return sparse.TransposeCount() }
+
 // KernelScratchBytes reports the accumulator scratch (dense SPA buffers, hash
 // tables, gather workspaces) allocated by multiply kernels since the last
 // ResetKernelCounts.
 func KernelScratchBytes() int64 { return sparse.ScratchBytes() }
 
-// ResetKernelCounts zeroes the selection and scratch counters.
+// ResetKernelCounts zeroes the selection, scratch, direction-routing and
+// transpose-materialization counters.
 func ResetKernelCounts() { sparse.ResetKernelCounts() }

@@ -60,10 +60,21 @@ func squareDim[T any](a *grb.Matrix[T]) (int, error) {
 // frontier advanced by vxm over the lor-land semiring, masked by the
 // complement of the visited set.
 func BFSLevels(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
+	return BFSLevelsDir(a, src, grb.DirAuto)
+}
+
+// BFSLevelsDir is BFSLevels with the traversal direction pinned: DirPush
+// forces the scatter (vxm) kernel on every level, DirPull forces the masked
+// gather over the cached transpose, and DirAuto lets each level route by
+// frontier density — the direction-optimizing schedule, which typically
+// pushes the narrow early and late frontiers and pulls the dense middle ones.
+func BFSLevelsDir(a *grb.Matrix[bool], src grb.Index, dir grb.Direction) (*grb.Vector[int], error) {
 	n, err := squareDim(a)
 	if err != nil {
 		return nil, err
 	}
+	// Replace + structural complemented mask, as in DescRSC, plus the pin.
+	desc := &grb.Descriptor{Replace: true, Structure: true, Complement: true, Dir: dir}
 	levels, err := grb.NewVector[int](n)
 	if err != nil {
 		return nil, err
@@ -96,7 +107,7 @@ func BFSLevels(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
 			return nil, err
 		}
 		// frontier⟨¬visited,structure,replace⟩ = frontier ∨.∧ A
-		if err := grb.VxM(frontier, visited, nil, grb.LOrLAnd(), frontier, a, grb.DescRSC); err != nil {
+		if err := grb.VxM(frontier, visited, nil, grb.LOrLAnd(), frontier, a, desc); err != nil {
 			return nil, err
 		}
 	}

@@ -140,7 +140,12 @@ func (m *Matrix[T]) parkLocked(err error) {
 }
 
 // snapshot completes the matrix and returns its immutable storage for use
-// as an operation input.
+// as an operation input. The returned CSR is never mutated: every deferred
+// step and Wait installs a fresh storage object, so per-CSR caches (the
+// memoized transpose, sparse.TransposeCached) stay coherent across
+// mutate→Wait boundaries without any explicit invalidation — a stale cache
+// can only live on a superseded snapshot, which readers that obtained it
+// earlier may still use safely.
 func (m *Matrix[T]) snapshot() (*sparse.CSR[T], error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

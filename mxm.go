@@ -74,7 +74,9 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 }
 
 // MxV computes w⟨m⟩ = w ⊙ (A ⊕.⊗ u): matrix–vector multiplication
-// (GrB_mxv). The descriptor's Transpose0 flag transposes A.
+// (GrB_mxv). The descriptor's Transpose0 flag transposes A; its Dir field
+// pins the push/pull kernel choice (DirAuto routes by frontier and mask
+// density, Beamer-style).
 func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, DC, DC],
 	semiring Semiring[DA, DB, DC], a *Matrix[DA], u *Vector[DB], desc *Descriptor) error {
 	if err := w.check(); err != nil {
@@ -125,17 +127,32 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
+	// Direction-optimizing dispatch: pull gathers rows of the (possibly
+	// transposed) matrix; push scatters the frontier's entries through the
+	// opposite orientation, which the transpose cache makes free to obtain
+	// after the first materialization. Both orientations fold products in
+	// ascending input order, so for a given thread count the two kernels
+	// agree bit-identically whenever the monoid is associative on the data.
+	usePush := chooseDir(d.Dir, uvec.NNZ(), ac, mk, ar)
 	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
-		A := maybeTranspose(acsr, d.Transpose0)
-		t := sparse.SpMVKernel(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		var t *sparse.Vec[DC]
+		if usePush {
+			At := maybeTranspose(acsr, !d.Transpose0)
+			mulFlip := func(x DB, a DA) DC { return semiring.Mul(a, x) }
+			t = sparse.VxM(uvec, At, mulFlip, semiring.Add.Op, mk, threads)
+		} else {
+			A := maybeTranspose(acsr, d.Transpose0)
+			t = sparse.SpMVKernel(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		}
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
 	})
 }
 
 // VxM computes w⟨m⟩ = w ⊙ (u ⊕.⊗ A): vector–matrix multiplication
-// (GrB_vxm), the push-style traversal primitive. The descriptor's
-// Transpose1 flag transposes A.
+// (GrB_vxm), the classic traversal primitive. The descriptor's Transpose1
+// flag transposes A; its Dir field pins the push/pull kernel choice
+// (DirAuto routes by frontier and mask density, Beamer-style).
 func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, DC, DC],
 	semiring Semiring[DA, DB, DC], u *Vector[DA], a *Matrix[DB], desc *Descriptor) error {
 	if err := w.check(); err != nil {
@@ -186,9 +203,21 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
+	// Direction-optimizing dispatch, mirroring MxV: push scatters the
+	// frontier through rows of A; pull gathers along output positions over
+	// the cached transpose, which a sparse non-complemented mask can prune
+	// wholesale.
+	usePush := chooseDir(d.Dir, uvec.NNZ(), ar, mk, ac)
 	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
-		A := maybeTranspose(acsr, d.Transpose1)
-		t := sparse.VxM(uvec, A, semiring.Mul, semiring.Add.Op, mk, threads)
+		var t *sparse.Vec[DC]
+		if usePush {
+			A := maybeTranspose(acsr, d.Transpose1)
+			t = sparse.VxM(uvec, A, semiring.Mul, semiring.Add.Op, mk, threads)
+		} else {
+			At := maybeTranspose(acsr, !d.Transpose1)
+			mulFlip := func(a DB, x DA) DC { return semiring.Mul(x, a) }
+			t = sparse.SpMVKernel(At, uvec, mulFlip, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		}
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
 	})

@@ -68,12 +68,29 @@ func checkMaskDimsV(mk sparse.VMask, n int) error {
 	return nil
 }
 
-// maybeTranspose returns a (possibly) transposed view of a snapshot.
+// maybeTranspose returns a (possibly) transposed view of a snapshot. The
+// transposed view is memoized on the snapshot (sparse.TransposeCached), so
+// repeated operations with a Transpose descriptor flag on an unmodified
+// matrix materialize the transpose exactly once; mutations install a fresh
+// snapshot with an empty cache, which is the only invalidation needed.
 func maybeTranspose[T any](m *sparse.CSR[T], t bool) *sparse.CSR[T] {
 	if t {
-		return sparse.Transpose(m)
+		return sparse.TransposeCached(m)
 	}
 	return m
+}
+
+// chooseDir resolves a descriptor's Direction pin (or the adaptive
+// heuristic) into a concrete push/pull decision for a matrix-vector product
+// with frontier nnzU over input dimension inDim and outDim masked outputs.
+func chooseDir(dir Direction, nnzU, inDim int, mk sparse.VMask, outDim int) bool {
+	switch dir {
+	case DirPush:
+		return true
+	case DirPull:
+		return false
+	}
+	return sparse.ChoosePush(nnzU, inDim, mk, outDim)
 }
 
 // AsMask converts a numeric matrix into a boolean mask matrix: each stored

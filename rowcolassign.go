@@ -122,8 +122,10 @@ func ColAssign[T any](c *Matrix[T], mask *Vector[bool], accum BinaryOp[T, T, T],
 	}
 	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
 		// Work on the transpose so the column becomes a row, then
-		// transpose back. O(nnz) each way.
-		ct := sparse.Transpose(cOld)
+		// transpose back. O(nnz) each way; the forward transpose is the
+		// cached view, so repeated column assigns on a settled matrix pay
+		// only the splice and the way back.
+		ct := sparse.TransposeCached(cOld)
 		rowInd, rowVal := ct.Row(j)
 		rowVec := &sparse.Vec[T]{N: ct.Cols, Ind: rowInd, Val: rowVal}
 		z, err := sparse.AssignV(rowVec, uvec, ri, accum)

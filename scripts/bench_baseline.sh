@@ -1,0 +1,20 @@
+#!/bin/sh
+# Direction-optimization benchmark baseline: runs the grbbench traversal
+# experiment (push / pull / adaptive BFS on hypersparse and RMAT graphs) and
+# records the measured series in BENCH_2.json at the repo root, so later PRs
+# can diff traversal performance against this one. Usage:
+#
+#   scripts/bench_baseline.sh [scale]
+#
+# with scale defaulting to 14 (the grbbench default; RMAT has 2^scale
+# vertices).
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-14}"
+OUT="BENCH_2.json"
+
+echo "== traversal baseline: scale $SCALE -> $OUT =="
+go run ./cmd/grbbench -run traversal -scale "$SCALE" -json "$OUT"
+
+echo "baseline written to $OUT"

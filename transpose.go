@@ -46,7 +46,7 @@ func Transpose[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, T],
 	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
 		t := acsr
 		if !d.Transpose0 { // transpose of a transpose is the input itself
-			t = sparse.Transpose(acsr)
+			t = sparse.TransposeCached(acsr)
 		}
 		z := sparse.AccumMergeM(cOld, t, accum, threads)
 		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
