@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify
+.PHONY: all build test race bench lint checktags verify
 
 all: build test
 
@@ -23,4 +23,16 @@ bench:
 	$(GO) test ./internal/sparse -run '^$$' -bench . -benchmem
 	$(GO) test . -run '^$$' -bench Hypersparse -benchmem
 
-verify: test race
+# Static-analysis tier: grblint's four analyzers (infocheck, snapshotcheck,
+# lockcheck, enumcheck) over every package including test files. Must report
+# zero diagnostics; suppress deliberate cases with //grblint:ignore.
+lint:
+	$(GO) run ./cmd/grblint ./...
+
+# Invariant tier: the concurrency-sensitive suites with the grbcheck runtime
+# validators compiled in — every CSR/Vec install re-validates the snapshot
+# contract (monotone row pointers, sorted+unique indices, nnz consistency).
+checktags:
+	$(GO) test -tags grbcheck -race . ./internal/sparse
+
+verify: test race lint checktags

@@ -9,8 +9,8 @@ func TestOpsRejectNilOperands(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
 	u := mustVector(t, 2, []Index{0}, []int{1})
-	c, _ := NewMatrix[int](2, 2)
-	w, _ := NewVector[int](2)
+	c := ck1(NewMatrix[int](2, 2))
+	w := ck1(NewVector[int](2))
 	var nilM *Matrix[int]
 	var nilV *Vector[int]
 
@@ -39,7 +39,7 @@ func TestOpsRejectNilOperands(t *testing.T) {
 	wantCode(t, Transpose(c, nil, nil, nilM, nil), NullPointer)
 	wantCode(t, Kronecker(c, nil, nil, Times[int], nilM, a, nil), NullPointer)
 	wantCode(t, MatrixReduceToVector(w, nil, nil, PlusMonoid[int](), nilM, nil), NullPointer)
-	s, _ := NewScalar[int]()
+	s := ck1(NewScalar[int]())
 	wantCode(t, MatrixReduceToScalar(s, nil, PlusMonoid[int](), nilM, nil), NullPointer)
 	wantCode(t, VectorReduceToScalar(s, nil, PlusMonoid[int](), nilV, nil), NullPointer)
 	var nilS *Scalar[int]
@@ -64,11 +64,11 @@ func TestOpsRejectNilOperands(t *testing.T) {
 func TestOpsRejectUninitializedOperands(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	var zero Matrix[int] // constructed without NewMatrix
 	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), &zero, a, nil), UninitializedObject)
 	freed := mustMatrix(t, 2, 2, nil, nil, []int(nil))
-	_ = freed.Free()
+	ck(freed.Free())
 	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), freed, a, nil), UninitializedObject)
 	wantCode(t, MxM(freed, nil, nil, PlusTimes[int](), a, a, nil), UninitializedObject)
 	// uninitialized masks are rejected too
@@ -78,8 +78,8 @@ func TestOpsRejectUninitializedOperands(t *testing.T) {
 
 func TestVectorContextPlumbing(t *testing.T) {
 	setMode(t, NonBlocking)
-	ctx1, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	ctx2, _ := NewContext(NonBlocking, nil, WithThreads(1))
+	ctx1 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	ctx2 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
 	u, err := NewVector[int](3, InContext(ctx1))
 	if err != nil {
 		t.Fatal(err)
@@ -88,8 +88,8 @@ func TestVectorContextPlumbing(t *testing.T) {
 	if err != nil || got != ctx1 {
 		t.Fatalf("vector context: %v %v", got, err)
 	}
-	v, _ := NewVector[int](3, InContext(ctx2))
-	w, _ := NewVector[int](3, InContext(ctx1))
+	v := ck1(NewVector[int](3, InContext(ctx2)))
+	w := ck1(NewVector[int](3, InContext(ctx1)))
 	wantCode(t, EWiseAddVector(w, nil, nil, Plus[int], u, v, nil), InvalidValue)
 	if err := v.SwitchContext(ctx1); err != nil {
 		t.Fatal(err)
@@ -113,13 +113,13 @@ func TestVectorContextPlumbing(t *testing.T) {
 // matrix-vector operations too.
 func TestMatrixVectorMixedContextOps(t *testing.T) {
 	setMode(t, NonBlocking)
-	c1, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	c2, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	a, _ := NewMatrix[int](2, 2, InContext(c1))
-	_ = a.SetElement(1, 0, 0)
-	u, _ := NewVector[int](2, InContext(c2))
-	_ = u.SetElement(1, 0)
-	w, _ := NewVector[int](2, InContext(c1))
+	c1 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	c2 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	a := ck1(NewMatrix[int](2, 2, InContext(c1)))
+	ck(a.SetElement(1, 0, 0))
+	u := ck1(NewVector[int](2, InContext(c2)))
+	ck(u.SetElement(1, 0))
+	w := ck1(NewVector[int](2, InContext(c1)))
 	wantCode(t, MxV(w, nil, nil, PlusTimes[int](), a, u, nil), InvalidValue)
 	if err := u.SwitchContext(c1); err != nil {
 		t.Fatal(err)

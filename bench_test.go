@@ -75,30 +75,30 @@ func benchFloatMatrix(b *testing.B, scale int) *grb.Matrix[float64] {
 // ---------------------------------------------------------------------------
 
 func fig1Pipelines(b *testing.B, a *grb.Matrix[float64], concurrent bool) {
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	for i := 0; i < b.N; i++ {
-		esh, _ := grb.NewMatrix[float64](dim, dim)
+		esh := ck1(grb.NewMatrix[float64](dim, dim))
 		var flag atomic.Int32
 		var wg sync.WaitGroup
 		wg.Add(2)
 		t0 := func() {
 			defer wg.Done()
-			c, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil)
-			_ = grb.MxM(esh, nil, nil, grb.PlusTimes[float64](), a, c, nil)
-			_ = esh.Wait(grb.Complete)
+			c := ck1(grb.NewMatrix[float64](dim, dim))
+			ck(grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil))
+			ck(grb.MxM(esh, nil, nil, grb.PlusTimes[float64](), a, c, nil))
+			ck(esh.Wait(grb.Complete))
 			flag.Store(1)
 		}
 		t1 := func() {
 			defer wg.Done()
-			g, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(g, nil, nil, grb.PlusTimes[float64](), a, a, nil)
-			_ = g.Wait(grb.Complete)
+			g := ck1(grb.NewMatrix[float64](dim, dim))
+			ck(grb.MxM(g, nil, nil, grb.PlusTimes[float64](), a, a, nil))
+			ck(g.Wait(grb.Complete))
 			for flag.Load() == 0 {
 			}
-			h, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(h, nil, nil, grb.PlusTimes[float64](), g, esh, nil)
-			_ = h.Wait(grb.Complete)
+			h := ck1(grb.NewMatrix[float64](dim, dim))
+			ck(grb.MxM(h, nil, nil, grb.PlusTimes[float64](), g, esh, nil))
+			ck(h.Wait(grb.Complete))
 		}
 		if concurrent {
 			go t0()
@@ -137,15 +137,15 @@ func BenchmarkFig2_ContextThreads(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer ctx.Free()
+			defer func() { ck(ctx.Free()) }()
 			a := benchFloatMatrix(b, benchScale-2)
 			if err := a.SwitchContext(ctx); err != nil {
 				b.Fatal(err)
 			}
-			dim, _ := a.Nrows()
+			dim := ck1(a.Nrows())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, _ := grb.NewMatrix[float64](dim, dim, grb.InContext(ctx))
+				c := ck1(grb.NewMatrix[float64](dim, dim, grb.InContext(ctx)))
 				if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil); err != nil {
 					b.Fatal(err)
 				}
@@ -164,11 +164,11 @@ func BenchmarkFig2_ContextThreads(b *testing.B) {
 func BenchmarkFig3_SelectUserTriuGT(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	myTriuGT := func(v float64, row, col grb.Index, s float64) bool { return col > row && v > s }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
 		if err := grb.MatrixSelect(c, nil, nil, myTriuGT, a, 1.0, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -181,10 +181,10 @@ func BenchmarkFig3_SelectUserTriuGT(b *testing.B) {
 func BenchmarkFig3_ApplyColIndex(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[int](dim, dim)
+		c := ck1(grb.NewMatrix[int](dim, dim))
 		if err := grb.MatrixApplyIndexOp(c, nil, nil, grb.ColIndex[float64], a, 1, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -202,12 +202,12 @@ func BenchmarkTableI_ScalarLifecycle(b *testing.B) {
 	benchInit(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, _ := grb.NewScalar[float64]()
-		_ = s.SetElement(float64(i))
-		d, _ := s.Dup()
-		_, _, _ = d.ExtractElement()
-		_, _ = d.Nvals()
-		_ = s.Clear()
+		s := ck1(grb.NewScalar[float64]())
+		ck(s.SetElement(float64(i)))
+		d := ck1(s.Dup())
+		_, _ = ck2(d.ExtractElement())
+		_ = ck1(d.Nvals())
+		ck(s.Clear())
 	}
 }
 
@@ -218,7 +218,7 @@ func BenchmarkTableI_ScalarLifecycle(b *testing.B) {
 func BenchmarkTableII_ReduceToScalarMonoid(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	s, _ := grb.NewScalar[float64]()
+	s := ck1(grb.NewScalar[float64]())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[float64](), a, nil); err != nil {
@@ -230,7 +230,7 @@ func BenchmarkTableII_ReduceToScalarMonoid(b *testing.B) {
 func BenchmarkTableII_ReduceToScalarBinaryOp(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	s, _ := grb.NewScalar[float64]()
+	s := ck1(grb.NewScalar[float64]())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := grb.MatrixReduceToScalarBinaryOp(s, nil, grb.Plus[float64], a, nil); err != nil {
@@ -242,15 +242,15 @@ func BenchmarkTableII_ReduceToScalarBinaryOp(b *testing.B) {
 func BenchmarkTableII_AssignScalarObj(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale-4)
-	dim, _ := a.Nrows()
-	sv, _ := grb.ScalarOf(3.5)
+	dim := ck1(a.Nrows())
+	sv := ck1(grb.ScalarOf(3.5))
 	rows := make([]grb.Index, dim/4)
 	for k := range rows {
 		rows[k] = k * 2
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := a.Dup()
+		c := ck1(a.Dup())
 		if err := grb.MatrixAssignScalarObj(c, nil, nil, sv, rows, rows, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -287,7 +287,7 @@ func BenchmarkTableIII_Export(b *testing.B) {
 	for _, f := range []grb.Format{grb.FormatDenseRow, grb.FormatDenseCol} {
 		b.Run(f.String(), func(b *testing.B) {
 			a := benchFloatMatrix(b, 9) // dense buffers are quadratic
-			np, ni, nv, _ := a.MatrixExportSize(f)
+			np, ni, nv := ck3(a.MatrixExportSize(f))
 			indptr := make([]grb.Index, np)
 			indices := make([]grb.Index, ni)
 			values := make([]float64, nv)
@@ -306,7 +306,7 @@ func BenchmarkTableIII_Import(b *testing.B) {
 	for _, f := range []grb.Format{grb.FormatCSR, grb.FormatCSC, grb.FormatCOO} {
 		b.Run(f.String(), func(b *testing.B) {
 			a := benchFloatMatrix(b, benchScale)
-			dim, _ := a.Nrows()
+			dim := ck1(a.Nrows())
 			indptr, indices, values, err := a.MatrixExport(f)
 			if err != nil {
 				b.Fatal(err)
@@ -354,7 +354,7 @@ func BenchmarkTableIII_SerializeDeserialize(b *testing.B) {
 func BenchmarkTableIV_Select(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	cases := []struct {
 		name string
 		run  func(c *grb.Matrix[float64]) error
@@ -399,7 +399,7 @@ func BenchmarkTableIV_Select(b *testing.B) {
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, _ := grb.NewMatrix[float64](dim, dim)
+				c := ck1(grb.NewMatrix[float64](dim, dim))
 				if err := tc.run(c); err != nil {
 					b.Fatal(err)
 				}
@@ -414,7 +414,7 @@ func BenchmarkTableIV_Select(b *testing.B) {
 func BenchmarkTableIV_Apply(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	cases := []struct {
 		name string
 		op   grb.IndexUnaryOp[float64, int, int]
@@ -426,7 +426,7 @@ func BenchmarkTableIV_Apply(b *testing.B) {
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, _ := grb.NewMatrix[int](dim, dim)
+				c := ck1(grb.NewMatrix[int](dim, dim))
 				if err := grb.MatrixApplyIndexOp(c, nil, nil, tc.op, a, 1, nil); err != nil {
 					b.Fatal(err)
 				}
@@ -450,10 +450,10 @@ type packedEntry struct {
 func BenchmarkAblation_SelectTriu_NativeIndexOp(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
 		if err := grb.MatrixSelect(c, nil, nil, grb.TriU[float64], a, 1, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -471,14 +471,14 @@ func BenchmarkAblation_SelectTriu_PackedValues(b *testing.B) {
 	for k := range w {
 		pw[k] = packedEntry{int64(g.Src[k]), int64(g.Dst[k]), w[k]}
 	}
-	a, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+	a := ck1(grb.NewMatrix[packedEntry](g.N, g.N))
 	if err := a.Build(g.Src, g.Dst, pw, grb.Second[packedEntry, packedEntry]); err != nil {
 		b.Fatal(err)
 	}
 	unpacking := func(v packedEntry, _, _ grb.Index, _ int) bool { return v.Col > v.Row }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+		c := ck1(grb.NewMatrix[packedEntry](g.N, g.N))
 		if err := grb.MatrixSelect(c, nil, nil, unpacking, a, 0, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -491,10 +491,10 @@ func BenchmarkAblation_SelectTriu_PackedValues(b *testing.B) {
 func BenchmarkAblation_ApplyRowIndex_Native(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[int](dim, dim)
+		c := ck1(grb.NewMatrix[int](dim, dim))
 		if err := grb.MatrixApplyIndexOp(c, nil, nil, grb.RowIndex[float64], a, 0, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -512,14 +512,14 @@ func BenchmarkAblation_ApplyRowIndex_PackedValues(b *testing.B) {
 	for k := range w {
 		pw[k] = packedEntry{int64(g.Src[k]), int64(g.Dst[k]), w[k]}
 	}
-	a, _ := grb.NewMatrix[packedEntry](g.N, g.N)
+	a := ck1(grb.NewMatrix[packedEntry](g.N, g.N))
 	if err := a.Build(g.Src, g.Dst, pw, grb.Second[packedEntry, packedEntry]); err != nil {
 		b.Fatal(err)
 	}
 	unpack := func(v packedEntry) int { return int(v.Row) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[int](g.N, g.N)
+		c := ck1(grb.NewMatrix[int](g.N, g.N))
 		if err := grb.MatrixApply(c, nil, nil, unpack, a, nil); err != nil {
 			b.Fatal(err)
 		}
@@ -561,11 +561,11 @@ func BenchmarkAblation_BFSParents_LegacyPacked(b *testing.B) {
 func BenchmarkThreadSafety_IndependentPipelines(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale-4)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			c, _ := grb.NewMatrix[float64](dim, dim)
+			c := ck1(grb.NewMatrix[float64](dim, dim))
 			if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil); err != nil {
 				b.Fatal(err)
 			}
@@ -583,82 +583,82 @@ func BenchmarkThreadSafety_IndependentPipelines(b *testing.B) {
 func BenchmarkCore_MxM(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale-2)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
-		_ = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil)
-		_ = c.Wait(grb.Materialize)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
+		ck(grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil))
+		ck(c.Wait(grb.Materialize))
 	}
 }
 
 func BenchmarkCore_MxMMasked(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale-2)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	mask, err := grb.AsMask(a)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
-		_ = grb.MxM(c, mask, nil, grb.PlusTimes[float64](), a, a, grb.DescS)
-		_ = c.Wait(grb.Materialize)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
+		ck(grb.MxM(c, mask, nil, grb.PlusTimes[float64](), a, a, grb.DescS))
+		ck(c.Wait(grb.Materialize))
 	}
 }
 
 func BenchmarkCore_MxV(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
-	u, _ := grb.NewVector[float64](dim)
-	_ = grb.VectorAssignScalar(u, nil, nil, 1.0, grb.All, nil)
+	dim := ck1(a.Nrows())
+	u := ck1(grb.NewVector[float64](dim))
+	ck(grb.VectorAssignScalar(u, nil, nil, 1.0, grb.All, nil))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, _ := grb.NewVector[float64](dim)
-		_ = grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, nil)
-		_ = w.Wait(grb.Materialize)
+		w := ck1(grb.NewVector[float64](dim))
+		ck(grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, nil))
+		ck(w.Wait(grb.Materialize))
 	}
 }
 
 func BenchmarkCore_VxMSparseFrontier(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
-	u, _ := grb.NewVector[float64](dim)
+	dim := ck1(a.Nrows())
+	u := ck1(grb.NewVector[float64](dim))
 	for k := 0; k < 32; k++ {
-		_ = u.SetElement(1, k*dim/32)
+		ck(u.SetElement(1, k*dim/32))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, _ := grb.NewVector[float64](dim)
-		_ = grb.VxM(w, nil, nil, grb.PlusTimes[float64](), u, a, nil)
-		_ = w.Wait(grb.Materialize)
+		w := ck1(grb.NewVector[float64](dim))
+		ck(grb.VxM(w, nil, nil, grb.PlusTimes[float64](), u, a, nil))
+		ck(w.Wait(grb.Materialize))
 	}
 }
 
 func BenchmarkCore_EWiseAdd(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
-		_ = grb.EWiseAddMatrix(c, nil, nil, grb.Plus[float64], a, a, nil)
-		_ = c.Wait(grb.Materialize)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
+		ck(grb.EWiseAddMatrix(c, nil, nil, grb.Plus[float64], a, a, nil))
+		ck(c.Wait(grb.Materialize))
 	}
 }
 
 func BenchmarkCore_Transpose(b *testing.B) {
 	benchInit(b)
 	a := benchFloatMatrix(b, benchScale)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, _ := grb.NewMatrix[float64](dim, dim)
-		_ = grb.Transpose(c, nil, nil, a, nil)
-		_ = c.Wait(grb.Materialize)
+		c := ck1(grb.NewMatrix[float64](dim, dim))
+		ck(grb.Transpose(c, nil, nil, a, nil))
+		ck(c.Wait(grb.Materialize))
 	}
 }
 
@@ -800,14 +800,14 @@ func benchHypersparseMatrix(b *testing.B) *grb.Matrix[float64] {
 func BenchmarkHypersparse_MxM(b *testing.B) {
 	benchInit(b)
 	a := benchHypersparseMatrix(b)
-	dim, _ := a.Nrows()
+	dim := ck1(a.Nrows())
 	for _, tc := range hyperDescs {
 		b.Run("kernel="+tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			grb.ResetKernelCounts()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, _ := grb.NewMatrix[float64](dim, dim)
+				c := ck1(grb.NewMatrix[float64](dim, dim))
 				if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, tc.desc); err != nil {
 					b.Fatal(err)
 				}
@@ -829,10 +829,10 @@ func BenchmarkHypersparse_MxM(b *testing.B) {
 func BenchmarkHypersparse_MxV(b *testing.B) {
 	benchInit(b)
 	a := benchHypersparseMatrix(b)
-	dim, _ := a.Nrows()
-	u, _ := grb.NewVector[float64](dim)
+	dim := ck1(a.Nrows())
+	u := ck1(grb.NewVector[float64](dim))
 	for k := 0; k < 1024; k++ {
-		_ = u.SetElement(1, k*(dim/1024))
+		ck(u.SetElement(1, k*(dim/1024)))
 	}
 	// Pin DirPull: this family measures the gather-buffer selection, and
 	// the direction router would otherwise serve the sparse frontier with
@@ -851,7 +851,7 @@ func BenchmarkHypersparse_MxV(b *testing.B) {
 			grb.ResetKernelCounts()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				w, _ := grb.NewVector[float64](dim)
+				w := ck1(grb.NewVector[float64](dim))
 				if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.desc); err != nil {
 					b.Fatal(err)
 				}

@@ -62,7 +62,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*runList, ",") {
@@ -137,30 +137,30 @@ func figure1() {
 
 	work := func(parallelMode bool) time.Duration {
 		start := time.Now()
-		dim, _ := a.Nrows()
-		esh, _ := grb.NewMatrix[float64](dim, dim)
+		dim := must1(a.Nrows())
+		esh := must1(grb.NewMatrix[float64](dim, dim))
 		var flag atomic.Int32
 		var wg sync.WaitGroup
 		wg.Add(2)
 		t0 := func() {
 			defer wg.Done()
-			c, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil)
-			_ = grb.MxM(esh, nil, nil, grb.PlusTimes[float64](), a, c, nil)
-			_ = esh.Wait(grb.Complete) // GrB_wait(Esh, GrB_COMPLETE)
-			flag.Store(1)              // atomic write, release
+			c := must1(grb.NewMatrix[float64](dim, dim))
+			must(grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, nil))
+			must(grb.MxM(esh, nil, nil, grb.PlusTimes[float64](), a, c, nil))
+			must(esh.Wait(grb.Complete)) // GrB_wait(Esh, GrB_COMPLETE)
+			flag.Store(1)                // atomic write, release
 		}
 		t1 := func() {
 			defer wg.Done()
-			g, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(g, nil, nil, grb.PlusTimes[float64](), a, a, nil)
-			_ = g.Wait(grb.Complete)
+			g := must1(grb.NewMatrix[float64](dim, dim))
+			must(grb.MxM(g, nil, nil, grb.PlusTimes[float64](), a, a, nil))
+			must(g.Wait(grb.Complete))
 			for flag.Load() == 0 { // atomic read, acquire
 				runtime.Gosched()
 			}
-			h, _ := grb.NewMatrix[float64](dim, dim)
-			_ = grb.MxM(h, nil, nil, grb.PlusTimes[float64](), g, esh, nil)
-			_ = h.Wait(grb.Complete)
+			h := must1(grb.NewMatrix[float64](dim, dim))
+			must(grb.MxM(h, nil, nil, grb.PlusTimes[float64](), g, esh, nil))
+			must(h.Wait(grb.Complete))
 		}
 		if parallelMode {
 			go t0()
@@ -187,7 +187,7 @@ func figure1() {
 func figure2() {
 	header("Figure 2 — execution contexts: thread budget vs. mxm time")
 	a := rmatFloat(*scale - 2)
-	dim, _ := a.Nrows()
+	dim := must1(a.Nrows())
 	maxT := runtime.GOMAXPROCS(0)
 	if maxT < 8 {
 		maxT = 8 // sweep the budget ladder even on small hosts; speedup
@@ -201,20 +201,20 @@ func figure2() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ac, _ := a.Dup()
-		_ = ac.SwitchContext(ctx)
-		c, _ := grb.NewMatrix[float64](dim, dim, grb.InContext(ctx))
+		ac := must1(a.Dup())
+		must(ac.SwitchContext(ctx))
+		c := must1(grb.NewMatrix[float64](dim, dim, grb.InContext(ctx)))
 		start := time.Now()
 		if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), ac, ac, nil); err != nil {
 			log.Fatal(err)
 		}
-		_ = c.Wait(grb.Materialize)
+		must(c.Wait(grb.Materialize))
 		el := time.Since(start)
 		if t == 1 {
 			base = el
 		}
 		fmt.Printf("  %-8d %-12v %.2fx\n", t, el, float64(base)/float64(el))
-		_ = ctx.Free()
+		must(ctx.Free())
 	}
 }
 
@@ -222,25 +222,25 @@ func figure2() {
 // for the verbose version).
 func figure3() {
 	header("Figure 3 — select and apply with index unary operators")
-	a, _ := grb.NewMatrix[int32](7, 7)
-	_ = a.Build(
+	a := must1(grb.NewMatrix[int32](7, 7))
+	must(a.Build(
 		[]grb.Index{0, 0, 1, 1, 2, 3, 3, 4, 5, 6, 6},
 		[]grb.Index{1, 3, 4, 6, 5, 0, 2, 5, 2, 2, 3},
-		[]int32{2, 3, 8, 1, 1, 3, 3, 1, 2, 5, 7}, nil)
-	sel, _ := grb.NewMatrix[int32](7, 7)
+		[]int32{2, 3, 8, 1, 1, 3, 3, 1, 2, 5, 7}, nil))
+	sel := must1(grb.NewMatrix[int32](7, 7))
 	myTriuGT := func(v int32, row, col grb.Index, s int32) bool { return col > row && v > s }
-	_ = grb.MatrixSelect(sel, nil, nil, myTriuGT, a, 0, nil)
-	app, _ := grb.NewMatrix[int](7, 7)
-	_ = grb.MatrixApplyIndexOp(app, nil, nil, grb.ColIndex[int32], a, 1, nil)
-	an, _ := a.Nvals()
-	sn, _ := sel.Nvals()
-	pn, _ := app.Nvals()
+	must(grb.MatrixSelect(sel, nil, nil, myTriuGT, a, 0, nil))
+	app := must1(grb.NewMatrix[int](7, 7))
+	must(grb.MatrixApplyIndexOp(app, nil, nil, grb.ColIndex[int32], a, 1, nil))
+	an := must1(a.Nvals())
+	sn := must1(sel.Nvals())
+	pn := must1(app.Nvals())
 	fmt.Printf("  A: %d stored; select(my_triu_gt, s=0): %d kept; apply(COLINDEX, s=1): %d rewritten\n", an, sn, pn)
-	I, J, X, _ := sel.ExtractTuples()
+	I, J, X := must3(sel.ExtractTuples())
 	for k := range I {
 		fmt.Printf("    kept  (%d,%d) = %d\n", I[k], J[k], X[k])
 	}
-	I, J, Y, _ := app.ExtractTuples()
+	I, J, Y := must3(app.ExtractTuples())
 	for k := 0; k < 3 && k < len(I); k++ {
 		fmt.Printf("    apply (%d,%d) -> %d (= col+1)\n", I[k], J[k], Y[k])
 	}
@@ -249,19 +249,19 @@ func figure3() {
 // table1 exercises the six GrB_Scalar manipulation methods.
 func table1() {
 	header("Table I — GrB_Scalar manipulation methods")
-	s, _ := grb.NewScalar[float64]() // GrB_Scalar_new
-	nv, _ := s.Nvals()               // GrB_Scalar_nvals
+	s := must1(grb.NewScalar[float64]()) // GrB_Scalar_new
+	nv := must1(s.Nvals())               // GrB_Scalar_nvals
 	fmt.Printf("  new scalar:            nvals=%d (empty)\n", nv)
-	_ = s.SetElement(3.25) // GrB_Scalar_setElement
-	v, ok, _ := s.ExtractElement()
-	nv, _ = s.Nvals()
+	must(s.SetElement(3.25)) // GrB_Scalar_setElement
+	v, ok := must2(s.ExtractElement())
+	nv = must1(s.Nvals())
 	fmt.Printf("  after setElement(3.25): nvals=%d value=%v present=%v\n", nv, v, ok)
-	d, _ := s.Dup() // GrB_Scalar_dup
-	dv, dok, _ := d.ExtractElement()
+	d := must1(s.Dup()) // GrB_Scalar_dup
+	dv, dok := must2(d.ExtractElement())
 	fmt.Printf("  dup:                    value=%v present=%v\n", dv, dok)
-	_ = s.Clear() // GrB_Scalar_clear
-	_, ok, _ = s.ExtractElement()
-	nv, _ = s.Nvals()
+	must(s.Clear()) // GrB_Scalar_clear
+	_, ok = must2(s.ExtractElement())
+	nv = must1(s.Nvals())
 	fmt.Printf("  after clear:            nvals=%d present=%v (dup unaffected: %v)\n", nv, ok, dok)
 }
 
@@ -270,45 +270,45 @@ func table1() {
 // assign/apply/select with scalar arguments.
 func table2() {
 	header("Table II — GrB_Scalar variants of the core methods")
-	empty, _ := grb.NewMatrix[int](4, 4)
-	s, _ := grb.NewScalar[int]()
+	empty := must1(grb.NewMatrix[int](4, 4))
+	s := must1(grb.NewScalar[int]())
 
 	// reduce of an empty matrix: 2.0 scalar variant vs. 1.X typed variant
-	_ = grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[int](), empty, nil)
-	nv, _ := s.Nvals()
-	oldStyle, _ := grb.MatrixReduce(grb.PlusMonoid[int](), empty)
+	must(grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[int](), empty, nil))
+	nv := must1(s.Nvals())
+	oldStyle := must1(grb.MatrixReduce(grb.PlusMonoid[int](), empty))
 	fmt.Printf("  reduce(empty matrix):   GrB_Scalar output nvals=%d (empty), 1.X typed output=%d (identity)\n", nv, oldStyle)
 
 	// reduce with a plain BinaryOp (no identity needed, new in 2.0)
-	m, _ := grb.NewMatrix[int](2, 2)
-	_ = m.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{7, 8}, nil)
-	_ = grb.MatrixReduceToScalarBinaryOp(s, nil, grb.Plus[int], m, nil)
-	v, _, _ := s.ExtractElement()
+	m := must1(grb.NewMatrix[int](2, 2))
+	must(m.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{7, 8}, nil))
+	must(grb.MatrixReduceToScalarBinaryOp(s, nil, grb.Plus[int], m, nil))
+	v, _ := must2(s.ExtractElement())
 	fmt.Printf("  reduce(BinaryOp +):     %d (monoid-free reduction)\n", v)
 
 	// extractElement into a scalar: missing entry -> empty scalar, no error
-	_ = m.ExtractElementScalar(s, 0, 0)
-	nv, _ = s.Nvals()
+	must(m.ExtractElementScalar(s, 0, 0))
+	nv = must1(s.Nvals())
 	fmt.Printf("  extractElement(miss):   scalar nvals=%d (no NO_VALUE handling needed)\n", nv)
 
 	// setElement from a scalar; assign from a scalar
-	sv, _ := grb.ScalarOf(42)
-	_ = m.SetElementScalar(sv, 0, 0)
-	v, _, _ = m.ExtractElement(0, 0)
+	sv := must1(grb.ScalarOf(42))
+	must(m.SetElementScalar(sv, 0, 0))
+	v, _ = must2(m.ExtractElement(0, 0))
 	fmt.Printf("  setElement(Scalar 42):  m(0,0)=%d\n", v)
-	_ = grb.MatrixAssignScalarObj(m, nil, nil, sv, grb.All, grb.All, nil)
-	nvm, _ := m.Nvals()
+	must(grb.MatrixAssignScalarObj(m, nil, nil, sv, grb.All, grb.All, nil))
+	nvm := must1(m.Nvals())
 	fmt.Printf("  assign(Scalar 42, all): nvals=%d (dense fill)\n", nvm)
 
 	// apply / select with GrB_Scalar threshold
-	w, _ := grb.NewVector[int](5)
-	_ = w.Build([]grb.Index{0, 2, 4}, []int{1, 5, 9}, nil)
-	thr, _ := grb.ScalarOf(4)
-	out, _ := grb.NewVector[int](5)
-	_ = grb.VectorSelectScalar(out, nil, nil, grb.ValueGT[int], w, thr, nil)
-	oi, ox, _ := out.ExtractTuples()
+	w := must1(grb.NewVector[int](5))
+	must(w.Build([]grb.Index{0, 2, 4}, []int{1, 5, 9}, nil))
+	thr := must1(grb.ScalarOf(4))
+	out := must1(grb.NewVector[int](5))
+	must(grb.VectorSelectScalar(out, nil, nil, grb.ValueGT[int], w, thr, nil))
+	oi, ox := must2(out.ExtractTuples())
 	fmt.Printf("  select(VALUEGT, s=4):   kept %v = %v\n", oi, ox)
-	es, _ := grb.NewScalar[int]()
+	es := must1(grb.NewScalar[int]())
 	err := grb.VectorSelectScalar(out, nil, nil, grb.ValueGT[int], w, es, nil)
 	fmt.Printf("  select(empty Scalar):   error %v (execution error, §V)\n", grb.Code(err))
 }
@@ -318,9 +318,9 @@ func table2() {
 func table3() {
 	header("Table III — import/export formats (round-trip on RMAT graph)")
 	g := gen.Graph500RMAT(*scale-2, 8, 3)
-	a, _ := grb.NewMatrix[float64](g.N, g.N)
-	_ = a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0, 1, 3), grb.Plus[float64])
-	nv, _ := a.Nvals()
+	a := must1(grb.NewMatrix[float64](g.N, g.N))
+	must(a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0, 1, 3), grb.Plus[float64]))
+	nv := must1(a.Nvals())
 	fmt.Printf("  matrix: %d x %d, %d entries\n", g.N, g.N, nv)
 	fmt.Printf("  %-24s %-12s %-12s %s\n", "format", "export", "import", "bytes moved")
 	for _, f := range []grb.Format{grb.FormatCSR, grb.FormatCSC, grb.FormatCOO} {
@@ -340,22 +340,22 @@ func table3() {
 	}
 	// Dense formats on a smaller matrix (quadratic storage).
 	small := gen.Graph500RMAT(10, 8, 3)
-	sm, _ := grb.NewMatrix[float64](small.N, small.N)
-	_ = sm.Build(small.Src, small.Dst, gen.UniformWeights(small, 0, 1, 3), grb.Plus[float64])
+	sm := must1(grb.NewMatrix[float64](small.N, small.N))
+	must(sm.Build(small.Src, small.Dst, gen.UniformWeights(small, 0, 1, 3), grb.Plus[float64]))
 	for _, f := range []grb.Format{grb.FormatDenseRow, grb.FormatDenseCol} {
 		start := time.Now()
-		indptr, indices, values, _ := sm.MatrixExport(f)
+		indptr, indices, values := must3(sm.MatrixExport(f))
 		exp := time.Since(start)
 		start = time.Now()
-		_, _ = grb.MatrixImport(small.N, small.N, indptr, indices, values, f)
+		_ = must1(grb.MatrixImport(small.N, small.N, indptr, indices, values, f))
 		imp := time.Since(start)
 		fmt.Printf("  %-24v %-12v %-12v %d (scale 10)\n", f, exp, imp, 8*len(values))
 	}
 	start := time.Now()
-	blob, _ := a.SerializeBytes()
+	blob := must1(a.SerializeBytes())
 	ser := time.Since(start)
 	start = time.Now()
-	_, _ = grb.MatrixDeserialize[float64](blob)
+	_ = must1(grb.MatrixDeserialize[float64](blob))
 	des := time.Since(start)
 	fmt.Printf("  %-24s %-12v %-12v %d (opaque, §VII-B)\n", "serialize/deserialize", ser, des, len(blob))
 }
@@ -365,8 +365,8 @@ func table3() {
 func table4() {
 	header("Table IV — predefined index unary operators via select/apply")
 	a := rmatFloat(*scale - 2)
-	dim, _ := a.Nrows()
-	nv, _ := a.Nvals()
+	dim := must1(a.Nrows())
+	nv := must1(a.Nvals())
 	fmt.Printf("  matrix: %d x %d, %d entries\n", dim, dim, nv)
 	type entry struct {
 		name string
@@ -413,14 +413,14 @@ func table4() {
 	}
 	fmt.Printf("  %-20s %-10s %s\n", "select operator", "kept", "time")
 	for _, e := range selOps {
-		c, _ := grb.NewMatrix[float64](dim, dim)
+		c := must1(grb.NewMatrix[float64](dim, dim))
 		start := time.Now()
 		if err := e.run(c); err != nil {
 			log.Fatal(err)
 		}
-		_ = c.Wait(grb.Materialize)
+		must(c.Wait(grb.Materialize))
 		el := time.Since(start)
-		kept, _ := c.Nvals()
+		kept := must1(c.Nvals())
 		fmt.Printf("  %-20s %-10d %v\n", e.name, kept, el)
 	}
 	// The three "replace" operators through apply.
@@ -434,14 +434,14 @@ func table4() {
 		{"GrB_DIAGINDEX(+0)", grb.DiagIndex[float64]},
 	}
 	for _, e := range applyOps {
-		c, _ := grb.NewMatrix[int](dim, dim)
+		c := must1(grb.NewMatrix[int](dim, dim))
 		start := time.Now()
 		if err := grb.MatrixApplyIndexOp(c, nil, nil, e.op, a, 1, nil); err != nil {
 			log.Fatal(err)
 		}
-		_ = c.Wait(grb.Materialize)
+		must(c.Wait(grb.Materialize))
 		el := time.Since(start)
-		nvc, _ := c.Nvals()
+		nvc := must1(c.Nvals())
 		fmt.Printf("  %-20s %-10d %v\n", e.name, nvc, el)
 	}
 }
@@ -458,14 +458,14 @@ func ablation() {
 		w := gen.UniformWeights(g, 1, 100, 5)
 
 		// Native: a float64 matrix + TriU select with the 2.0 index op.
-		a, _ := grb.NewMatrix[float64](g.N, g.N)
-		_ = a.Build(g.Src, g.Dst, w, grb.Plus[float64])
-		c, _ := grb.NewMatrix[float64](g.N, g.N)
+		a := must1(grb.NewMatrix[float64](g.N, g.N))
+		must(a.Build(g.Src, g.Dst, w, grb.Plus[float64]))
+		c := must1(grb.NewMatrix[float64](g.N, g.N))
 		start := time.Now()
-		_ = grb.MatrixSelect(c, nil, nil, grb.TriU[float64], a, 1, nil)
-		_ = c.Wait(grb.Materialize)
+		must(grb.MatrixSelect(c, nil, nil, grb.TriU[float64], a, 1, nil))
+		must(c.Wait(grb.Materialize))
 		native := time.Since(start)
-		nKept, _ := c.Nvals()
+		nKept := must1(c.Nvals())
 
 		// 1.X workaround: values are structs carrying (row, col, value); a
 		// plain select-style apply must unpack indices from the value.
@@ -477,17 +477,17 @@ func ablation() {
 		for k := range w {
 			pw[k] = packed{int64(g.Src[k]), int64(g.Dst[k]), w[k]}
 		}
-		ap, _ := grb.NewMatrix[packed](g.N, g.N)
-		_ = ap.Build(g.Src, g.Dst, pw, grb.Second[packed, packed])
-		cp, _ := grb.NewMatrix[packed](g.N, g.N)
+		ap := must1(grb.NewMatrix[packed](g.N, g.N))
+		must(ap.Build(g.Src, g.Dst, pw, grb.Second[packed, packed]))
+		cp := must1(grb.NewMatrix[packed](g.N, g.N))
 		start = time.Now()
 		// The "user-defined operator unpacking index values from the values
 		// array" the paper describes: ignores the real indices entirely.
 		unpackingOp := func(v packed, _, _ grb.Index, _ int) bool { return v.Col > v.Row }
-		_ = grb.MatrixSelect(cp, nil, nil, unpackingOp, ap, 0, nil)
-		_ = cp.Wait(grb.Materialize)
+		must(grb.MatrixSelect(cp, nil, nil, unpackingOp, ap, 0, nil))
+		must(cp.Wait(grb.Materialize))
 		packedTime := time.Since(start)
-		pKept, _ := cp.Nvals()
+		pKept := must1(cp.Nvals())
 
 		extra := len(w) * 16 // two packed int64 indices per stored value
 		fmt.Printf("  %-8d %-14v %-14v %-9.2f %-14s %v\n",
@@ -534,9 +534,9 @@ func hypersparse() {
 	if err := a.Build(g.Src, g.Dst, gen.UniformWeights(g, 0.5, 2, 7), grb.Plus[float64]); err != nil {
 		log.Fatal(err)
 	}
-	u, _ := grb.NewVector[float64](n)
+	u := must1(grb.NewVector[float64](n))
 	for k := 0; k < 1024; k++ {
-		_ = u.SetElement(1, k*(n/1024))
+		must(u.SetElement(1, k*(n/1024)))
 	}
 	fmt.Printf("  matrix: %d x %d, %d entries; vector: %d entries\n", n, n, g.NumEdges(), 1024)
 
@@ -560,12 +560,12 @@ func hypersparse() {
 			continue
 		}
 		grb.ResetKernelCounts()
-		c, _ := grb.NewMatrix[float64](n, n)
+		c := must1(grb.NewMatrix[float64](n, n))
 		start := time.Now()
 		if err := grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, a, tc.desc); err != nil {
 			log.Fatal(err)
 		}
-		_ = c.Wait(grb.Materialize)
+		must(c.Wait(grb.Materialize))
 		el := time.Since(start)
 		dense, hash := grb.KernelCounts()
 		fmt.Printf("  %-8s %-9s %-12v %-12s %-14s\n", tc.name, "mxm", el,
@@ -573,12 +573,12 @@ func hypersparse() {
 			fmt.Sprintf("%d B", grb.KernelScratchBytes()))
 
 		grb.ResetKernelCounts()
-		w, _ := grb.NewVector[float64](n)
+		w := must1(grb.NewVector[float64](n))
 		start = time.Now()
 		if err := grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, u, tc.vdesc); err != nil {
 			log.Fatal(err)
 		}
-		_ = w.Wait(grb.Materialize)
+		must(w.Wait(grb.Materialize))
 		el = time.Since(start)
 		dense, hash = grb.KernelCounts()
 		fmt.Printf("  %-8s %-9s %-12v %-12s %-14s\n", tc.name, "mxv", el,
@@ -666,7 +666,7 @@ func traversal() {
 			el := time.Since(start)
 			push, pull := grb.DirectionCounts()
 			tmats := grb.TransposeCount()
-			reached, _ := levels.Nvals()
+			reached := must1(levels.Nvals())
 			maxLevel := 0
 			if _, lv, err := levels.ExtractTuples(); err == nil {
 				for _, l := range lv {
@@ -714,3 +714,20 @@ func traversal() {
 		fmt.Printf("  wrote %s\n", *jsonPath)
 	}
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }
+
+// must2 unwraps a (value, value, error) grb result, aborting on error.
+func must2[A, B any](a A, b B, err error) (A, B) { must(err); return a, b }
+
+// must3 unwraps a (value, value, value, error) grb result, aborting on error.
+func must3[A, B, C any](a A, b B, c C, err error) (A, B, C) { must(err); return a, b, c }

@@ -1,0 +1,101 @@
+// grblint is the repo's static-analysis gate: a multichecker with four
+// analyzers enforcing the GraphBLAS 2.0 invariants a Go compiler cannot —
+//
+//	infocheck      every grb.Info / grb API error must be observed (§V)
+//	snapshotcheck  kernels must not mutate *CSR/*Vec snapshots (§III)
+//	lockcheck      no lock-acquiring entry point under a held object mutex
+//	enumcheck      switches over the pinned enums must be exhaustive (§IX)
+//
+// Usage:
+//
+//	grblint [-only name1,name2] [-list] [packages...]
+//
+// Packages default to ./... and accept the usual go package patterns; test
+// files (in-package and external) are analyzed too. Exit status is 1 when
+// any diagnostic survives suppression. Diagnostics are silenced per line
+// with a trailing (or immediately preceding) comment:
+//
+//	//grblint:ignore infocheck -- reason
+//
+// The analyzers are built on internal/lint, a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis (the build runs offline, so the x/tools
+// multichecker/vettool protocol is not available; `make lint` runs this
+// binary directly instead of through `go vet -vettool`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/grblas/grb/internal/lint"
+	"github.com/grblas/grb/internal/lint/enumcheck"
+	"github.com/grblas/grb/internal/lint/infocheck"
+	"github.com/grblas/grb/internal/lint/lockcheck"
+	"github.com/grblas/grb/internal/lint/snapshotcheck"
+)
+
+var analyzers = []*lint.Analyzer{
+	infocheck.Analyzer,
+	snapshotcheck.Analyzer,
+	lockcheck.Analyzer,
+	enumcheck.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "grblint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grblint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "grblint: %d diagnostic(s)\n", found)
+		os.Exit(1)
+	}
+}

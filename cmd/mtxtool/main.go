@@ -28,7 +28,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	switch os.Args[1] {
 	case "info":
@@ -72,9 +72,9 @@ func load(path string) *grb.Matrix[float64] {
 
 func info(path string) {
 	m := load(path)
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
-	nv, _ := m.Nvals()
+	nr := must1(m.Nrows())
+	nc := must1(m.Ncols())
+	nv := must1(m.Nvals())
 	fmt.Printf("%s: %d x %d, %d stored entries (density %.4g)\n",
 		path, nr, nc, nv, float64(nv)/(float64(nr)*float64(nc)))
 	deg, err := grb.NewVector[float64](nr)
@@ -82,21 +82,21 @@ func info(path string) {
 		log.Fatal(err)
 	}
 	one := func(float64) float64 { return 1 }
-	ones, _ := grb.NewMatrix[float64](nr, nc)
+	ones := must1(grb.NewMatrix[float64](nr, nc))
 	if err := grb.MatrixApply(ones, nil, nil, one, m, nil); err != nil {
 		log.Fatal(err)
 	}
 	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[float64](), ones, nil); err != nil {
 		log.Fatal(err)
 	}
-	minDeg, _ := grb.VectorReduce(grb.MinMonoid[float64](), deg)
-	maxDeg, _ := grb.VectorReduce(grb.MaxMonoid[float64](), deg)
-	sumDeg, _ := grb.VectorReduce(grb.PlusMonoid[float64](), deg)
-	nzRows, _ := deg.Nvals()
+	minDeg := must1(grb.VectorReduce(grb.MinMonoid[float64](), deg))
+	maxDeg := must1(grb.VectorReduce(grb.MaxMonoid[float64](), deg))
+	sumDeg := must1(grb.VectorReduce(grb.PlusMonoid[float64](), deg))
+	nzRows := must1(deg.Nvals())
 	fmt.Printf("row degree: min %g, max %g, mean %.2f over %d non-empty rows (%d empty)\n",
 		minDeg, maxDeg, sumDeg/float64(nzRows), nzRows, nr-nzRows)
-	sMin, _ := grb.VectorReduce(grb.MinMonoid[float64](), valuesOf(m))
-	sMax, _ := grb.VectorReduce(grb.MaxMonoid[float64](), valuesOf(m))
+	sMin := must1(grb.VectorReduce(grb.MinMonoid[float64](), valuesOf(m)))
+	sMax := must1(grb.VectorReduce(grb.MaxMonoid[float64](), valuesOf(m)))
 	fmt.Printf("values: min %g, max %g\n", sMin, sMax)
 }
 
@@ -107,7 +107,7 @@ func valuesOf(m *grb.Matrix[float64]) *grb.Vector[float64] {
 		log.Fatal(err)
 	}
 	if len(x) == 0 {
-		v, _ := grb.NewVector[float64](1)
+		v := must1(grb.NewVector[float64](1))
 		return v
 	}
 	v, err := grb.NewVector[float64](len(x))
@@ -133,7 +133,7 @@ func pack(in, out string) {
 	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	nv, _ := m.Nvals()
+	nv := must1(m.Nvals())
 	fmt.Printf("packed %d entries into %d bytes (%s)\n", nv, len(blob), out)
 }
 
@@ -146,8 +146,8 @@ func unpack(in, out string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
+	nr := must1(m.Nrows())
+	nc := must1(m.Ncols())
 	I, J, X, err := m.ExtractTuples()
 	if err != nil {
 		log.Fatal(err)
@@ -196,3 +196,14 @@ func generate(spec, out string) {
 	}
 	fmt.Printf("wrote %s: %d vertices, %d edges\n", out, g.N, g.NumEdges())
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }

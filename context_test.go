@@ -6,7 +6,7 @@ import (
 )
 
 func TestInitFinalizeLifecycle(t *testing.T) {
-	_ = Finalize()
+	_ = Finalize() //grblint:ignore infocheck -- reset idiom: "not initialized" is expected
 	// Using the library before Init is an UninitializedObject error.
 	if _, err := NewMatrix[int](2, 2); Code(err) != UninitializedObject {
 		t.Fatalf("pre-Init NewMatrix: %v", err)
@@ -88,11 +88,11 @@ func TestContextHierarchyThreads(t *testing.T) {
 
 func TestContextChunk(t *testing.T) {
 	setMode(t, NonBlocking)
-	c, _ := NewContext(NonBlocking, nil, WithThreads(4), WithChunk(100))
+	c := ck1(NewContext(NonBlocking, nil, WithThreads(4), WithChunk(100)))
 	if c.Chunk() != 100 {
 		t.Fatalf("chunk = %d", c.Chunk())
 	}
-	child, _ := NewContext(NonBlocking, c)
+	child := ck1(NewContext(NonBlocking, c))
 	if child.Chunk() != 100 {
 		t.Fatalf("inherited chunk = %d", child.Chunk())
 	}
@@ -107,7 +107,7 @@ func TestContextChunk(t *testing.T) {
 
 func TestContextFree(t *testing.T) {
 	setMode(t, NonBlocking)
-	c, _ := NewContext(NonBlocking, nil, WithThreads(2))
+	c := ck1(NewContext(NonBlocking, nil, WithThreads(2)))
 	if err := c.Free(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +132,11 @@ func TestContextFree(t *testing.T) {
 // operation share one context.
 func TestContextSharingRequired(t *testing.T) {
 	setMode(t, NonBlocking)
-	c1, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	c2, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	a, _ := NewMatrix[int](2, 2, InContext(c1))
-	b, _ := NewMatrix[int](2, 2, InContext(c2))
-	c, _ := NewMatrix[int](2, 2, InContext(c1))
+	c1 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	c2 := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	a := ck1(NewMatrix[int](2, 2, InContext(c1)))
+	b := ck1(NewMatrix[int](2, 2, InContext(c2)))
+	c := ck1(NewMatrix[int](2, 2, InContext(c1)))
 	err := MxM(c, nil, nil, PlusTimes[int](), a, b, nil)
 	wantCode(t, err, InvalidValue)
 
@@ -162,7 +162,7 @@ func TestContextBoundOperations(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, _ := NewMatrix[int](8, 8, InContext(ctx))
+		a := ck1(NewMatrix[int](8, 8, InContext(ctx)))
 		var I, J []Index
 		var X []int
 		for i := 0; i < 8; i++ {
@@ -177,7 +177,7 @@ func TestContextBoundOperations(t *testing.T) {
 		if err := a.Build(I, J, X, nil); err != nil {
 			t.Fatal(err)
 		}
-		c, _ := NewMatrix[int](8, 8, InContext(ctx))
+		c := ck1(NewMatrix[int](8, 8, InContext(ctx)))
 		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 			t.Fatal(err)
 		}
@@ -190,11 +190,11 @@ func TestContextBoundOperations(t *testing.T) {
 		}
 		// Same computation in the default context must agree.
 		a2 := mustMatrix(t, 8, 8, I, J, X)
-		c2, _ := NewMatrix[int](8, 8)
+		c2 := ck1(NewMatrix[int](8, 8))
 		if err := MxM(c2, nil, nil, PlusTimes[int](), a2, a2, nil); err != nil {
 			t.Fatal(err)
 		}
-		sum2, _ := MatrixReduce(PlusMonoid[int](), c2)
+		sum2 := ck1(MatrixReduce(PlusMonoid[int](), c2))
 		if sum != sum2 {
 			t.Fatalf("threads=%d sum %d != %d", threads, sum, sum2)
 		}

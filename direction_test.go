@@ -117,9 +117,9 @@ func diffDirection[T comparable](t *testing.T, rng *rand.Rand, sr Semiring[T, T,
 			if err != nil {
 				t.Fatalf("NewContext: %v", err)
 			}
-			ac, _ := a.Dup()
-			uc, _ := u.Dup()
-			mc, _ := mask.Dup()
+			ac := ck1(a.Dup())
+			uc := ck1(u.Dup())
+			mc := ck1(mask.Dup())
 			for _, o := range []interface{ SwitchContext(*Context) error }{ac, uc, mc} {
 				if err := o.SwitchContext(ctx); err != nil {
 					t.Fatalf("SwitchContext: %v", err)
@@ -159,7 +159,7 @@ func diffDirection[T comparable](t *testing.T, rng *rand.Rand, sr Semiring[T, T,
 					}
 				}
 			}
-			_ = ctx.Free()
+			ck(ctx.Free())
 		}
 	}
 }
@@ -203,7 +203,7 @@ func TestTransposeCacheSingleMaterialization(t *testing.T) {
 
 	ResetKernelCounts()
 	for rep := 0; rep < 5; rep++ {
-		w, _ := NewVector[int64](n)
+		w := ck1(NewVector[int64](n))
 		if err := MxV(w, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
 			t.Fatalf("MxV: %v", err)
 		}
@@ -211,7 +211,7 @@ func TestTransposeCacheSingleMaterialization(t *testing.T) {
 			t.Fatalf("Wait: %v", err)
 		}
 		// The explicit transpose operation must share the same cached view.
-		c, _ := NewMatrix[int64](n, n)
+		c := ck1(NewMatrix[int64](n, n))
 		if err := Transpose(c, nil, nil, a, nil); err != nil {
 			t.Fatalf("Transpose: %v", err)
 		}
@@ -233,7 +233,7 @@ func TestTransposeCacheSingleMaterialization(t *testing.T) {
 	}
 	ResetKernelCounts()
 	for rep := 0; rep < 4; rep++ {
-		w, _ := NewVector[int64](n)
+		w := ck1(NewVector[int64](n))
 		if err := MxV(w, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
 			t.Fatalf("MxV: %v", err)
 		}
@@ -312,11 +312,11 @@ func TestTransposeCacheConcurrentReaders(t *testing.T) {
 		return
 	}
 
-	wPull, _ := NewVector[int64](n)
+	wPull := ck1(NewVector[int64](n))
 	if err := MxV(wPull, nil, nil, PlusTimes[int64](), a, u, pullT0); err != nil {
 		t.Fatalf("final pull MxV: %v", err)
 	}
-	wPush, _ := NewVector[int64](n)
+	wPush := ck1(NewVector[int64](n))
 	if err := MxV(wPush, nil, nil, PlusTimes[int64](), a, u, &Descriptor{Transpose0: true, Dir: DirPush}); err != nil {
 		t.Fatalf("final push MxV: %v", err)
 	}

@@ -31,7 +31,7 @@ func TestAPIErrorsNeverDeferred(t *testing.T) {
 // Wait(Materialize) reports it.
 func TestExecutionErrorDeferral(t *testing.T) {
 	setMode(t, NonBlocking)
-	m, _ := NewMatrix[int](2, 2)
+	m := ck1(NewMatrix[int](2, 2))
 	// The call itself is well-formed: no API error.
 	if err := m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil); err != nil {
 		t.Fatalf("build returned eagerly: %v", err)
@@ -55,7 +55,7 @@ func TestExecutionErrorDeferral(t *testing.T) {
 // returned by the offending call itself.
 func TestBlockingModeReportsImmediately(t *testing.T) {
 	setMode(t, Blocking)
-	m, _ := NewMatrix[int](2, 2)
+	m := ck1(NewMatrix[int](2, 2))
 	err := m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
 	wantCode(t, err, InvalidValue)
 }
@@ -64,14 +64,14 @@ func TestBlockingModeReportsImmediately(t *testing.T) {
 // object report the error rather than computing on undefined state.
 func TestErrorStateSticky(t *testing.T) {
 	setMode(t, NonBlocking)
-	m, _ := NewMatrix[int](2, 2)
-	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
-	_ = m.Wait(Complete)
+	m := ck1(NewMatrix[int](2, 2))
+	ck(m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil))
+	ck(m.Wait(Complete))
 	// using the broken object as an operation output fails
 	a := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
 	wantCode(t, MxM(m, nil, nil, PlusTimes[int](), a, a, nil), InvalidValue)
 	// and as an input too (the sequence cannot be completed)
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), m, a, nil), InvalidValue)
 	// the downstream object must NOT inherit a parked error from the failed
 	// call — that call never enqueued
@@ -84,9 +84,9 @@ func TestErrorStateSticky(t *testing.T) {
 // threads on the same object without synchronization.
 func TestErrorStringThreadSafe(t *testing.T) {
 	setMode(t, NonBlocking)
-	m, _ := NewMatrix[int](2, 2)
-	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
-	_ = m.Wait(Complete)
+	m := ck1(NewMatrix[int](2, 2))
+	ck(m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil))
+	ck(m.Wait(Complete))
 	done := make(chan string, 2)
 	for i := 0; i < 2; i++ {
 		go func() { done <- m.ErrorString() }()
@@ -100,9 +100,9 @@ func TestErrorStringThreadSafe(t *testing.T) {
 // TestWaitModeValidation: Wait validates its mode argument (API error).
 func TestWaitModeValidation(t *testing.T) {
 	setMode(t, NonBlocking)
-	m, _ := NewMatrix[int](2, 2)
+	m := ck1(NewMatrix[int](2, 2))
 	wantCode(t, m.Wait(WaitMode(9)), InvalidValue)
-	v, _ := NewVector[int](2)
+	v := ck1(NewVector[int](2))
 	wantCode(t, v.Wait(WaitMode(-1)), InvalidValue)
 }
 
@@ -112,7 +112,7 @@ func TestWaitModeValidation(t *testing.T) {
 func TestSequenceContinuationAcrossWaits(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{1, 1})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSequenceContinuationAcrossWaits(t *testing.T) {
 		t.Fatal(err)
 	}
 	// (A²)(0,0) = 1; accumulated twice = 2
-	if v, _, _ := c.ExtractElement(0, 0); v != 2 {
+	if v, _ := ck2(c.ExtractElement(0, 0)); v != 2 {
 		t.Fatalf("c(0,0) = %d", v)
 	}
 }

@@ -1,0 +1,88 @@
+package grb_test
+
+// Error observation through the §V nonblocking machinery, driven from the
+// outside: a deferred execution error planted in a sequence must surface
+// through a materializing Wait, through GrB_error (ErrorString), and through
+// the lagraph helpers that consume the object — the exact paths grblint's
+// infocheck keeps observable by forbidding discarded results.
+
+import (
+	"strings"
+	"testing"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/lagraph"
+)
+
+func initNonblocking(t *testing.T) {
+	t.Helper()
+	_ = grb.Finalize() //grblint:ignore infocheck -- reset idiom: "not initialized" is expected
+	if err := grb.Init(grb.NonBlocking); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = grb.Finalize() }) //grblint:ignore infocheck -- best-effort teardown
+}
+
+// dupMatrix plants the §IX execution error: duplicate coordinates with a nil
+// dup operator. In nonblocking mode Build returns Success and parks the
+// error in the deferred sequence.
+func dupMatrix(t *testing.T, n int) *grb.Matrix[bool] {
+	t.Helper()
+	a := ck1(grb.NewMatrix[bool](n, n))
+	if err := a.Build([]grb.Index{0, 0, 1}, []grb.Index{1, 1, 0}, []bool{true, true, true}, nil); err != nil {
+		t.Fatalf("nonblocking Build should defer the duplicate error, got %v now", err)
+	}
+	return a
+}
+
+func TestDeferredErrorViaMaterializingWait(t *testing.T) {
+	initNonblocking(t)
+	a := dupMatrix(t, 3)
+
+	// Complete only forces the computation; §V allows it to stay silent
+	// about execution errors.
+	if err := a.Wait(grb.Complete); err != nil {
+		t.Fatalf("Wait(Complete) may not report the deferred error, got %v", err)
+	}
+	// Materialize must report it.
+	err := a.Wait(grb.Materialize)
+	if grb.Code(err) != grb.InvalidValue {
+		t.Fatalf("Wait(Materialize) = %v, want InvalidValue (duplicate with nil dup)", err)
+	}
+	// GrB_error: the diagnostic string names the failure.
+	if msg := a.ErrorString(); !strings.Contains(msg, "duplicate") {
+		t.Fatalf("ErrorString() = %q, want the duplicate-coordinates diagnostic", msg)
+	}
+}
+
+func TestDeferredErrorSurfacesThroughLagraph(t *testing.T) {
+	initNonblocking(t)
+	a := dupMatrix(t, 3)
+
+	// The lagraph helper is the first reader of the sequence: the parked
+	// error must come out of it, not vanish.
+	if _, err := lagraph.BFSLevels(a, 0); grb.Code(err) != grb.InvalidValue {
+		t.Fatalf("BFSLevels over a poisoned sequence = %v, want InvalidValue", err)
+	}
+	// The error sticks (§V: first error of the sequence is retained).
+	if _, err := lagraph.TriangleCount(a); grb.Code(err) != grb.InvalidValue {
+		t.Fatalf("TriangleCount after the first report = %v, want the sticky InvalidValue", err)
+	}
+	if msg := a.ErrorString(); !strings.Contains(msg, "duplicate") {
+		t.Fatalf("ErrorString() = %q, want the duplicate-coordinates diagnostic", msg)
+	}
+}
+
+func TestHealthySequenceStaysClean(t *testing.T) {
+	initNonblocking(t)
+	a := ck1(grb.NewMatrix[bool](3, 3))
+	ck(a.Build([]grb.Index{0, 1, 2, 1, 2, 0}, []grb.Index{1, 0, 1, 2, 0, 2}, []bool{true, true, true, true, true, true}, grb.LOr))
+	levels := ck1(lagraph.BFSLevels(a, 0))
+	if n := ck1(levels.Size()); n != 3 {
+		t.Fatalf("levels size = %d, want 3", n)
+	}
+	ck(a.Wait(grb.Materialize))
+	if msg := a.ErrorString(); msg != "" {
+		t.Fatalf("clean sequence has ErrorString %q", msg)
+	}
+}

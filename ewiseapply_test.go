@@ -9,7 +9,7 @@ func TestEWiseAddMatrixSemantics(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 3, []Index{0, 0, 1}, []Index{0, 1, 2}, []int{1, 2, 3})
 	b := mustMatrix(t, 2, 3, []Index{0, 1, 1}, []Index{1, 0, 2}, []int{10, 20, 30})
-	c, _ := NewMatrix[int](2, 3)
+	c := ck1(NewMatrix[int](2, 3))
 	if err := EWiseAddMatrix(c, nil, nil, Plus[int], a, b, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -21,11 +21,11 @@ func TestEWiseAddMatrixSemantics(t *testing.T) {
 func TestEWiseMultMatrixMixedDomains(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{3, 4})
-	bm, _ := NewMatrix[float64](2, 2)
+	bm := ck1(NewMatrix[float64](2, 2))
 	if err := bm.Build([]Index{0, 1}, []Index{0, 0}, []float64{0.5, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
-	c, _ := NewMatrix[bool](2, 2)
+	c := ck1(NewMatrix[bool](2, 2))
 	op := func(x int, y float64) bool { return float64(x) > y }
 	if err := EWiseMultMatrix(c, nil, nil, op, a, bm, nil); err != nil {
 		t.Fatal(err)
@@ -46,25 +46,25 @@ func TestEWisePatternProperties(t *testing.T) {
 		bd := randDense(rng, rows, cols, 0.4)
 		a := ad.toMatrix(t)
 		b := bd.toMatrix(t)
-		sum, _ := NewMatrix[int](rows, cols)
-		prod, _ := NewMatrix[int](rows, cols)
+		sum := ck1(NewMatrix[int](rows, cols))
+		prod := ck1(NewMatrix[int](rows, cols))
 		if err := EWiseAddMatrix(sum, nil, nil, Plus[int], a, b, nil); err != nil {
 			t.Fatal(err)
 		}
 		if err := EWiseMultMatrix(prod, nil, nil, Times[int], a, b, nil); err != nil {
 			t.Fatal(err)
 		}
-		an, _ := a.Nvals()
-		bn, _ := b.Nvals()
-		sn, _ := sum.Nvals()
-		pn, _ := prod.Nvals()
+		an := ck1(a.Nvals())
+		bn := ck1(b.Nvals())
+		sn := ck1(sum.Nvals())
+		pn := ck1(prod.Nvals())
 		if sn+pn != an+bn { // |A∪B| + |A∩B| = |A| + |B|
 			t.Fatalf("inclusion-exclusion violated: %d+%d != %d+%d", sn, pn, an, bn)
 		}
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j++ {
-				sv, sok, _ := sum.ExtractElement(i, j)
-				pv, pok, _ := prod.ExtractElement(i, j)
+				sv, sok := ck2(sum.ExtractElement(i, j))
+				pv, pok := ck2(prod.ExtractElement(i, j))
 				if sok != (ad.ok[i][j] || bd.ok[i][j]) || pok != (ad.ok[i][j] && bd.ok[i][j]) {
 					t.Fatal("pattern law violated")
 				}
@@ -92,12 +92,12 @@ func TestEWiseVectorVariants(t *testing.T) {
 	setMode(t, Blocking)
 	u := mustVector(t, 4, []Index{0, 2}, []int{1, 3})
 	v := mustVector(t, 4, []Index{2, 3}, []int{10, 20})
-	sum, _ := NewVector[int](4)
+	sum := ck1(NewVector[int](4))
 	if err := EWiseAddVector(sum, nil, nil, Plus[int], u, v, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, sum, []Index{0, 2, 3}, []int{1, 13, 20})
-	prod, _ := NewVector[int](4)
+	prod := ck1(NewVector[int](4))
 	if err := EWiseMultVector(prod, nil, nil, Times[int], u, v, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -115,18 +115,18 @@ func TestMatrixApplyVariants(t *testing.T) {
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{3, -4})
 
 	// unary
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MatrixApply(c, nil, nil, Abs[int], a, nil); err != nil {
 		t.Fatal(err)
 	}
 	matrixEquals(t, c, []Index{0, 1}, []Index{1, 0}, []int{3, 4})
 
 	// domain-changing unary
-	f, _ := NewMatrix[float64](2, 2)
+	f := ck1(NewMatrix[float64](2, 2))
 	if err := MatrixApply(f, nil, nil, func(x int) float64 { return float64(x) / 2 }, a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := f.ExtractElement(0, 1); v != 1.5 {
+	if v, _ := ck2(f.ExtractElement(0, 1)); v != 1.5 {
 		t.Fatalf("f(0,1)=%v", v)
 	}
 
@@ -141,7 +141,7 @@ func TestMatrixApplyVariants(t *testing.T) {
 	matrixEquals(t, c, []Index{0, 1}, []Index{1, 0}, []int{2, -5})
 
 	// GrB_Scalar-bound variants (Table II)
-	s, _ := ScalarOf(100)
+	s := ck1(ScalarOf(100))
 	if err := MatrixApplyBindFirstScalar(c, nil, nil, Plus[int], s, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -150,12 +150,12 @@ func TestMatrixApplyVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	matrixEquals(t, c, []Index{0, 1}, []Index{1, 0}, []int{103, 96})
-	empty, _ := NewScalar[int]()
+	empty := ck1(NewScalar[int]())
 	wantCode(t, MatrixApplyBindFirstScalar(c, nil, nil, Plus[int], empty, a, nil), EmptyObject)
 	wantCode(t, MatrixApplyBindSecondScalar(c, nil, nil, Plus[int], a, empty, nil), EmptyObject)
 
 	// apply with transpose: indices are post-transpose (§VIII-B)
-	idx, _ := NewMatrix[int](2, 2)
+	idx := ck1(NewMatrix[int](2, 2))
 	if err := MatrixApplyIndexOp(idx, nil, nil, RowIndex[int], a, 0, DescT0); err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestMatrixApplyVariants(t *testing.T) {
 	matrixEquals(t, idx, []Index{0, 1}, []Index{1, 0}, []int{0, 1})
 
 	// index op via Scalar
-	sidx, _ := ScalarOf(5)
+	sidx := ck1(ScalarOf(5))
 	if err := MatrixApplyIndexOpScalar(idx, nil, nil, RowIndex[int], a, sidx, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestMatrixApplyVariants(t *testing.T) {
 func TestVectorApplyVariants(t *testing.T) {
 	setMode(t, Blocking)
 	u := mustVector(t, 4, []Index{1, 3}, []int{-2, 5})
-	w, _ := NewVector[int](4)
+	w := ck1(NewVector[int](4))
 	if err := VectorApply(w, nil, nil, Abs[int], u, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestVectorApplyVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w, []Index{1, 3}, []int{-1, 6})
-	s, _ := ScalarOf(2)
+	s := ck1(ScalarOf(2))
 	if err := VectorApplyBindFirstScalar(w, nil, nil, Times[int], s, u, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestVectorApplyVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w, []Index{1, 3}, []int{-4, 10})
-	empty, _ := NewScalar[int]()
+	empty := ck1(NewScalar[int]())
 	wantCode(t, VectorApplyBindFirstScalar(w, nil, nil, Times[int], empty, u, nil), EmptyObject)
 	wantCode(t, VectorApplyBindSecondScalar(w, nil, nil, Times[int], u, empty, nil), EmptyObject)
 
@@ -204,7 +204,7 @@ func TestVectorApplyVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w, []Index{1, 3}, []int{11, 13})
-	si, _ := ScalarOf(100)
+	si := ck1(ScalarOf(100))
 	if err := VectorApplyIndexOpScalar(w, nil, nil, RowIndex[int], u, si, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -228,13 +228,13 @@ func TestTableIV_SelectOperatorsMatrix(t *testing.T) {
 	}
 	a := mustMatrix(t, 4, 4, I, J, X)
 	sel := func(op IndexUnaryOp[int, int, bool], s int) *Matrix[int] {
-		c, _ := NewMatrix[int](4, 4)
+		c := ck1(NewMatrix[int](4, 4))
 		if err := MatrixSelect(c, nil, nil, op, a, s, nil); err != nil {
 			t.Fatal(err)
 		}
 		return c
 	}
-	count := func(m *Matrix[int]) int { n, _ := m.Nvals(); return n }
+	count := func(m *Matrix[int]) int { return ck1(m.Nvals()) }
 
 	if n := count(sel(TriL[int], 0)); n != 10 {
 		t.Fatalf("TriL(0) kept %d, want 10", n)
@@ -292,7 +292,7 @@ func TestTableIV_SelectOperatorsMatrix(t *testing.T) {
 	l := count(sel(TriL[int], -1))
 	d := count(sel(Diag[int], 0))
 	u := count(sel(TriU[int], 1))
-	an, _ := a.Nvals()
+	an := ck1(a.Nvals())
 	if l+d+u != an {
 		t.Fatalf("tril/diag/triu partition: %d+%d+%d != %d", l, d, u, an)
 	}
@@ -301,23 +301,23 @@ func TestTableIV_SelectOperatorsMatrix(t *testing.T) {
 func TestSelectVectorAndScalarVariant(t *testing.T) {
 	setMode(t, Blocking)
 	u := mustVector(t, 6, []Index{0, 1, 3, 5}, []int{4, 9, 2, 7})
-	w, _ := NewVector[int](6)
+	w := ck1(NewVector[int](6))
 	// vector RowLE keeps indices <= 2
 	if err := VectorSelect(w, nil, nil, RowLE[int], u, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w, []Index{0, 1}, []int{4, 9})
 	// value select via GrB_Scalar
-	s, _ := ScalarOf(4)
+	s := ck1(ScalarOf(4))
 	if err := VectorSelectScalar(w, nil, nil, ValueGT[int], u, s, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w, []Index{1, 5}, []int{9, 7})
-	empty, _ := NewScalar[int]()
+	empty := ck1(NewScalar[int]())
 	wantCode(t, VectorSelectScalar(w, nil, nil, ValueGT[int], u, empty, nil), EmptyObject)
 	// matrix scalar variant
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 9})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MatrixSelectScalar(c, nil, nil, ValueGT[int], a, s, nil); err != nil {
 		t.Fatal(err)
 	}

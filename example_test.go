@@ -10,18 +10,18 @@ import (
 // runs in the shared test binary, so Init may already have happened).
 func ensureExample() {
 	if _, err := grb.GlobalContext(); err != nil {
-		_ = grb.Init(grb.NonBlocking)
+		ck(grb.Init(grb.NonBlocking))
 	}
 }
 
 // ExampleMxM multiplies two small matrices over the conventional semiring.
 func ExampleMxM() {
 	ensureExample()
-	a, _ := grb.NewMatrix[int](2, 2)
-	_ = a.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{2, 3}, nil)
-	c, _ := grb.NewMatrix[int](2, 2)
-	_ = grb.MxM(c, nil, nil, grb.PlusTimes[int](), a, a, nil)
-	v, _, _ := c.ExtractElement(0, 0)
+	a := ck1(grb.NewMatrix[int](2, 2))
+	ck(a.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{2, 3}, nil))
+	c := ck1(grb.NewMatrix[int](2, 2))
+	ck(grb.MxM(c, nil, nil, grb.PlusTimes[int](), a, a, nil))
+	v, _ := ck2(c.ExtractElement(0, 0))
 	fmt.Println(v)
 	// Output: 6
 }
@@ -30,11 +30,11 @@ func ExampleMxM() {
 // TriU operator from Table IV of the GraphBLAS 2.0 paper.
 func ExampleMatrixSelect() {
 	ensureExample()
-	a, _ := grb.NewMatrix[int](3, 3)
-	_ = a.Build([]grb.Index{0, 1, 2}, []grb.Index{2, 0, 2}, []int{1, 2, 3}, nil)
-	c, _ := grb.NewMatrix[int](3, 3)
-	_ = grb.MatrixSelect(c, nil, nil, grb.TriU[int], a, 1, nil)
-	n, _ := c.Nvals()
+	a := ck1(grb.NewMatrix[int](3, 3))
+	ck(a.Build([]grb.Index{0, 1, 2}, []grb.Index{2, 0, 2}, []int{1, 2, 3}, nil))
+	c := ck1(grb.NewMatrix[int](3, 3))
+	ck(grb.MatrixSelect(c, nil, nil, grb.TriU[int], a, 1, nil))
+	n := ck1(c.Nvals())
 	fmt.Println(n)
 	// Output: 1
 }
@@ -43,12 +43,12 @@ func ExampleMatrixSelect() {
 // the §VIII-B index variant of apply.
 func ExampleMatrixApplyIndexOp() {
 	ensureExample()
-	a, _ := grb.NewMatrix[float64](2, 3)
-	_ = a.Build([]grb.Index{0, 1}, []grb.Index{2, 1}, []float64{9.5, 4.5}, nil)
-	c, _ := grb.NewMatrix[int](2, 3)
-	_ = grb.MatrixApplyIndexOp(c, nil, nil, grb.ColIndex[float64], a, 1, nil)
-	v1, _, _ := c.ExtractElement(0, 2)
-	v2, _, _ := c.ExtractElement(1, 1)
+	a := ck1(grb.NewMatrix[float64](2, 3))
+	ck(a.Build([]grb.Index{0, 1}, []grb.Index{2, 1}, []float64{9.5, 4.5}, nil))
+	c := ck1(grb.NewMatrix[int](2, 3))
+	ck(grb.MatrixApplyIndexOp(c, nil, nil, grb.ColIndex[float64], a, 1, nil))
+	v1, _ := ck2(c.ExtractElement(0, 2))
+	v2, _ := ck2(c.ExtractElement(1, 1))
 	fmt.Println(v1, v2)
 	// Output: 3 2
 }
@@ -57,11 +57,11 @@ func ExampleMatrixApplyIndexOp() {
 // matrix reduces to an empty scalar rather than the monoid identity.
 func ExampleMatrixReduceToScalar() {
 	ensureExample()
-	empty, _ := grb.NewMatrix[int](4, 4)
-	s, _ := grb.NewScalar[int]()
-	_ = grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[int](), empty, nil)
-	n, _ := s.Nvals()
-	identity, _ := grb.MatrixReduce(grb.PlusMonoid[int](), empty)
+	empty := ck1(grb.NewMatrix[int](4, 4))
+	s := ck1(grb.NewScalar[int]())
+	ck(grb.MatrixReduceToScalar(s, nil, grb.PlusMonoid[int](), empty, nil))
+	n := ck1(s.Nvals())
+	identity := ck1(grb.MatrixReduce(grb.PlusMonoid[int](), empty))
 	fmt.Println(n, identity)
 	// Output: 0 0
 }
@@ -70,14 +70,14 @@ func ExampleMatrixReduceToScalar() {
 // product is deferred until the materializing wait.
 func ExampleVector_Wait() {
 	ensureExample()
-	a, _ := grb.NewMatrix[int](2, 2)
-	_ = a.Build([]grb.Index{0, 1}, []grb.Index{0, 1}, []int{5, 7}, nil)
-	u, _ := grb.NewVector[int](2)
-	_ = u.Build([]grb.Index{0, 1}, []int{1, 1}, nil)
-	w, _ := grb.NewVector[int](2)
-	_ = grb.MxV(w, nil, nil, grb.PlusTimes[int](), a, u, nil)
+	a := ck1(grb.NewMatrix[int](2, 2))
+	ck(a.Build([]grb.Index{0, 1}, []grb.Index{0, 1}, []int{5, 7}, nil))
+	u := ck1(grb.NewVector[int](2))
+	ck(u.Build([]grb.Index{0, 1}, []int{1, 1}, nil))
+	w := ck1(grb.NewVector[int](2))
+	ck(grb.MxV(w, nil, nil, grb.PlusTimes[int](), a, u, nil))
 	if err := w.Wait(grb.Materialize); err == nil {
-		x, _, _ := w.ExtractElement(1)
+		x, _ := ck2(w.ExtractElement(1))
 		fmt.Println(x)
 	}
 	// Output: 7
@@ -87,12 +87,12 @@ func ExampleVector_Wait() {
 // execution context (§IV, Fig. 2 of the paper).
 func ExampleNewContext() {
 	ensureExample()
-	ctx, _ := grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(2))
-	a, _ := grb.NewMatrix[int](2, 2, grb.InContext(ctx))
-	_ = a.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{1, 1}, nil)
-	c, _ := grb.NewMatrix[int](2, 2, grb.InContext(ctx))
-	_ = grb.MxM(c, nil, nil, grb.PlusTimes[int](), a, a, nil)
-	n, _ := c.Nvals()
+	ctx := ck1(grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(2)))
+	a := ck1(grb.NewMatrix[int](2, 2, grb.InContext(ctx)))
+	ck(a.Build([]grb.Index{0, 1}, []grb.Index{1, 0}, []int{1, 1}, nil))
+	c := ck1(grb.NewMatrix[int](2, 2, grb.InContext(ctx)))
+	ck(grb.MxM(c, nil, nil, grb.PlusTimes[int](), a, a, nil))
+	n := ck1(c.Nvals())
 	fmt.Println(n, ctx.Threads())
 	// Output: 2 2
 }

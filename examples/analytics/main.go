@@ -23,7 +23,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	// ---- ingest ----
 	var a *grb.Matrix[bool]
@@ -61,8 +61,8 @@ func main() {
 		}
 		fmt.Printf("generated RMAT scale 11: %d vertices, %d edges\n", g.N, g.NumEdges())
 	}
-	n, _ := a.Nrows()
-	nnz, _ := a.Nvals()
+	n := must1(a.Nrows())
+	nnz := must1(a.Nvals())
 
 	// ---- structure ----
 	fmt.Printf("\n-- structure --\n")
@@ -90,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, labels, _ := comp.ExtractTuples()
+	_, labels := must2(comp.ExtractTuples())
 	compSizes := map[int]int{}
 	for _, l := range labels {
 		compSizes[l]++
@@ -113,28 +113,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mean, _ := grb.VectorReduce(grb.PlusMonoid[float64](), lcc)
+	mean := must1(grb.VectorReduce(grb.PlusMonoid[float64](), lcc))
 	fmt.Printf("mean local clustering coefficient: %.4f\n", mean/float64(n))
 
 	iset, err := lagraph.MIS(a, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	in, _ := iset.Nvals()
+	in := must1(iset.Nvals())
 	fmt.Printf("maximal independent set: %d vertices\n", in)
 
 	core, err := lagraph.KCore(a, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cn, _ := core.Nvals()
+	cn := must1(core.Nvals())
 	fmt.Printf("4-core: %d vertices\n", cn)
 
 	bc, err := lagraph.BetweennessCentrality(a, []grb.Index{0, 1, 2, 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bi, bx, _ := bc.ExtractTuples()
+	bi, bx := must2(bc.ExtractTuples())
 	top, topV := -1, -1.0
 	for k := range bi {
 		if bx[k] > topV {
@@ -153,6 +153,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bn, _ := back.Nvals()
+	bn := must1(back.Nvals())
 	fmt.Printf("\nserialized adjacency: %d bytes; deserialized %d entries ok\n", len(blob), bn)
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }
+
+// must2 unwraps a (value, value, error) grb result, aborting on error.
+func must2[A, B any](a A, b B, err error) (A, B) { must(err); return a, b }

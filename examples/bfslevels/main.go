@@ -19,7 +19,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	const scale, edgeFactor = 12, 16
 	g := gen.Graph500RMAT(scale, edgeFactor, 42).Symmetrize()
@@ -71,10 +71,10 @@ func main() {
 		if v == src {
 			continue
 		}
-		lv, _, _ := levels.ExtractElement(v)
-		lp, _, _ := parents.ExtractElement(p)
+		lv, _ := must2(levels.ExtractElement(v))
+		lp, _ := must2(parents.ExtractElement(p))
 		_ = lp
-		plv, _, _ := levels.ExtractElement(p)
+		plv, _ := must2(levels.ExtractElement(p))
 		if plv != lv-1 {
 			bad++
 		}
@@ -108,3 +108,14 @@ func main() {
 		fmt.Printf("  %-5s %-12v %d push / %d pull levels\n", tc.name, el, push, pull)
 	}
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must2 unwraps a (value, value, error) grb result, aborting on error.
+func must2[A, B any](a A, b B, err error) (A, B) { must(err); return a, b }

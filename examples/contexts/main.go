@@ -19,7 +19,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	// GrB_Context_new with a parent: nested contexts form a hierarchy and
 	// the effective parallelism of an operation is bounded by every
@@ -49,9 +49,9 @@ func main() {
 
 	// All operands of an operation must share a context (§IV). A matrix in
 	// a different context is rejected...
-	other, _ := grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(1))
-	b, _ := grb.NewMatrix[float64](g.N, g.N, grb.InContext(other))
-	c, _ := grb.NewMatrix[float64](g.N, g.N, grb.InContext(outer))
+	other := must1(grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(1)))
+	b := must1(grb.NewMatrix[float64](g.N, g.N, grb.InContext(other)))
+	c := must1(grb.NewMatrix[float64](g.N, g.N, grb.InContext(outer)))
 	err = grb.MxM(c, nil, nil, grb.PlusTimes[float64](), a, b, nil)
 	fmt.Printf("mixing contexts: %v\n", grb.Code(err))
 
@@ -69,12 +69,12 @@ func main() {
 	// this machine has GOMAXPROCS =", see below).
 	fmt.Printf("host cores: %d\n", runtime.GOMAXPROCS(0))
 	for _, budget := range []int{1, 2, 4} {
-		ctx, _ := grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(budget), grb.WithChunk(1))
-		ac, _ := a.Dup()
+		ctx := must1(grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(budget), grb.WithChunk(1)))
+		ac := must1(a.Dup())
 		if err := ac.SwitchContext(ctx); err != nil {
 			log.Fatal(err)
 		}
-		out, _ := grb.NewMatrix[float64](g.N, g.N, grb.InContext(ctx))
+		out := must1(grb.NewMatrix[float64](g.N, g.N, grb.InContext(ctx)))
 		start := time.Now()
 		if err := grb.MxM(out, nil, nil, grb.PlusTimes[float64](), ac, ac, nil); err != nil {
 			log.Fatal(err)
@@ -83,7 +83,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  budget %d: mxm in %v\n", budget, time.Since(start))
-		_ = ctx.Free()
+		must(ctx.Free())
 	}
 
 	// Freeing a context invalidates it (GrB_free); GrB_finalize (deferred
@@ -94,3 +94,14 @@ func main() {
 	_, err = grb.NewMatrix[float64](2, 2, grb.InContext(outer))
 	fmt.Printf("construct in freed context: %v\n", grb.Code(err))
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }

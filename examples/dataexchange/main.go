@@ -38,7 +38,7 @@ func main() {
 	if err := grb.Init(grb.Blocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	g := gen.ErdosRenyi(64, 400, 99)
 	w := gen.UniformWeights(g, 0.1, 10, 99)
@@ -49,10 +49,10 @@ func main() {
 	if err := a.Build(g.Src, g.Dst, w, grb.Plus[float64]); err != nil {
 		log.Fatal(err)
 	}
-	nv, _ := a.Nvals()
+	nv := must1(a.Nvals())
 	fmt.Printf("source matrix: %dx%d with %d entries\n", g.N, g.N, nv)
 
-	hint, _ := a.MatrixExportHint()
+	hint := must1(a.MatrixExportHint())
 	fmt.Printf("export hint from the implementation: %v\n\n", hint)
 
 	// --- every Table III matrix format, using the paper's two-call flow ---
@@ -121,7 +121,7 @@ func main() {
 	}
 
 	// --- Matrix Market interchange ---
-	I, J, X, _ := a.ExtractTuples()
+	I, J, X := must3(a.ExtractTuples())
 	var mm bytes.Buffer
 	if err := mtx.Write(&mm, g.N, g.N, I, J, X); err != nil {
 		log.Fatal(err)
@@ -154,8 +154,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bi, bx, _ := vb.ExtractTuples()
+		bi, bx := must2(vb.ExtractTuples())
 		// Dense round-trip stores explicit zeros: compare via dense read-back.
 		fmt.Printf("%-22v -> %d entries back (%v %v)\n", format, len(bi), bi, bx)
 	}
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }
+
+// must2 unwraps a (value, value, error) grb result, aborting on error.
+func must2[A, B any](a A, b B, err error) (A, B) { must(err); return a, b }
+
+// must3 unwraps a (value, value, value, error) grb result, aborting on error.
+func must3[A, B, C any](a A, b B, c C, err error) (A, B, C) { must(err); return a, b, c }

@@ -25,8 +25,8 @@ func myTriuGT(v int32, row, col grb.Index, s int32) bool {
 }
 
 func printMatrix(name string, m *grb.Matrix[int32]) {
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
+	nr := must1(m.Nrows())
+	nc := must1(m.Ncols())
 	I, J, X, err := m.ExtractTuples()
 	if err != nil {
 		log.Fatal(err)
@@ -48,8 +48,8 @@ func printMatrix(name string, m *grb.Matrix[int32]) {
 }
 
 func printIdx(name string, m *grb.Matrix[int]) {
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
+	nr := must1(m.Nrows())
+	nc := must1(m.Ncols())
 	I, J, X, err := m.ExtractTuples()
 	if err != nil {
 		log.Fatal(err)
@@ -74,7 +74,7 @@ func main() {
 	if err := grb.Init(grb.Blocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	// A weighted 7-vertex digraph in the spirit of Fig. 3(a).
 	const n = 7
@@ -124,3 +124,14 @@ func main() {
 	fmt.Println()
 	printIdx("apply(GrB_COLINDEX, A, s=1) — values replaced by column index + 1", d)
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }

@@ -40,7 +40,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	var flag atomic.Int32 // the synchronization flag of Fig. 1
 	esh, err := grb.NewMatrix[float64](n, n)
@@ -58,7 +58,7 @@ func main() {
 		defer wg.Done()
 		a := randomMatrix(1, 4000)
 		b := randomMatrix(2, 4000)
-		c, _ := grb.NewMatrix[float64](n, n)
+		c := must1(grb.NewMatrix[float64](n, n))
 		d := randomMatrix(3, 4000)
 
 		// GrB_mxm(C, A, B); GrB_mxm(Esh, D, C);
@@ -78,7 +78,7 @@ func main() {
 		flag.Store(1)
 
 		// GrB_mxm(Dres, A, Esh); GrB_wait(Dres, GrB_COMPLETE);
-		dres, _ = grb.NewMatrix[float64](n, n)
+		dres = must1(grb.NewMatrix[float64](n, n))
 		if err := grb.MxM(dres, nil, nil, grb.PlusTimes[float64](), a, esh, nil); err != nil {
 			log.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func main() {
 		defer wg.Done()
 		e := randomMatrix(4, 4000)
 		f := randomMatrix(5, 4000)
-		g, _ := grb.NewMatrix[float64](n, n)
+		g := must1(grb.NewMatrix[float64](n, n))
 
 		// GrB_mxm(G, E, F);
 		if err := grb.MxM(g, nil, nil, grb.PlusTimes[float64](), e, f, nil); err != nil {
@@ -105,7 +105,7 @@ func main() {
 		}
 
 		// GrB_mxm(Hres, G, Esh); GrB_wait(Hres, GrB_COMPLETE);
-		hres, _ = grb.NewMatrix[float64](n, n)
+		hres = must1(grb.NewMatrix[float64](n, n))
 		if err := grb.MxM(hres, nil, nil, grb.PlusTimes[float64](), g, esh, nil); err != nil {
 			log.Fatal(err)
 		}
@@ -117,14 +117,25 @@ func main() {
 	wg.Wait() // end of the parallel region: barrier implied
 
 	// Dres and Hres are available at this point (Fig. 1, line 54).
-	dn, _ := dres.Nvals()
-	hn, _ := hres.Nvals()
-	en, _ := esh.Nvals()
+	dn := must1(dres.Nvals())
+	hn := must1(hres.Nvals())
+	en := must1(esh.Nvals())
 	fmt.Printf("Esh:  %d stored entries (shared across threads via COMPLETE + release/acquire)\n", en)
 	fmt.Printf("Dres: %d stored entries (thread 0 result)\n", dn)
 	fmt.Printf("Hres: %d stored entries (thread 1 result)\n", hn)
 
-	sd, _ := grb.MatrixReduce(grb.PlusMonoid[float64](), dres)
-	sh, _ := grb.MatrixReduce(grb.PlusMonoid[float64](), hres)
+	sd := must1(grb.MatrixReduce(grb.PlusMonoid[float64](), dres))
+	sh := must1(grb.MatrixReduce(grb.PlusMonoid[float64](), hres))
 	fmt.Printf("sum(Dres) = %.4f, sum(Hres) = %.4f\n", sd, sh)
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) grb result, aborting on error.
+func must1[A any](a A, err error) A { must(err); return a }

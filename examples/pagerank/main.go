@@ -17,7 +17,7 @@ func main() {
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	const scale, edgeFactor = 12, 8
 	g := gen.Graph500RMAT(scale, edgeFactor, 7)

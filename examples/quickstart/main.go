@@ -16,7 +16,7 @@ func main() {
 	if err := grb.Init(grb.Blocking); err != nil {
 		log.Fatal(err)
 	}
-	defer grb.Finalize()
+	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
 
 	// A 4-vertex digraph: 0→1 (w 2), 0→2 (w 1), 1→3 (w 5), 2→3 (w 1).
 	a, err := grb.NewMatrix[float64](4, 4)
@@ -57,12 +57,23 @@ func main() {
 	if err := grb.MatrixReduceToScalar(total, nil, grb.PlusMonoid[float64](), c, nil); err != nil {
 		log.Fatal(err)
 	}
-	if v, ok, _ := total.ExtractElement(); ok {
+	if v, ok := must2(total.ExtractElement()); ok {
 		fmt.Printf("sum of all two-hop path lengths: %g\n", v)
 	}
 
 	// Element access: the 0→3 two-hop distance should be min(2+5, 1+1) = 2.
-	if v, ok, _ := c.ExtractElement(0, 3); ok {
+	if v, ok := must2(c.ExtractElement(0, 3)); ok {
 		fmt.Printf("shortest two-hop 0 -> 3: %g\n", v)
 	}
 }
+
+// must aborts on an unexpected error from a grb call; grblint (infocheck)
+// forbids discarding these silently.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must2 unwraps a (value, value, error) grb result, aborting on error.
+func must2[A, B any](a A, b B, err error) (A, B) { must(err); return a, b }

@@ -17,7 +17,7 @@ func TestMatrixExtractBasic(t *testing.T) {
 	a := mustMatrix(t, 3, 4, I, J, X)
 
 	// submatrix with reordered and repeated indices
-	c, _ := NewMatrix[int](2, 3)
+	c := ck1(NewMatrix[int](2, 3))
 	if err := MatrixExtract(c, nil, nil, a, []Index{2, 0}, []Index{3, 1, 3}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestMatrixExtractBasic(t *testing.T) {
 		[]int{23, 21, 23, 3, 1, 3})
 
 	// All rows, selected cols
-	c2, _ := NewMatrix[int](3, 2)
+	c2 := ck1(NewMatrix[int](3, 2))
 	if err := MatrixExtract(c2, nil, nil, a, All, []Index{0, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestMatrixExtractBasic(t *testing.T) {
 		[]int{0, 2, 10, 12, 20, 22})
 
 	// with transpose: extract from Aᵀ (4x3)
-	c3, _ := NewMatrix[int](2, 3)
+	c3 := ck1(NewMatrix[int](2, 3))
 	if err := MatrixExtract(c3, nil, nil, a, []Index{1, 3}, All, DescT0); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestMatrixExtractBasic(t *testing.T) {
 func TestVectorExtractAndColExtract(t *testing.T) {
 	setMode(t, Blocking)
 	u := mustVector(t, 5, []Index{0, 2, 4}, []int{1, 3, 5})
-	w, _ := NewVector[int](3)
+	w := ck1(NewVector[int](3))
 	if err := VectorExtract(w, nil, nil, u, []Index{4, 1, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -65,19 +65,19 @@ func TestVectorExtractAndColExtract(t *testing.T) {
 
 	a := mustMatrix(t, 3, 3,
 		[]Index{0, 1, 2, 2}, []Index{1, 1, 1, 2}, []int{5, 6, 7, 8})
-	col, _ := NewVector[int](3)
+	col := ck1(NewVector[int](3))
 	if err := ColExtract(col, nil, nil, a, All, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, col, []Index{0, 1, 2}, []int{5, 6, 7})
 	// row extract via transpose flag
-	row, _ := NewVector[int](3)
+	row := ck1(NewVector[int](3))
 	if err := ColExtract(row, nil, nil, a, All, 2, DescT0); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, row, []Index{1, 2}, []int{7, 8})
 	// gathered with index list
-	g, _ := NewVector[int](2)
+	g := ck1(NewVector[int](2))
 	if err := ColExtract(g, nil, nil, a, []Index{2, 0}, 1, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestMatrixAssignSemantics(t *testing.T) {
 
 	// pure assignment into rows {0,2} cols {0,2}: region entries without a
 	// source counterpart are DELETED.
-	c1, _ := c.Dup()
+	c1 := ck1(c.Dup())
 	if err := MatrixAssign(c1, nil, nil, a, []Index{0, 2}, []Index{0, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -113,25 +113,25 @@ func TestMatrixAssignSemantics(t *testing.T) {
 		[]int{1, 101, 110, 111, 112, 121, 2})
 
 	// accumulated assignment: region C entries survive; co-located combine
-	c2, _ := c.Dup()
+	c2 := ck1(c.Dup())
 	if err := MatrixAssign(c2, nil, nil, a, []Index{0, 2}, []Index{0, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
-	c3, _ := c.Dup()
+	c3 := ck1(c.Dup())
 	if err := MatrixAssign(c3, nil, Plus[int], a, []Index{0, 2}, []Index{0, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// (0,0): 100+1; (0,2): kept 102; (2,0): kept 120; (2,2): 122+2
-	if v, _, _ := c3.ExtractElement(0, 0); v != 101 {
+	if v, _ := ck2(c3.ExtractElement(0, 0)); v != 101 {
 		t.Fatalf("accum (0,0)=%d", v)
 	}
-	if v, ok, _ := c3.ExtractElement(0, 2); !ok || v != 102 {
+	if v, ok := ck2(c3.ExtractElement(0, 2)); !ok || v != 102 {
 		t.Fatalf("accum (0,2)=%d,%v", v, ok)
 	}
-	if v, _, _ := c3.ExtractElement(2, 2); v != 124 {
+	if v, _ := ck2(c3.ExtractElement(2, 2)); v != 124 {
 		t.Fatalf("accum (2,2)=%d", v)
 	}
-	nv, _ := c3.Nvals()
+	nv := ck1(c3.Nvals())
 	if nv != 9 {
 		t.Fatalf("accum nvals=%d, want 9", nv)
 	}
@@ -173,8 +173,8 @@ func TestMatrixAssignScalarAndMask(t *testing.T) {
 // kept when accum is present.
 func TestMatrixAssignScalarObjEmpty(t *testing.T) {
 	setMode(t, Blocking)
-	full, _ := ScalarOf(3)
-	empty, _ := NewScalar[int]()
+	full := ck1(ScalarOf(3))
+	empty := ck1(NewScalar[int]())
 
 	c := mustMatrix(t, 2, 2, []Index{0, 0, 1}, []Index{0, 1, 1}, []int{1, 2, 4})
 	if err := MatrixAssignScalarObj(c, nil, nil, full, []Index{0}, All, nil); err != nil {
@@ -200,32 +200,32 @@ func TestVectorAssignSemantics(t *testing.T) {
 	w := mustVector(t, 5, []Index{0, 1, 2, 3, 4}, []int{10, 11, 12, 13, 14})
 	u := mustVector(t, 2, []Index{0}, []int{99})
 	// pure assign into {1,3}: w(1)=99 (from u(0)), w(3) deleted (u(1) absent)
-	w1, _ := w.Dup()
+	w1 := ck1(w.Dup())
 	if err := VectorAssign(w1, nil, nil, u, []Index{1, 3}, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w1, []Index{0, 1, 2, 4}, []int{10, 99, 12, 14})
 	// accum assign: w(3) kept, w(1) = 11+99
-	w2, _ := w.Dup()
+	w2 := ck1(w.Dup())
 	if err := VectorAssign(w2, nil, Plus[int], u, []Index{1, 3}, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w2, []Index{0, 1, 2, 3, 4}, []int{10, 110, 12, 13, 14})
 	// scalar assign
-	w3, _ := w.Dup()
+	w3 := ck1(w.Dup())
 	if err := VectorAssignScalar(w3, nil, nil, 0, []Index{2, 4}, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w3, []Index{0, 1, 2, 3, 4}, []int{10, 11, 0, 13, 0})
 	// scalar obj, empty, nil accum: delete region
-	empty, _ := NewScalar[int]()
-	w4, _ := w.Dup()
+	empty := ck1(NewScalar[int]())
+	w4 := ck1(w.Dup())
 	if err := VectorAssignScalarObj(w4, nil, nil, empty, []Index{0, 1}, nil); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, w4, []Index{2, 3, 4}, []int{12, 13, 14})
 	// scalar obj, empty, accum: unchanged
-	w5, _ := w.Dup()
+	w5 := ck1(w.Dup())
 	if err := VectorAssignScalarObj(w5, nil, Plus[int], empty, All, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -254,13 +254,13 @@ func TestAssignMaskReplaceOutsideRegion(t *testing.T) {
 func TestTransposeOperation(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 3, []Index{0, 1, 1}, []Index{2, 0, 1}, []int{1, 2, 3})
-	c, _ := NewMatrix[int](3, 2)
+	c := ck1(NewMatrix[int](3, 2))
 	if err := Transpose(c, nil, nil, a, nil); err != nil {
 		t.Fatal(err)
 	}
 	matrixEquals(t, c, []Index{0, 1, 2}, []Index{1, 1, 0}, []int{2, 3, 1})
 	// transpose + T0 = copy
-	c2, _ := NewMatrix[int](2, 3)
+	c2 := ck1(NewMatrix[int](2, 3))
 	if err := Transpose(c2, nil, nil, a, DescT0); err != nil {
 		t.Fatal(err)
 	}
@@ -278,13 +278,13 @@ func TestKroneckerOperation(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{2, 3})
 	b := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{5, 7})
-	c, _ := NewMatrix[int](4, 4)
+	c := ck1(NewMatrix[int](4, 4))
 	if err := Kronecker(c, nil, nil, Times[int], a, b, nil); err != nil {
 		t.Fatal(err)
 	}
 	matrixEquals(t, c,
 		[]Index{0, 1, 2, 3}, []Index{2, 3, 0, 1}, []int{10, 14, 15, 21})
-	bad, _ := NewMatrix[int](3, 3)
+	bad := ck1(NewMatrix[int](3, 3))
 	wantCode(t, Kronecker(bad, nil, nil, Times[int], a, b, nil), DimensionMismatch)
 	wantCode(t, Kronecker(c, nil, nil, nil, a, b, nil), NullPointer)
 }

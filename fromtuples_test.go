@@ -14,7 +14,7 @@ func TestMatrixFromTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nv, _ := e.Nvals(); nv != 0 {
+	if nv := ck1(e.Nvals()); nv != 0 {
 		t.Fatal("empty FromTuples not empty")
 	}
 	// errors pass through
@@ -29,7 +29,7 @@ func TestMatrixFromTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ExtractElement(0, 0); v != 3 {
+	if v, _ := ck2(d.ExtractElement(0, 0)); v != 3 {
 		t.Fatalf("dup combine = %d", v)
 	}
 }
@@ -56,8 +56,8 @@ func TestIdentityMatrix(t *testing.T) {
 	}
 	matrixEquals(t, ident, []Index{0, 1, 2}, []Index{0, 1, 2}, []float64{1, 1, 1})
 	// I·A = A
-	a, _ := MatrixFromTuples(3, 3, []Index{0, 2}, []Index{1, 0}, []float64{2.5, -1}, nil)
-	c, _ := NewMatrix[float64](3, 3)
+	a := ck1(MatrixFromTuples(3, 3, []Index{0, 2}, []Index{1, 0}, []float64{2.5, -1}, nil))
+	c := ck1(NewMatrix[float64](3, 3))
 	if err := MxM(c, nil, nil, PlusTimes[float64](), ident, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestContextConcurrentUse(t *testing.T) {
 				done <- err
 				return
 			}
-			c, _ := NewMatrix[int](4, 4, InContext(child))
+			c := ck1(NewMatrix[int](4, 4, InContext(child)))
 			if err := MxM(c, nil, nil, PlusTimes[int](), m, m, nil); err != nil {
 				done <- err
 				return

@@ -1,0 +1,12 @@
+package enumcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/enumcheck"
+	"github.com/grblas/grb/internal/lint/linttest"
+)
+
+func TestEnumcheck(t *testing.T) {
+	linttest.Run(t, "testdata", enumcheck.Analyzer, "a")
+}

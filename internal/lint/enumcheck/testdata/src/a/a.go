@@ -1,0 +1,78 @@
+// Package a is the enumcheck corpus: switches over the guarded grb
+// enumerations in every exhaustiveness state.
+package a
+
+import "grb"
+
+func missingMember(i grb.Info) string {
+	switch i { // want `switch over grb\.Info is not exhaustive: missing IndexOutOfBounds`
+	case grb.Success:
+		return "ok"
+	case grb.NoValue:
+		return "empty"
+	}
+	return "?"
+}
+
+func missingTwo(f grb.Format) { // both members reported, sorted
+	switch f { // want `switch over grb\.Format is not exhaustive: missing FormatCSR, FormatDenseRow`
+	}
+}
+
+func exhaustive(i grb.Info) string {
+	switch i { // silent: every value covered (Okay aliases Success)
+	case grb.Success:
+		return "ok"
+	case grb.NoValue:
+		return "empty"
+	case grb.IndexOutOfBounds:
+		return "oob"
+	}
+	return "?"
+}
+
+func defaulted(m grb.Mode) string {
+	switch m { // silent: default handles unknown members
+	case grb.Blocking:
+		return "blocking"
+	default:
+		return "other"
+	}
+}
+
+func nonConstantCase(i, sentinel grb.Info) bool {
+	switch i { // silent: a non-constant case defeats coverage, treated as default
+	case sentinel:
+		return true
+	}
+	return false
+}
+
+func multiValueCase(i grb.Info) bool {
+	switch i { // silent: one clause may name several members
+	case grb.Success, grb.NoValue, grb.IndexOutOfBounds:
+		return true
+	}
+	return false
+}
+
+func suppressed(m grb.Mode) string {
+	switch m { //grblint:ignore enumcheck -- corpus: only Blocking matters on this path
+	case grb.Blocking:
+		return "blocking"
+	}
+	return "?"
+}
+
+// untagged switches and non-enum tags are out of scope.
+func outOfScope(n int) string {
+	switch {
+	case n > 0:
+		return "+"
+	}
+	switch n {
+	case 0:
+		return "0"
+	}
+	return "?"
+}

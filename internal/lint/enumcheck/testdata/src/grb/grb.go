@@ -1,0 +1,31 @@
+// Package grb is the enumcheck corpus stub: the guarded enumerations with
+// §IX-style pinned values, including an alias pinned to an existing code.
+package grb
+
+// Info mirrors the return-code enumeration.
+type Info int
+
+const (
+	Success          Info = 0
+	NoValue          Info = 1
+	IndexOutOfBounds Info = 2
+	// Okay is an alias pinned to the same value as Success; coverage is by
+	// value, so covering Success covers Okay.
+	Okay Info = 0
+)
+
+// Mode mirrors the execution modes.
+type Mode int
+
+const (
+	Blocking    Mode = 0
+	NonBlocking Mode = 1
+)
+
+// Format mirrors the exchange formats.
+type Format int
+
+const (
+	FormatCSR      Format = 0
+	FormatDenseRow Format = 1
+)

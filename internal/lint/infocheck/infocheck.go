@@ -1,0 +1,154 @@
+// Package infocheck implements the grblint analyzer that enforces the
+// GraphBLAS error-model discipline of §V: every expression yielding a
+// grb.Info or an error produced by the grb/lagraph API must be observed —
+// checked, compared, stored, or returned. Discarding one (a bare expression
+// statement, an assignment to the blank identifier, or a go/defer statement
+// whose results vanish) silently swallows a deferred execution error, which
+// is exactly the failure mode the paper's nonblocking mode makes possible.
+package infocheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/grblas/grb/internal/lint"
+)
+
+// Analyzer is the infocheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "infocheck",
+	Doc: "report discarded grb.Info values and discarded errors from grb/lagraph API calls; " +
+		"an unobserved result can silently swallow a deferred execution error (GraphBLAS 2.0 §V)",
+	Run: run,
+}
+
+// apiPackages are the package names whose error results carry the GraphBLAS
+// error model. Matching is by name so the analyzer works against both the
+// real repo and the testdata stubs.
+var apiPackages = map[string]bool{"grb": true, "lagraph": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "expression statement")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, s.Call, "go statement")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, s.Call, "defer statement")
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a call whose entire result list is dropped, if
+// any result is a must-observe type.
+func checkDiscardedCall(pass *lint.Pass, call *ast.CallExpr, how string) {
+	names := mustObserveResults(pass, call)
+	if len(names) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s result of %s is discarded by %s; check, compare, or return it",
+		names[0], calleeName(pass.TypesInfo, call), how)
+}
+
+// checkAssign reports blank-identifier discards of must-observe results.
+func checkAssign(pass *lint.Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple assignment: v, ok, _ := call().
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results := lint.ResultTuple(pass.TypesInfo, call)
+		if results == nil || results.Len() != len(s.Lhs) || !isAPICall(pass.TypesInfo, call) {
+			return
+		}
+		for i := 0; i < results.Len(); i++ {
+			if isBlank(s.Lhs[i]) && mustObserve(results.At(i).Type()) {
+				pass.Reportf(s.Lhs[i].Pos(), "%s result of %s is assigned to _; check, compare, or return it",
+					typeLabel(results.At(i).Type()), calleeName(pass.TypesInfo, call))
+			}
+		}
+		return
+	}
+	// Parallel assignment: each LHS pairs with one single-valued RHS.
+	for i := range s.Lhs {
+		if i >= len(s.Rhs) || !isBlank(s.Lhs[i]) {
+			continue
+		}
+		if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+			if names := mustObserveResults(pass, call); len(names) > 0 {
+				pass.Reportf(s.Lhs[i].Pos(), "%s result of %s is assigned to _; check, compare, or return it",
+					names[0], calleeName(pass.TypesInfo, call))
+			}
+			continue
+		}
+		// A non-call expression of type Info discarded via _ (e.g. a
+		// stored code) is equally unobserved.
+		if tv, ok := pass.TypesInfo.Types[s.Rhs[i]]; ok && isInfo(tv.Type) {
+			pass.Reportf(s.Lhs[i].Pos(), "grb.Info value is assigned to _; check, compare, or return it")
+		}
+	}
+}
+
+// mustObserveResults returns labels for the must-observe results of a call
+// into the grb/lagraph API (empty when the call is out of scope or carries
+// no such result).
+func mustObserveResults(pass *lint.Pass, call *ast.CallExpr) []string {
+	if !isAPICall(pass.TypesInfo, call) {
+		return nil
+	}
+	results := lint.ResultTuple(pass.TypesInfo, call)
+	if results == nil {
+		return nil
+	}
+	var names []string
+	for i := 0; i < results.Len(); i++ {
+		if mustObserve(results.At(i).Type()) {
+			names = append(names, typeLabel(results.At(i).Type()))
+		}
+	}
+	return names
+}
+
+// isAPICall reports whether the call resolves to a function or method
+// declared in a GraphBLAS API package.
+func isAPICall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && apiPackages[fn.Pkg().Name()]
+}
+
+func mustObserve(t types.Type) bool { return lint.IsErrorType(t) || isInfo(t) }
+
+func isInfo(t types.Type) bool { return lint.IsNamed(t, "grb", "Info") }
+
+func typeLabel(t types.Type) string {
+	if isInfo(t) {
+		return "grb.Info"
+	}
+	return "error"
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := lint.CalleeFunc(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+		}
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return "call"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package infocheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/infocheck"
+	"github.com/grblas/grb/internal/lint/linttest"
+)
+
+func TestInfocheck(t *testing.T) {
+	linttest.Run(t, "testdata", infocheck.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a is the infocheck corpus: every way of discarding a grb error or
+// Info value, plus the observations and suppressions that must stay silent.
+package a
+
+import "grb"
+
+func discards(m *grb.Matrix) {
+	m.Wait(grb.Complete)       // want `error result of \(\*grb\.Matrix\)\.Wait is discarded by expression statement`
+	go m.Wait(grb.Complete)    // want `error result of \(\*grb\.Matrix\)\.Wait is discarded by go statement`
+	defer m.Wait(grb.Complete) // want `error result of \(\*grb\.Matrix\)\.Wait is discarded by defer statement`
+	_ = m.Wait(grb.Complete)   // want `error result of \(\*grb\.Matrix\)\.Wait is assigned to _`
+	grb.Finalize()             // want `error result of grb\.Finalize is discarded by expression statement`
+}
+
+func tupleDiscards(m *grb.Matrix) int {
+	n, _ := m.Nvals()                  // want `error result of \(\*grb\.Matrix\)\.Nvals is assigned to _`
+	v, ok, _ := m.ExtractElement(0, 0) // want `error result of \(\*grb\.Matrix\)\.ExtractElement is assigned to _`
+	_, _ = v, ok
+	return n
+}
+
+func infoDiscards(m *grb.Matrix) {
+	code := m.Code()
+	_ = code     // want `grb\.Info value is assigned to _`
+	_ = m.Code() // want `grb\.Info result of \(\*grb\.Matrix\)\.Code is assigned to _`
+	m.Code()     // want `grb\.Info result of \(\*grb\.Matrix\)\.Code is discarded by expression statement`
+}
+
+func observed(m *grb.Matrix) error {
+	if err := m.Wait(grb.Complete); err != nil { // checked: silent
+		return err
+	}
+	n, err := m.Nvals() // stored: silent
+	if err != nil || n < 0 {
+		return err
+	}
+	if m.Code() != grb.Success { // compared: silent
+		return nil
+	}
+	return m.Wait(grb.Materialize) // returned: silent
+}
+
+func suppressed(m *grb.Matrix) {
+	_ = m.Wait(grb.Complete) //grblint:ignore infocheck -- deliberate: error observed via Code() below
+	//grblint:ignore infocheck -- standalone form covers the next line
+	_ = grb.Finalize()
+}
+
+// nonAPI calls are out of scope even when they return errors.
+func nonAPI() {
+	_ = localErr()
+}
+
+func localErr() error { return nil }

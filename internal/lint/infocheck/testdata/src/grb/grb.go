@@ -1,0 +1,32 @@
+// Package grb is a miniature stub of the GraphBLAS API surface: just enough
+// signatures for the infocheck corpus. The analyzer matches by package name,
+// so this stub stands in for the real module.
+package grb
+
+// Info mirrors the GraphBLAS return-code enumeration.
+type Info int
+
+const (
+	Success Info = iota
+	NoValue
+	InvalidValue
+)
+
+// WaitMode mirrors the §V completion modes.
+type WaitMode int
+
+const (
+	Complete WaitMode = iota
+	Materialize
+)
+
+// Matrix is a stub GraphBLAS matrix.
+type Matrix struct{ code Info }
+
+func NewMatrix(rows, cols int) (*Matrix, error)              { return &Matrix{}, nil }
+func (m *Matrix) Wait(mode WaitMode) error                   { return nil }
+func (m *Matrix) Nvals() (int, error)                        { return 0, nil }
+func (m *Matrix) ExtractElement(i, j int) (int, bool, error) { return 0, false, nil }
+func (m *Matrix) Code() Info                                 { return m.code }
+
+func Finalize() error { return nil }

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/linttest"
+	"github.com/grblas/grb/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "testdata", lockcheck.Analyzer, "grb")
+}

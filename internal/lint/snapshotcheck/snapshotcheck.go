@@ -1,0 +1,167 @@
+// Package snapshotcheck implements the grblint analyzer that guards the
+// substrate's immutability contract: CSR matrices and sparse vectors are
+// snapshots — immutable once built (§III of the GraphBLAS 2.0 paper). The
+// transpose cache and the nonblocking pipeline both rest on this: a kernel
+// that mutates a shared snapshot breaks coherence silently.
+//
+// The rule: inside the sparse package, a function must not write to the
+// storage slices (CSR.Ptr/Ind/Val, Vec.Ind/Val) of a *CSR/*Vec it received
+// as a parameter or receiver — writes include field assignment, element
+// assignment, ++/--, append-reassignment, and copy/clear into the slice.
+// Freshly allocated locals (composite literals, NewCSR/NewVec, Clone) are
+// exempt, as are functions whose name starts with "install" or "new" — the
+// blessed constructor/install helpers that build an object before it is
+// published.
+//
+// The check is intraprocedural and tracks direct parameter identifiers
+// only; aliasing a snapshot into a local and writing through the alias is
+// not caught (document such helpers as install* instead).
+package snapshotcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/grblas/grb/internal/lint"
+)
+
+// Analyzer is the snapshotcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "snapshotcheck",
+	Doc: "report writes to the storage slices of snapshot (*CSR/*Vec) parameters inside the sparse " +
+		"package; snapshots are immutable once built and kernels must allocate fresh outputs",
+	Run: run,
+}
+
+// storageFields lists the guarded fields per snapshot type.
+var storageFields = map[string]map[string]bool{
+	"CSR": {"Ptr": true, "Ind": true, "Val": true},
+	"Vec": {"Ind": true, "Val": true},
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "sparse" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || exemptFunc(fd.Name.Name) {
+				continue
+			}
+			snaps := snapshotOperands(pass.TypesInfo, fd)
+			if len(snaps) == 0 {
+				continue
+			}
+			checkBody(pass, fd, snaps)
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports whether a function name marks a blessed mutator: the
+// constructors and install helpers that build storage before publication.
+func exemptFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "install") || strings.HasPrefix(lower, "new")
+}
+
+// snapshotOperands collects the receiver and parameters of snapshot type.
+func snapshotOperands(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	snaps := map[types.Object]bool{}
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isSnapshotType(obj.Type()) {
+					snaps[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return snaps
+}
+
+func isSnapshotType(t types.Type) bool {
+	return lint.IsNamed(t, "sparse", "CSR", "Vec")
+}
+
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl, snaps map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncDecl:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				reportStorageWrite(pass, lhs, snaps, "assigned to")
+			}
+		case *ast.IncDecStmt:
+			reportStorageWrite(pass, s.X, snaps, "mutated by ++/-- through")
+		case *ast.CallExpr:
+			// copy(snap.Ind, ...) and clear(snap.Ind) write through the
+			// first argument.
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && (id.Name == "copy" || id.Name == "clear") {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() == nil && len(s.Args) > 0 {
+					reportStorageWrite(pass, s.Args[0], snaps, "written by "+id.Name+" through")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportStorageWrite flags expr when it is (or indexes into) a guarded
+// storage field of a snapshot operand.
+func reportStorageWrite(pass *lint.Pass, expr ast.Expr, snaps map[types.Object]bool, how string) {
+	sel := baseSelector(expr)
+	if sel == nil {
+		return
+	}
+	base, ok := ast.Unparen(derefExpr(sel.X)).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil || !snaps[obj] {
+		return
+	}
+	typeName := lint.NamedFrom(obj.Type()).Origin().Obj().Name()
+	if !storageFields[typeName][sel.Sel.Name] {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"snapshot %s.%s %s a %s parameter's storage; snapshots are immutable — build a fresh %s "+
+			"(or mark the function as an install* helper)",
+		base.Name, sel.Sel.Name, how, typeName, typeName)
+}
+
+// baseSelector peels index and slice expressions off expr down to the
+// selector being written through, if any: m.Ptr, m.Ptr[i], m.Ind[lo:hi].
+func baseSelector(expr ast.Expr) *ast.SelectorExpr {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			return e
+		default:
+			return nil
+		}
+	}
+}
+
+// derefExpr unwraps a unary * so (*m).Ptr matches like m.Ptr.
+func derefExpr(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.StarExpr); ok {
+		return u.X
+	}
+	return e
+}

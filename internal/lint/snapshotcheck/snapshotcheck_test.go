@@ -1,0 +1,12 @@
+package snapshotcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/linttest"
+	"github.com/grblas/grb/internal/lint/snapshotcheck"
+)
+
+func TestSnapshotcheck(t *testing.T) {
+	linttest.Run(t, "testdata", snapshotcheck.Analyzer, "sparse")
+}

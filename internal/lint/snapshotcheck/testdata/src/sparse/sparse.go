@@ -1,0 +1,75 @@
+// Package sparse is the snapshotcheck corpus: a miniature copy of the
+// substrate's snapshot types plus every write shape the analyzer guards.
+// The analyzer only runs on packages named "sparse", so the corpus carries
+// the types and the offending code in one package, like the real substrate.
+package sparse
+
+// CSR is a stub of the immutable CSR snapshot.
+type CSR[T any] struct {
+	Rows, Cols int
+	Ptr        []int
+	Ind        []int
+	Val        []T
+}
+
+// Vec is a stub of the immutable sparse-vector snapshot.
+type Vec[T any] struct {
+	N   int
+	Ind []int
+	Val []T
+}
+
+// NewCSR is a blessed constructor (new* prefix): writes are fine here.
+func NewCSR(rows, cols, nnz int) *CSR[float64] {
+	c := &CSR[float64]{Rows: rows, Cols: cols}
+	c.Ptr = make([]int, rows+1)
+	c.Ind = make([]int, nnz)
+	c.Val = make([]float64, nnz)
+	return c
+}
+
+// installRowPtr is a blessed install helper (install* prefix): exempt.
+func installRowPtr(c *CSR[float64], ptr []int) {
+	c.Ptr = ptr
+}
+
+func scaleInPlace(c *CSR[float64], f float64) {
+	for i := range c.Val {
+		c.Val[i] *= f // want `snapshot c\.Val assigned to a CSR parameter's storage`
+	}
+}
+
+func (c *CSR[T]) compact() {
+	c.Ptr = nil // want `snapshot c\.Ptr assigned to a CSR parameter's storage`
+}
+
+func bumpFirst(c *CSR[int]) {
+	c.Ptr[0]++ // want `snapshot c\.Ptr mutated by \+\+/-- through a CSR parameter's storage`
+}
+
+func overwrite(v *Vec[int], src []int) {
+	copy(v.Ind, src) // want `snapshot v\.Ind written by copy through a Vec parameter's storage`
+	clear(v.Val)     // want `snapshot v\.Val written by clear through a Vec parameter's storage`
+}
+
+// freshOutput allocates its own result: writes to locals are fine.
+func freshOutput(c *CSR[int]) *CSR[int] {
+	out := &CSR[int]{Rows: c.Rows, Cols: c.Cols}
+	out.Ptr = make([]int, c.Rows+1)
+	out.Ind = append(out.Ind, c.Ind...)
+	out.Val = append(out.Val, c.Val...)
+	return out
+}
+
+// headerWrite touches a non-storage field: dims are not guarded.
+func headerWrite(c *CSR[int]) {
+	c.Rows = c.Rows
+}
+
+// normalize is deliberately mutating a test-local vector; the suppression
+// convention keeps it quiet.
+func normalize(v *Vec[int]) {
+	for k := 1; k < len(v.Ind); k++ {
+		v.Ind[k], v.Ind[k-1] = v.Ind[k-1], v.Ind[k] //grblint:ignore snapshotcheck -- corpus: deliberate in-place normalization
+	}
+}

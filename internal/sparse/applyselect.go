@@ -70,7 +70,7 @@ func SelectM[A, S any](a *CSR[A], f func(A, int, int, S) bool, s S, threads int)
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out
 }
 

@@ -1,0 +1,82 @@
+//go:build grbcheck
+
+// Runtime invariant validation for the snapshot substrate, compiled in with
+// `-tags grbcheck` (see DESIGN.md, "Static analysis & invariants"). Every
+// CSR/Vec install point calls DebugCheckCSR/DebugCheckVec; under the tag the
+// checks panic with the violated invariant and the installing operation, so
+// a kernel that publishes a malformed snapshot fails at the install, not at
+// the next read. Without the tag the calls compile to no-ops.
+package sparse
+
+import "fmt"
+
+// DebugChecks reports whether the grbcheck validators are compiled in.
+const DebugChecks = true
+
+// DebugCheckCSR validates the full CSR snapshot contract: header dims
+// non-negative, row pointers monotone and anchored (Ptr[0] == 0,
+// Ptr[Rows] == nnz), parallel storage (len(Ind) == len(Val)), and each row's
+// column indices sorted, unique and in [0, Cols).
+func DebugCheckCSR[T any](m *CSR[T], origin string) {
+	if m == nil {
+		return
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		checkFail(origin, "negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Ptr) != m.Rows+1 {
+		checkFail(origin, "len(Ptr) = %d, want Rows+1 = %d", len(m.Ptr), m.Rows+1)
+	}
+	if m.Ptr[0] != 0 {
+		checkFail(origin, "Ptr[0] = %d, want 0", m.Ptr[0])
+	}
+	if len(m.Ind) != len(m.Val) {
+		checkFail(origin, "len(Ind) = %d but len(Val) = %d", len(m.Ind), len(m.Val))
+	}
+	if m.Ptr[m.Rows] != len(m.Ind) {
+		checkFail(origin, "Ptr[Rows] = %d but nnz = %d", m.Ptr[m.Rows], len(m.Ind))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.Ptr[i+1] < m.Ptr[i] {
+			checkFail(origin, "row pointers not monotone: Ptr[%d] = %d > Ptr[%d] = %d",
+				i, m.Ptr[i], i+1, m.Ptr[i+1])
+		}
+		for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+			if m.Ind[k] < 0 || m.Ind[k] >= m.Cols {
+				checkFail(origin, "row %d: column index Ind[%d] = %d out of range [0, %d)",
+					i, k, m.Ind[k], m.Cols)
+			}
+			if k > m.Ptr[i] && m.Ind[k-1] >= m.Ind[k] {
+				checkFail(origin, "row %d: column indices not sorted+unique: Ind[%d] = %d, Ind[%d] = %d",
+					i, k-1, m.Ind[k-1], k, m.Ind[k])
+			}
+		}
+	}
+}
+
+// DebugCheckVec validates the sparse-vector snapshot contract: size
+// non-negative, parallel storage, indices sorted, unique and in [0, N).
+func DebugCheckVec[T any](v *Vec[T], origin string) {
+	if v == nil {
+		return
+	}
+	if v.N < 0 {
+		checkFail(origin, "negative size %d", v.N)
+	}
+	if len(v.Ind) != len(v.Val) {
+		checkFail(origin, "len(Ind) = %d but len(Val) = %d", len(v.Ind), len(v.Val))
+	}
+	for k := range v.Ind {
+		if v.Ind[k] < 0 || v.Ind[k] >= v.N {
+			checkFail(origin, "index Ind[%d] = %d out of range [0, %d)", k, v.Ind[k], v.N)
+		}
+		if k > 0 && v.Ind[k-1] >= v.Ind[k] {
+			checkFail(origin, "indices not sorted+unique: Ind[%d] = %d, Ind[%d] = %d",
+				k-1, v.Ind[k-1], k, v.Ind[k])
+		}
+	}
+}
+
+func checkFail(origin, format string, args ...any) {
+	panic("sparse: grbcheck: " + origin + ": " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,71 @@
+package sparse
+
+import "testing"
+
+// TestDebugCheckAcceptsValid: the validators are silent on well-formed
+// snapshots whether or not the grbcheck tag compiled them in.
+func TestDebugCheckAcceptsValid(t *testing.T) {
+	m, err := BuildCSR(2, 3, []int{0, 0, 1}, []int{0, 2, 1}, []float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DebugCheckCSR(m, "test")
+	v, err := BuildVec(4, []int{1, 3}, []int{10, 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DebugCheckVec(v, "test")
+}
+
+// TestDebugCheckCSRFires: under -tags grbcheck, a malformed snapshot panics
+// at the check with the violated invariant named.
+func TestDebugCheckCSRFires(t *testing.T) {
+	if !DebugChecks {
+		t.Skip("compiled without -tags grbcheck")
+	}
+	cases := []struct {
+		name string
+		m    *CSR[int]
+	}{
+		{"nnz mismatch", &CSR[int]{Rows: 1, Cols: 2, Ptr: []int{0, 2}, Ind: []int{0}, Val: []int{1}}},
+		{"non-monotone Ptr", &CSR[int]{Rows: 2, Cols: 2, Ptr: []int{0, 1, 0}, Ind: []int{0}, Val: []int{1}}},
+		{"unsorted row", &CSR[int]{Rows: 1, Cols: 3, Ptr: []int{0, 2}, Ind: []int{2, 0}, Val: []int{1, 2}}},
+		{"column out of range", &CSR[int]{Rows: 1, Cols: 1, Ptr: []int{0, 1}, Ind: []int{5}, Val: []int{1}}},
+		{"ragged storage", &CSR[int]{Rows: 1, Cols: 2, Ptr: []int{0, 1}, Ind: []int{0}, Val: nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("DebugCheckCSR accepted a malformed snapshot (%s)", tc.name)
+				}
+			}()
+			DebugCheckCSR(tc.m, "test")
+		})
+	}
+}
+
+// TestDebugCheckVecFires is the vector analogue.
+func TestDebugCheckVecFires(t *testing.T) {
+	if !DebugChecks {
+		t.Skip("compiled without -tags grbcheck")
+	}
+	cases := []struct {
+		name string
+		v    *Vec[int]
+	}{
+		{"duplicate index", &Vec[int]{N: 3, Ind: []int{1, 1}, Val: []int{1, 2}}},
+		{"index out of range", &Vec[int]{N: 2, Ind: []int{4}, Val: []int{1}}},
+		{"ragged storage", &Vec[int]{N: 2, Ind: []int{0}, Val: nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("DebugCheckVec accepted a malformed snapshot (%s)", tc.name)
+				}
+			}()
+			DebugCheckVec(tc.v, "test")
+		})
+	}
+}

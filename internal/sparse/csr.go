@@ -180,6 +180,7 @@ func BuildCSR[T any](rows, cols int, I, J []int, X []T, dup func(T, T) T) (*CSR[
 	for i := 0; i < rows; i++ {
 		m.Ptr[i+1] += m.Ptr[i]
 	}
+	DebugCheckCSR(m, "BuildCSR")
 	return m, nil
 }
 
@@ -258,6 +259,7 @@ func MergeTuples[T any](m *CSR[T], tuples []Tuple[T]) (*CSR[T], error) {
 		}
 		out.Ptr[i+1] = len(out.Ind)
 	}
+	DebugCheckCSR(out, "MergeTuples")
 	return out, nil
 }
 
@@ -282,6 +284,7 @@ func (m *CSR[T]) Resize(rows, cols int) *CSR[T] {
 	for i := keep; i < rows; i++ {
 		out.Ptr[i+1] = len(out.Ind)
 	}
+	DebugCheckCSR(out, "CSR.Resize")
 	return out
 }
 

@@ -42,7 +42,7 @@ func mergeUnionM[T any](a, b *CSR[T], add func(T, T) T, threads int) *CSR[T] {
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out
 }
 
@@ -91,7 +91,7 @@ func EWiseMultM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out
 }
 

@@ -79,7 +79,7 @@ func ExtractM[T any](a *CSR[T], rows, cols []int, threads int) (*CSR[T], error) 
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out, nil
 }
 

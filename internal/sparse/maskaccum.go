@@ -194,7 +194,7 @@ func MaskApplyM[T any](c, z *CSR[T], mask Mask, replace bool, threads int) *CSR[
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out
 }
 
@@ -247,10 +247,10 @@ func MaskApplyV[T any](c, z *Vec[T], mask VMask, replace bool) *Vec[T] {
 	return out
 }
 
-// stitch assembles per-partition row buffers into out. parts are the range
+// installStitched assembles per-partition row buffers into out. parts are the range
 // boundaries used to produce pInd/pVal; rowLen[i] is the emitted length of
 // row i. Shared by all row-parallel kernels.
-func stitch[T any](out *CSR[T], parts []int, pInd [][]int, pVal [][]T, rowLen []int) {
+func installStitched[T any](out *CSR[T], parts []int, pInd [][]int, pVal [][]T, rowLen []int) {
 	total := 0
 	for _, s := range pInd {
 		total += len(s)
@@ -264,4 +264,5 @@ func stitch[T any](out *CSR[T], parts []int, pInd [][]int, pVal [][]T, rowLen []
 	for i := 0; i < out.Rows; i++ {
 		out.Ptr[i+1] = out.Ptr[i] + rowLen[i]
 	}
+	DebugCheckCSR(out, "installStitched")
 }

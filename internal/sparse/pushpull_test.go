@@ -85,8 +85,8 @@ func TestVMaskLookupSemantics(t *testing.T) {
 func sortVecByIndex(v *Vec[bool]) {
 	for i := 1; i < len(v.Ind); i++ {
 		for k := i; k > 0 && v.Ind[k] < v.Ind[k-1]; k-- {
-			v.Ind[k], v.Ind[k-1] = v.Ind[k-1], v.Ind[k]
-			v.Val[k], v.Val[k-1] = v.Val[k-1], v.Val[k]
+			v.Ind[k], v.Ind[k-1] = v.Ind[k-1], v.Ind[k] //grblint:ignore snapshotcheck -- test-local vector, normalized before first use
+			v.Val[k], v.Val[k-1] = v.Val[k-1], v.Val[k] //grblint:ignore snapshotcheck -- test-local vector, normalized before first use
 		}
 	}
 }

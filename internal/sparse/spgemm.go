@@ -170,7 +170,7 @@ func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	stitch(out, parts, pInd, pVal, rowLen)
+	installStitched(out, parts, pInd, pVal, rowLen)
 	return out
 }
 

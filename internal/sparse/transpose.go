@@ -74,6 +74,7 @@ func Transpose[T any](a *CSR[T]) *CSR[T] {
 			out.Val[p] = val[k]
 		}
 	}
+	DebugCheckCSR(out, "Transpose")
 	return out
 }
 
@@ -103,6 +104,7 @@ func Diag[T any](v *Vec[T], k int) *CSR[T] {
 	for i := 0; i < n; i++ {
 		out.Ptr[i+1] += out.Ptr[i]
 	}
+	DebugCheckCSR(out, "Diag")
 	return out
 }
 

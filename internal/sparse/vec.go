@@ -87,6 +87,7 @@ func BuildVec[T any](n int, I []int, X []T, dup func(T, T) T) (*Vec[T], error) {
 		v.Ind = append(v.Ind, i)
 		v.Val = append(v.Val, x)
 	}
+	DebugCheckVec(v, "BuildVec")
 	return v, nil
 }
 
@@ -146,6 +147,7 @@ func MergeVTuples[T any](v *Vec[T], tuples []VTuple[T]) (*Vec[T], error) {
 			k++
 		}
 	}
+	DebugCheckVec(out, "MergeVTuples")
 	return out, nil
 }
 
@@ -158,6 +160,7 @@ func (v *Vec[T]) Resize(n int) *Vec[T] {
 			out.Val = append(out.Val, v.Val[k])
 		}
 	}
+	DebugCheckVec(out, "Vec.Resize")
 	return out
 }
 
@@ -183,6 +186,7 @@ func GatherVec[T any](dv []T, ok []bool) *Vec[T] {
 			out.Val = append(out.Val, dv[i])
 		}
 	}
+	DebugCheckVec(out, "GatherVec")
 	return out
 }
 

@@ -185,6 +185,10 @@ func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T
 			}
 			csr.Ptr[i+1] = len(csr.Ind)
 		}
+	default:
+		// Unreachable behind the matrixFormat guard; kept so the switch
+		// stays exhaustive as Format grows (§IX pins the enum values).
+		return nil, errf(NotImplemented, "MatrixImport: unsupported format %v", format)
 	}
 	return &Matrix[T]{init: true, ctx: ctx, csr: csr}, nil
 }
@@ -272,6 +276,10 @@ func (m *Matrix[T]) MatrixExportInto(format Format, indptr, indices []Index, val
 				}
 			}
 		}
+	default:
+		// Unreachable behind the matrixFormat guard; kept so the switch
+		// stays exhaustive as Format grows (§IX pins the enum values).
+		return errf(NotImplemented, "MatrixExportInto: unsupported format %v", format)
 	}
 	return nil
 }
@@ -345,6 +353,10 @@ func VectorImport[T any](size Index, indices []Index, values []T,
 			vec.Ind[i] = i
 			vec.Val[i] = values[i]
 		}
+	default:
+		// Unreachable behind the vectorFormat guard; kept so the switch
+		// stays exhaustive as Format grows (§IX pins the enum values).
+		return nil, errf(NotImplemented, "VectorImport: unsupported format %v", format)
 	}
 	return &Vector[T]{init: true, ctx: ctx, vec: vec}, nil
 }

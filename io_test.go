@@ -91,7 +91,7 @@ func TestTableIII_COOConvention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := m.ExtractElement(0, 2); !ok || v != 7 {
+	if v, ok := ck2(m.ExtractElement(0, 2)); !ok || v != 7 {
 		t.Fatalf("COO placement wrong: (0,2)=%v,%v", v, ok)
 	}
 	ep, ei, ev, err := m.MatrixExport(FormatCOO)
@@ -111,11 +111,11 @@ func TestTableIII_DenseFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, _ := m.Nvals()
+	nv := ck1(m.Nvals())
 	if nv != 4 {
 		t.Fatalf("dense import nvals = %d", nv)
 	}
-	if v, _, _ := m.ExtractElement(1, 0); v != 3 {
+	if v, _ := ck2(m.ExtractElement(1, 0)); v != 3 {
 		t.Fatalf("(1,0)=%d", v)
 	}
 	// column-major same data: [[1 3],[2 4]]
@@ -123,10 +123,10 @@ func TestTableIII_DenseFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := mc.ExtractElement(1, 0); v != 2 {
+	if v, _ := ck2(mc.ExtractElement(1, 0)); v != 2 {
 		t.Fatalf("col-major (1,0)=%d", v)
 	}
-	if v, _, _ := mc.ExtractElement(0, 1); v != 3 {
+	if v, _ := ck2(mc.ExtractElement(0, 1)); v != 3 {
 		t.Fatalf("col-major (0,1)=%d", v)
 	}
 	// dense export of a sparse matrix fills absent positions with zeros
@@ -138,7 +138,7 @@ func TestTableIII_DenseFormats(t *testing.T) {
 	if vals[0] != 0 || vals[1] != 9 || vals[2] != 0 || vals[3] != 0 {
 		t.Fatalf("dense export = %v", vals)
 	}
-	_, _, cvals, _ := sp.MatrixExport(FormatDenseCol)
+	_, _, cvals := ck3(sp.MatrixExport(FormatDenseCol))
 	if cvals[2] != 9 {
 		t.Fatalf("dense col export = %v", cvals)
 	}
@@ -208,7 +208,7 @@ func TestVectorImportExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	vectorEquals(t, v, []Index{1, 3}, []float64{1.5, 3.5})
-	hint, _ := v.VectorExportHint()
+	hint := ck1(v.VectorExportHint())
 	if hint != FormatSparseVector {
 		t.Fatalf("hint = %v", hint)
 	}
@@ -224,11 +224,11 @@ func TestVectorImportExport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, _ := dv.Nvals()
+	nv := ck1(dv.Nvals())
 	if nv != 5 { // dense import stores explicit zeros
 		t.Fatalf("dense import nvals = %d", nv)
 	}
-	if x, _, _ := dv.ExtractElement(3); x != 3.5 {
+	if x, _ := ck2(dv.ExtractElement(3)); x != 3.5 {
 		t.Fatalf("dense import (3)=%v", x)
 	}
 	// insufficient space
@@ -259,8 +259,8 @@ func TestImportExportRoundTripProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			bi, bj, bx, _ := back.ExtractTuples()
-			ai, aj, ax, _ := m.ExtractTuples()
+			bi, bj, bx := ck3(back.ExtractTuples())
+			ai, aj, ax := ck3(m.ExtractTuples())
 			if len(bi) != len(ai) {
 				return false
 			}

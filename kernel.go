@@ -16,6 +16,7 @@ func kernelHint(m AxBMethod) sparse.Kernel {
 		return sparse.KernelDense
 	case AxBHashSPA:
 		return sparse.KernelHash
+	case AxBDefault:
 	}
 	return sparse.KernelAuto
 }

@@ -1,0 +1,15 @@
+package lagraph
+
+// ck fails the running test by panicking on an unexpected error from a grb
+// call; grblint (infocheck) forbids discarding these silently.
+func ck(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ck1 unwraps a (value, error) grb result, panicking on error.
+func ck1[A any](a A, err error) A { ck(err); return a }
+
+// ck2 unwraps a (value, value, error) grb result, panicking on error.
+func ck2[A, B any](a A, b B, err error) (A, B) { ck(err); return a, b }

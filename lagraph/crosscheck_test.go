@@ -65,7 +65,7 @@ func TestSSSPAgainstDijkstra(t *testing.T) {
 		}
 		want := refDijkstra(g.N, adj, ww, src)
 		for v := 0; v < g.N; v++ {
-			gv, ok, _ := d.ExtractElement(v)
+			gv, ok := ck2(d.ExtractElement(v))
 			if math.IsInf(want[v], 1) {
 				if ok {
 					t.Fatalf("src %d: vertex %d unreachable but got %v", src, v, gv)
@@ -123,7 +123,7 @@ func TestConnectedComponentsAgainstUnionFind(t *testing.T) {
 	// our labels are the min vertex id of the component; union-find with
 	// min-merge gives the same canonical labels.
 	for v := 0; v < g.N; v++ {
-		gv, ok, _ := f.ExtractElement(v)
+		gv, ok := ck2(f.ExtractElement(v))
 		if !ok || gv != want[v] {
 			t.Fatalf("comp(%d) = %v,%v want %v", v, gv, ok, want[v])
 		}
@@ -211,7 +211,7 @@ func TestPageRankAgainstPowerIteration(t *testing.T) {
 	}
 	want := refPageRank(g.N, g.Src, g.Dst, 0.85, 100)
 	for v := 0; v < g.N; v++ {
-		gv, ok, _ := res.Ranks.ExtractElement(v)
+		gv, ok := ck2(res.Ranks.ExtractElement(v))
 		if !ok || math.Abs(gv-want[v]) > 1e-8 {
 			t.Fatalf("rank(%d) = %v,%v want %v", v, gv, ok, want[v])
 		}
@@ -251,7 +251,7 @@ func TestBFSAgainstQueueBFS(t *testing.T) {
 		}
 		want := refBFS(g.N, adj, src)
 		for v := 0; v < g.N; v++ {
-			gv, ok, _ := levels.ExtractElement(v)
+			gv, ok := ck2(levels.ExtractElement(v))
 			if want[v] < 0 {
 				if ok {
 					t.Fatalf("vertex %d unreachable but level %d", v, gv)
@@ -267,7 +267,7 @@ func TestBFSAgainstQueueBFS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pi, px, _ := parents.ExtractTuples()
+		pi, px := ck2(parents.ExtractTuples())
 		if len(pi) != 0 {
 			reached := 0
 			for _, w := range want {
@@ -303,7 +303,7 @@ func TestMISOnRandomGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inds, _, _ := iset.ExtractTuples()
+		inds, _ := ck2(iset.ExtractTuples())
 		member := map[int]bool{}
 		for _, i := range inds {
 			member[i] = true

@@ -10,11 +10,11 @@ import (
 
 func initLib(t *testing.T) {
 	t.Helper()
-	_ = grb.Finalize()
+	_ = grb.Finalize() //grblint:ignore infocheck -- reset idiom: "not initialized" is expected
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = grb.Finalize() })
+	t.Cleanup(func() { _ = grb.Finalize() }) //grblint:ignore infocheck -- best-effort teardown
 }
 
 // adjacency builds a boolean adjacency matrix from a generated graph.
@@ -73,7 +73,7 @@ func TestBFSLevelsDisconnected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, _ := levels.Nvals()
+	nv := ck1(levels.Nvals())
 	if nv != 3 {
 		t.Fatalf("reached %d vertices, want 3", nv)
 	}
@@ -86,12 +86,12 @@ func TestBFSParentsStar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p0, ok, _ := parents.ExtractElement(0)
+	p0, ok := ck2(parents.ExtractElement(0))
 	if !ok || p0 != 0 {
 		t.Fatalf("parent(0) = %d,%v want 0", p0, ok)
 	}
 	for i := 1; i < 6; i++ {
-		p, ok, _ := parents.ExtractElement(i)
+		p, ok := ck2(parents.ExtractElement(i))
 		if !ok || p != 0 {
 			t.Fatalf("parent(%d) = %d,%v want 0", i, p, ok)
 		}
@@ -108,7 +108,7 @@ func TestSSSPPathWeights(t *testing.T) {
 	}
 	want := []float64{0, 1, 3, 6}
 	for i, wv := range want {
-		v, ok, _ := d.ExtractElement(i)
+		v, ok := ck2(d.ExtractElement(i))
 		if !ok || v != wv {
 			t.Fatalf("d(%d) = %v,%v want %v", i, v, ok, wv)
 		}
@@ -125,7 +125,7 @@ func TestPageRankRing(t *testing.T) {
 	}
 	// Perfect symmetry: every vertex has rank 1/n.
 	for i := 0; i < 10; i++ {
-		v, ok, _ := res.Ranks.ExtractElement(i)
+		v, ok := ck2(res.Ranks.ExtractElement(i))
 		if !ok || math.Abs(v-0.1) > 1e-6 {
 			t.Fatalf("rank(%d) = %v, want 0.1", i, v)
 		}
@@ -168,7 +168,7 @@ func TestConnectedComponentsTwoComponents(t *testing.T) {
 	}
 	want := []int{0, 0, 0, 3, 3}
 	for i, wv := range want {
-		v, ok, _ := f.ExtractElement(i)
+		v, ok := ck2(f.ExtractElement(i))
 		if !ok || v != wv {
 			t.Fatalf("comp(%d) = %v,%v want %v", i, v, ok, wv)
 		}
@@ -240,11 +240,11 @@ func TestKCore(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, ok, _ := core.ExtractElement(i); !ok {
+		if _, ok := ck2(core.ExtractElement(i)); !ok {
 			t.Fatalf("vertex %d should be in 3-core", i)
 		}
 	}
-	if _, ok, _ := core.ExtractElement(4); ok {
+	if _, ok := ck2(core.ExtractElement(4)); ok {
 		t.Fatal("pendant vertex should not be in 3-core")
 	}
 }
@@ -258,7 +258,7 @@ func TestSSSPNegativeEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := d.ExtractElement(1)
+	v, ok := ck2(d.ExtractElement(1))
 	if !ok || v != -1 {
 		t.Fatalf("d(1) = %v,%v want -1", v, ok)
 	}
@@ -287,8 +287,8 @@ func TestBFSParentsLegacyAgreesWithNative(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ni, nx, _ := native.ExtractTuples()
-		li, lx, _ := legacy.ExtractTuples()
+		ni, nx := ck2(native.ExtractTuples())
+		li, lx := ck2(legacy.ExtractTuples())
 		if len(ni) != len(li) {
 			t.Fatalf("src %d: reach %d vs %d", src, len(ni), len(li))
 		}
@@ -313,8 +313,8 @@ func TestBFSAgreesWithSSSPUnitWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	li, lx, _ := levels.ExtractTuples()
-	di, dx, _ := dist.ExtractTuples()
+	li, lx := ck2(levels.ExtractTuples())
+	di, dx := ck2(dist.ExtractTuples())
 	if len(li) != len(di) {
 		t.Fatalf("reachable sets differ: %d vs %d", len(li), len(di))
 	}

@@ -170,6 +170,7 @@ func (m *Matrix[T]) enqueue(ctx *Context, compute func() (*sparse.CSR[T], error)
 			mm.parkLocked(err)
 			return
 		}
+		sparse.DebugCheckCSR(res, "Matrix sequence step")
 		mm.csr = res
 	})
 	if ctx.Mode() == Blocking {

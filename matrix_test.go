@@ -14,9 +14,9 @@ func TestMatrixConstructorValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
-	nv, _ := m.Nvals()
+	nr := ck1(m.Nrows())
+	nc := ck1(m.Ncols())
+	nv := ck1(m.Nvals())
 	if nr != 3 || nc != 4 || nv != 0 {
 		t.Fatalf("fresh matrix: %d %d %d", nr, nc, nv)
 	}
@@ -39,7 +39,7 @@ func TestMatrixNilAndUninitialized(t *testing.T) {
 
 func TestMatrixBuildValidation(t *testing.T) {
 	setMode(t, Blocking)
-	m, _ := NewMatrix[int](2, 2)
+	m := ck1(NewMatrix[int](2, 2))
 	// unequal slices: API error
 	wantCode(t, m.Build([]Index{0}, []Index{0, 1}, []int{1}, nil), InvalidValue)
 	// out-of-range coordinate: API error, never deferred
@@ -65,24 +65,24 @@ func TestBuildDupSemantics(t *testing.T) {
 	for _, mode := range []Mode{Blocking, NonBlocking} {
 		t.Run(mode.String(), func(t *testing.T) {
 			setMode(t, mode)
-			m, _ := NewMatrix[int](2, 2)
+			m := ck1(NewMatrix[int](2, 2))
 			if err := m.Build([]Index{0, 0, 0}, []Index{0, 0, 0}, []int{1, 2, 3}, Plus[int]); err != nil {
 				t.Fatal(err)
 			}
-			_ = m.Wait(Materialize)
-			if v, _, _ := m.ExtractElement(0, 0); v != 6 {
+			ck(m.Wait(Materialize))
+			if v, _ := ck2(m.ExtractElement(0, 0)); v != 6 {
 				t.Fatalf("dup sum = %d", v)
 			}
 			// Minus is order-sensitive: ((1-2)-3) = -4 checks input order.
-			m2, _ := NewMatrix[int](2, 2)
+			m2 := ck1(NewMatrix[int](2, 2))
 			if err := m2.Build([]Index{0, 0, 0}, []Index{0, 0, 0}, []int{1, 2, 3}, Minus[int]); err != nil {
 				t.Fatal(err)
 			}
-			if v, _, _ := m2.ExtractElement(0, 0); v != -4 {
+			if v, _ := ck2(m2.ExtractElement(0, 0)); v != -4 {
 				t.Fatalf("ordered dup = %d, want -4", v)
 			}
 			// nil dup + duplicates: execution error (InvalidValue).
-			m3, _ := NewMatrix[int](2, 2)
+			m3 := ck1(NewMatrix[int](2, 2))
 			err := m3.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
 			if mode == Blocking {
 				wantCode(t, err, InvalidValue)
@@ -102,7 +102,7 @@ func TestSetGetRemoveElement(t *testing.T) {
 	for _, mode := range []Mode{Blocking, NonBlocking} {
 		t.Run(mode.String(), func(t *testing.T) {
 			setMode(t, mode)
-			m, _ := NewMatrix[float64](3, 3)
+			m := ck1(NewMatrix[float64](3, 3))
 			wantCode(t, m.SetElement(1, 3, 0), InvalidIndex)
 			wantCode(t, m.SetElement(1, 0, -1), InvalidIndex)
 			if err := m.SetElement(1.5, 1, 2); err != nil {
@@ -115,7 +115,7 @@ func TestSetGetRemoveElement(t *testing.T) {
 			if err != nil || !ok || v != 2.5 {
 				t.Fatalf("extract = %v,%v,%v", v, ok, err)
 			}
-			if _, ok, _ := m.ExtractElement(0, 0); ok {
+			if _, ok := ck2(m.ExtractElement(0, 0)); ok {
 				t.Fatal("phantom entry")
 			}
 			if _, _, err := m.ExtractElement(5, 0); Code(err) != InvalidIndex {
@@ -124,7 +124,7 @@ func TestSetGetRemoveElement(t *testing.T) {
 			if err := m.RemoveElement(1, 2); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok, _ := m.ExtractElement(1, 2); ok {
+			if _, ok := ck2(m.ExtractElement(1, 2)); ok {
 				t.Fatal("entry not removed")
 			}
 			// removing a missing entry is fine
@@ -146,10 +146,10 @@ func TestMatrixDupIndependent(t *testing.T) {
 	if err := m.SetElement(9, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ExtractElement(0, 1); v != 7 {
+	if v, _ := ck2(d.ExtractElement(0, 1)); v != 7 {
 		t.Fatalf("dup sees %d, want 7 (snapshot)", v)
 	}
-	if v, _, _ := m.ExtractElement(0, 1); v != 9 {
+	if v, _ := ck2(m.ExtractElement(0, 1)); v != 9 {
 		t.Fatalf("original = %d", v)
 	}
 }
@@ -160,9 +160,9 @@ func TestMatrixResize(t *testing.T) {
 	if err := m.Resize(2, 2); err != nil {
 		t.Fatal(err)
 	}
-	nr, _ := m.Nrows()
-	nc, _ := m.Ncols()
-	nv, _ := m.Nvals()
+	nr := ck1(m.Nrows())
+	nc := ck1(m.Ncols())
+	nv := ck1(m.Nvals())
 	if nr != 2 || nc != 2 || nv != 1 {
 		t.Fatalf("after shrink: %dx%d nvals=%d", nr, nc, nv)
 	}
@@ -186,8 +186,8 @@ func TestMatrixExtractTuplesOrder(t *testing.T) {
 
 func TestMatrixClearResetsError(t *testing.T) {
 	setMode(t, NonBlocking)
-	m, _ := NewMatrix[int](2, 2)
-	_ = m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil) // deferred dup error
+	m := ck1(NewMatrix[int](2, 2))
+	ck(m.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)) // deferred dup error
 	err := m.Wait(Materialize)
 	wantCode(t, err, InvalidValue)
 	if m.ErrorString() == "" {
@@ -228,22 +228,22 @@ func TestMatrixDiag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, _ := d.Nrows()
+	nr := ck1(d.Nrows())
 	if nr != 3 {
 		t.Fatalf("diag dim = %d", nr)
 	}
-	if x, ok, _ := d.ExtractElement(2, 2); !ok || x != 7 {
+	if x, ok := ck2(d.ExtractElement(2, 2)); !ok || x != 7 {
 		t.Fatalf("diag(2,2) = %d,%v", x, ok)
 	}
 	up, err := MatrixDiag(v, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, _ = up.Nrows()
+	nr = ck1(up.Nrows())
 	if nr != 5 {
 		t.Fatalf("superdiag dim = %d", nr)
 	}
-	if x, ok, _ := up.ExtractElement(0, 2); !ok || x != 5 {
+	if x, ok := ck2(up.ExtractElement(0, 2)); !ok || x != 5 {
 		t.Fatalf("superdiag(0,2) = %d,%v", x, ok)
 	}
 }
@@ -253,8 +253,8 @@ func TestVectorBasics(t *testing.T) {
 	if _, err := NewVector[int](0); Code(err) != InvalidValue {
 		t.Fatalf("zero size: %v", err)
 	}
-	v, _ := NewVector[int](5)
-	n, _ := v.Size()
+	v := ck1(NewVector[int](5))
+	n := ck1(v.Size())
 	if n != 5 {
 		t.Fatalf("size = %d", n)
 	}
@@ -262,14 +262,14 @@ func TestVectorBasics(t *testing.T) {
 	if err := v.SetElement(3, 2); err != nil {
 		t.Fatal(err)
 	}
-	x, ok, _ := v.ExtractElement(2)
+	x, ok := ck2(v.ExtractElement(2))
 	if !ok || x != 3 {
 		t.Fatalf("v(2)=%d,%v", x, ok)
 	}
 	if err := v.RemoveElement(2); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := v.ExtractElement(2); ok {
+	if _, ok := ck2(v.ExtractElement(2)); ok {
 		t.Fatal("not removed")
 	}
 	wantCode(t, v.Build([]Index{0}, []int{1, 2}, nil), InvalidValue)
@@ -278,17 +278,17 @@ func TestVectorBasics(t *testing.T) {
 	}
 	wantCode(t, v.Build([]Index{0}, []int{1}, nil), OutputNotEmpty)
 	vectorEquals(t, v, []Index{0, 1}, []int{20, 10})
-	d, _ := v.Dup()
-	_ = v.Clear()
-	nv, _ := v.Nvals()
-	dn, _ := d.Nvals()
+	d := ck1(v.Dup())
+	ck(v.Clear())
+	nv := ck1(v.Nvals())
+	dn := ck1(d.Nvals())
 	if nv != 0 || dn != 2 {
 		t.Fatalf("clear/dup: %d %d", nv, dn)
 	}
 	if err := v.Resize(2); err != nil {
 		t.Fatal(err)
 	}
-	n, _ = v.Size()
+	n = ck1(v.Size())
 	if n != 2 {
 		t.Fatalf("resized = %d", n)
 	}
@@ -302,8 +302,8 @@ func TestVectorBasics(t *testing.T) {
 
 func TestVectorBuildDupNil(t *testing.T) {
 	setMode(t, NonBlocking)
-	v, _ := NewVector[int](3)
-	_ = v.Build([]Index{1, 1}, []int{1, 2}, nil)
+	v := ck1(NewVector[int](3))
+	ck(v.Build([]Index{1, 1}, []int{1, 2}, nil))
 	wantCode(t, v.Wait(Materialize), InvalidValue)
 }
 
@@ -313,35 +313,35 @@ func TestVectorBuildDupNil(t *testing.T) {
 func TestScalarElementVariants(t *testing.T) {
 	setMode(t, Blocking)
 	m := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{7})
-	s, _ := NewScalar[int]()
+	s := ck1(NewScalar[int]())
 
 	// extract present entry -> full scalar
 	if err := m.ExtractElementScalar(s, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := s.ExtractElement(); !ok || v != 7 {
+	if v, ok := ck2(s.ExtractElement()); !ok || v != 7 {
 		t.Fatalf("scalar = %v,%v", v, ok)
 	}
 	// extract missing entry -> empty scalar (no NO_VALUE error, §VI)
 	if err := m.ExtractElementScalar(s, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if nv, _ := s.Nvals(); nv != 0 {
+	if nv := ck1(s.Nvals()); nv != 0 {
 		t.Fatal("scalar should be emptied")
 	}
 	// setElement from a full scalar
-	full, _ := ScalarOf(9)
+	full := ck1(ScalarOf(9))
 	if err := m.SetElementScalar(full, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := m.ExtractElement(1, 1); v != 9 {
+	if v, _ := ck2(m.ExtractElement(1, 1)); v != 9 {
 		t.Fatalf("m(1,1)=%d", v)
 	}
 	// setElement from an empty scalar removes
 	if err := m.SetElementScalar(s, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := m.ExtractElement(1, 1); ok {
+	if _, ok := ck2(m.ExtractElement(1, 1)); ok {
 		t.Fatal("empty-scalar set should remove")
 	}
 
@@ -350,20 +350,20 @@ func TestScalarElementVariants(t *testing.T) {
 	if err := v.ExtractElementScalar(s, 1); err != nil {
 		t.Fatal(err)
 	}
-	if x, ok, _ := s.ExtractElement(); !ok || x != 4 {
+	if x, ok := ck2(s.ExtractElement()); !ok || x != 4 {
 		t.Fatalf("vec scalar = %v,%v", x, ok)
 	}
 	if err := v.SetElementScalar(full, 0); err != nil {
 		t.Fatal(err)
 	}
-	if x, _, _ := v.ExtractElement(0); x != 9 {
+	if x, _ := ck2(v.ExtractElement(0)); x != 9 {
 		t.Fatalf("v(0)=%d", x)
 	}
-	empty, _ := NewScalar[int]()
+	empty := ck1(NewScalar[int]())
 	if err := v.SetElementScalar(empty, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := v.ExtractElement(0); ok {
+	if _, ok := ck2(v.ExtractElement(0)); ok {
 		t.Fatal("empty-scalar set should remove")
 	}
 }

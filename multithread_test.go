@@ -14,14 +14,14 @@ func TestFig1Protocol(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 4, 4,
 		[]Index{0, 1, 2, 3}, []Index{1, 2, 3, 0}, []int{1, 1, 1, 1}) // cyclic permutation
-	esh, _ := NewMatrix[int](4, 4)
+	esh := ck1(NewMatrix[int](4, 4))
 	var flag atomic.Int32
 	var hres *Matrix[int]
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { // thread 0
 		defer wg.Done()
-		c, _ := NewMatrix[int](4, 4)
+		c := ck1(NewMatrix[int](4, 4))
 		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 			t.Error(err)
 			flag.Store(1)
@@ -41,7 +41,7 @@ func TestFig1Protocol(t *testing.T) {
 		defer wg.Done()
 		for flag.Load() == 0 { // acquire
 		}
-		hres, _ = NewMatrix[int](4, 4)
+		hres = ck1(NewMatrix[int](4, 4))
 		if err := MxM(hres, nil, nil, PlusTimes[int](), a, esh, nil); err != nil {
 			t.Error(err)
 			return
@@ -53,11 +53,11 @@ func TestFig1Protocol(t *testing.T) {
 	wg.Wait()
 	// A is the cyclic shift; Esh = A³, Hres = A⁴ = I.
 	for i := 0; i < 4; i++ {
-		if v, ok, _ := hres.ExtractElement(i, i); !ok || v != 1 {
+		if v, ok := ck2(hres.ExtractElement(i, i)); !ok || v != 1 {
 			t.Fatalf("Hres(%d,%d) = %d,%v — shared read saw wrong data", i, i, v, ok)
 		}
 	}
-	nv, _ := hres.Nvals()
+	nv := ck1(hres.Nvals())
 	if nv != 4 {
 		t.Fatalf("Hres nvals = %d", nv)
 	}
@@ -87,7 +87,7 @@ func TestThreadSafetyIndependentObjects(t *testing.T) {
 					return
 				}
 			}
-			c, _ := NewMatrix[int](n, n)
+			c := ck1(NewMatrix[int](n, n))
 			if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 				errs <- err
 				return
@@ -96,7 +96,7 @@ func TestThreadSafetyIndependentObjects(t *testing.T) {
 				errs <- err
 				return
 			}
-			s, _ := NewScalar[int]()
+			s := ck1(NewScalar[int]())
 			if err := MatrixReduceToScalar(s, nil, PlusMonoid[int](), c, nil); err != nil {
 				errs <- err
 				return
@@ -126,11 +126,11 @@ func TestThreadSafetySharedInput(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			c, _ := NewMatrix[int](10, 10)
+			c := ck1(NewMatrix[int](10, 10))
 			if err := MatrixApply(c, nil, nil, func(x int) int { return x * 2 }, a, nil); err != nil {
 				return
 			}
-			s, _ := MatrixReduce(PlusMonoid[int](), c)
+			s := ck1(MatrixReduce(PlusMonoid[int](), c))
 			sums[w] = s
 		}(w)
 	}
@@ -148,7 +148,7 @@ func TestThreadSafetySharedInput(t *testing.T) {
 func TestNonblockingDeferredThenRead(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{2, 3})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestNonblockingDeferredThenRead(t *testing.T) {
 	if err != nil || nv != 2 {
 		t.Fatalf("nvals = %d, %v", nv, err)
 	}
-	if v, _, _ := c.ExtractElement(1, 1); v != 9 {
+	if v, _ := ck2(c.ExtractElement(1, 1)); v != 9 {
 		t.Fatalf("c(1,1) = %d", v)
 	}
 }
@@ -168,7 +168,7 @@ func TestNonblockingDeferredThenRead(t *testing.T) {
 func TestSequenceSnapshotSemantics(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1}) // I
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ func TestChainedDeferredOperations(t *testing.T) {
 	setMode(t, NonBlocking)
 	// A is the 3-cycle shift; A³ = I.
 	a := mustMatrix(t, 3, 3, []Index{0, 1, 2}, []Index{1, 2, 0}, []int{1, 1, 1})
-	c, _ := NewMatrix[int](3, 3)
+	c := ck1(NewMatrix[int](3, 3))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestChainedDeferredOperations(t *testing.T) {
 func TestSetElementThenOperationOrder(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	// setElement before the op: the op (with accumulate) must see it.
 	if err := c.SetElement(100, 0, 0); err != nil {
 		t.Fatal(err)
@@ -42,7 +42,7 @@ func TestSetElementThenOperationOrder(t *testing.T) {
 func TestRemoveAfterDeferredOp(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{2, 3})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestRemoveAfterDeferredOp(t *testing.T) {
 func TestDupForcesCompletion(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0}, []Index{1}, []int{5})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := Transpose(c, nil, nil, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestEveryReadForcesSequence(t *testing.T) {
 	setMode(t, NonBlocking)
 	build := func() *Matrix[int] {
 		a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{1, 2})
-		c, _ := NewMatrix[int](2, 2)
+		c := ck1(NewMatrix[int](2, 2))
 		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 			t.Fatal(err)
 		}
@@ -78,17 +78,17 @@ func TestEveryReadForcesSequence(t *testing.T) {
 	}
 	// Nvals
 	c := build()
-	if nv, _ := c.Nvals(); nv != 2 {
+	if nv := ck1(c.Nvals()); nv != 2 {
 		t.Fatalf("Nvals = %d", nv)
 	}
 	// ExtractElement
 	c = build()
-	if v, _, _ := c.ExtractElement(0, 0); v != 2 {
+	if v, _ := ck2(c.ExtractElement(0, 0)); v != 2 {
 		t.Fatalf("extract = %d", v)
 	}
 	// ExtractTuples
 	c = build()
-	_, _, X, _ := c.ExtractTuples()
+	_, _, X := ck3(c.ExtractTuples())
 	if len(X) != 2 || X[0] != 2 {
 		t.Fatalf("tuples = %v", X)
 	}
@@ -104,17 +104,17 @@ func TestEveryReadForcesSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, _ := MatrixDeserialize[int](blob)
-	if v, _, _ := back.ExtractElement(0, 0); v != 2 {
+	back := ck1(MatrixDeserialize[int](blob))
+	if v, _ := ck2(back.ExtractElement(0, 0)); v != 2 {
 		t.Fatalf("serialized = %d", v)
 	}
 	// use as input of another operation
 	c = build()
-	d, _ := NewMatrix[int](2, 2)
+	d := ck1(NewMatrix[int](2, 2))
 	if err := MatrixApply(d, nil, nil, Identity[int], c, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := d.ExtractElement(0, 0); v != 2 {
+	if v, _ := ck2(d.ExtractElement(0, 0)); v != 2 {
 		t.Fatalf("apply of pending input = %d", v)
 	}
 }
@@ -135,14 +135,14 @@ func TestVectorDeferredPipeline(t *testing.T) {
 func TestClearDiscardsPendingWork(t *testing.T) {
 	setMode(t, NonBlocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Clear(); err != nil {
 		t.Fatal(err)
 	}
-	nv, _ := c.Nvals()
+	nv := ck1(c.Nvals())
 	if nv != 0 {
 		t.Fatalf("pending op survived Clear: nvals=%d", nv)
 	}
@@ -151,7 +151,7 @@ func TestClearDiscardsPendingWork(t *testing.T) {
 func TestBlockingModeIsEager(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 1})
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -168,8 +168,8 @@ func TestBlockingModeIsEager(t *testing.T) {
 // been freed is an UninitializedObject error.
 func TestFreedContextBlocksOperations(t *testing.T) {
 	setMode(t, NonBlocking)
-	ctx, _ := NewContext(NonBlocking, nil, WithThreads(1))
-	a, _ := NewMatrix[int](2, 2, InContext(ctx))
+	ctx := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	a := ck1(NewMatrix[int](2, 2, InContext(ctx)))
 	if err := a.SetElement(1, 0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -179,18 +179,18 @@ func TestFreedContextBlocksOperations(t *testing.T) {
 	if _, err := a.Nvals(); Code(err) != UninitializedObject {
 		t.Fatalf("op in freed context: %v", err)
 	}
-	c, _ := NewMatrix[int](2, 2)
+	c := ck1(NewMatrix[int](2, 2))
 	wantCode(t, MxM(c, nil, nil, PlusTimes[int](), a, a, nil), UninitializedObject)
 }
 
 // TestFinalizeInvalidatesObjects: after Finalize, every method reports
 // UninitializedObject (the library context is gone).
 func TestFinalizeInvalidatesObjects(t *testing.T) {
-	_ = Finalize()
+	_ = Finalize() //grblint:ignore infocheck -- reset idiom: "not initialized" is expected
 	if err := Init(NonBlocking); err != nil {
 		t.Fatal(err)
 	}
-	m, _ := NewMatrix[int](2, 2)
+	m := ck1(NewMatrix[int](2, 2))
 	if err := Finalize(); err != nil {
 		t.Fatal(err)
 	}
@@ -198,6 +198,6 @@ func TestFinalizeInvalidatesObjects(t *testing.T) {
 		t.Fatalf("after Finalize: %v", err)
 	}
 	// restore for subsequent tests
-	_ = Init(NonBlocking)
-	t.Cleanup(func() { _ = Finalize() })
+	_ = Init(NonBlocking)                //grblint:ignore infocheck -- best-effort restore for later tests
+	t.Cleanup(func() { _ = Finalize() }) //grblint:ignore infocheck -- best-effort teardown
 }

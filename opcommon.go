@@ -89,6 +89,7 @@ func chooseDir(dir Direction, nnzU, inDim int, mk sparse.VMask, outDim int) bool
 		return true
 	case DirPull:
 		return false
+	case DirAuto:
 	}
 	return sparse.ChoosePush(nnzU, inDim, mk, outDim)
 }

@@ -152,12 +152,12 @@ func TestMonoidConstructors(t *testing.T) {
 		t.Fatalf("nil op: %v", err)
 	}
 	// GrB_Scalar identity variant (Table II).
-	s, _ := ScalarOf(1)
+	s := ck1(ScalarOf(1))
 	m2, err := NewMonoidScalar(Times[int], s)
 	if err != nil || m2.Identity != 1 {
 		t.Fatalf("NewMonoidScalar: %v", err)
 	}
-	empty, _ := NewScalar[int]()
+	empty := ck1(NewScalar[int]())
 	if _, err := NewMonoidScalar(Times[int], empty); Code(err) != EmptyObject {
 		t.Fatalf("empty identity: %v", err)
 	}

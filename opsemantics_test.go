@@ -236,7 +236,7 @@ func TestMxMTransposes(t *testing.T) {
 	// C = Aᵀ B : 7x6
 	a := ad.toMatrix(t)
 	b := bd.toMatrix(t)
-	c, _ := NewMatrix[int](7, 6)
+	c := ck1(NewMatrix[int](7, 6))
 	if err := MxM(c, nil, nil, PlusTimes[int](), a, b, DescT0); err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestMxMTransposes(t *testing.T) {
 	// C = A Bᵀ with A 5x7 needs B 6x7: reuse bd transposed shape
 	b2d := randDense(rng, 6, 7, 0.4)
 	b2 := b2d.toMatrix(t)
-	c2, _ := NewMatrix[int](5, 6)
+	c2 := ck1(NewMatrix[int](5, 6))
 	if err := MxM(c2, nil, nil, PlusTimes[int](), a, b2, DescT1); err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestMxMDimensionErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Mask shape must match the output.
-	badMask, _ := NewMatrix[bool](3, 2)
+	badMask := ck1(NewMatrix[bool](3, 2))
 	wantCode(t, MxM(c22, badMask, nil, PlusTimes[int](), a, b, DescT1), DimensionMismatch)
 	// Nil semiring operators.
 	wantCode(t, MxM(c22, nil, nil, Semiring[int, int, int]{}, a, b, DescT1), NullPointer)
@@ -320,16 +320,16 @@ func TestVxMEquivalences(t *testing.T) {
 			}
 		}
 		u := mustVector(t, m, ui, ux)
-		w1, _ := NewVector[int](n)
+		w1 := ck1(NewVector[int](n))
 		if err := VxM(w1, nil, nil, PlusTimes[int](), u, a, nil); err != nil {
 			t.Fatal(err)
 		}
-		w2, _ := NewVector[int](n)
+		w2 := ck1(NewVector[int](n))
 		if err := MxV(w2, nil, nil, PlusTimes[int](), a, u, DescT0); err != nil {
 			t.Fatal(err)
 		}
-		i1, x1, _ := w1.ExtractTuples()
-		i2, x2, _ := w2.ExtractTuples()
+		i1, x1 := ck2(w1.ExtractTuples())
+		i2, x2 := ck2(w2.ExtractTuples())
 		if len(i1) != len(i2) {
 			t.Fatalf("vxm/mxv sizes differ: %d %d", len(i1), len(i2))
 		}
@@ -340,16 +340,16 @@ func TestVxMEquivalences(t *testing.T) {
 		}
 		// vxm with T1 equals mxv untransposed (square only).
 		if m == n {
-			w3, _ := NewVector[int](m)
+			w3 := ck1(NewVector[int](m))
 			if err := VxM(w3, nil, nil, PlusTimes[int](), u, a, DescT1); err != nil {
 				t.Fatal(err)
 			}
-			w4, _ := NewVector[int](m)
+			w4 := ck1(NewVector[int](m))
 			if err := MxV(w4, nil, nil, PlusTimes[int](), a, u, nil); err != nil {
 				t.Fatal(err)
 			}
-			i3, x3, _ := w3.ExtractTuples()
-			i4, x4, _ := w4.ExtractTuples()
+			i3, x3 := ck2(w3.ExtractTuples())
+			i4, x4 := ck2(w4.ExtractTuples())
 			if len(i3) != len(i4) {
 				t.Fatal("vxm T1 != mxv")
 			}

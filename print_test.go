@@ -38,9 +38,9 @@ func TestMatrixString(t *testing.T) {
 		t.Fatal("uninit string")
 	}
 	// errored object renders the error, does not panic
-	bad, _ := NewMatrix[int](2, 2)
-	_ = bad.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil)
-	_ = bad.Wait(Complete)
+	bad := ck1(NewMatrix[int](2, 2))
+	ck(bad.Build([]Index{0, 0}, []Index{0, 0}, []int{1, 2}, nil))
+	ck(bad.Wait(Complete))
 	if !strings.Contains(bad.String(), "GrB_INVALID_VALUE") {
 		t.Fatalf("error not rendered: %q", bad.String())
 	}
@@ -57,11 +57,11 @@ func TestVectorAndScalarString(t *testing.T) {
 	if nilV.String() != "Vector(nil)" {
 		t.Fatal("nil vector string")
 	}
-	sc, _ := ScalarOf(42)
+	sc := ck1(ScalarOf(42))
 	if sc.String() != "Scalar(42)" {
 		t.Fatalf("scalar string: %q", sc.String())
 	}
-	_ = sc.Clear()
+	ck(sc.Clear())
 	if sc.String() != "Scalar(empty)" {
 		t.Fatalf("empty scalar string: %q", sc.String())
 	}

@@ -23,16 +23,16 @@ func TestPropTransposeInvolution(t *testing.T) {
 		rows := 1 + rng.Intn(12)
 		cols := 1 + rng.Intn(12)
 		a, _ := genMatrixForProps(t, rng, rows, cols)
-		at, _ := NewMatrix[int](cols, rows)
+		at := ck1(NewMatrix[int](cols, rows))
 		if err := Transpose(at, nil, nil, a, nil); err != nil {
 			return false
 		}
-		att, _ := NewMatrix[int](rows, cols)
+		att := ck1(NewMatrix[int](rows, cols))
 		if err := Transpose(att, nil, nil, at, nil); err != nil {
 			return false
 		}
-		ai, aj, ax, _ := a.ExtractTuples()
-		bi, bj, bx, _ := att.ExtractTuples()
+		ai, aj, ax := ck3(a.ExtractTuples())
+		bi, bj, bx := ck3(att.ExtractTuples())
 		if len(ai) != len(bi) {
 			return false
 		}
@@ -62,17 +62,17 @@ func TestPropMxMIdentity(t *testing.T) {
 			xx = append(xx, 1)
 		}
 		ident := mustMatrix(t, n, n, ii, ii, xx)
-		left, _ := NewMatrix[int](n, n)
-		right, _ := NewMatrix[int](n, n)
+		left := ck1(NewMatrix[int](n, n))
+		right := ck1(NewMatrix[int](n, n))
 		if err := MxM(left, nil, nil, PlusTimes[int](), ident, a, nil); err != nil {
 			return false
 		}
 		if err := MxM(right, nil, nil, PlusTimes[int](), a, ident, nil); err != nil {
 			return false
 		}
-		ai, aj, ax, _ := a.ExtractTuples()
+		ai, aj, ax := ck3(a.ExtractTuples())
 		for _, m := range []*Matrix[int]{left, right} {
-			bi, bj, bx, _ := m.ExtractTuples()
+			bi, bj, bx := ck3(m.ExtractTuples())
 			if len(ai) != len(bi) {
 				return false
 			}
@@ -101,9 +101,9 @@ func TestPropMaskComplementPartition(t *testing.T) {
 		b, _ := genMatrixForProps(t, rng, n, n)
 		maskVal, maskOk := randDenseBool(rng, n, n, 0.5)
 		mask := boolMatrix(t, maskVal, maskOk)
-		full, _ := NewMatrix[int](n, n)
-		pos, _ := NewMatrix[int](n, n)
-		neg, _ := NewMatrix[int](n, n)
+		full := ck1(NewMatrix[int](n, n))
+		pos := ck1(NewMatrix[int](n, n))
+		neg := ck1(NewMatrix[int](n, n))
 		if err := EWiseAddMatrix(full, nil, nil, Plus[int], a, b, nil); err != nil {
 			return false
 		}
@@ -113,17 +113,17 @@ func TestPropMaskComplementPartition(t *testing.T) {
 		if err := EWiseAddMatrix(neg, mask, nil, Plus[int], a, b, DescRSC); err != nil {
 			return false
 		}
-		fn, _ := full.Nvals()
-		pn, _ := pos.Nvals()
-		nn, _ := neg.Nvals()
+		fn := ck1(full.Nvals())
+		pn := ck1(pos.Nvals())
+		nn := ck1(neg.Nvals())
 		if pn+nn != fn {
 			return false
 		}
 		// every full entry appears in exactly one side with the same value
-		fi, fj, fx, _ := full.ExtractTuples()
+		fi, fj, fx := ck3(full.ExtractTuples())
 		for k := range fi {
-			pv, pok, _ := pos.ExtractElement(fi[k], fj[k])
-			nv, nok, _ := neg.ExtractElement(fi[k], fj[k])
+			pv, pok := ck2(pos.ExtractElement(fi[k], fj[k]))
+			nv, nok := ck2(neg.ExtractElement(fi[k], fj[k]))
 			if pok == nok {
 				return false
 			}
@@ -147,17 +147,17 @@ func TestPropSelectPartition(t *testing.T) {
 		cols := 1 + rng.Intn(12)
 		a, _ := genMatrixForProps(t, rng, rows, cols)
 		s := int(sRaw) % (cols + 1)
-		lo, _ := NewMatrix[int](rows, cols)
-		hi, _ := NewMatrix[int](rows, cols)
+		lo := ck1(NewMatrix[int](rows, cols))
+		hi := ck1(NewMatrix[int](rows, cols))
 		if err := MatrixSelect(lo, nil, nil, TriL[int], a, s, nil); err != nil {
 			return false
 		}
 		if err := MatrixSelect(hi, nil, nil, TriU[int], a, s+1, nil); err != nil {
 			return false
 		}
-		an, _ := a.Nvals()
-		ln, _ := lo.Nvals()
-		hn, _ := hi.Nvals()
+		an := ck1(a.Nvals())
+		ln := ck1(lo.Nvals())
+		hn := ck1(hi.Nvals())
 		return ln+hn == an
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -177,13 +177,13 @@ func TestPropBuildExtractRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		b, _ := NewMatrix[int](rows, cols)
+		b := ck1(NewMatrix[int](rows, cols))
 		if len(I) > 0 {
 			if err := b.Build(I, J, X, nil); err != nil {
 				return false
 			}
 		}
-		bi, bj, bx, _ := b.ExtractTuples()
+		bi, bj, bx := ck3(b.ExtractTuples())
 		if len(bi) != len(I) {
 			return false
 		}
@@ -208,16 +208,16 @@ func TestPropEWiseAddCommutative(t *testing.T) {
 		cols := 1 + rng.Intn(10)
 		a, _ := genMatrixForProps(t, rng, rows, cols)
 		b, _ := genMatrixForProps(t, rng, rows, cols)
-		ab, _ := NewMatrix[int](rows, cols)
-		ba, _ := NewMatrix[int](rows, cols)
+		ab := ck1(NewMatrix[int](rows, cols))
+		ba := ck1(NewMatrix[int](rows, cols))
 		if err := EWiseAddMatrix(ab, nil, nil, Plus[int], a, b, nil); err != nil {
 			return false
 		}
 		if err := EWiseAddMatrix(ba, nil, nil, Plus[int], b, a, nil); err != nil {
 			return false
 		}
-		ai, aj, ax, _ := ab.ExtractTuples()
-		bi, bj, bx, _ := ba.ExtractTuples()
+		ai, aj, ax := ck3(ab.ExtractTuples())
+		bi, bj, bx := ck3(ba.ExtractTuples())
 		if len(ai) != len(bi) {
 			return false
 		}
@@ -240,7 +240,7 @@ func TestPropReduceAgreesWithTupleSum(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		a, _ := genMatrixForProps(t, rng, 1+rng.Intn(15), 1+rng.Intn(15))
-		_, _, X, _ := a.ExtractTuples()
+		_, _, X := ck3(a.ExtractTuples())
 		want := 0
 		for _, x := range X {
 			want += x
@@ -264,16 +264,16 @@ func TestPropExtractAssignInverse(t *testing.T) {
 		k := 1 + rng.Intn(n)
 		rows := rand.New(rand.NewSource(seed + 1)).Perm(n)[:k]
 		cols := rand.New(rand.NewSource(seed + 2)).Perm(n)[:k]
-		sub, _ := NewMatrix[int](k, k)
+		sub := ck1(NewMatrix[int](k, k))
 		if err := MatrixExtract(sub, nil, nil, a, rows, cols, nil); err != nil {
 			return false
 		}
-		back, _ := a.Dup()
+		back := ck1(a.Dup())
 		if err := MatrixAssign(back, nil, nil, sub, rows, cols, nil); err != nil {
 			return false
 		}
-		ai, aj, ax, _ := a.ExtractTuples()
-		bi, bj, bx, _ := back.ExtractTuples()
+		ai, aj, ax := ck3(a.ExtractTuples())
+		bi, bj, bx := ck3(back.ExtractTuples())
 		if len(ai) != len(bi) {
 			return false
 		}
@@ -297,7 +297,7 @@ func TestPropSerializeAfterOps(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(8)
 		a, _ := genMatrixForProps(t, rng, n, n)
-		c, _ := NewMatrix[int](n, n)
+		c := ck1(NewMatrix[int](n, n))
 		if err := MxM(c, nil, nil, PlusTimes[int](), a, a, nil); err != nil {
 			return false
 		}
@@ -309,8 +309,8 @@ func TestPropSerializeAfterOps(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ci, cj, cx, _ := c.ExtractTuples()
-		bi, bj, bx, _ := back.ExtractTuples()
+		ci, cj, cx := ck3(c.ExtractTuples())
+		bi, bj, bx := ck3(back.ExtractTuples())
 		if len(ci) != len(bi) {
 			return false
 		}

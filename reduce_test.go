@@ -6,20 +6,20 @@ func TestMatrixReduceToVector(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 3, 3,
 		[]Index{0, 0, 2}, []Index{0, 2, 1}, []int{1, 2, 5})
-	w, _ := NewVector[int](3)
+	w := ck1(NewVector[int](3))
 	if err := MatrixReduceToVector(w, nil, nil, PlusMonoid[int](), a, nil); err != nil {
 		t.Fatal(err)
 	}
 	// row sums: row 0 -> 3, row 1 -> no entry, row 2 -> 5
 	vectorEquals(t, w, []Index{0, 2}, []int{3, 5})
 	// column reduce via Transpose0
-	wc, _ := NewVector[int](3)
+	wc := ck1(NewVector[int](3))
 	if err := MatrixReduceToVector(wc, nil, nil, PlusMonoid[int](), a, DescT0); err != nil {
 		t.Fatal(err)
 	}
 	vectorEquals(t, wc, []Index{0, 1, 2}, []int{1, 5, 2})
 	// min monoid row reduce
-	wm, _ := NewVector[int](3)
+	wm := ck1(NewVector[int](3))
 	if err := MatrixReduceToVector(wm, nil, nil, MinMonoid[int](), a, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestMatrixReduceToVector(t *testing.T) {
 	// z = {0:13, 1:20, 2:5}; mask admits only 0; merge keeps w2(1)=20
 	vectorEquals(t, w2, []Index{0, 1}, []int{13, 20})
 	// wrong output size
-	bad, _ := NewVector[int](2)
+	bad := ck1(NewVector[int](2))
 	wantCode(t, MatrixReduceToVector(bad, nil, nil, PlusMonoid[int](), a, nil), DimensionMismatch)
 	wantCode(t, MatrixReduceToVector(w, nil, nil, Monoid[int]{}, a, nil), NullPointer)
 }
@@ -43,20 +43,20 @@ func TestMatrixReduceToVector(t *testing.T) {
 // whereas the 1.X typed reduce yields the monoid identity.
 func TestTableII_ReduceScalarSemantics(t *testing.T) {
 	setMode(t, Blocking)
-	empty, _ := NewMatrix[int](3, 3)
-	s, _ := ScalarOf(777) // pre-existing value must be overwritten/cleared
+	empty := ck1(NewMatrix[int](3, 3))
+	s := ck1(ScalarOf(777)) // pre-existing value must be overwritten/cleared
 
 	if err := MatrixReduceToScalar(s, nil, PlusMonoid[int](), empty, nil); err != nil {
 		t.Fatal(err)
 	}
-	if nv, _ := s.Nvals(); nv != 0 {
+	if nv := ck1(s.Nvals()); nv != 0 {
 		t.Fatalf("reduce(empty) scalar nvals = %d, want 0", nv)
 	}
 	old, err := MatrixReduce(PlusMonoid[int](), empty)
 	if err != nil || old != 0 {
 		t.Fatalf("1.X reduce(empty) = %d, %v (want identity 0)", old, err)
 	}
-	oldMin, _ := MatrixReduce(MinMonoid[int](), empty)
+	oldMin := ck1(MatrixReduce(MinMonoid[int](), empty))
 	if oldMin != MinMonoid[int]().Identity {
 		t.Fatalf("1.X min reduce(empty) = %d", oldMin)
 	}
@@ -66,7 +66,7 @@ func TestTableII_ReduceScalarSemantics(t *testing.T) {
 	if err := MatrixReduceToScalar(s, nil, PlusMonoid[int](), a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := s.ExtractElement(); !ok || v != 10 {
+	if v, ok := ck2(s.ExtractElement()); !ok || v != 10 {
 		t.Fatalf("reduce = %v,%v", v, ok)
 	}
 
@@ -74,22 +74,22 @@ func TestTableII_ReduceScalarSemantics(t *testing.T) {
 	if err := MatrixReduceToScalar(s, Plus[int], PlusMonoid[int](), a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.ExtractElement(); v != 20 {
+	if v, _ := ck2(s.ExtractElement()); v != 20 {
 		t.Fatalf("accum reduce = %v", v)
 	}
 	// empty reduction with accum leaves s unchanged
 	if err := MatrixReduceToScalar(s, Plus[int], PlusMonoid[int](), empty, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.ExtractElement(); v != 20 {
+	if v, _ := ck2(s.ExtractElement()); v != 20 {
 		t.Fatalf("empty accum reduce changed s: %v", v)
 	}
 	// empty s with accum takes t
-	s2, _ := NewScalar[int]()
+	s2 := ck1(NewScalar[int]())
 	if err := MatrixReduceToScalar(s2, Plus[int], PlusMonoid[int](), a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s2.ExtractElement(); v != 10 {
+	if v, _ := ck2(s2.ExtractElement()); v != 10 {
 		t.Fatalf("empty-s accum reduce = %v", v)
 	}
 }
@@ -99,25 +99,25 @@ func TestTableII_ReduceScalarSemantics(t *testing.T) {
 func TestTableII_ReduceBinaryOp(t *testing.T) {
 	setMode(t, Blocking)
 	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{3, 9})
-	s, _ := NewScalar[int]()
+	s := ck1(NewScalar[int]())
 	if err := MatrixReduceToScalarBinaryOp(s, nil, Max[int], a, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.ExtractElement(); v != 9 {
+	if v, _ := ck2(s.ExtractElement()); v != 9 {
 		t.Fatalf("binop reduce = %v", v)
 	}
-	empty, _ := NewMatrix[int](2, 2)
+	empty := ck1(NewMatrix[int](2, 2))
 	if err := MatrixReduceToScalarBinaryOp(s, nil, Max[int], empty, nil); err != nil {
 		t.Fatal(err)
 	}
-	if nv, _ := s.Nvals(); nv != 0 {
+	if nv := ck1(s.Nvals()); nv != 0 {
 		t.Fatal("binop reduce of empty should clear")
 	}
 	u := mustVector(t, 4, []Index{1, 3}, []int{5, 2})
 	if err := VectorReduceToScalarBinaryOp(s, nil, Min[int], u, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.ExtractElement(); v != 2 {
+	if v, _ := ck2(s.ExtractElement()); v != 2 {
 		t.Fatalf("vector binop reduce = %v", v)
 	}
 	wantCode(t, MatrixReduceToScalarBinaryOp(s, nil, nil, a, nil), NullPointer)
@@ -127,25 +127,25 @@ func TestTableII_ReduceBinaryOp(t *testing.T) {
 func TestVectorReduceVariants(t *testing.T) {
 	setMode(t, Blocking)
 	u := mustVector(t, 5, []Index{0, 2, 4}, []int{1, 2, 4})
-	s, _ := NewScalar[int]()
+	s := ck1(NewScalar[int]())
 	if err := VectorReduceToScalar(s, nil, PlusMonoid[int](), u, nil); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.ExtractElement(); v != 7 {
+	if v, _ := ck2(s.ExtractElement()); v != 7 {
 		t.Fatalf("reduce = %v", v)
 	}
-	ev, _ := NewVector[int](3)
+	ev := ck1(NewVector[int](3))
 	if err := VectorReduceToScalar(s, nil, PlusMonoid[int](), ev, nil); err != nil {
 		t.Fatal(err)
 	}
-	if nv, _ := s.Nvals(); nv != 0 {
+	if nv := ck1(s.Nvals()); nv != 0 {
 		t.Fatal("empty vector reduce should clear")
 	}
 	x, err := VectorReduce(PlusMonoid[int](), u)
 	if err != nil || x != 7 {
 		t.Fatalf("typed reduce = %v, %v", x, err)
 	}
-	xe, _ := VectorReduce(TimesMonoid[int](), ev)
+	xe := ck1(VectorReduce(TimesMonoid[int](), ev))
 	if xe != 1 {
 		t.Fatalf("typed reduce empty = %v, want identity 1", xe)
 	}

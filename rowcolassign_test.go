@@ -9,7 +9,7 @@ func TestRowAssign(t *testing.T) {
 	u := mustVector(t, 4, []Index{0, 2}, []int{10, 30})
 
 	// pure row assignment replaces the whole row's region
-	c1, _ := c.Dup()
+	c1 := ck1(c.Dup())
 	if err := RowAssign(c1, nil, nil, u, 1, All, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +17,7 @@ func TestRowAssign(t *testing.T) {
 		[]Index{0, 1, 1, 2}, []Index{0, 0, 2, 2}, []int{1, 10, 30, 4})
 
 	// partial columns with accumulation
-	c2, _ := c.Dup()
+	c2 := ck1(c.Dup())
 	u2 := mustVector(t, 2, []Index{0, 1}, []int{100, 200})
 	if err := RowAssign(c2, nil, Plus[int], u2, 1, []Index{1, 3}, nil); err != nil {
 		t.Fatal(err)
@@ -26,7 +26,7 @@ func TestRowAssign(t *testing.T) {
 		[]Index{0, 1, 1, 2}, []Index{0, 1, 3, 2}, []int{1, 102, 203, 4})
 
 	// masked row assign (mask over the row)
-	c3, _ := c.Dup()
+	c3 := ck1(c.Dup())
 	mask := mustVector(t, 4, []Index{0}, []bool{true})
 	if err := RowAssign(c3, mask, nil, u, 1, All, DescS); err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestColAssign(t *testing.T) {
 		[]Index{0, 1, 3, 2}, []Index{0, 1, 1, 2}, []int{1, 2, 4, 3})
 	u := mustVector(t, 4, []Index{1, 2}, []int{20, 30})
 
-	c1, _ := c.Dup()
+	c1 := ck1(c.Dup())
 	if err := ColAssign(c1, nil, nil, u, All, 1, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestColAssign(t *testing.T) {
 		[]Index{0, 1, 2, 2}, []Index{0, 1, 1, 2}, []int{1, 20, 30, 3})
 
 	// partial rows with accum
-	c2, _ := c.Dup()
+	c2 := ck1(c.Dup())
 	u2 := mustVector(t, 2, []Index{0, 1}, []int{5, 7})
 	if err := ColAssign(c2, nil, Plus[int], u2, []Index{1, 3}, 1, nil); err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestColAssign(t *testing.T) {
 		[]Index{0, 1, 2, 3}, []Index{0, 1, 2, 1}, []int{1, 7, 3, 11})
 
 	// masked with replace: mask over the column
-	c3, _ := c.Dup()
+	c3 := ck1(c.Dup())
 	mask := mustVector(t, 4, []Index{1}, []bool{true})
 	if err := ColAssign(c3, mask, nil, u, All, 1, DescRS); err != nil {
 		t.Fatal(err)
@@ -86,23 +86,23 @@ func TestRowColAssignConsistency(t *testing.T) {
 		[]Index{0, 1, 2}, []Index{1, 2, 0}, []int{1, 2, 3})
 	u := mustVector(t, 3, []Index{0, 2}, []int{9, 8})
 
-	viaCol, _ := c.Dup()
+	viaCol := ck1(c.Dup())
 	if err := ColAssign(viaCol, nil, nil, u, All, 2, nil); err != nil {
 		t.Fatal(err)
 	}
-	ct, _ := NewMatrix[int](3, 3)
+	ct := ck1(NewMatrix[int](3, 3))
 	if err := Transpose(ct, nil, nil, c, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := RowAssign(ct, nil, nil, u, 2, All, nil); err != nil {
 		t.Fatal(err)
 	}
-	back, _ := NewMatrix[int](3, 3)
+	back := ck1(NewMatrix[int](3, 3))
 	if err := Transpose(back, nil, nil, ct, nil); err != nil {
 		t.Fatal(err)
 	}
-	ai, aj, ax, _ := viaCol.ExtractTuples()
-	bi, bj, bx, _ := back.ExtractTuples()
+	ai, aj, ax := ck3(viaCol.ExtractTuples())
+	bi, bj, bx := ck3(back.ExtractTuples())
 	if len(ai) != len(bi) {
 		t.Fatalf("nvals %d vs %d", len(ai), len(bi))
 	}

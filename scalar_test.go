@@ -28,7 +28,7 @@ func TestTableI_ScalarMethods(t *testing.T) {
 	if err != nil || !ok || v != 2.5 {
 		t.Fatalf("extract = %v,%v,%v", v, ok, err)
 	}
-	nv, _ = s.Nvals()
+	nv = ck1(s.Nvals())
 	if nv != 1 {
 		t.Fatalf("nvals = %d, want 1", nv)
 	}
@@ -41,7 +41,7 @@ func TestTableI_ScalarMethods(t *testing.T) {
 	if err := s.SetElement(9); err != nil {
 		t.Fatal(err)
 	}
-	dv, dok, _ := d.ExtractElement()
+	dv, dok := ck2(d.ExtractElement())
 	if !dok || dv != 2.5 {
 		t.Fatalf("dup sees %v,%v (should be snapshot)", dv, dok)
 	}
@@ -50,7 +50,7 @@ func TestTableI_ScalarMethods(t *testing.T) {
 	if err := s.Clear(); err != nil {
 		t.Fatal(err)
 	}
-	nv, _ = s.Nvals()
+	nv = ck1(s.Nvals())
 	if nv != 0 {
 		t.Fatalf("after clear nvals = %d", nv)
 	}
@@ -62,7 +62,7 @@ func TestScalarOfAndWaitAndFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := s.ExtractElement(); !ok || v != 42 {
+	if v, ok := ck2(s.ExtractElement()); !ok || v != 42 {
 		t.Fatalf("ScalarOf = %v,%v", v, ok)
 	}
 	if err := s.Wait(Complete); err != nil {
@@ -111,7 +111,7 @@ func TestScalarUserDefinedDomain(t *testing.T) {
 	if err := s.SetElement(pt{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := s.ExtractElement()
+	v, ok := ck2(s.ExtractElement())
 	if !ok || v != (pt{1, 2}) {
 		t.Fatalf("user-defined domain: %v,%v", v, ok)
 	}

@@ -8,11 +8,21 @@
 #
 # with scale defaulting to 14 (the grbbench default; RMAT has 2^scale
 # vertices).
+#
+# The baseline is only meaningful for a tree that passes the static-analysis
+# gate — a discarded error can silently skip the very work being measured —
+# so grblint runs first and a dirty tree refuses to emit the JSON.
 set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-14}"
 OUT="BENCH_2.json"
+
+echo "== lint gate: grblint must be clean before measuring =="
+if ! make lint; then
+    echo "bench_baseline: grblint reported diagnostics; fix them before recording a baseline" >&2
+    exit 1
+fi
 
 echo "== traversal baseline: scale $SCALE -> $OUT =="
 go run ./cmd/grbbench -run traversal -scale "$SCALE" -json "$OUT"

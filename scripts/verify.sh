@@ -1,7 +1,9 @@
 #!/bin/sh
-# Repo verification: tier-1 (build + full test suite) followed by the race
-# tier (concurrency-sensitive suites under -race). Equivalent to
-# `make verify`; kept as a script so CI hooks without make can run it.
+# Repo verification: tier-1 (build + full test suite), the race tier
+# (concurrency-sensitive suites under -race), the static-analysis tier
+# (grblint must report zero diagnostics), and the invariant tier (the race
+# suites again with the grbcheck runtime validators compiled in). Equivalent
+# to `make verify`; kept as a script so CI hooks without make can run it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,5 +13,11 @@ go test ./...
 
 echo "== race tier: multithread / nonblocking / differential suites =="
 go test -race . ./internal/sparse ./internal/parallel
+
+echo "== lint tier: grblint (infocheck, snapshotcheck, lockcheck, enumcheck) =="
+go run ./cmd/grblint ./...
+
+echo "== invariant tier: grbcheck runtime validators under -race =="
+go test -tags grbcheck -race . ./internal/sparse
 
 echo "verify: OK"

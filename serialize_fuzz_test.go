@@ -63,7 +63,7 @@ func TestVectorDeserializeNeverPanicsOnTruncation(t *testing.T) {
 			back, err := VectorDeserialize[int64](blob[:cut])
 			if cut < len(blob) && err == nil {
 				// a strict prefix that still decodes must decode correctly
-				if nv, _ := back.Nvals(); nv != 3 {
+				if nv := ck1(back.Nvals()); nv != 3 {
 					t.Fatalf("truncated stream accepted with wrong content")
 				}
 			}

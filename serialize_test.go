@@ -42,53 +42,53 @@ func TestSerializeDomains(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	mi8, _ := NewMatrix[int8](2, 2)
-	_ = mi8.Build([]Index{0, 1}, []Index{1, 0}, []int8{-5, 100}, nil)
+	mi8 := ck1(NewMatrix[int8](2, 2))
+	ck(mi8.Build([]Index{0, 1}, []Index{1, 0}, []int8{-5, 100}, nil))
 	checkRT(t, mi8.SerializeBytes, func(b []byte) error {
 		back, err := MatrixDeserialize[int8](b)
 		if err != nil {
 			return err
 		}
-		if v, _, _ := back.ExtractElement(0, 1); v != -5 {
+		if v, _ := ck2(back.ExtractElement(0, 1)); v != -5 {
 			t.Fatal("int8 value")
 		}
 		return nil
 	})
-	mu, _ := NewMatrix[uint64](2, 2)
-	_ = mu.Build([]Index{0}, []Index{0}, []uint64{1 << 63}, nil)
+	mu := ck1(NewMatrix[uint64](2, 2))
+	ck(mu.Build([]Index{0}, []Index{0}, []uint64{1 << 63}, nil))
 	checkRT(t, mu.SerializeBytes, func(b []byte) error {
 		back, err := MatrixDeserialize[uint64](b)
 		if err != nil {
 			return err
 		}
-		if v, _, _ := back.ExtractElement(0, 0); v != 1<<63 {
+		if v, _ := ck2(back.ExtractElement(0, 0)); v != 1<<63 {
 			t.Fatal("uint64 value")
 		}
 		return nil
 	})
-	mb, _ := NewMatrix[bool](2, 2)
-	_ = mb.Build([]Index{0, 1}, []Index{0, 1}, []bool{true, false}, nil)
+	mb := ck1(NewMatrix[bool](2, 2))
+	ck(mb.Build([]Index{0, 1}, []Index{0, 1}, []bool{true, false}, nil))
 	checkRT(t, mb.SerializeBytes, func(b []byte) error {
 		back, err := MatrixDeserialize[bool](b)
 		if err != nil {
 			return err
 		}
-		if v, _, _ := back.ExtractElement(1, 1); v != false {
+		if v, _ := ck2(back.ExtractElement(1, 1)); v != false {
 			t.Fatal("bool value")
 		}
-		if v, _, _ := back.ExtractElement(0, 0); v != true {
+		if v, _ := ck2(back.ExtractElement(0, 0)); v != true {
 			t.Fatal("bool value 2")
 		}
 		return nil
 	})
-	mf32, _ := NewMatrix[float32](1, 1)
-	_ = mf32.Build([]Index{0}, []Index{0}, []float32{3.25}, nil)
+	mf32 := ck1(NewMatrix[float32](1, 1))
+	ck(mf32.Build([]Index{0}, []Index{0}, []float32{3.25}, nil))
 	checkRT(t, mf32.SerializeBytes, func(b []byte) error {
 		back, err := MatrixDeserialize[float32](b)
 		if err != nil {
 			return err
 		}
-		if v, _, _ := back.ExtractElement(0, 0); v != 3.25 {
+		if v, _ := ck2(back.ExtractElement(0, 0)); v != 3.25 {
 			t.Fatal("float32 value")
 		}
 		return nil
@@ -103,7 +103,7 @@ func TestSerializeUserDefinedDomain(t *testing.T) {
 		W float64
 		L string
 	}
-	m, _ := NewMatrix[edge](2, 2)
+	m := ck1(NewMatrix[edge](2, 2))
 	if err := m.Build([]Index{0, 1}, []Index{1, 0},
 		[]edge{{1.5, "a"}, {2.5, "b"}}, nil); err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestSerializeUserDefinedDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := back.ExtractElement(1, 0)
+	v, ok := ck2(back.ExtractElement(1, 0))
 	if !ok || v != (edge{2.5, "b"}) {
 		t.Fatalf("user-defined round trip: %v,%v", v, ok)
 	}
@@ -125,12 +125,12 @@ func TestSerializeUserDefinedDomain(t *testing.T) {
 func TestSerializeDomainMismatch(t *testing.T) {
 	setMode(t, Blocking)
 	m := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []float64{1})
-	blob, _ := m.SerializeBytes()
+	blob := ck1(m.SerializeBytes())
 	if _, err := MatrixDeserialize[int32](blob); Code(err) != DomainMismatch {
 		t.Fatalf("wrong domain: %v", err)
 	}
 	v := mustVector(t, 3, []Index{0}, []int{1})
-	vb, _ := v.SerializeBytes()
+	vb := ck1(v.SerializeBytes())
 	if _, err := VectorDeserialize[float64](vb); Code(err) != DomainMismatch {
 		t.Fatalf("vector wrong domain: %v", err)
 	}
@@ -152,7 +152,7 @@ func TestDeserializeCorruptStreams(t *testing.T) {
 		t.Fatalf("garbage: %v", err)
 	}
 	m := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{1, 2})
-	blob, _ := m.SerializeBytes()
+	blob := ck1(m.SerializeBytes())
 	// truncations at every prefix must fail cleanly, never panic
 	for cut := 0; cut < len(blob); cut += 3 {
 		if _, err := MatrixDeserialize[int](blob[:cut]); err == nil {
@@ -199,8 +199,8 @@ func TestSerializeRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ai, aj, ax, _ := m.ExtractTuples()
-		bi, bj, bx, _ := back.ExtractTuples()
+		ai, aj, ax := ck3(m.ExtractTuples())
+		bi, bj, bx := ck3(back.ExtractTuples())
 		if len(ai) != len(bi) {
 			return false
 		}

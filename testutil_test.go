@@ -7,11 +7,11 @@ import "testing"
 // mode must not run in parallel with each other.
 func setMode(t *testing.T, mode Mode) {
 	t.Helper()
-	_ = Finalize() // ignore "not initialized"
+	_ = Finalize() //grblint:ignore infocheck -- reset idiom: "not initialized" is expected
 	if err := Init(mode); err != nil {
 		t.Fatalf("Init(%v): %v", mode, err)
 	}
-	t.Cleanup(func() { _ = Finalize() })
+	t.Cleanup(func() { _ = Finalize() }) //grblint:ignore infocheck -- best-effort teardown
 }
 
 // mustMatrix builds a matrix from tuples or fails the test.
@@ -85,3 +85,20 @@ func wantCode(t *testing.T, err error, want Info) {
 		t.Fatalf("error = %v (code %v), want code %v", err, Code(err), want)
 	}
 }
+
+// ck fails the running test by panicking on an unexpected error from a grb
+// call; grblint (infocheck) forbids discarding these silently.
+func ck(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// ck1 unwraps a (value, error) grb result, panicking on error.
+func ck1[A any](a A, err error) A { ck(err); return a }
+
+// ck2 unwraps a (value, value, error) grb result, panicking on error.
+func ck2[A, B any](a A, b B, err error) (A, B) { ck(err); return a, b }
+
+// ck3 unwraps a (value, value, value, error) grb result, panicking on error.
+func ck3[A, B, C any](a A, b B, c C, err error) (A, B, C) { ck(err); return a, b, c }

@@ -132,6 +132,7 @@ func (v *Vector[T]) enqueue(ctx *Context, compute func() (*sparse.Vec[T], error)
 			vv.parkLocked(err)
 			return
 		}
+		sparse.DebugCheckVec(res, "Vector sequence step")
 		vv.vec = res
 	})
 	if ctx.Mode() == Blocking {
