@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint checktags verify
+.PHONY: all build test race bench lint checktags verify ci verify-bench
 
 all: build test
 
@@ -14,9 +14,10 @@ test: build
 # Race tier: the concurrency-sensitive packages under the race detector —
 # the root package (multithreaded method calls, the nonblocking pipeline),
 # internal/sparse (the dense-vs-hash differential kernel harness, which runs
-# both accumulators across worker counts) and internal/parallel.
+# both accumulators across worker counts), internal/parallel and
+# internal/obsv (concurrent emit into every sink).
 race:
-	$(GO) test -race . ./internal/sparse ./internal/parallel
+	$(GO) test -race . ./internal/sparse ./internal/parallel ./internal/obsv
 
 # Kernel benchmarks, including the hypersparse adaptive-selection family.
 bench:
@@ -36,3 +37,14 @@ checktags:
 	$(GO) test -tags grbcheck -race . ./internal/sparse
 
 verify: test race lint checktags
+
+# The full tiered CI chain: build -> tier-1 -> race -> lint -> grbcheck ->
+# coverage floor, with per-tier timing and a machine-readable CI_SUMMARY line.
+ci:
+	sh scripts/ci.sh
+
+# Bench-regression gate as a hard failure (CI runs the same script in
+# advisory mode — wall times are too noisy on shared runners). Tolerance via
+# GRB_BENCH_TOL, percent, default 15.
+verify-bench:
+	sh scripts/bench_compare.sh

@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // matrixApplyCommon factors the validation + snapshot + enqueue pipeline for
 // the matrix apply family: kernel receives the (possibly transposed) input
@@ -43,7 +46,12 @@ func matrixApplyCommon[DC, DA any](opName string, c *Matrix[DC], mask *Matrix[bo
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel(opName).WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).WithFlops(int64(acsr.NNZ()))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[DC], error) {
 		in := maybeTranspose(acsr, d.Transpose0)
 		t := kernel(in, threads)
 		z := sparse.AccumMergeM(cOld, t, accum, threads)
@@ -85,7 +93,11 @@ func vectorApplyCommon[DC, DA any](opName string, w *Vector[DC], mask *Vector[bo
 	if err := checkMaskDimsV(mk, wOld.N); err != nil {
 		return err
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel(opName).A(uvec.N, 1, uvec.NNZ()).WithFlops(int64(uvec.NNZ()))
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		t := kernel(uvec)
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil

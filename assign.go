@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // MatrixAssign computes C⟨M⟩(rows, cols) = C(rows, cols) ⊙ A: assignment of
 // A into the region of C addressed by the index lists (GrB_assign). The mask
@@ -69,7 +72,12 @@ func MatrixAssign[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, 
 		cj = nil
 	}
 	threads := ctx.threadsFor(cOld.NNZ() + acsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MatrixAssign").WithThreads(threads).
+			A(cOld.Rows, cOld.Cols, cOld.NNZ()).B(acsr.Rows, acsr.Cols, acsr.NNZ())
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		z, err := sparse.AssignM(cOld, A, ri, cj, accum)
 		if err != nil {
@@ -116,7 +124,12 @@ func MatrixAssignScalar[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[
 		cj = nil
 	}
 	threads := ctx.threadsFor(cOld.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MatrixAssignScalar").WithThreads(threads).
+			A(cOld.Rows, cOld.Cols, cOld.NNZ())
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		z, err := sparse.AssignScalarM(cOld, val, ri, cj, accum)
 		if err != nil {
 			return nil, mapSparseErr(err, "MatrixAssignScalar")
@@ -187,7 +200,12 @@ func assignEmptyRegion[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T
 		cj = nil
 	}
 	threads := ctx.threadsFor(cOld.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MatrixAssignScalarObj").WithThreads(threads).
+			A(cOld.Rows, cOld.Cols, cOld.NNZ())
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		empty := sparse.NewCSR[T](nr, nc)
 		z, err := sparse.AssignM(cOld, empty, ri, cj, accum)
 		if err != nil {
@@ -260,7 +278,12 @@ func VectorAssign[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, 
 	if idx == nil {
 		ci = nil
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("VectorAssign").
+			A(wOld.N, 1, wOld.NNZ()).B(uvec.N, 1, uvec.NNZ())
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		z, err := sparse.AssignV(wOld, uvec, ci, accum)
 		if err != nil {
 			return nil, mapSparseErr(err, "VectorAssign")
@@ -302,7 +325,11 @@ func VectorAssignScalar[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[
 	if idx == nil {
 		ci = nil
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("VectorAssignScalar").A(wOld.N, 1, wOld.NNZ())
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		z, err := sparse.AssignScalarV(wOld, val, ci, accum)
 		if err != nil {
 			return nil, mapSparseErr(err, "VectorAssignScalar")
@@ -359,7 +386,11 @@ func VectorAssignScalarObj[T any](w *Vector[T], mask *Vector[bool], accum Binary
 	if idx == nil {
 		ci = nil
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("VectorAssignScalarObj").A(wOld.N, 1, wOld.NNZ())
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		empty := sparse.NewVec[T](n)
 		z, err := sparse.AssignV(wOld, empty, ci, accum)
 		if err != nil {

@@ -1,0 +1,155 @@
+// benchcmp diffs two grbbench traversal JSON files (the BENCH_*.json series
+// written by -json / scripts/bench_baseline.sh) and fails when any measured
+// (graph, dir) series slowed down by more than the tolerance:
+//
+//	benchcmp [-tol 15] baseline.json current.json
+//
+// Exit status 0 means every series is within tolerance; 1 means at least one
+// regressed; 2 means the inputs could not be compared (missing file, no
+// overlapping series). Series present in only one file are reported but do
+// not fail the comparison — experiments come and go across PRs.
+//
+// -selftest runs the gate against itself: the baseline must pass unchanged,
+// and a synthetic 20% slowdown of every series must be flagged at the default
+// 15% tolerance. CI uses it to prove the gate can actually fire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+var (
+	tol      = flag.Float64("tol", 15, "maximum allowed slowdown, percent")
+	selftest = flag.Bool("selftest", false, "verify the gate fires on a synthetic 20% slowdown of the baseline")
+)
+
+// series is one measured (graph, dir) wall time from a grbbench JSON file.
+type series struct {
+	Graph   string  `json:"graph"`
+	Dir     string  `json:"dir"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchFile is the subset of the grbbench -json schema the gate reads.
+type benchFile struct {
+	Results []series `json:"results"`
+}
+
+func load(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results array", path)
+	}
+	m := make(map[string]float64, len(f.Results))
+	for _, s := range f.Results {
+		m[s.Graph+"/"+s.Dir] = s.Seconds
+	}
+	return m, nil
+}
+
+// compare reports every overlapping series and returns the keys that slowed
+// down by more than tolPct.
+func compare(base, cur map[string]float64, tolPct float64) (regressed []string) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("  %-24s base=%.4fs  (missing from current — skipped)\n", k, b)
+			continue
+		}
+		if b <= 0 {
+			fmt.Printf("  %-24s base=%.4fs  (non-positive baseline — skipped)\n", k, b)
+			continue
+		}
+		delta := (c - b) / b * 100
+		mark := "ok"
+		if delta > tolPct {
+			mark = "REGRESSED"
+			regressed = append(regressed, k)
+		}
+		fmt.Printf("  %-24s base=%.4fs cur=%.4fs delta=%+.1f%% %s\n", k, b, c, delta, mark)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("  %-24s cur=%.4fs  (new series — no baseline)\n", k, cur[k])
+		}
+	}
+	return regressed
+}
+
+func main() {
+	flag.Parse()
+	if *selftest {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchcmp -selftest baseline.json")
+			os.Exit(2)
+		}
+		base, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("selftest 1/2: baseline vs itself at tol=%.0f%% (must pass)\n", *tol)
+		if reg := compare(base, base, *tol); len(reg) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp selftest: identical inputs flagged %v\n", reg)
+			os.Exit(1)
+		}
+		slowed := make(map[string]float64, len(base))
+		for k, v := range base {
+			slowed[k] = v * 1.20
+		}
+		fmt.Printf("selftest 2/2: synthetic 20%% slowdown at tol=%.0f%% (must be flagged)\n", *tol)
+		if reg := compare(base, slowed, *tol); len(reg) != len(base) {
+			fmt.Fprintf(os.Stderr, "benchcmp selftest: 20%% slowdown flagged %d of %d series\n", len(reg), len(base))
+			os.Exit(1)
+		}
+		fmt.Println("benchcmp selftest: OK")
+		return
+	}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tol pct] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	overlap := 0
+	for k := range base {
+		if _, ok := cur[k]; ok {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no overlapping (graph, dir) series between the two files")
+		os.Exit(2)
+	}
+	fmt.Printf("benchcmp: tolerance %.0f%%\n", *tol)
+	if reg := compare(base, cur, *tol); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d series regressed beyond %.0f%%: %v\n", len(reg), *tol, reg)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: OK")
+}

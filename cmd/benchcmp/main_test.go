@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name string, results []series) string {
+	t.Helper()
+	blob, err := json.Marshal(benchFile{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadKeysSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBench(t, dir, "b.json", []series{
+		{Graph: "rmat", Dir: "push", Seconds: 1.5},
+		{Graph: "rmat", Dir: "pull", Seconds: 2.0},
+	})
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["rmat/push"] != 1.5 || m["rmat/pull"] != 2.0 {
+		t.Fatalf("load = %v", m)
+	}
+}
+
+func TestLoadRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("load accepted a file with no results")
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := map[string]float64{"g/push": 1.0, "g/pull": 2.0}
+	cur := map[string]float64{"g/push": 1.10, "g/pull": 1.5}
+	if reg := compare(base, cur, 15); len(reg) != 0 {
+		t.Fatalf("10%% slowdown flagged at 15%% tolerance: %v", reg)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := map[string]float64{"g/push": 1.0, "g/pull": 2.0}
+	cur := map[string]float64{"g/push": 1.20, "g/pull": 2.0}
+	reg := compare(base, cur, 15)
+	if len(reg) != 1 || reg[0] != "g/push" {
+		t.Fatalf("20%% slowdown at 15%% tolerance: got %v, want [g/push]", reg)
+	}
+}
+
+func TestCompareTolKnob(t *testing.T) {
+	base := map[string]float64{"g/auto": 1.0}
+	cur := map[string]float64{"g/auto": 1.20}
+	if reg := compare(base, cur, 25); len(reg) != 0 {
+		t.Fatalf("20%% slowdown flagged at 25%% tolerance: %v", reg)
+	}
+}
+
+func TestCompareSkipsNonOverlapping(t *testing.T) {
+	base := map[string]float64{"g/push": 1.0, "old/push": 1.0}
+	cur := map[string]float64{"g/push": 1.0, "new/push": 99.0}
+	if reg := compare(base, cur, 15); len(reg) != 0 {
+		t.Fatalf("non-overlapping series affected the verdict: %v", reg)
+	}
+}

@@ -14,7 +14,8 @@
 // level-synchronous traversal pinned to the push (scatter) kernel, the pull
 // (masked gather) kernel, and the adaptive router, over hypersparse and RMAT
 // graphs; the -dir flag pins one direction instead of sweeping all three,
-// and -json writes the measured series to a machine-readable file.
+// and -json writes the measured series — plus the per-op metrics profile
+// (grb.Metrics) collected over the whole run — to a machine-readable file.
 //
 // Usage: grbbench [-run fig1,...,hyper,traversal] [-scale N]
 //
@@ -63,6 +64,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer grb.Finalize() //grblint:ignore infocheck -- best-effort shutdown at process exit
+	if *jsonPath != "" {
+		// -json reports a per-op profile alongside the measured series, so
+		// collect metrics for the whole run.
+		grb.EnableMetrics(true)
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*runList, ",") {
@@ -704,6 +710,7 @@ func traversal() {
 			"threads":    threads,
 			"scale":      *scale,
 			"results":    results,
+			"per_op":     grb.Metrics(),
 		}, "", "  ")
 		if err != nil {
 			log.Fatal(err)

@@ -1,8 +1,11 @@
 package grb
 
 import (
+	"os"
 	"runtime"
 	"sync"
+
+	"github.com/grblas/grb/internal/obsv"
 )
 
 // Mode selects the execution mode of a context (GrB_Mode). In Blocking mode
@@ -91,6 +94,17 @@ func Init(mode Mode) error {
 	// context in the chain declares one.
 	global.ctx = &Context{mode: mode, threads: 0, chunk: 4096}
 	global.initialized = true
+	// GRB_TRACE=path starts a persistent trace session on first Init; the
+	// session spans Init/Finalize cycles (Finalize flushes, never ends it),
+	// so a test binary cycling the library still produces one cumulative
+	// Chrome-trace file.
+	if path := os.Getenv("GRB_TRACE"); path != "" && !obsv.Tracing() {
+		if err := obsv.TraceToFile(path); err != nil {
+			global.ctx = nil
+			global.initialized = false
+			return errf(InvalidValue, "Init: GRB_TRACE=%s: %v", path, err)
+		}
+	}
 	return nil
 }
 
@@ -104,6 +118,11 @@ func Finalize() error {
 	}
 	global.ctx = nil
 	global.initialized = false
+	// Keep a GRB_TRACE file valid at every shutdown: rewrite it with the
+	// cumulative buffer. Writer sessions (TraceTo) are unaffected.
+	if err := obsv.FlushTrace(); err != nil && err != obsv.ErrNotTracing {
+		return errf(InvalidValue, "Finalize: trace flush: %v", err)
+	}
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // EWiseAddMatrix computes C⟨M⟩ = C ⊙ (A ⊕ B): the element-wise "addition"
 // whose result pattern is the union of A's and B's patterns (GrB_eWiseAdd).
@@ -59,7 +62,13 @@ func EWiseAddMatrix[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("EWiseAddMatrix").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(bcsr.Rows, bcsr.Cols, bcsr.NNZ()).
+			WithFlops(int64(acsr.NNZ() + bcsr.NNZ()))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		B := maybeTranspose(bcsr, d.Transpose1)
 		t := sparse.EWiseAddM(A, B, op, threads)
@@ -124,7 +133,13 @@ func EWiseMultMatrix[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum Bi
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("EWiseMultMatrix").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(bcsr.Rows, bcsr.Cols, bcsr.NNZ()).
+			WithFlops(int64(acsr.NNZ() + bcsr.NNZ()))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[DC], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		B := maybeTranspose(bcsr, d.Transpose1)
 		t := sparse.EWiseMultM(A, B, op, threads)
@@ -177,7 +192,13 @@ func EWiseAddVector[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T
 	if err := checkMaskDimsV(mk, wOld.N); err != nil {
 		return err
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("EWiseAddVector").
+			A(uvec.N, 1, uvec.NNZ()).B(vvec.N, 1, vvec.NNZ()).
+			WithFlops(int64(uvec.NNZ() + vvec.NNZ()))
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		t := sparse.EWiseAddV(uvec, vvec, op)
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
@@ -228,7 +249,13 @@ func EWiseMultVector[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum Bi
 	if err := checkMaskDimsV(mk, wOld.N); err != nil {
 		return err
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("EWiseMultVector").
+			A(uvec.N, 1, uvec.NNZ()).B(vvec.N, 1, vvec.NNZ()).
+			WithFlops(int64(uvec.NNZ() + vvec.NNZ()))
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		t := sparse.EWiseMultV(uvec, vvec, op)
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil

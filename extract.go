@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // MatrixExtract computes C⟨M⟩ = C ⊙ A(rows, cols): the submatrix of A
 // selected by the index lists (GrB_extract). nil index slices (grb.All)
@@ -69,7 +72,12 @@ func MatrixExtract[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T,
 		cj = nil
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MatrixExtract").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(er, ec, 0)
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		t, err := sparse.ExtractM(A, ri, cj, threads)
 		if err != nil {
@@ -128,7 +136,11 @@ func VectorExtract[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T,
 	if idx == nil {
 		ci = nil
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("VectorExtract").A(uvec.N, 1, uvec.NNZ()).B(en, 1, 0)
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		t, err := sparse.ExtractV(uvec, ci)
 		if err != nil {
 			return nil, mapSparseErr(err, "VectorExtract")
@@ -193,7 +205,11 @@ func ColExtract[T any](w *Vector[T], mask *Vector[bool], accum BinaryOp[T, T, T]
 	if rows == nil {
 		ri = nil
 	}
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("ColExtract").A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(en, 1, 0)
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		t, err := sparse.ExtractColV(A, ri, j)
 		if err != nil {

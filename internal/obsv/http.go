@@ -1,0 +1,44 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler for long-running serving
+// processes: GET yields one JSON document with the sink states, the per-op
+// metrics registry, and the kernel counter group. Mount it wherever the host
+// process serves debug endpoints, e.g.
+//
+//	http.Handle("/debug/grb", grb.MetricsHandler())
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kc := KernelCounters.Snapshot()
+		counters := make(map[string]int64, len(kc))
+		for i, name := range KernelCounters.Names() {
+			counters[name] = kc[i]
+		}
+		doc := struct {
+			MetricsEnabled bool                 `json:"metrics_enabled"`
+			Tracing        bool                 `json:"tracing"`
+			UptimeNs       int64                `json:"uptime_ns"`
+			Ops            map[string]OpMetrics `json:"ops"`
+			KernelCounters map[string]int64     `json:"kernel_counters"`
+			TraceBuffered  int                  `json:"trace_events_buffered"`
+		}{
+			MetricsEnabled: MetricsEnabled(),
+			Tracing:        Tracing(),
+			UptimeNs:       int64(Uptime()),
+			Ops:            MetricsSnapshot(),
+			KernelCounters: counters,
+			TraceBuffered:  TraceBuffered(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			// Headers are already out; nothing useful to send the client.
+			return
+		}
+	})
+}

@@ -1,0 +1,473 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// metricsOn enables the registry for one test and restores the off state.
+func metricsOn(t *testing.T) {
+	t.Helper()
+	EnableMetrics(true)
+	t.Cleanup(func() {
+		EnableMetrics(false)
+		ResetMetrics()
+	})
+}
+
+func TestGroupAddGetSnapshot(t *testing.T) {
+	g := NewGroup("a", "b", "c")
+	g.Add(0, 5)
+	g.Add(1, 7)
+	g.Add(1, 1)
+	if got := g.Get(1); got != 8 {
+		t.Fatalf("Get(1) = %d, want 8", got)
+	}
+	snap := g.Snapshot()
+	want := []int64{5, 8, 0}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", snap, want)
+		}
+	}
+	if names := g.Names(); len(names) != 3 || names[2] != "c" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestGroupResetReturnsFinalValues(t *testing.T) {
+	g := NewGroup("x", "y")
+	g.Add(0, 3)
+	g.Add(1, 4)
+	old := g.Reset()
+	if old[0] != 3 || old[1] != 4 {
+		t.Fatalf("Reset returned %v, want [3 4]", old)
+	}
+	if snap := g.Snapshot(); snap[0] != 0 || snap[1] != 0 {
+		t.Fatalf("post-reset Snapshot = %v, want zeros", snap)
+	}
+}
+
+// TestGroupResetNeverTears hammers a group with concurrent adders that bump
+// two counters in lockstep while a resetter swaps banks: any snapshot must
+// observe the pair equal (same bank — the torn-group race the old
+// per-variable Store(0) reset had) and never negative.
+func TestGroupResetNeverTears(t *testing.T) {
+	g := NewGroup("left", "right")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					// Same bank for both adds: Add loads the bank once per
+					// call, but both calls between two Resets land together
+					// or are retired together.
+					b := g.bank.Load()
+					b.c[0].Add(1)
+					b.c[1].Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		snap := g.Snapshot()
+		if snap[0] != snap[1] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot: %v", snap)
+		}
+		if i%10 == 0 {
+			g.Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBeginEndRecordsMetrics(t *testing.T) {
+	metricsOn(t)
+	ev := (&Event{Op: "TestOp", Kind: "kernel"}).
+		A(10, 10, 30).B(10, 1, 4).WithFlops(123).WithThreads(2)
+	x := Begin(ev, 0)
+	KernelCounters.Add(KCHashRanges, 3)
+	KernelCounters.Add(KCScratchBytes, 256)
+	x.End(17, nil)
+
+	m := MetricsSnapshot()["TestOp"]
+	if m.Count != 1 || m.Errors != 0 {
+		t.Fatalf("count/errors = %d/%d", m.Count, m.Errors)
+	}
+	if m.Flops != 123 || m.OutNNZ != 17 {
+		t.Fatalf("flops/outNNZ = %d/%d", m.Flops, m.OutNNZ)
+	}
+	if m.HashRanges != 3 || m.ScratchBytes != 256 {
+		t.Fatalf("per-call deltas not recorded: %+v", m)
+	}
+	if m.TotalNs < 0 {
+		t.Fatalf("TotalNs = %d", m.TotalNs)
+	}
+}
+
+func TestEndEmitsOnError(t *testing.T) {
+	metricsOn(t)
+	x := Begin(&Event{Op: "FailOp"}, 0)
+	x.End(0, errors.New("boom"))
+	m := MetricsSnapshot()["FailOp"]
+	if m.Count != 1 || m.Errors != 1 {
+		t.Fatalf("failing kernel not recorded: %+v", m)
+	}
+}
+
+func TestBeginNilEventIsInert(t *testing.T) {
+	metricsOn(t)
+	x := Begin(nil, 9)
+	x.End(100, nil) // must not panic or record
+	if len(MetricsSnapshot()) != 0 {
+		t.Fatalf("nil event recorded: %v", MetricsOps())
+	}
+}
+
+func TestResolveRoute(t *testing.T) {
+	cases := []struct {
+		route       string
+		dense, hash int64
+		want        string
+	}{
+		{"auto", 2, 0, "auto(dense)"},
+		{"auto", 0, 2, "auto(hash)"},
+		{"auto", 1, 1, "auto(mixed)"},
+		{"auto", 0, 0, "auto"},
+		{"push", 5, 5, "push"}, // explicit routes pass through
+		{"", 1, 0, ""},
+	}
+	for _, c := range cases {
+		ev := &Event{Route: c.route, DenseRanges: c.dense, HashRanges: c.hash}
+		if got := resolveRoute(ev); got != c.want {
+			t.Errorf("resolveRoute(%q, d=%d, h=%d) = %q, want %q",
+				c.route, c.dense, c.hash, got, c.want)
+		}
+	}
+}
+
+func TestMetricsOpsSorted(t *testing.T) {
+	metricsOn(t)
+	for _, op := range []string{"zeta", "alpha", "mid"} {
+		Begin(&Event{Op: op}, 0).End(0, nil)
+	}
+	ops := MetricsOps()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(ops) != 3 || ops[0] != want[0] || ops[1] != want[1] || ops[2] != want[2] {
+		t.Fatalf("MetricsOps = %v, want %v", ops, want)
+	}
+}
+
+func TestSequenceSpanEvent(t *testing.T) {
+	metricsOn(t)
+	span := SeqBegin("matrix")
+	if span.ID() == 0 {
+		t.Fatal("active span has id 0")
+	}
+	Begin(&Event{Op: "Child"}, span.ID()).End(0, nil)
+	span.End(3)
+	m := MetricsSnapshot()["sequence(matrix)"]
+	if m.Count != 1 || m.Steps != 3 {
+		t.Fatalf("sequence span metrics = %+v", m)
+	}
+}
+
+func TestInertSpanWhenDisabled(t *testing.T) {
+	if Active() {
+		t.Skip("another sink active")
+	}
+	span := SeqBegin("vector")
+	if span.ID() != 0 {
+		t.Fatalf("disabled SeqBegin allocated id %d", span.ID())
+	}
+	span.End(5) // must not panic
+}
+
+// TestTraceChromeSchema is the golden-schema test: a writer session's output
+// must be a valid Chrome trace-event file — metadata first, every event with
+// ph "X", µs timestamps, the sequence id as tid.
+func TestTraceChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TraceToWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	span := SeqBegin("matrix")
+	ev := (&Event{Op: "MxM", Kind: "kernel", Route: "auto"}).
+		A(4, 4, 9).B(4, 4, 9).WithFlops(42).WithThreads(2)
+	x := Begin(ev, span.ID())
+	KernelCounters.Add(KCDenseRanges, 1)
+	x.End(11, nil)
+	span.End(1)
+	if !Tracing() {
+		t.Fatal("Tracing() false with active session")
+	}
+	if TraceBuffered() != 2 {
+		t.Fatalf("buffered %d events, want 2", TraceBuffered())
+	}
+	if err := EndTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if Tracing() {
+		t.Fatal("Tracing() true after EndTrace")
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) != 3 { // metadata + kernel + span
+		t.Fatalf("traceEvents has %d entries, want 3", len(tf.TraceEvents))
+	}
+	meta := tf.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" {
+		t.Fatalf("first event not process metadata: %+v", meta)
+	}
+	kernel := tf.TraceEvents[1]
+	if kernel.Name != "MxM" || kernel.Cat != "kernel" || kernel.Ph != "X" {
+		t.Fatalf("kernel event = %+v", kernel)
+	}
+	if kernel.Tid == 0 {
+		t.Fatal("kernel event lost its sequence tid")
+	}
+	if kernel.Args["route"] != "auto(dense)" {
+		t.Fatalf("route not resolved: %v", kernel.Args["route"])
+	}
+	if kernel.Args["flops"] != float64(42) {
+		t.Fatalf("flops arg = %v", kernel.Args["flops"])
+	}
+	seq := tf.TraceEvents[2]
+	if seq.Cat != "sequence" || seq.Tid != kernel.Tid {
+		t.Fatalf("span does not share the kernel's tid: %+v vs %+v", seq, kernel)
+	}
+	if kernel.Ts < seq.Ts || kernel.Ts+kernel.Dur > seq.Ts+seq.Dur+0.001 {
+		t.Fatalf("kernel [%f,%f] outside span [%f,%f]",
+			kernel.Ts, kernel.Ts+kernel.Dur, seq.Ts, seq.Ts+seq.Dur)
+	}
+}
+
+func TestTraceSecondSessionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TraceToWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := EndTrace(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := TraceToWriter(&buf); err != ErrTracing {
+		t.Fatalf("second session: err = %v, want ErrTracing", err)
+	}
+	if err := TraceToFile(filepath.Join(t.TempDir(), "t.json")); err != ErrTracing {
+		t.Fatalf("second file session: err = %v, want ErrTracing", err)
+	}
+}
+
+func TestTraceFileFlushCumulative(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := TraceToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	Begin(&Event{Op: "One"}, 0).End(0, nil)
+	if err := FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	Begin(&Event{Op: "Two"}, 0).End(0, nil)
+	if err := EndTrace(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative: the final file holds both events, not just the post-flush one.
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("final file has %d events, want metadata + One + Two", len(tf.TraceEvents))
+	}
+	if tf.TraceEvents[1].Name != "One" || tf.TraceEvents[2].Name != "Two" {
+		t.Fatalf("events = %+v", tf.TraceEvents)
+	}
+}
+
+func TestTraceToFileBadPathFailsEarly(t *testing.T) {
+	if err := TraceToFile(filepath.Join(t.TempDir(), "missing-dir", "t.json")); err == nil {
+		t.Fatal("TraceToFile accepted an uncreatable path")
+	}
+	if Tracing() {
+		t.Fatal("failed TraceToFile left the trace bit set")
+	}
+}
+
+func TestFlushWithoutSession(t *testing.T) {
+	if err := FlushTrace(); err != ErrNotTracing {
+		t.Fatalf("FlushTrace = %v, want ErrNotTracing", err)
+	}
+	if err := EndTrace(); err != ErrNotTracing {
+		t.Fatalf("EndTrace = %v, want ErrNotTracing", err)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	metricsOn(t)
+	Begin(&Event{Op: "HTTPOp"}, 0).End(3, nil)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/grb", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		MetricsEnabled bool                 `json:"metrics_enabled"`
+		Ops            map[string]OpMetrics `json:"ops"`
+		Counters       map[string]int64     `json:"kernel_counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("endpoint is not JSON: %v", err)
+	}
+	if !doc.MetricsEnabled {
+		t.Fatal("metrics_enabled false while collecting")
+	}
+	if doc.Ops["HTTPOp"].Count != 1 {
+		t.Fatalf("ops = %v", doc.Ops)
+	}
+	if _, ok := doc.Counters["dense_ranges"]; !ok {
+		t.Fatalf("kernel_counters missing dense_ranges: %v", doc.Counters)
+	}
+}
+
+// TestDisabledPathAllocatesNothing pins the overhead contract: with every
+// sink off, the full emit-point pattern (Active check, nil event through
+// Begin/End, inert span) performs zero heap allocations.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	if Active() {
+		t.Skip("a sink is active")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		var ev *Event
+		if Active() {
+			ev = &Event{Op: "MxM"}
+		}
+		x := Begin(ev, 0)
+		x.End(0, nil)
+		span := SeqBegin("matrix")
+		span.End(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestParallelEmitRace exercises every sink from concurrent goroutines; run
+// under -race (the race tier does) it is the data-race regression test for
+// the whole subsystem.
+func TestParallelEmitRace(t *testing.T) {
+	metricsOn(t)
+	var buf bytes.Buffer
+	if err := TraceToWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				span := SeqBegin("matrix")
+				ev := (&Event{Op: fmt.Sprintf("Op%d", w%4)}).A(10, 10, 20)
+				x := Begin(ev, span.ID())
+				KernelCounters.Add(KCHashRanges, 1)
+				x.End(i, nil)
+				span.End(1)
+				if i%50 == 0 {
+					KernelCounters.Reset()
+					MetricsSnapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := EndTrace(); err != nil {
+		t.Fatal(err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace from parallel emit is not valid JSON: %v", err)
+	}
+	total := int64(0)
+	for _, m := range MetricsSnapshot() {
+		total += m.Count
+	}
+	if total != 8*200*2 { // per iteration: one kernel + one span event
+		t.Fatalf("metrics recorded %d events, want %d", total, 8*200*2)
+	}
+}
+
+// BenchmarkDisabledEmit measures the contract the package doc states: one
+// atomic load, no allocation, per emit point with every sink off.
+func BenchmarkDisabledEmit(b *testing.B) {
+	if Active() {
+		b.Skip("a sink is active")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var ev *Event
+		if Active() {
+			ev = &Event{Op: "MxM"}
+		}
+		x := Begin(ev, 0)
+		x.End(0, nil)
+	}
+}
+
+// BenchmarkEnabledMetricsEmit is the reference point for the enabled path.
+func BenchmarkEnabledMetricsEmit(b *testing.B) {
+	EnableMetrics(true)
+	defer func() {
+		EnableMetrics(false)
+		ResetMetrics()
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := (&Event{Op: "MxM", Kind: "kernel"}).A(100, 100, 500).WithFlops(1000)
+		x := Begin(ev, 0)
+		x.End(400, nil)
+	}
+}

@@ -1,0 +1,83 @@
+package sparse
+
+import "github.com/grblas/grb/internal/obsv"
+
+// The kernel-routing counters live in obsv.KernelCounters, one shared group
+// with atomic snapshot/reset semantics, so observability sinks and the grb
+// compatibility shims read the same numbers the kernels write. kcounter keeps
+// the kernels' call sites (`denseRanges.Add(1)`) unchanged: it is an index
+// into the group wearing the old atomic.Int64 method set.
+type kcounter int
+
+// Add adds d to the counter's slot in the shared group.
+func (k kcounter) Add(d int64) { obsv.KernelCounters.Add(int(k), d) }
+
+// Load returns the counter's current value.
+func (k kcounter) Load() int64 { return obsv.KernelCounters.Get(int(k)) }
+
+// denseRanges/hashRanges count how many row ranges (SpGEMM) or whole calls
+// (SpMV gather) each accumulator served since the last reset; scratchBytes
+// totals the accumulator scratch (SPA buffers, stamp arrays, hash tables)
+// those ranges allocated. pushCalls/pullCalls count matrix-vector products by
+// the kernel that served them; transposeMats counts transpose
+// materializations (cache misses). Benchmarks, the differential tests, and
+// the obsv sinks read them to observe adaptive selection.
+var (
+	denseRanges   = kcounter(obsv.KCDenseRanges)
+	hashRanges    = kcounter(obsv.KCHashRanges)
+	scratchBytes  = kcounter(obsv.KCScratchBytes)
+	pushCalls     = kcounter(obsv.KCPushCalls)
+	pullCalls     = kcounter(obsv.KCPullCalls)
+	transposeMats = kcounter(obsv.KCTransposeMats)
+)
+
+// KernelCounts returns the number of row ranges served by the dense and hash
+// accumulators since the last ResetKernelCounts.
+func KernelCounts() (dense, hash int64) {
+	return denseRanges.Load(), hashRanges.Load()
+}
+
+// ScratchBytes returns the total accumulator scratch allocated since the
+// last ResetKernelCounts.
+func ScratchBytes() int64 { return scratchBytes.Load() }
+
+// DirectionCounts returns the number of matrix-vector products served by the
+// push (VxM scatter) and pull (SpMV gather) kernels since the last
+// ResetKernelCounts.
+func DirectionCounts() (push, pull int64) {
+	return pushCalls.Load(), pullCalls.Load()
+}
+
+// TransposeCount returns the number of transpose materializations since the
+// last ResetKernelCounts.
+func TransposeCount() int64 { return transposeMats.Load() }
+
+// ResetKernelCounts zeroes the selection and scratch counters, the push/pull
+// routing counters, and the transpose-materialization counter — as a group,
+// atomically: the backing bank is swapped in one step, so a concurrent reader
+// can never observe some counters reset and others not (the torn-group race
+// the old per-variable Store(0) reset allowed).
+func ResetKernelCounts() { obsv.KernelCounters.Reset() }
+
+// SpGEMMFlopsTotal returns the total flop upper bound of A·B — the sum the
+// symbolic pass (SpGEMMFlops) would prefix — without allocating the prefix
+// array. The obsv layer calls it, only when a sink is active, to stamp MxM
+// events with their call-time flop estimate.
+func SpGEMMFlopsTotal[A, B any](a *CSR[A], b *CSR[B]) int64 {
+	var f int64
+	for _, k := range a.Ind {
+		f += int64(b.Ptr[k+1] - b.Ptr[k])
+	}
+	return f
+}
+
+// FrontierFlops returns the flop bound of a matrix-vector product with
+// frontier u: Σ_{i∈u} nnz(A(i,:)), the edges leaving the frontier — the work
+// the push kernel performs and the useful fraction of the pull kernel's scan.
+func FrontierFlops[A, B any](a *CSR[A], u *Vec[B]) int64 {
+	var f int64
+	for _, i := range u.Ind {
+		f += int64(a.Ptr[i+1] - a.Ptr[i])
+	}
+	return f
+}

@@ -45,21 +45,6 @@ func SetDirectionThreshold(t int) int {
 	return int(directionThreshold.Swap(int64(t)))
 }
 
-// pushCalls/pullCalls count how many matrix-vector products each kernel
-// served since the last ResetKernelCounts — the routing instrumentation for
-// the direction-optimization tests and cmd/grbbench's traversal section.
-var (
-	pushCalls atomic.Int64
-	pullCalls atomic.Int64
-)
-
-// DirectionCounts returns the number of matrix-vector products served by the
-// push (VxM scatter) and pull (SpMV gather) kernels since the last
-// ResetKernelCounts.
-func DirectionCounts() (push, pull int64) {
-	return pushCalls.Load(), pullCalls.Load()
-}
-
 // ChoosePush is the push/pull selection rule for a matrix-vector product
 // whose frontier u has nnzU stored entries over an input dimension inDim,
 // with outDim output positions guarded by mask. It returns true when the

@@ -52,38 +52,6 @@ func SetHashThreshold(t int) int {
 	return int(hashThreshold.Swap(int64(t)))
 }
 
-// denseRanges/hashRanges count how many row ranges (SpGEMM) or whole calls
-// (SpMV gather) each accumulator served since the last reset; scratchBytes
-// totals the accumulator scratch (SPA buffers, stamp arrays, hash tables)
-// those ranges allocated. Benchmarks and the differential tests read them to
-// observe adaptive selection and its per-worker memory footprint.
-var (
-	denseRanges  atomic.Int64
-	hashRanges   atomic.Int64
-	scratchBytes atomic.Int64
-)
-
-// KernelCounts returns the number of row ranges served by the dense and hash
-// accumulators since the last ResetKernelCounts.
-func KernelCounts() (dense, hash int64) {
-	return denseRanges.Load(), hashRanges.Load()
-}
-
-// ScratchBytes returns the total accumulator scratch allocated since the
-// last ResetKernelCounts.
-func ScratchBytes() int64 { return scratchBytes.Load() }
-
-// ResetKernelCounts zeroes the selection and scratch counters, the push/pull
-// routing counters, and the transpose-materialization counter.
-func ResetKernelCounts() {
-	denseRanges.Store(0)
-	hashRanges.Store(0)
-	scratchBytes.Store(0)
-	pushCalls.Store(0)
-	pullCalls.Store(0)
-	transposeMats.Store(0)
-}
-
 // chooseHash is the per-row-range selection rule. flops is the range's total
 // flop estimate (Σ per-row bounds for SpGEMM, nnz(u) for the SpMV gather);
 // cols is the width of the dense workspace the range would otherwise

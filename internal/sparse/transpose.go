@@ -2,26 +2,15 @@ package sparse
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"github.com/grblas/grb/internal/parallel"
 )
-
-// transposeMats counts transpose materializations (actual bucket-transpose
-// runs, not cache hits) since the last ResetKernelCounts. Tests and benches
-// read it to assert that repeated Transpose-descriptor operations on an
-// unmodified matrix materialize exactly once.
-var transposeMats atomic.Int64
 
 // transposeCacheMu serializes cache misses in TransposeCached so concurrent
 // readers of the same matrix trigger exactly one materialization. It is
 // global (shared by every domain instantiation): contention only occurs
 // while a transpose is being built, a once-per-matrix event.
 var transposeCacheMu sync.Mutex
-
-// TransposeCount returns the number of transpose materializations since the
-// last ResetKernelCounts.
-func TransposeCount() int64 { return transposeMats.Load() }
 
 // TransposeCached returns Aᵀ, memoized on the (immutable) input: the first
 // call materializes with Transpose and caches the result on both matrices —

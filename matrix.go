@@ -3,6 +3,7 @@ package grb
 import (
 	"sync"
 
+	"github.com/grblas/grb/internal/obsv"
 	"github.com/grblas/grb/internal/sparse"
 )
 
@@ -25,6 +26,7 @@ type Matrix[T any] struct {
 	tuples  []sparse.Tuple[T]  // deferred setElement/removeElement updates
 	derr    *Error             // parked (deferred) execution error, §V
 	errmsg  string             // implementation-defined GrB_error string
+	seq     obsv.SeqID         // open sequence span during a drain, else 0
 }
 
 // objConfig carries constructor options shared by all object types.
@@ -103,22 +105,42 @@ func (m *Matrix[T]) SwitchContext(ctx *Context) error {
 
 // materializeLocked runs the deferred sequence (pending operations, then
 // pending element updates) and returns the parked execution error, if any.
-// Callers hold m.mu.
+// Callers hold m.mu. When a sink is observing and there is work to drain,
+// the drain runs under a sequence span whose id (m.seq) the step wrappers
+// read, attributing each kernel event to this drain.
 func (m *Matrix[T]) materializeLocked() error {
+	var span obsv.Span
+	if len(m.pending) > 0 || len(m.tuples) > 0 {
+		span = obsv.SeqBegin("matrix")
+		m.seq = span.ID()
+		defer func() { m.seq = 0 }()
+	}
+	steps := 0
 	for len(m.pending) > 0 {
 		op := m.pending[0]
 		m.pending = m.pending[1:]
 		op(m)
+		steps++
 	}
 	if len(m.tuples) > 0 {
+		var ev *obsv.Event
+		if obsv.Active() {
+			ev = &obsv.Event{Op: "Matrix.setElement(merge)", Kind: "merge"}
+			ev.A(m.csr.Rows, m.csr.Cols, m.csr.NNZ()).B(len(m.tuples), 1, len(m.tuples))
+		}
+		x := obsv.Begin(ev, m.seq)
 		nc, err := sparse.MergeTuples(m.csr, m.tuples)
 		m.tuples = nil
+		steps++
 		if err != nil {
+			x.End(0, err)
 			m.parkLocked(mapSparseErr(err, "setElement"))
 		} else {
+			x.End(nc.NNZ(), nil)
 			m.csr = nc
 		}
 	}
+	span.End(steps)
 	if m.derr != nil {
 		return m.derr
 	}
@@ -157,19 +179,25 @@ func (m *Matrix[T]) snapshot() (*sparse.CSR[T], error) {
 
 // enqueue appends a sequence step that computes a full replacement storage
 // for the matrix. In blocking mode the step (and any previously deferred
-// work) executes before returning; in nonblocking mode it is deferred.
-func (m *Matrix[T]) enqueue(ctx *Context, compute func() (*sparse.CSR[T], error)) error {
+// work) executes before returning; in nonblocking mode it is deferred. ev is
+// the call-time half of the step's kernel event (nil when observation was
+// off at call time); Begin/End bracket the compute so the event measures the
+// kernel's actual execution inside the drain, not the enqueue.
+func (m *Matrix[T]) enqueue(ctx *Context, ev *obsv.Event, compute func() (*sparse.CSR[T], error)) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.derr != nil {
 		return m.derr
 	}
 	m.pending = append(m.pending, func(mm *Matrix[T]) {
+		x := obsv.Begin(ev, mm.seq)
 		res, err := compute()
 		if err != nil {
+			x.End(0, err)
 			mm.parkLocked(err)
 			return
 		}
+		x.End(res.NNZ(), nil)
 		sparse.DebugCheckCSR(res, "Matrix sequence step")
 		mm.csr = res
 	})
@@ -353,7 +381,12 @@ func (m *Matrix[T]) Resize(nrows, ncols Index) error {
 	if err != nil {
 		return err
 	}
-	return m.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = (&obsv.Event{Op: "Matrix.Resize", Kind: "kernel"}).
+			A(old.Rows, old.Cols, old.NNZ())
+	}
+	return m.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		return old.Resize(nrows, ncols), nil
 	})
 }
@@ -392,7 +425,12 @@ func (m *Matrix[T]) Build(I, J []Index, X []T, dup BinaryOp[T, T, T]) error {
 	ci := append([]Index(nil), I...)
 	cj := append([]Index(nil), J...)
 	cx := append([]T(nil), X...)
-	return m.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = (&obsv.Event{Op: "Matrix.Build", Kind: "kernel"}).
+			A(rows, cols, len(ci))
+	}
+	return m.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		var d func(T, T) T
 		if dup != nil {
 			d = dup

@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // MxM computes C⟨M⟩ = C ⊙ (A ⊕.⊗ B): sparse matrix–matrix multiplication
 // over an arbitrary semiring (GrB_mxm), with optional mask M, accumulator ⊙
@@ -61,7 +64,13 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ() + bcsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MxM").WithRoute(routeName(d.AxB)).WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(bcsr.Rows, bcsr.Cols, bcsr.NNZ()).
+			WithFlops(mxmFlops(acsr, bcsr, d.Transpose0, d.Transpose1))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[DC], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		B := maybeTranspose(bcsr, d.Transpose1)
 		// The mask prunes the product at emit time only when it does not
@@ -134,7 +143,18 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 	// ascending input order, so for a given thread count the two kernels
 	// agree bit-identically whenever the monoid is associative on the data.
 	usePush := chooseDir(d.Dir, uvec.NNZ(), ac, mk, ar)
-	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MxV").WithRoute(pushPull(usePush)).WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(uvec.N, 1, uvec.NNZ())
+		// The frontier-flop bound Σ_{i∈u} nnz(A(i,:)) is free only when u
+		// indexes stored rows; the other orientation would materialize Aᵀ
+		// eagerly just because a sink is watching, so it reports no estimate.
+		if d.Transpose0 {
+			ev.WithFlops(sparse.FrontierFlops(acsr, uvec))
+		}
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		var t *sparse.Vec[DC]
 		if usePush {
 			At := maybeTranspose(acsr, !d.Transpose0)
@@ -208,7 +228,15 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 	// the cached transpose, which a sparse non-complemented mask can prune
 	// wholesale.
 	usePush := chooseDir(d.Dir, uvec.NNZ(), ar, mk, ac)
-	return w.enqueue(ctx, func() (*sparse.Vec[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("VxM").WithRoute(pushPull(usePush)).WithThreads(threads).
+			A(uvec.N, 1, uvec.NNZ()).B(acsr.Rows, acsr.Cols, acsr.NNZ())
+		if !d.Transpose1 {
+			ev.WithFlops(sparse.FrontierFlops(acsr, uvec))
+		}
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		var t *sparse.Vec[DC]
 		if usePush {
 			A := maybeTranspose(acsr, d.Transpose1)

@@ -1,0 +1,135 @@
+package grb
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
+
+// This file is the public face of the observability subsystem (internal/obsv;
+// see DESIGN.md, "Observability"). The library records one structured event
+// per kernel execution — op name, operand dims/nnz, the kernel route actually
+// taken, flop estimate, wall time, scratch bytes, goroutine fan-out — and one
+// span per deferred-sequence drain, and fans them out to whichever sinks are
+// enabled here: a per-op metrics registry, a Chrome-trace JSON writer, and an
+// HTTP endpoint. With every sink off (the default) each emit point costs one
+// atomic load and zero allocations.
+
+// OpMetrics is one operation's aggregated totals since the last ResetMetrics.
+type OpMetrics = obsv.OpMetrics
+
+// EnableMetrics turns the in-process per-op metrics registry on or off,
+// returning the previous setting. Read the totals with Metrics.
+func EnableMetrics(on bool) bool { return obsv.EnableMetrics(on) }
+
+// MetricsEnabled reports whether the metrics registry is collecting.
+func MetricsEnabled() bool { return obsv.MetricsEnabled() }
+
+// Metrics returns the per-op totals collected since the last ResetMetrics,
+// keyed by operation name ("MxM", "VxM", "sequence(vector)", ...).
+func Metrics() map[string]OpMetrics { return obsv.MetricsSnapshot() }
+
+// MetricsOps returns the recorded operation names in sorted order.
+func MetricsOps() []string { return obsv.MetricsOps() }
+
+// ResetMetrics drops all per-op totals.
+func ResetMetrics() { obsv.ResetMetrics() }
+
+// TraceTo starts a trace session that buffers every kernel event and sequence
+// span, then writes them to w as Chrome-trace-format JSON (load the file in
+// chrome://tracing or Perfetto) when StopTrace is called. Only one trace
+// session may be active; a second TraceTo fails.
+func TraceTo(w io.Writer) error {
+	if err := obsv.TraceToWriter(w); err != nil {
+		return errf(InvalidValue, "TraceTo: %v", err)
+	}
+	return nil
+}
+
+// TraceToFile starts a persistent trace session writing to path: FlushTrace
+// (called automatically by Finalize) rewrites the file with everything
+// collected so far, so the trace survives Init/Finalize cycles. This is the
+// session the GRB_TRACE=path environment variable starts at Init.
+func TraceToFile(path string) error {
+	if err := obsv.TraceToFile(path); err != nil {
+		return errf(InvalidValue, "TraceToFile: %v", err)
+	}
+	return nil
+}
+
+// StopTrace ends the active trace session, serializing the buffered events
+// to the session's writer or file.
+func StopTrace() error {
+	if err := obsv.EndTrace(); err != nil {
+		return errf(InvalidValue, "StopTrace: %v", err)
+	}
+	return nil
+}
+
+// FlushTrace writes the cumulative buffer of a file trace session to its
+// path and keeps collecting; it is a no-op for writer sessions. Finalize
+// calls it so a GRB_TRACE file is valid even if the process never ends the
+// session explicitly.
+func FlushTrace() error {
+	err := obsv.FlushTrace()
+	if err != nil && err != obsv.ErrNotTracing {
+		return errf(InvalidValue, "FlushTrace: %v", err)
+	}
+	return nil
+}
+
+// Tracing reports whether a trace session is collecting events.
+func Tracing() bool { return obsv.Tracing() }
+
+// MetricsHandler returns an expvar-style HTTP handler exposing the sink
+// states, per-op metrics, and kernel-routing counters as JSON, for
+// long-running serving processes:
+//
+//	http.Handle("/debug/grb", grb.MetricsHandler())
+func MetricsHandler() http.Handler { return obsv.Handler() }
+
+// evKernel builds the call-time half of a kernel event, or nil when no sink
+// is observing — the nil flows through enqueue/Begin/End untouched, keeping
+// the disabled path allocation-free.
+func evKernel(op string) *obsv.Event {
+	if !obsv.Active() {
+		return nil
+	}
+	return &obsv.Event{Op: op, Kind: "kernel"}
+}
+
+// routeName names the descriptor's multiply-kernel request for the event's
+// Route field; the adaptive "auto" is refined at End from counter deltas.
+func routeName(m AxBMethod) string {
+	switch m {
+	case AxBDenseSPA:
+		return "dense"
+	case AxBHashSPA:
+		return "hash"
+	case AxBDefault:
+		return "auto"
+	default:
+		return "auto"
+	}
+}
+
+// pushPull names a direction-optimizing dispatch decision.
+func pushPull(usePush bool) string {
+	if usePush {
+		return "push"
+	}
+	return "pull"
+}
+
+// mxmFlops returns the flop upper bound of A·B, or 0 when either input is
+// transposed — estimating through a transpose would materialize it eagerly
+// at call time, changing the deferred sequence's behavior just because a
+// sink is watching. Only called when a sink is active.
+func mxmFlops[DA, DB any](a *sparse.CSR[DA], b *sparse.CSR[DB], ta, tb bool) int64 {
+	if ta || tb {
+		return 0
+	}
+	return sparse.SpGEMMFlopsTotal(a, b)
+}

@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // MatrixReduceToVector computes w⟨m⟩ = w ⊙ [⊕_j A(:,j)]: each row of A
 // reduced with the monoid (GrB_Matrix_reduce to a vector). With the
@@ -46,7 +49,17 @@ func MatrixReduceToVector[T any](w *Vector[T], mask *Vector[bool], accum BinaryO
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
-	return w.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("MatrixReduceToVector").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).WithFlops(int64(acsr.NNZ()))
+		if d.Transpose0 {
+			ev.WithRoute("cols")
+		} else {
+			ev.WithRoute("rows")
+		}
+	}
+	return w.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		var t *sparse.Vec[T]
 		if d.Transpose0 {
 			t = sparse.ReduceCols(acsr, monoid.Op, threads)
@@ -105,7 +118,20 @@ func matrixReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
+	// Scalar reductions execute immediately (the scalar output has no
+	// deferred sequence), so the event brackets the kernel here, seq 0.
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel(opName).WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).WithFlops(int64(acsr.NNZ()))
+	}
+	x := obsv.Begin(ev, 0)
 	t, tok := sparse.ReduceAll(acsr, op, threads)
+	out := 0
+	if tok {
+		out = 1
+	}
+	x.End(out, nil)
 	return installScalarReduce(s, accum, t, tok)
 }
 
@@ -147,7 +173,17 @@ func vectorReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp
 	if err != nil {
 		return err
 	}
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel(opName).A(uvec.N, 1, uvec.NNZ()).WithFlops(int64(uvec.NNZ()))
+	}
+	x := obsv.Begin(ev, 0)
 	t, tok := sparse.ReduceVec(uvec, op)
+	out := 0
+	if tok {
+		out = 1
+	}
+	x.End(out, nil)
 	return installScalarReduce(s, accum, t, tok)
 }
 

@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // RowAssign computes C⟨m'⟩(i, cols) = C(i, cols) ⊙ u: assignment of a vector
 // into (part of) one row of C (GrB_Row_assign). The mask m, when present, is
@@ -54,7 +57,12 @@ func RowAssign[T any](c *Matrix[T], mask *Vector[bool], accum BinaryOp[T, T, T],
 	if cols == nil {
 		cj = nil
 	}
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("RowAssign").
+			A(cOld.Rows, cOld.Cols, cOld.NNZ()).B(uvec.N, 1, uvec.NNZ())
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		// Extract the row, assign into it as a vector, mask over the row,
 		// and splice the result back.
 		rowInd, rowVal := cOld.Row(i)
@@ -120,7 +128,12 @@ func ColAssign[T any](c *Matrix[T], mask *Vector[bool], accum BinaryOp[T, T, T],
 	if rows == nil {
 		ri = nil
 	}
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("ColAssign").
+			A(cOld.Rows, cOld.Cols, cOld.NNZ()).B(uvec.N, 1, uvec.NNZ())
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		// Work on the transpose so the column becomes a row, then
 		// transpose back. O(nnz) each way; the forward transpose is the
 		// cached view, so repeated column assigns on a settled matrix pay

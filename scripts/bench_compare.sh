@@ -1,0 +1,44 @@
+#!/bin/sh
+# Bench-regression gate: re-runs the grbbench traversal experiment and diffs
+# it against the newest BENCH_*.json baseline at the repo root with
+# cmd/benchcmp, failing when any (graph, dir) series slowed down by more than
+# the tolerance.
+#
+#   scripts/bench_compare.sh              compare a fresh run against the baseline
+#   scripts/bench_compare.sh --self-test  prove the gate fires (no benchmarks run):
+#                                         baseline-vs-itself must pass, a synthetic
+#                                         20% slowdown must be flagged
+#
+# Tolerance knob: GRB_BENCH_TOL, percent, default 15. Wall-clock numbers are
+# noisy on shared machines, so CI runs this gate in ADVISORY mode (the
+# workflow prints the verdict but does not fail the build); `make verify-bench`
+# runs it as a hard gate for quiet machines and release checks. Raise
+# GRB_BENCH_TOL (e.g. GRB_BENCH_TOL=30) rather than skipping the gate when a
+# host is known to be noisy.
+set -eu
+cd "$(dirname "$0")/.."
+
+TOL="${GRB_BENCH_TOL:-15}"
+
+# Newest baseline by the PR sequence number in the filename.
+BASELINE=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+if [ -z "$BASELINE" ]; then
+    echo "bench_compare: no BENCH_*.json baseline at the repo root; record one with scripts/bench_baseline.sh" >&2
+    exit 2
+fi
+echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL)"
+
+if [ "${1:-}" = "--self-test" ]; then
+    go run ./cmd/benchcmp -tol "$TOL" -selftest "$BASELINE"
+    exit $?
+fi
+
+SCALE=$(awk -F': *|,' '/"scale"/ {print $2; exit}' "$BASELINE")
+SCALE="${SCALE:-14}"
+CUR=$(mktemp /tmp/grbbench.XXXXXX.json)
+trap 'rm -f "$CUR"' EXIT
+
+echo "bench_compare: measuring traversal at scale $SCALE"
+go run ./cmd/grbbench -run traversal -scale "$SCALE" -json "$CUR" >/dev/null
+
+go run ./cmd/benchcmp -tol "$TOL" "$BASELINE" "$CUR"

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Tiered CI entrypoint (`make ci` runs this). Chains every gate the repo
+# defines, times each tier, and ends with one machine-readable summary line:
+#
+#   CI_SUMMARY status=ok tiers=6 build=2s test=14s race=31s lint=9s grbcheck=22s coverage=12s
+#
+# Tiers, in order (cheapest first so broken trees fail fast):
+#
+#   build     go build ./...
+#   test      go test ./...                      (tier-1, the ROADMAP gate)
+#   race      concurrency-sensitive suites under -race
+#   lint      grblint: infocheck, snapshotcheck, lockcheck, enumcheck
+#   grbcheck  the race suites with the runtime snapshot validators compiled in
+#   coverage  total statement coverage against scripts/coverage_floor.txt
+#
+# A failing tier stops the run; the summary line then reports status=fail and
+# the tier that failed, still on one greppable line. The bench-regression gate
+# is NOT part of this chain — it needs a quiet machine — but CI runs it in
+# advisory mode afterwards (see scripts/bench_compare.sh).
+set -u
+cd "$(dirname "$0")/.."
+
+SUMMARY=""
+TIERS=0
+
+# run TIER_NAME cmd... — times one tier, appends "name=Ns" to the summary,
+# and fails the whole run on a nonzero exit.
+run() {
+    name="$1"
+    shift
+    echo "== tier: $name =="
+    t0=$(date +%s)
+    if ! "$@"; then
+        t1=$(date +%s)
+        echo "CI_SUMMARY status=fail failed_tier=$name tiers=$TIERS $SUMMARY$name=$((t1 - t0))s"
+        exit 1
+    fi
+    t1=$(date +%s)
+    SUMMARY="$SUMMARY$name=$((t1 - t0))s "
+    TIERS=$((TIERS + 1))
+}
+
+coverage_tier() {
+    floor=$(cat scripts/coverage_floor.txt)
+    go test -count=1 -coverprofile=coverage.out ./... >/dev/null || return 1
+    total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    rm -f coverage.out
+    echo "coverage: total=${total}% floor=${floor}%"
+    # The floor is the measured total at the time it was last seeded, minus
+    # two points of slack; a drop below it means a change shipped untested
+    # code. Raise the floor when coverage genuinely improves.
+    awk -v t="$total" -v f="$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || {
+        echo "coverage: ${total}% is below the floor ${floor}% (scripts/coverage_floor.txt)" >&2
+        return 1
+    }
+}
+
+run build go build ./...
+run test go test ./...
+run race go test -race . ./internal/sparse ./internal/parallel ./internal/obsv
+run lint go run ./cmd/grblint ./...
+run grbcheck go test -tags grbcheck -race . ./internal/sparse
+run coverage coverage_tier
+
+echo "CI_SUMMARY status=ok tiers=$TIERS $SUMMARY"

@@ -11,8 +11,8 @@ echo "== tier-1: go build ./... && go test ./... =="
 go build ./...
 go test ./...
 
-echo "== race tier: multithread / nonblocking / differential suites =="
-go test -race . ./internal/sparse ./internal/parallel
+echo "== race tier: multithread / nonblocking / differential / observability suites =="
+go test -race . ./internal/sparse ./internal/parallel ./internal/obsv
 
 echo "== lint tier: grblint (infocheck, snapshotcheck, lockcheck, enumcheck) =="
 go run ./cmd/grblint ./...

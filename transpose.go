@@ -1,6 +1,9 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // Transpose computes C⟨M⟩ = C ⊙ Aᵀ (GrB_transpose). Combining with the
 // Transpose0 descriptor flag yields a (possibly masked/accumulated) plain
@@ -43,7 +46,14 @@ func Transpose[T any](c *Matrix[T], mask *Matrix[bool], accum BinaryOp[T, T, T],
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[T], error) {
+	// Route "transpose" with a zero transpose_mats delta at End means the
+	// cached view served the call (cache hit).
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("Transpose").WithRoute("transpose").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).WithFlops(int64(acsr.NNZ()))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[T], error) {
 		t := acsr
 		if !d.Transpose0 { // transpose of a transpose is the input itself
 			t = sparse.TransposeCached(acsr)
@@ -112,7 +122,13 @@ func Kronecker[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp
 		return err
 	}
 	threads := ctx.threadsFor(acsr.NNZ() * bcsr.NNZ())
-	return c.enqueue(ctx, func() (*sparse.CSR[DC], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = evKernel("Kronecker").WithThreads(threads).
+			A(acsr.Rows, acsr.Cols, acsr.NNZ()).B(bcsr.Rows, bcsr.Cols, bcsr.NNZ()).
+			WithFlops(int64(acsr.NNZ()) * int64(bcsr.NNZ()))
+	}
+	return c.enqueue(ctx, ev, func() (*sparse.CSR[DC], error) {
 		A := maybeTranspose(acsr, d.Transpose0)
 		B := maybeTranspose(bcsr, d.Transpose1)
 		t, err := sparse.Kron(A, B, op, threads)

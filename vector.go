@@ -3,6 +3,7 @@ package grb
 import (
 	"sync"
 
+	"github.com/grblas/grb/internal/obsv"
 	"github.com/grblas/grb/internal/sparse"
 )
 
@@ -19,6 +20,7 @@ type Vector[T any] struct {
 	tuples  []sparse.VTuple[T]
 	derr    *Error
 	errmsg  string
+	seq     obsv.SeqID // open sequence span during a drain, else 0
 }
 
 // NewVector creates an empty vector of the given size over domain T
@@ -79,21 +81,41 @@ func (v *Vector[T]) SwitchContext(ctx *Context) error {
 	return nil
 }
 
+// materializeLocked drains the deferred sequence under a sequence span (see
+// the Matrix counterpart for the attribution protocol).
 func (v *Vector[T]) materializeLocked() error {
+	var span obsv.Span
+	if len(v.pending) > 0 || len(v.tuples) > 0 {
+		span = obsv.SeqBegin("vector")
+		v.seq = span.ID()
+		defer func() { v.seq = 0 }()
+	}
+	steps := 0
 	for len(v.pending) > 0 {
 		op := v.pending[0]
 		v.pending = v.pending[1:]
 		op(v)
+		steps++
 	}
 	if len(v.tuples) > 0 {
+		var ev *obsv.Event
+		if obsv.Active() {
+			ev = &obsv.Event{Op: "Vector.setElement(merge)", Kind: "merge"}
+			ev.A(v.vec.N, 1, v.vec.NNZ()).B(len(v.tuples), 1, len(v.tuples))
+		}
+		x := obsv.Begin(ev, v.seq)
 		nv, err := sparse.MergeVTuples(v.vec, v.tuples)
 		v.tuples = nil
+		steps++
 		if err != nil {
+			x.End(0, err)
 			v.parkLocked(mapSparseErr(err, "setElement"))
 		} else {
+			x.End(nv.NNZ(), nil)
 			v.vec = nv
 		}
 	}
+	span.End(steps)
 	if v.derr != nil {
 		return v.derr
 	}
@@ -120,18 +142,23 @@ func (v *Vector[T]) snapshot() (*sparse.Vec[T], error) {
 	return v.vec, nil
 }
 
-func (v *Vector[T]) enqueue(ctx *Context, compute func() (*sparse.Vec[T], error)) error {
+// enqueue appends a sequence step; ev (nil when observation was off at call
+// time) is completed around the compute inside the drain, as in Matrix.
+func (v *Vector[T]) enqueue(ctx *Context, ev *obsv.Event, compute func() (*sparse.Vec[T], error)) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.derr != nil {
 		return v.derr
 	}
 	v.pending = append(v.pending, func(vv *Vector[T]) {
+		x := obsv.Begin(ev, vv.seq)
 		res, err := compute()
 		if err != nil {
+			x.End(0, err)
 			vv.parkLocked(err)
 			return
 		}
+		x.End(res.NNZ(), nil)
 		sparse.DebugCheckVec(res, "Vector sequence step")
 		vv.vec = res
 	})
@@ -271,7 +298,12 @@ func (v *Vector[T]) Resize(size Index) error {
 	if err != nil {
 		return err
 	}
-	return v.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = (&obsv.Event{Op: "Vector.Resize", Kind: "kernel"}).
+			A(old.N, 1, old.NNZ())
+	}
+	return v.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		return old.Resize(size), nil
 	})
 }
@@ -304,7 +336,12 @@ func (v *Vector[T]) Build(I []Index, X []T, dup BinaryOp[T, T, T]) error {
 	}
 	ci := append([]Index(nil), I...)
 	cx := append([]T(nil), X...)
-	return v.enqueue(ctx, func() (*sparse.Vec[T], error) {
+	var ev *obsv.Event
+	if obsv.Active() {
+		ev = (&obsv.Event{Op: "Vector.Build", Kind: "kernel"}).
+			A(n, 1, len(ci))
+	}
+	return v.enqueue(ctx, ev, func() (*sparse.Vec[T], error) {
 		var d func(T, T) T
 		if dup != nil {
 			d = dup
