@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint checktags verify ci verify-bench
+.PHONY: all build test race bench lint checktags chaos verify ci verify-bench
 
 all: build test
 
@@ -36,7 +36,16 @@ lint:
 checktags:
 	$(GO) test -tags grbcheck -race . ./internal/sparse
 
-verify: test race lint checktags
+# Chaos tier: the fault-injection differential sweep (every registered site
+# crossed with alloc-failure and panic shapes) plus the budget, cancellation,
+# and panic-isolation suites, with the grbcheck validators compiled in. Any
+# injected fault must surface as a parked §V execution error — never a crash —
+# and every intermediate snapshot must still satisfy the invariants.
+chaos:
+	$(GO) test -tags grbcheck -race -count=1 \
+	    -run 'TestChaos|TestScattered|TestFaultSpec|TestBudget|TestCancel|TestDeadline|TestInjectedPanic|TestUserOperatorPanic' .
+
+verify: test race lint checktags chaos
 
 # The full tiered CI chain: build -> tier-1 -> race -> lint -> grbcheck ->
 # coverage floor, with per-tier timing and a machine-readable CI_SUMMARY line.

@@ -608,6 +608,9 @@ type traversalResult struct {
 	PushCalls int64   `json:"push_calls"`
 	PullCalls int64   `json:"pull_calls"`
 	Transpose int64   `json:"transpose_materializations"`
+	// Execution-hardening telemetry (nonzero only for the budgeted run).
+	BudgetDegrades  int64 `json:"budget_degrades,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 }
 
 // traversal measures direction-optimizing BFS: the identical level-
@@ -703,6 +706,66 @@ func traversal() {
 	fmt.Println("  (push scatters frontier edges, pull gathers unvisited rows over the")
 	fmt.Println("   cached transpose — materialized once per matrix, hence the final")
 	fmt.Println("   column; auto switches per level by frontier density, Beamer-style)")
+
+	// Budgeted rerun: the same traversal inside a context whose memory limit
+	// (256 KiB) is far below the transpose the push route needs, so every
+	// auto-routed push level degrades to the pull gather instead — the
+	// graceful-degradation ladder of the execution-hardening design, measured.
+	// The result stays exact; the route changes are counted as
+	// budget_degrades, which (with panics_recovered) also lands in the per-op
+	// profile written by -json.
+	{
+		w := loads[len(loads)-1]
+		ctx := must1(grb.NewContext(grb.NonBlocking, nil, grb.WithMemoryLimit(256<<10)))
+		// A fresh build (not a Dup) so no transpose cached by the unbudgeted
+		// runs rides along — the budgeted push route must pay for its own.
+		g := gen.Graph500RMAT(*scale, 16, 42).Symmetrize()
+		ac := must1(grb.NewMatrix[bool](g.N, g.N, grb.InContext(ctx)))
+		must(ac.Build(g.Src, g.Dst, gen.BoolWeights(g), grb.LOr))
+		must(ac.Wait(grb.Materialize))
+		dim := must1(ac.Nrows())
+		desc := &grb.Descriptor{Replace: true, Structure: true, Complement: true, Dir: grb.DirAuto}
+		levels := must1(grb.NewVector[int](dim, grb.InContext(ctx)))
+		visited := must1(grb.NewVector[bool](dim, grb.InContext(ctx)))
+		frontier := must1(grb.NewVector[bool](dim, grb.InContext(ctx)))
+		must(frontier.SetElement(true, 0))
+		grb.ResetKernelCounts()
+		start := time.Now()
+		for depth := 0; ; depth++ {
+			if must1(frontier.Nvals()) == 0 {
+				break
+			}
+			must(grb.VectorAssignScalar(levels, frontier, nil, depth, grb.All, grb.DescS))
+			must(grb.VectorAssignScalar(visited, frontier, nil, true, grb.All, grb.DescS))
+			must(grb.MxV(frontier, visited, nil, grb.LOrLAnd(), ac, frontier, desc))
+			must(frontier.Wait(grb.Materialize))
+		}
+		el := time.Since(start)
+		degrades, panics := grb.HardeningCounts()
+		push, pull := grb.DirectionCounts()
+		reached := must1(levels.Nvals())
+		maxLevel := 0
+		if _, lv, err := levels.ExtractTuples(); err == nil {
+			for _, l := range lv {
+				if l > maxLevel {
+					maxLevel = l
+				}
+			}
+		}
+		fmt.Printf("  %-12s %-6s %-12v %-8d %-9d %-12s degrades=%d panics=%d\n",
+			w.name, "budget", el, maxLevel+1, reached,
+			fmt.Sprintf("%dp/%dg", push, pull), degrades, panics)
+		fmt.Println("  (budget run: 256 KiB context limit — the push route's transpose no")
+		fmt.Println("   longer fits, so the router falls back to pull per level instead of")
+		fmt.Println("   failing; degrades counts those budget-forced route changes)")
+		results = append(results, traversalResult{
+			Graph: w.name, Vertices: w.n, Edges: w.m, Dir: "budget",
+			Seconds: el.Seconds(), Levels: maxLevel + 1, Reached: reached,
+			PushCalls: push, PullCalls: pull,
+			BudgetDegrades: degrades, PanicsRecovered: panics,
+		})
+		must(ctx.Free())
+	}
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(map[string]any{

@@ -4,8 +4,12 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/grblas/grb/internal/faults"
 	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/internal/sparse"
 )
 
 // Mode selects the execution mode of a context (GrB_Mode). In Blocking mode
@@ -52,6 +56,16 @@ type Context struct {
 	chunk   int // minimum work per thread before parallelizing
 	freed   bool
 	mu      sync.Mutex
+
+	// Execution-hardening resource controls (§IV resource information, §V
+	// execution errors). budget and deadline are immutable after NewContext;
+	// canceled/cancelable use atomics only, so the abort probe the kernels
+	// poll never takes a lock (and never violates the lock-ordering rule that
+	// nothing lock-acquiring runs under an object mutex).
+	budget     *sparse.Budget
+	cancelable bool
+	canceled   atomic.Bool
+	deadline   time.Time
 }
 
 // ContextOption configures a new context (the implementation-defined
@@ -68,6 +82,32 @@ func WithThreads(n int) ContextOption {
 // an operation parallelizes. Smaller values parallelize more eagerly.
 func WithChunk(n int) ContextOption {
 	return func(c *Context) { c.chunk = n }
+}
+
+// WithMemoryLimit bounds the kernel scratch and result memory, in bytes,
+// that operations in this context may hold live at once. Exceeding the
+// budget degrades gracefully first — fewer worker accumulators, hash SPA
+// instead of dense, pull instead of push, uncached transposes — and only
+// when the cheapest route still does not fit does the operation park
+// GrB_OUT_OF_MEMORY (§V). Zero or negative means unlimited. The limit is the
+// context's own; it is not combined with ancestors' limits — the nearest
+// limited context up the chain governs an operation.
+func WithMemoryLimit(bytes int64) ContextOption {
+	return func(c *Context) { c.budget = sparse.NewBudget(bytes) }
+}
+
+// WithCancel makes the context cancelable: Context.Cancel aborts in-flight
+// and future operations in it, parking the Canceled execution error at the
+// next range-granularity checkpoint inside the kernels.
+func WithCancel() ContextOption {
+	return func(c *Context) { c.cancelable = true }
+}
+
+// WithDeadline aborts operations in this context that are still running
+// after t, parking the Canceled execution error. The deadline is checked at
+// range granularity inside the kernels; it is immutable after NewContext.
+func WithDeadline(t time.Time) ContextOption {
+	return func(c *Context) { c.deadline = t }
 }
 
 // global holds the top-level context created by Init (GrB_init).
@@ -103,6 +143,15 @@ func Init(mode Mode) error {
 			global.ctx = nil
 			global.initialized = false
 			return errf(InvalidValue, "Init: GRB_TRACE=%s: %v", path, err)
+		}
+	}
+	// GRB_FAULTS arms the deterministic fault-injection plan (chaos testing
+	// without recompilation); see internal/faults.ParseRules for the grammar.
+	if spec := os.Getenv("GRB_FAULTS"); spec != "" {
+		if err := faults.ArmFromSpec(spec); err != nil {
+			global.ctx = nil
+			global.initialized = false
+			return errf(InvalidValue, "Init: GRB_FAULTS=%s: %v", spec, err)
 		}
 	}
 	return nil
@@ -189,6 +238,88 @@ func (c *Context) isFreed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.freed
+}
+
+// Cancel aborts operations running in this context (and its descendants):
+// kernels observe the flag at their next range-granularity checkpoint and
+// park the Canceled execution error on the output object (§V deferred
+// reporting — Wait(Materialize) or the next method call surfaces it). The
+// context must have been created with WithCancel. Cancel is idempotent and
+// safe to call from any goroutine, including while a drain is in flight.
+func (c *Context) Cancel() error {
+	if c == nil {
+		return errf(NullPointer, "Context.Cancel: nil context")
+	}
+	if !c.cancelable {
+		return errf(InvalidValue, "Context.Cancel: context not created with WithCancel")
+	}
+	c.canceled.Store(true)
+	return nil
+}
+
+// Canceled reports whether Cancel has been called on this context or any
+// ancestor, or a deadline along the chain has expired.
+func (c *Context) Canceled() bool { return c.abortErr() != nil }
+
+// abortErr is the kernels' cancellation probe: non-nil when this context or
+// any ancestor was canceled or ran past its deadline. Atomics and immutable
+// fields only — it runs inside kernels, under object locks, at range
+// granularity.
+func (c *Context) abortErr() error {
+	for p := c; p != nil; p = p.parent {
+		if p.canceled.Load() {
+			return sparse.ErrCanceled
+		}
+		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
+			return sparse.ErrCanceled
+		}
+	}
+	return nil
+}
+
+// memBudget returns the nearest memory budget up the context chain (nil when
+// no context declares one).
+func (c *Context) memBudget() *sparse.Budget {
+	for p := c; p != nil; p = p.parent {
+		if p.budget != nil {
+			return p.budget
+		}
+	}
+	return nil
+}
+
+// MemoryLimit returns the effective memory limit in bytes (the nearest
+// WithMemoryLimit up the chain), or 0 when unlimited.
+func (c *Context) MemoryLimit() int64 { return c.memBudget().Limit() }
+
+// MemoryUsed returns the bytes currently reserved against the effective
+// memory budget (0 when unlimited).
+func (c *Context) MemoryUsed() int64 { return c.memBudget().Used() }
+
+// needsAbortProbe reports whether any context in the chain can cancel.
+func (c *Context) needsAbortProbe() bool {
+	for p := c; p != nil; p = p.parent {
+		if p.cancelable || !p.deadline.IsZero() {
+			return true
+		}
+	}
+	return false
+}
+
+// exec builds the hardened execution environment for one drained operation:
+// the already-resolved thread count, a budget transaction (closed by the
+// caller via Exec.Close when the operation completes), and the cancellation
+// probe. Called at drain time, inside the sequence step, so budget state and
+// cancellation reflect execution order rather than enqueue order.
+func (c *Context) exec(threads int) sparse.Exec {
+	e := sparse.Exec{Threads: threads}
+	if b := c.memBudget(); b != nil {
+		e.Tx = b.Tx()
+	}
+	if c.needsAbortProbe() {
+		e.Cancel = c.abortErr
+	}
+	return e
 }
 
 // Mode returns the context's execution mode.

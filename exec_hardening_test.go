@@ -1,0 +1,352 @@
+package grb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/grblas/grb/internal/faults"
+)
+
+// Acceptance tests for the execution-hardening tentpole: memory budgets with
+// graceful degradation, cancellation/deadline abort, and panic isolation.
+
+// pathGraph builds the undirected path 0–1–…–(n-1) as a boolean adjacency
+// matrix inside ctx, fully materialized.
+func pathGraph(t *testing.T, ctx *Context, n int) *Matrix[bool] {
+	t.Helper()
+	a, err := NewMatrix[bool](n, n, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	var is, js []Index
+	var xs []bool
+	for i := 0; i < n-1; i++ {
+		is = append(is, Index(i), Index(i+1))
+		js = append(js, Index(i+1), Index(i))
+		xs = append(xs, true, true)
+	}
+	if err := a.Build(is, js, xs, Second[bool, bool]); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := a.Wait(Materialize); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return a
+}
+
+// bfsLevelsInContext is a hand-rolled BFS-levels traversal with every object
+// in ctx, so the context's budget governs each level's kernels. The graph
+// must be symmetric (MxV over A equals the usual pull over Aᵀ then).
+func bfsLevelsInContext(t *testing.T, ctx *Context, a *Matrix[bool], n int, src Index) *Vector[int] {
+	t.Helper()
+	desc := &Descriptor{Replace: true, Structure: true, Complement: true, Dir: DirAuto}
+	levels, err := NewVector[int](n, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	visited, err := NewVector[bool](n, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	frontier, err := NewVector[bool](n, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if err := frontier.SetElement(true, src); err != nil {
+		t.Fatalf("seed frontier: %v", err)
+	}
+	for depth := 0; ; depth++ {
+		nv, err := frontier.Nvals()
+		if err != nil {
+			t.Fatalf("depth %d: Nvals: %v", depth, err)
+		}
+		if nv == 0 {
+			break
+		}
+		if err := VectorAssignScalar(levels, frontier, nil, depth, All, DescS); err != nil {
+			t.Fatalf("depth %d: assign levels: %v", depth, err)
+		}
+		if err := VectorAssignScalar(visited, frontier, nil, true, All, DescS); err != nil {
+			t.Fatalf("depth %d: assign visited: %v", depth, err)
+		}
+		// frontier⟨¬visited,structure,replace⟩ = A ∨.∧ frontier
+		if err := MxV(frontier, visited, nil, LOrLAnd(), a, frontier, desc); err != nil {
+			t.Fatalf("depth %d: MxV: %v", depth, err)
+		}
+		if err := frontier.Wait(Materialize); err != nil {
+			t.Fatalf("depth %d: frontier wait: %v", depth, err)
+		}
+	}
+	if err := levels.Wait(Materialize); err != nil {
+		t.Fatalf("levels wait: %v", err)
+	}
+	return levels
+}
+
+// TestBudgetedBFSMatchesUnbudgeted is the degradation acceptance test: a
+// BFS drain under a memory limit far below the dense-route scratch must
+// complete through degraded routes (direction flip away from the transpose,
+// hash gather instead of the dense scatter) with results identical to the
+// unbudgeted run.
+func TestBudgetedBFSMatchesUnbudgeted(t *testing.T) {
+	setMode(t, NonBlocking)
+	const n = 200
+	free, err := NewContext(NonBlocking, nil, WithThreads(4))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	want := bfsLevelsInContext(t, free, pathGraph(t, free, n), n, 0)
+
+	// 300 bytes: the push route's transpose (~n·16B) and the pull route's
+	// dense gather (n·2B) are both unaffordable; the frontier-sized hash
+	// gather (≤ a few hundred bytes on a path graph) fits.
+	tight, err := NewContext(NonBlocking, nil, WithThreads(4), WithMemoryLimit(300))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	ResetKernelCounts()
+	got := bfsLevelsInContext(t, tight, pathGraph(t, tight, n), n, 0)
+	degrades, _ := HardeningCounts()
+	if degrades == 0 {
+		t.Fatal("tight budget produced no degradations: the limit was not exercised")
+	}
+
+	wi, wx, err := want.ExtractTuples()
+	if err != nil {
+		t.Fatalf("ExtractTuples: %v", err)
+	}
+	gi, gx, err := got.ExtractTuples()
+	if err != nil {
+		t.Fatalf("ExtractTuples: %v", err)
+	}
+	if len(wi) != n || len(gi) != len(wi) {
+		t.Fatalf("level counts differ: unbudgeted %d, budgeted %d (want %d)", len(wi), len(gi), n)
+	}
+	for k := range wi {
+		if wi[k] != gi[k] || wx[k] != gx[k] {
+			t.Fatalf("levels diverge at %d: unbudgeted (%d)=%d, budgeted (%d)=%d",
+				k, wi[k], wx[k], gi[k], gx[k])
+		}
+	}
+	if used := tight.MemoryUsed(); used != 0 {
+		t.Fatalf("budget leak: %d bytes still reserved after drain", used)
+	}
+	if lim := tight.MemoryLimit(); lim != 300 {
+		t.Fatalf("MemoryLimit = %d, want 300", lim)
+	}
+}
+
+// TestBudgetExhaustionParksOutOfMemory: when even the cheapest degraded
+// route cannot be charged, the operation parks GrB_OUT_OF_MEMORY — it never
+// crashes and never silently truncates.
+func TestBudgetExhaustionParksOutOfMemory(t *testing.T) {
+	setMode(t, NonBlocking)
+	ctx, err := NewContext(NonBlocking, nil, WithThreads(2), WithMemoryLimit(16))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	a := pathGraph(t, ctx, 64)
+	u, err := NewVector[bool](64, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if err := u.SetElement(true, 0); err != nil {
+		t.Fatalf("SetElement: %v", err)
+	}
+	w, err := NewVector[bool](64, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if err := MxV(w, nil, nil, LOrLAnd(), a, u, nil); err != nil {
+		t.Fatalf("MxV: %v", err)
+	}
+	if err := w.Wait(Materialize); Code(err) != OutOfMemory {
+		t.Fatalf("16-byte budget: err = %v, want OutOfMemory", err)
+	}
+	if w.ErrorString() == "" {
+		t.Fatal("parked OutOfMemory has empty ErrorString")
+	}
+	if used := ctx.MemoryUsed(); used != 0 {
+		t.Fatalf("budget leak after abort: %d bytes", used)
+	}
+}
+
+// TestCancelParksCanceled: cancelling before the drain means the very first
+// range checkpoint aborts — the sequence parks the Canceled execution error
+// and surfaces it through Wait(Materialize) and ErrorString.
+func TestCancelParksCanceled(t *testing.T) {
+	setMode(t, NonBlocking)
+	ctx, err := NewContext(NonBlocking, nil, WithThreads(2), WithCancel())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	a := pathGraph(t, ctx, 64)
+	c, err := NewMatrix[bool](64, 64, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, LOrLAnd(), a, a, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := ctx.Cancel(); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if !ctx.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	if err := c.Wait(Materialize); Code(err) != Canceled {
+		t.Fatalf("Wait after Cancel: err = %v, want Canceled", err)
+	}
+	if s := c.ErrorString(); !strings.Contains(s, "cancel") {
+		t.Fatalf("ErrorString = %q, want it to mention cancellation", s)
+	}
+	// Cancel without WithCancel is an API error; on a nil context too.
+	plain, err := NewContext(NonBlocking, nil)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if err := plain.Cancel(); Code(err) != InvalidValue {
+		t.Fatalf("Cancel without WithCancel: err = %v, want InvalidValue", err)
+	}
+}
+
+// TestCancelMidDrainParksWithinOneGranule: a Delay injection at the range
+// checkpoint widens the cancellation window; a concurrent Cancel must abort
+// at that same checkpoint (the documented one-range-granule latency), not
+// run the kernel to completion.
+func TestCancelMidDrainParksWithinOneGranule(t *testing.T) {
+	setMode(t, NonBlocking)
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 50 * time.Millisecond})
+	defer faults.Disable()
+	ctx, err := NewContext(NonBlocking, nil, WithThreads(2), WithCancel())
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	a := pathGraph(t, ctx, 128)
+	c, err := NewMatrix[bool](128, 128, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, LOrLAnd(), a, a, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond) // land inside the delayed checkpoint
+		if err := ctx.Cancel(); err != nil {
+			t.Errorf("Cancel: %v", err)
+		}
+	}()
+	err = c.Wait(Materialize)
+	wg.Wait()
+	if Code(err) != Canceled {
+		t.Fatalf("mid-drain cancel: err = %v, want Canceled", err)
+	}
+}
+
+// TestDeadlineParksCanceled: an expired WithDeadline aborts at the first
+// checkpoint exactly like an explicit Cancel.
+func TestDeadlineParksCanceled(t *testing.T) {
+	setMode(t, NonBlocking)
+	ctx, err := NewContext(NonBlocking, nil, WithThreads(2), WithDeadline(time.Now().Add(-time.Second)))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	a := pathGraph(t, ctx, 64)
+	c, err := NewMatrix[bool](64, 64, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, LOrLAnd(), a, a, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := c.Wait(Materialize); Code(err) != Canceled {
+		t.Fatalf("expired deadline: err = %v, want Canceled", err)
+	}
+	// A future deadline does not abort anything.
+	future, err := NewContext(NonBlocking, nil, WithThreads(2), WithDeadline(time.Now().Add(time.Hour)))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	b := pathGraph(t, future, 64)
+	d, err := NewMatrix[bool](64, 64, InContext(future))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(d, nil, nil, LOrLAnd(), b, b, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := d.Wait(Materialize); err != nil {
+		t.Fatalf("future deadline aborted a healthy drain: %v", err)
+	}
+}
+
+// TestInjectedPanicIsIsolated: a simulated kernel crash is recovered into a
+// parked GrB_PANIC, the recovered-panic counter ticks, and the library keeps
+// serving unrelated work afterwards.
+func TestInjectedPanicIsIsolated(t *testing.T) {
+	setMode(t, NonBlocking)
+	a, u := chaosInputs(t)
+	_ = u
+	ResetKernelCounts()
+	faults.Enable(faults.Rule{Site: "sparse.spgemm.spa", Action: faults.Panic, Hit: 1})
+	c, err := NewMatrix[float64](16, 16)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, PlusTimes[float64](), a, a, DescDenseSPA); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := c.Wait(Materialize); Code(err) != Panic {
+		t.Fatalf("injected panic: err = %v, want Panic", err)
+	}
+	if s := c.ErrorString(); !strings.Contains(s, "panic") {
+		t.Fatalf("ErrorString = %q, want it to mention the panic", s)
+	}
+	faults.Disable()
+	if _, panics := HardeningCounts(); panics == 0 {
+		t.Fatal("recovered-panic counter did not tick")
+	}
+	// The process — and fresh objects — are unaffected.
+	d, err := NewMatrix[float64](16, 16)
+	if err != nil {
+		t.Fatalf("NewMatrix after panic: %v", err)
+	}
+	if err := MxM(d, nil, nil, PlusTimes[float64](), a, a, nil); err != nil {
+		t.Fatalf("MxM after panic: %v", err)
+	}
+	if err := d.Wait(Materialize); err != nil {
+		t.Fatalf("Wait after panic: %v", err)
+	}
+}
+
+// TestUserOperatorPanicIsolated: the guarantee holds for genuine panics out
+// of user-supplied operators, not only injected ones — in deferred kernels
+// and in immediate-mode reductions.
+func TestUserOperatorPanicIsolated(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := mustMatrix(t, 8, 8, []Index{0, 1, 2}, []Index{1, 2, 3}, []float64{1, 2, 3})
+	boom := func(x, y float64) float64 { panic("user operator bug") }
+	c, err := NewMatrix[float64](8, 8)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, Semiring[float64, float64, float64]{
+		Add: Monoid[float64]{Op: boom}, Mul: func(x, y float64) float64 { return x * y },
+	}, a, a, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	// The add operator only fires on collisions; ensure the pattern has one.
+	if err := c.Wait(Materialize); err != nil && Code(err) != Panic {
+		t.Fatalf("user panic: err = %v, want nil or Panic", err)
+	}
+	// Immediate-mode: a panicking reduction operator returns GrB_PANIC
+	// directly (no sequence to park on).
+	if _, err := MatrixReduce(Monoid[float64]{Op: boom, Identity: 0}, a); Code(err) != Panic {
+		t.Fatalf("immediate reduce panic: err = %v, want Panic", err)
+	}
+}

@@ -62,6 +62,11 @@ const (
 	IndexOutOfBounds Info = -105
 	// EmptyObject: an operation required a value from an empty Scalar.
 	EmptyObject Info = -106
+	// Canceled: the operation was aborted by Context.Cancel or an expired
+	// WithDeadline before completing. An extension code (the C specification
+	// reserves no value for cancellation); like every execution error its
+	// reporting may be deferred in nonblocking mode.
+	Canceled Info = -107
 )
 
 // infoNames maps codes to their spec names.
@@ -82,6 +87,7 @@ var infoNames = map[Info]string{
 	InvalidObject:       "GrB_INVALID_OBJECT",
 	IndexOutOfBounds:    "GrB_INDEX_OUT_OF_BOUNDS",
 	EmptyObject:         "GrB_EMPTY_OBJECT",
+	Canceled:            "GxB_CANCELED",
 }
 
 // String returns the spec name of the code.
@@ -99,7 +105,7 @@ func (i Info) IsAPIError() bool { return i <= UninitializedObject && i >= NotImp
 // IsExecutionError reports whether the code is an execution error: a
 // failure during execution of a well-formed call, whose reporting may be
 // deferred in nonblocking mode (§V).
-func (i Info) IsExecutionError() bool { return i <= Panic && i >= EmptyObject }
+func (i Info) IsExecutionError() bool { return i <= Panic && i >= Canceled }
 
 // Error is the concrete error type returned by all grb methods. It carries
 // the GraphBLAS Info code plus an implementation-defined message (the string

@@ -26,6 +26,7 @@ func TestInfoPinnedValues(t *testing.T) {
 		InvalidObject:       -104,
 		IndexOutOfBounds:    -105,
 		EmptyObject:         -106,
+		Canceled:            -107,
 	}
 	for code, want := range pinned {
 		if int(code) != want {
@@ -38,7 +39,7 @@ func TestInfoClassification(t *testing.T) {
 	apiErrors := []Info{UninitializedObject, NullPointer, InvalidValue, InvalidIndex,
 		DomainMismatch, DimensionMismatch, OutputNotEmpty, NotImplemented}
 	execErrors := []Info{Panic, OutOfMemory, InsufficientSpace, InvalidObject,
-		IndexOutOfBounds, EmptyObject}
+		IndexOutOfBounds, EmptyObject, Canceled}
 	for _, c := range apiErrors {
 		if !c.IsAPIError() || c.IsExecutionError() {
 			t.Errorf("%v misclassified (api=%v exec=%v)", c, c.IsAPIError(), c.IsExecutionError())

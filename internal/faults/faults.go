@@ -1,0 +1,313 @@
+// Package faults is the library's deterministic fault-injection substrate:
+// the chaos-testing half of the execution-hardening layer. Kernels and
+// allocators register named injection Sites at package init; a test (or the
+// GRB_FAULTS environment variable) arms a set of Rules, and every Site.Check
+// call consults them. A matching rule either reports a simulated allocation
+// failure (ErrInjected), panics with an InjectedPanic, or delays the caller —
+// the three failure shapes §V of the GraphBLAS 2.0 paper requires an
+// implementation to survive (GrB_OUT_OF_MEMORY, GrB_PANIC, and slow kernels a
+// cancellation must be able to interrupt).
+//
+// Determinism contract: a rule addresses its site by exact name (or "*"),
+// and fires either on an exact per-site hit number (Hit) or on the
+// pseudo-random-but-reproducible schedule derived from (Seed, site, hit)
+// (OneIn). Replaying the same program with the same rules therefore injects
+// the same faults at the same points, which is what lets the chaos
+// differential suite assert exact outcomes.
+//
+// Overhead contract: with no plan armed (the default), Check is one atomic
+// load and allocates nothing.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned by Check for an armed alloc-failure rule. The
+// sparse substrate maps it onto its out-of-memory abort, and the grb layer
+// parks it as GrB_OUT_OF_MEMORY.
+var ErrInjected = errors.New("faults: injected allocation failure")
+
+// InjectedPanic is the value an armed panic rule panics with. It records the
+// site so recovery layers can attribute the (simulated) crash.
+type InjectedPanic struct{ Site string }
+
+// Error makes the payload self-describing when a recovery layer formats it.
+func (p InjectedPanic) Error() string { return "faults: injected panic at site " + p.Site }
+
+// String mirrors Error for %v formatting of the raw panic value.
+func (p InjectedPanic) String() string { return p.Error() }
+
+// Action selects what a matching rule does to the caller.
+type Action int
+
+const (
+	// AllocFail makes Check return ErrInjected: a simulated allocation
+	// failure at the site.
+	AllocFail Action = iota
+	// Panic makes Check panic with InjectedPanic: a simulated kernel crash.
+	Panic
+	// Delay makes Check sleep for the rule's Delay before returning nil:
+	// a simulated slow kernel, used to widen cancellation windows.
+	Delay
+)
+
+// String returns the spec-style name of the action.
+func (a Action) String() string {
+	switch a {
+	case AllocFail:
+		return "alloc"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Rule arms one injection behaviour. Site is an exact registered site name or
+// "*" for every site. Exactly one of the addressing modes applies:
+//
+//   - Hit > 0: fire on the Hit-th Check of each matching site (1-based),
+//     and only that one — the precise mode the chaos sweep uses.
+//   - OneIn > 0: fire whenever the deterministic hash of (Seed, site, hit)
+//     lands in the 1/OneIn bucket — the scattered chaos mode.
+//   - both zero: fire on every Check.
+type Rule struct {
+	Site   string
+	Action Action
+	Hit    int64
+	OneIn  int64
+	Delay  time.Duration
+}
+
+// plan is one armed configuration; swapped atomically so Check never locks.
+type plan struct {
+	seed  int64
+	rules []Rule
+}
+
+// Site is one registered injection point. Sites are package-level singletons
+// created by Register at init time; Check is their only runtime operation.
+type Site struct {
+	name string
+	hits atomic.Int64
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Site{}
+
+	armed   atomic.Bool
+	current atomic.Pointer[plan]
+)
+
+// Register creates (or returns the existing) injection site with the given
+// name. Call it from a package-level var initializer so Sites() can enumerate
+// every injection point for the chaos sweep.
+func Register(name string) *Site {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if s, ok := registry[name]; ok {
+		return s
+	}
+	s := &Site{name: name}
+	registry[name] = s
+	return s
+}
+
+// Sites returns the names of every registered injection point, sorted — the
+// address space the chaos sweep iterates.
+func Sites() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Enable arms the given rules with seed 0 and resets every site's hit
+// counter, so hit-addressed rules count from a known origin.
+func Enable(rules ...Rule) { EnableSeeded(0, rules...) }
+
+// EnableSeeded arms the rules with an explicit seed for OneIn-addressed
+// rules, resetting per-site hit counters.
+func EnableSeeded(seed int64, rules ...Rule) {
+	registryMu.Lock()
+	for _, s := range registry {
+		s.hits.Store(0)
+	}
+	registryMu.Unlock()
+	current.Store(&plan{seed: seed, rules: append([]Rule(nil), rules...)})
+	armed.Store(len(rules) > 0)
+}
+
+// Disable disarms every rule; Check returns to its one-atomic-load fast path.
+func Disable() {
+	armed.Store(false)
+	current.Store(nil)
+}
+
+// Armed reports whether any rule is active.
+func Armed() bool { return armed.Load() }
+
+// splitmix64 is the deterministic scrambler behind OneIn addressing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashSite folds a site name into the OneIn hash.
+func hashSite(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Check consults the armed plan at this site: it returns ErrInjected for a
+// matching alloc-failure rule, panics with InjectedPanic for a matching panic
+// rule, sleeps for a matching delay rule, and returns nil otherwise. With no
+// plan armed it is one atomic load.
+func (s *Site) Check() error {
+	if !armed.Load() {
+		return nil
+	}
+	p := current.Load()
+	if p == nil {
+		return nil
+	}
+	hit := s.hits.Add(1)
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Site != "*" && r.Site != s.name {
+			continue
+		}
+		switch {
+		case r.Hit > 0:
+			if hit != r.Hit {
+				continue
+			}
+		case r.OneIn > 0:
+			h := splitmix64(uint64(p.seed) ^ hashSite(s.name) ^ uint64(hit))
+			if h%uint64(r.OneIn) != 0 {
+				continue
+			}
+		}
+		switch r.Action {
+		case AllocFail:
+			return ErrInjected
+		case Panic:
+			panic(InjectedPanic{Site: s.name})
+		case Delay:
+			d := r.Delay
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
+	}
+	return nil
+}
+
+// ParseRules parses the GRB_FAULTS environment-variable grammar:
+//
+//	spec  := item (';' item)*
+//	item  := 'seed=' N | rule
+//	rule  := site ':' action [ '@' hit | '%' onein ] [ ':' delay ]
+//
+// where site is a registered name or '*', action is alloc|panic|delay, hit
+// and onein are positive integers, and delay is a Go duration (delay rules
+// only; default 1ms). Examples:
+//
+//	GRB_FAULTS="sparse.spgemm.spa:alloc@2"          third-party-free repro
+//	GRB_FAULTS="seed=7;*:panic%1000"                scattered chaos
+//	GRB_FAULTS="sparse.spmv.gather:delay:5ms"       slow-kernel simulation
+func ParseRules(spec string) (seed int64, rules []Rule, err error) {
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(item, "seed="); ok {
+			seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 {
+			return 0, nil, fmt.Errorf("faults: rule %q needs site:action", item)
+		}
+		r := Rule{Site: parts[0]}
+		act := parts[1]
+		if i := strings.IndexAny(act, "@%"); i >= 0 {
+			n, perr := strconv.ParseInt(act[i+1:], 10, 64)
+			if perr != nil || n <= 0 {
+				return 0, nil, fmt.Errorf("faults: rule %q has bad count %q", item, act[i+1:])
+			}
+			if act[i] == '@' {
+				r.Hit = n
+			} else {
+				r.OneIn = n
+			}
+			act = act[:i]
+		}
+		switch act {
+		case "alloc":
+			r.Action = AllocFail
+		case "panic":
+			r.Action = Panic
+		case "delay":
+			r.Action = Delay
+		default:
+			return 0, nil, fmt.Errorf("faults: rule %q has unknown action %q", item, act)
+		}
+		if len(parts) > 2 {
+			if r.Action != Delay {
+				return 0, nil, fmt.Errorf("faults: rule %q: only delay rules take a duration", item)
+			}
+			d, perr := time.ParseDuration(parts[2])
+			if perr != nil {
+				return 0, nil, fmt.Errorf("faults: rule %q has bad duration %q: %v", item, parts[2], perr)
+			}
+			r.Delay = d
+		}
+		rules = append(rules, r)
+	}
+	return seed, rules, nil
+}
+
+// ArmFromSpec parses a GRB_FAULTS spec and arms it; an empty spec disarms.
+// The grb layer calls this from Init so a production binary can be chaos-run
+// without recompilation.
+func ArmFromSpec(spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		Disable()
+		return nil
+	}
+	seed, rules, err := ParseRules(spec)
+	if err != nil {
+		return err
+	}
+	EnableSeeded(seed, rules...)
+	return nil
+}

@@ -74,12 +74,14 @@ func (g *Group) values() [kcLen]int64 {
 // (KernelCounts, DirectionCounts, TransposeCount, KernelScratchBytes,
 // ResetKernelCounts) read and reset them through internal/sparse.
 const (
-	KCDenseRanges = iota // multiply row ranges served by the dense SPA
-	KCHashRanges         // multiply row ranges served by the hash SPA
-	KCScratchBytes       // accumulator scratch allocated by kernels
-	KCPushCalls          // matrix-vector products served by the push kernel
-	KCPullCalls          // matrix-vector products served by the pull kernel
-	KCTransposeMats      // transpose materializations (cache misses)
+	KCDenseRanges    = iota // multiply row ranges served by the dense SPA
+	KCHashRanges            // multiply row ranges served by the hash SPA
+	KCScratchBytes          // accumulator scratch allocated by kernels
+	KCPushCalls             // matrix-vector products served by the push kernel
+	KCPullCalls             // matrix-vector products served by the pull kernel
+	KCTransposeMats         // transpose materializations (cache misses)
+	KCBudgetDegrades        // budget-forced route changes (hash fallback, thread halving, uncached transpose)
+	KCPanicsRecovered       // kernel panics recovered into parked §V errors
 	kcLen
 )
 
@@ -92,4 +94,6 @@ var KernelCounters = NewGroup(
 	"push_calls",
 	"pull_calls",
 	"transpose_materializations",
+	"budget_degrades",
+	"panics_recovered",
 )

@@ -94,12 +94,14 @@ type Event struct {
 	// kernel's execution. Attribution is approximate when kernels from other
 	// goroutines overlap this one (the group totals remain exact); each
 	// value is clamped at zero so a concurrent Reset cannot go negative.
-	ScratchBytes  int64 `json:"scratch_bytes,omitempty"`
-	DenseRanges   int64 `json:"dense_ranges,omitempty"`
-	HashRanges    int64 `json:"hash_ranges,omitempty"`
-	PushCalls     int64 `json:"push_calls,omitempty"`
-	PullCalls     int64 `json:"pull_calls,omitempty"`
-	TransposeMats int64 `json:"transpose_mats,omitempty"` // cache misses; 0 with Route "transpose" = cache hit
+	ScratchBytes    int64 `json:"scratch_bytes,omitempty"`
+	DenseRanges     int64 `json:"dense_ranges,omitempty"`
+	HashRanges      int64 `json:"hash_ranges,omitempty"`
+	PushCalls       int64 `json:"push_calls,omitempty"`
+	PullCalls       int64 `json:"pull_calls,omitempty"`
+	TransposeMats   int64 `json:"transpose_mats,omitempty"` // cache misses; 0 with Route "transpose" = cache hit
+	BudgetDegrades  int64 `json:"budget_degrades,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 
 	Steps int `json:"steps,omitempty"` // sequence spans: drained step count
 
@@ -197,6 +199,8 @@ func (x Exec) End(outNNZ int, err error) {
 	ev.PushCalls = deltaClamp(kc[KCPushCalls], ev.kcBefore[KCPushCalls])
 	ev.PullCalls = deltaClamp(kc[KCPullCalls], ev.kcBefore[KCPullCalls])
 	ev.TransposeMats = deltaClamp(kc[KCTransposeMats], ev.kcBefore[KCTransposeMats])
+	ev.BudgetDegrades = deltaClamp(kc[KCBudgetDegrades], ev.kcBefore[KCBudgetDegrades])
+	ev.PanicsRecovered = deltaClamp(kc[KCPanicsRecovered], ev.kcBefore[KCPanicsRecovered])
 	ev.Route = resolveRoute(ev)
 	if err != nil {
 		ev.Err = err.Error()

@@ -18,6 +18,7 @@ type opStats struct {
 	ns, flops, scratch, outNNZ atomic.Int64
 	dense, hash, push, pull    atomic.Int64
 	tmats, steps               atomic.Int64
+	degrades, panics           atomic.Int64
 }
 
 var registry sync.Map // op name -> *opStats
@@ -36,6 +37,11 @@ type OpMetrics struct {
 	PullCalls     int64 `json:"pull_calls,omitempty"`
 	TransposeMats int64 `json:"transpose_mats,omitempty"`
 	Steps         int64 `json:"steps,omitempty"`
+	// Hardening telemetry: budget-forced route changes (hash fallback,
+	// thread halving, uncached transpose) and kernel panics recovered into
+	// parked §V errors, attributed to the op whose drain triggered them.
+	BudgetDegrades  int64 `json:"budget_degrades,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 }
 
 // EnableMetrics turns the per-op metrics registry on or off, returning the
@@ -71,6 +77,8 @@ func recordMetrics(ev *Event) {
 	s.pull.Add(ev.PullCalls)
 	s.tmats.Add(ev.TransposeMats)
 	s.steps.Add(int64(ev.Steps))
+	s.degrades.Add(ev.BudgetDegrades)
+	s.panics.Add(ev.PanicsRecovered)
 }
 
 // MetricsSnapshot returns the per-op totals collected since the last reset.
@@ -89,8 +97,10 @@ func MetricsSnapshot() map[string]OpMetrics {
 			HashRanges:    s.hash.Load(),
 			PushCalls:     s.push.Load(),
 			PullCalls:     s.pull.Load(),
-			TransposeMats: s.tmats.Load(),
-			Steps:         s.steps.Load(),
+			TransposeMats:   s.tmats.Load(),
+			Steps:           s.steps.Load(),
+			BudgetDegrades:  s.degrades.Load(),
+			PanicsRecovered: s.panics.Load(),
 		}
 		return true
 	})

@@ -5,11 +5,71 @@
 // that context thread budgets are honored exactly.
 package parallel
 
-import "sync"
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// WorkerPanic wraps a panic recovered on a worker goroutine so For/Run can
+// re-raise it on the joining goroutine instead of crashing the process — the
+// execution-hardening contract: a panic inside any parallel kernel range must
+// surface to the kernel's caller, where the grb layer converts it into a
+// parked GrB_PANIC execution error (§V). Value is the original panic payload
+// (preserved so typed sentinels like the sparse budget abort survive the
+// goroutine hop); Stack is the worker's stack at recovery time, since the
+// re-raise happens on a different goroutine and would otherwise lose it.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error formats the wrapped panic; WorkerPanic intentionally satisfies the
+// error interface so recovery layers can log it directly.
+func (w WorkerPanic) Error() string {
+	return "parallel: worker panic: " + formatPanic(w.Value)
+}
+
+func formatPanic(v any) string {
+	switch t := v.(type) {
+	case error:
+		return t.Error()
+	case string:
+		return t
+	}
+	return "non-string panic value"
+}
+
+// panicBox captures the first panic among a group of workers.
+type panicBox struct {
+	mu  sync.Mutex
+	val *WorkerPanic
+}
+
+// capture records the current recover() value, keeping only the first.
+// Call only from a deferred context.
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		wp := WorkerPanic{Value: r, Stack: debug.Stack()}
+		b.mu.Lock()
+		if b.val == nil {
+			b.val = &wp
+		}
+		b.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the captured panic, if any, on the calling goroutine.
+func (b *panicBox) rethrow() {
+	if b.val != nil {
+		panic(*b.val)
+	}
+}
 
 // For runs body(lo, hi) over a partition of [0, n) using at most threads
 // concurrent goroutines. With threads <= 1 or n small it runs inline.
-// Partitions are contiguous and cover [0, n) exactly once.
+// Partitions are contiguous and cover [0, n) exactly once. A panic on any
+// worker is re-raised on the calling goroutine as a WorkerPanic after all
+// workers join (inline execution panics directly, without the wrapper).
 func For(n, threads int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -22,18 +82,21 @@ func For(n, threads int, body func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pb panicBox
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		lo := t * n / threads
 		hi := (t + 1) * n / threads
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pb.capture()
 			if lo < hi {
 				body(lo, hi)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // Ranges splits [0, n) into at most k contiguous ranges of near-equal size.
@@ -105,7 +168,11 @@ func BalancedRanges(rows, k int, ptr []int) []int {
 
 // Run executes fn(i) for i in [0, r) on at most threads goroutines, where r
 // is the number of ranges encoded by boundaries b (len(b)-1). It is a helper
-// for the BalancedRanges/Ranges output shape.
+// for the BalancedRanges/Ranges output shape. A panic on any worker is
+// re-raised on the calling goroutine as a WorkerPanic after all workers join
+// (serial execution panics directly, without the wrapper); remaining ranges
+// still run — cooperative cancellation, not hard abort, keeps the semantics
+// identical to the panic-free path for every range that does execute.
 func Run(b []int, threads int, fn func(part, lo, hi int)) {
 	r := len(b) - 1
 	if r <= 0 {
@@ -123,16 +190,19 @@ func Run(b []int, threads int, fn func(part, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pb panicBox
 	wg.Add(r)
 	sem := make(chan struct{}, threads)
 	for i := 0; i < r; i++ {
 		sem <- struct{}{}
 		go func(i int) {
 			defer func() { <-sem; wg.Done() }()
+			defer pb.capture()
 			if b[i] < b[i+1] {
 				fn(i, b[i], b[i+1])
 			}
 		}(i)
 	}
 	wg.Wait()
+	pb.rethrow()
 }

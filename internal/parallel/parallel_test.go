@@ -127,3 +127,113 @@ func TestRunVisitsEveryRange(t *testing.T) {
 		t.Fatalf("calls = %d", calls)
 	}
 }
+
+// sentinel is a typed panic payload; the hardening contract requires the
+// original value to survive the goroutine hop inside WorkerPanic.Value so
+// the sparse layer can distinguish its own abort sentinels from real crashes.
+type sentinel struct{ n int }
+
+func TestForWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want WorkerPanic", r, r)
+		}
+		s, ok := wp.Value.(sentinel)
+		if !ok || s.n != 7 {
+			t.Fatalf("payload %T (%v), want sentinel{7}", wp.Value, wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatal("worker stack not captured")
+		}
+	}()
+	For(100, 4, func(lo, hi int) {
+		if lo == 0 {
+			panic(sentinel{n: 7})
+		}
+	})
+	t.Fatal("For did not re-raise the worker panic")
+}
+
+func TestForInlinePanicUnwrapped(t *testing.T) {
+	defer func() {
+		r := recover()
+		if _, ok := r.(WorkerPanic); ok {
+			t.Fatal("inline panic must not be wrapped")
+		}
+		if s, ok := r.(sentinel); !ok || s.n != 3 {
+			t.Fatalf("recovered %v, want sentinel{3}", r)
+		}
+	}()
+	For(10, 1, func(lo, hi int) { panic(sentinel{n: 3}) })
+	t.Fatal("inline For did not panic")
+}
+
+func TestForAllWorkersJoinBeforeRethrow(t *testing.T) {
+	// Every non-panicking worker must finish its range even when another
+	// worker panics: cooperative isolation, not hard abort.
+	n := 64
+	hits := make([]int32, n)
+	func() {
+		defer func() { _ = recover() }()
+		For(n, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("element %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestRunWorkerPanicPropagates(t *testing.T) {
+	b := []int{0, 4, 8, 12, 16}
+	defer func() {
+		r := recover()
+		wp, ok := r.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want WorkerPanic", r, r)
+		}
+		if s, ok := wp.Value.(sentinel); !ok || s.n != 2 {
+			t.Fatalf("payload %v, want sentinel{2}", wp.Value)
+		}
+	}()
+	Run(b, 2, func(part, lo, hi int) {
+		if part == 2 {
+			panic(sentinel{n: 2})
+		}
+	})
+	t.Fatal("Run did not re-raise the worker panic")
+}
+
+func TestRunSerialPanicUnwrapped(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(WorkerPanic); ok {
+			t.Fatal("serial panic must not be wrapped")
+		}
+	}()
+	Run([]int{0, 5}, 1, func(part, lo, hi int) { panic("serial") })
+	t.Fatal("serial Run did not panic")
+}
+
+func TestWorkerPanicError(t *testing.T) {
+	cases := []struct {
+		val  any
+		want string
+	}{
+		{val: "boom", want: "parallel: worker panic: boom"},
+		{val: sentinel{}, want: "parallel: worker panic: non-string panic value"},
+	}
+	for _, c := range cases {
+		if got := (WorkerPanic{Value: c.val}).Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -23,12 +23,14 @@ func (k kcounter) Load() int64 { return obsv.KernelCounters.Get(int(k)) }
 // materializations (cache misses). Benchmarks, the differential tests, and
 // the obsv sinks read them to observe adaptive selection.
 var (
-	denseRanges   = kcounter(obsv.KCDenseRanges)
-	hashRanges    = kcounter(obsv.KCHashRanges)
-	scratchBytes  = kcounter(obsv.KCScratchBytes)
-	pushCalls     = kcounter(obsv.KCPushCalls)
-	pullCalls     = kcounter(obsv.KCPullCalls)
-	transposeMats = kcounter(obsv.KCTransposeMats)
+	denseRanges     = kcounter(obsv.KCDenseRanges)
+	hashRanges      = kcounter(obsv.KCHashRanges)
+	scratchBytes    = kcounter(obsv.KCScratchBytes)
+	pushCalls       = kcounter(obsv.KCPushCalls)
+	pullCalls       = kcounter(obsv.KCPullCalls)
+	transposeMats   = kcounter(obsv.KCTransposeMats)
+	budgetDegrades  = kcounter(obsv.KCBudgetDegrades)
+	panicsRecovered = kcounter(obsv.KCPanicsRecovered)
 )
 
 // KernelCounts returns the number of row ranges served by the dense and hash
@@ -51,6 +53,22 @@ func DirectionCounts() (push, pull int64) {
 // TransposeCount returns the number of transpose materializations since the
 // last ResetKernelCounts.
 func TransposeCount() int64 { return transposeMats.Load() }
+
+// HardeningCounts returns the number of budget-forced route degradations and
+// recovered kernel panics since the last ResetKernelCounts.
+func HardeningCounts() (degrades, panics int64) {
+	return budgetDegrades.Load(), panicsRecovered.Load()
+}
+
+// NotePanicRecovered increments the recovered-panic counter; the grb layer
+// calls it when a sequence-step recovery (outside the Ex kernels' own guard)
+// converts a panic into a parked error.
+func NotePanicRecovered() { panicsRecovered.Add(1) }
+
+// NoteBudgetDegrade increments the degradation counter; the grb layer calls
+// it when a route change made above the kernels (push→pull direction flip)
+// keeps an operation inside its memory budget.
+func NoteBudgetDegrade() { budgetDegrades.Add(1) }
 
 // ResetKernelCounts zeroes the selection and scratch counters, the push/pull
 // routing counters, and the transpose-materialization counter — as a group,

@@ -1,0 +1,328 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/grblas/grb/internal/faults"
+	"github.com/grblas/grb/internal/parallel"
+)
+
+// This file is the execution-hardening layer of the substrate: the budgeted
+// allocator (Budget/BudgetTx), the per-invocation execution environment
+// (Exec) that the *Ex kernel variants thread through their allocation and
+// range checkpoints, and the panic/abort plumbing that turns any failure —
+// budget exhaustion, cancellation, injected fault, or a genuine kernel bug —
+// into an ordinary error return the grb layer parks as a §V execution error.
+//
+// Inside a kernel, failures travel as panics (abortPanic for controlled
+// aborts, anything else for real crashes) because allocation sites sit deep
+// in parallel worker loops where error returns would contort every kernel.
+// parallel.For/Run ferry worker panics to the joining goroutine as
+// parallel.WorkerPanic, and recoverExec at each Ex kernel's entry converts
+// the whole taxonomy back into errors:
+//
+//	abortPanic{err}            → err            (ErrBudget, ErrCanceled, faults.ErrInjected)
+//	any other panic            → *KernelPanic   (wraps ErrKernelPanic)
+//
+// The non-Ex kernel signatures are preserved as thin wrappers that re-panic
+// on error, so existing internal callers and tests are untouched; the grb
+// layer calls the Ex variants and maps the errors onto Info codes.
+
+// Errors surfaced by the hardening layer. The grb layer maps ErrBudget (and
+// faults.ErrInjected) onto GrB_OUT_OF_MEMORY, ErrCanceled onto the Canceled
+// execution error, and ErrKernelPanic onto GrB_PANIC.
+var (
+	// ErrBudget reports that an allocation would exceed the context's memory
+	// limit after every graceful degradation was tried.
+	ErrBudget = errors.New("sparse: memory budget exhausted")
+	// ErrCanceled reports that the operation was aborted by context
+	// cancellation or an expired deadline at a range checkpoint.
+	ErrCanceled = errors.New("sparse: execution canceled")
+	// ErrKernelPanic is the sentinel wrapped by KernelPanic; errors.Is against
+	// it identifies a recovered kernel crash.
+	ErrKernelPanic = errors.New("sparse: kernel panic")
+)
+
+// KernelPanic is a kernel crash recovered into an error: Value is the
+// original panic payload, Stack the worker's stack when the panic crossed a
+// goroutine (nil for a same-goroutine recovery).
+type KernelPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error formats the recovered payload.
+func (k *KernelPanic) Error() string { return fmt.Sprintf("sparse: kernel panic: %v", k.Value) }
+
+// Unwrap ties the concrete panic record to the ErrKernelPanic sentinel.
+func (k *KernelPanic) Unwrap() error { return ErrKernelPanic }
+
+// Budget is a shared memory allowance, in bytes, for kernel scratch and
+// results: the enforcement half of the grb layer's WithMemoryLimit context
+// option. Reservations are tracked with one atomic counter; concurrent
+// operations against the same context share the pool.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewBudget creates a budget of limit bytes; limit <= 0 returns nil (an
+// unlimited budget is represented by the absence of one).
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// Limit returns the budget's byte limit (0 for a nil budget).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Used returns the bytes currently reserved.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// reserve attempts to claim n bytes, rolling back on failure.
+func (b *Budget) reserve(n int64) bool {
+	if b.used.Add(n) > b.limit {
+		b.used.Add(-n)
+		return false
+	}
+	return true
+}
+
+// release returns n bytes to the pool.
+func (b *Budget) release(n int64) { b.used.Add(-n) }
+
+// Tx opens a per-operation transaction against the budget: reservations made
+// through the transaction are released together by Close, so one drained
+// operation's scratch cannot leak into the pool when the op ends (normally or
+// by abort). A nil Budget yields a nil (unlimited) transaction.
+func (b *Budget) Tx() *BudgetTx {
+	if b == nil {
+		return nil
+	}
+	return &BudgetTx{b: b}
+}
+
+// BudgetTx tracks one operation's transient reservations. All methods are
+// nil-safe: a nil transaction is the unlimited allocator.
+type BudgetTx struct {
+	b    *Budget
+	held atomic.Int64
+}
+
+// Reserve claims n transient bytes, reporting whether they fit.
+func (tx *BudgetTx) Reserve(n int64) bool {
+	if tx == nil || n <= 0 {
+		return true
+	}
+	if !tx.b.reserve(n) {
+		return false
+	}
+	tx.held.Add(n)
+	return true
+}
+
+// ReservePersistent claims n bytes that outlive the transaction (e.g. a
+// cached transpose): they are charged to the budget but not released by
+// Close.
+func (tx *BudgetTx) ReservePersistent(n int64) bool {
+	if tx == nil || n <= 0 {
+		return true
+	}
+	return tx.b.reserve(n)
+}
+
+// Fits reports whether n more transient bytes would currently fit — the
+// degradation probe used to pick a cheaper route before committing to an
+// allocation.
+func (tx *BudgetTx) Fits(n int64) bool {
+	if tx == nil {
+		return true
+	}
+	return tx.b.used.Load()+n <= tx.b.limit
+}
+
+// Limited reports whether a finite budget is attached.
+func (tx *BudgetTx) Limited() bool { return tx != nil }
+
+// Held returns the transaction's live transient reservation.
+func (tx *BudgetTx) Held() int64 {
+	if tx == nil {
+		return 0
+	}
+	return tx.held.Load()
+}
+
+// Close releases every transient reservation back to the budget.
+func (tx *BudgetTx) Close() {
+	if tx == nil {
+		return
+	}
+	if n := tx.held.Swap(0); n > 0 {
+		tx.b.release(n)
+	}
+}
+
+// Exec is the execution environment for one kernel invocation: the thread
+// budget, the operation's budget transaction (nil = unlimited), and the
+// cancellation probe (nil = never canceled; returns ErrCanceled-compatible
+// errors). The zero Exec runs serially, unbudgeted, uncancellable — exactly
+// the pre-hardening behaviour, which is what the compatibility wrappers pass.
+type Exec struct {
+	Threads int
+	Tx      *BudgetTx
+	Cancel  func() error
+}
+
+// threads returns the effective worker count (≥ 1).
+func (e Exec) threads() int {
+	if e.Threads < 1 {
+		return 1
+	}
+	return e.Threads
+}
+
+// Close releases the budget transaction; call it when the operation that
+// built the Exec completes. Nil-safe.
+func (e Exec) Close() { e.Tx.Close() }
+
+// abortPanic carries a controlled kernel abort (budget, cancellation,
+// injected alloc failure) out of worker loops; recoverExec unwraps it back
+// into its error.
+type abortPanic struct{ err error }
+
+// abort raises err as a controlled kernel abort.
+func abort(err error) { panic(abortPanic{err: err}) }
+
+// charge consults the fault-injection site and then reserves bytes against
+// the budget, returning the failure (if any) as an error.
+func (e Exec) charge(s *faults.Site, bytes int64) error {
+	if err := s.Check(); err != nil {
+		return err
+	}
+	if !e.Tx.Reserve(bytes) {
+		return ErrBudget
+	}
+	return nil
+}
+
+// mustCharge is charge for call sites inside kernels: failure aborts the
+// kernel via panic, recovered by recoverExec at the kernel entry.
+func (e Exec) mustCharge(s *faults.Site, bytes int64) {
+	if err := e.charge(s, bytes); err != nil {
+		abort(err)
+	}
+}
+
+// checkpoint is the per-range abort probe: it consults the generic range
+// fault site (panic/delay injection lands here) and the cancellation hook.
+// Kernels call it at range granularity — once per worker range — which is the
+// abort latency the API documents.
+func (e Exec) checkpoint() {
+	if err := siteRange.Check(); err != nil {
+		abort(err)
+	}
+	if e.Cancel != nil {
+		if err := e.Cancel(); err != nil {
+			abort(err)
+		}
+	}
+}
+
+// recoverExec is deferred at every Ex kernel entry: it converts the panic
+// taxonomy (controlled aborts, ferried worker panics, genuine crashes) into
+// the kernel's error result. Real panics — anything that is not a controlled
+// abort — increment the recovered-panic counter.
+func recoverExec(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	*err = panicToError(r)
+}
+
+// panicToError maps one recovered panic value onto the hardening error
+// taxonomy.
+func panicToError(r any) error {
+	switch t := r.(type) {
+	case abortPanic:
+		return t.err
+	case parallel.WorkerPanic:
+		if ab, ok := t.Value.(abortPanic); ok {
+			return ab.err
+		}
+		panicsRecovered.Add(1)
+		return &KernelPanic{Value: t.Value, Stack: t.Stack}
+	}
+	panicsRecovered.Add(1)
+	return &KernelPanic{Value: r}
+}
+
+// Fault-injection sites, one per hardened allocation point plus the generic
+// per-range checkpoint. Registered at init so the chaos sweep can enumerate
+// them through faults.Sites().
+var (
+	siteSpGEMMDense = faults.Register("sparse.spgemm.spa")
+	siteSpGEMMHash  = faults.Register("sparse.spgemm.hash")
+	siteSpMVGather  = faults.Register("sparse.spmv.gather")
+	siteSpMVHash    = faults.Register("sparse.spmv.hash")
+	siteVxMSpa      = faults.Register("sparse.vxm.spa")
+	siteTranspose   = faults.Register("sparse.transpose.build")
+	siteMerge       = faults.Register("sparse.merge.tuples")
+	siteRange       = faults.Register("sparse.kernel.range")
+)
+
+// MergeSite exposes the tuple-merge fault site so the grb layer's deferred
+// setElement merge participates in the chaos sweep.
+func MergeSite() *faults.Site { return siteMerge }
+
+// slotBytes is the per-slot scratch cost of an accumulator over value type T:
+// one index word plus one value.
+func slotBytes[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(0) + unsafe.Sizeof(z))
+}
+
+// hashCapacity returns the power-of-two table size hashAccum/hashLookup
+// allocate for n live keys — the number charge must use so the budget sees
+// the real allocation, not the request.
+func hashCapacity(n int) int {
+	c := 16
+	for c < 2*n {
+		c <<= 1
+	}
+	return c
+}
+
+// degradeThreads halves the worker count until the per-worker scratch fits
+// the budget (or one worker remains), counting one degradation if any halving
+// happened. Fewer workers means fewer concurrently-live accumulators, which
+// is the first and cheapest pressure valve: it costs wall time, never
+// correctness.
+func degradeThreads(e Exec, threads int, perWorkerBytes int64) int {
+	if e.Tx == nil || threads <= 1 {
+		return threads
+	}
+	orig := threads
+	for threads > 1 && !e.Tx.Fits(int64(threads)*perWorkerBytes) {
+		threads = (threads + 1) / 2
+	}
+	if threads != orig {
+		budgetDegrades.Add(1)
+	}
+	return threads
+}

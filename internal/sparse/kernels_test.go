@@ -435,14 +435,14 @@ func TestKronOverflow(t *testing.T) {
 			t.Fatalf("%s: err = %v, want ErrTooLarge", tc.name, err)
 		}
 	}
-	// checkedMul itself: boundary sanity.
-	if _, ok := checkedMul(1<<32, 1<<32); ok {
+	// CheckedMul itself: boundary sanity.
+	if _, ok := CheckedMul(1<<32, 1<<32); ok {
 		t.Fatal("2^64 product reported as representable")
 	}
-	if p, ok := checkedMul(1<<31, 1<<31); !ok || p != 1<<62 {
+	if p, ok := CheckedMul(1<<31, 1<<31); !ok || p != 1<<62 {
 		t.Fatalf("2^62 product rejected: %d %v", p, ok)
 	}
-	if p, ok := checkedMul(0, 1<<62); !ok || p != 0 {
+	if p, ok := CheckedMul(0, 1<<62); !ok || p != 0 {
 		t.Fatal("zero product rejected")
 	}
 }

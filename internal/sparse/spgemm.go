@@ -2,7 +2,6 @@ package sparse
 
 import (
 	"sort"
-	"unsafe"
 
 	"github.com/grblas/grb/internal/parallel"
 )
@@ -42,9 +41,49 @@ func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) 
 // filtered at emit time: only positions admitted by the mask are stored.
 // This is the "masked SpGEMM" used by e.g. Sandia triangle counting; it
 // prunes memory (and the sort) even though products are still formed.
+//
+// SpGEMMKernel is the unhardened compatibility form: it delegates to
+// SpGEMMKernelEx with a zero execution environment (no budget, no
+// cancellation) and re-panics on the errors only injected faults could then
+// produce, so pre-hardening callers and tests see the old signature.
 func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, threads int, hint Kernel) *CSR[C] {
-	out := NewCSR[C](a.Rows, b.Cols)
+	out, err := SpGEMMKernelEx(a, b, mul, add, mask, Exec{Threads: threads}, hint)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SpGEMMKernelEx is the hardened SpGEMM: identical algorithm and output, with
+// the execution environment threaded through every allocation and range
+// boundary. Degradation order under memory pressure: halve workers (fewer
+// concurrently-live accumulators), then prefer the hash SPA over the dense
+// one per range when the dense workspace no longer fits, and only when even
+// the cheapest route cannot be charged does it return ErrBudget. A panic
+// anywhere inside — worker goroutines included — comes back as an error, not
+// a crash.
+func SpGEMMKernelEx[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(C, C) C, mask Mask, e Exec, hint Kernel) (out *CSR[C], err error) {
+	defer recoverExec(&err)
+	threads := e.threads()
 	fptr := SpGEMMFlops(a, b, threads)
+	slot := slotBytes[C]()
+	denseBytes := int64(b.Cols) * slot
+	if e.Tx != nil && threads > 1 {
+		// Per-worker scratch lower bound: whichever accumulator is cheaper for
+		// the heaviest row (the hash table is sized from it).
+		maxRow := 0
+		for i := 0; i < a.Rows; i++ {
+			if f := fptr[i+1] - fptr[i]; f > maxRow {
+				maxRow = f
+			}
+		}
+		per := denseBytes
+		if hb := int64(hashCapacity(maxRow)) * slot; hb < per {
+			per = hb
+		}
+		threads = degradeThreads(e, threads, per)
+	}
+	out = NewCSR[C](a.Rows, b.Cols)
 	parts := parallel.BalancedRanges(a.Rows, threads, fptr)
 	nparts := len(parts) - 1
 	pInd := make([][]int, nparts)
@@ -52,6 +91,7 @@ func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(
 	rowLen := make([]int, a.Rows)
 	masked := mask.M != nil || mask.Complement
 	parallel.Run(parts, threads, func(part, lo, hi int) {
+		e.checkpoint()
 		rangeFlops := fptr[hi] - fptr[lo]
 		maxFlops := 0
 		for i := lo; i < hi; i++ {
@@ -74,8 +114,17 @@ func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(
 			}
 			return mt
 		}
-		if chooseHash(hint, rangeFlops, b.Cols) {
+		useHash := chooseHash(hint, rangeFlops, b.Cols)
+		hashBytes := int64(hashCapacity(maxFlops)) * slot
+		if !useHash && e.Tx != nil && !e.Tx.Fits(denseBytes) && hashBytes < denseBytes {
+			// Budget degradation: the dense workspace no longer fits but the
+			// (smaller) hash table might — route this range to the hash SPA.
+			useHash = true
+			budgetDegrades.Add(1)
+		}
+		if useHash {
 			hashRanges.Add(1)
+			e.mustCharge(siteSpGEMMHash, hashBytes)
 			var h hashAccum[C]
 			h.ensure(maxFlops)
 			for i := lo; i < hi; i++ {
@@ -122,10 +171,10 @@ func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(
 			}
 		} else {
 			denseRanges.Add(1)
+			e.mustCharge(siteSpGEMMDense, denseBytes)
 			spa := make([]C, b.Cols)
 			stamp := make([]int, b.Cols) // generation marks; row i+1 is generation i+1
-			var zero C
-			scratchBytes.Add(int64(b.Cols) * int64(unsafe.Sizeof(0)+unsafe.Sizeof(zero)))
+			scratchBytes.Add(denseBytes)
 			for i := lo; i < hi; i++ {
 				gen := i + 1
 				pattern = pattern[:0]
@@ -171,13 +220,13 @@ func SpGEMMKernel[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add func(
 		pVal[part] = val
 	})
 	installStitched(out, parts, pInd, pVal, rowLen)
-	return out
+	return out, nil
 }
 
-// checkedMul returns x*y and whether the product is representable (no signed
+// CheckedMul returns x*y and whether the product is representable (no signed
 // overflow). Shapes and nnz counts are nonnegative, so a negative product
 // always means wraparound.
-func checkedMul(x, y int) (int, bool) {
+func CheckedMul(x, y int) (int, bool) {
 	if x == 0 || y == 0 {
 		return 0, true
 	}
@@ -195,9 +244,9 @@ func checkedMul(x, y int) (int, bool) {
 // ErrTooLarge before allocating anything (the grb layer maps this onto
 // GrB_OUT_OF_MEMORY).
 func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) (*CSR[C], error) {
-	rows, okR := checkedMul(a.Rows, b.Rows)
-	cols, okC := checkedMul(a.Cols, b.Cols)
-	nnz, okN := checkedMul(a.NNZ(), b.NNZ())
+	rows, okR := CheckedMul(a.Rows, b.Rows)
+	cols, okC := CheckedMul(a.Cols, b.Cols)
+	nnz, okN := CheckedMul(a.NNZ(), b.NNZ())
 	if !okR || !okC || !okN {
 		return nil, ErrTooLarge
 	}

@@ -32,18 +32,46 @@ func SpMV[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y,
 // complemented visited mask). The mask is compiled once by vmaskLookup
 // (dense bitmap or hash table, same policy as the gather buffer), so the
 // per-row admission test is O(1) rather than a binary search.
+// SpMVKernel is the unhardened compatibility form of SpMVKernelEx: zero
+// execution environment, re-panic on the errors only injected faults could
+// then produce.
 func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, threads int, hint Kernel) *Vec[Y] {
+	out, err := SpMVKernelEx(a, u, mul, add, mask, Exec{Threads: threads}, hint)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SpMVKernelEx is the hardened pull-style product: same algorithm and output
+// as SpMVKernel, with budget charging on the gather buffer (degrading from
+// the dense scatter to the hash table when the dense buffer no longer fits),
+// cancellation checkpoints at range granularity, and panic recovery.
+func SpMVKernelEx[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y, Y) Y, mask VMask, e Exec, hint Kernel) (out *Vec[Y], err error) {
+	defer recoverExec(&err)
+	threads := e.threads()
 	pullCalls.Add(1)
 	var lookup func(j int) (X, bool)
-	if chooseHash(hint, u.NNZ(), u.N) {
+	var zero X
+	denseBytes := int64(u.N) * int64(unsafe.Sizeof(zero)+1)
+	hashBytes := int64(hashCapacity(u.NNZ())) * slotBytes[X]()
+	useHash := chooseHash(hint, u.NNZ(), u.N)
+	if !useHash && e.Tx != nil && !e.Tx.Fits(denseBytes) && hashBytes < denseBytes {
+		// Budget degradation: gather through the hash table instead of the
+		// dense scatter buffer that no longer fits.
+		useHash = true
+		budgetDegrades.Add(1)
+	}
+	if useHash {
 		hashRanges.Add(1)
+		e.mustCharge(siteSpMVHash, hashBytes)
 		h := newHashLookup(u)
 		lookup = h.get
 	} else {
 		denseRanges.Add(1)
+		e.mustCharge(siteSpMVGather, denseBytes)
 		uv, uok := u.Scatter()
-		var zero X
-		scratchBytes.Add(int64(u.N) * int64(unsafe.Sizeof(zero)+1))
+		scratchBytes.Add(denseBytes)
 		lookup = func(j int) (X, bool) { return uv[j], uok[j] }
 	}
 	admit := vmaskLookup(mask, a.Rows)
@@ -52,6 +80,7 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 	pInd := make([][]int, nparts)
 	pVal := make([][]Y, nparts)
 	parallel.Run(parts, threads, func(part, lo, hi int) {
+		e.checkpoint()
 		var ind []int
 		var val []Y
 		for i := lo; i < hi; i++ {
@@ -82,7 +111,7 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 		pInd[part] = ind
 		pVal[part] = val
 	})
-	out := &Vec[Y]{N: a.Rows}
+	out = &Vec[Y]{N: a.Rows}
 	total := 0
 	for _, s := range pInd {
 		total += len(s)
@@ -93,7 +122,7 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 		out.Ind = append(out.Ind, pInd[p]...)
 		out.Val = append(out.Val, pVal[p]...)
 	}
-	return out
+	return out, nil
 }
 
 // VxM computes t = u ·(⊕,⊗) A (GraphBLAS vxm): t(j) = ⊕_i u(i) ⊗ A(i,j).
@@ -117,12 +146,31 @@ func SpMVKernel[A, X, Y any](a *CSR[A], u *Vec[X], mul func(A, X) Y, add func(Y,
 //     the reduction parallelizes instead of serializing behind worker 0.
 //   - sparse: the classic sequential pattern merge into worker 0's SPA,
 //     which is cheap precisely because the patterns are small.
+// VxM is the unhardened compatibility form of VxMEx: zero execution
+// environment, re-panic on the errors only injected faults could then
+// produce.
 func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, mask VMask, threads int) *Vec[Y] {
+	out, err := VxMEx(u, a, mul, add, mask, Exec{Threads: threads})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// VxMEx is the hardened push-style product: same algorithm and output as
+// VxM, with the per-worker SPA allocations charged against the budget. The
+// push SPA has no sparse fallback of its own, so degradation under pressure
+// is thread halving (fewer concurrently-live SPAs); when even one SPA cannot
+// be charged the kernel aborts with ErrBudget — the grb layer avoids that by
+// flipping direction to the pull kernel before committing to push.
+func VxMEx[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, mask VMask, e Exec) (out *Vec[Y], err error) {
+	defer recoverExec(&err)
+	threads := e.threads()
 	pushCalls.Add(1)
 	if mask.M == nil && mask.Complement {
 		// Complemented nil mask admits nothing; MaskApplyV discards every
 		// candidate entry, so the scatter would be pure waste.
-		return NewVec[Y](a.Cols)
+		return NewVec[Y](a.Cols), nil
 	}
 	nu := u.NNZ()
 	if threads > nu {
@@ -131,18 +179,24 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 	if threads < 1 {
 		threads = 1
 	}
+	var zero Y
+	spaBytes := int64(a.Cols) * int64(unsafe.Sizeof(zero)+1)
+	threads = degradeThreads(e, threads, spaBytes)
 	parts := parallel.Ranges(nu, threads)
 	nparts := len(parts) - 1
 	if nparts == 0 {
-		return NewVec[Y](a.Cols)
+		return NewVec[Y](a.Cols), nil
 	}
 	admit := vmaskLookup(mask, a.Cols)
 	spas := make([][]Y, nparts)
 	marks := make([][]bool, nparts)
 	patterns := make([][]int, nparts)
 	parallel.Run(parts, threads, func(part, lo, hi int) {
+		e.checkpoint()
+		e.mustCharge(siteVxMSpa, spaBytes)
 		spa := make([]Y, a.Cols)
 		mark := make([]bool, a.Cols)
+		scratchBytes.Add(spaBytes)
 		var pattern []int
 		for k := lo; k < hi; k++ {
 			i := u.Ind[k]
@@ -171,9 +225,9 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 	for _, p := range patterns {
 		totalPat += len(p)
 	}
-	out := &Vec[Y]{N: a.Cols}
+	out = &Vec[Y]{N: a.Cols}
 	if totalPat == 0 {
-		return out
+		return out, nil
 	}
 	if nparts > 1 && !chooseHash(KernelAuto, totalPat, a.Cols) {
 		// Dense reduction: each worker owns a contiguous column range and
@@ -215,7 +269,7 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 			out.Ind = append(out.Ind, rInd[p]...)
 			out.Val = append(out.Val, rVal[p]...)
 		}
-		return out
+		return out, nil
 	}
 	// Sparse reduction: merge worker SPAs into worker 0's.
 	spa0, mark0, pat0 := spas[0], marks[0], patterns[0]
@@ -237,5 +291,5 @@ func VxM[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y, 
 		out.Ind = append(out.Ind, j)
 		out.Val = append(out.Val, spa0[j])
 	}
-	return out
+	return out, nil
 }

@@ -21,18 +21,66 @@ var transposeCacheMu sync.Mutex
 // never mutates a CSR in place; pending-sequence steps and tuple merges
 // always install a freshly built matrix with an empty cache.
 func TransposeCached[T any](a *CSR[T]) *CSR[T] {
+	t, err := TransposeCachedEx(a, Exec{})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TransposeCachedEx is the hardened form of TransposeCached. The cached view
+// outlives the operation that built it, so its memory is charged persistently
+// against the budget (never released by the op's transaction); when that
+// charge does not fit, the function counts a degradation and returns
+// ErrBudget WITHOUT building anything — the caller's cue to skip caching
+// (build transiently with TransposeEx) or flip to the orientation it already
+// has.
+func TransposeCachedEx[T any](a *CSR[T], e Exec) (*CSR[T], error) {
 	if t := a.tr.Load(); t != nil {
-		return t
+		return t, nil
 	}
 	transposeCacheMu.Lock()
 	defer transposeCacheMu.Unlock()
 	if t := a.tr.Load(); t != nil {
-		return t
+		return t, nil
 	}
-	t := Transpose(a)
+	if err := siteTranspose.Check(); err != nil {
+		return nil, err
+	}
+	if !e.Tx.ReservePersistent(transposeBytes(a)) {
+		budgetDegrades.Add(1)
+		return nil, ErrBudget
+	}
+	t, err := transposeGuarded(a)
+	if err != nil {
+		return nil, err
+	}
 	t.tr.Store(a)
 	a.tr.Store(t)
-	return t
+	return t, nil
+}
+
+// TransposeEx materializes Aᵀ transiently under the execution environment:
+// the result is charged to the operation's transaction (released when the op
+// completes) and NOT cached on the input — the degraded no-cache route.
+func TransposeEx[T any](a *CSR[T], e Exec) (*CSR[T], error) {
+	if err := e.charge(siteTranspose, transposeBytes(a)); err != nil {
+		return nil, err
+	}
+	return transposeGuarded(a)
+}
+
+// transposeBytes is the budget cost of materializing Aᵀ: the output's index,
+// value and pointer arrays.
+func transposeBytes[T any](a *CSR[T]) int64 {
+	return int64(a.NNZ())*slotBytes[T]() + int64(a.Cols+1)*8
+}
+
+// transposeGuarded runs the bucket transpose with panic recovery, so a fault
+// injected (or a bug surfacing) mid-build becomes an error, not a crash.
+func transposeGuarded[T any](a *CSR[T]) (out *CSR[T], err error) {
+	defer recoverExec(&err)
+	return Transpose(a), nil
 }
 
 // Transpose returns Aᵀ using a two-pass counting (bucket) transpose: column

@@ -122,6 +122,16 @@ func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T
 		if indptr[0] != 0 || nnz < 0 || len(indices) != nnz || len(values) != nnz {
 			return nil, errf(InvalidValue, "MatrixImport(%v): inconsistent indptr/indices/values lengths", format)
 		}
+		// Validate the whole offset array before any of it is used to slice:
+		// nondecreasing with the endpoints pinned to 0 and nnz bounds every
+		// group to [0, nnz]. Checking lazily inside the copy loop would slice
+		// with an unvalidated upper bound first (indptr = [0, 5, 3] passes
+		// the p=0 comparison yet overruns a 3-entry indices array).
+		for p := 0; p < major; p++ {
+			if indptr[p] > indptr[p+1] {
+				return nil, errf(InvalidValue, "MatrixImport(%v): indptr must be nondecreasing", format)
+			}
+		}
 		// Copy the compressed arrays directly; the data is already grouped
 		// by major dimension, so only per-group sorting is needed (Table III
 		// allows unsorted entries within a row/column).
@@ -130,9 +140,6 @@ func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T
 			Ind: append([]int(nil), indices...),
 			Val: append([]T(nil), values...)}
 		for p := 0; p < major; p++ {
-			if indptr[p] > indptr[p+1] {
-				return nil, errf(InvalidValue, "MatrixImport(%v): indptr must be nondecreasing", format)
-			}
 			lo, hi := indptr[p], indptr[p+1]
 			sortRowPairs(t.Ind[lo:hi], t.Val[lo:hi])
 			for k := lo; k < hi; k++ {
@@ -165,8 +172,12 @@ func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T
 			return nil, errf(InvalidValue, "MatrixImport(COO): %v", err)
 		}
 	case FormatDenseRow, FormatDenseCol:
-		if len(values) != nrows*ncols {
-			return nil, errf(InvalidValue, "MatrixImport(%v): values must have %d entries, got %d", format, nrows*ncols, len(values))
+		ne, ok := sparse.CheckedMul(nrows, ncols)
+		if !ok {
+			return nil, errf(OutOfMemory, "MatrixImport(%v): dense size %dx%d overflows the index range", format, nrows, ncols)
+		}
+		if len(values) != ne {
+			return nil, errf(InvalidValue, "MatrixImport(%v): values must have %d entries, got %d", format, ne, len(values))
 		}
 		csr = &sparse.CSR[T]{Rows: nrows, Cols: ncols,
 			Ptr: make([]int, nrows+1),
@@ -219,7 +230,11 @@ func (m *Matrix[T]) MatrixExportSize(format Format) (nindptr, nindices, nvalues 
 	case FormatCOO:
 		return c.NNZ(), c.NNZ(), c.NNZ(), nil
 	default: // dense
-		return 0, 0, c.Rows * c.Cols, nil
+		ne, ok := sparse.CheckedMul(c.Rows, c.Cols)
+		if !ok {
+			return 0, 0, 0, errf(OutOfMemory, "MatrixExportSize(%v): dense size %dx%d overflows the index range", format, c.Rows, c.Cols)
+		}
+		return 0, 0, ne, nil
 	}
 }
 

@@ -1,0 +1,130 @@
+package grb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests are the import-path counterpart of serialize_fuzz_test.go:
+// MatrixImport and VectorImport take attacker-shaped index arrays straight
+// from the caller, so every malformed combination must be rejected with a
+// grb error (or accepted as a structurally valid object) — never a panic.
+
+// mutateInts returns a copy of src with 1-3 entries overwritten by
+// adversarial values: negatives, off-by-ones, huge magnitudes, and overflow
+// bait near MaxInt.
+func mutateInts(rng *rand.Rand, src []Index) []Index {
+	out := append([]Index(nil), src...)
+	if len(out) == 0 {
+		return out
+	}
+	evil := []Index{-1, -1 << 40, 0, 1, 7, 1 << 30, math.MaxInt, math.MaxInt - 1, math.MinInt}
+	for f := 0; f < 1+rng.Intn(3); f++ {
+		out[rng.Intn(len(out))] = evil[rng.Intn(len(evil))]
+	}
+	return out
+}
+
+// checkImported validates that an accepted import produced a readable,
+// internally consistent matrix.
+func checkImported(t *testing.T, trial int, m *Matrix[float64]) {
+	t.Helper()
+	if _, err := m.Nvals(); err != nil {
+		t.Fatalf("trial %d: accepted import yields broken object: %v", trial, err)
+	}
+	if _, _, _, err := m.ExtractTuples(); err != nil {
+		t.Fatalf("trial %d: accepted import yields unreadable object: %v", trial, err)
+	}
+}
+
+// TestMatrixImportNeverPanicsOnMutatedArrays mutates valid CSR/CSC/COO
+// import arrays and checks the never-panic contract on each.
+func TestMatrixImportNeverPanicsOnMutatedArrays(t *testing.T) {
+	setMode(t, Blocking)
+	// A valid 4x6 matrix in all three sparse formats.
+	indptr := []Index{0, 2, 2, 5, 6}
+	indices := []Index{1, 4, 0, 3, 5, 2}
+	values := []float64{1, 2, 3, 4, 5, 6}
+	cooRows := []Index{0, 0, 2, 2, 2, 3}
+	cooCols := []Index{1, 4, 0, 3, 5, 2}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4000; trial++ {
+		format := []Format{FormatCSR, FormatCSC, FormatCOO}[trial%3]
+		var p, i []Index
+		if format == FormatCOO {
+			p, i = mutateInts(rng, cooCols), mutateInts(rng, cooRows)
+		} else {
+			p, i = mutateInts(rng, indptr), mutateInts(rng, indices)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated %v import (trial %d, indptr=%v indices=%v): %v",
+						format, trial, p, i, r)
+				}
+			}()
+			m, err := MatrixImport[float64](4, 6, p, i, values, format)
+			if err == nil {
+				checkImported(t, trial, m)
+			}
+		}()
+	}
+}
+
+// TestMatrixImportIndptrOverrun pins the regression the validation-order fix
+// addressed: an indptr that fails nondecreasing only after an earlier bound
+// already exceeds nnz must be rejected, not overrun the indices array.
+func TestMatrixImportIndptrOverrun(t *testing.T) {
+	setMode(t, Blocking)
+	_, err := MatrixImport[float64](2, 8,
+		[]Index{0, 5, 3}, []Index{1, 2, 3}, []float64{1, 2, 3}, FormatCSR)
+	if Code(err) != InvalidValue {
+		t.Fatalf("overrunning indptr accepted: err = %v", err)
+	}
+}
+
+// TestImportOverflowShapes checks the integer-overflow shape guards: dense
+// extents that wrap the int range must fail cleanly with OutOfMemory.
+func TestImportOverflowShapes(t *testing.T) {
+	setMode(t, Blocking)
+	big := Index(math.MaxInt/2 + 1)
+	if _, err := MatrixImport[float64](big, 4, nil, nil, nil, FormatDenseRow); Code(err) != OutOfMemory {
+		t.Fatalf("dense import with overflowing shape: err = %v", err)
+	}
+	m := mustMatrix(t, 3, 3, []Index{0}, []Index{0}, []float64{1})
+	if err := m.Resize(big, 4); Code(err) != OutOfMemory {
+		t.Fatalf("Resize to overflowing shape: err = %v", err)
+	}
+	if err := m.Resize(math.MaxInt, 1); Code(err) != OutOfMemory {
+		t.Fatalf("Resize to MaxInt rows (Ptr length overflow): err = %v", err)
+	}
+	// The guarded paths must not disturb valid use.
+	if err := m.Resize(5, 5); err != nil {
+		t.Fatalf("valid Resize failed: %v", err)
+	}
+}
+
+// TestVectorImportNeverPanicsOnMutatedArrays is the vector analogue.
+func TestVectorImportNeverPanicsOnMutatedArrays(t *testing.T) {
+	setMode(t, Blocking)
+	indices := []Index{0, 3, 4, 8}
+	values := []int64{1, 2, 3, 4}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		i := mutateInts(rng, indices)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated vector import (trial %d, indices=%v): %v", trial, i, r)
+				}
+			}()
+			v, err := VectorImport[int64](9, i, values, FormatSparseVector)
+			if err == nil {
+				if _, err := v.Nvals(); err != nil {
+					t.Fatalf("trial %d: accepted import yields broken vector: %v", trial, err)
+				}
+			}
+		}()
+	}
+}

@@ -62,6 +62,13 @@ func TransposeCount() int64 { return sparse.TransposeCount() }
 // ResetKernelCounts.
 func KernelScratchBytes() int64 { return sparse.ScratchBytes() }
 
-// ResetKernelCounts zeroes the selection, scratch, direction-routing and
-// transpose-materialization counters.
+// HardeningCounts reports the execution-hardening telemetry since the last
+// ResetKernelCounts: degrades is the number of budget-forced route changes
+// (dense→hash accumulator fallback, thread halving, skipped transpose
+// caching, push→pull flips), panics the number of kernel panics recovered
+// into parked execution errors (§V) instead of crashing the process.
+func HardeningCounts() (degrades, panics int64) { return sparse.HardeningCounts() }
+
+// ResetKernelCounts zeroes the selection, scratch, direction-routing,
+// transpose-materialization and hardening counters.
 func ResetKernelCounts() { sparse.ResetKernelCounts() }

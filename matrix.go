@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"math"
 	"sync"
 
 	"github.com/grblas/grb/internal/obsv"
@@ -129,12 +130,17 @@ func (m *Matrix[T]) materializeLocked() error {
 			ev.A(m.csr.Rows, m.csr.Cols, m.csr.NNZ()).B(len(m.tuples), 1, len(m.tuples))
 		}
 		x := obsv.Begin(ev, m.seq)
-		nc, err := sparse.MergeTuples(m.csr, m.tuples)
+		nc, err := runStep("setElement", func() (*sparse.CSR[T], error) {
+			if err := sparse.MergeSite().Check(); err != nil {
+				return nil, err
+			}
+			return sparse.MergeTuples(m.csr, m.tuples)
+		})
 		m.tuples = nil
 		steps++
 		if err != nil {
 			x.End(0, err)
-			m.parkLocked(mapSparseErr(err, "setElement"))
+			m.parkLocked(err)
 		} else {
 			x.End(nc.NNZ(), nil)
 			m.csr = nc
@@ -191,7 +197,11 @@ func (m *Matrix[T]) enqueue(ctx *Context, ev *obsv.Event, compute func() (*spars
 	}
 	m.pending = append(m.pending, func(mm *Matrix[T]) {
 		x := obsv.Begin(ev, mm.seq)
-		res, err := compute()
+		// runStep isolates the kernel: a panic anywhere inside the step —
+		// worker goroutines included — parks an execution error instead of
+		// crashing the process (§V), leaving the object valid on its previous
+		// storage.
+		res, err := runStep("sequence step", compute)
 		if err != nil {
 			x.End(0, err)
 			mm.parkLocked(err)
@@ -361,6 +371,12 @@ func (m *Matrix[T]) Dup() (*Matrix[T], error) {
 	if err != nil {
 		return nil, err
 	}
+	// Defensive shape guard: every public constructor validates its shape,
+	// but Dup is where an object built through an internal path would first
+	// hand an unrepresentable dense extent to a caller.
+	if _, ok := sparse.CheckedMul(c.Rows, c.Cols); !ok {
+		return nil, errf(OutOfMemory, "Dup: shape %dx%d overflows the index range", c.Rows, c.Cols)
+	}
 	return &Matrix[T]{init: true, ctx: ctx, csr: c}, nil // csr is immutable; share
 }
 
@@ -376,6 +392,12 @@ func (m *Matrix[T]) Resize(nrows, ncols Index) error {
 	}
 	if nrows <= 0 || ncols <= 0 {
 		return errf(InvalidValue, "Resize: dimensions must be positive")
+	}
+	// Reject shapes whose dense extent (or Ptr length, nrows+1) overflows
+	// before the kernel allocates anything (ErrTooLarge semantics; the same
+	// taxonomy maps it onto GrB_OUT_OF_MEMORY).
+	if _, ok := sparse.CheckedMul(nrows, ncols); !ok || nrows > math.MaxInt-1 {
+		return errf(OutOfMemory, "Resize: shape %dx%d overflows the index range", nrows, ncols)
 	}
 	old, err := m.snapshot()
 	if err != nil {
@@ -585,13 +607,6 @@ func (m *Matrix[T]) ExtractTuples() (I, J []Index, X []T, err error) {
 }
 
 // mapSparseErr translates substrate errors into GraphBLAS execution errors.
-func mapSparseErr(err error, op string) *Error {
-	switch err {
-	case sparse.ErrDuplicate:
-		// §IX: with a nil dup operator, duplicates are an execution error.
-		return errf(InvalidValue, "%s: duplicate coordinates and no dup operator", op)
-	case sparse.ErrIndexOutOfBounds:
-		return errf(IndexOutOfBounds, "%s: index out of bounds", op)
-	}
-	return errf(Panic, "%s: %v", op, err)
-}
+// It is the historical name for mapExecErr (harden.go), which now also
+// covers the hardening sentinels (budget, cancellation, recovered panics).
+func mapSparseErr(err error, op string) *Error { return mapExecErr(err, op) }

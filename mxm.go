@@ -1,6 +1,8 @@
 package grb
 
 import (
+	"errors"
+
 	"github.com/grblas/grb/internal/obsv"
 	"github.com/grblas/grb/internal/sparse"
 )
@@ -71,12 +73,25 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 			WithFlops(mxmFlops(acsr, bcsr, d.Transpose0, d.Transpose1))
 	}
 	return c.enqueue(ctx, ev, func() (*sparse.CSR[DC], error) {
-		A := maybeTranspose(acsr, d.Transpose0)
-		B := maybeTranspose(bcsr, d.Transpose1)
+		// Hardened execution environment, built at drain time so budget
+		// charges and cancellation probes reflect execution order (§IV/§V).
+		e := ctx.exec(threads)
+		defer e.Close()
+		A, err := maybeTransposeEx(acsr, d.Transpose0, e)
+		if err != nil {
+			return nil, err
+		}
+		B, err := maybeTransposeEx(bcsr, d.Transpose1, e)
+		if err != nil {
+			return nil, err
+		}
 		// The mask prunes the product at emit time only when it does not
 		// change the accumulated result: pruned positions would be dropped
 		// by MaskApplyM anyway.
-		t := sparse.SpGEMMKernel(A, B, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		t, err := sparse.SpGEMMKernelEx(A, B, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+		if err != nil {
+			return nil, err
+		}
 		z := sparse.AccumMergeM(cOld, t, accum, threads)
 		return sparse.MaskApplyM(cOld, z, mk, d.Replace, threads), nil
 	})
@@ -155,14 +170,36 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		}
 	}
 	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
+		e := ctx.exec(threads)
+		defer e.Close()
 		var t *sparse.Vec[DC]
-		if usePush {
-			At := maybeTranspose(acsr, !d.Transpose0)
-			mulFlip := func(x DB, a DA) DC { return semiring.Mul(a, x) }
-			t = sparse.VxM(uvec, At, mulFlip, semiring.Add.Op, mk, threads)
-		} else {
-			A := maybeTranspose(acsr, d.Transpose0)
-			t = sparse.SpMVKernel(A, uvec, semiring.Mul, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		var err error
+		push := usePush
+		if push {
+			var At *sparse.CSR[DA]
+			At, err = maybeTransposeEx(acsr, !d.Transpose0, e)
+			if err == nil {
+				mulFlip := func(x DB, a DA) DC { return semiring.Mul(a, x) }
+				t, err = sparse.VxMEx(uvec, At, mulFlip, semiring.Add.Op, mk, e)
+			}
+			// Budget degradation: the push route's scatter SPA (or the
+			// transpose it rides on) did not fit, but the heuristic did not
+			// pin push — retry through the pull gather, which can run with a
+			// frontier-sized hash accumulator.
+			if err != nil && errors.Is(err, sparse.ErrBudget) && d.Dir == DirAuto {
+				sparse.NoteBudgetDegrade()
+				push, err = false, nil
+			}
+		}
+		if !push && err == nil {
+			var A *sparse.CSR[DA]
+			A, err = maybeTransposeEx(acsr, d.Transpose0, e)
+			if err == nil {
+				t, err = sparse.SpMVKernelEx(A, uvec, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+			}
+		}
+		if err != nil {
+			return nil, err
 		}
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil
@@ -237,14 +274,34 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		}
 	}
 	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
+		e := ctx.exec(threads)
+		defer e.Close()
 		var t *sparse.Vec[DC]
-		if usePush {
-			A := maybeTranspose(acsr, d.Transpose1)
-			t = sparse.VxM(uvec, A, semiring.Mul, semiring.Add.Op, mk, threads)
-		} else {
-			At := maybeTranspose(acsr, !d.Transpose1)
-			mulFlip := func(a DB, x DA) DC { return semiring.Mul(x, a) }
-			t = sparse.SpMVKernel(At, uvec, mulFlip, semiring.Add.Op, mk, threads, kernelHint(d.AxB))
+		var err error
+		push := usePush
+		if push {
+			var A *sparse.CSR[DB]
+			A, err = maybeTransposeEx(acsr, d.Transpose1, e)
+			if err == nil {
+				t, err = sparse.VxMEx(uvec, A, semiring.Mul, semiring.Add.Op, mk, e)
+			}
+			// Budget degradation, mirroring MxV: when auto-routed push cannot
+			// charge its scatter SPA, retry via the pull gather.
+			if err != nil && errors.Is(err, sparse.ErrBudget) && d.Dir == DirAuto {
+				sparse.NoteBudgetDegrade()
+				push, err = false, nil
+			}
+		}
+		if !push && err == nil {
+			var At *sparse.CSR[DB]
+			At, err = maybeTransposeEx(acsr, !d.Transpose1, e)
+			if err == nil {
+				mulFlip := func(a DB, x DA) DC { return semiring.Mul(x, a) }
+				t, err = sparse.SpMVKernelEx(At, uvec, mulFlip, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+			}
+		}
+		if err != nil {
+			return nil, err
 		}
 		z := sparse.AccumMergeV(wOld, t, accum)
 		return sparse.MaskApplyV(wOld, z, mk, d.Replace), nil

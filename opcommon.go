@@ -1,6 +1,10 @@
 package grb
 
-import "github.com/grblas/grb/internal/sparse"
+import (
+	"errors"
+
+	"github.com/grblas/grb/internal/sparse"
+)
 
 // snapMask completes a (possibly nil) matrix mask and bundles it with the
 // descriptor's mask-interpretation flags for the kernels.
@@ -80,6 +84,24 @@ func maybeTranspose[T any](m *sparse.CSR[T], t bool) *sparse.CSR[T] {
 	return m
 }
 
+// maybeTransposeEx is the hardened variant of maybeTranspose. The cached
+// transpose holds memory for the snapshot's lifetime, so under a memory
+// budget it is the first luxury dropped: when the persistent reservation
+// does not fit, the transpose is rebuilt transiently instead (charged to the
+// operation and released with its transaction), trading repeat work for
+// residency. Only if even the transient build does not fit does ErrBudget
+// reach the caller.
+func maybeTransposeEx[T any](m *sparse.CSR[T], t bool, e sparse.Exec) (*sparse.CSR[T], error) {
+	if !t {
+		return m, nil
+	}
+	tt, err := sparse.TransposeCachedEx(m, e)
+	if errors.Is(err, sparse.ErrBudget) {
+		return sparse.TransposeEx(m, e)
+	}
+	return tt, err
+}
+
 // chooseDir resolves a descriptor's Direction pin (or the adaptive
 // heuristic) into a concrete push/pull decision for a matrix-vector product
 // with frontier nnzU over input dimension inDim and outDim masked outputs.
@@ -115,7 +137,13 @@ func AsMaskFunc[T any](m *Matrix[T], pred func(T) bool) (*Matrix[bool], error) {
 	if err != nil {
 		return nil, err
 	}
-	out := sparse.ApplyM(c, pred, ctx.threadsFor(c.NNZ()))
+	// Immediate-mode kernel: isolate a panicking predicate (runStep).
+	out, err := runStep("AsMask", func() (*sparse.CSR[bool], error) {
+		return sparse.ApplyM(c, pred, ctx.threadsFor(c.NNZ())), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Matrix[bool]{init: true, ctx: m.ctx, csr: out}, nil
 }
 
@@ -138,6 +166,11 @@ func AsVectorMaskFunc[T any](v *Vector[T], pred func(T) bool) (*Vector[bool], er
 	if err != nil {
 		return nil, err
 	}
-	out := sparse.ApplyV(s, pred)
+	out, err := runStep("AsVectorMask", func() (*sparse.Vec[bool], error) {
+		return sparse.ApplyV(s, pred), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Vector[bool]{init: true, ctx: v.ctx, vec: out}, nil
 }

@@ -126,13 +126,29 @@ func matrixReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp
 			A(acsr.Rows, acsr.Cols, acsr.NNZ()).WithFlops(int64(acsr.NNZ()))
 	}
 	x := obsv.Begin(ev, 0)
-	t, tok := sparse.ReduceAll(acsr, op, threads)
+	// Immediate-mode kernel: runStep isolates a panicking user operator the
+	// same way the sequence-step guard does, but the error is returned
+	// directly (a scalar has no sequence to park it on).
+	r, err := runStep(opName, func() (reduceResult[T], error) {
+		t, tok := sparse.ReduceAll(acsr, op, threads)
+		return reduceResult[T]{t, tok}, nil
+	})
 	out := 0
-	if tok {
+	if r.ok {
 		out = 1
 	}
-	x.End(out, nil)
-	return installScalarReduce(s, accum, t, tok)
+	x.End(out, err)
+	if err != nil {
+		return err
+	}
+	return installScalarReduce(s, accum, r.val, r.ok)
+}
+
+// reduceResult bundles a reduction's value and presence bit through the
+// single-result runStep guard.
+type reduceResult[T any] struct {
+	val T
+	ok  bool
 }
 
 // VectorReduceToScalar reduces all stored entries of u into a GrB_Scalar
@@ -178,13 +194,19 @@ func vectorReduceScalarCommon[T any](opName string, s *Scalar[T], accum BinaryOp
 		ev = evKernel(opName).A(uvec.N, 1, uvec.NNZ()).WithFlops(int64(uvec.NNZ()))
 	}
 	x := obsv.Begin(ev, 0)
-	t, tok := sparse.ReduceVec(uvec, op)
+	r, err := runStep(opName, func() (reduceResult[T], error) {
+		t, tok := sparse.ReduceVec(uvec, op)
+		return reduceResult[T]{t, tok}, nil
+	})
 	out := 0
-	if tok {
+	if r.ok {
 		out = 1
 	}
-	x.End(out, nil)
-	return installScalarReduce(s, accum, t, tok)
+	x.End(out, err)
+	if err != nil {
+		return err
+	}
+	return installScalarReduce(s, accum, r.val, r.ok)
 }
 
 // installScalarReduce merges a reduction result into the output scalar under
@@ -230,11 +252,17 @@ func MatrixReduce[T any](monoid Monoid[T], a *Matrix[T]) (T, error) {
 	if err != nil {
 		return zero, err
 	}
-	t, ok := sparse.ReduceAll(acsr, monoid.Op, ctx.threadsFor(acsr.NNZ()))
-	if !ok {
+	r, err := runStep("MatrixReduce", func() (reduceResult[T], error) {
+		t, ok := sparse.ReduceAll(acsr, monoid.Op, ctx.threadsFor(acsr.NNZ()))
+		return reduceResult[T]{t, ok}, nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	if !r.ok {
 		return monoid.Identity, nil
 	}
-	return t, nil
+	return r.val, nil
 }
 
 // VectorReduce is the 1.X-style typed reduction of a vector, returning the
@@ -254,9 +282,15 @@ func VectorReduce[T any](monoid Monoid[T], u *Vector[T]) (T, error) {
 	if err != nil {
 		return zero, err
 	}
-	t, ok := sparse.ReduceVec(uvec, monoid.Op)
-	if !ok {
+	r, err := runStep("VectorReduce", func() (reduceResult[T], error) {
+		t, ok := sparse.ReduceVec(uvec, monoid.Op)
+		return reduceResult[T]{t, ok}, nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	if !r.ok {
 		return monoid.Identity, nil
 	}
-	return t, nil
+	return r.val, nil
 }

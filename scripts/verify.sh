@@ -2,8 +2,10 @@
 # Repo verification: tier-1 (build + full test suite), the race tier
 # (concurrency-sensitive suites under -race), the static-analysis tier
 # (grblint must report zero diagnostics), and the invariant tier (the race
-# suites again with the grbcheck runtime validators compiled in). Equivalent
-# to `make verify`; kept as a script so CI hooks without make can run it.
+# suites again with the grbcheck runtime validators compiled in), then the
+# chaos tier (the fault-injection sweep and hardening suites with grbcheck
+# compiled in). Equivalent to `make verify`; kept as a script so CI hooks
+# without make can run it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +21,9 @@ go run ./cmd/grblint ./...
 
 echo "== invariant tier: grbcheck runtime validators under -race =="
 go test -tags grbcheck -race . ./internal/sparse
+
+echo "== chaos tier: fault-injection sweep + budget/cancel hardening suites =="
+go test -tags grbcheck -race -count=1 \
+    -run 'TestChaos|TestScattered|TestFaultSpec|TestBudget|TestCancel|TestDeadline|TestInjectedPanic|TestUserOperatorPanic' .
 
 echo "verify: OK"

@@ -104,12 +104,17 @@ func (v *Vector[T]) materializeLocked() error {
 			ev.A(v.vec.N, 1, v.vec.NNZ()).B(len(v.tuples), 1, len(v.tuples))
 		}
 		x := obsv.Begin(ev, v.seq)
-		nv, err := sparse.MergeVTuples(v.vec, v.tuples)
+		nv, err := runStep("setElement", func() (*sparse.Vec[T], error) {
+			if err := sparse.MergeSite().Check(); err != nil {
+				return nil, err
+			}
+			return sparse.MergeVTuples(v.vec, v.tuples)
+		})
 		v.tuples = nil
 		steps++
 		if err != nil {
 			x.End(0, err)
-			v.parkLocked(mapSparseErr(err, "setElement"))
+			v.parkLocked(err)
 		} else {
 			x.End(nv.NNZ(), nil)
 			v.vec = nv
@@ -152,7 +157,8 @@ func (v *Vector[T]) enqueue(ctx *Context, ev *obsv.Event, compute func() (*spars
 	}
 	v.pending = append(v.pending, func(vv *Vector[T]) {
 		x := obsv.Begin(ev, vv.seq)
-		res, err := compute()
+		// Panic isolation, as in the Matrix step wrapper: see runStep.
+		res, err := runStep("sequence step", compute)
 		if err != nil {
 			x.End(0, err)
 			vv.parkLocked(err)
