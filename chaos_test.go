@@ -60,7 +60,9 @@ func chaosInputs(t *testing.T) (*Matrix[float64], *Vector[float64]) {
 
 // runHardenedBattery drives one operation through every hardened site:
 // tuple merge, both SpGEMM accumulators, the transpose builder, both SpMV
-// gather buffers, the push-side SPA, and the per-range checkpoint. Inputs
+// gather buffers, the push-side SPA, the per-range checkpoint, and the
+// monomorphized fast paths (loop entry, scatter SPA, block-format
+// conversion). Inputs
 // must be pre-materialized. Every op is drained with Wait(Materialize)
 // immediately, so injection points fire deterministically in battery order.
 func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []opOutcome {
@@ -83,6 +85,9 @@ func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []
 	record("merge", callErr, m.Wait(Materialize), m.ErrorString())
 
 	// sparse.spgemm.spa + sparse.kernel.range — dense-accumulator MxM.
+	// The closure-kernel sites need SpecGeneric: PlusTimes[float64] would
+	// otherwise route to the monomorphized kernels, whose own sites the
+	// mono ops below cover.
 	mxm := func(op string, desc *Descriptor) {
 		c, err := NewMatrix[float64](16, 16)
 		if err != nil {
@@ -91,11 +96,13 @@ func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []
 		callErr := MxM(c, nil, nil, PlusTimes[float64](), a, a, desc)
 		record(op, callErr, c.Wait(Materialize), c.ErrorString())
 	}
-	mxm("mxm-dense", DescDenseSPA)
+	mxm("mxm-dense", &Descriptor{AxB: AxBDenseSPA, Spec: SpecGeneric})
 	// sparse.spgemm.hash — hash-accumulator MxM.
 	mxm("mxm-hash", DescHashSPA)
 	// sparse.transpose.build — transposed input.
 	mxm("mxm-transpose", &Descriptor{Transpose0: true})
+	// sparse.mono.loop + sparse.mono.spa — monomorphized dense-SPA MxM.
+	mxm("mxm-mono", &Descriptor{AxB: AxBDenseSPA, Spec: SpecMono})
 
 	mxv := func(op string, desc *Descriptor) {
 		w, err := NewVector[float64](16)
@@ -106,11 +113,18 @@ func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []
 		record(op, callErr, w.Wait(Materialize), w.ErrorString())
 	}
 	// sparse.spmv.gather — pinned pull with the dense gather buffer.
-	mxv("mxv-pull-dense", &Descriptor{Dir: DirPull, AxB: AxBDenseSPA})
+	mxv("mxv-pull-dense", &Descriptor{Dir: DirPull, AxB: AxBDenseSPA, Spec: SpecGeneric})
 	// sparse.spmv.hash — pinned pull with the hash gather buffer.
 	mxv("mxv-pull-hash", &Descriptor{Dir: DirPull, AxB: AxBHashSPA})
 	// sparse.vxm.spa — pinned push (also crosses sparse.transpose.build).
-	mxv("mxv-push", &Descriptor{Dir: DirPush})
+	mxv("mxv-push", &Descriptor{Dir: DirPush, Spec: SpecGeneric})
+	// sparse.format.convert + sparse.mono.loop — monomorphized pull through
+	// the frontier's block view. The view caches on the vector snapshot, so
+	// the convert site checks once per fresh input (the sweep rebuilds
+	// inputs per point).
+	mxv("mxv-pull-mono", &Descriptor{Dir: DirPull, Spec: SpecMono})
+	// sparse.mono.spa — monomorphized push scatter.
+	mxv("mxv-push-mono", &Descriptor{Dir: DirPush, Spec: SpecMono})
 
 	return outs
 }
@@ -123,8 +137,8 @@ func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []
 func TestChaosSweepAllSitesAllActions(t *testing.T) {
 	setMode(t, NonBlocking)
 	sites := faults.Sites()
-	if len(sites) < 8 {
-		t.Fatalf("expected >= 8 registered fault sites, got %v", sites)
+	if len(sites) < 11 {
+		t.Fatalf("expected >= 11 registered fault sites, got %v", sites)
 	}
 	cases := []struct {
 		action faults.Action

@@ -12,6 +12,12 @@
 // -selftest runs the gate against itself: the baseline must pass unchanged,
 // and a synthetic 20% slowdown of every series must be flagged at the default
 // 15% tolerance. CI uses it to prove the gate can actually fire.
+//
+// -monomin R adds a paired-ratio gate on the current file (the baseline under
+// -selftest): every graph carrying both a mono and a closure series — the
+// dense experiment's kernel-tier A/B — must show closure/mono >= R, i.e. the
+// monomorphized kernel at least R× faster than the closure kernel it
+// replaces. 0 (the default) disables the gate.
 package main
 
 import (
@@ -20,10 +26,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 var (
 	tol      = flag.Float64("tol", 15, "maximum allowed slowdown, percent")
+	monomin  = flag.Float64("monomin", 0, "minimum closure/mono speedup for every graph with paired mono+closure series (0 disables)")
 	selftest = flag.Bool("selftest", false, "verify the gate fires on a synthetic 20% slowdown of the baseline")
 )
 
@@ -93,6 +101,38 @@ func compare(base, cur map[string]float64, tolPct float64) (regressed []string) 
 	return regressed
 }
 
+// checkMono enforces the paired-ratio gate: for every graph that carries
+// both a "<graph>/mono" and a "<graph>/closure" series, the closure time
+// divided by the mono time must reach minRatio. Graphs without the pair are
+// untouched — the gate is about the kernel-tier A/B, not general series.
+func checkMono(cur map[string]float64, minRatio float64) (failed []string) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		graph, ok := strings.CutSuffix(k, "/mono")
+		if !ok {
+			continue
+		}
+		clos, ok := cur[graph+"/closure"]
+		mono := cur[k]
+		if !ok || mono <= 0 {
+			continue
+		}
+		ratio := clos / mono
+		mark := "ok"
+		if ratio < minRatio {
+			mark = "TOO SLOW"
+			failed = append(failed, graph)
+		}
+		fmt.Printf("  %-24s mono=%.4fs closure=%.4fs speedup=%.2fx (need %.2fx) %s\n",
+			graph, mono, clos, ratio, minRatio, mark)
+	}
+	return failed
+}
+
 func main() {
 	flag.Parse()
 	if *selftest {
@@ -105,7 +145,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchcmp:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("selftest 1/2: baseline vs itself at tol=%.0f%% (must pass)\n", *tol)
+		steps := 2
+		if *monomin > 0 {
+			steps = 4
+		}
+		fmt.Printf("selftest 1/%d: baseline vs itself at tol=%.0f%% (must pass)\n", steps, *tol)
 		if reg := compare(base, base, *tol); len(reg) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp selftest: identical inputs flagged %v\n", reg)
 			os.Exit(1)
@@ -114,10 +158,39 @@ func main() {
 		for k, v := range base {
 			slowed[k] = v * 1.20
 		}
-		fmt.Printf("selftest 2/2: synthetic 20%% slowdown at tol=%.0f%% (must be flagged)\n", *tol)
+		fmt.Printf("selftest 2/%d: synthetic 20%% slowdown at tol=%.0f%% (must be flagged)\n", steps, *tol)
 		if reg := compare(base, slowed, *tol); len(reg) != len(base) {
 			fmt.Fprintf(os.Stderr, "benchcmp selftest: 20%% slowdown flagged %d of %d series\n", len(reg), len(base))
 			os.Exit(1)
+		}
+		if *monomin > 0 {
+			fmt.Printf("selftest 3/4: mono speedup gate at %.2fx (baseline must pass)\n", *monomin)
+			if failed := checkMono(base, *monomin); len(failed) > 0 {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the mono gate: %v\n", failed)
+				os.Exit(1)
+			}
+			// Degrade every mono series to its closure time: ratio 1.0 must
+			// be flagged, proving the gate can fire.
+			degraded := make(map[string]float64, len(base))
+			pairs := 0
+			for k, v := range base {
+				if g, ok := strings.CutSuffix(k, "/mono"); ok {
+					if clos, ok := base[g+"/closure"]; ok {
+						v = clos
+						pairs++
+					}
+				}
+				degraded[k] = v
+			}
+			if pairs == 0 {
+				fmt.Fprintln(os.Stderr, "benchcmp selftest: -monomin set but no mono/closure pairs in baseline")
+				os.Exit(1)
+			}
+			fmt.Printf("selftest 4/4: mono degraded to closure parity (must be flagged)\n")
+			if failed := checkMono(degraded, *monomin); len(failed) != pairs {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: parity flagged %d of %d pairs\n", len(failed), pairs)
+				os.Exit(1)
+			}
 		}
 		fmt.Println("benchcmp selftest: OK")
 		return
@@ -150,6 +223,14 @@ func main() {
 	if reg := compare(base, cur, *tol); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d series regressed beyond %.0f%%: %v\n", len(reg), *tol, reg)
 		os.Exit(1)
+	}
+	if *monomin > 0 {
+		fmt.Printf("benchcmp: mono speedup gate %.2fx\n", *monomin)
+		if failed := checkMono(cur, *monomin); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs under the %.2fx mono speedup floor: %v\n",
+				len(failed), *monomin, failed)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("benchcmp: OK")
 }

@@ -78,3 +78,36 @@ func TestCompareSkipsNonOverlapping(t *testing.T) {
 		t.Fatalf("non-overlapping series affected the verdict: %v", reg)
 	}
 }
+
+func TestCheckMonoPassesAboveFloor(t *testing.T) {
+	cur := map[string]float64{
+		"pagerank/mono": 1.0, "pagerank/closure": 2.5,
+		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
+	}
+	if failed := checkMono(cur, 2.0); len(failed) != 0 {
+		t.Fatalf("2.5x and 10x speedups failed the 2x floor: %v", failed)
+	}
+}
+
+func TestCheckMonoFlagsSlowPair(t *testing.T) {
+	cur := map[string]float64{
+		"pagerank/mono": 1.0, "pagerank/closure": 1.5,
+		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
+	}
+	failed := checkMono(cur, 2.0)
+	if len(failed) != 1 || failed[0] != "pagerank" {
+		t.Fatalf("1.5x speedup at 2x floor: got %v, want [pagerank]", failed)
+	}
+}
+
+func TestCheckMonoIgnoresUnpairedSeries(t *testing.T) {
+	// Traversal series and a mono series with no closure partner must not
+	// trip the gate — it judges only the kernel-tier A/B pairs.
+	cur := map[string]float64{
+		"rmat/push": 9.0, "rmat/pull": 1.0,
+		"orphan/mono": 5.0,
+	}
+	if failed := checkMono(cur, 2.0); len(failed) != 0 {
+		t.Fatalf("unpaired series tripped the mono gate: %v", failed)
+	}
+}

@@ -41,12 +41,17 @@ import (
 )
 
 var (
-	runList  = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper,traversal", "comma-separated experiments")
+	runList  = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper,traversal,dense", "comma-separated experiments")
 	scale    = flag.Int("scale", 14, "RMAT scale for the measured experiments")
 	kernel   = flag.String("kernel", "", "pin the multiply accumulator for the hyper experiment: auto, dense or hash (empty sweeps all three)")
 	dirFlag  = flag.String("dir", "", "pin the traversal direction for the traversal experiment: auto, push or pull (empty sweeps all three)")
-	jsonPath = flag.String("json", "", "write the traversal experiment's measured series to this JSON file")
+	format   = flag.String("format", "", "pin the block-format tier for the dense experiment: auto, bitmap or sparse (empty leaves the auto router)")
+	jsonPath = flag.String("json", "", "write the measured series (traversal + dense experiments) to this JSON file")
 )
+
+// benchResults collects the measured series from every experiment that
+// contributes to -json; main writes the file once after all sections run.
+var benchResults []traversalResult
 
 func main() {
 	flag.Parse()
@@ -59,6 +64,17 @@ func main() {
 	case "", "auto", "push", "pull":
 	default:
 		log.Fatalf("-dir %q: must be auto, push or pull", *dirFlag)
+	}
+	switch *format {
+	case "":
+	case "auto":
+		grb.SetFormatHint(grb.FormatHintAuto)
+	case "bitmap":
+		grb.SetFormatHint(grb.FormatHintBitmap)
+	case "sparse":
+		grb.SetFormatHint(grb.FormatHintSparse)
+	default:
+		log.Fatalf("-format %q: must be auto, bitmap or sparse", *format)
 	}
 	if err := grb.Init(grb.NonBlocking); err != nil {
 		log.Fatal(err)
@@ -104,6 +120,32 @@ func main() {
 	if want["traversal"] {
 		traversal()
 	}
+	if want["dense"] {
+		denseKernels()
+	}
+	writeBenchJSON()
+}
+
+// writeBenchJSON serializes the series collected by the measured experiments
+// (traversal, dense) plus the per-op profile into -json, once per run.
+func writeBenchJSON() {
+	if *jsonPath == "" || len(benchResults) == 0 {
+		return
+	}
+	blob, err := json.MarshalIndent(map[string]any{
+		"experiment": "traversal,dense",
+		"threads":    runtime.GOMAXPROCS(0),
+		"scale":      *scale,
+		"results":    benchResults,
+		"per_op":     grb.Metrics(),
+	}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *jsonPath)
 }
 
 func header(s string) { fmt.Printf("\n===== %s =====\n", s) }
@@ -647,7 +689,6 @@ func traversal() {
 		loads = append(loads, workload{"rmat", a, g.N, g.NumEdges()})
 	}
 
-	var results []traversalResult
 	fmt.Printf("  %-12s %-6s %-12s %-8s %-9s %-12s %s\n",
 		"graph", "dir", "time", "levels", "reached", "push/pull", "transpose mats")
 	for _, w := range loads {
@@ -693,7 +734,7 @@ func traversal() {
 			fmt.Printf("  %-12s %-6s %-12v %-8d %-9d %-12s %d\n",
 				w.name, tc.name, el, maxLevel+1, reached,
 				fmt.Sprintf("%dp/%dg", push, pull), tmats)
-			results = append(results, traversalResult{
+			benchResults = append(benchResults, traversalResult{
 				Graph: w.name, Vertices: w.n, Edges: w.m, Dir: tc.name,
 				Seconds: el.Seconds(), Levels: maxLevel + 1, Reached: reached,
 				PushCalls: push, PullCalls: pull, Transpose: tmats,
@@ -758,7 +799,7 @@ func traversal() {
 		fmt.Println("  (budget run: 256 KiB context limit — the push route's transpose no")
 		fmt.Println("   longer fits, so the router falls back to pull per level instead of")
 		fmt.Println("   failing; degrades counts those budget-forced route changes)")
-		results = append(results, traversalResult{
+		benchResults = append(benchResults, traversalResult{
 			Graph: w.name, Vertices: w.n, Edges: w.m, Dir: "budget",
 			Seconds: el.Seconds(), Levels: maxLevel + 1, Reached: reached,
 			PushCalls: push, PullCalls: pull,
@@ -766,23 +807,145 @@ func traversal() {
 		})
 		must(ctx.Free())
 	}
+}
 
-	if *jsonPath != "" {
-		blob, err := json.MarshalIndent(map[string]any{
-			"experiment": "traversal",
-			"threads":    threads,
-			"scale":      *scale,
-			"results":    results,
-			"per_op":     grb.Metrics(),
-		}, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", *jsonPath)
+// denseKernels measures the monomorphized hot-semiring kernels against the
+// generic closure kernels on block-format operands, single-threaded so the
+// ratio certifies per-core kernel quality rather than parallel scaling. Two
+// workloads: a PageRank-style power iteration (PLUS/TIMES float64 pull SpMV
+// over a full rank vector, the canonical dense-frontier case) and a
+// saturated-frontier BFS step (LOR/LAND pull over an all-true frontier,
+// where the monomorphized loop also short-circuits on the first hit). The
+// Spec descriptor pin selects the kernel tier per run — the top level of the
+// routing decision tree — and -format moves the block-format tier underneath
+// it. Each (workload, spec) pair lands in -json as a (graph, mono|closure)
+// series; cmd/benchcmp -monomin turns the pair ratio into a CI gate.
+func denseKernels() {
+	header("Dense — monomorphized hot-semiring kernels vs closure kernels")
+	hintName := "auto"
+	if *format != "" {
+		hintName = *format
 	}
+	ctx := must1(grb.NewContext(grb.NonBlocking, nil, grb.WithThreads(1)))
+
+	a := rmatFloat(*scale)
+	must(a.SwitchContext(ctx))
+	dim := must1(a.Nrows())
+	nnz := must1(a.Nvals())
+	ab, g := rmatBool(*scale)
+	must(ab.SwitchContext(ctx))
+
+	const iters = 12
+	fmt.Printf("  scale=%d: n=%d nnz=%d, %d iterations per timing, 1 thread, format hint %s\n",
+		*scale, int(dim), nnz, iters, hintName)
+	fmt.Printf("  %-14s %-8s %-12s %-11s %s\n", "workload", "spec", "time", "mono/clos", "conversions")
+
+	ind := make([]grb.Index, dim)
+	for i := range ind {
+		ind[i] = grb.Index(i)
+	}
+	fill := func(x float64) *grb.Vector[float64] {
+		val := make([]float64, dim)
+		for i := range val {
+			val[i] = x
+		}
+		v := must1(grb.NewVector[float64](dim, grb.InContext(ctx)))
+		must(v.Build(ind, val, nil))
+		must(v.Wait(grb.Materialize))
+		return v
+	}
+
+	// pagerank: r' = 0.85·(A r) ⊕ teleport. The teleport vector is full, so
+	// the eWiseAdd union keeps r full and every pull SpMV sees a dense
+	// frontier. The damping apply and the add are identical work on both
+	// sides; the measured gap is the SpMV kernel tier.
+	damp := func(x, y float64) float64 { return 0.85*x + y }
+	pagerank := func(spec grb.SpecMode) (time.Duration, int64, int64, int64) {
+		r := fill(1 / float64(dim))
+		tele := fill(0.15 / float64(dim))
+		w := must1(grb.NewVector[float64](dim, grb.InContext(ctx)))
+		desc := &grb.Descriptor{Dir: grb.DirPull, Spec: spec}
+		grb.ResetKernelCounts()
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			must(grb.MxV(w, nil, nil, grb.PlusTimes[float64](), a, r, desc))
+			must(grb.EWiseAddVector(r, nil, nil, damp, w, tele, nil))
+			must(r.Wait(grb.Materialize))
+		}
+		el := time.Since(start)
+		mono, clos := grb.MonoKernelCounts()
+		return el, mono, clos, grb.FormatConversionCount()
+	}
+
+	// bfs-sat: the steady state of a direction-optimized BFS once the
+	// frontier saturates — every position set, so the pull gather walks full
+	// rows and the LOR monoid can stop at the first true product.
+	bfsSat := func(spec grb.SpecMode) (time.Duration, int64, int64, int64) {
+		f := must1(grb.NewVector[bool](dim, grb.InContext(ctx)))
+		tv := make([]bool, dim)
+		for i := range tv {
+			tv[i] = true
+		}
+		must(f.Build(ind, tv, nil))
+		must(f.Wait(grb.Materialize))
+		w := must1(grb.NewVector[bool](dim, grb.InContext(ctx)))
+		desc := &grb.Descriptor{Dir: grb.DirPull, Spec: spec}
+		grb.ResetKernelCounts()
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			must(grb.MxV(w, nil, nil, grb.LOrLAnd(), ab, f, desc))
+			must(w.Wait(grb.Materialize))
+		}
+		el := time.Since(start)
+		mono, clos := grb.MonoKernelCounts()
+		return el, mono, clos, grb.FormatConversionCount()
+	}
+
+	for _, wl := range []struct {
+		name  string
+		edges int
+		run   func(grb.SpecMode) (time.Duration, int64, int64, int64)
+	}{
+		{"pagerank", int(nnz), pagerank},
+		{"bfs-sat", g.NumEdges(), bfsSat},
+	} {
+		var monoTime, closTime time.Duration
+		for _, tc := range []struct {
+			name string
+			spec grb.SpecMode
+		}{
+			{"mono", grb.SpecMono},
+			{"closure", grb.SpecGeneric},
+		} {
+			// Best of three repetitions: the mono loops finish in a few
+			// milliseconds, where scheduler noise on a shared host easily
+			// doubles a single sample.
+			el, mono, clos, conv := wl.run(tc.spec)
+			for rep := 0; rep < 2; rep++ {
+				if el2, _, _, _ := wl.run(tc.spec); el2 < el {
+					el = el2
+				}
+			}
+			fmt.Printf("  %-14s %-8s %-12v %-11s %d\n",
+				wl.name, tc.name, el, fmt.Sprintf("%dm/%dc", mono, clos), conv)
+			if tc.name == "mono" {
+				monoTime = el
+			} else {
+				closTime = el
+			}
+			benchResults = append(benchResults, traversalResult{
+				Graph: wl.name, Vertices: int(dim), Edges: wl.edges,
+				Dir: tc.name, Seconds: el.Seconds(),
+			})
+		}
+		if monoTime > 0 {
+			fmt.Printf("  %-14s closure/mono speedup: %.2fx\n", wl.name, float64(closTime)/float64(monoTime))
+		}
+	}
+	fmt.Println("  (spec pins the kernel tier per run: mono takes the monomorphized")
+	fmt.Println("   direct-arithmetic loop over the cached block view, closure erases the")
+	fmt.Println("   semiring tag so the generic kernels run; -format moves the block tier)")
+	must(ctx.Free())
 }
 
 // must aborts on an unexpected error from a grb call; grblint (infocheck)

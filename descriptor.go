@@ -36,6 +36,25 @@ const (
 	DirPull
 )
 
+// SpecMode selects whether the multiply operations may run monomorphized
+// (specialized direct-arithmetic) kernels for the hot semirings. This is an
+// extension, completing the kernel-pinning triple with AxBMethod
+// (accumulator) and Direction (push/pull): the default routes by the
+// semiring's constructor tag and format heuristics, and the pinned variants
+// force one side — for benchmarking and the mono≡closure differential
+// battery.
+type SpecMode int
+
+const (
+	// SpecAuto routes by semiring tag, operand types and format heuristics.
+	SpecAuto SpecMode = iota
+	// SpecMono forces the monomorphized kernel wherever one exists for the
+	// semiring and value types (falling back only when none does).
+	SpecMono
+	// SpecGeneric forces the generic closure kernels.
+	SpecGeneric
+)
+
 // Descriptor modifies how a GraphBLAS operation treats its output, mask and
 // inputs (GrB_Descriptor). A nil *Descriptor everywhere means default
 // behaviour: merge into the output, value mask, untransposed inputs.
@@ -58,6 +77,9 @@ type Descriptor struct {
 	// Dir selects the matrix-vector traversal direction (extension; see
 	// Direction).
 	Dir Direction
+	// Spec selects monomorphized vs. generic closure kernels (extension;
+	// see SpecMode).
+	Spec SpecMode
 }
 
 // Predefined descriptors mirroring the C API's GrB_DESC_* constants.
@@ -90,6 +112,11 @@ var (
 	DescPush = &Descriptor{Dir: DirPush}
 	// DescPull pins matrix-vector products to the pull (gather) kernel.
 	DescPull = &Descriptor{Dir: DirPull}
+	// DescMono pins multiply operations to the monomorphized hot-semiring
+	// kernels where they exist.
+	DescMono = &Descriptor{Spec: SpecMono}
+	// DescGeneric pins multiply operations to the generic closure kernels.
+	DescGeneric = &Descriptor{Spec: SpecGeneric}
 )
 
 // get normalizes a possibly-nil descriptor to a value.

@@ -298,7 +298,9 @@ func TestInjectedPanicIsIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewMatrix: %v", err)
 	}
-	if err := MxM(c, nil, nil, PlusTimes[float64](), a, a, DescDenseSPA); err != nil {
+	// SpecGeneric keeps the tagged semiring on the closure kernel whose SPA
+	// site the rule arms (the mono path has its own sites).
+	if err := MxM(c, nil, nil, PlusTimes[float64](), a, a, &Descriptor{AxB: AxBDenseSPA, Spec: SpecGeneric}); err != nil {
 		t.Fatalf("MxM: %v", err)
 	}
 	if err := c.Wait(Materialize); Code(err) != Panic {

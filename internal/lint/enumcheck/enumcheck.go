@@ -24,8 +24,8 @@ import (
 var Analyzer = &lint.Analyzer{
 	Name: "enumcheck",
 	Doc: "report non-exhaustive switches over the GraphBLAS enumerations (Info, WaitMode, Mode, " +
-		"Format, AxBMethod, Direction) — §IX pins the enum values, so every member must be handled " +
-		"or a default supplied",
+		"Format, AxBMethod, Direction, SpecMode) — §IX pins the enum values, so every member must " +
+		"be handled or a default supplied",
 	Run: run,
 }
 
@@ -35,6 +35,7 @@ var Analyzer = &lint.Analyzer{
 var guardedEnums = map[string]bool{
 	"Info": true, "WaitMode": true, "Mode": true,
 	"Format": true, "AxBMethod": true, "Direction": true,
+	"SpecMode": true,
 }
 
 func run(pass *lint.Pass) error {

@@ -82,6 +82,9 @@ const (
 	KCTransposeMats         // transpose materializations (cache misses)
 	KCBudgetDegrades        // budget-forced route changes (hash fallback, thread halving, uncached transpose)
 	KCPanicsRecovered       // kernel panics recovered into parked §V errors
+	KCMonoKernels           // multiply calls served by a monomorphized semiring kernel
+	KCClosureFallbacks      // multiply calls that fell back to the generic closure kernel
+	KCFormatConversions     // sparse→bitmap/dense block-format materializations (cache misses)
 	kcLen
 )
 
@@ -96,4 +99,7 @@ var KernelCounters = NewGroup(
 	"transpose_materializations",
 	"budget_degrades",
 	"panics_recovered",
+	"mono_kernels",
+	"closure_fallbacks",
+	"format_conversions",
 )

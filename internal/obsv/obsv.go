@@ -102,6 +102,9 @@ type Event struct {
 	TransposeMats   int64 `json:"transpose_mats,omitempty"` // cache misses; 0 with Route "transpose" = cache hit
 	BudgetDegrades  int64 `json:"budget_degrades,omitempty"`
 	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
+	MonoKernels     int64 `json:"mono_kernels,omitempty"`
+	ClosureFalls    int64 `json:"closure_fallbacks,omitempty"`
+	FormatConvs     int64 `json:"format_conversions,omitempty"`
 
 	Steps int `json:"steps,omitempty"` // sequence spans: drained step count
 
@@ -201,6 +204,9 @@ func (x Exec) End(outNNZ int, err error) {
 	ev.TransposeMats = deltaClamp(kc[KCTransposeMats], ev.kcBefore[KCTransposeMats])
 	ev.BudgetDegrades = deltaClamp(kc[KCBudgetDegrades], ev.kcBefore[KCBudgetDegrades])
 	ev.PanicsRecovered = deltaClamp(kc[KCPanicsRecovered], ev.kcBefore[KCPanicsRecovered])
+	ev.MonoKernels = deltaClamp(kc[KCMonoKernels], ev.kcBefore[KCMonoKernels])
+	ev.ClosureFalls = deltaClamp(kc[KCClosureFallbacks], ev.kcBefore[KCClosureFallbacks])
+	ev.FormatConvs = deltaClamp(kc[KCFormatConversions], ev.kcBefore[KCFormatConversions])
 	ev.Route = resolveRoute(ev)
 	if err != nil {
 		ev.Err = err.Error()
@@ -218,20 +224,24 @@ func deltaClamp(after, before int64) int64 {
 }
 
 // resolveRoute refines an adaptive route request with the counter deltas the
-// kernel actually produced: "auto" becomes the accumulator(s) observed.
+// kernel actually produced: "auto" becomes the accumulator(s) observed, and
+// any route a monomorphized semiring kernel served gains a "+mono" suffix.
 func resolveRoute(ev *Event) string {
-	if ev.Route != "auto" {
-		return ev.Route
+	route := ev.Route
+	if route == "auto" {
+		switch {
+		case ev.DenseRanges > 0 && ev.HashRanges > 0:
+			route = "auto(mixed)"
+		case ev.HashRanges > 0:
+			route = "auto(hash)"
+		case ev.DenseRanges > 0:
+			route = "auto(dense)"
+		}
 	}
-	switch {
-	case ev.DenseRanges > 0 && ev.HashRanges > 0:
-		return "auto(mixed)"
-	case ev.HashRanges > 0:
-		return "auto(hash)"
-	case ev.DenseRanges > 0:
-		return "auto(dense)"
+	if ev.MonoKernels > 0 {
+		route += "+mono"
 	}
-	return "auto"
+	return route
 }
 
 // Span is an open sequence span: one deferred-sequence drain from the first

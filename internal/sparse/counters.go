@@ -31,6 +31,10 @@ var (
 	transposeMats   = kcounter(obsv.KCTransposeMats)
 	budgetDegrades  = kcounter(obsv.KCBudgetDegrades)
 	panicsRecovered = kcounter(obsv.KCPanicsRecovered)
+
+	monoKernels       = kcounter(obsv.KCMonoKernels)
+	closureFallbacks  = kcounter(obsv.KCClosureFallbacks)
+	formatConversions = kcounter(obsv.KCFormatConversions)
 )
 
 // KernelCounts returns the number of row ranges served by the dense and hash
@@ -59,6 +63,20 @@ func TransposeCount() int64 { return transposeMats.Load() }
 func HardeningCounts() (degrades, panics int64) {
 	return budgetDegrades.Load(), panicsRecovered.Load()
 }
+
+// MonoCounts returns the number of multiply calls served by a monomorphized
+// semiring kernel and the number that fell back to the generic closure
+// kernel since the last ResetKernelCounts. A call counts as mono when its
+// semiring/format/spec route admitted it, even if some hash-routed row
+// ranges inside it still evaluated closures.
+func MonoCounts() (mono, closure int64) {
+	return monoKernels.Load(), closureFallbacks.Load()
+}
+
+// FormatConversionCount returns the number of sparse→bitmap/dense
+// block-format materializations (cache misses, not cached-view hits) since
+// the last ResetKernelCounts.
+func FormatConversionCount() int64 { return formatConversions.Load() }
 
 // NotePanicRecovered increments the recovered-panic counter; the grb layer
 // calls it when a sequence-step recovery (outside the Ex kernels' own guard)

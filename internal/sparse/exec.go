@@ -284,6 +284,12 @@ var (
 	siteTranspose   = faults.Register("sparse.transpose.build")
 	siteMerge       = faults.Register("sparse.merge.tuples")
 	siteRange       = faults.Register("sparse.kernel.range")
+	// Monomorphized fast-path sites: the per-range loop entry of the
+	// specialized kernels, their scatter-SPA allocation, and the
+	// sparse→bitmap/dense block-format materialization they ride on.
+	siteMonoLoop      = faults.Register("sparse.mono.loop")
+	siteMonoSpa       = faults.Register("sparse.mono.spa")
+	siteFormatConvert = faults.Register("sparse.format.convert")
 )
 
 // MergeSite exposes the tuple-merge fault site so the grb layer's deferred

@@ -1,0 +1,152 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Format-transition property tests: converting a sparse object to its
+// bitmap/dense block view and back must be lossless — same shape, same
+// nnz, same pattern, same values — for every density and under either
+// format hint. Built with -tags grbcheck the conversions additionally run
+// the structural validators at every install point, so a malformed view or
+// a broken round-trip fails twice over.
+
+// roundTripVec pushes v through its block view and back and checks the
+// result is exactly v.
+func roundTripVec[T comparable](t *testing.T, label string, v *Vec[T], wantFull bool) {
+	t.Helper()
+	dv, err := v.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatalf("%s: DenseViewEx: %v", label, err)
+	}
+	if dv.N != v.N || dv.Nnz != v.NNZ() {
+		t.Fatalf("%s: view shape/nnz (%d,%d) != (%d,%d)", label, dv.N, dv.Nnz, v.N, v.NNZ())
+	}
+	if dv.Full() != wantFull {
+		t.Fatalf("%s: view Full() = %v, want %v", label, dv.Full(), wantFull)
+	}
+	back := dv.Sparse()
+	identicalVec(t, label+"/round-trip", back, v)
+}
+
+func TestFormatVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mk := func(r *rand.Rand) float64 { return r.NormFloat64() }
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		// Sparse frontier: always a bitmap view.
+		roundTripVec(t, "sparse", sprayVec(rng, n, 3, mk), false)
+		// Full frontier: a dense view under the auto hint...
+		roundTripVec(t, "full-auto", fullVec(rng, n, mk), true)
+		// ...and a bitmap view under the bitmap pin.
+		prev := SetFormatHint(FormatHintBitmap)
+		roundTripVec(t, "full-bitmap", fullVec(rng, n, mk), false)
+		SetFormatHint(prev)
+	}
+	// Degenerate shapes.
+	roundTripVec(t, "empty", NewVec[float64](17), false)
+	roundTripVec(t, "zero-dim", NewVec[float64](0), true)
+}
+
+func TestFormatVecRoundTripInt64(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mk := func(r *rand.Rand) int64 { return int64(r.Intn(2000) - 1000) }
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(200)
+		roundTripVec(t, "sparse-i64", sprayVec(rng, n, 3, mk), false)
+		roundTripVec(t, "full-i64", fullVec(rng, n, mk), true)
+	}
+}
+
+// roundTripMat pushes m through its block view and back.
+func roundTripMat[T comparable](t *testing.T, label string, m *CSR[T], wantFull bool) {
+	t.Helper()
+	dm, err := m.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatalf("%s: DenseViewEx: %v", label, err)
+	}
+	if dm.Rows != m.Rows || dm.Cols != m.Cols || dm.Nnz != m.NNZ() {
+		t.Fatalf("%s: view %dx%d/%d != %dx%d/%d", label,
+			dm.Rows, dm.Cols, dm.Nnz, m.Rows, m.Cols, m.NNZ())
+	}
+	if dm.Full() != wantFull {
+		t.Fatalf("%s: view Full() = %v, want %v", label, dm.Full(), wantFull)
+	}
+	back := dm.CSR()
+	identicalCSR(t, label+"/round-trip", back, m)
+}
+
+func TestFormatMatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mk := func(r *rand.Rand) float64 { return r.NormFloat64() }
+	for trial := 0; trial < 12; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		roundTripMat(t, "sparse", sprayCSR(rng, rows, cols, rows+cols, mk), false)
+		roundTripMat(t, "full", fullCSR(rng, rows, cols, mk), true)
+		prev := SetFormatHint(FormatHintBitmap)
+		roundTripMat(t, "full-bitmap", fullCSR(rng, rows, cols, mk), false)
+		SetFormatHint(prev)
+	}
+	roundTripMat(t, "empty", NewCSR[float64](9, 13), false)
+}
+
+// TestFormatViewCaching pins the caching contract: the view is built once
+// per snapshot and the cached pointer is returned afterwards, and the
+// conversion counter records exactly the materializations.
+func TestFormatViewCaching(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	v := sprayVec(rng, 100, 2, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	ResetKernelCounts()
+	dv1, err := v.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv2, err := v.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv1 != dv2 {
+		t.Fatal("second DenseViewEx did not return the cached view")
+	}
+	if got := FormatConversionCount(); got != 1 {
+		t.Fatalf("conversions = %d, want 1", got)
+	}
+
+	m := sprayCSR(rng, 20, 20, 60, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	dm1, err := m.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm2, err := m.DenseViewEx(Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm1 != dm2 {
+		t.Fatal("second matrix DenseViewEx did not return the cached view")
+	}
+	if got := FormatConversionCount(); got != 2 {
+		t.Fatalf("conversions = %d, want 2", got)
+	}
+}
+
+// TestFormatViewBudget pins the budget interaction: a budget too small for
+// the block view refuses with ErrBudget (so the router can fall back to
+// the closure kernels) and releasing the budget is the caller's problem,
+// while a sufficient budget charges the view persistently.
+func TestFormatViewBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	v := fullVec(rng, 1000, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	small := NewBudget(16).Tx() // bytes: far below the 8000-byte view
+	if _, err := v.DenseViewEx(Exec{Tx: small}); err == nil {
+		t.Fatal("DenseViewEx under a 16-byte budget did not refuse")
+	}
+	big := NewBudget(1 << 20)
+	if _, err := v.DenseViewEx(Exec{Tx: big.Tx()}); err != nil {
+		t.Fatalf("DenseViewEx under a 1MiB budget: %v", err)
+	}
+	if big.Used() == 0 {
+		t.Fatal("materialized view left no persistent budget charge")
+	}
+}

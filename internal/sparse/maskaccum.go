@@ -43,20 +43,7 @@ func vmaskLookup(mask VMask, n int) func(int) bool {
 	m := mask.M
 	structural, comp := mask.Structural, mask.Complement
 	if !chooseHash(KernelAuto, m.NNZ(), n) {
-		admit := make([]bool, n)
-		scratchBytes.Add(int64(n))
-		if comp {
-			for i := range admit {
-				admit[i] = true
-			}
-		}
-		for k, j := range m.Ind {
-			v := structural || m.Val[k]
-			if comp {
-				v = !v
-			}
-			admit[j] = v
-		}
+		admit := vmaskBitmap(mask, n)
 		return func(j int) bool { return admit[j] }
 	}
 	h := newHashLookup(m)
@@ -68,6 +55,31 @@ func vmaskLookup(mask VMask, n int) func(int) bool {
 		}
 		return adm
 	}
+}
+
+// vmaskBitmap scatters a non-nil vector mask into an O(n) admit bitmap
+// implementing the full mask semantics (value vs. structural, complement).
+// It is the dense half of vmaskLookup, exposed separately because the
+// monomorphized scatter kernels index the bitmap directly instead of paying
+// a closure call per product.
+func vmaskBitmap(mask VMask, n int) []bool {
+	m := mask.M
+	structural, comp := mask.Structural, mask.Complement
+	admit := make([]bool, n)
+	scratchBytes.Add(int64(n))
+	if comp {
+		for i := range admit {
+			admit[i] = true
+		}
+	}
+	for k, j := range m.Ind {
+		v := structural || m.Val[k]
+		if comp {
+			v = !v
+		}
+		admit[j] = v
+	}
+	return admit
 }
 
 // test reports whether the mask admits position j given a cursor into the

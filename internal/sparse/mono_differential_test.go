@@ -1,0 +1,358 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Monomorphized≡closure differential battery: the specialized hot-semiring
+// kernels (mono.go, monokernels.go) must produce output identical to the
+// generic closure kernels — same pattern, same values compared with ==, so
+// floating-point accumulation order must match bit for bit — across every
+// hot semiring × block format × mask interpretation × direction × thread
+// count. This harness is what makes the specialization shippable: any
+// divergence (a reordered fold, a zero-init instead of first-assign, a mask
+// admitted at the wrong point) fails here before it can ship.
+//
+// Seeds are logged; rerun a failure with GRB_DIFF_SEED=<seed>.
+
+// sprayVec builds an n-vector holding ~n/oneIn random entries in ascending
+// index order.
+func sprayVec[T any](rng *rand.Rand, n, oneIn int, mk func(*rand.Rand) T) *Vec[T] {
+	v := NewVec[T](n)
+	for j := 0; j < n; j++ {
+		if rng.Intn(oneIn) == 0 {
+			v.Ind = append(v.Ind, j)
+			v.Val = append(v.Val, mk(rng))
+		}
+	}
+	return v
+}
+
+// fullVec builds a completely dense n-vector (every index present), the
+// shape whose block view is the full (bitmap-free) dense format.
+func fullVec[T any](rng *rand.Rand, n int, mk func(*rand.Rand) T) *Vec[T] {
+	v := NewVec[T](n)
+	for j := 0; j < n; j++ {
+		v.Ind = append(v.Ind, j)
+		v.Val = append(v.Val, mk(rng))
+	}
+	return v
+}
+
+// fullCSR builds a completely dense rows×cols matrix — with a full vector
+// operand this is the GEMV fast-path regime.
+func fullCSR[T any](rng *rand.Rand, rows, cols int, mk func(*rand.Rand) T) *CSR[T] {
+	var I, J []int
+	var X []T
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			I = append(I, i)
+			J = append(J, j)
+			X = append(X, mk(rng))
+		}
+	}
+	m, err := BuildCSR(rows, cols, I, J, X, func(a, b T) T { return b })
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// identicalVec fails unless got and want agree exactly on length, pattern
+// and values (==, so float comparisons are exact).
+func identicalVec[T comparable](t *testing.T, label string, got, want *Vec[T]) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil vector (got=%v want=%v)", label, got == nil, want == nil)
+	}
+	if got.N != want.N {
+		t.Fatalf("%s: size %d != %d", label, got.N, want.N)
+	}
+	if len(got.Ind) != len(want.Ind) {
+		t.Fatalf("%s: nnz %d != %d", label, len(got.Ind), len(want.Ind))
+	}
+	for k := range want.Ind {
+		if got.Ind[k] != want.Ind[k] || got.Val[k] != want.Val[k] {
+			t.Fatalf("%s: entry %d = (%d,%v), want (%d,%v)",
+				label, k, got.Ind[k], got.Val[k], want.Ind[k], want.Val[k])
+		}
+	}
+}
+
+// vmaskVariants enumerates the vector-mask interpretations over the output
+// dimension n: unmasked, value, structural, complemented and both.
+func vmaskVariants(rng *rand.Rand, n int) []struct {
+	name string
+	mask VMask
+} {
+	mvec := sprayVec(rng, n, 2, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+	return []struct {
+		name string
+		mask VMask
+	}{
+		{"nomask", VMask{}},
+		{"value", VMask{M: mvec}},
+		{"structural", VMask{M: mvec, Structural: true}},
+		{"complement", VMask{M: mvec, Complement: true}},
+		{"structural-complement", VMask{M: mvec, Structural: true, Complement: true}},
+	}
+}
+
+// vecFormats enumerates the block-format regimes of a frontier of length n:
+// a sparse frontier (bitmap view), a full frontier (dense view), and a full
+// frontier pinned to the bitmap format. Each variant builds a fresh vector
+// because the view caches on the snapshot — a view materialized under one
+// hint would otherwise serve the next.
+func vecFormats[T any](rng *rand.Rand, n int, mk func(*rand.Rand) T) []struct {
+	name string
+	vec  *Vec[T]
+	hint FormatHint
+} {
+	return []struct {
+		name string
+		vec  *Vec[T]
+		hint FormatHint
+	}{
+		{"sparse-bitmap", sprayVec(rng, n, 4, mk), FormatHintAuto},
+		{"full-dense", fullVec(rng, n, mk), FormatHintAuto},
+		{"full-bitmap-pinned", fullVec(rng, n, mk), FormatHintBitmap},
+	}
+}
+
+// diffMonoMxV sweeps the pull (SpMV) and push (VxM) products for one hot
+// semiring over formats × masks × threads and requires the monomorphized
+// and closure kernels to agree exactly.
+func diffMonoMxV[T comparable](t *testing.T, rng *rand.Rand, semi Semi,
+	mul, add func(T, T) T, mk func(*rand.Rand) T) {
+	t.Helper()
+	for trial := 0; trial < 6; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		a := sprayCSR(rng, rows, cols, 3*(rows+cols), mk)
+
+		// Pull: frontier over cols, mask over rows.
+		for _, fv := range vecFormats(rng, cols, mk) {
+			prev := SetFormatHint(fv.hint)
+			for _, mv := range vmaskVariants(rng, rows) {
+				for _, threads := range []int{1, 4} {
+					for _, hint := range []Kernel{KernelAuto, KernelDense} {
+						mono, err := SpMVSemiEx(semi, SpecMono, a, fv.vec, mul, add, mv.mask, Exec{Threads: threads}, hint)
+						if err != nil {
+							t.Fatalf("pull mono %s/%s: %v", fv.name, mv.name, err)
+						}
+						clos, err := SpMVKernelEx(a, fv.vec, mul, add, mv.mask, Exec{Threads: threads}, hint)
+						if err != nil {
+							t.Fatalf("pull closure %s/%s: %v", fv.name, mv.name, err)
+						}
+						identicalVec(t, semi.String()+"/pull/"+fv.name+"/"+mv.name, mono, clos)
+					}
+				}
+			}
+			SetFormatHint(prev)
+		}
+
+		// Push: frontier over rows, mask over cols.
+		for _, fv := range vecFormats(rng, rows, mk) {
+			prev := SetFormatHint(fv.hint)
+			for _, mv := range vmaskVariants(rng, cols) {
+				for _, threads := range []int{1, 4} {
+					mono, err := VxMSemiEx(semi, SpecMono, fv.vec, a, mul, add, mv.mask, Exec{Threads: threads})
+					if err != nil {
+						t.Fatalf("push mono %s/%s: %v", fv.name, mv.name, err)
+					}
+					clos, err := VxMEx(fv.vec, a, mul, add, mv.mask, Exec{Threads: threads})
+					if err != nil {
+						t.Fatalf("push closure %s/%s: %v", fv.name, mv.name, err)
+					}
+					identicalVec(t, semi.String()+"/push/"+fv.name+"/"+mv.name, mono, clos)
+				}
+			}
+			SetFormatHint(prev)
+		}
+	}
+}
+
+// diffMonoSpGEMM sweeps the matrix product for one hot semiring over masks
+// × accumulator hints × threads; the hash hint exercises the fallback path,
+// which must agree too (it runs the identical closures).
+func diffMonoSpGEMM[T comparable](t *testing.T, rng *rand.Rand, semi Semi,
+	mul, add func(T, T) T, mk func(*rand.Rand) T) {
+	t.Helper()
+	for trial := 0; trial < 6; trial++ {
+		m := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(30)
+		n := 1 + rng.Intn(30)
+		if trial%2 == 1 {
+			n = 400 + rng.Intn(1500) // wide outputs: the hash SPA's regime
+		}
+		a := sprayCSR(rng, m, k, 2*(m+k), mk)
+		b := sprayCSR(rng, k, n, 2*(k+n), mk)
+		maskM := sprayCSR(rng, m, n, (m*n)/3+1, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+		for _, mv := range maskVariants(maskM) {
+			for _, threads := range []int{1, 4} {
+				for _, hint := range []Kernel{KernelAuto, KernelDense, KernelHash} {
+					mono, err := SpGEMMSemiEx(semi, SpecMono, a, b, mul, add, mv.mask, Exec{Threads: threads}, hint)
+					if err != nil {
+						t.Fatalf("mxm mono %s: %v", mv.name, err)
+					}
+					clos, err := SpGEMMKernelEx(a, b, mul, add, mv.mask, Exec{Threads: threads}, hint)
+					if err != nil {
+						t.Fatalf("mxm closure %s: %v", mv.name, err)
+					}
+					identicalCSR(t, semi.String()+"/mxm/"+mv.name, mono, clos)
+				}
+			}
+		}
+	}
+}
+
+// diffMonoAll runs every kernel family for one semiring × element type and
+// then asserts the monomorphized path actually engaged — a silent fallback
+// would make the whole battery vacuous.
+func diffMonoAll[T comparable](t *testing.T, rng *rand.Rand, semi Semi,
+	mul, add func(T, T) T, mk func(*rand.Rand) T) {
+	t.Helper()
+	ResetKernelCounts()
+	diffMonoMxV(t, rng, semi, mul, add, mk)
+	diffMonoSpGEMM(t, rng, semi, mul, add, mk)
+	if mono, _ := MonoCounts(); mono == 0 {
+		t.Fatalf("%s: monomorphized kernels never engaged — battery is vacuous", semi)
+	}
+}
+
+// The op closures mirror the root package's semiring tables (ops.go)
+// exactly, tie behaviour included: Min returns its first argument on ties,
+// matching the mono loops' keep-accumulator compare.
+
+func monoMin[T int64 | float64](x, y T) T {
+	if y < x {
+		return y
+	}
+	return x
+}
+
+func TestMonoDifferentialPlusTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffMonoAll(t, rng, SemiPlusTimes,
+		func(a, b int64) int64 { return a * b },
+		func(a, b int64) int64 { return a + b },
+		func(r *rand.Rand) int64 { return int64(r.Intn(19) - 9) })
+	diffMonoAll(t, rng, SemiPlusTimes,
+		func(a, b float64) float64 { return a * b },
+		func(a, b float64) float64 { return a + b },
+		func(r *rand.Rand) float64 { return r.NormFloat64() })
+}
+
+func TestMonoDifferentialMinPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffMonoAll(t, rng, SemiMinPlus,
+		func(a, b int64) int64 { return a + b },
+		monoMin[int64],
+		func(r *rand.Rand) int64 { return int64(r.Intn(1000)) })
+	diffMonoAll(t, rng, SemiMinPlus,
+		func(a, b float64) float64 { return a + b },
+		monoMin[float64],
+		func(r *rand.Rand) float64 { return r.Float64() * 100 })
+}
+
+func TestMonoDifferentialLorLand(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffMonoAll(t, rng, SemiLorLand,
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a || b },
+		func(r *rand.Rand) bool { return r.Intn(3) > 0 })
+}
+
+func TestMonoDifferentialPlusPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	diffMonoAll(t, rng, SemiPlusPair,
+		func(a, b int64) int64 { return 1 },
+		func(a, b int64) int64 { return a + b },
+		func(r *rand.Rand) int64 { return int64(r.Intn(100)) })
+	diffMonoAll(t, rng, SemiPlusPair,
+		func(a, b float64) float64 { return 1 },
+		func(a, b float64) float64 { return a + b },
+		func(r *rand.Rand) float64 { return r.NormFloat64() })
+}
+
+// TestMonoDifferentialGEMV pins the fully-dense regime: a full matrix times
+// a full vector takes the GEMV fast path (both operands through their block
+// views), which must still match the closure kernel product for product.
+func TestMonoDifferentialGEMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	for trial := 0; trial < 4; trial++ {
+		rows := 1 + rng.Intn(24)
+		cols := 1 + rng.Intn(24)
+		a := fullCSR(rng, rows, cols, func(r *rand.Rand) float64 { return r.NormFloat64() })
+		u := fullVec(rng, cols, func(r *rand.Rand) float64 { return r.NormFloat64() })
+		mul := func(a, b float64) float64 { return a * b }
+		add := func(a, b float64) float64 { return a + b }
+		for _, mv := range vmaskVariants(rng, rows) {
+			for _, threads := range []int{1, 4} {
+				mono, err := SpMVSemiEx(SemiPlusTimes, SpecMono, a, u, mul, add, mv.mask, Exec{Threads: threads}, KernelAuto)
+				if err != nil {
+					t.Fatalf("gemv mono %s: %v", mv.name, err)
+				}
+				clos, err := SpMVKernelEx(a, u, mul, add, mv.mask, Exec{Threads: threads}, KernelAuto)
+				if err != nil {
+					t.Fatalf("gemv closure %s: %v", mv.name, err)
+				}
+				identicalVec(t, "gemv/"+mv.name, mono, clos)
+			}
+		}
+	}
+}
+
+// TestMonoRoutingGates pins the negative routing space: the sparse format
+// hint disables specialization globally, SpecGeneric disables it per call,
+// and named element types (distinct Go types over a hot underlying type)
+// never match the monomorphized instantiations.
+func TestMonoRoutingGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t)))
+	mul := func(a, b float64) float64 { return a * b }
+	add := func(a, b float64) float64 { return a + b }
+	a := sprayCSR(rng, 20, 20, 60, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	u := fullVec(rng, 20, func(r *rand.Rand) float64 { return r.NormFloat64() })
+
+	// FormatHintSparse: every SemiEx call falls back to closures.
+	prev := SetFormatHint(FormatHintSparse)
+	ResetKernelCounts()
+	if _, err := SpMVSemiEx(SemiPlusTimes, SpecAuto, a, u, mul, add, VMask{}, Exec{Threads: 2}, KernelAuto); err != nil {
+		t.Fatal(err)
+	}
+	if mono, closure := MonoCounts(); mono != 0 || closure == 0 {
+		t.Fatalf("FormatHintSparse: mono=%d closure=%d, want 0/>0", mono, closure)
+	}
+	SetFormatHint(prev)
+
+	// SpecGeneric: same, per call.
+	ResetKernelCounts()
+	if _, err := SpMVSemiEx(SemiPlusTimes, SpecGeneric, a, u, mul, add, VMask{}, Exec{Threads: 2}, KernelAuto); err != nil {
+		t.Fatal(err)
+	}
+	if mono, closure := MonoCounts(); mono != 0 || closure == 0 {
+		t.Fatalf("SpecGeneric: mono=%d closure=%d, want 0/>0", mono, closure)
+	}
+
+	// Named types: *CSR[myF] is not *CSR[float64], so the dispatch cannot
+	// narrow it; the closure kernel serves it with correct results.
+	type myF float64
+	am := sprayCSR(rng, 16, 16, 40, func(r *rand.Rand) myF { return myF(r.Intn(9)) })
+	um := fullVec(rng, 16, func(r *rand.Rand) myF { return myF(r.Intn(9)) })
+	mulM := func(a, b myF) myF { return a * b }
+	addM := func(a, b myF) myF { return a + b }
+	ResetKernelCounts()
+	got, err := SpMVSemiEx(SemiPlusTimes, SpecMono, am, um, mulM, addM, VMask{}, Exec{Threads: 2}, KernelAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SpMVKernelEx(am, um, mulM, addM, VMask{}, Exec{Threads: 2}, KernelAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalVec(t, "named-type", got, want)
+	if mono, _ := MonoCounts(); mono != 0 {
+		t.Fatalf("named element type reached a monomorphized kernel (mono=%d)", mono)
+	}
+}

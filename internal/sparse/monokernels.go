@@ -1,0 +1,378 @@
+package sparse
+
+// Per-family monomorphized loops. Each function is the inner loop of one
+// (semiring family, kernel shape) pair with the semiring closures flattened
+// into direct arithmetic; the scaffolds in mono.go supply everything around
+// them. The loops replicate the closure kernels' visit order and
+// first-assign-then-add accumulation exactly — in particular the float paths
+// never initialize an accumulator to zero and fold into it (0 + (-0.0)
+// flips the sign bit), they assign the first product and fold the rest, as
+// the generic kernels do.
+
+// --- pull (SpMV gather) row loops ---
+
+// spmvRowsPlusTimes gathers rows with (+, ×).
+func spmvRowsPlusTimes[T monoArith](a *CSR[T], dval []T, dbit []bool, admit func(int) bool, lo, hi int) ([]int, []T) {
+	var ind []int
+	var val []T
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		aInd, aVal := a.Row(i)
+		if dbit == nil {
+			if len(aInd) == 0 {
+				continue
+			}
+			acc := aVal[0] * dval[aInd[0]]
+			for k := 1; k < len(aInd); k++ {
+				acc += aVal[k] * dval[aInd[k]]
+			}
+			ind = append(ind, i)
+			val = append(val, acc)
+			continue
+		}
+		var acc T
+		seen := false
+		for k, j := range aInd {
+			if !dbit[j] {
+				continue
+			}
+			p := aVal[k] * dval[j]
+			if !seen {
+				acc = p
+				seen = true
+			} else {
+				acc += p
+			}
+		}
+		if seen {
+			ind = append(ind, i)
+			val = append(val, acc)
+		}
+	}
+	return ind, val
+}
+
+// spmvRowsMinPlus gathers rows with (min, +).
+func spmvRowsMinPlus[T monoArith](a *CSR[T], dval []T, dbit []bool, admit func(int) bool, lo, hi int) ([]int, []T) {
+	var ind []int
+	var val []T
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		aInd, aVal := a.Row(i)
+		if dbit == nil {
+			if len(aInd) == 0 {
+				continue
+			}
+			acc := aVal[0] + dval[aInd[0]]
+			for k := 1; k < len(aInd); k++ {
+				if p := aVal[k] + dval[aInd[k]]; p < acc {
+					acc = p
+				}
+			}
+			ind = append(ind, i)
+			val = append(val, acc)
+			continue
+		}
+		var acc T
+		seen := false
+		for k, j := range aInd {
+			if !dbit[j] {
+				continue
+			}
+			p := aVal[k] + dval[j]
+			if !seen {
+				acc = p
+				seen = true
+			} else if p < acc {
+				acc = p
+			}
+		}
+		if seen {
+			ind = append(ind, i)
+			val = append(val, acc)
+		}
+	}
+	return ind, val
+}
+
+// spmvRowsLorLand gathers rows with (∨, ∧); the accumulator short-circuits
+// once true, but presence is decided first, matching the closure kernel's
+// emitted pattern.
+func spmvRowsLorLand(a *CSR[bool], dval []bool, dbit []bool, admit func(int) bool, lo, hi int) ([]int, []bool) {
+	var ind []int
+	var val []bool
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		aInd, aVal := a.Row(i)
+		seen := false
+		acc := false
+		for k, j := range aInd {
+			if dbit != nil && !dbit[j] {
+				continue
+			}
+			seen = true
+			if aVal[k] && dval[j] {
+				acc = true
+				break
+			}
+		}
+		if seen {
+			ind = append(ind, i)
+			val = append(val, acc)
+		}
+	}
+	return ind, val
+}
+
+// spmvRowsPlusPair gathers rows with (+, pair): the row's result is the
+// count of present products, which float64 sums of 1 represent exactly.
+func spmvRowsPlusPair[T monoArith](a *CSR[T], dval []T, dbit []bool, admit func(int) bool, lo, hi int) ([]int, []T) {
+	var ind []int
+	var val []T
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		aInd, _ := a.Row(i)
+		n := 0
+		if dbit == nil {
+			n = len(aInd)
+		} else {
+			for _, j := range aInd {
+				if dbit[j] {
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			ind = append(ind, i)
+			val = append(val, T(n))
+		}
+	}
+	return ind, val
+}
+
+// --- fully-dense (GEMV) row loops ---
+
+// gemvRowsPlusTimes is the (+, ×) sweep over full matrix and vector blocks.
+func gemvRowsPlusTimes[T monoArith](mval []T, cols int, dval []T, admit func(int) bool, lo, hi int) ([]int, []T) {
+	var ind []int
+	var val []T
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		row := mval[i*cols : (i+1)*cols]
+		acc := row[0] * dval[0]
+		for j := 1; j < cols; j++ {
+			acc += row[j] * dval[j]
+		}
+		ind = append(ind, i)
+		val = append(val, acc)
+	}
+	return ind, val
+}
+
+// gemvRowsMinPlus is the (min, +) sweep over full blocks.
+func gemvRowsMinPlus[T monoArith](mval []T, cols int, dval []T, admit func(int) bool, lo, hi int) ([]int, []T) {
+	var ind []int
+	var val []T
+	for i := lo; i < hi; i++ {
+		if admit != nil && !admit(i) {
+			continue
+		}
+		row := mval[i*cols : (i+1)*cols]
+		acc := row[0] + dval[0]
+		for j := 1; j < cols; j++ {
+			if p := row[j] + dval[j]; p < acc {
+				acc = p
+			}
+		}
+		ind = append(ind, i)
+		val = append(val, acc)
+	}
+	return ind, val
+}
+
+// --- push (VxM scatter) loops ---
+
+// vxmScatterPlusTimes scatters the frontier with (+, ×).
+func vxmScatterPlusTimes[T monoArith](u *Vec[T], a *CSR[T], admit []bool, spa []T, mark []bool, lo, hi int) []int {
+	var pattern []int
+	for k := lo; k < hi; k++ {
+		i := u.Ind[k]
+		uv := u.Val[k]
+		aInd, aVal := a.Row(i)
+		for t, j := range aInd {
+			if admit != nil && !admit[j] {
+				continue
+			}
+			p := uv * aVal[t]
+			if !mark[j] {
+				mark[j] = true
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else {
+				spa[j] += p
+			}
+		}
+	}
+	return pattern
+}
+
+// vxmScatterMinPlus scatters the frontier with (min, +).
+func vxmScatterMinPlus[T monoArith](u *Vec[T], a *CSR[T], admit []bool, spa []T, mark []bool, lo, hi int) []int {
+	var pattern []int
+	for k := lo; k < hi; k++ {
+		i := u.Ind[k]
+		uv := u.Val[k]
+		aInd, aVal := a.Row(i)
+		for t, j := range aInd {
+			if admit != nil && !admit[j] {
+				continue
+			}
+			p := uv + aVal[t]
+			if !mark[j] {
+				mark[j] = true
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else if p < spa[j] {
+				spa[j] = p
+			}
+		}
+	}
+	return pattern
+}
+
+// vxmScatterLorLand scatters the frontier with (∨, ∧).
+func vxmScatterLorLand(u *Vec[bool], a *CSR[bool], admit []bool, spa []bool, mark []bool, lo, hi int) []int {
+	var pattern []int
+	for k := lo; k < hi; k++ {
+		i := u.Ind[k]
+		uv := u.Val[k]
+		aInd, aVal := a.Row(i)
+		for t, j := range aInd {
+			if admit != nil && !admit[j] {
+				continue
+			}
+			p := uv && aVal[t]
+			if !mark[j] {
+				mark[j] = true
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else if p {
+				spa[j] = true
+			}
+		}
+	}
+	return pattern
+}
+
+// vxmScatterPlusPair scatters the frontier with (+, pair): each admitted
+// product contributes exactly 1.
+func vxmScatterPlusPair[T monoArith](u *Vec[T], a *CSR[T], admit []bool, spa []T, mark []bool, lo, hi int) []int {
+	var pattern []int
+	for k := lo; k < hi; k++ {
+		i := u.Ind[k]
+		aInd, _ := a.Row(i)
+		for _, j := range aInd {
+			if admit != nil && !admit[j] {
+				continue
+			}
+			if !mark[j] {
+				mark[j] = true
+				spa[j] = 1
+				pattern = append(pattern, j)
+			} else {
+				spa[j]++
+			}
+		}
+	}
+	return pattern
+}
+
+// --- SpGEMM dense-SPA row loops ---
+
+// spgemmRowPlusTimes is the (+, ×) dense-SPA product for row i.
+func spgemmRowPlusTimes[T monoArith](a, b *CSR[T], spa []T, stamp []int, gen int, pattern []int, i int) []int {
+	aInd, aVal := a.Row(i)
+	for k, bi := range aInd {
+		bInd, bVal := b.Row(bi)
+		av := aVal[k]
+		for t, j := range bInd {
+			p := av * bVal[t]
+			if stamp[j] != gen {
+				stamp[j] = gen
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else {
+				spa[j] += p
+			}
+		}
+	}
+	return pattern
+}
+
+// spgemmRowMinPlus is the (min, +) dense-SPA product for row i.
+func spgemmRowMinPlus[T monoArith](a, b *CSR[T], spa []T, stamp []int, gen int, pattern []int, i int) []int {
+	aInd, aVal := a.Row(i)
+	for k, bi := range aInd {
+		bInd, bVal := b.Row(bi)
+		av := aVal[k]
+		for t, j := range bInd {
+			p := av + bVal[t]
+			if stamp[j] != gen {
+				stamp[j] = gen
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else if p < spa[j] {
+				spa[j] = p
+			}
+		}
+	}
+	return pattern
+}
+
+// spgemmRowLorLand is the (∨, ∧) dense-SPA product for row i.
+func spgemmRowLorLand(a, b *CSR[bool], spa []bool, stamp []int, gen int, pattern []int, i int) []int {
+	aInd, aVal := a.Row(i)
+	for k, bi := range aInd {
+		bInd, bVal := b.Row(bi)
+		av := aVal[k]
+		for t, j := range bInd {
+			p := av && bVal[t]
+			if stamp[j] != gen {
+				stamp[j] = gen
+				spa[j] = p
+				pattern = append(pattern, j)
+			} else if p {
+				spa[j] = true
+			}
+		}
+	}
+	return pattern
+}
+
+// spgemmRowPlusPair is the (+, pair) dense-SPA product for row i.
+func spgemmRowPlusPair[T monoArith](a, b *CSR[T], spa []T, stamp []int, gen int, pattern []int, i int) []int {
+	aInd, _ := a.Row(i)
+	for _, bi := range aInd {
+		bInd, _ := b.Row(bi)
+		for _, j := range bInd {
+			if stamp[j] != gen {
+				stamp[j] = gen
+				spa[j] = 1
+				pattern = append(pattern, j)
+			} else {
+				spa[j]++
+			}
+		}
+	}
+	return pattern
+}

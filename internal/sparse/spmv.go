@@ -221,20 +221,29 @@ func VxMEx[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y
 		marks[part] = mark
 		patterns[part] = pattern
 	})
+	return reduceSpas(a.Cols, threads, spas, marks, patterns, add), nil
+}
+
+// reduceSpas combines the push kernel's per-worker scatter SPAs into one
+// sorted vector. Shared by the generic (VxMEx) and monomorphized (vxmMono)
+// scatter kernels so both fold partitions in exactly the same order — the
+// differential battery compares their outputs with ==.
+func reduceSpas[Y any](cols, threads int, spas [][]Y, marks [][]bool, patterns [][]int, add func(Y, Y) Y) *Vec[Y] {
+	nparts := len(spas)
 	totalPat := 0
 	for _, p := range patterns {
 		totalPat += len(p)
 	}
-	out = &Vec[Y]{N: a.Cols}
+	out := &Vec[Y]{N: cols}
 	if totalPat == 0 {
-		return out, nil
+		return out
 	}
-	if nparts > 1 && !chooseHash(KernelAuto, totalPat, a.Cols) {
+	if nparts > 1 && !chooseHash(KernelAuto, totalPat, cols) {
 		// Dense reduction: each worker owns a contiguous column range and
 		// folds every partition's SPA over it, in ascending partition order
 		// (the same fold order as the sequential merge below). Emission is
 		// in column order by construction, so no final sort is needed.
-		rparts := parallel.Ranges(a.Cols, threads)
+		rparts := parallel.Ranges(cols, threads)
 		nr := len(rparts) - 1
 		rInd := make([][]int, nr)
 		rVal := make([][]Y, nr)
@@ -269,7 +278,7 @@ func VxMEx[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y
 			out.Ind = append(out.Ind, rInd[p]...)
 			out.Val = append(out.Val, rVal[p]...)
 		}
-		return out, nil
+		return out
 	}
 	// Sparse reduction: merge worker SPAs into worker 0's.
 	spa0, mark0, pat0 := spas[0], marks[0], patterns[0]
@@ -291,5 +300,5 @@ func VxMEx[X, A, Y any](u *Vec[X], a *CSR[A], mul func(X, A) Y, add func(Y, Y) Y
 		out.Ind = append(out.Ind, j)
 		out.Val = append(out.Val, spa0[j])
 	}
-	return out, nil
+	return out
 }

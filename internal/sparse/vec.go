@@ -3,6 +3,7 @@ package sparse
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 )
 
 // Vec is a generic sparse vector in sorted-coordinate form: Ind holds the
@@ -13,6 +14,13 @@ type Vec[T any] struct {
 	N   int
 	Ind []int
 	Val []T
+
+	// dv memoizes the bitmap/dense block view of this vector (see
+	// DenseView). Same coherence argument as CSR.tr: vectors never change
+	// after they are built and every grb-layer mutation installs a fresh
+	// snapshot whose cache starts empty, so a cached view can never go
+	// stale.
+	dv atomic.Pointer[DenseVec[T]]
 }
 
 // NewVec returns an empty vector of size n.

@@ -34,6 +34,15 @@ const (
 	FormatSparseVector Format = 5
 	// FormatDenseVector stores element i at values[i]; indices unused.
 	FormatDenseVector Format = 6
+	// FormatBitmapVector is the bitmap block format (extension, mirroring
+	// the internal bitmap storage): values[i] is element i and indices[i]
+	// != 0 marks position i as present; both arrays have size entries.
+	FormatBitmapVector Format = 7
+	// FormatBitmapMatrix is the row-major bitmap block format (extension):
+	// values has nrows*ncols entries with element (i,j) at i*ncols+j, and
+	// indices, same layout, marks present positions with nonzero flags;
+	// indptr is unused.
+	FormatBitmapMatrix Format = 8
 )
 
 // String returns the spec name of the format.
@@ -53,12 +62,21 @@ func (f Format) String() string {
 		return "GrB_SPARSE_VECTOR"
 	case FormatDenseVector:
 		return "GrB_DENSE_VECTOR"
+	case FormatBitmapVector:
+		return "GxB_BITMAP_VECTOR"
+	case FormatBitmapMatrix:
+		return "GxB_BITMAP_MATRIX"
 	}
 	return "GrB_Format(?)"
 }
 
-func matrixFormat(f Format) bool { return f >= FormatCSR && f <= FormatDenseCol }
-func vectorFormat(f Format) bool { return f == FormatSparseVector || f == FormatDenseVector }
+func matrixFormat(f Format) bool {
+	return (f >= FormatCSR && f <= FormatDenseCol) || f == FormatBitmapMatrix
+}
+
+func vectorFormat(f Format) bool {
+	return f == FormatSparseVector || f == FormatDenseVector || f == FormatBitmapVector
+}
 
 // sortRowPairs sorts a row's (index, value) pairs by index when needed.
 func sortRowPairs[T any](ind []int, val []T) {
@@ -196,6 +214,25 @@ func MatrixImport[T any](nrows, ncols Index, indptr, indices []Index, values []T
 			}
 			csr.Ptr[i+1] = len(csr.Ind)
 		}
+	case FormatBitmapMatrix:
+		ne, ok := sparse.CheckedMul(nrows, ncols)
+		if !ok {
+			return nil, errf(OutOfMemory, "MatrixImport(%v): bitmap size %dx%d overflows the index range", format, nrows, ncols)
+		}
+		if len(values) != ne || len(indices) != ne {
+			return nil, errf(InvalidValue, "MatrixImport(%v): indices and values must have %d entries, got %d/%d",
+				format, ne, len(indices), len(values))
+		}
+		csr = &sparse.CSR[T]{Rows: nrows, Cols: ncols, Ptr: make([]int, nrows+1)}
+		for i := 0; i < nrows; i++ {
+			for j := 0; j < ncols; j++ {
+				if indices[i*ncols+j] != 0 {
+					csr.Ind = append(csr.Ind, j)
+					csr.Val = append(csr.Val, values[i*ncols+j])
+				}
+			}
+			csr.Ptr[i+1] = len(csr.Ind)
+		}
 	default:
 		// Unreachable behind the matrixFormat guard; kept so the switch
 		// stays exhaustive as Format grows (§IX pins the enum values).
@@ -229,6 +266,12 @@ func (m *Matrix[T]) MatrixExportSize(format Format) (nindptr, nindices, nvalues 
 		return c.Cols + 1, c.NNZ(), c.NNZ(), nil
 	case FormatCOO:
 		return c.NNZ(), c.NNZ(), c.NNZ(), nil
+	case FormatBitmapMatrix:
+		ne, ok := sparse.CheckedMul(c.Rows, c.Cols)
+		if !ok {
+			return 0, 0, 0, errf(OutOfMemory, "MatrixExportSize(%v): bitmap size %dx%d overflows the index range", format, c.Rows, c.Cols)
+		}
+		return 0, ne, ne, nil
 	default: // dense
 		ne, ok := sparse.CheckedMul(c.Rows, c.Cols)
 		if !ok {
@@ -289,6 +332,21 @@ func (m *Matrix[T]) MatrixExportInto(format Format, indptr, indices []Index, val
 				} else {
 					values[i+ind[p]*c.Rows] = val[p]
 				}
+			}
+		}
+	case FormatBitmapMatrix:
+		var zero T
+		for k := range values[:nv] {
+			values[k] = zero
+		}
+		for k := range indices[:ni] {
+			indices[k] = 0
+		}
+		for i := 0; i < c.Rows; i++ {
+			ind, val := c.Row(i)
+			for p := range ind {
+				values[i*c.Cols+ind[p]] = val[p]
+				indices[i*c.Cols+ind[p]] = 1
 			}
 		}
 	default:
@@ -368,6 +426,18 @@ func VectorImport[T any](size Index, indices []Index, values []T,
 			vec.Ind[i] = i
 			vec.Val[i] = values[i]
 		}
+	case FormatBitmapVector:
+		if len(values) != size || len(indices) != size {
+			return nil, errf(InvalidValue, "VectorImport(bitmap): indices and values must have %d entries, got %d/%d",
+				size, len(indices), len(values))
+		}
+		vec = &sparse.Vec[T]{N: size}
+		for i := 0; i < size; i++ {
+			if indices[i] != 0 {
+				vec.Ind = append(vec.Ind, i)
+				vec.Val = append(vec.Val, values[i])
+			}
+		}
 	default:
 		// Unreachable behind the vectorFormat guard; kept so the switch
 		// stays exhaustive as Format grows (§IX pins the enum values).
@@ -392,10 +462,14 @@ func (v *Vector[T]) VectorExportSize(format Format) (nindices, nvalues Index, er
 	if err != nil {
 		return 0, 0, err
 	}
-	if format == FormatSparseVector {
+	switch format {
+	case FormatSparseVector:
 		return s.NNZ(), s.NNZ(), nil
+	case FormatBitmapVector:
+		return s.N, s.N, nil
+	default: // dense
+		return 0, s.N, nil
 	}
-	return 0, s.N, nil
 }
 
 // VectorExportInto exports into caller-allocated arrays (GrB_Vector_export).
@@ -420,6 +494,16 @@ func (v *Vector[T]) VectorExportInto(format Format, indices []Index, values []T)
 	var zero T
 	for i := range values[:nv] {
 		values[i] = zero
+	}
+	if format == FormatBitmapVector {
+		for i := range indices[:ni] {
+			indices[i] = 0
+		}
+		for k, i := range s.Ind {
+			values[i] = s.Val[k]
+			indices[i] = 1
+		}
+		return nil
 	}
 	for k, i := range s.Ind {
 		values[i] = s.Val[k]

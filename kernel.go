@@ -21,6 +21,57 @@ func kernelHint(m AxBMethod) sparse.Kernel {
 	return sparse.KernelAuto
 }
 
+// specRoute maps the descriptor's SpecMode and a semiring's constructor tag
+// onto the substrate's (Semi, Spec) pair. SpecGeneric erases the tag so the
+// substrate cannot specialize at all; the other modes pass the tag through
+// with the corresponding pin. The descriptor pin always wins over the tag —
+// the first level of the routing decision tree (descriptor pin > format >
+// semiring table).
+func specRoute(m SpecMode, semi sparse.Semi) (sparse.Semi, sparse.Spec) {
+	switch m {
+	case SpecGeneric:
+		return sparse.SemiGeneric, sparse.SpecGeneric
+	case SpecMono:
+		return semi, sparse.SpecMono
+	case SpecAuto:
+	}
+	return semi, sparse.SpecAuto
+}
+
+// FormatHint pins the block-format tier of the routing decision tree — the
+// middle level, between the descriptor pin and the semiring table. It is an
+// alias of the substrate type so grb callers (cmd/grbbench -format, tests)
+// can pin formats without importing internal packages.
+type FormatHint = sparse.FormatHint
+
+const (
+	// FormatHintAuto materializes full storage for completely dense
+	// operands and bitmap storage otherwise.
+	FormatHintAuto = sparse.FormatHintAuto
+	// FormatHintBitmap forces bitmap storage even for full operands.
+	FormatHintBitmap = sparse.FormatHintBitmap
+	// FormatHintSparse disables block-format materialization: every
+	// operation stays on the sparse form and the closure kernels.
+	FormatHintSparse = sparse.FormatHintSparse
+)
+
+// SetFormatHint pins the block-format routing hint and returns the previous
+// value. It affects only future materializations.
+func SetFormatHint(h FormatHint) FormatHint { return sparse.SetFormatHint(h) }
+
+// CurrentFormatHint returns the block-format routing hint.
+func CurrentFormatHint() FormatHint { return sparse.CurrentFormatHint() }
+
+// MonoKernelCounts reports how many multiply operations ran a monomorphized
+// hot-semiring kernel and how many fell back to the generic closure kernels
+// since the last ResetKernelCounts.
+func MonoKernelCounts() (mono, closure int64) { return sparse.MonoCounts() }
+
+// FormatConversionCount reports the number of sparse→bitmap/dense
+// block-format materializations (cache misses) since the last
+// ResetKernelCounts.
+func FormatConversionCount() int64 { return sparse.FormatConversionCount() }
+
 // KernelHashThreshold returns the adaptive-selection threshold: a row range
 // of a multiply uses the hash accumulator when its total flop estimate stays
 // below outputWidth/threshold. Higher thresholds bias selection toward the

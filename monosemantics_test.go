@@ -1,0 +1,266 @@
+package grb
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Public-API semantics of the monomorphized hot-semiring kernels: DescMono
+// and DescGeneric must be observationally equivalent (the specialization is
+// an implementation detail of the routing layer, never a semantic change),
+// the kernel counters must expose which side served an operation, and the
+// observability route labels must mark specialized kernels with "+mono".
+
+// monoRandMatrix builds a size×size matrix with ~3·size random entries.
+func monoRandMatrix[T any](t *testing.T, rng *rand.Rand, size int, mk func(*rand.Rand) T) *Matrix[T] {
+	t.Helper()
+	var I, J []Index
+	var X []T
+	for k := 0; k < 3*size; k++ {
+		I = append(I, Index(rng.Intn(size)))
+		J = append(J, Index(rng.Intn(size)))
+		X = append(X, mk(rng))
+	}
+	return mustMatrix(t, size, size, I, J, X)
+}
+
+// monoRandVector builds a size-vector, dense when full, ~1/3 filled else.
+func monoRandVector[T any](t *testing.T, rng *rand.Rand, size int, full bool, mk func(*rand.Rand) T) *Vector[T] {
+	t.Helper()
+	var I []Index
+	var X []T
+	for i := 0; i < size; i++ {
+		if full || rng.Intn(3) == 0 {
+			I = append(I, Index(i))
+			X = append(X, mk(rng))
+		}
+	}
+	return mustVector(t, size, I, X)
+}
+
+// identicalVectors extracts both vectors and requires exact agreement.
+func identicalVectors[T comparable](t *testing.T, label string, got, want *Vector[T]) {
+	t.Helper()
+	gi, gx := ck2(got.ExtractTuples())
+	wi, wx := ck2(want.ExtractTuples())
+	if len(gi) != len(wi) {
+		t.Fatalf("%s: nvals %d != %d", label, len(gi), len(wi))
+	}
+	for k := range wi {
+		if gi[k] != wi[k] || gx[k] != wx[k] {
+			t.Fatalf("%s: entry %d = (%d,%v), want (%d,%v)", label, k, gi[k], gx[k], wi[k], wx[k])
+		}
+	}
+}
+
+// monoVsGeneric drives MxV (pull and push), VxM and MxM for one hot
+// semiring through the public API, once under SpecMono and once under
+// SpecGeneric, and requires identical results — including with a value mask
+// and with dense and sparse frontiers (the format-transition axis).
+func monoVsGeneric[T comparable](t *testing.T, name string, semi Semiring[T, T, T], mk func(*rand.Rand) T) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const size = 24
+	a := monoRandMatrix(t, rng, size, mk)
+	var maskI []Index
+	var maskX []bool
+	for i := 0; i < size; i++ {
+		if rng.Intn(2) == 0 {
+			maskI = append(maskI, Index(i))
+			maskX = append(maskX, rng.Intn(2) == 0)
+		}
+	}
+	mask := mustVector(t, size, maskI, maskX)
+
+	for _, full := range []bool{false, true} {
+		u := monoRandVector(t, rng, size, full, mk)
+		shape := "sparse"
+		if full {
+			shape = "dense"
+		}
+		for _, dir := range []Direction{DirPull, DirPush} {
+			for _, m := range []*Vector[bool]{nil, mask} {
+				masked := "nomask"
+				if m != nil {
+					masked = "mask"
+				}
+				label := name + "/" + shape + "/" + masked
+				wm := ck1(NewVector[T](size))
+				wg := ck1(NewVector[T](size))
+				ck(MxV(wm, m, nil, semi, a, u, &Descriptor{Dir: dir, Spec: SpecMono}))
+				ck(MxV(wg, m, nil, semi, a, u, &Descriptor{Dir: dir, Spec: SpecGeneric}))
+				ck(wm.Wait(Materialize))
+				ck(wg.Wait(Materialize))
+				identicalVectors(t, label+"/mxv", wm, wg)
+
+				vm := ck1(NewVector[T](size))
+				vg := ck1(NewVector[T](size))
+				ck(VxM(vm, m, nil, semi, u, a, &Descriptor{Dir: dir, Spec: SpecMono}))
+				ck(VxM(vg, m, nil, semi, u, a, &Descriptor{Dir: dir, Spec: SpecGeneric}))
+				ck(vm.Wait(Materialize))
+				ck(vg.Wait(Materialize))
+				identicalVectors(t, label+"/vxm", vm, vg)
+			}
+		}
+	}
+
+	cm := ck1(NewMatrix[T](size, size))
+	cg := ck1(NewMatrix[T](size, size))
+	ck(MxM(cm, nil, nil, semi, a, a, DescMono))
+	ck(MxM(cg, nil, nil, semi, a, a, DescGeneric))
+	ck(cm.Wait(Materialize))
+	ck(cg.Wait(Materialize))
+	mi, mj, mx := ck3(cm.ExtractTuples())
+	gi, gj, gx := ck3(cg.ExtractTuples())
+	if len(mi) != len(gi) {
+		t.Fatalf("%s/mxm: nvals %d != %d", name, len(mi), len(gi))
+	}
+	for k := range gi {
+		if mi[k] != gi[k] || mj[k] != gj[k] || mx[k] != gx[k] {
+			t.Fatalf("%s/mxm: entry %d = (%d,%d,%v), want (%d,%d,%v)",
+				name, k, mi[k], mj[k], mx[k], gi[k], gj[k], gx[k])
+		}
+	}
+}
+
+func TestMonoDescriptorEquivalence(t *testing.T) {
+	setMode(t, NonBlocking)
+	monoVsGeneric(t, "plus_times/f64", PlusTimes[float64](), func(r *rand.Rand) float64 { return r.NormFloat64() })
+	monoVsGeneric(t, "plus_times/i64", PlusTimes[int64](), func(r *rand.Rand) int64 { return int64(r.Intn(19) - 9) })
+	monoVsGeneric(t, "min_plus/f64", MinPlus[float64](), func(r *rand.Rand) float64 { return r.Float64() * 50 })
+	monoVsGeneric(t, "min_plus/i64", MinPlus[int64](), func(r *rand.Rand) int64 { return int64(r.Intn(500)) })
+	monoVsGeneric(t, "lor_land", LOrLAnd(), func(r *rand.Rand) bool { return r.Intn(3) > 0 })
+	monoVsGeneric(t, "plus_pair/i64", PlusPair[int64](), func(r *rand.Rand) int64 { return int64(r.Intn(50)) })
+}
+
+// TestMonoKernelCounters pins the counter surface: a pinned-mono pull ticks
+// the mono counter and materializes the frontier's block view exactly once
+// (the second product on the unchanged vector reuses the cached view), and
+// a pinned-generic run ticks the fallback counter instead.
+func TestMonoKernelCounters(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(3))
+	a := monoRandMatrix(t, rng, 32, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	u := monoRandVector(t, rng, 32, true, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	ck(a.Wait(Materialize))
+	ck(u.Wait(Materialize))
+
+	ResetKernelCounts()
+	w := ck1(NewVector[float64](32))
+	ck(MxV(w, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecMono}))
+	ck(w.Wait(Materialize))
+	mono, _ := MonoKernelCounts()
+	if mono == 0 {
+		t.Fatal("pinned-mono pull did not tick the mono kernel counter")
+	}
+	conv := FormatConversionCount()
+	if conv == 0 {
+		t.Fatal("pinned-mono pull did not materialize a block view")
+	}
+
+	// Unchanged frontier: the cached view serves the second product.
+	w2 := ck1(NewVector[float64](32))
+	ck(MxV(w2, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecMono}))
+	ck(w2.Wait(Materialize))
+	if got := FormatConversionCount(); got != conv {
+		t.Fatalf("unchanged frontier re-materialized its block view: %d -> %d conversions", conv, got)
+	}
+	identicalVectors(t, "cached-view", w2, w)
+
+	ResetKernelCounts()
+	wg := ck1(NewVector[float64](32))
+	ck(MxV(wg, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecGeneric}))
+	ck(wg.Wait(Materialize))
+	if mono, closure := MonoKernelCounts(); mono != 0 || closure == 0 {
+		t.Fatalf("pinned-generic pull: mono=%d closure=%d, want 0/>0", mono, closure)
+	}
+}
+
+// TestMonoViewCoherence pins the mutate→Wait contract for the cached block
+// views: a vector mutation after a specialized product produces a new
+// snapshot, so the next product materializes a fresh view (the stale one can
+// never serve) and its result reflects the mutation exactly as the generic
+// kernel sees it.
+func TestMonoViewCoherence(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(9))
+	a := monoRandMatrix(t, rng, 32, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	u := monoRandVector(t, rng, 32, true, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	ck(a.Wait(Materialize))
+	ck(u.Wait(Materialize))
+
+	ResetKernelCounts()
+	w1 := ck1(NewVector[float64](32))
+	ck(MxV(w1, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecMono}))
+	ck(w1.Wait(Materialize))
+	conv := FormatConversionCount()
+	if conv == 0 {
+		t.Fatal("first specialized pull did not materialize a block view")
+	}
+
+	// Mutate the frontier and drain: a fresh snapshot, a fresh view.
+	ck(u.SetElement(1234.5, 7))
+	ck(u.Wait(Materialize))
+	w2 := ck1(NewVector[float64](32))
+	ck(MxV(w2, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecMono}))
+	ck(w2.Wait(Materialize))
+	if got := FormatConversionCount(); got <= conv {
+		t.Fatalf("mutated frontier did not re-materialize its block view (%d -> %d conversions)", conv, got)
+	}
+	wg := ck1(NewVector[float64](32))
+	ck(MxV(wg, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecGeneric}))
+	ck(wg.Wait(Materialize))
+	identicalVectors(t, "post-mutation", w2, wg)
+}
+
+// TestMonoRouteLabel checks the observability surface: a kernel event for a
+// specialized product carries the "+mono" route suffix in the trace, and a
+// pinned-generic product does not.
+func TestMonoRouteLabel(t *testing.T) {
+	setMode(t, NonBlocking)
+	var buf bytes.Buffer
+	ck(TraceTo(&buf))
+
+	rng := rand.New(rand.NewSource(5))
+	a := monoRandMatrix(t, rng, 32, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	u := monoRandVector(t, rng, 32, true, func(r *rand.Rand) float64 { return r.NormFloat64() })
+	w := ck1(NewVector[float64](32))
+	ck(MxV(w, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecMono}))
+	ck(w.Wait(Materialize))
+	wg := ck1(NewVector[float64](32))
+	ck(MxV(wg, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: DirPull, Spec: SpecGeneric}))
+	ck(wg.Wait(Materialize))
+	ck(StopTrace())
+
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	monoSeen, plainSeen := false, false
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat != "kernel" || ev.Name != "MxV" {
+			continue
+		}
+		route, _ := ev.Args["route"].(string)
+		if strings.HasSuffix(route, "+mono") {
+			monoSeen = true
+		} else if route != "" {
+			plainSeen = true
+		}
+	}
+	if !monoSeen {
+		t.Fatal("no MxV kernel event carries the +mono route label")
+	}
+	if !plainSeen {
+		t.Fatal("the pinned-generic MxV also got a +mono route label")
+	}
+}

@@ -88,7 +88,8 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 		// The mask prunes the product at emit time only when it does not
 		// change the accumulated result: pruned positions would be dropped
 		// by MaskApplyM anyway.
-		t, err := sparse.SpGEMMKernelEx(A, B, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+		semi, spec := specRoute(d.Spec, semiring.semi)
+		t, err := sparse.SpGEMMSemiEx(semi, spec, A, B, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
 		if err != nil {
 			return nil, err
 		}
@@ -175,12 +176,15 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		var t *sparse.Vec[DC]
 		var err error
 		push := usePush
+		// Every monomorphized family has a commutative multiply, so the
+		// orientation flip below is transparent to the specialized loops.
+		semi, spec := specRoute(d.Spec, semiring.semi)
 		if push {
 			var At *sparse.CSR[DA]
 			At, err = maybeTransposeEx(acsr, !d.Transpose0, e)
 			if err == nil {
 				mulFlip := func(x DB, a DA) DC { return semiring.Mul(a, x) }
-				t, err = sparse.VxMEx(uvec, At, mulFlip, semiring.Add.Op, mk, e)
+				t, err = sparse.VxMSemiEx(semi, spec, uvec, At, mulFlip, semiring.Add.Op, mk, e)
 			}
 			// Budget degradation: the push route's scatter SPA (or the
 			// transpose it rides on) did not fit, but the heuristic did not
@@ -195,7 +199,7 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 			var A *sparse.CSR[DA]
 			A, err = maybeTransposeEx(acsr, d.Transpose0, e)
 			if err == nil {
-				t, err = sparse.SpMVKernelEx(A, uvec, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+				t, err = sparse.SpMVSemiEx(semi, spec, A, uvec, semiring.Mul, semiring.Add.Op, mk, e, kernelHint(d.AxB))
 			}
 		}
 		if err != nil {
@@ -279,11 +283,14 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 		var t *sparse.Vec[DC]
 		var err error
 		push := usePush
+		// The commutative-multiply note from MxV applies to the pull-side
+		// flip below as well.
+		semi, spec := specRoute(d.Spec, semiring.semi)
 		if push {
 			var A *sparse.CSR[DB]
 			A, err = maybeTransposeEx(acsr, d.Transpose1, e)
 			if err == nil {
-				t, err = sparse.VxMEx(uvec, A, semiring.Mul, semiring.Add.Op, mk, e)
+				t, err = sparse.VxMSemiEx(semi, spec, uvec, A, semiring.Mul, semiring.Add.Op, mk, e)
 			}
 			// Budget degradation, mirroring MxV: when auto-routed push cannot
 			// charge its scatter SPA, retry via the pull gather.
@@ -297,7 +304,7 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 			At, err = maybeTransposeEx(acsr, !d.Transpose1, e)
 			if err == nil {
 				mulFlip := func(a DB, x DA) DC { return semiring.Mul(x, a) }
-				t, err = sparse.SpMVKernelEx(At, uvec, mulFlip, semiring.Add.Op, mk, e, kernelHint(d.AxB))
+				t, err = sparse.SpMVSemiEx(semi, spec, At, uvec, mulFlip, semiring.Add.Op, mk, e, kernelHint(d.AxB))
 			}
 		}
 		if err != nil {

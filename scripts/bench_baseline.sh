@@ -1,8 +1,9 @@
 #!/bin/sh
-# Direction-optimization benchmark baseline: runs the grbbench traversal
-# experiment (push / pull / adaptive BFS on hypersparse and RMAT graphs) and
-# records the measured series in BENCH_2.json at the repo root, so later PRs
-# can diff traversal performance against this one. Usage:
+# Benchmark baseline: runs the grbbench traversal experiment (push / pull /
+# adaptive BFS on hypersparse and RMAT graphs) plus the dense experiment
+# (monomorphized vs closure kernels on block-format operands) and records the
+# measured series in BENCH_3.json at the repo root, so later PRs can diff
+# performance against this one. Usage:
 #
 #   scripts/bench_baseline.sh [scale]
 #
@@ -16,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-14}"
-OUT="BENCH_2.json"
+OUT="BENCH_3.json"
 
 echo "== lint gate: grblint must be clean before measuring =="
 if ! make lint; then
@@ -24,7 +25,7 @@ if ! make lint; then
     exit 1
 fi
 
-echo "== traversal baseline: scale $SCALE -> $OUT =="
-go run ./cmd/grbbench -run traversal -scale "$SCALE" -json "$OUT"
+echo "== traversal + dense baseline: scale $SCALE -> $OUT =="
+go run ./cmd/grbbench -run traversal,dense -scale "$SCALE" -json "$OUT"
 
 echo "baseline written to $OUT"

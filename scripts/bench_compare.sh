@@ -1,13 +1,16 @@
 #!/bin/sh
-# Bench-regression gate: re-runs the grbbench traversal experiment and diffs
-# it against the newest BENCH_*.json baseline at the repo root with
-# cmd/benchcmp, failing when any (graph, dir) series slowed down by more than
-# the tolerance.
+# Bench-regression gate: re-runs the grbbench traversal and dense experiments
+# and diffs them against the newest BENCH_*.json baseline at the repo root
+# with cmd/benchcmp, failing when any (graph, dir) series slowed down by more
+# than the tolerance — or when a monomorphized kernel no longer beats its
+# closure twin by the required ratio.
 #
 #   scripts/bench_compare.sh              compare a fresh run against the baseline
 #   scripts/bench_compare.sh --self-test  prove the gate fires (no benchmarks run):
 #                                         baseline-vs-itself must pass, a synthetic
-#                                         20% slowdown must be flagged
+#                                         20% slowdown must be flagged, and mono
+#                                         series degraded to closure parity must
+#                                         trip the speedup floor
 #
 # Tolerance knob: GRB_BENCH_TOL, percent, default 15. Wall-clock numbers are
 # noisy on shared machines, so CI runs this gate in ADVISORY mode (the
@@ -15,10 +18,17 @@
 # runs it as a hard gate for quiet machines and release checks. Raise
 # GRB_BENCH_TOL (e.g. GRB_BENCH_TOL=30) rather than skipping the gate when a
 # host is known to be noisy.
+#
+# Mono knob: GRB_MONO_MIN, ratio, default 2 — every graph with paired
+# mono/closure series (the dense experiment) must show the monomorphized
+# kernel at least this many times faster than the closure kernel. The ratio
+# divides out machine speed, so unlike the wall-clock tolerance it holds on
+# noisy hosts. Set GRB_MONO_MIN=0 to disable.
 set -eu
 cd "$(dirname "$0")/.."
 
 TOL="${GRB_BENCH_TOL:-15}"
+MONOMIN="${GRB_MONO_MIN:-2}"
 
 # Newest baseline by the PR sequence number in the filename.
 BASELINE=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
@@ -26,10 +36,17 @@ if [ -z "$BASELINE" ]; then
     echo "bench_compare: no BENCH_*.json baseline at the repo root; record one with scripts/bench_baseline.sh" >&2
     exit 2
 fi
-echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL)"
+echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL), mono floor ${MONOMIN}x (GRB_MONO_MIN)"
 
 if [ "${1:-}" = "--self-test" ]; then
-    go run ./cmd/benchcmp -tol "$TOL" -selftest "$BASELINE"
+    SELFMONO="$MONOMIN"
+    if ! grep -q '"dir": *"mono"' "$BASELINE"; then
+        # Pre-dense baselines carry no mono/closure pairs; the ratio gate
+        # has nothing to judge there.
+        echo "bench_compare: baseline has no mono series; skipping the speedup floor"
+        SELFMONO=0
+    fi
+    go run ./cmd/benchcmp -tol "$TOL" -monomin "$SELFMONO" -selftest "$BASELINE"
     exit $?
 fi
 
@@ -38,7 +55,7 @@ SCALE="${SCALE:-14}"
 CUR=$(mktemp /tmp/grbbench.XXXXXX.json)
 trap 'rm -f "$CUR"' EXIT
 
-echo "bench_compare: measuring traversal at scale $SCALE"
-go run ./cmd/grbbench -run traversal -scale "$SCALE" -json "$CUR" >/dev/null
+echo "bench_compare: measuring traversal + dense at scale $SCALE"
+go run ./cmd/grbbench -run traversal,dense -scale "$SCALE" -json "$CUR" >/dev/null
 
-go run ./cmd/benchcmp -tol "$TOL" "$BASELINE" "$CUR"
+go run ./cmd/benchcmp -tol "$TOL" -monomin "$MONOMIN" "$BASELINE" "$CUR"

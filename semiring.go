@@ -1,11 +1,21 @@
 package grb
 
+import "github.com/grblas/grb/internal/sparse"
+
 // Semiring is a GraphBLAS semiring: an additive monoid on the output domain
 // Dout and a multiplicative binary operator Din1 × Din2 → Dout. It drives
 // the matrix-product family (MxM, MxV, VxM).
 type Semiring[Din1, Din2, Dout any] struct {
 	Add Monoid[Dout]
 	Mul BinaryOp[Din1, Din2, Dout]
+
+	// semi tags the hot semirings built by this package's constructors so
+	// the multiply kernels can route them to monomorphized loops (see
+	// DESIGN.md, "Monomorphized kernels & formats"). Unexported on purpose:
+	// a hand-assembled Semiring carries arbitrary closures the kernels know
+	// nothing about, so it must stay SemiGeneric — tagging is a constructor
+	// privilege, not a caller promise.
+	semi sparse.Semi
 }
 
 // NewSemiring constructs a semiring (GrB_Semiring_new).
@@ -19,13 +29,13 @@ func NewSemiring[Din1, Din2, Dout any](add Monoid[Dout], mul BinaryOp[Din1, Din2
 // PlusTimes is the conventional arithmetic semiring (+, ×, 0)
 // (GrB_PLUS_TIMES_SEMIRING).
 func PlusTimes[T Number]() Semiring[T, T, T] {
-	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Times[T]}
+	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Times[T], semi: sparse.SemiPlusTimes}
 }
 
 // MinPlus is the tropical shortest-path semiring (min, +, +∞)
 // (GrB_MIN_PLUS_SEMIRING).
 func MinPlus[T Number]() Semiring[T, T, T] {
-	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: Plus[T]}
+	return Semiring[T, T, T]{Add: MinMonoid[T](), Mul: Plus[T], semi: sparse.SemiMinPlus}
 }
 
 // MaxPlus is the (max, +, -∞) semiring (GrB_MAX_PLUS_SEMIRING), used for
@@ -53,7 +63,7 @@ func MinMax[T Number]() Semiring[T, T, T] {
 // LOrLAnd is the boolean reachability semiring (∨, ∧, false)
 // (GrB_LOR_LAND_SEMIRING).
 func LOrLAnd() Semiring[bool, bool, bool] {
-	return Semiring[bool, bool, bool]{Add: LOrMonoid(), Mul: LAnd}
+	return Semiring[bool, bool, bool]{Add: LOrMonoid(), Mul: LAnd, semi: sparse.SemiLorLand}
 }
 
 // LAndLOr is the (∧, ∨, true) semiring (GrB_LAND_LOR_SEMIRING).
@@ -71,7 +81,7 @@ func LXorLAnd() Semiring[bool, bool, bool] {
 // pattern intersections. This is the semiring of Sandia-style triangle
 // counting.
 func PlusPair[T Number]() Semiring[T, T, T] {
-	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Oneb[T, T, T]}
+	return Semiring[T, T, T]{Add: PlusMonoid[T](), Mul: Oneb[T, T, T], semi: sparse.SemiPlusPair}
 }
 
 // MinFirst is the (min, first, +∞) semiring (GrB_MIN_FIRST_SEMIRING):
