@@ -1,0 +1,222 @@
+package grb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/grblas/grb/internal/faults"
+)
+
+// Acceptance tests for the 2D-blocked SUMMA engine at the API layer: the
+// Block descriptor field routes multiplies through the blocked plans, the
+// results match the flat kernels exactly, and the §V hardening contract
+// (budget exhaustion and tile panics park execution errors on still-valid
+// objects) holds on the blocked paths. The bit-for-bit sweep across
+// semirings × masks × grids lives in internal/sparse
+// (blocked_differential_test.go); these tests pin the surface behaviour.
+
+// randomMatrix builds a materialized rows×cols float64 matrix with ~nnz
+// random entries.
+func randomMatrix(t *testing.T, rng *rand.Rand, rows, cols, nnz int) *Matrix[float64] {
+	t.Helper()
+	var is, js []Index
+	var xs []float64
+	for k := 0; k < nnz; k++ {
+		is = append(is, Index(rng.Intn(rows)))
+		js = append(js, Index(rng.Intn(cols)))
+		xs = append(xs, rng.NormFloat64())
+	}
+	m := mustMatrix(t, rows, cols, is, js, xs)
+	if err := m.Wait(Materialize); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return m
+}
+
+// identicalTuples fails unless the two matrices hold exactly the same
+// tuples (values compared with ==).
+func identicalTuples(t *testing.T, label string, got, want *Matrix[float64]) {
+	t.Helper()
+	gi, gj, gx, err := got.ExtractTuples()
+	if err != nil {
+		t.Fatalf("%s: ExtractTuples(got): %v", label, err)
+	}
+	wi, wj, wx, err := want.ExtractTuples()
+	if err != nil {
+		t.Fatalf("%s: ExtractTuples(want): %v", label, err)
+	}
+	if len(gi) != len(wi) {
+		t.Fatalf("%s: nnz %d != %d", label, len(gi), len(wi))
+	}
+	for k := range wi {
+		if gi[k] != wi[k] || gj[k] != wj[k] || gx[k] != wx[k] {
+			t.Fatalf("%s: tuple %d = (%d,%d,%v), want (%d,%d,%v)",
+				label, k, gi[k], gj[k], gx[k], wi[k], wj[k], wx[k])
+		}
+	}
+}
+
+// TestBlockedDescriptorMatchesFlat: DescBlocked forces the SUMMA plans and
+// the products match DescFlat bit for bit — MxM and both MxV directions.
+func TestBlockedDescriptorMatchesFlat(t *testing.T) {
+	setMode(t, NonBlocking)
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(t, rng, 60, 60, 700)
+	b := randomMatrix(t, rng, 60, 60, 700)
+
+	run := func(desc *Descriptor) *Matrix[float64] {
+		c, err := NewMatrix[float64](60, 60)
+		if err != nil {
+			t.Fatalf("NewMatrix: %v", err)
+		}
+		if err := MxM(c, nil, nil, PlusTimes[float64](), a, b, desc); err != nil {
+			t.Fatalf("MxM: %v", err)
+		}
+		if err := c.Wait(Materialize); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		return c
+	}
+	ResetKernelCounts()
+	flat := run(DescFlat)
+	blocked := run(DescBlocked)
+	if ops, _ := BlockKernelCounts(); ops == 0 {
+		t.Fatal("DescBlocked never engaged the blocked engine")
+	}
+	identicalTuples(t, "mxm", blocked, flat)
+
+	var ui []Index
+	var ux []float64
+	for j := 0; j < 60; j += 2 {
+		ui = append(ui, Index(j))
+		ux = append(ux, rng.NormFloat64())
+	}
+	u := mustVector(t, 60, ui, ux)
+	for _, dir := range []Direction{DirPull, DirPush} {
+		mxv := func(block BlockMode) *Vector[float64] {
+			w, err := NewVector[float64](60)
+			if err != nil {
+				t.Fatalf("NewVector: %v", err)
+			}
+			if err := MxV(w, nil, nil, PlusTimes[float64](), a, u, &Descriptor{Dir: dir, Block: block}); err != nil {
+				t.Fatalf("MxV: %v", err)
+			}
+			if err := w.Wait(Materialize); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			return w
+		}
+		wf := mxv(BlockOff)
+		wb := mxv(BlockOn)
+		fi, fx, err := wf.ExtractTuples()
+		if err != nil {
+			t.Fatalf("ExtractTuples: %v", err)
+		}
+		bi, bx, err := wb.ExtractTuples()
+		if err != nil {
+			t.Fatalf("ExtractTuples: %v", err)
+		}
+		if len(fi) != len(bi) {
+			t.Fatalf("dir %v: nnz %d != %d", dir, len(bi), len(fi))
+		}
+		for k := range fi {
+			if bi[k] != fi[k] || bx[k] != fx[k] {
+				t.Fatalf("dir %v: entry %d = (%d,%v), want (%d,%v)", dir, k, bi[k], bx[k], fi[k], fx[k])
+			}
+		}
+	}
+}
+
+// TestBlockedBudgetExhaustionParks: a blocked multiply under a budget too
+// small for the blocked view parks GrB_OUT_OF_MEMORY per §V — the output
+// stays a valid sticky-error object, the budget drains back to zero, and
+// the inputs keep serving flat work in the same context.
+func TestBlockedBudgetExhaustionParks(t *testing.T) {
+	setMode(t, NonBlocking)
+	ctx, err := NewContext(NonBlocking, nil, WithThreads(2), WithMemoryLimit(16))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	a := pathGraph(t, ctx, 64)
+	c, err := NewMatrix[bool](64, 64, InContext(ctx))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, LOrLAnd(), a, a, DescBlocked); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := c.Wait(Materialize); Code(err) != OutOfMemory {
+		t.Fatalf("blocked under 16-byte budget: err = %v, want OutOfMemory", err)
+	}
+	if c.ErrorString() == "" {
+		t.Fatal("parked OutOfMemory has empty ErrorString")
+	}
+	if used := ctx.MemoryUsed(); used != 0 {
+		t.Fatalf("budget leak after blocked abort: %d bytes", used)
+	}
+	// The parked object is still a valid object: clearing resets the error
+	// and it accepts new work.
+	if err := c.Clear(); err != nil {
+		t.Fatalf("Clear on parked object: %v", err)
+	}
+	if nv, err := c.Nvals(); err != nil || nv != 0 {
+		t.Fatalf("Nvals after Clear: %d, %v", nv, err)
+	}
+	// The inputs are untouched — a flat multiply in an unbudgeted context
+	// still works on a copy of the same graph.
+	free, err := NewContext(NonBlocking, nil, WithThreads(2))
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	b := pathGraph(t, free, 64)
+	d, err := NewMatrix[bool](64, 64, InContext(free))
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(d, nil, nil, LOrLAnd(), b, b, nil); err != nil {
+		t.Fatalf("MxM after park: %v", err)
+	}
+	if err := d.Wait(Materialize); err != nil {
+		t.Fatalf("Wait after park: %v", err)
+	}
+}
+
+// TestBlockedTilePanicParks: a simulated crash inside a tile task is
+// recovered into a parked GrB_PANIC; the same inputs then serve both flat
+// and blocked multiplies once injection is disarmed.
+func TestBlockedTilePanicParks(t *testing.T) {
+	setMode(t, NonBlocking)
+	a, _ := chaosInputs(t)
+	ResetKernelCounts()
+	faults.Enable(faults.Rule{Site: "sparse.block.tile", Action: faults.Panic, Hit: 1})
+	c, err := NewMatrix[float64](16, 16)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if err := MxM(c, nil, nil, PlusTimes[float64](), a, a, DescBlocked); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := c.Wait(Materialize); Code(err) != Panic {
+		t.Fatalf("injected tile panic: err = %v, want Panic", err)
+	}
+	if s := c.ErrorString(); !strings.Contains(s, "panic") {
+		t.Fatalf("ErrorString = %q, want it to mention the panic", s)
+	}
+	faults.Disable()
+	if _, panics := HardeningCounts(); panics == 0 {
+		t.Fatal("recovered-panic counter did not tick")
+	}
+	for _, desc := range []*Descriptor{nil, DescBlocked} {
+		d, err := NewMatrix[float64](16, 16)
+		if err != nil {
+			t.Fatalf("NewMatrix after panic: %v", err)
+		}
+		if err := MxM(d, nil, nil, PlusTimes[float64](), a, a, desc); err != nil {
+			t.Fatalf("MxM after panic: %v", err)
+		}
+		if err := d.Wait(Materialize); err != nil {
+			t.Fatalf("Wait after panic: %v", err)
+		}
+	}
+}

@@ -11,13 +11,28 @@
 //
 // -selftest runs the gate against itself: the baseline must pass unchanged,
 // and a synthetic 20% slowdown of every series must be flagged at the default
-// 15% tolerance. CI uses it to prove the gate can actually fire.
+// 15% tolerance. CI uses it to prove the gate can actually fire. Each ratio
+// gate enabled alongside -selftest adds a pass/fire step pair of its own.
 //
 // -monomin R adds a paired-ratio gate on the current file (the baseline under
 // -selftest): every graph carrying both a mono and a closure series — the
 // dense experiment's kernel-tier A/B — must show closure/mono >= R, i.e. the
 // monomorphized kernel at least R× faster than the closure kernel it
 // replaces. 0 (the default) disables the gate.
+//
+// -blockedmin R adds the 2D-blocked load-balance gate: every graph carrying
+// both a flat and a blocked series with span telemetry (the blocked
+// experiment's SpGEMM A/B) must show span(flat)/span(blocked) >= R. The span
+// is the modeled parallel makespan in flops — deterministic and independent
+// of the host's core count, so the gate holds on single-core CI runners
+// where wall-clock parallel speedups cannot exist. 0 disables the gate.
+//
+// -automax R adds the auto-routing guard: for every graph carrying both a
+// flat and an auto series, the auto route must track whichever plan it
+// chose. When the auto series shows no blocked ops it took the flat route,
+// so its wall time must stay within R× of the flat series; when it engaged
+// the blocked engine and span telemetry is present, its span must stay
+// within R× of the forced-blocked series. 0 disables the gate.
 package main
 
 import (
@@ -30,16 +45,21 @@ import (
 )
 
 var (
-	tol      = flag.Float64("tol", 15, "maximum allowed slowdown, percent")
-	monomin  = flag.Float64("monomin", 0, "minimum closure/mono speedup for every graph with paired mono+closure series (0 disables)")
-	selftest = flag.Bool("selftest", false, "verify the gate fires on a synthetic 20% slowdown of the baseline")
+	tol        = flag.Float64("tol", 15, "maximum allowed slowdown, percent")
+	monomin    = flag.Float64("monomin", 0, "minimum closure/mono speedup for every graph with paired mono+closure series (0 disables)")
+	blockedmin = flag.Float64("blockedmin", 0, "minimum flat/blocked modeled-span ratio for every graph with paired flat+blocked span series (0 disables)")
+	automax    = flag.Float64("automax", 0, "maximum auto-vs-chosen-route ratio for every graph with paired flat+auto series (0 disables)")
+	selftest   = flag.Bool("selftest", false, "verify each enabled gate fires on a synthetic degradation of the baseline")
 )
 
-// series is one measured (graph, dir) wall time from a grbbench JSON file.
+// series is one measured (graph, dir) run from a grbbench JSON file: the
+// wall time plus the blocked-engine telemetry the ratio gates read.
 type series struct {
-	Graph   string  `json:"graph"`
-	Dir     string  `json:"dir"`
-	Seconds float64 `json:"seconds"`
+	Graph      string  `json:"graph"`
+	Dir        string  `json:"dir"`
+	Seconds    float64 `json:"seconds"`
+	BlockedOps int64   `json:"blocked_ops"`
+	SpanFlops  int64   `json:"span_flops"`
 }
 
 // benchFile is the subset of the grbbench -json schema the gate reads.
@@ -47,7 +67,7 @@ type benchFile struct {
 	Results []series `json:"results"`
 }
 
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]series, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -59,23 +79,23 @@ func load(path string) (map[string]float64, error) {
 	if len(f.Results) == 0 {
 		return nil, fmt.Errorf("%s: no results array", path)
 	}
-	m := make(map[string]float64, len(f.Results))
+	m := make(map[string]series, len(f.Results))
 	for _, s := range f.Results {
-		m[s.Graph+"/"+s.Dir] = s.Seconds
+		m[s.Graph+"/"+s.Dir] = s
 	}
 	return m, nil
 }
 
 // compare reports every overlapping series and returns the keys that slowed
 // down by more than tolPct.
-func compare(base, cur map[string]float64, tolPct float64) (regressed []string) {
+func compare(base, cur map[string]series, tolPct float64) (regressed []string) {
 	keys := make([]string, 0, len(base))
 	for k := range base {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		b := base[k]
+		b := base[k].Seconds
 		c, ok := cur[k]
 		if !ok {
 			fmt.Printf("  %-24s base=%.4fs  (missing from current — skipped)\n", k, b)
@@ -85,17 +105,17 @@ func compare(base, cur map[string]float64, tolPct float64) (regressed []string) 
 			fmt.Printf("  %-24s base=%.4fs  (non-positive baseline — skipped)\n", k, b)
 			continue
 		}
-		delta := (c - b) / b * 100
+		delta := (c.Seconds - b) / b * 100
 		mark := "ok"
 		if delta > tolPct {
 			mark = "REGRESSED"
 			regressed = append(regressed, k)
 		}
-		fmt.Printf("  %-24s base=%.4fs cur=%.4fs delta=%+.1f%% %s\n", k, b, c, delta, mark)
+		fmt.Printf("  %-24s base=%.4fs cur=%.4fs delta=%+.1f%% %s\n", k, b, c.Seconds, delta, mark)
 	}
 	for k := range cur {
 		if _, ok := base[k]; !ok {
-			fmt.Printf("  %-24s cur=%.4fs  (new series — no baseline)\n", k, cur[k])
+			fmt.Printf("  %-24s cur=%.4fs  (new series — no baseline)\n", k, cur[k].Seconds)
 		}
 	}
 	return regressed
@@ -105,7 +125,7 @@ func compare(base, cur map[string]float64, tolPct float64) (regressed []string) 
 // both a "<graph>/mono" and a "<graph>/closure" series, the closure time
 // divided by the mono time must reach minRatio. Graphs without the pair are
 // untouched — the gate is about the kernel-tier A/B, not general series.
-func checkMono(cur map[string]float64, minRatio float64) (failed []string) {
+func checkMono(cur map[string]series, minRatio float64) (failed []string) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
@@ -117,20 +137,102 @@ func checkMono(cur map[string]float64, minRatio float64) (failed []string) {
 			continue
 		}
 		clos, ok := cur[graph+"/closure"]
-		mono := cur[k]
+		mono := cur[k].Seconds
 		if !ok || mono <= 0 {
 			continue
 		}
-		ratio := clos / mono
+		ratio := clos.Seconds / mono
 		mark := "ok"
 		if ratio < minRatio {
 			mark = "TOO SLOW"
 			failed = append(failed, graph)
 		}
 		fmt.Printf("  %-24s mono=%.4fs closure=%.4fs speedup=%.2fx (need %.2fx) %s\n",
-			graph, mono, clos, ratio, minRatio, mark)
+			graph, mono, clos.Seconds, ratio, minRatio, mark)
 	}
 	return failed
+}
+
+// checkBlocked enforces the 2D-blocked load-balance gate: for every graph
+// carrying both a "<graph>/flat" and a "<graph>/blocked" series with span
+// telemetry, the flat plan's modeled span divided by the blocked plan's must
+// reach minRatio. Graphs without span data (series predating the telemetry,
+// or non-SpGEMM experiments) are untouched.
+func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pairs int) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		graph, ok := strings.CutSuffix(k, "/flat")
+		if !ok {
+			continue
+		}
+		blk, ok := cur[graph+"/blocked"]
+		flat := cur[k]
+		if !ok || flat.SpanFlops <= 0 || blk.SpanFlops <= 0 {
+			continue
+		}
+		pairs++
+		ratio := float64(flat.SpanFlops) / float64(blk.SpanFlops)
+		mark := "ok"
+		if ratio < minRatio {
+			mark = "TOO SLOW"
+			failed = append(failed, graph)
+		}
+		fmt.Printf("  %-24s span flat=%d blocked=%d ratio=%.2fx (need %.2fx) %s\n",
+			graph, flat.SpanFlops, blk.SpanFlops, ratio, minRatio, mark)
+	}
+	return failed, pairs
+}
+
+// checkAuto enforces the auto-routing guard: for every graph carrying both a
+// "<graph>/flat" and a "<graph>/auto" series, the auto route must track the
+// plan it chose — flat wall time when it stayed flat (no blocked ops),
+// forced-blocked span when it engaged the blocked engine. maxRatio bounds
+// how far above the chosen route's number the auto series may drift.
+func checkAuto(cur map[string]series, maxRatio float64) (failed []string, pairs int) {
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		graph, ok := strings.CutSuffix(k, "/flat")
+		if !ok {
+			continue
+		}
+		auto, ok := cur[graph+"/auto"]
+		flat := cur[k]
+		if !ok {
+			continue
+		}
+		var ratio float64
+		var desc string
+		switch {
+		case auto.BlockedOps == 0 && flat.Seconds > 0:
+			ratio = auto.Seconds / flat.Seconds
+			desc = fmt.Sprintf("stayed flat: auto=%.4fs flat=%.4fs", auto.Seconds, flat.Seconds)
+		case auto.BlockedOps > 0 && auto.SpanFlops > 0:
+			blk, ok := cur[graph+"/blocked"]
+			if !ok || blk.SpanFlops <= 0 {
+				continue
+			}
+			ratio = float64(auto.SpanFlops) / float64(blk.SpanFlops)
+			desc = fmt.Sprintf("went blocked: span auto=%d blocked=%d", auto.SpanFlops, blk.SpanFlops)
+		default:
+			continue
+		}
+		pairs++
+		mark := "ok"
+		if ratio > maxRatio {
+			mark = "ADRIFT"
+			failed = append(failed, graph)
+		}
+		fmt.Printf("  %-24s %s ratio=%.2fx (max %.2fx) %s\n", graph, desc, ratio, maxRatio, mark)
+	}
+	return failed, pairs
 }
 
 func main() {
@@ -146,37 +248,45 @@ func main() {
 			os.Exit(2)
 		}
 		steps := 2
-		if *monomin > 0 {
-			steps = 4
+		for _, gate := range []float64{*monomin, *blockedmin, *automax} {
+			if gate > 0 {
+				steps += 2
+			}
 		}
-		fmt.Printf("selftest 1/%d: baseline vs itself at tol=%.0f%% (must pass)\n", steps, *tol)
+		step := 0
+		announce := func(format string, args ...any) {
+			step++
+			fmt.Printf("selftest %d/%d: %s\n", step, steps, fmt.Sprintf(format, args...))
+		}
+		announce("baseline vs itself at tol=%.0f%% (must pass)", *tol)
 		if reg := compare(base, base, *tol); len(reg) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp selftest: identical inputs flagged %v\n", reg)
 			os.Exit(1)
 		}
-		slowed := make(map[string]float64, len(base))
+		slowed := make(map[string]series, len(base))
 		for k, v := range base {
-			slowed[k] = v * 1.20
+			v.Seconds *= 1.20
+			slowed[k] = v
 		}
-		fmt.Printf("selftest 2/%d: synthetic 20%% slowdown at tol=%.0f%% (must be flagged)\n", steps, *tol)
+		announce("synthetic 20%% slowdown at tol=%.0f%% (must be flagged)", *tol)
 		if reg := compare(base, slowed, *tol); len(reg) != len(base) {
 			fmt.Fprintf(os.Stderr, "benchcmp selftest: 20%% slowdown flagged %d of %d series\n", len(reg), len(base))
 			os.Exit(1)
 		}
 		if *monomin > 0 {
-			fmt.Printf("selftest 3/4: mono speedup gate at %.2fx (baseline must pass)\n", *monomin)
+			announce("mono speedup gate at %.2fx (baseline must pass)", *monomin)
 			if failed := checkMono(base, *monomin); len(failed) > 0 {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the mono gate: %v\n", failed)
 				os.Exit(1)
 			}
 			// Degrade every mono series to its closure time: ratio 1.0 must
 			// be flagged, proving the gate can fire.
-			degraded := make(map[string]float64, len(base))
+			degraded := make(map[string]series, len(base))
 			pairs := 0
 			for k, v := range base {
 				if g, ok := strings.CutSuffix(k, "/mono"); ok {
 					if clos, ok := base[g+"/closure"]; ok {
-						v = clos
+						v.Seconds = clos.Seconds
 						pairs++
 					}
 				}
@@ -186,9 +296,64 @@ func main() {
 				fmt.Fprintln(os.Stderr, "benchcmp selftest: -monomin set but no mono/closure pairs in baseline")
 				os.Exit(1)
 			}
-			fmt.Printf("selftest 4/4: mono degraded to closure parity (must be flagged)\n")
+			announce("mono degraded to closure parity (must be flagged)")
 			if failed := checkMono(degraded, *monomin); len(failed) != pairs {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: parity flagged %d of %d pairs\n", len(failed), pairs)
+				os.Exit(1)
+			}
+		}
+		if *blockedmin > 0 {
+			announce("blocked span gate at %.2fx (baseline must pass)", *blockedmin)
+			failed, pairs := checkBlocked(base, *blockedmin)
+			if len(failed) > 0 {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the blocked gate: %v\n", failed)
+				os.Exit(1)
+			}
+			if pairs == 0 {
+				fmt.Fprintln(os.Stderr, "benchcmp selftest: -blockedmin set but no flat/blocked span pairs in baseline")
+				os.Exit(1)
+			}
+			// Degrade every blocked span to its flat span: ratio 1.0 must be
+			// flagged, proving the load-balance gate can fire.
+			degraded := make(map[string]series, len(base))
+			for k, v := range base {
+				if g, ok := strings.CutSuffix(k, "/blocked"); ok {
+					if flat, ok := base[g+"/flat"]; ok && flat.SpanFlops > 0 && v.SpanFlops > 0 {
+						v.SpanFlops = flat.SpanFlops
+					}
+				}
+				degraded[k] = v
+			}
+			announce("blocked span degraded to flat parity (must be flagged)")
+			if failed, _ := checkBlocked(degraded, *blockedmin); len(failed) != pairs {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: span parity flagged %d of %d pairs\n", len(failed), pairs)
+				os.Exit(1)
+			}
+		}
+		if *automax > 0 {
+			announce("auto routing guard at %.2fx (baseline must pass)", *automax)
+			failed, pairs := checkAuto(base, *automax)
+			if len(failed) > 0 {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the auto guard: %v\n", failed)
+				os.Exit(1)
+			}
+			if pairs == 0 {
+				fmt.Fprintln(os.Stderr, "benchcmp selftest: -automax set but no flat/auto pairs in baseline")
+				os.Exit(1)
+			}
+			// Blow every auto series past its chosen route by 4×: wall time
+			// for flat-routed autos, span for blocked-routed ones.
+			adrift := make(map[string]series, len(base))
+			for k, v := range base {
+				if _, ok := strings.CutSuffix(k, "/auto"); ok {
+					v.Seconds *= 4
+					v.SpanFlops *= 4
+				}
+				adrift[k] = v
+			}
+			announce("auto series blown 4x past its route (must be flagged)")
+			if failed, _ := checkAuto(adrift, *automax); len(failed) != pairs {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: adrift auto flagged %d of %d pairs\n", len(failed), pairs)
 				os.Exit(1)
 			}
 		}
@@ -229,6 +394,22 @@ func main() {
 		if failed := checkMono(cur, *monomin); len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs under the %.2fx mono speedup floor: %v\n",
 				len(failed), *monomin, failed)
+			os.Exit(1)
+		}
+	}
+	if *blockedmin > 0 {
+		fmt.Printf("benchcmp: blocked span gate %.2fx\n", *blockedmin)
+		if failed, _ := checkBlocked(cur, *blockedmin); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs under the %.2fx blocked span floor: %v\n",
+				len(failed), *blockedmin, failed)
+			os.Exit(1)
+		}
+	}
+	if *automax > 0 {
+		fmt.Printf("benchcmp: auto routing guard %.2fx\n", *automax)
+		if failed, _ := checkAuto(cur, *automax); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs with the auto route adrift beyond %.2fx: %v\n",
+				len(failed), *automax, failed)
 			os.Exit(1)
 		}
 	}

@@ -20,18 +20,31 @@ func writeBench(t *testing.T, dir, name string, results []series) string {
 	return path
 }
 
+// secs builds a series map from wall times alone — the shape of every
+// pre-blocked benchmark file.
+func secs(m map[string]float64) map[string]series {
+	out := make(map[string]series, len(m))
+	for k, v := range m {
+		out[k] = series{Seconds: v}
+	}
+	return out
+}
+
 func TestLoadKeysSeries(t *testing.T) {
 	dir := t.TempDir()
 	path := writeBench(t, dir, "b.json", []series{
 		{Graph: "rmat", Dir: "push", Seconds: 1.5},
-		{Graph: "rmat", Dir: "pull", Seconds: 2.0},
+		{Graph: "rmat", Dir: "pull", Seconds: 2.0, SpanFlops: 77},
 	})
 	m, err := load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 2 || m["rmat/push"] != 1.5 || m["rmat/pull"] != 2.0 {
+	if len(m) != 2 || m["rmat/push"].Seconds != 1.5 || m["rmat/pull"].Seconds != 2.0 {
 		t.Fatalf("load = %v", m)
+	}
+	if m["rmat/pull"].SpanFlops != 77 {
+		t.Fatalf("span telemetry lost: %v", m["rmat/pull"])
 	}
 }
 
@@ -47,16 +60,16 @@ func TestLoadRejectsEmpty(t *testing.T) {
 }
 
 func TestCompareWithinTolerance(t *testing.T) {
-	base := map[string]float64{"g/push": 1.0, "g/pull": 2.0}
-	cur := map[string]float64{"g/push": 1.10, "g/pull": 1.5}
+	base := secs(map[string]float64{"g/push": 1.0, "g/pull": 2.0})
+	cur := secs(map[string]float64{"g/push": 1.10, "g/pull": 1.5})
 	if reg := compare(base, cur, 15); len(reg) != 0 {
 		t.Fatalf("10%% slowdown flagged at 15%% tolerance: %v", reg)
 	}
 }
 
 func TestCompareFlagsRegression(t *testing.T) {
-	base := map[string]float64{"g/push": 1.0, "g/pull": 2.0}
-	cur := map[string]float64{"g/push": 1.20, "g/pull": 2.0}
+	base := secs(map[string]float64{"g/push": 1.0, "g/pull": 2.0})
+	cur := secs(map[string]float64{"g/push": 1.20, "g/pull": 2.0})
 	reg := compare(base, cur, 15)
 	if len(reg) != 1 || reg[0] != "g/push" {
 		t.Fatalf("20%% slowdown at 15%% tolerance: got %v, want [g/push]", reg)
@@ -64,36 +77,36 @@ func TestCompareFlagsRegression(t *testing.T) {
 }
 
 func TestCompareTolKnob(t *testing.T) {
-	base := map[string]float64{"g/auto": 1.0}
-	cur := map[string]float64{"g/auto": 1.20}
+	base := secs(map[string]float64{"g/auto": 1.0})
+	cur := secs(map[string]float64{"g/auto": 1.20})
 	if reg := compare(base, cur, 25); len(reg) != 0 {
 		t.Fatalf("20%% slowdown flagged at 25%% tolerance: %v", reg)
 	}
 }
 
 func TestCompareSkipsNonOverlapping(t *testing.T) {
-	base := map[string]float64{"g/push": 1.0, "old/push": 1.0}
-	cur := map[string]float64{"g/push": 1.0, "new/push": 99.0}
+	base := secs(map[string]float64{"g/push": 1.0, "old/push": 1.0})
+	cur := secs(map[string]float64{"g/push": 1.0, "new/push": 99.0})
 	if reg := compare(base, cur, 15); len(reg) != 0 {
 		t.Fatalf("non-overlapping series affected the verdict: %v", reg)
 	}
 }
 
 func TestCheckMonoPassesAboveFloor(t *testing.T) {
-	cur := map[string]float64{
+	cur := secs(map[string]float64{
 		"pagerank/mono": 1.0, "pagerank/closure": 2.5,
 		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
-	}
+	})
 	if failed := checkMono(cur, 2.0); len(failed) != 0 {
 		t.Fatalf("2.5x and 10x speedups failed the 2x floor: %v", failed)
 	}
 }
 
 func TestCheckMonoFlagsSlowPair(t *testing.T) {
-	cur := map[string]float64{
+	cur := secs(map[string]float64{
 		"pagerank/mono": 1.0, "pagerank/closure": 1.5,
 		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
-	}
+	})
 	failed := checkMono(cur, 2.0)
 	if len(failed) != 1 || failed[0] != "pagerank" {
 		t.Fatalf("1.5x speedup at 2x floor: got %v, want [pagerank]", failed)
@@ -103,11 +116,81 @@ func TestCheckMonoFlagsSlowPair(t *testing.T) {
 func TestCheckMonoIgnoresUnpairedSeries(t *testing.T) {
 	// Traversal series and a mono series with no closure partner must not
 	// trip the gate — it judges only the kernel-tier A/B pairs.
-	cur := map[string]float64{
+	cur := secs(map[string]float64{
 		"rmat/push": 9.0, "rmat/pull": 1.0,
 		"orphan/mono": 5.0,
-	}
+	})
 	if failed := checkMono(cur, 2.0); len(failed) != 0 {
 		t.Fatalf("unpaired series tripped the mono gate: %v", failed)
+	}
+}
+
+func TestCheckBlockedPassesAboveFloor(t *testing.T) {
+	cur := map[string]series{
+		"spgemm/flat":    {Seconds: 1, SpanFlops: 200_000},
+		"spgemm/blocked": {Seconds: 2, SpanFlops: 100_000},
+	}
+	failed, pairs := checkBlocked(cur, 1.5)
+	if len(failed) != 0 || pairs != 1 {
+		t.Fatalf("2x span ratio at 1.5x floor: failed=%v pairs=%d", failed, pairs)
+	}
+}
+
+func TestCheckBlockedFlagsPoorBalance(t *testing.T) {
+	cur := map[string]series{
+		"spgemm/flat":    {SpanFlops: 110_000},
+		"spgemm/blocked": {SpanFlops: 100_000},
+	}
+	failed, pairs := checkBlocked(cur, 1.5)
+	if len(failed) != 1 || pairs != 1 || failed[0] != "spgemm" {
+		t.Fatalf("1.1x span ratio at 1.5x floor: failed=%v pairs=%d", failed, pairs)
+	}
+}
+
+func TestCheckBlockedIgnoresSpanlessPairs(t *testing.T) {
+	// A flat/blocked wall-time pair without span telemetry (an SpMV
+	// experiment, or a pre-telemetry file) must not trip the span gate.
+	cur := map[string]series{
+		"pagerank/flat":    {Seconds: 1.0},
+		"pagerank/blocked": {Seconds: 2.0},
+	}
+	failed, pairs := checkBlocked(cur, 1.5)
+	if len(failed) != 0 || pairs != 0 {
+		t.Fatalf("spanless pair judged: failed=%v pairs=%d", failed, pairs)
+	}
+}
+
+func TestCheckAutoFlatRouteTracksWall(t *testing.T) {
+	cur := map[string]series{
+		"pagerank/flat": {Seconds: 1.0},
+		"pagerank/auto": {Seconds: 1.1}, // BlockedOps 0: stayed flat
+	}
+	failed, pairs := checkAuto(cur, 1.25)
+	if len(failed) != 0 || pairs != 1 {
+		t.Fatalf("flat-routed auto within 1.25x flagged: failed=%v pairs=%d", failed, pairs)
+	}
+	cur["pagerank/auto"] = series{Seconds: 1.5}
+	failed, _ = checkAuto(cur, 1.25)
+	if len(failed) != 1 || failed[0] != "pagerank" {
+		t.Fatalf("flat-routed auto 1.5x adrift not flagged: %v", failed)
+	}
+}
+
+func TestCheckAutoBlockedRouteTracksSpan(t *testing.T) {
+	cur := map[string]series{
+		"spgemm/flat":    {Seconds: 1.0, SpanFlops: 200_000},
+		"spgemm/blocked": {Seconds: 2.0, SpanFlops: 100_000},
+		"spgemm/auto":    {Seconds: 2.1, SpanFlops: 100_000, BlockedOps: 1},
+	}
+	failed, pairs := checkAuto(cur, 1.25)
+	if len(failed) != 0 || pairs != 1 {
+		t.Fatalf("blocked-routed auto at span parity flagged: failed=%v pairs=%d", failed, pairs)
+	}
+	// The auto route picking a worse grid (span drifting past the forced
+	// blocked plan's) must be flagged, regardless of wall time.
+	cur["spgemm/auto"] = series{Seconds: 2.0, SpanFlops: 150_000, BlockedOps: 1}
+	failed, _ = checkAuto(cur, 1.25)
+	if len(failed) != 1 || failed[0] != "spgemm" {
+		t.Fatalf("blocked-routed auto 1.5x span drift not flagged: %v", failed)
 	}
 }

@@ -18,12 +18,18 @@ func Handler() http.Handler {
 		for i, name := range KernelCounters.Names() {
 			counters[name] = kc[i]
 		}
+		bc := BlockCounters.Snapshot()
+		blocked := make(map[string]int64, len(bc))
+		for i, name := range BlockCounters.Names() {
+			blocked[name] = bc[i]
+		}
 		doc := struct {
 			MetricsEnabled bool                 `json:"metrics_enabled"`
 			Tracing        bool                 `json:"tracing"`
 			UptimeNs       int64                `json:"uptime_ns"`
 			Ops            map[string]OpMetrics `json:"ops"`
 			KernelCounters map[string]int64     `json:"kernel_counters"`
+			BlockCounters  map[string]int64     `json:"block_counters"`
 			TraceBuffered  int                  `json:"trace_events_buffered"`
 		}{
 			MetricsEnabled: MetricsEnabled(),
@@ -31,6 +37,7 @@ func Handler() http.Handler {
 			UptimeNs:       int64(Uptime()),
 			Ops:            MetricsSnapshot(),
 			KernelCounters: counters,
+			BlockCounters:  blocked,
 			TraceBuffered:  TraceBuffered(),
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,404 @@
+package sparse
+
+import (
+	"sync/atomic"
+
+	"github.com/grblas/grb/internal/parallel"
+)
+
+// This file is the 2D-blocked storage layer of the substrate: a CSR matrix
+// can additionally expose a BlockedCSR view — an R×C grid of per-block CSR
+// tiles with per-block metadata — which the SUMMA-style block plans in
+// blockplan.go consume. The design follows the 2D decomposition that
+// CombBLAS-style distributed-memory SpGEMM uses: the matrix is cut along both
+// dimensions, each (bi, bj) output tile is owned by one task, and the tile
+// multiply C[bi][bj] += A[bi][bk] · B[bk][bj] walks bk in ascending order so
+// the floating-point reduction order matches the flat Gustavson kernel
+// exactly (the property the blocked differential battery asserts).
+//
+// Tiles are addressed through the blockStore interface rather than pointed-to
+// directly, so the plan layer never assumes tiles share an address space —
+// the seam a future distributed transport plugs into. The in-process
+// localBlocks store is the only implementation today.
+
+// BlockHint selects the blocked-engine routing for one operation or, through
+// the package-level hint, for the whole process. The zero value defers to the
+// auto-blocker thresholds.
+type BlockHint int
+
+const (
+	// BlockAuto routes through the blocked engine only when the operands
+	// already carry blocked views the size thresholds justified.
+	BlockAuto BlockHint = iota
+	// BlockFlat pins the flat kernels: no blocked views are built or used.
+	BlockFlat
+	// BlockForce routes every multiply through the 2D-blocked SUMMA plans,
+	// materializing blocked views as needed. Grids are clamped to the operand
+	// dimensions, so forcing is always well-defined (if degenerate: a 1×1
+	// grid is the flat algorithm run through the plan machinery).
+	BlockForce
+)
+
+// blockHint is the package-level routing hint, the blocked-engine analogue of
+// formatHint. Stored atomically so tests and benchmarks can pin it while
+// kernels run on other goroutines.
+var blockHint atomic.Int64
+
+// CurrentBlockHint returns the blocked-engine routing hint.
+func CurrentBlockHint() BlockHint { return BlockHint(blockHint.Load()) }
+
+// SetBlockHint pins the blocked-engine routing hint and returns the previous
+// value. Out-of-range values are normalized to BlockAuto. It affects only
+// future route decisions; already-built blocked views stay cached.
+func SetBlockHint(h BlockHint) BlockHint {
+	if h < BlockAuto || h > BlockForce {
+		h = BlockAuto
+	}
+	return BlockHint(blockHint.Swap(int64(h)))
+}
+
+// blockGridR/blockGridC hold the requested process-wide grid shape; 0 means
+// "auto" (defaultBlockGrid per side, clamped to the matrix dimensions).
+var (
+	blockGridR atomic.Int64
+	blockGridC atomic.Int64
+)
+
+// defaultBlockGrid is the per-side grid used when no explicit grid is pinned:
+// 4×4 = 16 tile tasks per multiply, enough to keep 8 workers stealing without
+// shrinking tiles below the point where per-tile overhead dominates.
+const defaultBlockGrid = 4
+
+// SetBlockGrid pins the process-wide blocked-view grid shape and returns the
+// previous setting. Values < 1 mean "auto" and are stored as 0. The grid is
+// clamped to each matrix's dimensions at materialization time.
+func SetBlockGrid(r, c int) (int, int) {
+	if r < 1 {
+		r = 0
+	}
+	if c < 1 {
+		c = 0
+	}
+	return int(blockGridR.Swap(int64(r))), int(blockGridC.Swap(int64(c)))
+}
+
+// BlockGrid returns the requested grid shape (0, 0 = auto).
+func BlockGrid() (int, int) {
+	return int(blockGridR.Load()), int(blockGridC.Load())
+}
+
+// blockNNZThreshold gates the Wait-time auto-blocker: matrices below it stay
+// flat. Atomic so tests can lower it without racing running kernels.
+var blockNNZThreshold atomic.Int64
+
+// defaultBlockThreshold = 64Ki entries: below this the whole multiply fits in
+// cache and tile-task overhead (per-tile SPA setup, task scheduling, the
+// final stitch) costs more than the parallelism wins back.
+const defaultBlockThreshold = 1 << 16
+
+func init() { blockNNZThreshold.Store(defaultBlockThreshold) }
+
+// BlockThreshold returns the auto-blocker nnz cutoff.
+func BlockThreshold() int { return int(blockNNZThreshold.Load()) }
+
+// SetBlockThreshold pins the auto-blocker nnz cutoff and returns the previous
+// value. Values < 1 are clamped to 1.
+func SetBlockThreshold(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(blockNNZThreshold.Swap(int64(n)))
+}
+
+// shouldBlock is the auto-blocker policy: block only matrices that are both
+// large (nnz at or above the threshold) and not hypersparse (average row
+// degree ≥ 4). The degree guard keeps the auto route off the hypersparse
+// workloads where the hash SPA already wins and tiling would only shred the
+// tiny per-row work into per-tile overhead.
+func shouldBlock(rows, cols, nnz int) bool {
+	if rows < 2 || cols < 2 {
+		return false
+	}
+	if nnz < BlockThreshold() {
+		return false
+	}
+	return nnz >= 4*rows
+}
+
+// BlockAddr names one tile of a blocked matrix by grid coordinates. Plans
+// address tiles through it (rather than holding tile pointers) so a store
+// backed by a transport can resolve addresses however it likes.
+type BlockAddr struct {
+	Row, Col int
+}
+
+// BlockMeta is the per-tile metadata the planner consults without fetching
+// the tile body: today just the stored-entry count.
+type BlockMeta struct {
+	NNZ int
+}
+
+// blockStore resolves tile addresses to tile bodies. The in-process
+// implementation is localBlocks; the interface exists so the plan layer stays
+// transport-agnostic (a remote store would fetch serialized tiles instead).
+type blockStore[T any] interface {
+	fetch(a BlockAddr) *CSR[T]
+}
+
+// localBlocks is the in-process tile store: a row-major slice of tiles.
+type localBlocks[T any] struct {
+	tiles []*CSR[T]
+	cols  int // grid columns, for row-major addressing
+}
+
+func (s *localBlocks[T]) fetch(a BlockAddr) *CSR[T] {
+	return s.tiles[a.Row*s.cols+a.Col]
+}
+
+// BlockedCSR is the 2D-blocked view of a CSR matrix: an R×C grid of CSR
+// tiles. RowSplit/ColSplit are the grid boundaries in parallel.Ranges form
+// (length R+1 / C+1); tile (bi, bj) covers global rows
+// [RowSplit[bi], RowSplit[bi+1]) and columns [ColSplit[bj], ColSplit[bj+1]),
+// and stores LOCAL indices — row li of the tile is global row RowSplit[bi]+li
+// and its column indices are offset by ColSplit[bj]. Like every structure in
+// this package, a BlockedCSR is immutable once built.
+type BlockedCSR[T any] struct {
+	Rows, Cols int   // global shape
+	RowSplit   []int // grid row boundaries, len GridR()+1
+	ColSplit   []int // grid column boundaries, len GridC()+1
+	Meta       []BlockMeta
+	store      blockStore[T]
+}
+
+// GridR returns the number of tile rows.
+func (b *BlockedCSR[T]) GridR() int { return len(b.RowSplit) - 1 }
+
+// GridC returns the number of tile columns.
+func (b *BlockedCSR[T]) GridC() int { return len(b.ColSplit) - 1 }
+
+// Tile fetches the body of tile (bi, bj) from the store.
+func (b *BlockedCSR[T]) Tile(bi, bj int) *CSR[T] {
+	return b.store.fetch(BlockAddr{Row: bi, Col: bj})
+}
+
+// TileMeta returns the metadata of tile (bi, bj).
+func (b *BlockedCSR[T]) TileMeta(bi, bj int) BlockMeta {
+	return b.Meta[bi*b.GridC()+bj]
+}
+
+// NNZ returns the total stored-entry count across all tiles.
+func (b *BlockedCSR[T]) NNZ() int {
+	n := 0
+	for _, m := range b.Meta {
+		n += m.NNZ
+	}
+	return n
+}
+
+// sameSplit reports whether two boundary arrays describe the same partition —
+// the compatibility check between A's column splits and B's row splits that a
+// SUMMA product requires.
+func sameSplit(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gridClamp clamps a requested per-side grid to [1, dim] (1 when the
+// dimension itself is 0), mirroring what parallel.Ranges would produce.
+func gridClamp(g, dim int) int {
+	if g < 1 {
+		g = defaultBlockGrid
+	}
+	if g > dim {
+		g = dim
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// newBlockedCSR cuts m into a gr×gc grid of local-index CSR tiles. Grid
+// boundaries come from parallel.Ranges, so two same-shaped matrices blocked
+// with the same grid always have compatible splits. Two passes per row block:
+// count entries per (tile, local row), then fill — O(nnz + rows·gc + gr·gc).
+func newBlockedCSR[T any](m *CSR[T], gr, gc int) *BlockedCSR[T] {
+	gr = gridClamp(gr, m.Rows)
+	gc = gridClamp(gc, m.Cols)
+	rowSplit := parallel.Ranges(m.Rows, gr)
+	colSplit := parallel.Ranges(m.Cols, gc)
+	nr := len(rowSplit) - 1
+	nc := len(colSplit) - 1
+	tiles := make([]*CSR[T], nr*nc)
+	meta := make([]BlockMeta, nr*nc)
+	for bi := 0; bi < nr; bi++ {
+		rlo, rhi := rowSplit[bi], rowSplit[bi+1]
+		tr := rhi - rlo
+		// Pass 1: per-tile row counts (as Ptr offsets).
+		ptrs := make([][]int, nc)
+		for bj := 0; bj < nc; bj++ {
+			ptrs[bj] = make([]int, tr+1)
+		}
+		for i := rlo; i < rhi; i++ {
+			ind, _ := m.Row(i)
+			bj := 0
+			for _, j := range ind {
+				for j >= colSplit[bj+1] {
+					bj++
+				}
+				ptrs[bj][i-rlo+1]++
+			}
+		}
+		for bj := 0; bj < nc; bj++ {
+			p := ptrs[bj]
+			for li := 0; li < tr; li++ {
+				p[li+1] += p[li]
+			}
+			t := &CSR[T]{
+				Rows: tr,
+				Cols: colSplit[bj+1] - colSplit[bj],
+				Ptr:  p,
+				Ind:  make([]int, p[tr]),
+				Val:  make([]T, p[tr]),
+			}
+			tiles[bi*nc+bj] = t
+			meta[bi*nc+bj] = BlockMeta{NNZ: p[tr]}
+		}
+		// Pass 2: fill, tracking a write cursor per tile row.
+		cur := make([]int, nc)
+		for i := rlo; i < rhi; i++ {
+			li := i - rlo
+			for bj := 0; bj < nc; bj++ {
+				cur[bj] = ptrs[bj][li]
+			}
+			ind, val := m.Row(i)
+			bj := 0
+			for k, j := range ind {
+				for j >= colSplit[bj+1] {
+					bj++
+				}
+				t := tiles[bi*nc+bj]
+				c := cur[bj]
+				t.Ind[c] = j - colSplit[bj]
+				t.Val[c] = val[k]
+				cur[bj] = c + 1
+			}
+		}
+	}
+	b := &BlockedCSR[T]{
+		Rows:     m.Rows,
+		Cols:     m.Cols,
+		RowSplit: rowSplit,
+		ColSplit: colSplit,
+		Meta:     meta,
+		store:    &localBlocks[T]{tiles: tiles, cols: nc},
+	}
+	for _, t := range tiles {
+		DebugCheckCSR(t, "newBlockedCSR")
+	}
+	return b
+}
+
+// blockedViewBytes estimates the persistent footprint of a blocked view:
+// the tile bodies mirror the flat nnz, plus one Ptr word per (row, grid
+// column) pair and fixed per-tile overhead.
+func blockedViewBytes[T any](m *CSR[T], gr, gc int) int64 {
+	perEntry := slotBytes[T]()
+	return int64(m.NNZ())*perEntry + int64((m.Rows+gr)*gc+gr*gc)*8
+}
+
+// BlockedViewEx returns the memoized gr×gc blocked view of m, materializing
+// it on first use and charging the build persistently against the budget
+// (the view outlives the operation, like a cached transpose). A cached view
+// for a different grid is rebuilt and replaced — each view is self-consistent
+// for its own grid, so replacement is safe. Grids are clamped to the matrix
+// dimensions.
+func (m *CSR[T]) BlockedViewEx(e Exec, gr, gc int) (*BlockedCSR[T], error) {
+	gr = gridClamp(gr, m.Rows)
+	gc = gridClamp(gc, m.Cols)
+	if b := m.blk.Load(); b != nil && b.GridR() == gr && b.GridC() == gc {
+		return b, nil
+	}
+	denseViewMu.Lock()
+	defer denseViewMu.Unlock()
+	if b := m.blk.Load(); b != nil && b.GridR() == gr && b.GridC() == gc {
+		return b, nil
+	}
+	if err := siteBlockTile.Check(); err != nil {
+		return nil, err
+	}
+	bytes := blockedViewBytes(m, gr, gc)
+	if !e.Tx.ReservePersistent(bytes) {
+		return nil, ErrBudget
+	}
+	b := newBlockedCSR(m, gr, gc)
+	tileScratch.Add(bytes)
+	m.blk.Store(b)
+	return b, nil
+}
+
+// BlockedView is the unbudgeted convenience form for tests.
+func (m *CSR[T]) BlockedView(gr, gc int) *BlockedCSR[T] {
+	b, err := m.BlockedViewEx(Exec{}, gr, gc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// autoGrid resolves the process-wide grid request (0 = auto default).
+func autoGrid() (int, int) {
+	r, c := BlockGrid()
+	if r < 1 {
+		r = defaultBlockGrid
+	}
+	if c < 1 {
+		c = defaultBlockGrid
+	}
+	return r, c
+}
+
+// AutoBlockView is the Wait-time auto-blocker hook: called by the grb layer
+// after a matrix sequence drains, it builds (and caches) a blocked view when
+// the policy justifies one. Build failures (budget, injected fault) are
+// swallowed — the flat representation is always still valid, so the auto
+// path degrades to "no blocked view" rather than erroring the drain.
+func AutoBlockView[T any](m *CSR[T], e Exec) {
+	if m == nil {
+		return
+	}
+	switch CurrentBlockHint() {
+	case BlockFlat:
+		return
+	case BlockForce:
+		// Forced routing materializes views at multiply time; pre-building
+		// here too keeps Wait-time cost attribution consistent.
+	case BlockAuto:
+		if !shouldBlock(m.Rows, m.Cols, m.NNZ()) {
+			return
+		}
+	}
+	gr, gc := autoGrid()
+	if b := m.blk.Load(); b != nil && b.GridR() == gridClamp(gr, m.Rows) && b.GridC() == gridClamp(gc, m.Cols) {
+		return
+	}
+	if _, err := m.BlockedViewEx(e, gr, gc); err == nil {
+		autoBlocks.Add(1)
+	}
+}
+
+// blockMode resolves the per-operation pin against the package hint: an
+// explicit Exec.Block wins, BlockAuto defers to the global setting.
+func (e Exec) blockMode() BlockHint {
+	if e.Block != BlockAuto {
+		return e.Block
+	}
+	return CurrentBlockHint()
+}

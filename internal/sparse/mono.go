@@ -127,6 +127,9 @@ func sameVecType[T, Y any]() bool {
 // mul/add are always supplied so the fallback needs no second dispatch.
 func SpMVSemiEx[A, X, Y any](semi Semi, spec Spec, a *CSR[A], u *Vec[X],
 	mul func(A, X) Y, add func(Y, Y) Y, mask VMask, e Exec, hint Kernel) (*Vec[Y], error) {
+	if out, handled, err := blockedSpMVDispatch(a, u, mul, add, mask, e); handled {
+		return out, err
+	}
 	if monoEnabled(semi, spec) {
 		if out, handled, err := monoSpMVDispatch[A, X, Y](semi, spec, a, u, mask, e, hint); handled {
 			return out, err
@@ -323,6 +326,9 @@ func stitchVec[T any](n int, parts []int, pInd [][]int, pVal [][]T) *Vec[T] {
 // the tag, types and mask shape admit it, VxMEx (closures) otherwise.
 func VxMSemiEx[X, A, Y any](semi Semi, spec Spec, u *Vec[X], a *CSR[A],
 	mul func(X, A) Y, add func(Y, Y) Y, mask VMask, e Exec) (*Vec[Y], error) {
+	if out, handled, err := blockedVxMDispatch(u, a, mul, add, mask, e); handled {
+		return out, err
+	}
 	if monoEnabled(semi, spec) {
 		if out, handled, err := monoVxMDispatch[X, A, Y](semi, spec, u, a, add, mask, e); handled {
 			return out, err
@@ -473,6 +479,9 @@ func vxmMono[T any](u *Vec[T], a *CSR[T], add func(T, T) T, mask VMask, e Exec, 
 // complicate the table for no measurable win.
 func SpGEMMSemiEx[A, B, C any](semi Semi, spec Spec, a *CSR[A], b *CSR[B],
 	mul func(A, B) C, add func(C, C) C, mask Mask, e Exec, hint Kernel) (*CSR[C], error) {
+	if out, handled, err := blockedSpGEMMDispatch(semi, spec, a, b, mul, add, mask, e, hint); handled {
+		return out, err
+	}
 	if monoEnabled(semi, spec) && hint != KernelHash {
 		if out, handled, err := monoSpGEMMDispatch[A, B, C](semi, a, b, mul, add, mask, e, hint); handled {
 			return out, err
@@ -579,6 +588,7 @@ func spgemmMono[T any](a, b *CSR[T], mul, add func(T, T) T, mask Mask, e Exec, h
 	out = NewCSR[T](a.Rows, b.Cols)
 	parts := parallel.BalancedRanges(a.Rows, threads, fptr)
 	nparts := len(parts) - 1
+	notePartSpan(parts, fptr, threads)
 	pInd := make([][]int, nparts)
 	pVal := make([][]T, nparts)
 	rowLen := make([]int, a.Rows)

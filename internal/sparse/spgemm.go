@@ -86,6 +86,7 @@ func SpGEMMKernelEx[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add fun
 	out = NewCSR[C](a.Rows, b.Cols)
 	parts := parallel.BalancedRanges(a.Rows, threads, fptr)
 	nparts := len(parts) - 1
+	notePartSpan(parts, fptr, threads)
 	pInd := make([][]int, nparts)
 	pVal := make([][]C, nparts)
 	rowLen := make([]int, a.Rows)

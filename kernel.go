@@ -38,6 +38,85 @@ func specRoute(m SpecMode, semi sparse.Semi) (sparse.Semi, sparse.Spec) {
 	return semi, sparse.SpecAuto
 }
 
+// blockRoute maps the descriptor's BlockMode onto the substrate hint.
+func blockRoute(m BlockMode) sparse.BlockHint {
+	switch m {
+	case BlockOn:
+		return sparse.BlockForce
+	case BlockOff:
+		return sparse.BlockFlat
+	case BlockDefault:
+	}
+	return sparse.BlockAuto
+}
+
+// BlockHint is the process-wide blocked-engine routing hint, aliased from the
+// substrate so grb callers (cmd/grbbench -blocked, tests) can pin the engine
+// without importing internal packages.
+type BlockHint = sparse.BlockHint
+
+const (
+	// BlockAuto builds and uses blocked views only where the auto-blocker
+	// thresholds justify them.
+	BlockAuto = sparse.BlockAuto
+	// BlockFlat disables the blocked engine entirely.
+	BlockFlat = sparse.BlockFlat
+	// BlockForce routes every multiply through the 2D-blocked SUMMA plans.
+	BlockForce = sparse.BlockForce
+)
+
+// SetBlockHint pins the blocked-engine routing hint and returns the previous
+// value. It affects only future route decisions.
+func SetBlockHint(h BlockHint) BlockHint { return sparse.SetBlockHint(h) }
+
+// CurrentBlockHint returns the blocked-engine routing hint.
+func CurrentBlockHint() BlockHint { return sparse.CurrentBlockHint() }
+
+// SetBlockGrid pins the blocked-view grid shape (rows×cols of tiles) and
+// returns the previous setting. Values < 1 mean "auto" (a 4×4 default,
+// clamped per matrix to its dimensions).
+func SetBlockGrid(r, c int) (int, int) { return sparse.SetBlockGrid(r, c) }
+
+// BlockGrid returns the requested blocked-view grid shape (0, 0 = auto).
+func BlockGrid() (int, int) { return sparse.BlockGrid() }
+
+// SetBlockThreshold pins the auto-blocker nnz cutoff — matrices below it stay
+// flat under BlockDefault/BlockAuto routing — and returns the previous value.
+func SetBlockThreshold(n int) int { return sparse.SetBlockThreshold(n) }
+
+// BlockThreshold returns the auto-blocker nnz cutoff.
+func BlockThreshold() int { return sparse.BlockThreshold() }
+
+// BlockKernelCounts reports how many multiply operations the 2D-blocked
+// (SUMMA) engine served and how many tile multiply tasks they executed since
+// the last ResetKernelCounts.
+func BlockKernelCounts() (ops, tasks int64) { return sparse.BlockCounts() }
+
+// BlockTileCounts reports how many blocked tile tasks used the dense tile SPA
+// and the hash tile accumulator since the last ResetKernelCounts.
+func BlockTileCounts() (dense, hash int64) { return sparse.BlockTileCounts() }
+
+// BlockFallbackCount reports how many blocked-route requests fell back to the
+// flat kernels (budget refusal, incompatible splits) since the last
+// ResetKernelCounts.
+func BlockFallbackCount() int64 { return sparse.BlockFallbackCount() }
+
+// AutoBlockCount reports how many blocked views the Wait-time auto-blocker
+// built since the last ResetKernelCounts.
+func AutoBlockCount() int64 { return sparse.AutoBlockCount() }
+
+// BlockScratchBytes reports the per-tile accumulator scratch allocated by
+// blocked plans since the last ResetKernelCounts.
+func BlockScratchBytes() int64 { return sparse.BlockScratchBytes() }
+
+// SpanFlops reports the accumulated modeled parallel span (the makespan, in
+// flops, of each SpGEMM call's partition greedily list-scheduled over its
+// worker count) and the total flops of those calls since the last
+// ResetKernelCounts. work/span is the plan's modeled parallel speedup — the
+// machine-independent load-balance metric the benchmark gate compares flat
+// and blocked plans with, unaffected by the host's real core count.
+func SpanFlops() (span, work int64) { return sparse.SpanFlops() }
+
 // FormatHint pins the block-format tier of the routing decision tree — the
 // middle level, between the descriptor pin and the semiring table. It is an
 // alias of the substrate type so grb callers (cmd/grbbench -format, tests)

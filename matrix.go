@@ -146,6 +146,16 @@ func (m *Matrix[T]) materializeLocked() error {
 			m.csr = nc
 		}
 	}
+	if steps > 0 && m.derr == nil && m.csr != nil && m.ctx != nil {
+		// Wait-time auto-blocker: once the sequence has drained onto fresh
+		// storage, build (and cache) the 2D-blocked tile view when the policy
+		// says the matrix has outgrown the flat-only representation — the
+		// drain is where conversion cost belongs, not the first multiply that
+		// happens to need tiles. Failures degrade to "no blocked view".
+		e := m.ctx.exec(1)
+		sparse.AutoBlockView(m.csr, e)
+		e.Close()
+	}
 	span.End(steps)
 	if m.derr != nil {
 		return m.derr

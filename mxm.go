@@ -77,6 +77,7 @@ func MxM[DC, DA, DB any](c *Matrix[DC], mask *Matrix[bool], accum BinaryOp[DC, D
 		// charges and cancellation probes reflect execution order (§IV/§V).
 		e := ctx.exec(threads)
 		defer e.Close()
+		e.Block = blockRoute(d.Block)
 		A, err := maybeTransposeEx(acsr, d.Transpose0, e)
 		if err != nil {
 			return nil, err
@@ -173,6 +174,7 @@ func MxV[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		e := ctx.exec(threads)
 		defer e.Close()
+		e.Block = blockRoute(d.Block)
 		var t *sparse.Vec[DC]
 		var err error
 		push := usePush
@@ -280,6 +282,7 @@ func VxM[DC, DA, DB any](w *Vector[DC], mask *Vector[bool], accum BinaryOp[DC, D
 	return w.enqueue(ctx, ev, func() (*sparse.Vec[DC], error) {
 		e := ctx.exec(threads)
 		defer e.Close()
+		e.Block = blockRoute(d.Block)
 		var t *sparse.Vec[DC]
 		var err error
 		push := usePush

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Benchmark baseline: runs the grbbench traversal experiment (push / pull /
-# adaptive BFS on hypersparse and RMAT graphs) plus the dense experiment
-# (monomorphized vs closure kernels on block-format operands) and records the
-# measured series in BENCH_3.json at the repo root, so later PRs can diff
-# performance against this one. Usage:
+# adaptive BFS on hypersparse and RMAT graphs), the dense experiment
+# (monomorphized vs closure kernels on block-format operands), and the
+# blocked experiment (flat vs 2D-blocked SUMMA SpGEMM/SpMV plans with their
+# modeled-span telemetry), and records the measured series in BENCH_4.json at
+# the repo root, so later PRs can diff performance against this one. Usage:
 #
 #   scripts/bench_baseline.sh [scale]
 #
@@ -17,7 +18,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-14}"
-OUT="BENCH_3.json"
+OUT="BENCH_4.json"
 
 echo "== lint gate: grblint must be clean before measuring =="
 if ! make lint; then
@@ -25,7 +26,7 @@ if ! make lint; then
     exit 1
 fi
 
-echo "== traversal + dense baseline: scale $SCALE -> $OUT =="
-go run ./cmd/grbbench -run traversal,dense -scale "$SCALE" -json "$OUT"
+echo "== traversal + dense + blocked baseline: scale $SCALE -> $OUT =="
+go run ./cmd/grbbench -run traversal,dense,blocked -scale "$SCALE" -json "$OUT"
 
 echo "baseline written to $OUT"

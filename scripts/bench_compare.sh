@@ -1,34 +1,50 @@
 #!/bin/sh
-# Bench-regression gate: re-runs the grbbench traversal and dense experiments
-# and diffs them against the newest BENCH_*.json baseline at the repo root
-# with cmd/benchcmp, failing when any (graph, dir) series slowed down by more
-# than the tolerance — or when a monomorphized kernel no longer beats its
-# closure twin by the required ratio.
+# Bench-regression gate: re-runs the grbbench traversal, dense, and blocked
+# experiments and diffs them against the newest BENCH_*.json baseline at the
+# repo root with cmd/benchcmp, failing when any (graph, dir) series slowed
+# down by more than the tolerance — or when one of the paired-ratio floors
+# (mono vs closure, flat vs blocked span, auto vs its chosen route) breaks.
 #
 #   scripts/bench_compare.sh              compare a fresh run against the baseline
 #   scripts/bench_compare.sh --self-test  prove the gate fires (no benchmarks run):
-#                                         baseline-vs-itself must pass, a synthetic
-#                                         20% slowdown must be flagged, and mono
-#                                         series degraded to closure parity must
-#                                         trip the speedup floor
+#                                         baseline-vs-itself must pass, and each
+#                                         enabled ratio gate must flag a synthetic
+#                                         degradation of the baseline
 #
 # Tolerance knob: GRB_BENCH_TOL, percent, default 15. Wall-clock numbers are
 # noisy on shared machines, so CI runs this gate in ADVISORY mode (the
 # workflow prints the verdict but does not fail the build); `make verify-bench`
 # runs it as a hard gate for quiet machines and release checks. Raise
 # GRB_BENCH_TOL (e.g. GRB_BENCH_TOL=30) rather than skipping the gate when a
-# host is known to be noisy.
+# host is known to be noisy. This same wall-clock tolerance is what enforces
+# "auto-blocking never regresses the traversal/dense configs": those series
+# run under default routing, so an auto-blocker misfire shows up as a
+# slowdown against the baseline.
 #
 # Mono knob: GRB_MONO_MIN, ratio, default 2 — every graph with paired
 # mono/closure series (the dense experiment) must show the monomorphized
 # kernel at least this many times faster than the closure kernel. The ratio
 # divides out machine speed, so unlike the wall-clock tolerance it holds on
 # noisy hosts. Set GRB_MONO_MIN=0 to disable.
+#
+# Blocked knob: GRB_BLOCKED_MIN, ratio, default 1.5 — every graph with paired
+# flat/blocked span telemetry (the blocked experiment's SpGEMM A/B) must show
+# the flat plan's modeled parallel span at least this many times the blocked
+# plan's. The span is deterministic critical-path flops, so the floor holds
+# even on single-core hosts where wall-clock parallelism cannot show up. Set
+# GRB_BLOCKED_MIN=0 to disable.
+#
+# Auto knob: GRB_AUTO_MAX, ratio, default 1.25 — every graph with paired
+# flat/auto series must show the auto route tracking whichever plan it chose
+# (flat wall time, or forced-blocked span) within this factor. Set
+# GRB_AUTO_MAX=0 to disable.
 set -eu
 cd "$(dirname "$0")/.."
 
 TOL="${GRB_BENCH_TOL:-15}"
 MONOMIN="${GRB_MONO_MIN:-2}"
+BLOCKEDMIN="${GRB_BLOCKED_MIN:-1.5}"
+AUTOMAX="${GRB_AUTO_MAX:-1.25}"
 
 # Newest baseline by the PR sequence number in the filename.
 BASELINE=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
@@ -36,7 +52,7 @@ if [ -z "$BASELINE" ]; then
     echo "bench_compare: no BENCH_*.json baseline at the repo root; record one with scripts/bench_baseline.sh" >&2
     exit 2
 fi
-echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL), mono floor ${MONOMIN}x (GRB_MONO_MIN)"
+echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL), mono floor ${MONOMIN}x (GRB_MONO_MIN), blocked span floor ${BLOCKEDMIN}x (GRB_BLOCKED_MIN), auto guard ${AUTOMAX}x (GRB_AUTO_MAX)"
 
 if [ "${1:-}" = "--self-test" ]; then
     SELFMONO="$MONOMIN"
@@ -46,7 +62,16 @@ if [ "${1:-}" = "--self-test" ]; then
         echo "bench_compare: baseline has no mono series; skipping the speedup floor"
         SELFMONO=0
     fi
-    go run ./cmd/benchcmp -tol "$TOL" -monomin "$SELFMONO" -selftest "$BASELINE"
+    SELFBLOCKED="$BLOCKEDMIN"
+    SELFAUTO="$AUTOMAX"
+    if ! grep -q '"span_flops"' "$BASELINE"; then
+        # Pre-blocked baselines carry no span telemetry; neither blocked
+        # ratio gate has anything to judge there.
+        echo "bench_compare: baseline has no span telemetry; skipping the blocked and auto gates"
+        SELFBLOCKED=0
+        SELFAUTO=0
+    fi
+    go run ./cmd/benchcmp -tol "$TOL" -monomin "$SELFMONO" -blockedmin "$SELFBLOCKED" -automax "$SELFAUTO" -selftest "$BASELINE"
     exit $?
 fi
 
@@ -55,7 +80,7 @@ SCALE="${SCALE:-14}"
 CUR=$(mktemp /tmp/grbbench.XXXXXX.json)
 trap 'rm -f "$CUR"' EXIT
 
-echo "bench_compare: measuring traversal + dense at scale $SCALE"
-go run ./cmd/grbbench -run traversal,dense -scale "$SCALE" -json "$CUR" >/dev/null
+echo "bench_compare: measuring traversal + dense + blocked at scale $SCALE"
+go run ./cmd/grbbench -run traversal,dense,blocked -scale "$SCALE" -json "$CUR" >/dev/null
 
-go run ./cmd/benchcmp -tol "$TOL" -monomin "$MONOMIN" "$BASELINE" "$CUR"
+go run ./cmd/benchcmp -tol "$TOL" -monomin "$MONOMIN" -blockedmin "$BLOCKEDMIN" -automax "$AUTOMAX" "$BASELINE" "$CUR"
