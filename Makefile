@@ -24,11 +24,13 @@ bench:
 	$(GO) test ./internal/sparse -run '^$$' -bench . -benchmem
 	$(GO) test . -run '^$$' -bench Hypersparse -benchmem
 
-# Static-analysis tier: grblint's four analyzers (infocheck, snapshotcheck,
-# lockcheck, enumcheck) over every package including test files. Must report
-# zero diagnostics; suppress deliberate cases with //grblint:ignore.
+# Static-analysis tier: grblint's nine analyzers (infocheck, snapshotcheck,
+# lockcheck, enumcheck, budgetcheck, obsvcheck, sitecheck, atomiccheck,
+# panicpathcheck) over every package including test files. Must report
+# zero diagnostics; suppress deliberate cases with //grblint:ignore, and
+# audit the suppressions with `go run ./cmd/grblint -audit-ignores ./...`.
 lint:
-	$(GO) run ./cmd/grblint ./...
+	$(GO) run ./cmd/grblint -time ./...
 
 # Invariant tier: the concurrency-sensitive suites with the grbcheck runtime
 # validators compiled in — every CSR/Vec install re-validates the snapshot

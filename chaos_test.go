@@ -15,6 +15,26 @@ import (
 // stays a valid (sticky-error) object. Run with -tags grbcheck, the chaos CI
 // tier additionally validates every intermediate snapshot.
 
+// chaosBatterySites is the battery's site manifest: every fault-injection
+// site the sweep must cover, kept sorted. sitecheck statically cross-checks
+// this list against the faults.Register calls in non-test code, and
+// TestChaosBatteryManifestMatchesRegistry pins it to the live registry so a
+// new site cannot land without joining the sweep.
+var chaosBatterySites = []string{
+	"sparse.block.tile",
+	"sparse.format.convert",
+	"sparse.kernel.range",
+	"sparse.merge.tuples",
+	"sparse.mono.loop",
+	"sparse.mono.spa",
+	"sparse.spgemm.hash",
+	"sparse.spgemm.spa",
+	"sparse.spmv.gather",
+	"sparse.spmv.hash",
+	"sparse.transpose.build",
+	"sparse.vxm.spa",
+}
+
 // opOutcome records one battery operation's surfaced error.
 type opOutcome struct {
 	op      string
@@ -143,10 +163,7 @@ func runHardenedBattery(t *testing.T, a *Matrix[float64], u *Vector[float64]) []
 // loss) or if any outcome is malformed.
 func TestChaosSweepAllSitesAllActions(t *testing.T) {
 	setMode(t, NonBlocking)
-	sites := faults.Sites()
-	if len(sites) < 11 {
-		t.Fatalf("expected >= 11 registered fault sites, got %v", sites)
-	}
+	sites := chaosBatterySites
 	cases := []struct {
 		action faults.Action
 		want   Info
@@ -184,6 +201,23 @@ func TestChaosSweepAllSitesAllActions(t *testing.T) {
 					t.Errorf("site %s never fired: battery does not cover it", site)
 				}
 			})
+		}
+	}
+}
+
+// TestChaosBatteryManifestMatchesRegistry pins the static site manifest to
+// the live registry: a newly registered site must be added to
+// chaosBatterySites (and thereby the sweep) before it can ship, and a stale
+// manifest entry fails just as loudly. Both lists are sorted.
+func TestChaosBatteryManifestMatchesRegistry(t *testing.T) {
+	got := faults.Sites()
+	if len(got) != len(chaosBatterySites) {
+		t.Fatalf("registry has %d sites, manifest lists %d:\nregistry: %v\nmanifest: %v",
+			len(got), len(chaosBatterySites), got, chaosBatterySites)
+	}
+	for i, name := range chaosBatterySites {
+		if got[i] != name {
+			t.Fatalf("manifest[%d] = %q, registry has %q", i, name, got[i])
 		}
 	}
 }

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/atomiccheck"
+	"github.com/grblas/grb/internal/lint/linttest"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	linttest.Run(t, "testdata", atomiccheck.Analyzer, "app")
+}

@@ -1,0 +1,64 @@
+// Package app is the atomiccheck corpus: fields and slice elements touched
+// through sync/atomic, with plain accesses the analyzer must flag and
+// header-only accesses it must allow.
+package app
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int32
+	total int64
+	other int64
+}
+
+// Bad mixes an atomic add with a plain read of the same field.
+func Bad(c *counters) int32 {
+	atomic.AddInt32(&c.hits, 1)
+	return c.hits // want `plain access races`
+}
+
+// BadWrite mixes an atomic add with a plain store.
+func BadWrite(c *counters) {
+	atomic.AddInt64(&c.total, 1)
+	c.total = 0 // want `plain access races`
+}
+
+// Good keeps every access to the marked fields atomic.
+func Good(c *counters) int32 {
+	atomic.AddInt32(&c.hits, 1)
+	return atomic.LoadInt32(&c.hits)
+}
+
+// Unmarked fields stay free: other is never touched atomically.
+func Plain(c *counters) int64 {
+	c.other++
+	return c.other
+}
+
+// GoodSlice marks a slice through element addresses but only ever touches
+// elements atomically; len and range over the variable read the header
+// only and are allowed.
+func GoodSlice(n int) int32 {
+	hits := make([]int32, n)
+	for i := range hits {
+		atomic.AddInt32(&hits[i], 1)
+	}
+	if len(hits) == 0 {
+		return 0
+	}
+	return atomic.LoadInt32(&hits[0])
+}
+
+// BadSlice reads an element of an atomically written slice plainly.
+func BadSlice(n int) int32 {
+	peaks := make([]int32, n)
+	atomic.AddInt32(&peaks[0], 1)
+	return peaks[0] // want `plain access races`
+}
+
+// IgnoredRead documents a deliberate suppression (e.g. a read after a
+// synchronizing join).
+func IgnoredRead(c *counters) int64 {
+	atomic.AddInt64(&c.total, 1)
+	return c.total //grblint:ignore atomiccheck -- corpus: deliberate suppressed case
+}

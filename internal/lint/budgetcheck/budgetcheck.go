@@ -1,0 +1,202 @@
+// Package budgetcheck enforces the execution-substrate budget invariant
+// (DESIGN.md "Execution hardening"): inside internal/sparse kernel paths —
+// functions threading an Exec environment — transient element-scaled
+// scratch must be charged to the memory budget before it is allocated, or
+// WithMemoryLimit degradation silently under-counts and the §IV resource
+// semantics are fiction.
+//
+// A "kernel path" is any function (or literal nested in one) in a package
+// named sparse whose signature carries an Exec parameter or receiver. In
+// such functions the analyzer flags:
+//
+//   - make of a slice with a non-constant length or capacity
+//   - grow-by-append with a spread argument (dst = append(dst, src...))
+//
+// unless a budget charge — Exec.charge, Exec.mustCharge, BudgetTx.Reserve
+// or BudgetTx.ReservePersistent — appears lexically earlier in the
+// function. The lexical rule is deliberately an approximation: it accepts
+// any allocation that follows the function's first charge (kernels size
+// and charge their scratch up front, then allocate), and rejects
+// allocations a reader meets before any evidence the function thinks about
+// the budget at all.
+//
+// Exemptions, mirroring the budget model's scope (transient scratch only):
+//
+//   - constant-size allocations (fixed small scratch, not element-scaled)
+//   - slices of slices (per-worker partition headers, O(threads) not O(n))
+//   - allocations installed into a field (x.F = make(...)) or built inside
+//     a composite literal — result arrays that outlive the op belong to
+//     the caller's accounting, exactly like the non-Ex compatibility paths
+//
+// Anything genuinely exempt for another reason carries a documented
+// //grblint:ignore budgetcheck -- reason.
+package budgetcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/grblas/grb/internal/lint"
+)
+
+// Analyzer is the budgetcheck entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "budgetcheck",
+	Doc:  "element-scaled scratch in sparse Exec kernel paths must be budget-charged before allocation",
+	Run:  run,
+}
+
+// chargeMethods are the budget entry points that mark a function as having
+// charged (receiver Exec or BudgetTx, both in package sparse).
+var chargeMethods = map[string]bool{
+	"charge":            true,
+	"mustCharge":        true,
+	"Reserve":           true,
+	"ReservePersistent": true,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "sparse" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasExec(pass, fd) {
+				continue
+			}
+			checkKernel(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasExec reports whether the function's signature (receiver or parameters)
+// carries a sparse.Exec, marking it as a kernel path.
+func hasExec(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil && lint.IsNamed(r.Type(), "sparse", "Exec") {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lint.IsNamed(sig.Params().At(i).Type(), "sparse", "Exec") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkKernel walks one kernel function: a first pass records allocations
+// exempt by assignment context (field installs, composite literals), a
+// second pass walks in source order tracking whether a budget charge has
+// been seen yet and reports uncovered allocations.
+func checkKernel(pass *lint.Pass, fd *ast.FuncDecl) {
+	exempt := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, isField := n.Lhs[i].(*ast.SelectorExpr); isField {
+					exempt[call] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if call, ok := ast.Unparen(elt).(*ast.CallExpr); ok {
+					exempt[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	charged := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isChargeCall(pass, call) {
+			charged = true
+			return true
+		}
+		if charged || exempt[call] {
+			return true
+		}
+		switch builtinName(pass, call) {
+		case "make":
+			if flaggableMake(pass, call) {
+				pass.Reportf(call.Pos(), "unbudgeted make of element-scaled slice in Exec kernel path before any budget charge (route through Exec.charge/mustCharge or BudgetTx.Reserve)")
+			}
+		case "append":
+			if call.Ellipsis.IsValid() {
+				pass.Reportf(call.Pos(), "unbudgeted append growth in Exec kernel path before any budget charge (route through Exec.charge/mustCharge or BudgetTx.Reserve)")
+			}
+		}
+		return true
+	})
+}
+
+// isChargeCall reports whether the call is one of the budget entry points.
+func isChargeCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !chargeMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return lint.IsNamed(sig.Recv().Type(), "sparse", "Exec", "BudgetTx")
+}
+
+// builtinName returns "make"/"append" when the call invokes that builtin.
+func builtinName(pass *lint.Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// flaggableMake reports whether the make allocates an element-scaled flat
+// slice: slice result, at least one non-constant size argument, and an
+// element type that is not itself a slice (slice-of-slice headers are
+// O(threads) partition scaffolding, not element-scaled payload).
+func flaggableMake(pass *lint.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if _, elemIsSlice := sl.Elem().Underlying().(*types.Slice); elemIsSlice {
+		return false
+	}
+	nonConst := false
+	for _, arg := range call.Args[1:] {
+		if v, ok := pass.TypesInfo.Types[arg]; !ok || v.Value == nil {
+			nonConst = true
+		}
+	}
+	return nonConst
+}

@@ -1,0 +1,12 @@
+package budgetcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/budgetcheck"
+	"github.com/grblas/grb/internal/lint/linttest"
+)
+
+func TestBudgetCheck(t *testing.T) {
+	linttest.Run(t, "testdata", budgetcheck.Analyzer, "sparse")
+}

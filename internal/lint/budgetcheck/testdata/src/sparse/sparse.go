@@ -1,0 +1,134 @@
+// Package sparse is the budgetcheck corpus: a stub of the execution
+// substrate's budget API plus kernels exercising every rule and exemption.
+package sparse
+
+// BudgetTx stubs the budget transaction.
+type BudgetTx struct{}
+
+// Reserve stubs the transient reservation.
+func (tx *BudgetTx) Reserve(n int64) bool { return true }
+
+// ReservePersistent stubs the persistent reservation.
+func (tx *BudgetTx) ReservePersistent(n int64) bool { return true }
+
+// Exec stubs the execution environment.
+type Exec struct{ Tx *BudgetTx }
+
+func (e Exec) charge(bytes int64) error { return nil }
+func (e Exec) mustCharge(bytes int64)   {}
+
+// Vec stands in for an output object.
+type Vec struct {
+	Ind []int
+	Val []float64
+}
+
+// BadKernelEx allocates element-scaled scratch before any charge.
+func BadKernelEx(e Exec, n int) error {
+	spa := make([]float64, n) // want `unbudgeted make`
+	_ = spa
+	return nil
+}
+
+// GoodKernelEx charges first, then allocates.
+func GoodKernelEx(e Exec, n int) error {
+	e.mustCharge(int64(n) * 8)
+	spa := make([]float64, n)
+	_ = spa
+	return nil
+}
+
+// GoodReserve charges through the transaction instead of the Exec.
+func GoodReserve(e Exec, n int) error {
+	if !e.Tx.Reserve(int64(n) * 8) {
+		return nil
+	}
+	buf := make([]int, n)
+	_ = buf
+	return nil
+}
+
+// GoodChargeInIf covers the `if err := e.charge(...)` idiom: the charge in
+// the init statement precedes the allocation lexically.
+func GoodChargeInIf(e Exec, n int) error {
+	if err := e.charge(int64(n) * 8); err != nil {
+		return err
+	}
+	buf := make([]int, n)
+	_ = buf
+	return nil
+}
+
+// ConstScratch is fixed-size scratch: exempt.
+func ConstScratch(e Exec) {
+	tmp := make([]int, 16)
+	_ = tmp
+}
+
+// Headers allocates per-worker partition headers (slice of slice): exempt.
+func Headers(e Exec, nparts int) {
+	p := make([][]int, nparts)
+	_ = p
+}
+
+// NotKernel has no Exec in its signature: out of scope.
+func NotKernel(n int) []int {
+	return make([]int, n)
+}
+
+// OutputInstall installs into a field of the output object: exempt (the
+// budget meters transient scratch, not results that outlive the op).
+func OutputInstall(e Exec, out *Vec, n int) {
+	out.Ind = make([]int, 0, n)
+}
+
+// CompositeOutput builds the output inside a composite literal: exempt.
+func CompositeOutput(e Exec, n int) *Vec {
+	return &Vec{Ind: make([]int, 0, n)}
+}
+
+// BadSpread grows a local slice by a spread append before any charge.
+func BadSpread(e Exec, dst, src []int) []int {
+	dst = append(dst, src...) // want `unbudgeted append`
+	return dst
+}
+
+// GoodSpread charges before the spread append.
+func GoodSpread(e Exec, dst, src []int) []int {
+	e.mustCharge(int64(len(src)) * 8)
+	dst = append(dst, src...)
+	return dst
+}
+
+// ElementAppend grows one element at a time (amortized output emission):
+// exempt — only spread growth is flagged.
+func ElementAppend(e Exec, dst []int, v int) []int {
+	return append(dst, v)
+}
+
+// ClosureScratch allocates inside a worker literal after the enclosing
+// kernel charged: covered.
+func ClosureScratch(e Exec, n int) {
+	e.mustCharge(int64(n) * 8)
+	run := func() {
+		spa := make([]float64, n)
+		_ = spa
+	}
+	run()
+}
+
+// BadClosureScratch allocates inside a worker literal with no charge
+// anywhere before it.
+func BadClosureScratch(e Exec, n int) {
+	run := func() {
+		spa := make([]float64, n) // want `unbudgeted make`
+		_ = spa
+	}
+	run()
+}
+
+// Ignored documents a deliberate exemption.
+func Ignored(e Exec, n int) {
+	tmp := make([]byte, n) //grblint:ignore budgetcheck -- corpus: deliberate suppressed case
+	_ = tmp
+}

@@ -3,8 +3,11 @@
 // over one type-checked package at a time and reports position-anchored
 // diagnostics. The repo builds offline (no module proxy), so the x/tools
 // framework cannot be vendored; this package keeps the same shape — an
-// Analyzer value with a Run(*Pass) hook — so the four grblint analyzers
-// could migrate to the real framework without rewrites.
+// Analyzer value with a Run(*Pass) hook — so the grblint analyzers could
+// migrate to the real framework without rewrites. One extension the x/tools
+// framework lacks: an Analyzer may instead set ProgramRun to see every
+// loaded package in one pass (used by sitecheck, whose "every fault site is
+// exercised" invariant spans the module).
 //
 // Suppression convention (documented in DESIGN.md): a comment of the form
 //
@@ -22,9 +25,14 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and ProgramRun
+// is set: Run analyzes one package at a time (the common case, and the
+// shape of the x/tools framework), while ProgramRun sees every loaded
+// package at once — for whole-program invariants such as "every registered
+// fault site is exercised somewhere", which no single package can decide.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //grblint:ignore comments.
@@ -32,8 +40,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
 	// Run performs the check on one package and reports findings through
-	// pass.Reportf.
+	// pass.Reportf. Nil for program-level analyzers.
 	Run func(pass *Pass) error
+	// ProgramRun performs the check across all loaded packages at once.
+	// Nil for per-package analyzers.
+	ProgramRun func(pass *ProgramPass) error
 }
 
 // Pass carries one type-checked package through an Analyzer's Run.
@@ -68,8 +79,81 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass carries every loaded package through a program-level
+// analyzer's ProgramRun. All packages share one token.FileSet (the loader
+// guarantees this), so positions are comparable across units.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // ignoreDirective is the comment prefix that suppresses diagnostics.
 const ignoreDirective = "//grblint:ignore"
+
+// Suppression is one parsed //grblint:ignore directive, exposed for the
+// `grblint -audit-ignores` mode: every suppression is expected to carry a
+// reason after `--`, and the audit fails the build when one does not.
+type Suppression struct {
+	Pos    token.Position
+	Names  []string
+	Reason string
+}
+
+// SuppressionsIn parses every ignore directive in the files, in source
+// order.
+func SuppressionsIn(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				reason := ""
+				if i := strings.Index(rest, "--"); i >= 0 {
+					reason = strings.TrimSpace(rest[i+2:])
+					rest = rest[:i]
+				}
+				var names []string
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				out = append(out, Suppression{
+					Pos:    fset.Position(c.Pos()),
+					Names:  names,
+					Reason: reason,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
 
 // suppressedLines maps filename -> line -> set of analyzer names silenced
 // on that line.
@@ -93,33 +177,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressedLines
 			set[n] = true
 		}
 	}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				if !strings.HasPrefix(text, ignoreDirective) {
-					continue
-				}
-				rest := strings.TrimPrefix(text, ignoreDirective)
-				if reason := strings.Index(rest, "--"); reason >= 0 {
-					rest = rest[:reason]
-				}
-				var names []string
-				for _, n := range strings.Split(rest, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						names = append(names, n)
-					}
-				}
-				if len(names) == 0 {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				// The directive covers its own line (trailing form) and
-				// the following line (standalone form).
-				add(pos.Filename, pos.Line, names)
-				add(pos.Filename, pos.Line+1, names)
-			}
-		}
+	for _, s := range SuppressionsIn(fset, files) {
+		// The directive covers its own line (trailing form) and the
+		// following line (standalone form).
+		add(s.Pos.Filename, s.Pos.Line, s.Names)
+		add(s.Pos.Filename, s.Pos.Line+1, s.Names)
 	}
 	return sup
 }
@@ -136,12 +198,23 @@ func (s suppressedLines) covers(d Diagnostic) bool {
 	return set[d.Analyzer]
 }
 
-// Run applies the analyzers to one loaded package and returns the surviving
-// (non-suppressed) diagnostics, sorted by position.
+// Run applies the per-package analyzers to one loaded package and returns
+// the surviving (non-suppressed) diagnostics, sorted by position. Analyzers
+// without a Run hook (program-level ones) are skipped.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunTimed(pkg, analyzers, nil)
+}
+
+// RunTimed is Run with an optional per-analyzer wall-time callback, called
+// once per analyzer with the time its Run took on this package. grblint
+// aggregates these across packages for its timing report.
+func RunTimed(pkg *Package, analyzers []*Analyzer, timing func(name string, d time.Duration)) ([]Diagnostic, error) {
 	sup := collectSuppressions(pkg.Fset, pkg.Syntax)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -149,7 +222,12 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		if timing != nil {
+			timing(a.Name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 		}
 		for _, d := range pass.diags {
@@ -158,6 +236,66 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunProgram applies the program-level analyzers to the whole load at once.
+// Suppressions from every package apply (filenames are disjoint across
+// units, so merging the per-package maps is sound). Analyzers without a
+// ProgramRun hook are skipped.
+func RunProgram(pkgs []*Package, analyzers []*Analyzer, timing func(name string, d time.Duration)) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	sup := suppressedLines{}
+	for _, pkg := range pkgs {
+		for file, byLine := range collectSuppressions(pkg.Fset, pkg.Syntax) {
+			if sup[file] == nil {
+				sup[file] = byLine
+				continue
+			}
+			for line, names := range byLine {
+				if sup[file][line] == nil {
+					sup[file][line] = names
+					continue
+				}
+				for n := range names {
+					sup[file][line][n] = true
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.ProgramRun == nil {
+			continue
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+		}
+		start := time.Now()
+		err := a.ProgramRun(pass)
+		if timing != nil {
+			timing(a.Name, time.Since(start))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !sup.covers(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -171,7 +309,6 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 // ---- shared type-matching helpers used by the analyzers ----

@@ -16,6 +16,10 @@
 // Multiple expectations on one line are allowed (`// want "a" "b"`). A line
 // carrying a //grblint:ignore directive must produce no diagnostic at all —
 // that is the harness's suppressed-case check.
+//
+// Program-level analyzers (lint.Analyzer.ProgramRun) use RunProgram with
+// the list of corpus packages forming the program; // want expectations may
+// then live in any of them.
 package linttest
 
 import (
@@ -30,16 +34,56 @@ import (
 	"regexp"
 	"sort"
 	"strings"
-	"testing"
 
 	"github.com/grblas/grb/internal/lint"
 )
 
+// TB is the slice of *testing.T the harness needs. Taking an interface
+// instead of the concrete type lets linttest's own tests substitute a
+// recording fake and assert what the harness reports (see linttest_test.go).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // Run analyzes testdata/src/<pkg> with the analyzer and reports every
 // mismatch between produced diagnostics and // want expectations as a test
 // error.
-func Run(t *testing.T, testdata string, a *lint.Analyzer, pkg string) {
+func Run(t TB, testdata string, a *lint.Analyzer, pkg string) {
 	t.Helper()
+	units, files, fset, err := loadCorpus(testdata, []string{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(units[0], []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, fset, units, files, diags)
+}
+
+// RunProgram analyzes the corpus packages together as one program with a
+// program-level analyzer (lint.Analyzer.ProgramRun), checking diagnostics
+// against // want expectations across all of them.
+func RunProgram(t TB, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	units, files, fset, err := loadCorpus(testdata, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunProgram(units, []*lint.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, fset, units, files, diags)
+}
+
+// loadCorpus parses and type-checks the named corpus packages under
+// testdata/src, sharing one fset and importer so cross-package positions
+// and types line up.
+func loadCorpus(testdata string, pkgs []string) ([]*lint.Package, []string, *token.FileSet, error) {
 	fset := token.NewFileSet()
 	imp := &corpusImporter{
 		root:     filepath.Join(testdata, "src"),
@@ -48,28 +92,38 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, pkg string) {
 	}
 	imp.fallback = importer.ForCompiler(fset, "source", nil)
 
-	files, syntax, err := imp.parseDir(pkg)
-	if err != nil {
-		t.Fatal(err)
+	var units []*lint.Package
+	var allFiles []string
+	for _, pkg := range pkgs {
+		files, syntax, err := imp.parseDir(pkg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		info := lint.NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg, fset, syntax, info)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("type-checking corpus %s: %v", pkg, err)
+		}
+		imp.packages[pkg] = tpkg
+		units = append(units, &lint.Package{PkgPath: pkg, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info})
+		allFiles = append(allFiles, files...)
 	}
-	info := lint.NewTypesInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(pkg, fset, syntax, info)
-	if err != nil {
-		t.Fatalf("type-checking corpus %s: %v", pkg, err)
-	}
-	unit := &lint.Package{PkgPath: pkg, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}
+	return units, allFiles, fset, nil
+}
 
-	diags, err := lint.Run(unit, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
+// checkWants reports every mismatch between the produced diagnostics and
+// the corpus's // want expectations.
+func checkWants(t TB, fset *token.FileSet, units []*lint.Package, files []string, diags []lint.Diagnostic) {
+	t.Helper()
+	var syntax []*ast.File
+	for _, u := range units {
+		syntax = append(syntax, u.Syntax...)
 	}
-
 	wants, err := collectWants(fset, syntax)
 	if err != nil {
 		t.Fatal(err)
 	}
-
 	matched := map[*want]bool{}
 	for _, d := range diags {
 		w := wants.match(d)

@@ -1,0 +1,170 @@
+// These tests assert the behavior of the linttest harness itself —
+// diagnostic position matching, //grblint:ignore scoping, and multi-package
+// program corpora — by driving it with a recording TB fake and two tiny
+// purpose-built analyzers.
+package linttest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"github.com/grblas/grb/internal/lint"
+	"github.com/grblas/grb/internal/lint/linttest"
+)
+
+// markcheck reports at every identifier named markme. It exists purely to
+// give the harness something position-anchored to match.
+var markcheck = &lint.Analyzer{
+	Name: "markcheck",
+	Doc:  "test analyzer: reports every identifier named markme",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "markme" {
+					pass.Reportf(id.Pos(), "mark at %s", id.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// progmark is a program-level test analyzer: it reports at every
+// package-level value named (case-insensitively) progmark, embedding the
+// package count in the message to prove it saw the whole program at once.
+var progmark = &lint.Analyzer{
+	Name: "progmark",
+	Doc:  "test analyzer: reports progmark values across the whole program",
+	ProgramRun: func(pass *lint.ProgramPass) error {
+		for _, pkg := range pass.Pkgs {
+			for _, f := range pkg.Syntax {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							if strings.EqualFold(name.Name, "progmark") {
+								pass.Reportf(name.Pos(), "program mark across %d packages", len(pass.Pkgs))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// fakeTB records what the harness reports instead of failing the test.
+type fakeTB struct {
+	errors []string
+	fatal  string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatal(args ...any) {
+	f.fatal = fmt.Sprint(args...)
+	panic(fatalSentinel{})
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalSentinel{})
+}
+
+// run invokes fn, swallowing the harness's Fatal (which panics with a
+// sentinel in the fake, standing in for testing.T's runtime.Goexit).
+func (f *fakeTB) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+}
+
+// TestPositionAndIgnoreScoping drives Run over a corpus where every
+// expectation should be satisfied: three diagnostics matched by wants, one
+// silenced by a trailing ignore, one by a standalone ignore. A clean run
+// must report nothing.
+func TestPositionAndIgnoreScoping(t *testing.T) {
+	f := &fakeTB{}
+	f.run(func() { linttest.Run(f, "testdata", markcheck, "marks") })
+	if f.fatal != "" {
+		t.Fatalf("harness Fatal'd: %s", f.fatal)
+	}
+	for _, e := range f.errors {
+		t.Errorf("clean corpus produced harness error: %s", e)
+	}
+}
+
+// TestMismatchReporting drives Run over a corpus whose only want sits on
+// the wrong line, and asserts the harness reports both failure modes: the
+// diagnostic nothing expected, and the expectation nothing matched.
+func TestMismatchReporting(t *testing.T) {
+	f := &fakeTB{}
+	f.run(func() { linttest.Run(f, "testdata", markcheck, "mismatch") })
+	if f.fatal != "" {
+		t.Fatalf("harness Fatal'd: %s", f.fatal)
+	}
+	var unexpected, unmatched bool
+	for _, e := range f.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "mark at markme") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no diagnostic matched") {
+			unmatched = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("harness did not report the unexpected diagnostic; got %q", f.errors)
+	}
+	if !unmatched {
+		t.Errorf("harness did not report the unmatched want; got %q", f.errors)
+	}
+	if len(f.errors) != 2 {
+		t.Errorf("want exactly 2 harness errors, got %d: %q", len(f.errors), f.errors)
+	}
+}
+
+// TestMultiPackageProgram drives RunProgram over a two-package corpus with
+// a cross-package import, and asserts a program-level analyzer sees both
+// packages in one pass (the diagnostics embed the package count).
+func TestMultiPackageProgram(t *testing.T) {
+	f := &fakeTB{}
+	f.run(func() { linttest.RunProgram(f, "testdata", progmark, "beta", "alpha") })
+	if f.fatal != "" {
+		t.Fatalf("harness Fatal'd: %s", f.fatal)
+	}
+	for _, e := range f.errors {
+		t.Errorf("program corpus produced harness error: %s", e)
+	}
+}
+
+// TestMissingCorpusFatals asserts the harness aborts (Fatal, not Errorf)
+// when the corpus package does not exist.
+func TestMissingCorpusFatals(t *testing.T) {
+	f := &fakeTB{}
+	f.run(func() { linttest.Run(f, "testdata", markcheck, "no-such-pkg") })
+	if f.fatal == "" {
+		t.Fatal("missing corpus did not Fatal")
+	}
+	if !strings.Contains(f.fatal, "no-such-pkg") {
+		t.Errorf("Fatal message does not name the corpus: %s", f.fatal)
+	}
+}

@@ -1,0 +1,7 @@
+// Package alpha is half of the linttest multi-package program corpus; it
+// imports beta so the harness's shared corpus importer is exercised.
+package alpha
+
+import "beta"
+
+var progmark = beta.Value() // want `program mark across 2 packages`

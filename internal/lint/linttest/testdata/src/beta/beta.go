@@ -1,0 +1,7 @@
+// Package beta is half of the linttest multi-package program corpus.
+package beta
+
+var Progmark = 1 // want `program mark across 2 packages`
+
+// Value exists so alpha has something to import.
+func Value() int { return Progmark }

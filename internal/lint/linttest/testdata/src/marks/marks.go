@@ -1,0 +1,15 @@
+// Package marks is the linttest self-test corpus for diagnostic position
+// matching and //grblint:ignore scoping: markcheck (defined in
+// linttest_test.go) reports at every identifier named markme.
+package marks
+
+var markme = 1 // want `mark at markme`
+
+var a = markme // want `mark at markme`
+
+var b = markme //grblint:ignore markcheck -- trailing-form suppression
+
+//grblint:ignore markcheck -- standalone-form suppression covers next line
+var c = markme
+
+var d = markme // want `mark at markme`

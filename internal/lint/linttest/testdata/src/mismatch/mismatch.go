@@ -1,0 +1,8 @@
+// Package mismatch is the linttest self-test corpus for expectation
+// mismatches: the want below sits on the wrong line, so the harness must
+// report both an unexpected diagnostic (at markme) and an unmatched want.
+package mismatch
+
+var markme = 1
+
+var x = 2 // want `mark at markme`

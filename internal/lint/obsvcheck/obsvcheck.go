@@ -1,0 +1,328 @@
+// Package obsvcheck enforces the observability pairing invariants
+// (DESIGN.md "Observability"): a kernel event or sequence span token
+// acquired from obsv.Begin*/SeqBegin must reach its matching End on every
+// return path — a leaked token corrupts trace parenting and under-counts
+// the op — and counter-bank slots must only be written through the
+// group-atomic counter helpers, never by ad-hoc Group.Add calls scattered
+// through kernels (a torn mix with Snapshot/Reset).
+//
+// Token rule, per Begin call:
+//
+//   - the result must be bound to a variable (discarding the token, or
+//     binding it to _, is a leak by construction)
+//   - some End call on that token must exist in the enclosing function;
+//     a deferred End (directly or inside a deferred closure) satisfies
+//     every path at once
+//   - without a defer, every return statement after the Begin (in the
+//     same function literal) must be lexically preceded by an End on the
+//     token — the shape of the branchy Begin/End pairs in the grb layer.
+//     This is a lexical approximation of all-paths reachability: it
+//     accepts any return that follows some End in source order, so a
+//     genuinely leaky path can hide behind an End in a sibling branch,
+//     but it catches the common early-error-return leak with no false
+//     positives on the repo's straight-line and if/else pairings.
+//
+// Counter rule: outside package obsv, (*obsv.Group).Add may only be called
+// from a method whose receiver is an integer index type — the kcounter/
+// bcounter helpers that give a slot the old atomic.Int64 method set.
+package obsvcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/grblas/grb/internal/lint"
+)
+
+// Analyzer is the obsvcheck entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "obsvcheck",
+	Doc:  "obsv Begin*/SeqBegin tokens must End on all return paths; counter banks written only via group-atomic helpers",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if strings.HasPrefix(pass.Pkg.Name(), "obsv") {
+		// The obsv package (and its test unit) implements the tokens; its
+		// internals and lifecycle tests are out of scope.
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTokens(pass, fd)
+			checkCounterWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+// beginCall reports whether the call acquires an obsv token (Begin,
+// SeqBegin, or any future Begin-suffixed acquisition).
+func beginCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obsv" {
+		return false
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Begin") || strings.HasSuffix(name, "Begin")
+}
+
+// tokenUse is one Begin acquisition: the token object it binds and the
+// function literal region (nil = the FuncDecl body) the call sits in.
+type tokenUse struct {
+	call   *ast.CallExpr
+	obj    types.Object
+	region ast.Node // innermost *ast.FuncLit containing the call, or the *ast.FuncDecl
+}
+
+// endCall is one token.End(...) call with its defer context.
+type endCall struct {
+	pos      token.Pos
+	obj      types.Object
+	deferred bool
+}
+
+// checkTokens finds every Begin acquisition in the function and verifies
+// its End pairing.
+func checkTokens(pass *lint.Pass, fd *ast.FuncDecl) {
+	var begins []tokenUse
+	var ends []endCall
+
+	// walk tracks the innermost function-literal region and the deferred
+	// context while visiting every node of the declaration body.
+	var walk func(n ast.Node, region ast.Node, deferred bool)
+	walk = func(n ast.Node, region ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				walk(m.Body, m, deferred)
+				return false
+			case *ast.DeferStmt:
+				// The deferred call's arguments evaluate immediately; only
+				// the call itself (and a deferred closure's body) runs late.
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, lit, true)
+				} else {
+					recordCall(pass, m.Call, region, true, &begins, &ends)
+				}
+				for _, arg := range m.Call.Args {
+					walk(arg, region, deferred)
+				}
+				return false
+			case *ast.CallExpr:
+				recordCall(pass, m, region, deferred, &begins, &ends)
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, fd, false)
+
+	for _, b := range begins {
+		verifyToken(pass, fd, b, ends)
+	}
+}
+
+// recordCall classifies one call as a Begin acquisition or an End on a
+// token object.
+func recordCall(pass *lint.Pass, call *ast.CallExpr, region ast.Node, deferred bool, begins *[]tokenUse, ends *[]endCall) {
+	if beginCall(pass, call) {
+		*begins = append(*begins, tokenUse{call: call, obj: nil, region: region})
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !lint.IsNamed(obj.Type(), "obsv", "Exec", "Span") {
+		return
+	}
+	*ends = append(*ends, endCall{pos: call.Pos(), obj: obj, deferred: deferred})
+}
+
+// verifyToken resolves the Begin's binding and checks the End pairing.
+func verifyToken(pass *lint.Pass, fd *ast.FuncDecl, b tokenUse, ends []endCall) {
+	obj, escapes := bindingOf(pass, fd, b.call)
+	if escapes {
+		return
+	}
+	if obj == nil {
+		pass.Reportf(b.call.Pos(), "result of obsv token acquisition is discarded; bind it and End it on every path")
+		return
+	}
+	var anyEnd, deferredEnd bool
+	var endPositions []token.Pos
+	for _, e := range ends {
+		if e.obj != obj {
+			continue
+		}
+		anyEnd = true
+		if e.deferred {
+			deferredEnd = true
+		}
+		endPositions = append(endPositions, e.pos)
+	}
+	if !anyEnd {
+		pass.Reportf(b.call.Pos(), "obsv token %s is never ended; every path must reach %s.End", obj.Name(), obj.Name())
+		return
+	}
+	if deferredEnd {
+		return
+	}
+	// No defer: every return after the Begin in the same function literal
+	// must be lexically preceded by an End.
+	for _, ret := range returnsIn(b.region) {
+		if ret.Pos() < b.call.Pos() {
+			continue
+		}
+		covered := false
+		for _, ep := range endPositions {
+			if ep < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			retLine := pass.Fset.Position(ret.Pos()).Line
+			pass.Reportf(b.call.Pos(), "obsv token %s may return without End at line %d (prefer defer %s.End)", obj.Name(), retLine, obj.Name())
+			return
+		}
+	}
+}
+
+// bindingOf returns the object the Begin call's result is bound to, or nil
+// when the result is discarded (expression statement, blank, or any
+// non-identifier destination). escapes is true when the token is returned
+// directly to the caller, whose own Begin-shaped call is then checked
+// instead.
+func bindingOf(pass *lint.Pass, fd *ast.FuncDecl, call *ast.CallExpr) (obj types.Object, escapes bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != len(n.Lhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if ast.Unparen(rhs) != call {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return false
+				}
+				obj = identObject(pass, id)
+				return false
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if ast.Unparen(rhs) != call || i >= len(n.Names) {
+					continue
+				}
+				if n.Names[i].Name == "_" {
+					return false
+				}
+				obj = identObject(pass, n.Names[i])
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if ast.Unparen(res) == call {
+					escapes = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return obj, escapes
+}
+
+// identObject resolves an assignment destination to its object.
+func identObject(pass *lint.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// returnsIn collects the return statements of a function region, not
+// descending into nested literals.
+func returnsIn(region ast.Node) []*ast.ReturnStmt {
+	var body *ast.BlockStmt
+	switch r := region.(type) {
+	case *ast.FuncDecl:
+		body = r.Body
+	case *ast.FuncLit:
+		body = r.Body
+	default:
+		return nil
+	}
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCounterWrites flags (*obsv.Group).Add calls outside the integer-
+// receiver counter helpers.
+func checkCounterWrites(pass *lint.Pass, fd *ast.FuncDecl) {
+	if integerReceiverMethod(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Name() != "Add" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !lint.IsNamed(sig.Recv().Type(), "obsv", "Group") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "counter-bank write outside a group-atomic counter helper; wrap the slot in an integer index type with an Add method")
+		return true
+	})
+}
+
+// integerReceiverMethod reports whether fd is a method on an integer index
+// type — the sanctioned counter-helper shape.
+func integerReceiverMethod(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

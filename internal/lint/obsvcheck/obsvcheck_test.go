@@ -1,0 +1,12 @@
+package obsvcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/linttest"
+	"github.com/grblas/grb/internal/lint/obsvcheck"
+)
+
+func TestObsvCheck(t *testing.T) {
+	linttest.Run(t, "testdata", obsvcheck.Analyzer, "app")
+}

@@ -1,0 +1,114 @@
+// Package app is the obsvcheck corpus: token acquisitions in every pairing
+// shape the analyzer must accept or reject, plus counter-bank writes inside
+// and outside the sanctioned helper form.
+package app
+
+import (
+	"errors"
+
+	"obsv"
+)
+
+// GoodDefer pairs with a deferred End: every path is covered.
+func GoodDefer() error {
+	x := obsv.Begin("op", 1)
+	defer x.End(0, nil)
+	return nil
+}
+
+// GoodDeferClosure ends inside a deferred closure.
+func GoodDeferClosure() (err error) {
+	x := obsv.Begin("op", 1)
+	defer func() { x.End(0, err) }()
+	return nil
+}
+
+// GoodBranchy is the grb-layer if/else pairing: both arms End before they
+// return.
+func GoodBranchy(fail bool) error {
+	x := obsv.Begin("op", 1)
+	if fail {
+		err := errors.New("boom")
+		x.End(0, err)
+		return err
+	}
+	x.End(1, nil)
+	return nil
+}
+
+// GoodSpan is a straight-line span with no return statement.
+func GoodSpan(n int) {
+	sp := obsv.SeqBegin("drain")
+	steps := 0
+	for i := 0; i < n; i++ {
+		steps++
+	}
+	sp.End(steps)
+}
+
+// GoodClosure acquires and ends within the same function literal.
+func GoodClosure() func() {
+	return func() {
+		x := obsv.Begin("op", 2)
+		x.End(0, nil)
+	}
+}
+
+// BadNoEnd leaks the token: no End anywhere.
+func BadNoEnd() {
+	x := obsv.Begin("op", 1) // want `never ended`
+	_ = x
+}
+
+// BadDiscard throws the token away at the call site.
+func BadDiscard() {
+	obsv.Begin("op", 1) // want `discarded`
+}
+
+// BadBlank binds the token to the blank identifier.
+func BadBlank() {
+	_ = obsv.Begin("op", 1) // want `discarded`
+}
+
+// BadEarlyReturn ends on the happy path but leaks on the error path.
+func BadEarlyReturn(fail bool) error {
+	x := obsv.Begin("op", 1) // want `may return without End at line \d+`
+	if fail {
+		return errors.New("boom")
+	}
+	x.End(1, nil)
+	return nil
+}
+
+// BadSpanLeak leaks the span on an early return.
+func BadSpanLeak(skip bool, n int) int {
+	sp := obsv.SeqBegin("drain") // want `may return without End`
+	if skip {
+		return 0
+	}
+	sp.End(n)
+	return n
+}
+
+// kc is the sanctioned counter-helper shape: an integer index type wearing
+// the Add method.
+type kc int
+
+// Add routes the write through the group-atomic bank.
+func (k kc) Add(d int64) { obsv.KernelCounters.Add(int(k), d) }
+
+var hits = kc(3)
+
+// GoodCounter writes through the helper.
+func GoodCounter() { hits.Add(1) }
+
+// BadCounter writes the bank slot directly from kernel code.
+func BadCounter() {
+	obsv.KernelCounters.Add(3, 1) // want `counter-bank write`
+}
+
+// IgnoredLeak documents a deliberate suppression.
+func IgnoredLeak() {
+	x := obsv.Begin("op", 9) //grblint:ignore obsvcheck -- corpus: deliberate suppressed case
+	_ = x
+}

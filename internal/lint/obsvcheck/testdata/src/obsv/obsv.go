@@ -1,0 +1,33 @@
+// Package obsv is the obsvcheck corpus stub of the observability tokens
+// and the group-atomic counter bank.
+package obsv
+
+// Exec is one kernel event token.
+type Exec struct{ active bool }
+
+// Begin opens a kernel event.
+func Begin(ev string, seq uint64) Exec { return Exec{active: true} }
+
+// End closes the event.
+func (e Exec) End(outNNZ int, err error) {}
+
+// Span is one sequence-drain span token.
+type Span struct{ active bool }
+
+// SeqBegin opens a sequence span.
+func SeqBegin(kind string) Span { return Span{active: true} }
+
+// End closes the span.
+func (s Span) End(steps int) {}
+
+// Group is the group-atomic counter bank.
+type Group struct{ c [8]int64 }
+
+// Add adds d to slot i.
+func (g *Group) Add(i int, d int64) { g.c[i] += d }
+
+// Get reads slot i.
+func (g *Group) Get(i int) int64 { return g.c[i] }
+
+// KernelCounters is the shared bank.
+var KernelCounters Group

@@ -1,0 +1,12 @@
+package panicpathcheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/linttest"
+	"github.com/grblas/grb/internal/lint/panicpathcheck"
+)
+
+func TestPanicPathCheck(t *testing.T) {
+	linttest.Run(t, "testdata", panicpathcheck.Analyzer, "sparse")
+}

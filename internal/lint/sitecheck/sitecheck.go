@@ -1,0 +1,214 @@
+// Package sitecheck enforces the fault-injection coverage invariants
+// (DESIGN.md "Fault injection & chaos"): every faults.Register site must be
+// live — referenced somewhere in non-test code, where its Check/charge
+// probe actually runs — and every site must be swept by the chaos battery,
+// which declares its coverage in a package-level string-slice variable
+// named chaosBatterySites (the battery itself asserts at runtime that the
+// manifest equals faults.Sites(), so the static list cannot drift).
+//
+// Both failure modes are diagnostics: a dead site is hardening theater
+// (registered, never probed), and an unswept site is a fault path no chaos
+// run has ever executed. A manifest entry naming an unregistered site is
+// flagged as stale.
+//
+// This is a program-level analyzer (lint.Analyzer.ProgramRun): registration
+// happens in internal/sparse, probing in kernels across packages, and the
+// manifest in the root package's chaos battery, so no single package can
+// decide the invariant. Registrations in _test.go files are exempt (the
+// faults package's own tests register scratch sites).
+package sitecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/grblas/grb/internal/lint"
+)
+
+// Analyzer is the sitecheck entry point.
+var Analyzer = &lint.Analyzer{
+	Name:       "sitecheck",
+	Doc:        "every faults.Register site must be probed in non-test code and swept by the chaos battery manifest",
+	ProgramRun: run,
+}
+
+// manifestVar is the conventional name of the chaos battery's coverage
+// list.
+const manifestVar = "chaosBatterySites"
+
+// site is one non-test faults.Register call.
+type site struct {
+	name string
+	pos  token.Pos
+	obj  types.Object // the variable the site is bound to, nil if unbound
+	used bool
+}
+
+func run(pass *lint.ProgramPass) error {
+	var sites []*site
+	byObj := map[types.Object]*site{}
+	manifest := map[string]token.Pos{}
+	haveManifest := false
+
+	// Pass 1: collect registrations (non-test files) and manifests (any
+	// file — the battery lives in a _test.go).
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Syntax {
+			testFile := isTestFile(pass.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ValueSpec:
+					for i, v := range n.Values {
+						call, ok := ast.Unparen(v).(*ast.CallExpr)
+						if ok && isRegister(pkg, call) && !testFile {
+							s := newSite(pass, pkg, call, specObj(pkg, n, i))
+							if s != nil {
+								sites = append(sites, s)
+								if s.obj != nil {
+									byObj[s.obj] = s
+								}
+							}
+						}
+					}
+					if len(n.Names) == 1 && n.Names[0].Name == manifestVar {
+						haveManifest = collectManifest(n.Values, manifest) || haveManifest
+					}
+				case *ast.AssignStmt:
+					if testFile || len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, v := range n.Rhs {
+						call, ok := ast.Unparen(v).(*ast.CallExpr)
+						if !ok || !isRegister(pkg, call) {
+							continue
+						}
+						var obj types.Object
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							obj = identObject(pkg, id)
+						}
+						s := newSite(pass, pkg, call, obj)
+						if s != nil {
+							sites = append(sites, s)
+							if s.obj != nil {
+								byObj[s.obj] = s
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: mark sites referenced from non-test code.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Syntax {
+			if isTestFile(pass.Fset, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if s := byObj[pkg.TypesInfo.Uses[id]]; s != nil {
+					s.used = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, s := range sites {
+		if !s.used {
+			pass.Reportf(s.pos, "fault site %q is registered but never exercised in non-test code (dead site)", s.name)
+		}
+		if _, ok := manifest[s.name]; !ok {
+			pass.Reportf(s.pos, "fault site %q is not covered by the chaos battery (missing from %s)", s.name, manifestVar)
+		}
+	}
+	registered := map[string]bool{}
+	for _, s := range sites {
+		registered[s.name] = true
+	}
+	for name, pos := range manifest {
+		if !registered[name] {
+			pass.Reportf(pos, "%s entry %q does not match any registered fault site (stale)", manifestVar, name)
+		}
+	}
+	return nil
+}
+
+// newSite builds the site record from a Register call; a non-literal name
+// is reported (the chaos grammar addresses sites by name, so the name must
+// be greppable) and not tracked.
+func newSite(pass *lint.ProgramPass, pkg *lint.Package, call *ast.CallExpr, obj types.Object) *site {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(call.Pos(), "faults.Register argument must be a string literal so chaos specs can address the site")
+		return nil
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	return &site{name: name, pos: call.Pos(), obj: obj}
+}
+
+// isRegister reports whether the call is faults.Register.
+func isRegister(pkg *lint.Package, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(pkg.TypesInfo, call)
+	return fn != nil && fn.Name() == "Register" && fn.Pkg() != nil && fn.Pkg().Name() == "faults"
+}
+
+// collectManifest folds a chaosBatterySites composite literal's string
+// entries into the manifest set, reporting whether a literal was present.
+func collectManifest(values []ast.Expr, manifest map[string]token.Pos) bool {
+	found := false
+	for _, v := range values {
+		cl, ok := ast.Unparen(v).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		found = true
+		for _, elt := range cl.Elts {
+			lit, ok := ast.Unparen(elt).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				if _, dup := manifest[name]; !dup {
+					manifest[name] = lit.Pos()
+				}
+			}
+		}
+	}
+	return found
+}
+
+// specObj returns the object bound by position i of a ValueSpec.
+func specObj(pkg *lint.Package, spec *ast.ValueSpec, i int) types.Object {
+	if i < len(spec.Names) {
+		return identObject(pkg, spec.Names[i])
+	}
+	return nil
+}
+
+// identObject resolves an identifier to its object (definition or use).
+func identObject(pkg *lint.Package, id *ast.Ident) types.Object {
+	if o := pkg.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pkg.TypesInfo.Uses[id]
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

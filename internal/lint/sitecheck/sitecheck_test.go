@@ -1,0 +1,12 @@
+package sitecheck_test
+
+import (
+	"testing"
+
+	"github.com/grblas/grb/internal/lint/linttest"
+	"github.com/grblas/grb/internal/lint/sitecheck"
+)
+
+func TestSiteCheck(t *testing.T) {
+	linttest.RunProgram(t, "testdata", sitecheck.Analyzer, "faults", "sitesgood", "sitesbad")
+}

@@ -1,0 +1,12 @@
+// Package faults is the sitecheck corpus stub of the fault-injection
+// registry.
+package faults
+
+// Site is one registered injection point.
+type Site struct{ name string }
+
+// Register declares a site at package init.
+func Register(name string) *Site { return &Site{name: name} }
+
+// Check probes the site.
+func (s *Site) Check() error { return nil }

@@ -1,0 +1,13 @@
+// Package sitesbad is the failing half of the sitecheck corpus: a dead
+// site (registered, never probed) and a live site the battery does not
+// sweep.
+package sitesbad
+
+import "faults"
+
+var siteDead = faults.Register("bad.dead") // want `registered but never exercised`
+
+var siteUncovered = faults.Register("bad.uncovered") // want `not covered by the chaos battery`
+
+// Kernel probes only the uncovered site.
+func Kernel() error { return siteUncovered.Check() }

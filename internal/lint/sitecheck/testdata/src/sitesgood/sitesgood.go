@@ -1,0 +1,18 @@
+// Package sitesgood is the clean half of the sitecheck corpus: a live,
+// battery-covered site, plus the chaos manifest — including one stale
+// entry and coverage for sitesbad's dead site.
+package sitesgood
+
+import "faults"
+
+var siteAlive = faults.Register("good.alive")
+
+// Kernel probes the site in non-test code.
+func Kernel() error { return siteAlive.Check() }
+
+// chaosBatterySites is the battery's static coverage manifest.
+var chaosBatterySites = []string{
+	"good.alive",
+	"bad.dead",
+	"good.stale", // want `does not match any registered fault site`
+}

@@ -10,17 +10,14 @@ func TestForCoversRangeExactlyOnce(t *testing.T) {
 	f := func(nRaw uint8, tRaw uint8) bool {
 		n := int(nRaw)
 		threads := 1 + int(tRaw)%16
-		var hits []int32
-		if n > 0 {
-			hits = make([]int32, n)
-		}
+		hits := make([]int32, n)
 		For(n, threads, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				atomic.AddInt32(&hits[i], 1)
 			}
 		})
 		for i := range hits {
-			if hits[i] != 1 {
+			if atomic.LoadInt32(&hits[i]) != 1 {
 				return false
 			}
 		}
@@ -120,11 +117,11 @@ func TestRunVisitsEveryRange(t *testing.T) {
 		atomic.AddInt64(&calls, 1)
 		atomic.AddInt64(&total, int64(hi-lo))
 	})
-	if total != 10 {
-		t.Fatalf("covered %d elements", total)
+	if got := atomic.LoadInt64(&total); got != 10 {
+		t.Fatalf("covered %d elements", got)
 	}
-	if calls != 3 { // empty range skipped
-		t.Fatalf("calls = %d", calls)
+	if got := atomic.LoadInt64(&calls); got != 3 { // empty range skipped
+		t.Fatalf("calls = %d", got)
 	}
 }
 

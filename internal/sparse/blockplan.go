@@ -186,6 +186,11 @@ func blockedSpGEMM[A, B, C any](ab *BlockedCSR[A], bb *BlockedCSR[B],
 	tInd := make([][]int, ntasks)
 	tVal := make([][]C, ntasks)
 	tRowLen := make([][]int, ntasks)
+	// The per-task flop table scales with the grid area, so it is metered
+	// like tile scratch.
+	if cerr := e.charge(siteBlockTile, int64(ntasks)*8); cerr != nil {
+		return nil, cerr
+	}
 	tFlops := make([]int64, ntasks)
 	masked := mask.M != nil || mask.Complement
 	parallel.Tasks(ntasks, threads, func(task int) {
@@ -199,6 +204,8 @@ func blockedSpGEMM[A, B, C any](ab *BlockedCSR[A], bb *BlockedCSR[B],
 		tr := ab.RowSplit[bi+1] - rlo
 		clo := bb.ColSplit[bj]
 		tc := bb.ColSplit[bj+1] - clo
+		// Row-length + row-flop tables for this tile's rows.
+		e.mustCharge(siteBlockTile, int64(tr)*16)
 		rowLen := make([]int, tr)
 		tRowLen[task] = rowLen
 		if tr == 0 || tc == 0 {
@@ -545,6 +552,11 @@ func blockedVxM[X, A, Y any](u *Vec[X], ab *BlockedCSR[A],
 	ntasks := nparts * gc
 	spas := make([][]Y, ntasks)
 	marks := make([][]bool, ntasks)
+	// The hit bitmap scales with the task grid, so it is metered like tile
+	// scratch.
+	if cerr := e.charge(siteBlockTile, int64(ntasks)); cerr != nil {
+		return nil, cerr
+	}
 	anyHit := make([]bool, ntasks)
 	parallel.Tasks(ntasks, threads, func(task int) {
 		if ferr := siteBlockTile.Check(); ferr != nil {

@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Regression tests for the budgetcheck sweep: row-scaled stitch tables and
+// grid-scaled plan tables used to be allocated without a budget charge, so
+// a tall or finely-gridded product could blow far past the configured
+// memory limit while every metered allocation stayed tiny. Each test pins
+// one fixed site: a budget sized to fit the worker scratch but not the
+// newly charged table must now refuse with ErrBudget, and a generous
+// budget must still produce the exact flat-kernel result.
+
+// tallThin builds a rows×8 matrix with one entry per row, so the worker
+// SPA scratch is a few dozen bytes while the rows-scaled stitch table is
+// rows*8 bytes.
+func tallThin(rows int) *CSR[int] {
+	out := NewCSR[int](rows, 8)
+	for i := 0; i < rows; i++ {
+		out.Ind = append(out.Ind, i%8)
+		out.Val = append(out.Val, 1+i%3)
+		out.Ptr[i+1] = len(out.Ind)
+	}
+	return out
+}
+
+func TestSpGEMMStitchTableIsBudgeted(t *testing.T) {
+	a := tallThin(10000)
+	b := randCSR(rand.New(rand.NewSource(1)), 8, 8, 0.5)
+	mul := func(x, y int) int { return x * y }
+	add := func(x, y int) int { return x + y }
+
+	// 4 KiB fits the 8-column SPA many times over but not the 80 KB
+	// row-length table; before the charge landed this call succeeded.
+	small := NewBudget(4096).Tx()
+	if _, err := SpGEMMKernelEx(a, b, mul, add, Mask{}, Exec{Threads: 1, Tx: small}, KernelAuto); !errors.Is(err, ErrBudget) {
+		t.Fatalf("SpGEMMKernelEx under a 4KiB budget: err = %v, want ErrBudget", err)
+	}
+
+	big := NewBudget(1 << 20).Tx()
+	got, err := SpGEMMKernelEx(a, b, mul, add, Mask{}, Exec{Threads: 1, Tx: big}, KernelAuto)
+	if err != nil {
+		t.Fatalf("SpGEMMKernelEx under a 1MiB budget: %v", err)
+	}
+	identicalCSR(t, "budgeted spgemm", got, SpGEMM(a, b, mul, add, Mask{}, 1))
+}
+
+func TestMonoSpGEMMStitchTableIsBudgeted(t *testing.T) {
+	rows := 10000
+	a := NewCSR[float64](rows, 8)
+	for i := 0; i < rows; i++ {
+		a.Ind = append(a.Ind, i%8)
+		a.Val = append(a.Val, float64(1+i%3))
+		a.Ptr[i+1] = len(a.Ind)
+	}
+	b := sprayCSR(rand.New(rand.NewSource(2)), 8, 8, 32, func(r *rand.Rand) float64 { return float64(1 + r.Intn(5)) })
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+
+	small := NewBudget(4096).Tx()
+	_, handled, err := monoSpGEMMDispatch(SemiPlusTimes, a, b, mul, add, Mask{}, Exec{Threads: 1, Tx: small}, KernelAuto)
+	if !handled {
+		t.Fatal("monoSpGEMMDispatch did not take the float64 plus-times family")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("monomorphized product under a 4KiB budget: err = %v, want ErrBudget", err)
+	}
+
+	big := NewBudget(1 << 20).Tx()
+	got, handled, err := monoSpGEMMDispatch(SemiPlusTimes, a, b, mul, add, Mask{}, Exec{Threads: 1, Tx: big}, KernelAuto)
+	if !handled || err != nil {
+		t.Fatalf("monomorphized product under a 1MiB budget: handled=%v err=%v", handled, err)
+	}
+	identicalCSR(t, "budgeted mono spgemm", got, SpGEMM(a, b, mul, add, Mask{}, 1))
+}
+
+func TestBlockedPlanTablesAreBudgeted(t *testing.T) {
+	// Empty operands over a 32×32 grid: every tile task used to early-out
+	// before any charge, so the 1024-task plan tables were entirely
+	// unmetered and a 1KiB budget sailed through.
+	a := NewCSR[int](512, 512)
+	b := NewCSR[int](512, 512)
+	ab := a.BlockedView(32, 32)
+	bb := b.BlockedView(32, 32)
+	mul := func(x, y int) int { return x * y }
+	add := func(x, y int) int { return x + y }
+	prod := closureTileRows(mul, add)
+
+	small := NewBudget(1024).Tx()
+	if _, err := blockedSpGEMM(ab, bb, mul, add, Mask{}, Exec{Threads: 2, Tx: small}, KernelAuto, prod); !errors.Is(err, ErrBudget) {
+		t.Fatalf("blockedSpGEMM under a 1KiB budget: err = %v, want ErrBudget", err)
+	}
+
+	big := NewBudget(1 << 20).Tx()
+	got, err := blockedSpGEMM(ab, bb, mul, add, Mask{}, Exec{Threads: 2, Tx: big}, KernelAuto, prod)
+	if err != nil {
+		t.Fatalf("blockedSpGEMM under a 1MiB budget: %v", err)
+	}
+	if got.NNZ() != 0 || got.Rows != 512 || got.Cols != 512 {
+		t.Fatalf("empty blocked product: %dx%d nnz=%d", got.Rows, got.Cols, got.NNZ())
+	}
+}

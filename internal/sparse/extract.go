@@ -10,7 +10,10 @@ import (
 // len(rows)×len(cols) with T(i,j) = A(rows[i], cols[j]). A nil index slice
 // means "all indices" (GrB_ALL). Index lists may contain duplicates and be
 // unsorted, per the C spec. Returns ErrIndexOutOfBounds on invalid indices.
-func ExtractM[T any](a *CSR[T], rows, cols []int, threads int) (*CSR[T], error) {
+// A panic inside the fan-out (a faulty user operator, an injected fault)
+// parks as an error instead of crossing the API boundary.
+func ExtractM[T any](a *CSR[T], rows, cols []int, threads int) (out *CSR[T], err error) {
+	defer recoverExec(&err)
 	outRows := a.Rows
 	if rows != nil {
 		outRows = len(rows)
@@ -37,7 +40,7 @@ func ExtractM[T any](a *CSR[T], rows, cols []int, threads int) (*CSR[T], error) 
 			colPos[c] = append(colPos[c], j)
 		}
 	}
-	out := NewCSR[T](outRows, outCols)
+	out = NewCSR[T](outRows, outCols)
 	parts := parallel.Ranges(outRows, threads)
 	nparts := len(parts) - 1
 	pInd := make([][]int, nparts)

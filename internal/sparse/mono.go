@@ -591,6 +591,11 @@ func spgemmMono[T any](a, b *CSR[T], mul, add func(T, T) T, mask Mask, e Exec, h
 	notePartSpan(parts, fptr, threads)
 	pInd := make([][]int, nparts)
 	pVal := make([][]T, nparts)
+	// The stitch row-length table scales with the output rows, so it is
+	// metered like worker scratch.
+	if cerr := e.charge(siteMonoLoop, int64(a.Rows)*8); cerr != nil {
+		return nil, cerr
+	}
 	rowLen := make([]int, a.Rows)
 	masked := mask.M != nil || mask.Complement
 	parallel.Run(parts, threads, func(part, lo, hi int) {

@@ -89,6 +89,11 @@ func SpGEMMKernelEx[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, add fun
 	notePartSpan(parts, fptr, threads)
 	pInd := make([][]int, nparts)
 	pVal := make([][]C, nparts)
+	// The stitch row-length table scales with the output rows, so it is
+	// metered like worker scratch.
+	if cerr := e.charge(siteSpGEMMDense, int64(a.Rows)*8); cerr != nil {
+		return nil, cerr
+	}
 	rowLen := make([]int, a.Rows)
 	masked := mask.M != nil || mask.Complement
 	parallel.Run(parts, threads, func(part, lo, hi int) {
@@ -243,15 +248,17 @@ func CheckedMul(x, y int) (int, bool) {
 // T(i*Br+k, j*Bc+l) = mul(A(i,j), B(k,l)) for every pair of stored entries.
 // If the output shape or entry count overflows the int range, it returns
 // ErrTooLarge before allocating anything (the grb layer maps this onto
-// GrB_OUT_OF_MEMORY).
-func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) (*CSR[C], error) {
+// GrB_OUT_OF_MEMORY). A panic inside the fan-out (a faulty multiply
+// operator) parks as an error instead of crossing the API boundary.
+func Kron[A, B, C any](a *CSR[A], b *CSR[B], mul func(A, B) C, threads int) (out *CSR[C], err error) {
+	defer recoverExec(&err)
 	rows, okR := CheckedMul(a.Rows, b.Rows)
 	cols, okC := CheckedMul(a.Cols, b.Cols)
 	nnz, okN := CheckedMul(a.NNZ(), b.NNZ())
 	if !okR || !okC || !okN {
 		return nil, ErrTooLarge
 	}
-	out := NewCSR[C](rows, cols)
+	out = NewCSR[C](rows, cols)
 	if nnz == 0 {
 		return out, nil
 	}

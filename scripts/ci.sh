@@ -9,7 +9,10 @@
 #   build     go build ./...
 #   test      go test ./...                      (tier-1, the ROADMAP gate)
 #   race      concurrency-sensitive suites under -race
-#   lint      grblint: infocheck, snapshotcheck, lockcheck, enumcheck
+#   lint      grblint: infocheck, snapshotcheck, lockcheck, enumcheck,
+#             budgetcheck, obsvcheck, sitecheck, atomiccheck,
+#             panicpathcheck (per-package passes fan out across the pool;
+#             -time prints per-analyzer wall clock to stderr)
 #   grbcheck  the race suites with the runtime snapshot validators compiled in
 #   coverage  total statement coverage against scripts/coverage_floor.txt
 #
@@ -61,7 +64,7 @@ coverage_tier() {
 run build go build ./...
 run test go test ./...
 run race go test -race . ./internal/sparse ./internal/parallel ./internal/obsv
-run lint go run ./cmd/grblint ./...
+run lint go run ./cmd/grblint -time ./...
 run grbcheck go test -tags grbcheck -race . ./internal/sparse
 run coverage coverage_tier
 
