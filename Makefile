@@ -17,7 +17,7 @@ test: build
 # both accumulators across worker counts), internal/parallel and
 # internal/obsv (concurrent emit into every sink).
 race:
-	$(GO) test -race . ./internal/sparse ./internal/parallel ./internal/obsv
+	$(GO) test -race . ./internal/sparse ./internal/parallel ./internal/obsv ./serve
 
 # Kernel benchmarks, including the hypersparse adaptive-selection family.
 bench:

@@ -33,6 +33,21 @@
 // so its wall time must stay within R× of the flat series; when it engaged
 // the blocked engine and span telemetry is present, its span must stay
 // within R× of the forced-blocked series. 0 disables the gate.
+//
+// -servemax R adds the serving-latency gate: every (graph, dir) series
+// present in BOTH files with measured latency percentiles (the serve
+// experiment's serve-<algo>/{closed,open} series) must keep its current
+// p50 and p99 within R× of the baseline's. Unlike the within-file ratio
+// gates this one is paired across the two files, like the wall-clock
+// tolerance — but multiplicative, because sub-millisecond latencies need
+// more headroom than percentage tolerances give. 0 disables the gate.
+//
+// In two-file mode every enabled gate is evaluated (no early exit) and one
+// machine-readable summary line mirroring ci.sh's CI_SUMMARY is printed:
+//
+//	BENCH_GATE status=ok wall=pass wall_worst=+3.2% mono=pass mono_worst=2.31x serve=off
+//
+// so the advisory bench job in the workflow is greppable per gate.
 package main
 
 import (
@@ -49,6 +64,7 @@ var (
 	monomin    = flag.Float64("monomin", 0, "minimum closure/mono speedup for every graph with paired mono+closure series (0 disables)")
 	blockedmin = flag.Float64("blockedmin", 0, "minimum flat/blocked modeled-span ratio for every graph with paired flat+blocked span series (0 disables)")
 	automax    = flag.Float64("automax", 0, "maximum auto-vs-chosen-route ratio for every graph with paired flat+auto series (0 disables)")
+	servemax   = flag.Float64("servemax", 0, "maximum current/baseline latency ratio for p50 and p99 of every paired serve series (0 disables)")
 	selftest   = flag.Bool("selftest", false, "verify each enabled gate fires on a synthetic degradation of the baseline")
 )
 
@@ -60,6 +76,8 @@ type series struct {
 	Seconds    float64 `json:"seconds"`
 	BlockedOps int64   `json:"blocked_ops"`
 	SpanFlops  int64   `json:"span_flops"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
 }
 
 // benchFile is the subset of the grbbench -json schema the gate reads.
@@ -88,7 +106,7 @@ func load(path string) (map[string]series, error) {
 
 // compare reports every overlapping series and returns the keys that slowed
 // down by more than tolPct.
-func compare(base, cur map[string]series, tolPct float64) (regressed []string) {
+func compare(base, cur map[string]series, tolPct float64) (regressed []string, worst float64) {
 	keys := make([]string, 0, len(base))
 	for k := range base {
 		keys = append(keys, k)
@@ -106,6 +124,9 @@ func compare(base, cur map[string]series, tolPct float64) (regressed []string) {
 			continue
 		}
 		delta := (c.Seconds - b) / b * 100
+		if delta > worst {
+			worst = delta
+		}
 		mark := "ok"
 		if delta > tolPct {
 			mark = "REGRESSED"
@@ -118,14 +139,14 @@ func compare(base, cur map[string]series, tolPct float64) (regressed []string) {
 			fmt.Printf("  %-24s cur=%.4fs  (new series — no baseline)\n", k, cur[k].Seconds)
 		}
 	}
-	return regressed
+	return regressed, worst
 }
 
 // checkMono enforces the paired-ratio gate: for every graph that carries
 // both a "<graph>/mono" and a "<graph>/closure" series, the closure time
 // divided by the mono time must reach minRatio. Graphs without the pair are
 // untouched — the gate is about the kernel-tier A/B, not general series.
-func checkMono(cur map[string]series, minRatio float64) (failed []string) {
+func checkMono(cur map[string]series, minRatio float64) (failed []string, worst float64) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
@@ -142,6 +163,9 @@ func checkMono(cur map[string]series, minRatio float64) (failed []string) {
 			continue
 		}
 		ratio := clos.Seconds / mono
+		if worst == 0 || ratio < worst {
+			worst = ratio
+		}
 		mark := "ok"
 		if ratio < minRatio {
 			mark = "TOO SLOW"
@@ -150,7 +174,7 @@ func checkMono(cur map[string]series, minRatio float64) (failed []string) {
 		fmt.Printf("  %-24s mono=%.4fs closure=%.4fs speedup=%.2fx (need %.2fx) %s\n",
 			graph, mono, clos.Seconds, ratio, minRatio, mark)
 	}
-	return failed
+	return failed, worst
 }
 
 // checkBlocked enforces the 2D-blocked load-balance gate: for every graph
@@ -158,7 +182,7 @@ func checkMono(cur map[string]series, minRatio float64) (failed []string) {
 // telemetry, the flat plan's modeled span divided by the blocked plan's must
 // reach minRatio. Graphs without span data (series predating the telemetry,
 // or non-SpGEMM experiments) are untouched.
-func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pairs int) {
+func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pairs int, worst float64) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
@@ -176,6 +200,9 @@ func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pai
 		}
 		pairs++
 		ratio := float64(flat.SpanFlops) / float64(blk.SpanFlops)
+		if worst == 0 || ratio < worst {
+			worst = ratio
+		}
 		mark := "ok"
 		if ratio < minRatio {
 			mark = "TOO SLOW"
@@ -184,7 +211,7 @@ func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pai
 		fmt.Printf("  %-24s span flat=%d blocked=%d ratio=%.2fx (need %.2fx) %s\n",
 			graph, flat.SpanFlops, blk.SpanFlops, ratio, minRatio, mark)
 	}
-	return failed, pairs
+	return failed, pairs, worst
 }
 
 // checkAuto enforces the auto-routing guard: for every graph carrying both a
@@ -192,7 +219,7 @@ func checkBlocked(cur map[string]series, minRatio float64) (failed []string, pai
 // plan it chose — flat wall time when it stayed flat (no blocked ops),
 // forced-blocked span when it engaged the blocked engine. maxRatio bounds
 // how far above the chosen route's number the auto series may drift.
-func checkAuto(cur map[string]series, maxRatio float64) (failed []string, pairs int) {
+func checkAuto(cur map[string]series, maxRatio float64) (failed []string, pairs int, worst float64) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
@@ -225,6 +252,9 @@ func checkAuto(cur map[string]series, maxRatio float64) (failed []string, pairs 
 			continue
 		}
 		pairs++
+		if ratio > worst {
+			worst = ratio
+		}
 		mark := "ok"
 		if ratio > maxRatio {
 			mark = "ADRIFT"
@@ -232,7 +262,45 @@ func checkAuto(cur map[string]series, maxRatio float64) (failed []string, pairs 
 		}
 		fmt.Printf("  %-24s %s ratio=%.2fx (max %.2fx) %s\n", graph, desc, ratio, maxRatio, mark)
 	}
-	return failed, pairs
+	return failed, pairs, worst
+}
+
+// checkServe enforces the paired cross-file latency gate: for every
+// (graph, dir) series present in both files with a measured p50, the
+// current file's p50 and p99 must each stay within maxRatio of the
+// baseline's. Serve series carry Seconds=0, so the wall-clock tolerance
+// gate skips them and this gate is their only owner.
+func checkServe(base, cur map[string]series, maxRatio float64) (failed []string, pairs int, worst float64) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok || b.P50Ms <= 0 || c.P50Ms <= 0 {
+			continue
+		}
+		pairs++
+		ratio := c.P50Ms / b.P50Ms
+		if b.P99Ms > 0 && c.P99Ms > 0 {
+			if r99 := c.P99Ms / b.P99Ms; r99 > ratio {
+				ratio = r99
+			}
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		mark := "ok"
+		if ratio > maxRatio {
+			mark = "SLOWER"
+			failed = append(failed, k)
+		}
+		fmt.Printf("  %-24s p50 %.2f->%.2fms p99 %.2f->%.2fms ratio=%.2fx (max %.2fx) %s\n",
+			k, b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms, ratio, maxRatio, mark)
+	}
+	return failed, pairs, worst
 }
 
 func main() {
@@ -248,7 +316,7 @@ func main() {
 			os.Exit(2)
 		}
 		steps := 2
-		for _, gate := range []float64{*monomin, *blockedmin, *automax} {
+		for _, gate := range []float64{*monomin, *blockedmin, *automax, *servemax} {
 			if gate > 0 {
 				steps += 2
 			}
@@ -259,7 +327,7 @@ func main() {
 			fmt.Printf("selftest %d/%d: %s\n", step, steps, fmt.Sprintf(format, args...))
 		}
 		announce("baseline vs itself at tol=%.0f%% (must pass)", *tol)
-		if reg := compare(base, base, *tol); len(reg) > 0 {
+		if reg, _ := compare(base, base, *tol); len(reg) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp selftest: identical inputs flagged %v\n", reg)
 			os.Exit(1)
 		}
@@ -268,14 +336,20 @@ func main() {
 			v.Seconds *= 1.20
 			slowed[k] = v
 		}
+		timed := 0
+		for _, v := range base {
+			if v.Seconds > 0 {
+				timed++
+			}
+		}
 		announce("synthetic 20%% slowdown at tol=%.0f%% (must be flagged)", *tol)
-		if reg := compare(base, slowed, *tol); len(reg) != len(base) {
-			fmt.Fprintf(os.Stderr, "benchcmp selftest: 20%% slowdown flagged %d of %d series\n", len(reg), len(base))
+		if reg, _ := compare(base, slowed, *tol); len(reg) != timed {
+			fmt.Fprintf(os.Stderr, "benchcmp selftest: 20%% slowdown flagged %d of %d timed series\n", len(reg), timed)
 			os.Exit(1)
 		}
 		if *monomin > 0 {
 			announce("mono speedup gate at %.2fx (baseline must pass)", *monomin)
-			if failed := checkMono(base, *monomin); len(failed) > 0 {
+			if failed, _ := checkMono(base, *monomin); len(failed) > 0 {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the mono gate: %v\n", failed)
 				os.Exit(1)
 			}
@@ -297,14 +371,14 @@ func main() {
 				os.Exit(1)
 			}
 			announce("mono degraded to closure parity (must be flagged)")
-			if failed := checkMono(degraded, *monomin); len(failed) != pairs {
+			if failed, _ := checkMono(degraded, *monomin); len(failed) != pairs {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: parity flagged %d of %d pairs\n", len(failed), pairs)
 				os.Exit(1)
 			}
 		}
 		if *blockedmin > 0 {
 			announce("blocked span gate at %.2fx (baseline must pass)", *blockedmin)
-			failed, pairs := checkBlocked(base, *blockedmin)
+			failed, pairs, _ := checkBlocked(base, *blockedmin)
 			if len(failed) > 0 {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the blocked gate: %v\n", failed)
 				os.Exit(1)
@@ -325,14 +399,14 @@ func main() {
 				degraded[k] = v
 			}
 			announce("blocked span degraded to flat parity (must be flagged)")
-			if failed, _ := checkBlocked(degraded, *blockedmin); len(failed) != pairs {
+			if failed, _, _ := checkBlocked(degraded, *blockedmin); len(failed) != pairs {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: span parity flagged %d of %d pairs\n", len(failed), pairs)
 				os.Exit(1)
 			}
 		}
 		if *automax > 0 {
 			announce("auto routing guard at %.2fx (baseline must pass)", *automax)
-			failed, pairs := checkAuto(base, *automax)
+			failed, pairs, _ := checkAuto(base, *automax)
 			if len(failed) > 0 {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the auto guard: %v\n", failed)
 				os.Exit(1)
@@ -352,8 +426,35 @@ func main() {
 				adrift[k] = v
 			}
 			announce("auto series blown 4x past its route (must be flagged)")
-			if failed, _ := checkAuto(adrift, *automax); len(failed) != pairs {
+			if failed, _, _ := checkAuto(adrift, *automax); len(failed) != pairs {
 				fmt.Fprintf(os.Stderr, "benchcmp selftest: adrift auto flagged %d of %d pairs\n", len(failed), pairs)
+				os.Exit(1)
+			}
+		}
+		if *servemax > 0 {
+			announce("serve latency gate at %.2fx (baseline vs itself must pass)", *servemax)
+			failed, pairs, _ := checkServe(base, base, *servemax)
+			if len(failed) > 0 {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: baseline failed the serve gate against itself: %v\n", failed)
+				os.Exit(1)
+			}
+			if pairs == 0 {
+				fmt.Fprintln(os.Stderr, "benchcmp selftest: -servemax set but no serve latency series in baseline")
+				os.Exit(1)
+			}
+			// Quadruple every latency percentile: every pair must be flagged,
+			// proving the paired gate can fire.
+			slower := make(map[string]series, len(base))
+			for k, v := range base {
+				if v.P50Ms > 0 {
+					v.P50Ms *= 4
+					v.P99Ms *= 4
+				}
+				slower[k] = v
+			}
+			announce("serve latencies blown 4x (must be flagged)")
+			if failed, _, _ := checkServe(base, slower, *servemax); len(failed) != pairs {
+				fmt.Fprintf(os.Stderr, "benchcmp selftest: slowed serve flagged %d of %d pairs\n", len(failed), pairs)
 				os.Exit(1)
 			}
 		}
@@ -384,34 +485,96 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcmp: no overlapping (graph, dir) series between the two files")
 		os.Exit(2)
 	}
-	fmt.Printf("benchcmp: tolerance %.0f%%\n", *tol)
-	if reg := compare(base, cur, *tol); len(reg) > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d series regressed beyond %.0f%%: %v\n", len(reg), *tol, reg)
-		os.Exit(1)
+	// Every enabled gate runs — no early exit — so one bad gate does not hide
+	// another, and the BENCH_GATE line always reports the full picture.
+	type gateResult struct {
+		name   string
+		on     bool
+		failed []string
+		worst  string // formatted worst ratio/delta, "" when no pairs
 	}
+	gates := make([]gateResult, 0, 5)
+	anyFailed := false
+	record := func(name string, on bool, failed []string, worst string) {
+		gates = append(gates, gateResult{name, on, failed, worst})
+		if on && len(failed) > 0 {
+			anyFailed = true
+		}
+	}
+
+	fmt.Printf("benchcmp: tolerance %.0f%%\n", *tol)
+	reg, wallWorst := compare(base, cur, *tol)
+	if len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d series regressed beyond %.0f%%: %v\n", len(reg), *tol, reg)
+	}
+	record("wall", true, reg, fmt.Sprintf("%+.1f%%", wallWorst))
+
 	if *monomin > 0 {
 		fmt.Printf("benchcmp: mono speedup gate %.2fx\n", *monomin)
-		if failed := checkMono(cur, *monomin); len(failed) > 0 {
+		failed, worst := checkMono(cur, *monomin)
+		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs under the %.2fx mono speedup floor: %v\n",
 				len(failed), *monomin, failed)
-			os.Exit(1)
 		}
+		record("mono", true, failed, fmt.Sprintf("%.2fx", worst))
+	} else {
+		record("mono", false, nil, "")
 	}
 	if *blockedmin > 0 {
 		fmt.Printf("benchcmp: blocked span gate %.2fx\n", *blockedmin)
-		if failed, _ := checkBlocked(cur, *blockedmin); len(failed) > 0 {
+		failed, _, worst := checkBlocked(cur, *blockedmin)
+		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs under the %.2fx blocked span floor: %v\n",
 				len(failed), *blockedmin, failed)
-			os.Exit(1)
 		}
+		record("blocked", true, failed, fmt.Sprintf("%.2fx", worst))
+	} else {
+		record("blocked", false, nil, "")
 	}
 	if *automax > 0 {
 		fmt.Printf("benchcmp: auto routing guard %.2fx\n", *automax)
-		if failed, _ := checkAuto(cur, *automax); len(failed) > 0 {
+		failed, _, worst := checkAuto(cur, *automax)
+		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "benchcmp: %d graphs with the auto route adrift beyond %.2fx: %v\n",
 				len(failed), *automax, failed)
-			os.Exit(1)
 		}
+		record("auto", true, failed, fmt.Sprintf("%.2fx", worst))
+	} else {
+		record("auto", false, nil, "")
+	}
+	if *servemax > 0 {
+		fmt.Printf("benchcmp: serve latency gate %.2fx\n", *servemax)
+		failed, pairs, worst := checkServe(base, cur, *servemax)
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcmp: %d serve series beyond the %.2fx latency ceiling: %v\n",
+				len(failed), *servemax, failed)
+		}
+		if pairs == 0 {
+			fmt.Fprintln(os.Stderr, "benchcmp: -servemax set but no paired serve latency series — gate vacuous")
+		}
+		record("serve", true, failed, fmt.Sprintf("%.2fx", worst))
+	} else {
+		record("serve", false, nil, "")
+	}
+
+	status := "ok"
+	if anyFailed {
+		status = "fail"
+	}
+	line := "BENCH_GATE status=" + status
+	for _, g := range gates {
+		switch {
+		case !g.on:
+			line += fmt.Sprintf(" %s=off", g.name)
+		case len(g.failed) > 0:
+			line += fmt.Sprintf(" %s=fail %s_worst=%s", g.name, g.name, g.worst)
+		default:
+			line += fmt.Sprintf(" %s=pass %s_worst=%s", g.name, g.name, g.worst)
+		}
+	}
+	fmt.Println(line)
+	if anyFailed {
+		os.Exit(1)
 	}
 	fmt.Println("benchcmp: OK")
 }

@@ -62,7 +62,7 @@ func TestLoadRejectsEmpty(t *testing.T) {
 func TestCompareWithinTolerance(t *testing.T) {
 	base := secs(map[string]float64{"g/push": 1.0, "g/pull": 2.0})
 	cur := secs(map[string]float64{"g/push": 1.10, "g/pull": 1.5})
-	if reg := compare(base, cur, 15); len(reg) != 0 {
+	if reg, _ := compare(base, cur, 15); len(reg) != 0 {
 		t.Fatalf("10%% slowdown flagged at 15%% tolerance: %v", reg)
 	}
 }
@@ -70,7 +70,10 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	base := secs(map[string]float64{"g/push": 1.0, "g/pull": 2.0})
 	cur := secs(map[string]float64{"g/push": 1.20, "g/pull": 2.0})
-	reg := compare(base, cur, 15)
+	reg, worst := compare(base, cur, 15)
+	if worst < 19 || worst > 21 {
+		t.Fatalf("worst delta = %v, want ~20", worst)
+	}
 	if len(reg) != 1 || reg[0] != "g/push" {
 		t.Fatalf("20%% slowdown at 15%% tolerance: got %v, want [g/push]", reg)
 	}
@@ -79,7 +82,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareTolKnob(t *testing.T) {
 	base := secs(map[string]float64{"g/auto": 1.0})
 	cur := secs(map[string]float64{"g/auto": 1.20})
-	if reg := compare(base, cur, 25); len(reg) != 0 {
+	if reg, _ := compare(base, cur, 25); len(reg) != 0 {
 		t.Fatalf("20%% slowdown flagged at 25%% tolerance: %v", reg)
 	}
 }
@@ -87,7 +90,7 @@ func TestCompareTolKnob(t *testing.T) {
 func TestCompareSkipsNonOverlapping(t *testing.T) {
 	base := secs(map[string]float64{"g/push": 1.0, "old/push": 1.0})
 	cur := secs(map[string]float64{"g/push": 1.0, "new/push": 99.0})
-	if reg := compare(base, cur, 15); len(reg) != 0 {
+	if reg, _ := compare(base, cur, 15); len(reg) != 0 {
 		t.Fatalf("non-overlapping series affected the verdict: %v", reg)
 	}
 }
@@ -97,7 +100,7 @@ func TestCheckMonoPassesAboveFloor(t *testing.T) {
 		"pagerank/mono": 1.0, "pagerank/closure": 2.5,
 		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
 	})
-	if failed := checkMono(cur, 2.0); len(failed) != 0 {
+	if failed, _ := checkMono(cur, 2.0); len(failed) != 0 {
 		t.Fatalf("2.5x and 10x speedups failed the 2x floor: %v", failed)
 	}
 }
@@ -107,7 +110,10 @@ func TestCheckMonoFlagsSlowPair(t *testing.T) {
 		"pagerank/mono": 1.0, "pagerank/closure": 1.5,
 		"bfs-sat/mono": 0.1, "bfs-sat/closure": 1.0,
 	})
-	failed := checkMono(cur, 2.0)
+	failed, worst := checkMono(cur, 2.0)
+	if worst != 1.5 {
+		t.Fatalf("worst speedup = %v, want 1.5", worst)
+	}
 	if len(failed) != 1 || failed[0] != "pagerank" {
 		t.Fatalf("1.5x speedup at 2x floor: got %v, want [pagerank]", failed)
 	}
@@ -120,7 +126,7 @@ func TestCheckMonoIgnoresUnpairedSeries(t *testing.T) {
 		"rmat/push": 9.0, "rmat/pull": 1.0,
 		"orphan/mono": 5.0,
 	})
-	if failed := checkMono(cur, 2.0); len(failed) != 0 {
+	if failed, _ := checkMono(cur, 2.0); len(failed) != 0 {
 		t.Fatalf("unpaired series tripped the mono gate: %v", failed)
 	}
 }
@@ -130,7 +136,7 @@ func TestCheckBlockedPassesAboveFloor(t *testing.T) {
 		"spgemm/flat":    {Seconds: 1, SpanFlops: 200_000},
 		"spgemm/blocked": {Seconds: 2, SpanFlops: 100_000},
 	}
-	failed, pairs := checkBlocked(cur, 1.5)
+	failed, pairs, _ := checkBlocked(cur, 1.5)
 	if len(failed) != 0 || pairs != 1 {
 		t.Fatalf("2x span ratio at 1.5x floor: failed=%v pairs=%d", failed, pairs)
 	}
@@ -141,7 +147,7 @@ func TestCheckBlockedFlagsPoorBalance(t *testing.T) {
 		"spgemm/flat":    {SpanFlops: 110_000},
 		"spgemm/blocked": {SpanFlops: 100_000},
 	}
-	failed, pairs := checkBlocked(cur, 1.5)
+	failed, pairs, _ := checkBlocked(cur, 1.5)
 	if len(failed) != 1 || pairs != 1 || failed[0] != "spgemm" {
 		t.Fatalf("1.1x span ratio at 1.5x floor: failed=%v pairs=%d", failed, pairs)
 	}
@@ -154,7 +160,7 @@ func TestCheckBlockedIgnoresSpanlessPairs(t *testing.T) {
 		"pagerank/flat":    {Seconds: 1.0},
 		"pagerank/blocked": {Seconds: 2.0},
 	}
-	failed, pairs := checkBlocked(cur, 1.5)
+	failed, pairs, _ := checkBlocked(cur, 1.5)
 	if len(failed) != 0 || pairs != 0 {
 		t.Fatalf("spanless pair judged: failed=%v pairs=%d", failed, pairs)
 	}
@@ -165,12 +171,12 @@ func TestCheckAutoFlatRouteTracksWall(t *testing.T) {
 		"pagerank/flat": {Seconds: 1.0},
 		"pagerank/auto": {Seconds: 1.1}, // BlockedOps 0: stayed flat
 	}
-	failed, pairs := checkAuto(cur, 1.25)
+	failed, pairs, _ := checkAuto(cur, 1.25)
 	if len(failed) != 0 || pairs != 1 {
 		t.Fatalf("flat-routed auto within 1.25x flagged: failed=%v pairs=%d", failed, pairs)
 	}
 	cur["pagerank/auto"] = series{Seconds: 1.5}
-	failed, _ = checkAuto(cur, 1.25)
+	failed, _, _ = checkAuto(cur, 1.25)
 	if len(failed) != 1 || failed[0] != "pagerank" {
 		t.Fatalf("flat-routed auto 1.5x adrift not flagged: %v", failed)
 	}
@@ -182,15 +188,56 @@ func TestCheckAutoBlockedRouteTracksSpan(t *testing.T) {
 		"spgemm/blocked": {Seconds: 2.0, SpanFlops: 100_000},
 		"spgemm/auto":    {Seconds: 2.1, SpanFlops: 100_000, BlockedOps: 1},
 	}
-	failed, pairs := checkAuto(cur, 1.25)
+	failed, pairs, _ := checkAuto(cur, 1.25)
 	if len(failed) != 0 || pairs != 1 {
 		t.Fatalf("blocked-routed auto at span parity flagged: failed=%v pairs=%d", failed, pairs)
 	}
 	// The auto route picking a worse grid (span drifting past the forced
 	// blocked plan's) must be flagged, regardless of wall time.
 	cur["spgemm/auto"] = series{Seconds: 2.0, SpanFlops: 150_000, BlockedOps: 1}
-	failed, _ = checkAuto(cur, 1.25)
+	failed, _, _ = checkAuto(cur, 1.25)
 	if len(failed) != 1 || failed[0] != "spgemm" {
 		t.Fatalf("blocked-routed auto 1.5x span drift not flagged: %v", failed)
+	}
+}
+
+func TestCheckServePairedGate(t *testing.T) {
+	base := map[string]series{
+		"serve-bfs/closed": {P50Ms: 1.0, P99Ms: 4.0},
+		"serve-bfs/open":   {P50Ms: 0.8, P99Ms: 2.0},
+		"rmat/push":        {Seconds: 1.0}, // no latency — not a serve pair
+	}
+	cur := map[string]series{
+		"serve-bfs/closed": {P50Ms: 1.2, P99Ms: 4.4},
+		"serve-bfs/open":   {P50Ms: 0.9, P99Ms: 2.1},
+		"rmat/push":        {Seconds: 5.0},
+	}
+	failed, pairs, worst := checkServe(base, cur, 1.5)
+	if len(failed) != 0 || pairs != 2 {
+		t.Fatalf("20%% latency drift at 1.5x ceiling: failed=%v pairs=%d", failed, pairs)
+	}
+	if worst < 1.19 || worst > 1.21 {
+		t.Fatalf("worst ratio = %v, want ~1.2", worst)
+	}
+}
+
+func TestCheckServeFlagsP99Blowup(t *testing.T) {
+	// p50 steady but p99 doubled: tail regressions alone must trip the gate.
+	base := map[string]series{"serve-pr/open": {P50Ms: 1.0, P99Ms: 3.0}}
+	cur := map[string]series{"serve-pr/open": {P50Ms: 1.0, P99Ms: 6.0}}
+	failed, pairs, _ := checkServe(base, cur, 1.5)
+	if len(failed) != 1 || pairs != 1 || failed[0] != "serve-pr/open" {
+		t.Fatalf("2x p99 at 1.5x ceiling: failed=%v pairs=%d", failed, pairs)
+	}
+}
+
+func TestCheckServeSkipsUnpaired(t *testing.T) {
+	// A serve series missing from the current file (experiment renamed or
+	// dropped) must not fail the gate, matching the wall-gate convention.
+	base := map[string]series{"serve-ego/open": {P50Ms: 1.0, P99Ms: 2.0}}
+	cur := map[string]series{"serve-bfs/open": {P50Ms: 99, P99Ms: 99}}
+	failed, pairs, _ := checkServe(base, cur, 1.5)
+	if len(failed) != 0 || pairs != 0 {
+		t.Fatalf("unpaired serve series judged: failed=%v pairs=%d", failed, pairs)
 	}
 }

@@ -41,7 +41,7 @@ import (
 )
 
 var (
-	runList  = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper,traversal,dense,blocked", "comma-separated experiments")
+	runList  = flag.String("run", "fig1,fig2,fig3,tab1,tab2,tab3,tab4,ablation,hyper,traversal,dense,blocked,serve", "comma-separated experiments")
 	scale    = flag.Int("scale", 14, "RMAT scale for the measured experiments")
 	kernel   = flag.String("kernel", "", "pin the multiply accumulator for the hyper experiment: auto, dense or hash (empty sweeps all three)")
 	dirFlag  = flag.String("dir", "", "pin the traversal direction for the traversal experiment: auto, push or pull (empty sweeps all three)")
@@ -133,6 +133,9 @@ func main() {
 	}
 	if want["blocked"] {
 		blockedEngine()
+	}
+	if want["serve"] {
+		serveBench()
 	}
 	writeBenchJSON()
 }
@@ -674,6 +677,14 @@ type traversalResult struct {
 	// noise-free and independent of the host's core count.
 	SpanFlops int64 `json:"span_flops,omitempty"`
 	WorkFlops int64 `json:"work_flops,omitempty"`
+	// Serving-layer load results (nonzero only for the serve experiment):
+	// request latency percentiles and sustained throughput. Seconds stays 0
+	// for these series so the wall-clock tolerance gate skips them — the
+	// benchcmp -servemax paired gate owns latency regressions.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	QPS   float64 `json:"qps,omitempty"`
 }
 
 // traversal measures direction-optimizing BFS: the identical level-

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/grblas/grb/gen"
+	"github.com/grblas/grb/serve"
+)
+
+// The serve experiment measures the multi-tenant query service the way a
+// capacity plan would: per algorithm, a closed-loop driver (fixed worker
+// count, next request on completion) establishes the sustained throughput
+// ceiling, then an open-loop driver (fixed arrival schedule, latency
+// measured from the scheduled arrival, so queueing delay counts) probes
+// tail latency at a fraction of that ceiling. p50/p95/p99 and QPS land in
+// the -json schema as serve-<algo>/{closed,open} series with Seconds=0 —
+// the wall-clock tolerance gate skips them; `benchcmp -servemax` owns
+// latency regressions.
+var (
+	serveDur   = flag.Duration("serve-dur", 1500*time.Millisecond, "measurement window per serve driver")
+	serveConc  = flag.Int("serve-conc", 4, "closed-loop concurrency for the serve experiment")
+	serveRate  = flag.Float64("serve-rate", 0, "open-loop arrival rate in req/s (0 derives 70% of the measured closed-loop throughput)")
+	serveScale = flag.Int("serve-scale", 10, "RMAT scale of the serve experiment graph")
+)
+
+// loadStats is one driver run's summary.
+type loadStats struct {
+	n             int
+	p50, p95, p99 float64 // milliseconds
+	qps           float64
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarize(latMs []float64, elapsed time.Duration) loadStats {
+	sort.Float64s(latMs)
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(len(latMs)) / elapsed.Seconds()
+	}
+	return loadStats{
+		n:   len(latMs),
+		p50: percentile(latMs, 50), p95: percentile(latMs, 95), p99: percentile(latMs, 99),
+		qps: qps,
+	}
+}
+
+func doServeReq(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// driveClosed is the closed-loop driver: `workers` goroutines each issue
+// the next request the moment the previous one completes, for the window.
+// Latency here is pure service time under full concurrency.
+func driveClosed(client *http.Client, url string, workers int, dur time.Duration) loadStats {
+	var mu sync.Mutex
+	var lats []float64
+	start := time.Now()
+	stop := start.Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []float64
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				must(doServeReq(client, url))
+				local = append(local, time.Since(t0).Seconds()*1000)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return summarize(lats, time.Since(start))
+}
+
+// driveOpen is the open-loop driver: arrivals on a fixed schedule at
+// `rate` req/s regardless of completions, latency measured from the
+// scheduled arrival time — so a server that falls behind pays its queueing
+// delay in the tail percentiles instead of silently shedding load.
+func driveOpen(client *http.Client, url string, rate float64, dur time.Duration) loadStats {
+	n := int(rate * dur.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	lats := make([]float64, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	// Batched dispatch: fire every arrival that is due, then sleep until the
+	// next — per-arrival Sleep calls cannot hold a sub-millisecond schedule,
+	// and a late dispatcher would charge its own lag to the server's tail.
+	for i := 0; i < n; {
+		due := int(time.Since(start)/interval) + 1
+		if due > n {
+			due = n
+		}
+		for ; i < due; i++ {
+			sched := start.Add(time.Duration(i) * interval)
+			wg.Add(1)
+			go func(i int, sched time.Time) {
+				defer wg.Done()
+				must(doServeReq(client, url))
+				lats[i] = time.Since(sched).Seconds() * 1000
+			}(i, sched)
+		}
+		if i < n {
+			time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		}
+	}
+	wg.Wait()
+	return summarize(lats, time.Since(start))
+}
+
+func serveBench() {
+	header("Serve — multi-tenant query service under load")
+	g := must1(serve.FromGen("serve", gen.Graph500RMAT(*serveScale, 8, 42).Symmetrize()))
+	cfg := serve.Config{Default: serve.TenantConfig{Deadline: 30 * time.Second}}
+	ts := httptest.NewServer(serve.NewServer([]*serve.Graph{g}, cfg).Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+
+	fmt.Printf("  graph: rmat scale %d (n=%d, edges=%d)\n", *serveScale, g.N, g.Edges)
+	fmt.Printf("  closed loop: %d workers × %s; open loop: %s at 70%% of closed throughput (capped 500/s)\n",
+		*serveConc, *serveDur, *serveDur)
+	fmt.Printf("  %-12s %-7s %8s %8s %8s %8s %6s\n", "algo", "driver", "p50ms", "p95ms", "p99ms", "qps", "n")
+
+	algos := []struct{ name, path string }{
+		{"bfs", "/query/bfs?src=0"},
+		{"sssp", "/query/sssp?src=0"},
+		{"pagerank", "/query/pagerank?maxiter=10"},
+		{"triangles", "/query/triangles"},
+		{"ego", "/query/ego?src=0&hops=2"},
+	}
+	report := func(algo, driver string, st loadStats) {
+		fmt.Printf("  %-12s %-7s %8.2f %8.2f %8.2f %8.1f %6d\n",
+			algo, driver, st.p50, st.p95, st.p99, st.qps, st.n)
+		benchResults = append(benchResults, traversalResult{
+			Graph: "serve-" + algo, Vertices: g.N, Edges: g.Edges, Dir: driver,
+			P50Ms: st.p50, P95Ms: st.p95, P99Ms: st.p99, QPS: st.qps,
+		})
+	}
+	for _, al := range algos {
+		url := ts.URL + al.path
+		for i := 0; i < 3; i++ { // warmup: caches, connection pool, JIT-ish paths
+			must(doServeReq(client, url))
+		}
+		closed := driveClosed(client, url, *serveConc, *serveDur)
+		report(al.name, "closed", closed)
+		rate := *serveRate
+		if rate == 0 {
+			// 70% of the closed-loop ceiling, capped: the open driver probes
+			// tail latency at a sustainable rate — past the knee, queueing
+			// delay grows without bound and the numbers only measure overload.
+			rate = closed.qps * 0.7
+			if rate > 500 {
+				rate = 500
+			}
+		}
+		if rate < 1 {
+			rate = 1
+		}
+		report(al.name, "open", driveOpen(client, url, rate, *serveDur))
+	}
+	fmt.Println("  (closed = service time at fixed concurrency; open = scheduled arrivals,")
+	fmt.Println("   latency from the scheduled instant, so queueing delay counts in the tail)")
+}

@@ -1,0 +1,136 @@
+// Command grbserve is the multi-tenant graph query server: it loads Matrix
+// Market graphs (or generated ones) as shared immutable snapshots at
+// startup and serves concurrent algorithm queries over HTTP/JSON, each
+// request under its own deadline- and memory-budgeted Context derived from
+// per-tenant config. See the serve package for the endpoint contract.
+//
+//	grbserve -graph wiki=wiki.mtx -gen smoke=rmat:10 \
+//	         -tenant gold:2000:67108864:8 -addr :8080
+//
+// Endpoints: /query/{bfs,sssp,pagerank,triangles,ego}, /graphs, /healthz,
+// and /metrics (the grb ops document plus per-tenant request counters).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/serve"
+)
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// parseTenant parses name:deadline_ms:mem_bytes:max_inflight (later fields
+// optional; 0 means unlimited).
+func parseTenant(spec string) (string, serve.TenantConfig, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || parts[0] == "" {
+		return "", serve.TenantConfig{}, fmt.Errorf("tenant spec %q: want name:deadline_ms[:mem_bytes[:max_inflight]]", spec)
+	}
+	var cfg serve.TenantConfig
+	ms, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", cfg, fmt.Errorf("tenant spec %q: bad deadline %q", spec, parts[1])
+	}
+	cfg.Deadline = time.Duration(ms) * time.Millisecond
+	if len(parts) > 2 {
+		b, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return "", cfg, fmt.Errorf("tenant spec %q: bad mem_bytes %q", spec, parts[2])
+		}
+		cfg.MemoryBytes = b
+	}
+	if len(parts) > 3 {
+		n, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return "", cfg, fmt.Errorf("tenant spec %q: bad max_inflight %q", spec, parts[3])
+		}
+		cfg.MaxInFlight = n
+	}
+	return parts[0], cfg, nil
+}
+
+func main() {
+	var graphs, gens, tenants multiFlag
+	addr := flag.String("addr", ":8080", "listen address")
+	deadlineMs := flag.Int("deadline-ms", 5000, "default per-request deadline in milliseconds")
+	memBudget := flag.Int64("mem-budget", 0, "default per-request memory budget in bytes (0 = unlimited)")
+	selfcheck := flag.Bool("selfcheck", false, "run the serve smoke battery against a live loopback server and exit")
+	flag.Var(&graphs, "graph", "name=path.mtx graph to load (repeatable)")
+	flag.Var(&gens, "gen", "name=kind:arg generated graph, e.g. smoke=rmat:10 (repeatable)")
+	flag.Var(&tenants, "tenant", "name:deadline_ms[:mem_bytes[:max_inflight]] tenant envelope (repeatable)")
+	flag.Parse()
+
+	if err := grb.Init(grb.NonBlocking); err != nil {
+		log.Fatal(err)
+	}
+	grb.EnableMetrics(true)
+
+	if *selfcheck {
+		if err := serve.SelfCheck(); err != nil {
+			log.Printf("selfcheck: FAIL: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("selfcheck: ok")
+		return
+	}
+
+	var loaded []*serve.Graph
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-graph %q: want name=path.mtx", spec)
+		}
+		t0 := time.Now()
+		g, err := serve.LoadMTX(name, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s: n=%d edges=%d (%.2fs)", name, g.N, g.Edges, time.Since(t0).Seconds())
+		loaded = append(loaded, g)
+	}
+	for _, spec := range gens {
+		t0 := time.Now()
+		g, err := serve.ParseGenSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("generated %s: n=%d edges=%d (%.2fs)", g.Name, g.N, g.Edges, time.Since(t0).Seconds())
+		loaded = append(loaded, g)
+	}
+	if len(loaded) == 0 {
+		log.Fatal("no graphs: pass at least one -graph name=path.mtx or -gen name=kind:arg")
+	}
+
+	cfg := serve.Config{
+		Default: serve.TenantConfig{
+			Deadline:    time.Duration(*deadlineMs) * time.Millisecond,
+			MemoryBytes: *memBudget,
+		},
+		Tenants: map[string]serve.TenantConfig{},
+	}
+	for _, spec := range tenants {
+		name, tc, err := parseTenant(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants[name] = tc
+	}
+
+	s := serve.NewServer(loaded, cfg)
+	log.Printf("grbserve listening on %s (%d graphs, %d tenant envelopes)", *addr, len(loaded), len(cfg.Tenants))
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -391,9 +391,18 @@ func resolveCtx(c *Context) (*Context, error) {
 	return c, nil
 }
 
-// sameContext verifies that all non-nil contexts among the operands resolve
-// to the same context, as §IV requires ("all the GraphBLAS matrices and
-// vectors in a GraphBLAS method share a context"), and returns it.
+// sameContext verifies that the operands' contexts are compatible and
+// returns the context the operation executes in. §IV requires that "all the
+// GraphBLAS matrices and vectors in a GraphBLAS method share a context";
+// this implementation reads the rule through the paper's own hierarchical
+// nesting model: operands may additionally belong to *nested* contexts —
+// every pair related by ancestry in the context tree — and the operation
+// executes in the deepest one. A per-query context derived from the shared
+// top-level context can therefore operate on library-owned objects (shared
+// graph snapshots) while its own deadline, cancellation flag, and memory
+// budget govern the kernels — the multi-tenant serving shape. Contexts on
+// different branches of the tree remain an InvalidValue error, exactly as
+// before.
 func sameContext(ctxs ...*Context) (*Context, error) {
 	top, err := initializedContext()
 	if err != nil {
@@ -408,12 +417,29 @@ func sameContext(ctxs ...*Context) (*Context, error) {
 		if c.isFreed() {
 			return nil, errf(UninitializedObject, "operand belongs to a freed context")
 		}
-		if !seen {
+		switch {
+		case !seen:
 			eff = c
 			seen = true
-		} else if c != eff {
+		case c == eff || isAncestor(c, eff):
+			// eff already governs: c is eff itself or one of its ancestors.
+		case isAncestor(eff, c):
+			eff = c // c nests inside eff: the deeper context governs
+		default:
 			return nil, errf(InvalidValue, "operands belong to different execution contexts")
 		}
 	}
 	return eff, nil
+}
+
+// isAncestor reports whether a is a proper ancestor of b in the context
+// tree. Contexts created with a nil parent nest under the top-level context,
+// so every live chain terminates there.
+func isAncestor(a, b *Context) bool {
+	for p := b.parent; p != nil; p = p.parent {
+		if p == a {
+			return true
+		}
+	}
+	return false
 }

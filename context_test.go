@@ -200,3 +200,153 @@ func TestContextBoundOperations(t *testing.T) {
 		}
 	}
 }
+
+// TestHierarchicalContextResolution checks the nested-context reading of the
+// §IV sharing rule: operands whose contexts lie on one ancestor chain are
+// legal, and the deepest context governs execution — its deadline and budget
+// apply even when the other operands belong to ancestors.
+func TestHierarchicalContextResolution(t *testing.T) {
+	setMode(t, NonBlocking)
+	mid := ck1(NewContext(NonBlocking, nil, WithThreads(2)))
+	leaf := ck1(NewContext(NonBlocking, mid, WithThreads(1)))
+
+	// a lives in the top-level context (no InContext), u in mid, w in leaf:
+	// three depths on one chain — the operation is legal.
+	a := ck1(NewMatrix[int](3, 3))
+	ck(a.SetElement(1, 0, 1))
+	ck(a.SetElement(1, 1, 2))
+	u := ck1(NewVector[int](3, InContext(mid)))
+	ck(u.SetElement(1, 0))
+	w := ck1(NewVector[int](3, InContext(leaf)))
+	if err := VxM(w, nil, nil, PlusTimes[int](), u, a, nil); err != nil {
+		t.Fatalf("chain-nested operands: %v", err)
+	}
+	vectorEquals(t, w, []Index{1}, []int{1})
+
+	// Order must not matter: deepest-first resolves the same way.
+	w2 := ck1(NewVector[int](3, InContext(leaf)))
+	if err := EWiseAddVector(w2, nil, nil, Plus[int], w, u, nil); err != nil {
+		t.Fatalf("deep output, shallow inputs: %v", err)
+	}
+
+	// Sibling branches still violate the sharing rule.
+	sib := ck1(NewContext(NonBlocking, mid, WithThreads(1)))
+	other := ck1(NewContext(NonBlocking, nil))
+	v := ck1(NewVector[int](3, InContext(sib)))
+	x := ck1(NewVector[int](3, InContext(other)))
+	wantCode(t, EWiseAddVector(v, nil, nil, Plus[int], v, x, nil), InvalidValue)
+}
+
+// TestHierarchicalDeepestGoverns proves the deepest context's resource
+// controls bind the operation: a canceled leaf context aborts an operation
+// whose other operands live in healthy ancestors.
+func TestHierarchicalDeepestGoverns(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := ck1(NewMatrix[bool](64, 64))
+	for i := 0; i < 63; i++ {
+		ck(a.SetElement(true, Index(i), Index(i+1)))
+	}
+	ck(a.Wait(Materialize))
+
+	leaf := ck1(NewContext(NonBlocking, nil, WithCancel()))
+	ck(leaf.Cancel())
+	w := ck1(NewVector[bool](64, InContext(leaf)))
+	u := ck1(NewVector[bool](64))
+	ck(u.SetElement(true, 0))
+	// Output in the canceled leaf, inputs in the top context: the op must
+	// run under the leaf and park Canceled.
+	err := VxM(w, nil, nil, LOrLAnd(), u, a, nil)
+	if err == nil {
+		err = w.Wait(Materialize)
+	}
+	wantCode(t, err, Canceled)
+}
+
+// TestViewInContext checks the O(1) snapshot-view primitive: a view shares
+// the completed snapshot, lives in its own context, is isolated from later
+// writes on either side, and carries the view context's resource limits.
+func TestViewInContext(t *testing.T) {
+	setMode(t, NonBlocking)
+	a := ck1(NewMatrix[int](4, 4))
+	ck(a.SetElement(7, 0, 1))
+	ck(a.SetElement(9, 2, 3))
+
+	// Validation: nil and freed target contexts.
+	if _, err := a.ViewInContext(nil); Code(err) != NullPointer {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	dead := ck1(NewContext(NonBlocking, nil))
+	ck(dead.Free())
+	if _, err := a.ViewInContext(dead); Code(err) != UninitializedObject {
+		t.Fatalf("freed ctx: %v", err)
+	}
+
+	ctx := ck1(NewContext(NonBlocking, nil, WithThreads(1)))
+	v := ck1(a.ViewInContext(ctx))
+	got := ck1(v.Context())
+	if got != ctx {
+		t.Fatalf("view context = %v", got)
+	}
+	// The view sees the completed snapshot.
+	if nv := ck1(v.Nvals()); nv != 2 {
+		t.Fatalf("view nvals = %d", nv)
+	}
+	// Writes through the view never touch the original (snapshot
+	// immutability + install-on-write)...
+	ck(v.SetElement(1, 3, 3))
+	ck(v.Wait(Materialize))
+	if nv := ck1(a.Nvals()); nv != 2 {
+		t.Fatalf("write-through-view mutated original: nvals=%d", nv)
+	}
+	// ...and writes through the original never reach the view.
+	ck(a.SetElement(1, 1, 1))
+	ck(a.Wait(Materialize))
+	if nv := ck1(v.Nvals()); nv != 3 {
+		t.Fatalf("write-through-original mutated view: nvals=%d", nv)
+	}
+
+	// Views work as operands in their context, with lagraph-style outputs.
+	w := ck1(NewVector[int](4, InContext(ctx)))
+	u := ck1(NewVector[int](4, InContext(ctx)))
+	ck(u.SetElement(1, 0))
+	if err := VxM(w, nil, nil, PlusTimes[int](), u, v, nil); err != nil {
+		t.Fatal(err)
+	}
+	vectorEquals(t, w, []Index{1}, []int{7})
+}
+
+// TestViewInContextBudgetIsolation is the serving story end to end: two
+// views of one shared matrix, one in a generous context and one in a
+// starved context; the starved query parks OutOfMemory while the healthy
+// query — and the shared snapshot — are unaffected.
+func TestViewInContextBudgetIsolation(t *testing.T) {
+	setMode(t, NonBlocking)
+	const n = 256
+	a := ck1(NewMatrix[float64](n, n))
+	for i := 0; i < n-1; i++ {
+		ck(a.SetElement(1.5, Index(i), Index(i+1)))
+		ck(a.SetElement(0.5, Index(i+1), Index(i)))
+	}
+	ck(a.Wait(Materialize))
+
+	starved := ck1(NewContext(NonBlocking, nil, WithMemoryLimit(1)))
+	rich := ck1(NewContext(NonBlocking, nil))
+	vs := ck1(a.ViewInContext(starved))
+	vr := ck1(a.ViewInContext(rich))
+
+	cs := ck1(NewMatrix[float64](n, n, InContext(starved)))
+	err := MxM(cs, nil, nil, PlusTimes[float64](), vs, vs, nil)
+	if err == nil {
+		err = cs.Wait(Materialize)
+	}
+	wantCode(t, err, OutOfMemory)
+
+	cr := ck1(NewMatrix[float64](n, n, InContext(rich)))
+	if err := MxM(cr, nil, nil, PlusTimes[float64](), vr, vr, nil); err != nil {
+		t.Fatalf("rich tenant disturbed by starved neighbor: %v", err)
+	}
+	ck(cr.Wait(Materialize))
+	if nv := ck1(cr.Nvals()); nv == 0 {
+		t.Fatal("rich tenant result empty")
+	}
+}

@@ -24,18 +24,20 @@ func Handler() http.Handler {
 			blocked[name] = bc[i]
 		}
 		doc := struct {
-			MetricsEnabled bool                 `json:"metrics_enabled"`
-			Tracing        bool                 `json:"tracing"`
-			UptimeNs       int64                `json:"uptime_ns"`
-			Ops            map[string]OpMetrics `json:"ops"`
-			KernelCounters map[string]int64     `json:"kernel_counters"`
-			BlockCounters  map[string]int64     `json:"block_counters"`
-			TraceBuffered  int                  `json:"trace_events_buffered"`
+			MetricsEnabled bool                    `json:"metrics_enabled"`
+			Tracing        bool                    `json:"tracing"`
+			UptimeNs       int64                   `json:"uptime_ns"`
+			Ops            map[string]OpMetrics    `json:"ops"`
+			Tenants        map[string]LabelMetrics `json:"tenants,omitempty"`
+			KernelCounters map[string]int64        `json:"kernel_counters"`
+			BlockCounters  map[string]int64        `json:"block_counters"`
+			TraceBuffered  int                     `json:"trace_events_buffered"`
 		}{
 			MetricsEnabled: MetricsEnabled(),
 			Tracing:        Tracing(),
 			UptimeNs:       int64(Uptime()),
 			Ops:            MetricsSnapshot(),
+			Tenants:        LabelsSnapshot(),
 			KernelCounters: counters,
 			BlockCounters:  blocked,
 			TraceBuffered:  TraceBuffered(),

@@ -14,11 +14,11 @@ import grb "github.com/grblas/grb"
 // The adjacency matrix must be boolean; for undirected graphs pass a
 // symmetric pattern.
 func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vector[float64], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	bc, err := grb.NewVector[float64](n)
+	bc, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +32,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 			return nil, &grb.Error{Info: grb.InvalidIndex, Msg: "BetweennessCentrality: source out of range"}
 		}
 		// ---- forward sweep: count shortest paths per BFS level ----
-		paths, err := grb.NewVector[float64](n) // σ: total shortest paths
+		paths, err := grb.NewVector[float64](n, opt) // σ: total shortest paths
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +75,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 			}
 		}
 		// ---- backward sweep: dependency accumulation ----
-		delta, err := grb.NewVector[float64](n)
+		delta, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -84,14 +84,14 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 		}
 		for d := len(levels) - 1; d >= 1; d-- {
 			// w(v) = (1 + delta(v)) / σ(v) for v in level d
-			onePlus, err := grb.NewVector[float64](n)
+			onePlus, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}
 			if err := grb.VectorApplyBindSecond(onePlus, nil, nil, grb.Plus[float64], delta, 1.0, nil); err != nil {
 				return nil, err
 			}
-			w, err := grb.NewVector[float64](n)
+			w, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +102,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 			if err != nil {
 				return nil, err
 			}
-			wd, err := grb.NewVector[float64](n)
+			wd, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -110,7 +110,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 				return nil, err
 			}
 			// push to predecessors: t(u) = Σ_v A(u,v) wd(v)
-			t, err := grb.NewVector[float64](n)
+			t, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +118,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 				return nil, err
 			}
 			// delta(u) += σ(u) * t(u) for u in level d-1
-			contrib, err := grb.NewVector[float64](n)
+			contrib, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +129,7 @@ func BetweennessCentrality(a *grb.Matrix[bool], sources []grb.Index) (*grb.Vecto
 			if err != nil {
 				return nil, err
 			}
-			sel, err := grb.NewVector[float64](n)
+			sel, err := grb.NewVector[float64](n, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,76 @@
+package lagraph
+
+import grb "github.com/grblas/grb"
+
+// EgoNet extracts the h-hop ego network of src: the subgraph induced on
+// every vertex reachable from src in at most hops steps (following
+// out-edges), src included. It returns the induced adjacency submatrix
+// together with the sorted original vertex ids, so sub(i, j) is the edge
+// verts[i] → verts[j] of the input graph.
+//
+// The reach set is computed structurally — a boolean frontier advanced by
+// vxm over an (∨, one) semiring, so edge weights of any type T only steer
+// the pattern — and the induced subgraph is one GrB_extract with the reach
+// set as both row and column index list, the §VIII selection machinery
+// doing the gather. Intermediates inherit a's execution context, so a
+// per-request deadline or memory budget bounds the whole extraction.
+func EgoNet[T any](a *grb.Matrix[T], src grb.Index, hops int) (*grb.Matrix[T], []grb.Index, error) {
+	n, opt, err := dimAndCtx(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if src < 0 || src >= n {
+		return nil, nil, &grb.Error{Info: grb.InvalidIndex, Msg: "EgoNet: src out of range"}
+	}
+	if hops < 0 {
+		return nil, nil, &grb.Error{Info: grb.InvalidValue, Msg: "EgoNet: hops must be non-negative"}
+	}
+	reached, err := grb.NewVector[bool](n, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := reached.SetElement(true, src); err != nil {
+		return nil, nil, err
+	}
+	frontier, err := grb.NewVector[bool](n, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := frontier.SetElement(true, src); err != nil {
+		return nil, nil, err
+	}
+	// (∨, one) over (bool, T): any incident edge marks the product true.
+	structSR := grb.Semiring[bool, T, bool]{
+		Add: grb.LOrMonoid(),
+		Mul: func(bool, T) bool { return true },
+	}
+	for h := 0; h < hops; h++ {
+		// frontier⟨¬reached,structure,replace⟩ = frontier ∨.one A
+		if err := grb.VxM(frontier, reached, nil, structSR, frontier, a, grb.DescRSC); err != nil {
+			return nil, nil, err
+		}
+		nv, err := frontier.Nvals()
+		if err != nil {
+			return nil, nil, err
+		}
+		if nv == 0 {
+			break
+		}
+		// reached⟨frontier,structure⟩ = true
+		if err := grb.VectorAssignScalar(reached, frontier, nil, true, grb.All, grb.DescS); err != nil {
+			return nil, nil, err
+		}
+	}
+	verts, _, err := reached.ExtractTuples()
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := grb.NewMatrix[T](len(verts), len(verts), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := grb.MatrixExtract(sub, nil, nil, a, verts, verts, nil); err != nil {
+		return nil, nil, err
+	}
+	return sub, verts, nil
+}

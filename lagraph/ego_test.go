@@ -1,0 +1,132 @@
+package lagraph
+
+import (
+	"testing"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/gen"
+)
+
+// TestEgoNetPath pins hop-bounded reach on a directed path 0→1→2→3→4:
+// the h-hop ego of vertex 1 is the sub-path 1→…→min(1+h, 4).
+func TestEgoNetPath(t *testing.T) {
+	initLib(t)
+	a := adjacency(t, gen.Path(5))
+	for hops := 0; hops <= 4; hops++ {
+		sub, verts, err := EgoNet(a, 1, hops)
+		if err != nil {
+			t.Fatalf("hops=%d: %v", hops, err)
+		}
+		last := 1 + hops
+		if last > 4 {
+			last = 4
+		}
+		want := last - 1 + 1 // vertices 1..last
+		if len(verts) != want {
+			t.Fatalf("hops=%d: verts=%v want %d vertices", hops, verts, want)
+		}
+		for k, v := range verts {
+			if v != 1+k {
+				t.Fatalf("hops=%d: verts=%v", hops, verts)
+			}
+		}
+		nv, err := sub.Nvals()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv != len(verts)-1 {
+			t.Fatalf("hops=%d: sub nvals=%d want %d", hops, nv, len(verts)-1)
+		}
+	}
+}
+
+// TestEgoNetInduced checks that the extraction is the full induced
+// subgraph — edges between reached vertices that BFS itself never
+// traversed must still appear — and that weights survive for non-bool T.
+func TestEgoNetInduced(t *testing.T) {
+	initLib(t)
+	// 0→1, 0→2, 1→2 (a "shortcut" edge inside the 1-hop ego of 0), 2→3.
+	a, err := grb.NewMatrix[float64](4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Build([]grb.Index{0, 0, 1, 2}, []grb.Index{1, 2, 2, 3},
+		[]float64{5, 6, 7, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, verts, err := EgoNet(a, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verts) != 3 || verts[0] != 0 || verts[1] != 1 || verts[2] != 2 {
+		t.Fatalf("verts = %v", verts)
+	}
+	// Induced edges: (0,1)=5, (0,2)=6, (1,2)=7; 2→3 is outside.
+	type e struct {
+		i, j grb.Index
+		x    float64
+	}
+	for _, want := range []e{{0, 1, 5}, {0, 2, 6}, {1, 2, 7}} {
+		x, ok, err := sub.ExtractElement(want.i, want.j)
+		if err != nil || !ok || x != want.x {
+			t.Fatalf("sub(%d,%d) = %v ok=%v err=%v", want.i, want.j, x, ok, err)
+		}
+	}
+	if nv, err := sub.Nvals(); err != nil || nv != 3 {
+		t.Fatalf("nvals = %d, %v", nv, err)
+	}
+}
+
+// TestEgoNetValidation covers the argument checks and hop-0 degenerate.
+func TestEgoNetValidation(t *testing.T) {
+	initLib(t)
+	a := adjacency(t, gen.Path(3))
+	if _, _, err := EgoNet(a, 99, 1); grb.Code(err) != grb.InvalidIndex {
+		t.Fatalf("src out of range: %v", err)
+	}
+	if _, _, err := EgoNet(a, 0, -1); grb.Code(err) != grb.InvalidValue {
+		t.Fatalf("negative hops: %v", err)
+	}
+	sub, verts, err := EgoNet(a, 2, 0)
+	if err != nil || len(verts) != 1 || verts[0] != 2 {
+		t.Fatalf("0-hop ego: verts=%v err=%v", verts, err)
+	}
+	nv, err := sub.Nvals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 0 {
+		t.Fatalf("0-hop ego has %d edges", nv)
+	}
+}
+
+// TestAlgorithmsInheritContext proves the serving invariant this PR relies
+// on: handing an algorithm a matrix view bound to a starved per-request
+// context makes the whole run park OutOfMemory, while the same algorithm on
+// the unbudgeted original still succeeds.
+func TestAlgorithmsInheritContext(t *testing.T) {
+	initLib(t)
+	g := gen.Graph500RMAT(8, 8, 42).Symmetrize()
+	a := adjacency(t, g)
+	if _, err := BFSLevels(a, 0); err != nil {
+		t.Fatalf("unbudgeted BFS: %v", err)
+	}
+	starved, err := grb.NewContext(grb.NonBlocking, nil, grb.WithMemoryLimit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.ViewInContext(starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BFSLevels(v, 0); grb.Code(err) != grb.OutOfMemory {
+		t.Fatalf("starved BFS: want OutOfMemory, got %v", err)
+	}
+	if _, err := TriangleCount(v); grb.Code(err) != grb.OutOfMemory {
+		t.Fatalf("starved TriangleCount: want OutOfMemory, got %v", err)
+	}
+	// The shared original is untouched by the starved tenant's failures.
+	if _, err := BFSLevels(a, 0); err != nil {
+		t.Fatalf("BFS after starved neighbor: %v", err)
+	}
+}

@@ -37,6 +37,26 @@ func vectorsEqual[T comparable](a, b *grb.Vector[T]) (bool, error) {
 	return true, nil
 }
 
+// dimAndCtx validates that a is square and returns its dimension together
+// with the object option that places algorithm intermediates in a's own
+// execution context. Inheriting the input's context is what makes the §IV
+// serving story work end to end: when a caller hands in a matrix view bound
+// to a per-request context (deadline, memory budget, thread cap), every
+// intermediate the algorithm allocates — and therefore every operation it
+// issues — runs under that context instead of escaping to the library
+// default.
+func dimAndCtx[T any](a *grb.Matrix[T]) (int, grb.ObjOption, error) {
+	n, err := squareDim(a)
+	if err != nil {
+		return 0, nil, err
+	}
+	ctx, err := a.Context()
+	if err != nil {
+		return 0, nil, err
+	}
+	return n, grb.InContext(ctx), nil
+}
+
 // squareDim validates that a is square and returns its dimension.
 func squareDim[T any](a *grb.Matrix[T]) (int, error) {
 	n, err := a.Nrows()
@@ -69,21 +89,21 @@ func BFSLevels(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
 // frontier density — the direction-optimizing schedule, which typically
 // pushes the narrow early and late frontiers and pulls the dense middle ones.
 func BFSLevelsDir(a *grb.Matrix[bool], src grb.Index, dir grb.Direction) (*grb.Vector[int], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
 	// Replace + structural complemented mask, as in DescRSC, plus the pin.
 	desc := &grb.Descriptor{Replace: true, Structure: true, Complement: true, Dir: dir}
-	levels, err := grb.NewVector[int](n)
+	levels, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	visited, err := grb.NewVector[bool](n)
+	visited, err := grb.NewVector[bool](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	frontier, err := grb.NewVector[bool](n)
+	frontier, err := grb.NewVector[bool](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -123,15 +143,15 @@ func BFSLevelsDir(a *grb.Matrix[bool], src grb.Index, dir grb.Direction) (*grb.V
 // into values is needed, which is exactly the GraphBLAS 1.X workaround the
 // paper's motivation section retires.
 func BFSParents(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	parents, err := grb.NewVector[int](n)
+	parents, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	wavefront, err := grb.NewVector[int](n)
+	wavefront, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -178,11 +198,11 @@ func BFSParents(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
 // negative as long as the graph has no negative cycle, which is reported as
 // an error after n rounds without convergence.
 func SSSP(a *grb.Matrix[float64], src grb.Index) (*grb.Vector[float64], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	d, err := grb.NewVector[float64](n)
+	d, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +240,7 @@ type PageRankResult struct {
 // factor, iterating until the L1 change falls below tol or maxIter rounds.
 // Dangling vertices (no out-edges) redistribute their rank uniformly.
 func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int) (*PageRankResult, error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
@@ -228,14 +248,14 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 		return nil, &grb.Error{Info: grb.InvalidValue, Msg: "PageRank: damping must be in (0,1)"}
 	}
 	// Out-degree (row sums) and its reciprocal where nonzero.
-	deg, err := grb.NewVector[float64](n)
+	deg, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
 	if err := grb.MatrixReduceToVector(deg, nil, nil, grb.PlusMonoid[float64](), a, nil); err != nil {
 		return nil, err
 	}
-	invdeg, err := grb.NewVector[float64](n)
+	invdeg, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +266,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 	if err != nil {
 		return nil, err
 	}
-	r, err := grb.NewVector[float64](n)
+	r, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +275,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 	}
 	for iter := 1; iter <= maxIter; iter++ {
 		// w = r ⊗ 1/outdeg (importance each page sends per out-link)
-		w, err := grb.NewVector[float64](n)
+		w, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +283,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 			return nil, err
 		}
 		// t = w +.× A  (incoming importance)
-		t, err := grb.NewVector[float64](n)
+		t, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +291,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 			return nil, err
 		}
 		// Dangling mass: rank parked on vertices with no out-edges.
-		dang, err := grb.NewVector[float64](n)
+		dang, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +303,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 			return nil, err
 		}
 		base := (1-damping)/float64(n) + damping*dmass/float64(n)
-		rnew, err := grb.NewVector[float64](n)
+		rnew, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +311,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 			return nil, err
 		}
 		// rnew += damping * t
-		ts, err := grb.NewVector[float64](n)
+		ts, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +322,7 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 			return nil, err
 		}
 		// delta = Σ |rnew - r|
-		diff, err := grb.NewVector[float64](n)
+		diff, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -330,11 +350,11 @@ func PageRank(a *grb.Matrix[float64], damping float64, tol float64, maxIter int)
 // predefined TriL operator, §VIII), the count is Σ (L ⊕.pair L)⟨L⟩ — a
 // masked SpGEMM over the plus-pair structural semiring.
 func TriangleCount(a *grb.Matrix[bool]) (int64, error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return 0, err
 	}
-	l, err := grb.NewMatrix[bool](n, n)
+	l, err := grb.NewMatrix[bool](n, n, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -342,7 +362,7 @@ func TriangleCount(a *grb.Matrix[bool]) (int64, error) {
 	if err := grb.MatrixSelect(l, nil, nil, grb.TriL[bool], a, -1, nil); err != nil {
 		return 0, err
 	}
-	c, err := grb.NewMatrix[int64](n, n)
+	c, err := grb.NewMatrix[int64](n, n, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -357,11 +377,11 @@ func TriangleCount(a *grb.Matrix[bool]) (int64, error) {
 // boolean adjacency) with the smallest vertex index in its component, by
 // min-label propagation over the min-first semiring until fixpoint.
 func ConnectedComponents(a *grb.Matrix[bool]) (*grb.Vector[int], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	f, err := grb.NewVector[int](n)
+	f, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +399,7 @@ func ConnectedComponents(a *grb.Matrix[bool]) (*grb.Vector[int], error) {
 			return nil, err
 		}
 		// t(j) = min over in-neighbours i of f(i); then f = min(f, t).
-		t, err := grb.NewVector[int](n)
+		t, err := grb.NewVector[int](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -406,16 +426,16 @@ func ConnectedComponents(a *grb.Matrix[bool]) (*grb.Vector[int], error) {
 // that beat all neighbouring candidates join the set, and they and their
 // neighbours leave the candidate pool.
 func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	iset, err := grb.NewVector[bool](n)
+	iset, err := grb.NewVector[bool](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	candidates, err := grb.NewVector[bool](n)
+	candidates, err := grb.NewVector[bool](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -423,7 +443,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 		return nil, err
 	}
 	maxFirst := grb.Semiring[float64, bool, float64]{Add: grb.MaxMonoid[float64](), Mul: grb.First[float64, bool]}
-	empty, err := grb.NewScalar[bool]()
+	empty, err := grb.NewScalar[bool](opt)
 	if err != nil {
 		return nil, err
 	}
@@ -445,7 +465,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 		for k := range scores {
 			scores[k] = float64(perm[k] + 1)
 		}
-		prob, err := grb.NewVector[float64](n)
+		prob, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +473,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		// Neighbour maximum among candidates.
-		nmax, err := grb.NewVector[float64](n)
+		nmax, err := grb.NewVector[float64](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -461,7 +481,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		// Winners: candidates whose score beats every neighbour...
-		win, err := grb.NewVector[bool](n)
+		win, err := grb.NewVector[bool](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +493,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 		if err != nil {
 			return nil, err
 		}
-		newMembers, err := grb.NewVector[bool](n)
+		newMembers, err := grb.NewVector[bool](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -482,7 +502,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		// newMembers⟨¬structure(nmax)⟩ ∪= lone candidates
-		lone, err := grb.NewVector[bool](n)
+		lone, err := grb.NewVector[bool](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -510,7 +530,7 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		// Neighbours of the new members.
-		neigh, err := grb.NewVector[bool](n)
+		neigh, err := grb.NewVector[bool](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -540,11 +560,11 @@ func MIS(a *grb.Matrix[bool], seed int64) (*grb.Vector[bool], error) {
 // (symmetric boolean adjacency): the maximal subgraph in which every vertex
 // has degree ≥ k. Vertices in the core have a true entry.
 func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	alive, err := grb.NewVector[bool](n)
+	alive, err := grb.NewVector[bool](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -552,7 +572,7 @@ func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
 		return nil, err
 	}
 	countAlive := grb.Semiring[bool, int, int]{Add: grb.PlusMonoid[int](), Mul: grb.Second[bool, int]}
-	empty, err := grb.NewScalar[bool]()
+	empty, err := grb.NewScalar[bool](opt)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +585,7 @@ func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
 			break
 		}
 		// aliveInt(i) = 1 for alive vertices.
-		aliveInt, err := grb.NewVector[int](n)
+		aliveInt, err := grb.NewVector[int](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -573,7 +593,7 @@ func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
 			return nil, err
 		}
 		// deg⟨alive,structure,replace⟩ = A +.second aliveInt: surviving degree.
-		deg, err := grb.NewVector[int](n)
+		deg, err := grb.NewVector[int](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -582,7 +602,7 @@ func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
 		}
 		// Vertices failing the core condition: alive with degree < k
 		// (including alive vertices with no surviving neighbours).
-		drop, err := grb.NewVector[int](n)
+		drop, err := grb.NewVector[int](n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -594,7 +614,7 @@ func KCore(a *grb.Matrix[bool], k int) (*grb.Vector[bool], error) {
 		if err != nil {
 			return nil, err
 		}
-		zero, err := grb.NewVector[int](n)
+		zero, err := grb.NewVector[int](n, opt)
 		if err != nil {
 			return nil, err
 		}

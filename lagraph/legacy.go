@@ -13,15 +13,15 @@ import grb "github.com/grblas/grb"
 // BenchmarkAblation_BFSParents_* measures the difference. Kept for that
 // comparison — use BFSParents in real code.
 func BFSParentsLegacy(a *grb.Matrix[bool], src grb.Index) (*grb.Vector[int], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
-	parents, err := grb.NewVector[int](n)
+	parents, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	wavefront, err := grb.NewVector[int](n)
+	wavefront, err := grb.NewVector[int](n, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -9,13 +9,13 @@ import grb "github.com/grblas/grb"
 // triangle counts come from the masked structural product (A +.pair A)⟨A⟩,
 // whose row sums double-count each triangle at its apex.
 func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
 	// W⟨A⟩ = A +.pair A: W(u,v) = #common neighbours per adjacent pair.
 	plusPair := grb.Semiring[bool, bool, float64]{Add: grb.PlusMonoid[float64](), Mul: grb.Oneb[bool, bool, float64]}
-	w, err := grb.NewMatrix[float64](n, n)
+	w, err := grb.NewMatrix[float64](n, n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -23,7 +23,7 @@ func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
 		return nil, err
 	}
 	// tri2(v) = Σ_u W(v,u) = 2 · tri(v)
-	tri2, err := grb.NewVector[float64](n)
+	tri2, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -31,14 +31,14 @@ func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
 		return nil, err
 	}
 	// deg(v) = row degree of A.
-	ones, err := grb.NewMatrix[float64](n, n)
+	ones, err := grb.NewMatrix[float64](n, n, opt)
 	if err != nil {
 		return nil, err
 	}
 	if err := grb.MatrixApply(ones, nil, nil, func(bool) float64 { return 1 }, a, nil); err != nil {
 		return nil, err
 	}
-	deg, err := grb.NewVector[float64](n)
+	deg, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
 		return nil, err
 	}
 	// denom(v) = deg(v)·(deg(v)−1), kept only where ≥ 2 neighbours.
-	denom, err := grb.NewVector[float64](n)
+	denom, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -57,14 +57,14 @@ func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
 		return nil, err
 	}
 	// lcc = tri2 / denom on the intersection; degree<2 vertices get 0.
-	lcc, err := grb.NewVector[float64](n)
+	lcc, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
 	if err := grb.VectorAssignScalar(lcc, nil, nil, 0, grb.All, nil); err != nil {
 		return nil, err
 	}
-	ratio, err := grb.NewVector[float64](n)
+	ratio, err := grb.NewVector[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func ClusteringCoefficient(a *grb.Matrix[bool]) (*grb.Vector[float64], error) {
 // support falls below k−2 until a fixpoint. The result is the boolean
 // adjacency of the truss.
 func KTruss(a *grb.Matrix[bool], k int) (*grb.Matrix[bool], error) {
-	n, err := squareDim(a)
+	n, opt, err := dimAndCtx(a)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func KTruss(a *grb.Matrix[bool], k int) (*grb.Matrix[bool], error) {
 			return c, nil
 		}
 		// S⟨C,structure⟩ = C +.pair C: edge support counts.
-		s, err := grb.NewMatrix[int](n, n)
+		s, err := grb.NewMatrix[int](n, n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +124,7 @@ func KTruss(a *grb.Matrix[bool], k int) (*grb.Matrix[bool], error) {
 		if err != nil {
 			return nil, err
 		}
-		next, err := grb.NewMatrix[bool](n, n)
+		next, err := grb.NewMatrix[bool](n, n, opt)
 		if err != nil {
 			return nil, err
 		}

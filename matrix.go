@@ -104,6 +104,37 @@ func (m *Matrix[T]) SwitchContext(ctx *Context) error {
 	return nil
 }
 
+// ViewInContext returns a new Matrix handle over this matrix's completed
+// snapshot, owned by ctx. The receiver is completed first (§III), then the
+// view aliases the immutable CSR snapshot — O(1), no copy. Because every
+// mutation installs a fresh snapshot, later writes through either handle
+// leave the other untouched (copy-on-write by construction), and derived
+// views memoized on the snapshot (cached transpose, block grid) are shared.
+// Combined with hierarchical context resolution this is the multi-tenant
+// serving primitive: one shared graph snapshot, one cheap view per query
+// context, so a per-query deadline and memory budget govern the kernels
+// without duplicating the graph or blocking other readers.
+func (m *Matrix[T]) ViewInContext(ctx *Context) (*Matrix[T], error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		return nil, errf(NullPointer, "ViewInContext: nil context")
+	}
+	if ctx.isFreed() {
+		return nil, errf(UninitializedObject, "ViewInContext: freed context")
+	}
+	if _, err := m.context(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.materializeLocked(); err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{init: true, ctx: ctx, csr: m.csr}, nil
+}
+
 // materializeLocked runs the deferred sequence (pending operations, then
 // pending element updates) and returns the parked execution error, if any.
 // Callers hold m.mu. When a sink is observing and there is work to drain,

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Benchmark baseline: runs the grbbench traversal experiment (push / pull /
 # adaptive BFS on hypersparse and RMAT graphs), the dense experiment
-# (monomorphized vs closure kernels on block-format operands), and the
-# blocked experiment (flat vs 2D-blocked SUMMA SpGEMM/SpMV plans with their
-# modeled-span telemetry), and records the measured series in BENCH_4.json at
-# the repo root, so later PRs can diff performance against this one. Usage:
+# (monomorphized vs closure kernels on block-format operands), the blocked
+# experiment (flat vs 2D-blocked SUMMA SpGEMM/SpMV plans with their
+# modeled-span telemetry), and the serve experiment (closed- and open-loop
+# latency/QPS against the multi-tenant query server), and records the
+# measured series in BENCH_5.json at the repo root, so later PRs can diff
+# performance against this one. Usage:
 #
 #   scripts/bench_baseline.sh [scale]
 #
@@ -18,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-14}"
-OUT="BENCH_4.json"
+OUT="BENCH_5.json"
 
 echo "== lint gate: grblint must be clean before measuring =="
 if ! make lint; then
@@ -26,7 +28,7 @@ if ! make lint; then
     exit 1
 fi
 
-echo "== traversal + dense + blocked baseline: scale $SCALE -> $OUT =="
-go run ./cmd/grbbench -run traversal,dense,blocked -scale "$SCALE" -json "$OUT"
+echo "== traversal + dense + blocked + serve baseline: scale $SCALE -> $OUT =="
+go run ./cmd/grbbench -run traversal,dense,blocked,serve -scale "$SCALE" -json "$OUT"
 
 echo "baseline written to $OUT"

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Bench-regression gate: re-runs the grbbench traversal, dense, and blocked
-# experiments and diffs them against the newest BENCH_*.json baseline at the
-# repo root with cmd/benchcmp, failing when any (graph, dir) series slowed
-# down by more than the tolerance — or when one of the paired-ratio floors
-# (mono vs closure, flat vs blocked span, auto vs its chosen route) breaks.
+# Bench-regression gate: re-runs the grbbench traversal, dense, blocked, and
+# (when the baseline carries latency series) serve experiments and diffs them
+# against the newest BENCH_*.json baseline at the repo root with cmd/benchcmp,
+# failing when any (graph, dir) series slowed down by more than the tolerance
+# — or when one of the paired-ratio floors (mono vs closure, flat vs blocked
+# span, auto vs its chosen route, serve p50/p99 vs baseline) breaks. benchcmp
+# ends its run with one machine-readable BENCH_GATE line (per-gate pass/fail
+# plus the worst observed ratio) for log grepping in advisory CI runs.
 #
 #   scripts/bench_compare.sh              compare a fresh run against the baseline
 #   scripts/bench_compare.sh --self-test  prove the gate fires (no benchmarks run):
@@ -38,6 +41,14 @@
 # flat/auto series must show the auto route tracking whichever plan it chose
 # (flat wall time, or forced-blocked span) within this factor. Set
 # GRB_AUTO_MAX=0 to disable.
+#
+# Serve knob: GRB_SERVE_MAX, ratio, default 1.5 — every serve-<algo> latency
+# series present in both files must keep its p50 and p99 within this factor
+# of the baseline's. Serve series carry Seconds=0, so the wall-clock
+# tolerance never judges them; this paired multiplicative gate is their only
+# owner (sub-millisecond latencies need more headroom than a percentage
+# tolerance gives). Skipped automatically against pre-serve baselines. Set
+# GRB_SERVE_MAX=0 to disable.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,6 +56,7 @@ TOL="${GRB_BENCH_TOL:-15}"
 MONOMIN="${GRB_MONO_MIN:-2}"
 BLOCKEDMIN="${GRB_BLOCKED_MIN:-1.5}"
 AUTOMAX="${GRB_AUTO_MAX:-1.25}"
+SERVEMAX="${GRB_SERVE_MAX:-1.5}"
 
 # Newest baseline by the PR sequence number in the filename.
 BASELINE=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
@@ -52,7 +64,14 @@ if [ -z "$BASELINE" ]; then
     echo "bench_compare: no BENCH_*.json baseline at the repo root; record one with scripts/bench_baseline.sh" >&2
     exit 2
 fi
-echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL), mono floor ${MONOMIN}x (GRB_MONO_MIN), blocked span floor ${BLOCKEDMIN}x (GRB_BLOCKED_MIN), auto guard ${AUTOMAX}x (GRB_AUTO_MAX)"
+echo "bench_compare: baseline $BASELINE, tolerance ${TOL}% (GRB_BENCH_TOL), mono floor ${MONOMIN}x (GRB_MONO_MIN), blocked span floor ${BLOCKEDMIN}x (GRB_BLOCKED_MIN), auto guard ${AUTOMAX}x (GRB_AUTO_MAX), serve ceiling ${SERVEMAX}x (GRB_SERVE_MAX)"
+
+# Pre-serve baselines carry no latency percentiles; the serve gate has
+# nothing to pair against there, so run without the serve experiment at all.
+if ! grep -q '"p50_ms"' "$BASELINE"; then
+    echo "bench_compare: baseline has no serve latency series; skipping the serve gate"
+    SERVEMAX=0
+fi
 
 if [ "${1:-}" = "--self-test" ]; then
     SELFMONO="$MONOMIN"
@@ -71,7 +90,7 @@ if [ "${1:-}" = "--self-test" ]; then
         SELFBLOCKED=0
         SELFAUTO=0
     fi
-    go run ./cmd/benchcmp -tol "$TOL" -monomin "$SELFMONO" -blockedmin "$SELFBLOCKED" -automax "$SELFAUTO" -selftest "$BASELINE"
+    go run ./cmd/benchcmp -tol "$TOL" -monomin "$SELFMONO" -blockedmin "$SELFBLOCKED" -automax "$SELFAUTO" -servemax "$SERVEMAX" -selftest "$BASELINE"
     exit $?
 fi
 
@@ -80,7 +99,11 @@ SCALE="${SCALE:-14}"
 CUR=$(mktemp /tmp/grbbench.XXXXXX.json)
 trap 'rm -f "$CUR"' EXIT
 
-echo "bench_compare: measuring traversal + dense + blocked at scale $SCALE"
-go run ./cmd/grbbench -run traversal,dense,blocked -scale "$SCALE" -json "$CUR" >/dev/null
+RUN="traversal,dense,blocked"
+if [ "$SERVEMAX" != "0" ]; then
+    RUN="$RUN,serve"
+fi
+echo "bench_compare: measuring $RUN at scale $SCALE"
+go run ./cmd/grbbench -run "$RUN" -scale "$SCALE" -json "$CUR" >/dev/null
 
-go run ./cmd/benchcmp -tol "$TOL" -monomin "$MONOMIN" -blockedmin "$BLOCKEDMIN" -automax "$AUTOMAX" "$BASELINE" "$CUR"
+go run ./cmd/benchcmp -tol "$TOL" -monomin "$MONOMIN" -blockedmin "$BLOCKEDMIN" -automax "$AUTOMAX" -servemax "$SERVEMAX" "$BASELINE" "$CUR"

@@ -2,7 +2,7 @@
 # Tiered CI entrypoint (`make ci` runs this). Chains every gate the repo
 # defines, times each tier, and ends with one machine-readable summary line:
 #
-#   CI_SUMMARY status=ok tiers=6 build=2s test=14s race=31s lint=9s grbcheck=22s coverage=12s
+#   CI_SUMMARY status=ok tiers=7 build=2s test=14s race=31s lint=9s grbcheck=22s serve=6s coverage=12s
 #
 # Tiers, in order (cheapest first so broken trees fail fast):
 #
@@ -14,6 +14,10 @@
 #             panicpathcheck (per-package passes fan out across the pool;
 #             -time prints per-analyzer wall clock to stderr)
 #   grbcheck  the race suites with the runtime snapshot validators compiled in
+#   serve     grbserve -selfcheck: boots the multi-tenant query server on
+#             generated graphs and probes every endpoint plus the tenant
+#             isolation contract (starved -> 507, deadlined -> 408,
+#             gated -> 429) against a live loopback listener
 #   coverage  total statement coverage against scripts/coverage_floor.txt
 #
 # A failing tier stops the run; the summary line then reports status=fail and
@@ -63,9 +67,10 @@ coverage_tier() {
 
 run build go build ./...
 run test go test ./...
-run race go test -race . ./internal/sparse ./internal/parallel ./internal/obsv
+run race go test -race . ./internal/sparse ./internal/parallel ./internal/obsv ./serve
 run lint go run ./cmd/grblint -time ./...
 run grbcheck go test -tags grbcheck -race . ./internal/sparse
+run serve go run ./cmd/grbserve -selfcheck
 run coverage coverage_tier
 
 # Chaos tier (advisory): the fault-injection sweep — every registered site

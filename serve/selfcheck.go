@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// SelfCheck is the serve smoke gate behind `grbserve -selfcheck` and the
+// ci.sh serve tier: it stands up a real HTTP server on a loopback port
+// over small generated graphs and drives the whole contract — every
+// endpoint answers 200 with valid JSON, a deliberately over-budget tenant
+// gets 507, a no-time tenant gets 408, admission rejection gets 429, the
+// 404/400 paths map, /metrics parses and carries the per-tenant counters,
+// and a short closed-loop burst of mixed tenants stays clean. It returns
+// nil only if every probe passed.
+func SelfCheck() error {
+	g1, err := ParseGenSpec("rmat=rmat:8")
+	if err != nil {
+		return err
+	}
+	g2, err := ParseGenSpec("ring=grid:12")
+	if err != nil {
+		return err
+	}
+	cfg := Config{
+		Default: TenantConfig{Deadline: 10 * time.Second},
+		Tenants: map[string]TenantConfig{
+			"starved": {Deadline: 10 * time.Second, MemoryBytes: 1},
+			"notime":  {Deadline: time.Nanosecond},
+			"gated":   {Deadline: 10 * time.Second, MaxInFlight: 1},
+		},
+	}
+	s := NewServer([]*Graph{g1, g2}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path, tenant string) (int, []byte, error) {
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		if tenant != "" {
+			req.Header.Set("X-Grb-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+	expect := func(path, tenant string, want int) error {
+		status, body, err := get(path, tenant)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		if status != want {
+			return fmt.Errorf("GET %s (tenant %q): status %d, want %d: %s", path, tenant, status, want, body)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("GET %s: response is not JSON: %w", path, err)
+		}
+		return nil
+	}
+
+	// Every endpoint answers 200 with valid JSON, on both graphs.
+	for _, path := range []string{
+		"/healthz", "/graphs", "/metrics",
+		"/query/bfs?graph=rmat&src=0",
+		"/query/sssp?graph=rmat&src=0",
+		"/query/pagerank?graph=rmat&maxiter=20",
+		"/query/triangles?graph=rmat",
+		"/query/ego?graph=rmat&src=0&hops=2",
+		"/query/bfs?graph=ring&src=0",
+		"/query/triangles?graph=ring",
+	} {
+		if err := expect(path, "", http.StatusOK); err != nil {
+			return err
+		}
+	}
+
+	// The error taxonomy: over-budget → 507, out-of-time → 408,
+	// unknown graph → 404, bad parameter → 400.
+	if err := expect("/query/triangles?graph=rmat", "starved", http.StatusInsufficientStorage); err != nil {
+		return err
+	}
+	if err := expect("/query/pagerank?graph=rmat", "notime", http.StatusRequestTimeout); err != nil {
+		return err
+	}
+	if err := expect("/query/bfs?graph=nope", "", http.StatusNotFound); err != nil {
+		return err
+	}
+	if err := expect("/query/bfs?graph=rmat&src=banana", "", http.StatusBadRequest); err != nil {
+		return err
+	}
+
+	// Admission rejection: hold the gated tenant's only slot and probe.
+	req, err := http.NewRequest("GET", ts.URL+"/query/bfs", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Grb-Tenant", "gated")
+	tn := s.tenantFor(req)
+	release, ok := tn.acquire()
+	if !ok {
+		return fmt.Errorf("gated tenant slot unexpectedly busy")
+	}
+	if err := expect("/query/bfs?graph=rmat", "gated", http.StatusTooManyRequests); err != nil {
+		release()
+		return err
+	}
+	release()
+	if err := expect("/query/bfs?graph=rmat", "gated", http.StatusOK); err != nil {
+		return err
+	}
+
+	// Closed-loop burst: mixed tenants and endpoints, all clean, while the
+	// starved tenant keeps failing in its mapped way — neighbors unharmed.
+	paths := []string{
+		"/query/bfs?graph=rmat&src=1",
+		"/query/sssp?graph=ring&src=2",
+		"/query/triangles?graph=ring",
+		"/query/ego?graph=rmat&src=3&hops=1",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("selfcheck worker panic: %v", p)
+				}
+				wg.Done()
+			}()
+			for i := 0; i < 6; i++ {
+				if w == 3 {
+					if err := expect("/query/triangles?graph=rmat", "starved", http.StatusInsufficientStorage); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if err := expect(paths[(w+i)%len(paths)], fmt.Sprintf("team%d", w), http.StatusOK); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// The ops endpoint reflects the tenants that just ran.
+	status, body, err := get("/metrics", "")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d err %v", status, err)
+	}
+	var doc struct {
+		Tenants map[string]struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("/metrics does not parse: %w", err)
+	}
+	if doc.Tenants["starved"].Requests == 0 || doc.Tenants["starved"].Errors == 0 {
+		return fmt.Errorf("/metrics tenants section missing starved tenant activity: %+v", doc.Tenants)
+	}
+	if doc.Tenants["team0"].Requests == 0 || doc.Tenants["team0"].Errors != 0 {
+		return fmt.Errorf("/metrics tenants section wrong for team0: %+v", doc.Tenants)
+	}
+	return nil
+}

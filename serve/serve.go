@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/internal/obsv"
+	"github.com/grblas/grb/lagraph"
+)
+
+// TenantConfig is one tenant's admission-control envelope. Zero values mean
+// "no limit" for that axis; the server default fills unset deadlines.
+type TenantConfig struct {
+	Deadline    time.Duration // per-request wall-clock budget
+	MemoryBytes int64         // per-request memory budget (grb.WithMemoryLimit)
+	MaxInFlight int           // concurrent requests before 429
+}
+
+// Config carries the per-tenant table plus the envelope applied to tenants
+// the table does not name (including the implicit "default" tenant).
+type Config struct {
+	Default TenantConfig
+	Tenants map[string]TenantConfig
+}
+
+// tenant is the runtime state for one tenant name: its config plus the
+// in-flight semaphore, created once on first sight.
+type tenant struct {
+	name  string
+	cfg   TenantConfig
+	slots chan struct{} // nil when MaxInFlight == 0
+}
+
+func (t *tenant) acquire() (release func(), ok bool) {
+	if t.slots == nil {
+		return func() {}, true
+	}
+	select {
+	case t.slots <- struct{}{}:
+		return func() { <-t.slots }, true
+	default:
+		return nil, false
+	}
+}
+
+// newRequestCtx derives the §IV per-request context from the tenant
+// envelope: always cancellable (for client disconnects), with the deadline
+// and memory budget layered on when configured. The parent is the library
+// top context, so shared snapshots — owned by the top context — remain
+// legal operands under the hierarchical sharing rule.
+func (t *tenant) newRequestCtx() (*grb.Context, error) {
+	opts := []grb.ContextOption{grb.WithCancel()}
+	if t.cfg.Deadline > 0 {
+		opts = append(opts, grb.WithDeadline(time.Now().Add(t.cfg.Deadline)))
+	}
+	if t.cfg.MemoryBytes > 0 {
+		opts = append(opts, grb.WithMemoryLimit(t.cfg.MemoryBytes))
+	}
+	return grb.NewContext(grb.NonBlocking, nil, opts...)
+}
+
+// Server serves concurrent algorithm queries over a fixed set of shared
+// graphs. The graph map is immutable after NewServer; all per-request
+// mutable state lives in the request's own Context, so handlers need no
+// locks around the graph data itself.
+type Server struct {
+	graphs  map[string]*Graph
+	cfg     Config
+	tenants sync.Map // name -> *tenant
+	mux     *http.ServeMux
+}
+
+// NewServer builds the handler tree over the given graphs. Queries name
+// their graph with ?graph=; when exactly one graph is loaded it is the
+// default.
+func NewServer(graphs []*Graph, cfg Config) *Server {
+	s := &Server{graphs: make(map[string]*Graph, len(graphs)), cfg: cfg}
+	for _, g := range graphs {
+		s.graphs[g.Name] = g
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/graphs", s.handleGraphs)
+	mux.Handle("/metrics", grb.MetricsHandler())
+	mux.HandleFunc("/query/bfs", s.query("bfs", s.runBFS))
+	mux.HandleFunc("/query/sssp", s.query("sssp", s.runSSSP))
+	mux.HandleFunc("/query/pagerank", s.query("pagerank", s.runPageRank))
+	mux.HandleFunc("/query/triangles", s.query("triangles", s.runTriangles))
+	mux.HandleFunc("/query/ego", s.query("ego", s.runEgo))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root handler: queries, /graphs, /healthz, and the
+// ops endpoint (/metrics = grb.MetricsHandler, whose document includes the
+// per-tenant request counters this package records).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	type graphInfo struct {
+		Name  string `json:"name"`
+		N     int    `json:"n"`
+		Edges int    `json:"edges"`
+	}
+	out := make([]graphInfo, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		out = append(out, graphInfo{Name: g.Name, N: g.N, Edges: g.Edges})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+// tenantFor resolves the caller's tenant from the X-Grb-Tenant header or
+// ?tenant= parameter ("default" otherwise) and returns its runtime state,
+// creating it from the config table — or the default envelope — on first
+// sight.
+func (s *Server) tenantFor(r *http.Request) *tenant {
+	name := r.Header.Get("X-Grb-Tenant")
+	if name == "" {
+		name = r.URL.Query().Get("tenant")
+	}
+	if name == "" {
+		name = "default"
+	}
+	if t, ok := s.tenants.Load(name); ok {
+		return t.(*tenant)
+	}
+	cfg, ok := s.cfg.Tenants[name]
+	if !ok {
+		cfg = s.cfg.Default
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = s.cfg.Default.Deadline
+	}
+	t := &tenant{name: name, cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		t.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	actual, _ := s.tenants.LoadOrStore(name, t)
+	return actual.(*tenant)
+}
+
+// errBody is the JSON error envelope: the mapped Info code rides along so
+// clients can distinguish "over budget" from "bad request" without parsing
+// prose.
+type errBody struct {
+	Error    string `json:"error"`
+	Info     int    `json:"info,omitempty"`
+	InfoName string `json:"info_name,omitempty"`
+}
+
+// httpStatus maps a query error to its HTTP status — the Info→HTTP
+// taxonomy: resource exhaustion inside the engine is the server's capacity
+// (507), a blown deadline is the request's time budget (408), admission
+// rejection is backpressure (429, applied before execution), and the API
+// errors are the caller's fault (400).
+func httpStatus(err error) int {
+	var nf notFoundError
+	if errors.As(err, &nf) {
+		return http.StatusNotFound
+	}
+	switch grb.Code(err) {
+	case grb.Canceled:
+		return http.StatusRequestTimeout // 408
+	case grb.OutOfMemory, grb.InsufficientSpace:
+		return http.StatusInsufficientStorage // 507
+	case grb.InvalidValue, grb.InvalidIndex, grb.NullPointer, grb.DomainMismatch,
+		grb.DimensionMismatch, grb.OutputNotEmpty, grb.EmptyObject, grb.IndexOutOfBounds:
+		return http.StatusBadRequest
+	case grb.NotImplemented:
+		return http.StatusNotImplemented
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		return // headers are out; nothing useful left to send
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	body := errBody{Error: err.Error()}
+	var ge *grb.Error
+	if errors.As(err, &ge) {
+		body.Info = int(ge.Info)
+		body.InfoName = ge.Info.String()
+	}
+	writeJSON(w, status, body)
+}
+
+// query wraps one algorithm endpoint in the full request lifecycle:
+// tenant resolution → admission (in-flight slot) → per-request Context
+// derivation → client-disconnect watcher → execution → Info→HTTP mapping →
+// per-tenant accounting. run receives the request and its Context; it must
+// allocate every grb object it creates inside that context (the lagraph
+// algorithms inherit it from the graph views).
+func (s *Server) query(op string, run func(r *http.Request, ctx *grb.Context) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tn := s.tenantFor(r)
+		failed := true
+		defer func() {
+			obsv.NoteLabeled(tn.name, op, time.Since(start).Nanoseconds(), failed)
+		}()
+		release, ok := tn.acquire()
+		if !ok {
+			writeJSON(w, http.StatusTooManyRequests,
+				errBody{Error: fmt.Sprintf("tenant %q: in-flight limit %d reached", tn.name, tn.cfg.MaxInFlight)})
+			return
+		}
+		defer release()
+		ctx, err := tn.newRequestCtx()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		defer func() {
+			_ = ctx.Free() //grblint:ignore infocheck -- request teardown; the response is already decided
+		}()
+		// A client that goes away cancels its own query — at abort-probe
+		// granularity — so an abandoned expensive request cannot occupy the
+		// engine. The done channel unblocks the watcher on normal completion.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			defer func() {
+				_ = recover() // watcher must never take the process down
+			}()
+			select {
+			case <-r.Context().Done():
+				_ = ctx.Cancel() //grblint:ignore infocheck -- best-effort abort of an abandoned request
+			case <-done:
+			}
+		}()
+		body, err := run(r, ctx)
+		if err != nil {
+			writeErr(w, httpStatus(err), err)
+			return
+		}
+		failed = false
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// graphParam resolves the ?graph= parameter; with a single loaded graph the
+// parameter is optional.
+func (s *Server) graphParam(r *http.Request) (*Graph, error) {
+	name := r.URL.Query().Get("graph")
+	if name == "" && len(s.graphs) == 1 {
+		for _, g := range s.graphs {
+			return g, nil
+		}
+	}
+	if g, ok := s.graphs[name]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("unknown graph %q", name)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &grb.Error{Info: grb.InvalidValue, Msg: fmt.Sprintf("parameter %s=%q is not an integer", name, v)}
+	}
+	return n, nil
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, &grb.Error{Info: grb.InvalidValue, Msg: fmt.Sprintf("parameter %s=%q is not a number", name, v)}
+	}
+	return f, nil
+}
+
+func (s *Server) runBFS(r *http.Request, ctx *grb.Context) (any, error) {
+	g, err := s.graphParam(r)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	src, err := intParam(r, "src", 0)
+	if err != nil {
+		return nil, err
+	}
+	view, err := g.pattern.ViewInContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	levels, err := lagraph.BFSLevels(view, src)
+	if err != nil {
+		return nil, err
+	}
+	idx, vals, err := levels.ExtractTuples()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"graph": g.Name, "src": src, "reached": len(idx),
+		"indices": idx, "levels": vals,
+	}, nil
+}
+
+func (s *Server) runSSSP(r *http.Request, ctx *grb.Context) (any, error) {
+	g, err := s.graphParam(r)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	src, err := intParam(r, "src", 0)
+	if err != nil {
+		return nil, err
+	}
+	view, err := g.weights.ViewInContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := lagraph.SSSP(view, src)
+	if err != nil {
+		return nil, err
+	}
+	idx, vals, err := dist.ExtractTuples()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"graph": g.Name, "src": src, "reached": len(idx),
+		"indices": idx, "dist": vals,
+	}, nil
+}
+
+func (s *Server) runPageRank(r *http.Request, ctx *grb.Context) (any, error) {
+	g, err := s.graphParam(r)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	damping, err := floatParam(r, "damping", 0.85)
+	if err != nil {
+		return nil, err
+	}
+	tol, err := floatParam(r, "tol", 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	maxIter, err := intParam(r, "maxiter", 50)
+	if err != nil {
+		return nil, err
+	}
+	view, err := g.weights.ViewInContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lagraph.PageRank(view, damping, tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	idx, vals, err := res.Ranks.ExtractTuples()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"graph": g.Name, "iterations": res.Iterations,
+		"indices": idx, "ranks": vals,
+	}, nil
+}
+
+func (s *Server) runTriangles(r *http.Request, ctx *grb.Context) (any, error) {
+	g, err := s.graphParam(r)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	view, err := g.pattern.ViewInContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	count, err := lagraph.TriangleCount(view)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"graph": g.Name, "triangles": count}, nil
+}
+
+func (s *Server) runEgo(r *http.Request, ctx *grb.Context) (any, error) {
+	g, err := s.graphParam(r)
+	if err != nil {
+		return nil, notFound(err)
+	}
+	src, err := intParam(r, "src", 0)
+	if err != nil {
+		return nil, err
+	}
+	hops, err := intParam(r, "hops", 1)
+	if err != nil {
+		return nil, err
+	}
+	view, err := g.weights.ViewInContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sub, verts, err := lagraph.EgoNet(view, src, hops)
+	if err != nil {
+		return nil, err
+	}
+	si, sj, sx, err := sub.ExtractTuples()
+	if err != nil {
+		return nil, err
+	}
+	// Report edges in original vertex ids so the response stands alone.
+	esrc := make([]grb.Index, len(si))
+	edst := make([]grb.Index, len(sj))
+	for k := range si {
+		esrc[k] = verts[si[k]]
+		edst[k] = verts[sj[k]]
+	}
+	return map[string]any{
+		"graph": g.Name, "src": src, "hops": hops,
+		"vertices": verts, "edge_src": esrc, "edge_dst": edst, "edge_w": sx,
+	}, nil
+}
+
+// notFoundError tags "unknown graph" so httpStatus can answer 404 instead
+// of the generic 500.
+type notFoundError struct{ error }
+
+func notFound(err error) error { return notFoundError{err} }
