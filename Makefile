@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint checktags chaos verify ci verify-bench
+.PHONY: all build test race bench lint checktags chaos soak verify ci verify-bench
 
 all: build test
 
@@ -47,7 +47,14 @@ chaos:
 	$(GO) test -tags grbcheck -race -count=1 \
 	    -run 'TestChaos|TestScattered|TestFaultSpec|TestBudget|TestCancel|TestDeadline|TestInjectedPanic|TestUserOperatorPanic' .
 
-verify: test race lint checktags chaos
+# Soak tier: the serving stack's overload storm stretched to 10 seconds
+# under -race — AIMD limiters, circuit breakers, bounded queues, and the
+# memory governor running hot against armed delay + sampled allocation
+# faults, then a clean-recovery check. CI runs this in advisory mode.
+soak:
+	GRB_SOAK=10s $(GO) test -race -count=1 -run 'TestOverloadSoak' ./serve
+
+verify: test race lint checktags chaos soak
 
 # The full tiered CI chain: build -> tier-1 -> race -> lint -> grbcheck ->
 # coverage floor, with per-tier timing and a machine-readable CI_SUMMARY line.

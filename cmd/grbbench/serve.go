@@ -4,10 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/grblas/grb/gen"
@@ -30,11 +33,14 @@ var (
 	serveScale = flag.Int("serve-scale", 10, "RMAT scale of the serve experiment graph")
 )
 
-// loadStats is one driver run's summary.
+// loadStats is one driver run's summary. sheds counts backpressure
+// rejections (429/503) the driver absorbed with backoff — load the server
+// declined, not errors.
 type loadStats struct {
 	n             int
 	p50, p95, p99 float64 // milliseconds
 	qps           float64
+	sheds         int
 }
 
 func percentile(sorted []float64, p float64) float64 {
@@ -64,19 +70,44 @@ func summarize(latMs []float64, elapsed time.Duration) loadStats {
 	}
 }
 
-func doServeReq(client *http.Client, url string) error {
+// serveShedRetryCap bounds how long a driver honors a Retry-After hint, so
+// a pathological hint cannot stall the measurement window.
+const serveShedRetryCap = 250 * time.Millisecond
+
+// doServeReq issues one query. A 429/503 is backpressure, not an error:
+// shed reports it and retryAfter carries the server's Retry-After hint
+// (zero when absent) for the caller's backoff.
+func doServeReq(client *http.Client, url string) (retryAfter time.Duration, shed bool, err error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+		return 0, false, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return 0, false, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return retryAfter, true, nil
+	default:
+		return 0, false, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
-	return nil
+}
+
+// shedBackoff sleeps out a shed: the server's hint capped to the retry
+// bound, with ±50% jitter so a fleet of shed clients does not resynchronize
+// into the next thundering herd.
+func shedBackoff(hint time.Duration) {
+	base := hint
+	if base <= 0 || base > serveShedRetryCap {
+		base = serveShedRetryCap
+	}
+	time.Sleep(base/2 + time.Duration(rand.Int63n(int64(base))))
 }
 
 // driveClosed is the closed-loop driver: `workers` goroutines each issue
@@ -85,6 +116,7 @@ func doServeReq(client *http.Client, url string) error {
 func driveClosed(client *http.Client, url string, workers int, dur time.Duration) loadStats {
 	var mu sync.Mutex
 	var lats []float64
+	var sheds int64
 	start := time.Now()
 	stop := start.Add(dur)
 	var wg sync.WaitGroup
@@ -95,7 +127,13 @@ func driveClosed(client *http.Client, url string, workers int, dur time.Duration
 			var local []float64
 			for time.Now().Before(stop) {
 				t0 := time.Now()
-				must(doServeReq(client, url))
+				hint, shed, err := doServeReq(client, url)
+				must(err)
+				if shed {
+					atomic.AddInt64(&sheds, 1)
+					shedBackoff(hint)
+					continue
+				}
 				local = append(local, time.Since(t0).Seconds()*1000)
 			}
 			mu.Lock()
@@ -104,7 +142,9 @@ func driveClosed(client *http.Client, url string, workers int, dur time.Duration
 		}()
 	}
 	wg.Wait()
-	return summarize(lats, time.Since(start))
+	st := summarize(lats, time.Since(start))
+	st.sheds = int(atomic.LoadInt64(&sheds))
+	return st
 }
 
 // driveOpen is the open-loop driver: arrivals on a fixed schedule at
@@ -118,6 +158,7 @@ func driveOpen(client *http.Client, url string, rate float64, dur time.Duration)
 	}
 	interval := time.Duration(float64(time.Second) / rate)
 	lats := make([]float64, n)
+	var sheds int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	// Batched dispatch: fire every arrival that is due, then sleep until the
@@ -133,8 +174,21 @@ func driveOpen(client *http.Client, url string, rate float64, dur time.Duration)
 			wg.Add(1)
 			go func(i int, sched time.Time) {
 				defer wg.Done()
-				must(doServeReq(client, url))
-				lats[i] = time.Since(sched).Seconds() * 1000
+				// A shed arrival backs off on the server's hint and retries:
+				// its latency (from the scheduled instant) then includes the
+				// backoff, which is exactly what that client experienced. An
+				// arrival shed through every retry records no latency sample.
+				lats[i] = -1
+				for attempt := 0; attempt < 4; attempt++ {
+					hint, shed, err := doServeReq(client, url)
+					must(err)
+					if !shed {
+						lats[i] = time.Since(sched).Seconds() * 1000
+						return
+					}
+					atomic.AddInt64(&sheds, 1)
+					shedBackoff(hint)
+				}
 			}(i, sched)
 		}
 		if i < n {
@@ -142,7 +196,15 @@ func driveOpen(client *http.Client, url string, rate float64, dur time.Duration)
 		}
 	}
 	wg.Wait()
-	return summarize(lats, time.Since(start))
+	served := lats[:0:0]
+	for _, l := range lats {
+		if l >= 0 {
+			served = append(served, l)
+		}
+	}
+	st := summarize(served, time.Since(start))
+	st.sheds = int(atomic.LoadInt64(&sheds))
+	return st
 }
 
 func serveBench() {
@@ -159,7 +221,7 @@ func serveBench() {
 	fmt.Printf("  graph: rmat scale %d (n=%d, edges=%d)\n", *serveScale, g.N, g.Edges)
 	fmt.Printf("  closed loop: %d workers × %s; open loop: %s at 70%% of closed throughput (capped 500/s)\n",
 		*serveConc, *serveDur, *serveDur)
-	fmt.Printf("  %-12s %-7s %8s %8s %8s %8s %6s\n", "algo", "driver", "p50ms", "p95ms", "p99ms", "qps", "n")
+	fmt.Printf("  %-12s %-7s %8s %8s %8s %8s %6s %6s\n", "algo", "driver", "p50ms", "p95ms", "p99ms", "qps", "n", "sheds")
 
 	algos := []struct{ name, path string }{
 		{"bfs", "/query/bfs?src=0"},
@@ -169,8 +231,8 @@ func serveBench() {
 		{"ego", "/query/ego?src=0&hops=2"},
 	}
 	report := func(algo, driver string, st loadStats) {
-		fmt.Printf("  %-12s %-7s %8.2f %8.2f %8.2f %8.1f %6d\n",
-			algo, driver, st.p50, st.p95, st.p99, st.qps, st.n)
+		fmt.Printf("  %-12s %-7s %8.2f %8.2f %8.2f %8.1f %6d %6d\n",
+			algo, driver, st.p50, st.p95, st.p99, st.qps, st.n, st.sheds)
 		benchResults = append(benchResults, traversalResult{
 			Graph: "serve-" + algo, Vertices: g.N, Edges: g.Edges, Dir: driver,
 			P50Ms: st.p50, P95Ms: st.p95, P99Ms: st.p99, QPS: st.qps,
@@ -179,7 +241,8 @@ func serveBench() {
 	for _, al := range algos {
 		url := ts.URL + al.path
 		for i := 0; i < 3; i++ { // warmup: caches, connection pool, JIT-ish paths
-			must(doServeReq(client, url))
+			_, _, err := doServeReq(client, url)
+			must(err)
 		}
 		closed := driveClosed(client, url, *serveConc, *serveDur)
 		report(al.name, "closed", closed)

@@ -91,7 +91,10 @@ func WithChunk(n int) ContextOption {
 // when the cheapest route still does not fit does the operation park
 // GrB_OUT_OF_MEMORY (§V). Zero or negative means unlimited. The limit is the
 // context's own; it is not combined with ancestors' limits — the nearest
-// limited context up the chain governs an operation.
+// limited context up the chain governs an operation. Usage, however, rolls
+// up: a budgeted descendant's reservations are mirrored into the nearest
+// budgeted ancestor's MemoryUsed aggregate (observation only, never
+// enforcement) until the descendant is freed.
 func WithMemoryLimit(bytes int64) ContextOption {
 	return func(c *Context) { c.budget = sparse.NewBudget(bytes) }
 }
@@ -213,6 +216,13 @@ func NewContext(mode Mode, parent *Context, opts ...ContextOption) (*Context, er
 	if c.threads < 0 {
 		return nil, errf(InvalidValue, "NewContext: negative thread budget")
 	}
+	// Rollup wiring: a budgeted child mirrors its reservations into the
+	// nearest budgeted ancestor, so MemoryUsed on an interior context is a
+	// live aggregate over its subtree — the serving governor's admission
+	// signal. Enforcement is unchanged: the nearest limit still governs.
+	if c.budget != nil && parent != nil {
+		c.budget.SetParent(parent.memBudget())
+	}
 	return c, nil
 }
 
@@ -228,6 +238,10 @@ func (c *Context) Free() error {
 		return errf(UninitializedObject, "Context.Free: already freed")
 	}
 	c.freed = true
+	// Leave the ancestors' aggregates: any residual (persistent) reservations
+	// this context still holds are subtracted from the rollup, so a finished
+	// request's cached artifacts cannot inflate a long-lived governor context.
+	c.budget.Detach()
 	return nil
 }
 
@@ -293,8 +307,17 @@ func (c *Context) memBudget() *sparse.Budget {
 func (c *Context) MemoryLimit() int64 { return c.memBudget().Limit() }
 
 // MemoryUsed returns the bytes currently reserved against the effective
-// memory budget (0 when unlimited).
+// memory budget (0 when unlimited). Because budgeted descendants mirror
+// their reservations into the nearest budgeted ancestor, this is a live
+// aggregate over the context's subtree: a server that parents every request
+// context under one budgeted "governor" context reads total in-flight
+// memory here with a single atomic load.
 func (c *Context) MemoryUsed() int64 { return c.memBudget().Used() }
+
+// MemoryPeak returns the high-water mark of MemoryUsed over the effective
+// budget's lifetime (0 when unlimited) — the per-request signal the serving
+// layer's admission estimator learns from.
+func (c *Context) MemoryPeak() int64 { return c.memBudget().Peak() }
 
 // needsAbortProbe reports whether any context in the chain can cancel.
 func (c *Context) needsAbortProbe() bool {

@@ -2,7 +2,11 @@ package grb
 
 import (
 	"runtime"
+	"sync"
 	"testing"
+	"time"
+
+	"github.com/grblas/grb/internal/faults"
 )
 
 func TestInitFinalizeLifecycle(t *testing.T) {
@@ -348,5 +352,114 @@ func TestViewInContextBudgetIsolation(t *testing.T) {
 	ck(cr.Wait(Materialize))
 	if nv := ck1(cr.Nvals()); nv == 0 {
 		t.Fatal("rich tenant result empty")
+	}
+}
+
+// TestContextMemoryRollup pins the aggregate-usage contract the serving
+// governor is built on: a budgeted child context mirrors its reservations
+// into the nearest budgeted ancestor's MemoryUsed, transaction closes
+// subtract them, the high-water mark is sticky, and Free detaches any
+// residual so a finished request leaves the aggregate clean.
+func TestContextMemoryRollup(t *testing.T) {
+	setMode(t, NonBlocking)
+	gov := ck1(NewContext(NonBlocking, nil, WithMemoryLimit(1<<30)))
+	req := ck1(NewContext(NonBlocking, gov, WithMemoryLimit(1<<20)))
+	// An unbudgeted context in between must not break the chain: leaf's
+	// budget finds gov's as its rollup parent through mid.
+	mid := ck1(NewContext(NonBlocking, gov))
+	leaf := ck1(NewContext(NonBlocking, mid, WithMemoryLimit(1<<20)))
+
+	// White-box: drive the request budgets directly through transactions,
+	// exactly as a drained kernel would.
+	tx := req.budget.Tx()
+	if !tx.Reserve(4096) {
+		t.Fatal("reserve failed")
+	}
+	ltx := leaf.budget.Tx()
+	if !ltx.Reserve(1024) {
+		t.Fatal("leaf reserve failed")
+	}
+	if got := req.MemoryUsed(); got != 4096 {
+		t.Fatalf("req.MemoryUsed = %d, want 4096", got)
+	}
+	if got := gov.MemoryUsed(); got != 4096+1024 {
+		t.Fatalf("gov.MemoryUsed = %d, want %d (aggregate of both children)", got, 4096+1024)
+	}
+	ltx.Close()
+	tx.Close()
+	if got := gov.MemoryUsed(); got != 0 {
+		t.Fatalf("gov.MemoryUsed after close = %d, want 0", got)
+	}
+	if got := gov.MemoryPeak(); got != 4096+1024 {
+		t.Fatalf("gov.MemoryPeak = %d, want %d (sticky high-water)", got, 4096+1024)
+	}
+	// Residual persistent reservations leave the aggregate on Free.
+	tx2 := req.budget.Tx()
+	if !tx2.ReservePersistent(512) {
+		t.Fatal("persistent reserve failed")
+	}
+	tx2.Close()
+	if got := gov.MemoryUsed(); got != 512 {
+		t.Fatalf("gov.MemoryUsed with residual = %d, want 512", got)
+	}
+	ck(req.Free())
+	if got := gov.MemoryUsed(); got != 0 {
+		t.Fatalf("gov.MemoryUsed after child Free = %d, want 0", got)
+	}
+}
+
+// TestContextRollupRealOperation runs a real kernel under a two-level budget
+// chain: the governor aggregate must register activity while the request
+// runs its operation (visible in the sticky peak) and return to zero once
+// the request context is freed — no leak through any kernel path.
+func TestContextRollupRealOperation(t *testing.T) {
+	setMode(t, NonBlocking)
+	gov := ck1(NewContext(NonBlocking, nil, WithMemoryLimit(1<<30)))
+	req := ck1(NewContext(NonBlocking, gov, WithMemoryLimit(64<<20)))
+	a := pathGraph(t, req, 128)
+	c := ck1(NewMatrix[bool](128, 128, InContext(req)))
+	ck(MxM(c, nil, nil, LOrLAnd(), a, a, nil))
+	ck(c.Wait(Materialize))
+	if gov.MemoryPeak() == 0 {
+		t.Fatal("governor aggregate never saw the request's kernel activity")
+	}
+	ck(req.Free())
+	if got := gov.MemoryUsed(); got != 0 {
+		t.Fatalf("gov.MemoryUsed after request Free = %d, want 0", got)
+	}
+}
+
+// TestCancelReleasesRollupReservation is the client-disconnect story at the
+// context layer: a canceled mid-flight operation parks Canceled at range
+// granularity, and freeing the request context returns the governor
+// aggregate to zero — an abandoned request cannot strand memory in the
+// admission signal.
+func TestCancelReleasesRollupReservation(t *testing.T) {
+	setMode(t, NonBlocking)
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 30 * time.Millisecond})
+	defer faults.Disable()
+	gov := ck1(NewContext(NonBlocking, nil, WithMemoryLimit(1<<30)))
+	req := ck1(NewContext(NonBlocking, gov, WithMemoryLimit(64<<20), WithCancel(), WithThreads(2)))
+	a := pathGraph(t, req, 128)
+	c := ck1(NewMatrix[bool](128, 128, InContext(req)))
+	ck(MxM(c, nil, nil, LOrLAnd(), a, a, nil))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond) // land inside the delayed checkpoint
+		if err := req.Cancel(); err != nil {
+			t.Errorf("Cancel: %v", err)
+		}
+	}()
+	err := c.Wait(Materialize)
+	wg.Wait()
+	if Code(err) != Canceled {
+		t.Fatalf("mid-flight cancel: err = %v, want Canceled", err)
+	}
+	faults.Disable()
+	ck(req.Free())
+	if got := gov.MemoryUsed(); got != 0 {
+		t.Fatalf("gov.MemoryUsed after canceled request Free = %d, want 0", got)
 	}
 }

@@ -29,6 +29,7 @@ func Handler() http.Handler {
 			UptimeNs       int64                   `json:"uptime_ns"`
 			Ops            map[string]OpMetrics    `json:"ops"`
 			Tenants        map[string]LabelMetrics `json:"tenants,omitempty"`
+			Serve          map[string]int64        `json:"serve,omitempty"`
 			KernelCounters map[string]int64        `json:"kernel_counters"`
 			BlockCounters  map[string]int64        `json:"block_counters"`
 			TraceBuffered  int                     `json:"trace_events_buffered"`
@@ -38,6 +39,7 @@ func Handler() http.Handler {
 			UptimeNs:       int64(Uptime()),
 			Ops:            MetricsSnapshot(),
 			Tenants:        LabelsSnapshot(),
+			Serve:          ServeSnapshot(),
 			KernelCounters: counters,
 			BlockCounters:  blocked,
 			TraceBuffered:  TraceBuffered(),

@@ -1,0 +1,74 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The serve-stats registry is the serving layer's operational dashboard:
+// named gauges and counters for the overload-protection machinery — memory
+// governor live bytes and sheds, per-tenant AIMD limiter windows, circuit
+// breaker states and transitions, queue drops, drain state. It complements
+// the label registry the same way gauges complement request counters: labels
+// answer "who asked and how did it go", serve stats answer "what is the
+// control plane doing right now". Like the label registry it is always on —
+// one atomic per observation, far below emit-point cost concerns.
+//
+// Names are dotted paths ("govern.live_bytes", "limiter.window.gold",
+// "breaker.state.gold"); the full map lands in the metrics Handler document
+// under "serve".
+
+var serveRegistry sync.Map // name -> *atomic.Int64
+
+// serveCell returns the counter cell for name, creating it on first use.
+func serveCell(name string) *atomic.Int64 {
+	if v, ok := serveRegistry.Load(name); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := serveRegistry.LoadOrStore(name, &atomic.Int64{})
+	return v.(*atomic.Int64)
+}
+
+// ServeSet records a gauge observation: the named cell is set to v.
+func ServeSet(name string, v int64) { serveCell(name).Store(v) }
+
+// ServeAdd folds delta into the named counter and returns the new total.
+func ServeAdd(name string, delta int64) int64 { return serveCell(name).Add(delta) }
+
+// ServeGet returns the named cell's current value (0 if never recorded).
+func ServeGet(name string) int64 {
+	if v, ok := serveRegistry.Load(name); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// ServeSnapshot returns every serve-stats cell by name.
+func ServeSnapshot() map[string]int64 {
+	out := make(map[string]int64)
+	serveRegistry.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// ServeNames returns the recorded cell names in sorted order.
+func ServeNames() []string {
+	var names []string
+	serveRegistry.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// ResetServe drops every serve-stats cell.
+func ResetServe() {
+	serveRegistry.Range(func(k, _ any) bool {
+		serveRegistry.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBudgetRollup pins the parent-mirroring contract: child reservations
+// appear in the ancestor aggregate, releases and transaction closes subtract
+// them, and the parent never enforces its limit against child traffic.
+func TestBudgetRollup(t *testing.T) {
+	root := NewBudget(1 << 20)
+	mid := NewBudget(1 << 19)
+	leaf := NewBudget(1 << 16)
+	mid.SetParent(root)
+	leaf.SetParent(mid)
+
+	tx := leaf.Tx()
+	if !tx.Reserve(1000) {
+		t.Fatal("leaf reserve failed")
+	}
+	if got := leaf.Used(); got != 1000 {
+		t.Fatalf("leaf used = %d, want 1000", got)
+	}
+	if got := mid.Used(); got != 1000 {
+		t.Fatalf("mid aggregate = %d, want 1000", got)
+	}
+	if got := root.Used(); got != 1000 {
+		t.Fatalf("root aggregate = %d, want 1000", got)
+	}
+	if got := root.Peak(); got != 1000 {
+		t.Fatalf("root peak = %d, want 1000", got)
+	}
+	tx.Close()
+	if root.Used() != 0 || mid.Used() != 0 || leaf.Used() != 0 {
+		t.Fatalf("after close: root=%d mid=%d leaf=%d, want all 0",
+			root.Used(), mid.Used(), leaf.Used())
+	}
+	if got := root.Peak(); got != 1000 {
+		t.Fatalf("peak after close = %d, want 1000 (high-water is sticky)", got)
+	}
+}
+
+// TestBudgetRollupParentObservesOnly proves the nearest budget governs: a
+// child reservation that fits the child but would overflow the parent's own
+// limit still succeeds — the parent aggregate merely records it.
+func TestBudgetRollupParentObservesOnly(t *testing.T) {
+	parent := NewBudget(100)
+	child := NewBudget(1 << 20)
+	child.SetParent(parent)
+	tx := child.Tx()
+	if !tx.Reserve(5000) {
+		t.Fatal("child reserve must not consult the parent limit")
+	}
+	if got := parent.Used(); got != 5000 {
+		t.Fatalf("parent aggregate = %d, want 5000 (observed past its own limit)", got)
+	}
+	tx.Close()
+	if got := parent.Used(); got != 0 {
+		t.Fatalf("parent aggregate after close = %d, want 0", got)
+	}
+}
+
+// TestBudgetDetach pins the teardown contract: a detached budget's residual
+// (persistent) reservations leave every ancestor aggregate exactly once,
+// and further child activity no longer mirrors up.
+func TestBudgetDetach(t *testing.T) {
+	root := NewBudget(1 << 20)
+	child := NewBudget(1 << 18)
+	child.SetParent(root)
+
+	tx := child.Tx()
+	if !tx.ReservePersistent(700) {
+		t.Fatal("persistent reserve failed")
+	}
+	tx.Close() // persistent reservations survive Close
+	if got := root.Used(); got != 700 {
+		t.Fatalf("root aggregate = %d, want 700 residual", got)
+	}
+	child.Detach()
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root aggregate after detach = %d, want 0", got)
+	}
+	child.Detach() // idempotent
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root aggregate after double detach = %d, want 0", got)
+	}
+	// Post-detach traffic stays local.
+	tx2 := child.Tx()
+	if !tx2.Reserve(300) {
+		t.Fatal("post-detach reserve failed")
+	}
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root aggregate saw post-detach traffic: %d", got)
+	}
+	tx2.Close()
+}
+
+// TestBudgetRollupConcurrent hammers one parent from many child budgets
+// under the race detector: the aggregate must return to zero when every
+// transaction closes and the peak must never exceed the true maximum.
+func TestBudgetRollupConcurrent(t *testing.T) {
+	root := NewBudget(1 << 30)
+	const workers, iters, bytes = 8, 200, 4096
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child := NewBudget(1 << 20)
+			child.SetParent(root)
+			for i := 0; i < iters; i++ {
+				tx := child.Tx()
+				if !tx.Reserve(bytes) {
+					t.Error("reserve failed")
+					return
+				}
+				tx.Close()
+			}
+			child.Detach()
+		}()
+	}
+	wg.Wait()
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root aggregate after all detach = %d, want 0", got)
+	}
+	if p := root.Peak(); p < bytes || p > workers*bytes {
+		t.Fatalf("root peak = %d, want within [%d, %d]", p, bytes, workers*bytes)
+	}
+}

@@ -64,9 +64,20 @@ func (k *KernelPanic) Unwrap() error { return ErrKernelPanic }
 // results: the enforcement half of the grb layer's WithMemoryLimit context
 // option. Reservations are tracked with one atomic counter; concurrent
 // operations against the same context share the pool.
+//
+// A budget may additionally mirror into a parent budget: every reservation
+// and release is echoed up the parent chain, so an ancestor's Used() is a
+// live aggregate of its own and all descendants' reservations. Parents only
+// observe — the nearest budget still enforces its own limit — which is what
+// lets a serving process read one atomic on a root "governor" budget to see
+// total in-flight memory without walking its children. Detach unhooks a
+// budget at teardown, subtracting any residual (persistent) reservations
+// from the ancestors so a finished request cannot leak into the aggregate.
 type Budget struct {
-	limit int64
-	used  atomic.Int64
+	limit  int64
+	used   atomic.Int64
+	peak   atomic.Int64
+	parent atomic.Pointer[Budget]
 }
 
 // NewBudget creates a budget of limit bytes; limit <= 0 returns nil (an
@@ -86,7 +97,8 @@ func (b *Budget) Limit() int64 {
 	return b.limit
 }
 
-// Used returns the bytes currently reserved.
+// Used returns the bytes currently reserved, including every attached
+// descendant budget's reservations (the rollup aggregate).
 func (b *Budget) Used() int64 {
 	if b == nil {
 		return 0
@@ -94,17 +106,78 @@ func (b *Budget) Used() int64 {
 	return b.used.Load()
 }
 
-// reserve attempts to claim n bytes, rolling back on failure.
+// Peak returns the high-water mark of Used over the budget's lifetime — the
+// signal the serving layer's admission estimator feeds on.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// SetParent attaches a rollup parent: from now on reservations and releases
+// mirror into p (and p's own ancestors). The parent never enforces its limit
+// against this budget's reservations; it only observes. Call before the
+// budget sees traffic — typically right after construction.
+func (b *Budget) SetParent(p *Budget) {
+	if b == nil || p == nil || p == b {
+		return
+	}
+	b.parent.Store(p)
+}
+
+// Detach unhooks the budget from its parent chain, subtracting its current
+// reservation from every ancestor so residual (persistent) charges of a
+// finished context leave the aggregate. Idempotent; safe once the budget's
+// operations have completed.
+func (b *Budget) Detach() {
+	if b == nil {
+		return
+	}
+	p := b.parent.Swap(nil)
+	if p == nil {
+		return
+	}
+	if n := b.used.Load(); n != 0 {
+		for ; p != nil; p = p.parent.Load() {
+			p.used.Add(-n)
+		}
+	}
+}
+
+// notePeak folds a new Used observation into the high-water mark.
+func (b *Budget) notePeak(u int64) {
+	for {
+		p := b.peak.Load()
+		if u <= p || b.peak.CompareAndSwap(p, u) {
+			return
+		}
+	}
+}
+
+// reserve attempts to claim n bytes, rolling back on failure. A successful
+// claim mirrors into the parent chain (observation only — no ancestor limit
+// check, the nearest budget governs).
 func (b *Budget) reserve(n int64) bool {
-	if b.used.Add(n) > b.limit {
+	u := b.used.Add(n)
+	if u > b.limit {
 		b.used.Add(-n)
 		return false
+	}
+	b.notePeak(u)
+	for p := b.parent.Load(); p != nil; p = p.parent.Load() {
+		p.notePeak(p.used.Add(n))
 	}
 	return true
 }
 
-// release returns n bytes to the pool.
-func (b *Budget) release(n int64) { b.used.Add(-n) }
+// release returns n bytes to the pool and to the parent chain's aggregates.
+func (b *Budget) release(n int64) {
+	b.used.Add(-n)
+	for p := b.parent.Load(); p != nil; p = p.parent.Load() {
+		p.used.Add(-n)
+	}
+}
 
 // Tx opens a per-operation transaction against the budget: reservations made
 // through the transaction are released together by Close, so one drained

@@ -35,8 +35,10 @@ func TestFormatVecRoundTrip(t *testing.T) {
 	mk := func(r *rand.Rand) float64 { return r.NormFloat64() }
 	for trial := 0; trial < 20; trial++ {
 		n := 1 + rng.Intn(200)
-		// Sparse frontier: always a bitmap view.
-		roundTripVec(t, "sparse", sprayVec(rng, n, 3, mk), false)
+		// Sparse frontier: a bitmap view unless the spray happened to
+		// saturate every position (likely only at tiny n).
+		sv := sprayVec(rng, n, 3, mk)
+		roundTripVec(t, "sparse", sv, sv.NNZ() == sv.N)
 		// Full frontier: a dense view under the auto hint...
 		roundTripVec(t, "full-auto", fullVec(rng, n, mk), true)
 		// ...and a bitmap view under the bitmap pin.
@@ -54,7 +56,8 @@ func TestFormatVecRoundTripInt64(t *testing.T) {
 	mk := func(r *rand.Rand) int64 { return int64(r.Intn(2000) - 1000) }
 	for trial := 0; trial < 10; trial++ {
 		n := 1 + rng.Intn(200)
-		roundTripVec(t, "sparse-i64", sprayVec(rng, n, 3, mk), false)
+		sv := sprayVec(rng, n, 3, mk)
+		roundTripVec(t, "sparse-i64", sv, sv.NNZ() == sv.N)
 		roundTripVec(t, "full-i64", fullVec(rng, n, mk), true)
 	}
 }
@@ -83,7 +86,10 @@ func TestFormatMatRoundTrip(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		rows := 1 + rng.Intn(40)
 		cols := 1 + rng.Intn(40)
-		roundTripMat(t, "sparse", sprayCSR(rng, rows, cols, rows+cols, mk), false)
+		// A spray of rows+cols entries can saturate a tiny matrix, in
+		// which case the auto-hint view is legitimately full.
+		sm := sprayCSR(rng, rows, cols, rows+cols, mk)
+		roundTripMat(t, "sparse", sm, sm.NNZ() == rows*cols)
 		roundTripMat(t, "full", fullCSR(rng, rows, cols, mk), true)
 		prev := SetFormatHint(FormatHintBitmap)
 		roundTripMat(t, "full-bitmap", fullCSR(rng, rows, cols, mk), false)

@@ -4,8 +4,9 @@
 # (grblint must report zero diagnostics), and the invariant tier (the race
 # suites again with the grbcheck runtime validators compiled in), then the
 # chaos tier (the fault-injection sweep and hardening suites with grbcheck
-# compiled in). Equivalent to `make verify`; kept as a script so CI hooks
-# without make can run it.
+# compiled in) and the soak tier (the serving stack's overload storm under
+# -race with faults armed). Equivalent to `make verify`; kept as a script so
+# CI hooks without make can run it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +15,7 @@ go build ./...
 go test ./...
 
 echo "== race tier: multithread / nonblocking / differential / observability suites =="
-go test -race . ./internal/sparse ./internal/parallel ./internal/obsv
+go test -race . ./internal/sparse ./internal/parallel ./internal/obsv ./serve
 
 echo "== lint tier: grblint (infocheck, snapshotcheck, lockcheck, enumcheck) =="
 go run ./cmd/grblint ./...
@@ -25,5 +26,8 @@ go test -tags grbcheck -race . ./internal/sparse
 echo "== chaos tier: fault-injection sweep + budget/cancel hardening suites =="
 go test -tags grbcheck -race -count=1 \
     -run 'TestChaos|TestScattered|TestFaultSpec|TestBudget|TestCancel|TestDeadline|TestInjectedPanic|TestUserOperatorPanic' .
+
+echo "== soak tier: serving-stack overload storm under -race, faults armed =="
+GRB_SOAK=10s go test -race -count=1 -run 'TestOverloadSoak' ./serve
 
 echo "verify: OK"

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/grblas/grb/internal/obsv"
+)
+
+// breakerState is the classic three-state circuit: closed (requests flow),
+// open (requests rejected for the cooldown), half-open (one probe in flight
+// decides whether to close again).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String returns the state name used in shed bodies and gauges.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker(?)"
+}
+
+// breaker is one tenant's circuit breaker: it opens after `threshold`
+// consecutive execution failures (blown deadlines, memory exhaustion,
+// recovered panics — never client errors or sheds), rejects everything for
+// `cooldown`, then lets exactly one probe through; the probe's outcome
+// closes the circuit or re-opens it. A poisoned query pattern therefore
+// stops burning shared CPU after a bounded number of failures instead of
+// failing at full concurrency forever.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int // consecutive execution failures while closed
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	tenant    string
+}
+
+// breakerSnapshot is the state exposed in shed bodies.
+type breakerSnapshot struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+}
+
+// newBreaker builds a breaker; threshold <= 0 means the tenant opted out and
+// the caller should keep a nil breaker.
+func newBreaker(tenant string, threshold int, cooldown time.Duration) *breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	b := &breaker{threshold: threshold, cooldown: cooldown, tenant: tenant}
+	obsv.ServeSet("breaker.state."+tenant, int64(breakerClosed))
+	return b
+}
+
+// allow reports whether a request may execute now; when it may not, the
+// returned duration is the suggested Retry-After. An allowed request in the
+// half-open state is the probe; its note() outcome decides the transition.
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.setStateLocked(breakerHalfOpen)
+		b.probing = true
+		return true, 0
+	case breakerHalfOpen:
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return true, 0
+}
+
+// note feeds one executed request's outcome into the circuit. Sheds and
+// client errors must not be reported here — only requests that actually ran.
+func (b *breaker) note(o outcome, now time.Time) {
+	if b == nil {
+		return
+	}
+	failed := o == outcomeOverload || o == outcomeFailure
+	if o == outcomeNeutral {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !failed {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = now
+			b.setStateLocked(breakerOpen)
+			obsv.ServeAdd("breaker.opened."+b.tenant, 1)
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.openedAt = now
+			b.fails = b.threshold
+			b.setStateLocked(breakerOpen)
+			obsv.ServeAdd("breaker.opened."+b.tenant, 1)
+			return
+		}
+		b.fails = 0
+		b.setStateLocked(breakerClosed)
+	case breakerOpen:
+		// A request admitted before the circuit opened finished late; its
+		// outcome carries no new information about the open circuit.
+	}
+}
+
+// setStateLocked transitions the state and mirrors it to the gauge.
+// Callers hold b.mu.
+func (b *breaker) setStateLocked(s breakerState) {
+	b.state = s
+	obsv.ServeSet("breaker.state."+b.tenant, int64(s))
+}
+
+// snapshot returns the breaker's instantaneous state for shed bodies.
+func (b *breaker) snapshot() *breakerSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &breakerSnapshot{State: b.state.String(), ConsecutiveFails: b.fails}
+}

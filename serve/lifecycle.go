@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/internal/obsv"
+)
+
+// lifecycle tracks the server's drain state and the set of in-flight request
+// contexts, so shutdown can first let requests finish naturally and then
+// cancel the stragglers at §IV range granularity.
+type lifecycle struct {
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	inflight  atomic.Int64
+	live      sync.Map // *grb.Context -> struct{}
+}
+
+func newLifecycle() *lifecycle {
+	return &lifecycle{drainCh: make(chan struct{})}
+}
+
+// beginDrain flips the server into draining mode: new requests are shed with
+// 503 and queued waiters are woken to be shed too. Idempotent.
+func (lc *lifecycle) beginDrain() {
+	lc.drainOnce.Do(func() {
+		lc.draining.Store(true)
+		close(lc.drainCh)
+		obsv.ServeSet("drain.state", 1)
+	})
+}
+
+func (lc *lifecycle) register(ctx *grb.Context) {
+	lc.inflight.Add(1)
+	lc.live.Store(ctx, struct{}{})
+}
+
+func (lc *lifecycle) unregister(ctx *grb.Context) {
+	lc.live.Delete(ctx)
+	lc.inflight.Add(-1)
+}
+
+// Draining reports whether the server has stopped accepting new work.
+func (s *Server) Draining() bool { return s.lc.draining.Load() }
+
+// InFlight returns the number of requests currently holding a live context.
+func (s *Server) InFlight() int64 { return s.lc.inflight.Load() }
+
+// Shutdown drains the server gracefully: stop accepting new requests
+// immediately, give in-flight requests most of the timeout to finish on
+// their own, then Cancel the stragglers' contexts — kernels observe the
+// flag at their next range checkpoint and park Canceled on the output — and
+// wait out the remainder. A nil return means every request completed or was
+// canceled to completion; an error means work was still in flight at the
+// deadline (the process may exit anyway, but should log it).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	s.lc.beginDrain()
+	deadline := time.Now().Add(timeout)
+	// Phase 1 — natural drain: three quarters of the budget for requests to
+	// finish at their own pace.
+	natural := time.Now().Add(timeout * 3 / 4)
+	for time.Now().Before(natural) {
+		if s.lc.inflight.Load() == 0 {
+			obsv.ServeSet("drain.state", 2)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 2 — cancel stragglers and wait for them to unwind.
+	s.lc.live.Range(func(k, _ any) bool {
+		_ = k.(*grb.Context).Cancel() //grblint:ignore infocheck -- best-effort abort; a context without WithCancel just runs out
+		return true
+	})
+	obsv.ServeAdd("drain.canceled", 1)
+	for time.Now().Before(deadline) {
+		if s.lc.inflight.Load() == 0 {
+			obsv.ServeSet("drain.state", 2)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n := s.lc.inflight.Load()
+	obsv.ServeSet("drain.state", 3)
+	return fmt.Errorf("shutdown: %d request(s) still in flight after %v", n, timeout)
+}
+
+// SetGraphs atomically replaces the served graph set. In-flight requests
+// keep the snapshot they resolved at admission; new requests see the new
+// set. The previous graphs are not freed here — their snapshots may still
+// back running queries.
+func (s *Server) SetGraphs(graphs []*Graph) {
+	m := make(map[string]*Graph, len(graphs))
+	for _, g := range graphs {
+		m[g.Name] = g
+	}
+	s.graphs.Store(&m)
+}
+
+// Reload hot-swaps the graph set from a loader function. The swap is atomic
+// and all-or-nothing: if the loader fails or returns no graphs, the previous
+// set stays in place (rollback is "never left it") and the error is
+// returned.
+func (s *Server) Reload(load func() ([]*Graph, error)) error {
+	graphs, err := load()
+	if err != nil {
+		obsv.ServeAdd("reload.fail", 1)
+		return fmt.Errorf("reload: %w", err)
+	}
+	if len(graphs) == 0 {
+		obsv.ServeAdd("reload.fail", 1)
+		return fmt.Errorf("reload: loader returned no graphs; keeping current set")
+	}
+	s.SetGraphs(graphs)
+	obsv.ServeAdd("reload.ok", 1)
+	return nil
+}

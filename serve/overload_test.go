@@ -1,0 +1,717 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	grb "github.com/grblas/grb"
+	"github.com/grblas/grb/internal/faults"
+	"github.com/grblas/grb/internal/obsv"
+)
+
+// TestAIMDLimiterWindow pins the control law with an explicit clock:
+// multiplicative decrease on overload (rate-limited by the cooldown),
+// additive increase on on-target completions, both clamped to [min, max].
+func TestAIMDLimiterWindow(t *testing.T) {
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	l := newAIMDLimiter("aimd", 8, 1, 0, 50*time.Millisecond, 100*time.Millisecond)
+	for i := 0; i < 8; i++ {
+		if !l.tryAcquire() {
+			t.Fatalf("slot %d refused under full window", i)
+		}
+	}
+	if l.tryAcquire() {
+		t.Fatal("9th slot granted over the ceiling")
+	}
+
+	base := time.Now()
+	l.releaseAt(outcomeOverload, 0, base)
+	if w := l.snapshot().Window; w != 4 {
+		t.Fatalf("after 1st overload: window %d, want 4", w)
+	}
+	// Within the cooldown a second overload must not halve again.
+	l.releaseAt(outcomeOverload, 0, base.Add(10*time.Millisecond))
+	if w := l.snapshot().Window; w != 4 {
+		t.Fatalf("overload inside cooldown: window %d, want 4", w)
+	}
+	l.releaseAt(outcomeOverload, 0, base.Add(150*time.Millisecond))
+	l.releaseAt(outcomeOverload, 0, base.Add(300*time.Millisecond))
+	if w := l.snapshot().Window; w != 1 {
+		t.Fatalf("after repeated overloads: window %d, want floor 1", w)
+	}
+	if g := obsv.ServeGet("limiter.window.aimd"); g != 1 {
+		t.Fatalf("window gauge = %d, want 1", g)
+	}
+	// Drain the remaining held slots without feeding the loop.
+	for l.snapshot().Inflight > 0 {
+		l.releaseAt(outcomeNeutral, 0, base)
+	}
+
+	// Additive regrowth: on-target completions climb the window back to the
+	// ceiling — one extra slot per window's worth of good finishes — and
+	// never past it.
+	for i := 0; i < 40; i++ {
+		if !l.tryAcquire() {
+			t.Fatalf("regrow iter %d: slot refused with empty inflight", i)
+		}
+		l.releaseAt(outcomeOK, time.Millisecond, base.Add(time.Second))
+	}
+	if w := l.snapshot().Window; w != 8 {
+		t.Fatalf("after regrowth: window %d, want ceiling 8", w)
+	}
+}
+
+// TestAIMDQueueHandover covers the bounded FIFO queue: a full-window arrival
+// waits, the releasing request hands its slot over without a decrement race,
+// and arrivals past the queue bound shed immediately.
+func TestAIMDQueueHandover(t *testing.T) {
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	l := newAIMDLimiter("queue", 1, 1, 2, 0, 0)
+	if !l.tryAcquire() {
+		t.Fatal("first slot refused")
+	}
+	got := make(chan admitResult, 1)
+	go func() {
+		res, _ := l.acquire(time.Time{}, nil, nil)
+		got <- res
+	}()
+	// Wait for the waiter to join the queue, then fill the rest of it.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.snapshot().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		res, _ := l.acquire(time.Time{}, nil, nil)
+		got <- res
+	}()
+	for l.snapshot().Queued != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res, _ := l.acquire(time.Time{}, nil, nil); res != admitShedQueueFull {
+		t.Fatalf("over-bound arrival: %v, want admitShedQueueFull", res)
+	}
+	// Each release hands the slot to the next waiter in turn.
+	l.release(outcomeOK, time.Millisecond)
+	if res := <-got; res != admitGranted {
+		t.Fatalf("first handover: %v", res)
+	}
+	l.release(outcomeOK, time.Millisecond)
+	if res := <-got; res != admitGranted {
+		t.Fatalf("second handover: %v", res)
+	}
+	l.release(outcomeOK, time.Millisecond)
+	snap := l.snapshot()
+	if snap.Inflight != 0 || snap.Queued != 0 {
+		t.Fatalf("after drain: %+v", snap)
+	}
+}
+
+// TestAIMDQueueDeadline pins the deadline-aware drop: a queued request whose
+// deadline expires is shed without ever holding a slot, and the abandoned
+// waiter does not swallow the next handover.
+func TestAIMDQueueDeadline(t *testing.T) {
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	l := newAIMDLimiter("qd", 1, 1, 4, 0, 0)
+	if !l.tryAcquire() {
+		t.Fatal("first slot refused")
+	}
+	res, waited := l.acquire(time.Now().Add(20*time.Millisecond), nil, nil)
+	if res != admitShedDeadline {
+		t.Fatalf("expired waiter: %v, want admitShedDeadline", res)
+	}
+	if waited < 15*time.Millisecond {
+		t.Fatalf("queue wait %v did not consume the deadline", waited)
+	}
+	if got := obsv.ServeGet("queue.dropped_deadline.qd"); got != 1 {
+		t.Fatalf("dropped_deadline counter = %d, want 1", got)
+	}
+	// The abandoned waiter must be skipped: release frees the slot outright.
+	l.release(outcomeOK, time.Millisecond)
+	snap := l.snapshot()
+	if snap.Inflight != 0 || snap.Queued != 0 {
+		t.Fatalf("after release past abandoned waiter: %+v", snap)
+	}
+	if !l.tryAcquire() {
+		t.Fatal("slot lost to an abandoned waiter")
+	}
+}
+
+// TestBreakerStateMachine walks the circuit with a fixed clock: closed under
+// scattered failures, open at the consecutive-failure threshold, half-open
+// single probe after the cooldown, re-open on probe failure, closed on probe
+// success.
+func TestBreakerStateMachine(t *testing.T) {
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	now := time.Now()
+	b := newBreaker("cb", 3, 50*time.Millisecond)
+
+	// Scattered failures never open the circuit: a success resets the run.
+	b.note(outcomeFailure, now)
+	b.note(outcomeFailure, now)
+	b.note(outcomeOK, now)
+	b.note(outcomeFailure, now)
+	if ok, _ := b.allow(now); !ok {
+		t.Fatal("circuit opened below threshold")
+	}
+	// Three consecutive failures open it.
+	b.note(outcomeFailure, now)
+	b.note(outcomeFailure, now)
+	if ok, retry := b.allow(now); ok || retry <= 0 {
+		t.Fatalf("circuit not open at threshold (ok=%v retry=%v)", ok, retry)
+	}
+	if got := obsv.ServeGet("breaker.opened.cb"); got != 1 {
+		t.Fatalf("opened counter = %d, want 1", got)
+	}
+	// After the cooldown exactly one probe passes; a second is rejected.
+	probe := now.Add(60 * time.Millisecond)
+	if ok, _ := b.allow(probe); !ok {
+		t.Fatal("half-open probe rejected")
+	}
+	if ok, _ := b.allow(probe); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe failure re-opens; probe success closes.
+	b.note(outcomeOverload, probe)
+	if ok, _ := b.allow(probe.Add(10 * time.Millisecond)); ok {
+		t.Fatal("circuit closed despite failed probe")
+	}
+	reprobe := probe.Add(70 * time.Millisecond)
+	if ok, _ := b.allow(reprobe); !ok {
+		t.Fatal("second probe rejected after cooldown")
+	}
+	b.note(outcomeOK, reprobe)
+	if ok, _ := b.allow(reprobe); !ok {
+		t.Fatal("circuit not closed after successful probe")
+	}
+	if snap := b.snapshot(); snap.State != "closed" || snap.ConsecutiveFails != 0 {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+}
+
+// TestMemGovernorAdmission pins the admission arithmetic with injected live
+// readings: global projection past high water sheds, the fair-share carve-out
+// binds only above the soft watermark, and headroom admits.
+func TestMemGovernorAdmission(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := newMemGovernor(1000)
+	if g.ctx == nil {
+		t.Fatal("governor context missing")
+	}
+	var live, tenantLive int64
+	g.liveOverride = func() int64 { return live }
+	g.tenantLiveOverride = func(string) int64 { return tenantLive }
+	g.est["t/triangles"] = 500
+
+	live = 600
+	if ok, reason, retry := g.admit("t", "triangles"); ok || reason != "governor" || retry <= 0 {
+		t.Fatalf("projection 1100/1000 admitted (ok=%v reason=%q retry=%v)", ok, reason, retry)
+	}
+	// Below the soft watermark the fair share does not bind.
+	live, tenantLive = 400, 400
+	if ok, _, _ := g.admit("t", "triangles"); !ok {
+		t.Fatal("request below soft watermark shed")
+	}
+	// Above it, a tenant over its slice is shed even though the global
+	// projection fits. Two other tenants are live, so with the requester the
+	// slice is highWater/3 = 333.
+	g.inflight["other1"] = map[*grb.Context]struct{}{}
+	g.inflight["other2"] = map[*grb.Context]struct{}{}
+	live, tenantLive = 750, 400
+	g.est["t/bfs"] = 100
+	if ok, reason, _ := g.admit("t", "bfs"); ok || reason != "fairshare" {
+		t.Fatalf("over-slice tenant admitted (ok=%v reason=%q)", ok, reason)
+	}
+	if got := obsv.ServeGet("govern.fair_sheds"); got != 1 {
+		t.Fatalf("fair_sheds = %d, want 1", got)
+	}
+	live, tenantLive = 750, 100
+	if ok, _, _ := g.admit("t", "bfs"); !ok {
+		t.Fatal("under-slice tenant shed")
+	}
+	delete(g.inflight, "other1")
+	delete(g.inflight, "other2")
+
+	// The estimator blends departures: EWMA of observed peaks. A context
+	// with no reservations reports peak 0, pulling a seeded estimate down.
+	ctx, err := grb.NewContext(grb.NonBlocking, nil, grb.WithMemoryLimit(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = ctx.Free() //grblint:ignore infocheck -- test teardown
+	}()
+	g.enter("t", ctx)
+	g.depart("t", "triangles", ctx)
+	if est := g.estimate("t", "triangles"); est != 400 {
+		t.Fatalf("EWMA after zero-peak departure: %d, want 0.8*500 = 400", est)
+	}
+}
+
+// shedResp decodes one shed response body.
+type shedResp struct {
+	Error string `json:"error"`
+	Shed  *struct {
+		Reason       string `json:"reason"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
+	} `json:"shed"`
+}
+
+// TestOverloadBattery floods a narrow tenant (window 2, queue 2) with slow
+// queries under -race: every response must be 200 or a well-formed shed
+// (429 + Retry-After + structured body), some load must actually shed, and
+// the server must serve cleanly the moment the storm and faults stop.
+func TestOverloadBattery(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	cfg := Config{
+		Default: TenantConfig{Deadline: 30 * time.Second},
+		Tenants: map[string]TenantConfig{
+			"burst": {Deadline: 5 * time.Second, MaxInFlight: 2, MaxQueue: 2},
+		},
+	}
+	s := NewServer([]*Graph{g}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 2 * time.Millisecond})
+	defer faults.Disable()
+
+	const workers, iters = 8, 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req, err := http.NewRequest("GET", fmt.Sprintf("%s/query/bfs?src=%d", ts.URL, (w+i)%4), nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				req.Header.Set("X-Grb-Tenant", "burst")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body shedResp
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				mu.Lock()
+				counts[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						errs <- fmt.Errorf("429 without Retry-After header")
+						return
+					}
+					if decErr != nil || body.Shed == nil || body.Shed.Reason == "" || body.Shed.RetryAfterMs <= 0 {
+						errs <- fmt.Errorf("429 shed body malformed: %+v (err %v)", body, decErr)
+						return
+					}
+				default:
+					errs <- fmt.Errorf("unexpected status %d under overload", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("8-wide closed loop against window 2 + queue 2 never shed: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("storm starved every request: %v", counts)
+	}
+	faults.Disable()
+	if status, body := get(t, ts.URL+"/query/bfs?src=0", "burst"); status != http.StatusOK {
+		t.Fatalf("after storm: %d: %s", status, body)
+	}
+	if obsv.ServeGet("limiter.sheds.burst") == 0 {
+		t.Fatal("limiter shed counter never ticked")
+	}
+}
+
+// TestBreakerHTTP drives the circuit over HTTP: repeated injected 507s open
+// it (503 + shed body without executing), and after the cooldown a clean
+// probe closes it again.
+func TestBreakerHTTP(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	cfg := Config{
+		Default: TenantConfig{Deadline: 30 * time.Second},
+		Tenants: map[string]TenantConfig{
+			"flaky": {Deadline: 30 * time.Second, BreakerThreshold: 2, BreakerCooldown: 750 * time.Millisecond},
+		},
+	}
+	ts := httptest.NewServer(NewServer([]*Graph{g}, cfg).Handler())
+	defer ts.Close()
+
+	faults.Enable(faults.Rule{Site: "sparse.spgemm.spa", Action: faults.AllocFail})
+	defer faults.Disable()
+	for i := 0; i < 2; i++ {
+		if status, body := get(t, ts.URL+"/query/triangles", "flaky"); status != http.StatusInsufficientStorage {
+			t.Fatalf("injected failure %d: status %d: %s", i, status, body)
+		}
+	}
+	status, body := get(t, ts.URL+"/query/triangles", "flaky")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("open circuit: status %d, want 503: %s", status, body)
+	}
+	var shed shedResp
+	if err := json.Unmarshal(body, &shed); err != nil || shed.Shed == nil || shed.Shed.Reason != "breaker" {
+		t.Fatalf("breaker shed body: %s (err %v)", body, err)
+	}
+	if got := obsv.ServeGet("breaker.state.flaky"); got != int64(breakerOpen) {
+		t.Fatalf("breaker gauge = %d, want open", got)
+	}
+
+	// Heal the backend; after the cooldown the half-open probe succeeds and
+	// the tenant is back in business.
+	faults.Disable()
+	time.Sleep(800 * time.Millisecond)
+	if status, body := get(t, ts.URL+"/query/triangles", "flaky"); status != http.StatusOK {
+		t.Fatalf("probe after heal: status %d: %s", status, body)
+	}
+	if status, _ := get(t, ts.URL+"/query/triangles", "flaky"); status != http.StatusOK {
+		t.Fatal("circuit did not close after successful probe")
+	}
+}
+
+// TestShutdownDrain covers the graceful path: draining rejects new requests
+// with 503 while the in-flight slow query runs to a clean 200, and Shutdown
+// returns nil once the last request leaves.
+func TestShutdownDrain(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	s := NewServer([]*Graph{g}, Config{Default: TenantConfig{Deadline: 30 * time.Second}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 5 * time.Millisecond})
+	defer faults.Disable()
+
+	slow := make(chan error, 1)
+	go func() {
+		status, body := get(t, ts.URL+"/query/pagerank?maxiter=10", "slowpoke")
+		if status != http.StatusOK {
+			slow <- fmt.Errorf("in-flight query during drain: %d: %s", status, body)
+			return
+		}
+		slow <- nil
+	}()
+	waitFor(t, "query in flight", func() bool { return s.InFlight() == 1 })
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(10 * time.Second) }()
+	waitFor(t, "drain begun", s.Draining)
+
+	status, body := get(t, ts.URL+"/query/bfs?src=0", "latecomer")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: %d, want 503: %s", status, body)
+	}
+	var shed shedResp
+	if err := json.Unmarshal(body, &shed); err != nil || shed.Shed == nil || shed.Shed.Reason != "draining" {
+		t.Fatalf("drain shed body: %s (err %v)", body, err)
+	}
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in-flight after shutdown: %d", s.InFlight())
+	}
+	if obsv.ServeGet("drain.state") != 2 {
+		t.Fatalf("drain.state = %d, want 2 (drained)", obsv.ServeGet("drain.state"))
+	}
+}
+
+// TestShutdownCancelsStragglers covers the hard tail of the drain: a query
+// that outlives the natural-drain phase is canceled at range granularity,
+// surfaces 408 to its client, and Shutdown still returns nil within its
+// timeout.
+func TestShutdownCancelsStragglers(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	s := NewServer([]*Graph{g}, Config{Default: TenantConfig{Deadline: 60 * time.Second}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 25ms per range checkpoint across a full 400-iteration PageRank (tol=0
+	// disables convergence): seconds of work, far past the natural-drain
+	// phase below.
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 25 * time.Millisecond})
+	defer faults.Disable()
+
+	slow := make(chan int, 1)
+	go func() {
+		status, _ := get(t, ts.URL+"/query/pagerank?maxiter=400&tol=0", "straggler")
+		slow <- status
+	}()
+	waitFor(t, "straggler in flight", func() bool { return s.InFlight() == 1 })
+
+	if err := s.Shutdown(400 * time.Millisecond); err != nil {
+		t.Fatalf("shutdown with straggler: %v", err)
+	}
+	if status := <-slow; status != http.StatusRequestTimeout {
+		t.Fatalf("canceled straggler: status %d, want 408", status)
+	}
+	if got := obsv.ServeGet("drain.canceled"); got != 1 {
+		t.Fatalf("drain.canceled = %d, want 1", got)
+	}
+}
+
+// TestPanicReleasesSlot pins the panic fence: an injected kernel panic maps
+// to 500/GrB_PANIC for that request only, and — the regression this guards —
+// the tenant's single concurrency slot is released so the next request runs.
+func TestPanicReleasesSlot(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	cfg := Config{
+		Default: TenantConfig{Deadline: 30 * time.Second},
+		Tenants: map[string]TenantConfig{
+			"pan": {Deadline: 30 * time.Second, MaxInFlight: 1},
+		},
+	}
+	s := NewServer([]*Graph{g}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faults.Enable(faults.Rule{Site: "sparse.spgemm.spa", Action: faults.Panic, Hit: 1})
+	defer faults.Disable()
+	status, body := get(t, ts.URL+"/query/triangles", "pan")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking query: status %d: %s", status, body)
+	}
+	var eb struct {
+		InfoName string `json:"info_name"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.InfoName != "GrB_PANIC" {
+		t.Fatalf("panic body: %s (err %v)", body, err)
+	}
+	faults.Disable()
+	// The slot must be free: with MaxInFlight=1 a leaked token would make
+	// this 429, not 200.
+	if status, body := get(t, ts.URL+"/query/triangles", "pan"); status != http.StatusOK {
+		t.Fatalf("after panic: status %d (slot leaked?): %s", status, body)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in-flight after panic: %d", s.InFlight())
+	}
+}
+
+// TestReload covers the hot graph swap: the new set serves immediately, the
+// old names 404, and a failing or empty loader leaves the serving set
+// untouched.
+func TestReload(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g1 := testGraph(t)
+	s := NewServer([]*Graph{g1}, Config{Default: TenantConfig{Deadline: 30 * time.Second}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if status, _ := get(t, ts.URL+"/query/triangles?graph=g", ""); status != http.StatusOK {
+		t.Fatal("initial graph not served")
+	}
+	g2, err := ParseGenSpec("fresh=grid:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(func() ([]*Graph, error) { return []*Graph{g2}, nil }); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if status, body := get(t, ts.URL+"/query/triangles?graph=fresh", ""); status != http.StatusOK {
+		t.Fatalf("reloaded graph: %d: %s", status, body)
+	}
+	if status, _ := get(t, ts.URL+"/query/triangles?graph=g", ""); status != http.StatusNotFound {
+		t.Fatal("stale graph name still resolves")
+	}
+	// Rollback: a failing loader must not disturb the serving set.
+	if err := s.Reload(func() ([]*Graph, error) { return nil, fmt.Errorf("disk gone") }); err == nil {
+		t.Fatal("failing loader reported success")
+	}
+	if err := s.Reload(func() ([]*Graph, error) { return nil, nil }); err == nil {
+		t.Fatal("empty loader reported success")
+	}
+	if status, _ := get(t, ts.URL+"/query/triangles?graph=fresh", ""); status != http.StatusOK {
+		t.Fatal("failed reload disturbed the serving set")
+	}
+	if obsv.ServeGet("reload.ok") != 1 || obsv.ServeGet("reload.fail") != 2 {
+		t.Fatalf("reload counters: ok=%d fail=%d", obsv.ServeGet("reload.ok"), obsv.ServeGet("reload.fail"))
+	}
+}
+
+// TestOverloadSoak is the soak battery behind the advisory CI soak tier:
+// mixed tenants, armed delay + sampled allocation faults, a memory governor,
+// breakers, and bounded queues, all hammered closed-loop under -race for the
+// soak duration (default 1.5s locally; GRB_SOAK stretches it in CI). Every
+// response must be a mapped status with well-formed shed metadata, and the
+// server must come out of the storm healthy, drained to zero in-flight, and
+// serving 200s.
+func TestOverloadSoak(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	dur := 1500 * time.Millisecond
+	if env := os.Getenv("GRB_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("GRB_SOAK=%q: %v", env, err)
+		}
+		dur = d
+	}
+	g := testGraph(t)
+	cfg := Config{
+		Default:      TenantConfig{Deadline: 10 * time.Second},
+		MemHighWater: 64 << 20,
+		Tenants: map[string]TenantConfig{
+			"soak0": {Deadline: 2 * time.Second, MaxInFlight: 2, MaxQueue: 2,
+				BreakerThreshold: 4, BreakerCooldown: 100 * time.Millisecond},
+			"soak1": {Deadline: 2 * time.Second, MaxInFlight: 3, MaxQueue: 1},
+			"soak2": {Deadline: 50 * time.Millisecond, MaxInFlight: 2},
+		},
+	}
+	s := NewServer([]*Graph{g}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faults.EnableSeeded(7,
+		faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: time.Millisecond},
+		faults.Rule{Site: "sparse.spgemm.spa", Action: faults.AllocFail, OneIn: 3},
+		faults.Rule{Site: "sparse.vxm.spa", Action: faults.AllocFail, OneIn: 4},
+	)
+	defer faults.Disable()
+
+	paths := []string{
+		"/query/bfs?src=1", "/query/triangles", "/query/pagerank?maxiter=8",
+		"/query/sssp?src=2", "/query/ego?src=3&hops=1",
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusRequestTimeout:      true, // blown/queue-burned deadline
+		http.StatusTooManyRequests:     true, // limiter or governor shed
+		http.StatusServiceUnavailable:  true, // open breaker
+		http.StatusInsufficientStorage: true, // injected allocation failure
+	}
+	const workers = 9
+	stop := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("soak%d", w%3)
+			for i := 0; time.Now().Before(stop); i++ {
+				req, err := http.NewRequest("GET", ts.URL+paths[(w+i)%len(paths)], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				req.Header.Set("X-Grb-Tenant", tenant)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body shedResp
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				mu.Lock()
+				counts[resp.StatusCode]++
+				mu.Unlock()
+				if !allowed[resp.StatusCode] {
+					errs <- fmt.Errorf("soak: unmapped status %d on %s", resp.StatusCode, paths[(w+i)%len(paths)])
+					return
+				}
+				if decErr != nil {
+					errs <- fmt.Errorf("soak: status %d body not JSON: %v", resp.StatusCode, decErr)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+					errs <- fmt.Errorf("soak: 429 without Retry-After")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	t.Logf("soak status mix over %v: %v", dur, counts)
+	if counts[http.StatusOK] == 0 {
+		t.Fatal("soak never completed a request")
+	}
+
+	// Storm over: faults off, breakers cool, the server must be clean.
+	faults.Disable()
+	time.Sleep(150 * time.Millisecond)
+	waitFor(t, "in-flight drained", func() bool { return s.InFlight() == 0 })
+	if status, _ := get(t, ts.URL+"/healthz", ""); status != http.StatusOK {
+		t.Fatal("healthz after soak failed")
+	}
+	if status, body := get(t, ts.URL+"/query/bfs?src=0", "soak1"); status != http.StatusOK {
+		t.Fatalf("after soak: %d: %s", status, body)
+	}
+	if s.gov != nil && s.gov.live() != 0 {
+		t.Fatalf("governor live bytes after drain: %d", s.gov.live())
+	}
+}
+
+// waitFor polls cond (1ms cadence) until true or the 5s cap, failing the
+// test on timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

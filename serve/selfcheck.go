@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"time"
+
+	"github.com/grblas/grb/internal/faults"
 )
 
 // SelfCheck is the serve smoke gate behind `grbserve -selfcheck` and the
@@ -16,8 +18,10 @@ import (
 // endpoint answers 200 with valid JSON, a deliberately over-budget tenant
 // gets 507, a no-time tenant gets 408, admission rejection gets 429, the
 // 404/400 paths map, /metrics parses and carries the per-tenant counters,
-// and a short closed-loop burst of mixed tenants stays clean. It returns
-// nil only if every probe passed.
+// a short closed-loop burst of mixed tenants stays clean, and graceful
+// shutdown drains: with a slow query in flight, new requests shed 503
+// ("draining") while the in-flight one completes 200. It returns nil only
+// if every probe passed.
 func SelfCheck() error {
 	g1, err := ParseGenSpec("rmat=rmat:8")
 	if err != nil {
@@ -160,6 +164,81 @@ func SelfCheck() error {
 	for err := range errs {
 		return err
 	}
+
+	// Graceful-shutdown probe: with a slow query in flight, Shutdown must
+	// stop new admissions (503 + draining shed body) while the in-flight
+	// request completes cleanly, and then return nil.
+	s2 := NewServer([]*Graph{g1}, Config{Default: TenantConfig{Deadline: 30 * time.Second}})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 5 * time.Millisecond})
+	defer faults.Disable()
+	slow := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				slow <- fmt.Errorf("selfcheck slow query panic: %v", p)
+			}
+		}()
+		resp, err := http.Get(ts2.URL + "/query/pagerank?maxiter=10")
+		if err != nil {
+			slow <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			slow <- fmt.Errorf("in-flight query during drain: status %d: %s", resp.StatusCode, b)
+			return
+		}
+		slow <- nil
+	}()
+	probeDeadline := time.Now().Add(5 * time.Second)
+	for s2.InFlight() != 1 {
+		if time.Now().After(probeDeadline) {
+			return fmt.Errorf("selfcheck: slow query never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				shutdownErr <- fmt.Errorf("selfcheck shutdown panic: %v", p)
+			}
+		}()
+		shutdownErr <- s2.Shutdown(10 * time.Second)
+	}()
+	for !s2.Draining() {
+		if time.Now().After(probeDeadline) {
+			return fmt.Errorf("selfcheck: shutdown never began draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts2.URL + "/query/bfs?src=0")
+	if err != nil {
+		return err
+	}
+	drainBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("request during drain: status %d, want 503: %s", resp.StatusCode, drainBody)
+	}
+	var drainDoc struct {
+		Shed struct {
+			Reason string `json:"reason"`
+		} `json:"shed"`
+	}
+	if err := json.Unmarshal(drainBody, &drainDoc); err != nil || drainDoc.Shed.Reason != "draining" {
+		return fmt.Errorf("drain shed body malformed: %s (err %v)", drainBody, err)
+	}
+	if err := <-slow; err != nil {
+		return err
+	}
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	faults.Disable()
 
 	// The ops endpoint reflects the tenants that just ran.
 	status, body, err := get("/metrics", "")

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	grb "github.com/grblas/grb"
@@ -20,7 +22,15 @@ import (
 type TenantConfig struct {
 	Deadline    time.Duration // per-request wall-clock budget
 	MemoryBytes int64         // per-request memory budget (grb.WithMemoryLimit)
-	MaxInFlight int           // concurrent requests before 429
+	MaxInFlight int           // concurrency ceiling; the AIMD window breathes below it
+
+	// Adaptive-control knobs; zero values keep earlier revisions' behavior
+	// (static limit, no queue, no breaker).
+	MinInFlight      int           // AIMD window floor (default 1)
+	MaxQueue         int           // bounded admission queue depth; 0 = shed immediately
+	P99Target        time.Duration // latency target for additive increase (default 250ms)
+	BreakerThreshold int           // consecutive failures to open the circuit; 0 = no breaker
+	BreakerCooldown  time.Duration // open-state hold before the half-open probe (default 1s)
 }
 
 // Config carries the per-tenant table plus the envelope applied to tenants
@@ -28,62 +38,90 @@ type TenantConfig struct {
 type Config struct {
 	Default TenantConfig
 	Tenants map[string]TenantConfig
+
+	// MemHighWater bounds the server-wide live memory reservation aggregate:
+	// requests whose projected footprint would push past it are rejected at
+	// admission (429 + Retry-After). 0 disables the governor.
+	MemHighWater int64
 }
 
 // tenant is the runtime state for one tenant name: its config plus the
-// in-flight semaphore, created once on first sight.
+// adaptive concurrency limiter and circuit breaker, created once on first
+// sight.
 type tenant struct {
-	name  string
-	cfg   TenantConfig
-	slots chan struct{} // nil when MaxInFlight == 0
+	name    string
+	cfg     TenantConfig
+	limiter *aimdLimiter // nil when MaxInFlight == 0
+	breaker *breaker     // nil when BreakerThreshold == 0
 }
 
+// acquire is the non-blocking admission probe kept for the selfcheck and
+// test drivers: take a slot now or report busy. The release func returns the
+// slot without feeding the adaptive loops.
 func (t *tenant) acquire() (release func(), ok bool) {
-	if t.slots == nil {
+	if t.limiter == nil {
 		return func() {}, true
 	}
-	select {
-	case t.slots <- struct{}{}:
-		return func() { <-t.slots }, true
-	default:
+	if !t.limiter.tryAcquire() {
 		return nil, false
 	}
+	return func() { t.limiter.release(outcomeNeutral, 0) }, true
 }
 
 // newRequestCtx derives the §IV per-request context from the tenant
 // envelope: always cancellable (for client disconnects), with the deadline
-// and memory budget layered on when configured. The parent is the library
-// top context, so shared snapshots — owned by the top context — remain
-// legal operands under the hierarchical sharing rule.
-func (t *tenant) newRequestCtx() (*grb.Context, error) {
+// and memory budget layered on when configured. The deadline anchors at the
+// request's arrival, not at admission, so time spent queued is charged
+// against the request's own budget. Under a governor the context parents
+// under the governor's budgeted context — the budget rollup then aggregates
+// every in-flight reservation there — and an unbudgeted tenant gets the
+// high-water mark as its per-request cap. Without a governor the parent is
+// the library top context; either way shared snapshots (owned by the top
+// context) remain legal operands under the hierarchical sharing rule.
+func (t *tenant) newRequestCtx(arrival time.Time, gov *memGovernor) (*grb.Context, error) {
 	opts := []grb.ContextOption{grb.WithCancel()}
 	if t.cfg.Deadline > 0 {
-		opts = append(opts, grb.WithDeadline(time.Now().Add(t.cfg.Deadline)))
+		opts = append(opts, grb.WithDeadline(arrival.Add(t.cfg.Deadline)))
 	}
-	if t.cfg.MemoryBytes > 0 {
-		opts = append(opts, grb.WithMemoryLimit(t.cfg.MemoryBytes))
+	mem := t.cfg.MemoryBytes
+	var parent *grb.Context
+	if gov != nil && gov.ctx != nil {
+		parent = gov.ctx
+		if mem <= 0 {
+			mem = gov.highWater
+		}
 	}
-	return grb.NewContext(grb.NonBlocking, nil, opts...)
+	if mem > 0 {
+		opts = append(opts, grb.WithMemoryLimit(mem))
+	}
+	return grb.NewContext(grb.NonBlocking, parent, opts...)
 }
 
-// Server serves concurrent algorithm queries over a fixed set of shared
-// graphs. The graph map is immutable after NewServer; all per-request
-// mutable state lives in the request's own Context, so handlers need no
-// locks around the graph data itself.
+// Server serves concurrent algorithm queries over a shared graph set. The
+// graph map is an atomic snapshot — Reload/SetGraphs swap the whole map and
+// in-flight requests keep whichever snapshot they resolved — and all
+// per-request mutable state lives in the request's own Context, so handlers
+// need no locks around the graph data itself.
 type Server struct {
-	graphs  map[string]*Graph
+	graphs  atomic.Pointer[map[string]*Graph]
 	cfg     Config
 	tenants sync.Map // name -> *tenant
 	mux     *http.ServeMux
+	gov     *memGovernor // nil when cfg.MemHighWater == 0
+	lc      *lifecycle
 }
+
+// graphMap returns the current graph snapshot.
+func (s *Server) graphMap() map[string]*Graph { return *s.graphs.Load() }
 
 // NewServer builds the handler tree over the given graphs. Queries name
 // their graph with ?graph=; when exactly one graph is loaded it is the
 // default.
 func NewServer(graphs []*Graph, cfg Config) *Server {
-	s := &Server{graphs: make(map[string]*Graph, len(graphs)), cfg: cfg}
-	for _, g := range graphs {
-		s.graphs[g.Name] = g
+	s := &Server{cfg: cfg, lc: newLifecycle()}
+	s.SetGraphs(graphs)
+	if cfg.MemHighWater > 0 {
+		s.gov = newMemGovernor(cfg.MemHighWater)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -111,8 +149,9 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		N     int    `json:"n"`
 		Edges int    `json:"edges"`
 	}
-	out := make([]graphInfo, 0, len(s.graphs))
-	for _, g := range s.graphs {
+	graphs := s.graphMap()
+	out := make([]graphInfo, 0, len(graphs))
+	for _, g := range graphs {
 		out = append(out, graphInfo{Name: g.Name, N: g.N, Edges: g.Edges})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -143,7 +182,11 @@ func (s *Server) tenantFor(r *http.Request) *tenant {
 	}
 	t := &tenant{name: name, cfg: cfg}
 	if cfg.MaxInFlight > 0 {
-		t.slots = make(chan struct{}, cfg.MaxInFlight)
+		t.limiter = newAIMDLimiter(name, cfg.MaxInFlight, cfg.MinInFlight, cfg.MaxQueue,
+			cfg.P99Target, 0)
+	}
+	if cfg.BreakerThreshold > 0 {
+		t.breaker = newBreaker(name, cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	actual, _ := s.tenants.LoadOrStore(name, t)
 	return actual.(*tenant)
@@ -151,11 +194,46 @@ func (s *Server) tenantFor(r *http.Request) *tenant {
 
 // errBody is the JSON error envelope: the mapped Info code rides along so
 // clients can distinguish "over budget" from "bad request" without parsing
-// prose.
+// prose, and shed responses carry the control-plane state that produced
+// them so clients can back off intelligently.
 type errBody struct {
-	Error    string `json:"error"`
-	Info     int    `json:"info,omitempty"`
-	InfoName string `json:"info_name,omitempty"`
+	Error    string    `json:"error"`
+	Info     int       `json:"info,omitempty"`
+	InfoName string    `json:"info_name,omitempty"`
+	Shed     *shedInfo `json:"shed,omitempty"`
+}
+
+// shedInfo explains an admission rejection: which control loop shed the
+// request, how long to back off, and that loop's instantaneous state.
+type shedInfo struct {
+	Reason       string            `json:"reason"`
+	RetryAfterMs int64             `json:"retry_after_ms"`
+	Limiter      *limiterSnapshot  `json:"limiter,omitempty"`
+	Breaker      *breakerSnapshot  `json:"breaker,omitempty"`
+	Governor     *governorSnapshot `json:"governor,omitempty"`
+}
+
+// writeShed answers an admission rejection: Retry-After header (whole
+// seconds, ceiling, minimum 1) plus the structured shed body.
+func (s *Server) writeShed(w http.ResponseWriter, status int, tn *tenant, reason, msg string, retry time.Duration) {
+	if retry <= 0 {
+		retry = time.Second
+	}
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, errBody{
+		Error: msg,
+		Shed: &shedInfo{
+			Reason:       reason,
+			RetryAfterMs: retry.Milliseconds(),
+			Limiter:      tn.limiter.snapshot(),
+			Breaker:      tn.breaker.snapshot(),
+			Governor:     s.gov.snapshot(),
+		},
+	})
 }
 
 // httpStatus maps a query error to its HTTP status — the Info→HTTP
@@ -178,8 +256,28 @@ func httpStatus(err error) int {
 		return http.StatusBadRequest
 	case grb.NotImplemented:
 		return http.StatusNotImplemented
+	case grb.Panic:
+		// A recovered handler panic: the request failed, the process lives.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// classify maps one executed request's result to the adaptive-control
+// outcome: capacity signals halve the AIMD window, execution failures feed
+// the breaker, client errors feed nothing.
+func classify(err error) outcome {
+	if err == nil {
+		return outcomeOK
+	}
+	switch httpStatus(err) {
+	case http.StatusRequestTimeout, http.StatusInsufficientStorage:
+		return outcomeOverload
+	case http.StatusBadRequest, http.StatusNotFound, http.StatusNotImplemented:
+		return outcomeNeutral
+	default:
+		return outcomeFailure
 	}
 }
 
@@ -201,28 +299,87 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, body)
 }
 
+// runRecovered executes one handler with a panic fence: a panicking
+// algorithm is converted to a GrB_PANIC error for this request alone, so
+// the slot, breaker, and governor bookkeeping that follows still runs and
+// the process survives.
+func runRecovered(run func(r *http.Request, ctx *grb.Context) (any, error), r *http.Request, ctx *grb.Context) (body any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			obsv.ServeAdd("panics.recovered", 1)
+			body, err = nil, &grb.Error{Info: grb.Panic, Msg: fmt.Sprintf("handler panic: %v", p)}
+		}
+	}()
+	return run(r, ctx)
+}
+
 // query wraps one algorithm endpoint in the full request lifecycle:
-// tenant resolution → admission (in-flight slot) → per-request Context
-// derivation → client-disconnect watcher → execution → Info→HTTP mapping →
-// per-tenant accounting. run receives the request and its Context; it must
-// allocate every grb object it creates inside that context (the lagraph
-// algorithms inherit it from the graph views).
+// tenant resolution → drain gate → circuit breaker → adaptive concurrency
+// admission (AIMD window + deadline-aware bounded queue) → memory-governor
+// admission → per-request Context derivation (deadline anchored at arrival)
+// → client-disconnect watcher → panic-fenced execution → Info→HTTP mapping
+// → adaptive-loop feedback → per-tenant accounting. run receives the
+// request and its Context; it must allocate every grb object it creates
+// inside that context (the lagraph algorithms inherit it from the graph
+// views).
 func (s *Server) query(op string, run func(r *http.Request, ctx *grb.Context) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		arrival := time.Now()
 		tn := s.tenantFor(r)
 		failed := true
 		defer func() {
-			obsv.NoteLabeled(tn.name, op, time.Since(start).Nanoseconds(), failed)
+			obsv.NoteLabeled(tn.name, op, time.Since(arrival).Nanoseconds(), failed)
 		}()
-		release, ok := tn.acquire()
-		if !ok {
-			writeJSON(w, http.StatusTooManyRequests,
-				errBody{Error: fmt.Sprintf("tenant %q: in-flight limit %d reached", tn.name, tn.cfg.MaxInFlight)})
+		if s.Draining() {
+			s.writeShed(w, http.StatusServiceUnavailable, tn, "draining",
+				"server is draining; not accepting new queries", time.Second)
 			return
 		}
-		defer release()
-		ctx, err := tn.newRequestCtx()
+		if ok, wait := tn.breaker.allow(arrival); !ok {
+			s.writeShed(w, http.StatusServiceUnavailable, tn, "breaker",
+				fmt.Sprintf("tenant %q: circuit open after repeated failures", tn.name), wait)
+			return
+		}
+		var deadline time.Time
+		if tn.cfg.Deadline > 0 {
+			deadline = arrival.Add(tn.cfg.Deadline)
+		}
+		admit, _ := tn.limiter.acquire(deadline, r.Context().Done(), s.lc.drainCh)
+		switch admit {
+		case admitGranted:
+		case admitShedQueueFull:
+			s.writeShed(w, http.StatusTooManyRequests, tn, "queue_full",
+				fmt.Sprintf("tenant %q: in-flight limit %d reached", tn.name, tn.cfg.MaxInFlight), 0)
+			return
+		case admitShedDeadline:
+			// Queued past its own deadline: drop without executing — running
+			// it now could only produce a late 408 at full cost.
+			s.writeShed(w, http.StatusRequestTimeout, tn, "queue_deadline",
+				fmt.Sprintf("tenant %q: deadline expired while queued", tn.name), 0)
+			return
+		case admitShedDrain:
+			s.writeShed(w, http.StatusServiceUnavailable, tn, "draining",
+				"server began draining while request was queued", time.Second)
+			return
+		case admitShedGone:
+			// The client disconnected while queued; nobody is listening.
+			return
+		}
+		slotHeld := true
+		releaseSlot := func(o outcome, lat time.Duration) {
+			if slotHeld {
+				slotHeld = false
+				tn.limiter.release(o, lat)
+			}
+		}
+		defer releaseSlot(outcomeNeutral, 0)
+		if ok, reason, retry := s.gov.admit(tn.name, op); !ok {
+			releaseSlot(outcomeNeutral, 0)
+			s.writeShed(w, http.StatusTooManyRequests, tn, reason,
+				fmt.Sprintf("tenant %q: memory governor rejected request (%s)", tn.name, reason), retry)
+			return
+		}
+		ctx, err := tn.newRequestCtx(arrival, s.gov)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -230,6 +387,10 @@ func (s *Server) query(op string, run func(r *http.Request, ctx *grb.Context) (a
 		defer func() {
 			_ = ctx.Free() //grblint:ignore infocheck -- request teardown; the response is already decided
 		}()
+		s.gov.enter(tn.name, ctx)
+		defer s.gov.depart(tn.name, op, ctx)
+		s.lc.register(ctx)
+		defer s.lc.unregister(ctx)
 		// A client that goes away cancels its own query — at abort-probe
 		// granularity — so an abandoned expensive request cannot occupy the
 		// engine. The done channel unblocks the watcher on normal completion.
@@ -245,7 +406,10 @@ func (s *Server) query(op string, run func(r *http.Request, ctx *grb.Context) (a
 			case <-done:
 			}
 		}()
-		body, err := run(r, ctx)
+		body, err := runRecovered(run, r, ctx)
+		o := classify(err)
+		releaseSlot(o, time.Since(arrival))
+		tn.breaker.note(o, time.Now())
 		if err != nil {
 			writeErr(w, httpStatus(err), err)
 			return
@@ -258,13 +422,14 @@ func (s *Server) query(op string, run func(r *http.Request, ctx *grb.Context) (a
 // graphParam resolves the ?graph= parameter; with a single loaded graph the
 // parameter is optional.
 func (s *Server) graphParam(r *http.Request) (*Graph, error) {
+	graphs := s.graphMap()
 	name := r.URL.Query().Get("graph")
-	if name == "" && len(s.graphs) == 1 {
-		for _, g := range s.graphs {
+	if name == "" && len(graphs) == 1 {
+		for _, g := range graphs {
 			return g, nil
 		}
 	}
-	if g, ok := s.graphs[name]; ok {
+	if g, ok := graphs[name]; ok {
 		return g, nil
 	}
 	return nil, fmt.Errorf("unknown graph %q", name)

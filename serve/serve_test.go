@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -259,6 +261,78 @@ func TestServerFaultInjection(t *testing.T) {
 		if status, body := get(t, ts.URL+"/query/triangles", "chaos"); status != http.StatusOK {
 			t.Fatalf("after disarm: status %d: %s", status, body)
 		}
+	}
+}
+
+// TestClientDisconnectReleasesResources pins the mid-flight abandonment
+// path: a client that walks away from an expensive PageRank gets its query
+// canceled at range granularity, the request's concurrency slot frees, and
+// the memory governor's live aggregate returns to zero — an abandoned
+// request cannot keep either the engine or the admission budget occupied.
+func TestClientDisconnectReleasesResources(t *testing.T) {
+	initLib(t)
+	obsv.ResetServe()
+	t.Cleanup(obsv.ResetServe)
+	g := testGraph(t)
+	cfg := Config{
+		Default:      TenantConfig{Deadline: 60 * time.Second},
+		MemHighWater: 64 << 20,
+		Tenants: map[string]TenantConfig{
+			"walker": {Deadline: 60 * time.Second, MaxInFlight: 1},
+		},
+	}
+	s := NewServer([]*Graph{g}, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Slow the kernels down so the disconnect lands mid-iteration.
+	faults.Enable(faults.Rule{Site: "sparse.kernel.range", Action: faults.Delay, Delay: 10 * time.Millisecond})
+	defer faults.Disable()
+
+	rctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(rctx, "GET", ts.URL+"/query/pagerank?maxiter=400&tol=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Grb-Tenant", "walker")
+	clientErr := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("abandoned request completed with status %d", resp.StatusCode)
+		}
+		clientErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-clientErr; err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error: %v, want context.Canceled", err)
+	}
+	// The watcher cancels the grb context; kernels park Canceled at the next
+	// range checkpoint and the handler unwinds, releasing slot + reservation.
+	for s.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned request still in flight (%d)", s.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	faults.Disable()
+	if s.gov == nil {
+		t.Fatal("governor not constructed despite MemHighWater")
+	}
+	if live := s.gov.live(); live != 0 {
+		t.Fatalf("governor live bytes after disconnect: %d, want 0", live)
+	}
+	// The single concurrency slot must be free again.
+	if status, body := get(t, ts.URL+"/query/bfs?src=0", "walker"); status != http.StatusOK {
+		t.Fatalf("after disconnect: status %d (slot leaked?): %s", status, body)
 	}
 }
 
